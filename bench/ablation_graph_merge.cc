@@ -1,0 +1,34 @@
+// Ablation (§3.3.2): dependency-graph merging on vs. off. PATH rules
+// share the predicate-less CycleProvider class rule; with merging it is
+// stored (and evaluated) once, without merging every subscription owns a
+// private copy, so every registered document triggers thousands of
+// class-rule copies. Reports atomic-rule counts and filter cost.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace mdv::bench;
+  using mdv::bench_support::BenchRuleType;
+  using mdv::bench_support::FilterFixture;
+  using mdv::bench_support::WorkloadGenerator;
+
+  // Merging off multiplies work per document; keep the rule base modest.
+  const size_t rule_base = FullScale() ? 2000 : 500;
+  std::printf("# ablation_graph_merge: PATH rules, %zu rules\n", rule_base);
+  std::printf("# columns: bench,series,batch_size,avg_registration_ms\n");
+
+  for (bool merge : {true, false}) {
+    mdv::filter::RuleStoreOptions options;
+    options.merge_shared_atoms = merge;
+    WorkloadGenerator generator({BenchRuleType::kPath, rule_base, 0.1});
+    FilterFixture fixture(options);
+    RegisterRuleBase(&fixture, generator, rule_base);
+    WarmUp(&fixture, generator);
+    std::printf("# atomic rules in store: %zu\n",
+                fixture.store().NumAtomicRules());
+    size_t next_doc = 0;
+    RunBatchSweep("ablation_graph_merge", merge ? "merge_on" : "merge_off",
+                  &fixture, generator, &next_doc);
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Ablation (§3.3.4): the physical design claim — the filter tables are
+// "used as indexes to all triggering rules" and "created with indexes
+// supporting an efficient access on the database level". With indexes
+// disabled every probe degenerates to a full scan. OID rules show the
+// starkest difference (point lookup vs. scan of the whole rule base).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace mdv::bench;
+  using mdv::bench_support::BenchRuleType;
+  using mdv::bench_support::FilterFixture;
+  using mdv::bench_support::WorkloadGenerator;
+
+  // Index-less scans are quadratic in practice; keep the base small.
+  const size_t rule_base = FullScale() ? 5000 : 1000;
+  std::printf("# ablation_indexes: OID rules, %zu rules\n", rule_base);
+  std::printf("# columns: bench,series,batch_size,avg_registration_ms\n");
+
+  for (bool indexes : {true, false}) {
+    mdv::filter::TableOptions table_options;
+    table_options.create_indexes = indexes;
+    WorkloadGenerator generator({BenchRuleType::kOid, rule_base, 0.1});
+    FilterFixture fixture(mdv::filter::RuleStoreOptions{}, table_options);
+    RegisterRuleBase(&fixture, generator, rule_base);
+    WarmUp(&fixture, generator);
+    size_t next_doc = 0;
+    RunBatchSweep("ablation_indexes", indexes ? "indexes_on" : "indexes_off",
+                  &fixture, generator, &next_doc);
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Ablation (§3.3.3): rule groups on vs. off. PATH rules all share one
+// join spec; with groups the join layer is organized as one group, while
+// without groups every join rule forms its own singleton group. Reports
+// the filter cost per document and the number of groups.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace mdv::bench;
+  using mdv::bench_support::BenchRuleType;
+  using mdv::bench_support::FilterFixture;
+  using mdv::bench_support::WorkloadGenerator;
+
+  const size_t rule_base = FullScale() ? 10000 : 2000;
+  std::printf("# ablation_rule_groups: PATH rules, %zu rules\n", rule_base);
+  std::printf(
+      "# columns: bench,series,batch_size,avg_registration_ms\n");
+
+  for (bool use_groups : {true, false}) {
+    mdv::filter::RuleStoreOptions options;
+    options.use_rule_groups = use_groups;
+    WorkloadGenerator generator({BenchRuleType::kPath, rule_base, 0.1});
+    FilterFixture fixture(options);
+    RegisterRuleBase(&fixture, generator, rule_base);
+    WarmUp(&fixture, generator);
+    std::printf("# groups in store: %zu\n", fixture.store().NumGroups());
+    size_t next_doc = 0;
+    RunBatchSweep("ablation_rule_groups",
+                  use_groups ? "groups_on" : "groups_off", &fixture,
+                  generator, &next_doc);
+  }
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Consistency-mechanism comparison (§3.5 discusses alternatives to the
+// three-pass filter protocol): push notifications vs. TTL-based periodic
+// refresh. Reports the network traffic (resources shipped) and the
+// staleness window for a fixed update workload. Expected shape: push
+// traffic scales with the number of *relevant* changes; TTL traffic
+// scales with cache size × refresh frequency and is stale in between.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "mdv/system.h"
+
+namespace {
+
+using mdv::bench_support::FilterFixture;
+
+mdv::rdf::RdfDocument MakeDoc(const std::string& uri, int memory) {
+  mdv::rdf::RdfDocument doc(uri);
+  mdv::rdf::Resource info("info", "ServerInformation");
+  info.AddProperty("memory",
+                   mdv::rdf::PropertyValue::Literal(std::to_string(memory)));
+  mdv::rdf::Resource host("host", "CycleProvider");
+  host.AddProperty("serverHost",
+                   mdv::rdf::PropertyValue::Literal("x.uni-passau.de"));
+  host.AddProperty("serverInformation",
+                   mdv::rdf::PropertyValue::ResourceRef(uri + "#info"));
+  mdv::Status st = doc.AddResource(std::move(info));
+  st = doc.AddResource(std::move(host));
+  (void)st;
+  return doc;
+}
+
+}  // namespace
+
+int main() {
+  using mdv::bench::BenchCheck;
+  const size_t kDocs = mdv::bench::FullScale() ? 500 : 100;
+  const size_t kUpdates = kDocs * 2 + 3;  // Not a refresh multiple: ends stale.
+
+  std::printf("# ablation_ttl: %zu docs, %zu updates, 1 subscription\n",
+              kDocs, kUpdates);
+  std::printf("# columns: bench,mode,resources_shipped,stale_after_all_ops\n");
+
+  for (int refresh_every : {0 /* push */, 10, 50}) {
+    mdv::MdvSystem system(mdv::rdf::MakeObjectGlobeSchema());
+    mdv::MetadataProvider* provider = system.AddProvider();
+    mdv::LocalMetadataRepository* lmr = system.AddRepository(provider);
+    mdv::Result<mdv::pubsub::SubscriptionId> sub =
+        lmr->Subscribe("search CycleProvider c register c "
+                       "where c.serverInformation.memory > 64");
+    if (!sub.ok()) return 1;
+
+    int64_t pulled_resources = 0;
+    if (refresh_every > 0) {
+      lmr->set_consistency_mode(mdv::ConsistencyMode::kTimeToLive);
+    }
+
+    // Registration phase: half the docs match (memory alternates).
+    for (size_t i = 0; i < kDocs; ++i) {
+      BenchCheck(provider->RegisterDocument(
+                     MakeDoc("d" + std::to_string(i) + ".rdf",
+                             i % 2 == 0 ? 128 : 32)),
+                 "register");
+    }
+    // Update phase: flip memory values, occasionally refreshing in TTL
+    // mode. The snapshot traffic counts as shipped resources.
+    for (size_t u = 0; u < kUpdates; ++u) {
+      size_t target = u % kDocs;
+      int memory = (u / kDocs + target) % 2 == 0 ? 32 : 128;
+      BenchCheck(provider->UpdateDocument(
+                     MakeDoc("d" + std::to_string(target) + ".rdf", memory)),
+                 "update");
+      if (refresh_every > 0 && (u + 1) % refresh_every == 0) {
+        size_t before = lmr->CacheSize();
+        BenchCheck(lmr->Refresh(), "refresh");
+        (void)before;
+        pulled_resources += static_cast<int64_t>(lmr->CacheSize());
+      }
+    }
+
+    // Staleness after the last operation: resources whose cached copy
+    // differs from the provider's current version, plus matches the
+    // cache is missing entirely.
+    int64_t stale = 0;
+    {
+      mdv::Result<std::vector<std::string>> current = provider->Browse(
+          "search CycleProvider c register c "
+          "where c.serverInformation.memory > 64");
+      BenchCheck(current.ok() ? mdv::Status::OK() : current.status(),
+                 "browse");
+      for (const std::string& uri : *current) {
+        const mdv::CacheEntry* entry = lmr->Find(uri);
+        if (entry == nullptr) {
+          ++stale;
+          continue;
+        }
+        const mdv::rdf::Resource* live =
+            provider->documents().FindResource(uri);
+        if (live == nullptr || !entry->resource.ContentEquals(*live)) {
+          ++stale;
+        }
+      }
+      // Cached matches that should be gone.
+      for (const std::string& uri : lmr->CachedUris()) {
+        const mdv::CacheEntry* entry = lmr->Find(uri);
+        if (entry->matched_subscriptions.empty()) continue;
+        bool still = false;
+        for (const std::string& m : *current) {
+          if (m == uri) still = true;
+        }
+        if (!still) ++stale;
+      }
+    }
+
+    int64_t shipped =
+        system.network().stats().resources_shipped + pulled_resources;
+    std::printf("ablation_ttl,%s,%lld,%lld\n",
+                refresh_every == 0
+                    ? "push"
+                    : ("ttl_every_" + std::to_string(refresh_every)).c_str(),
+                static_cast<long long>(shipped),
+                static_cast<long long>(stale));
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,105 @@
+#ifndef MDV_BENCH_BENCH_COMMON_H_
+#define MDV_BENCH_BENCH_COMMON_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_support/workload.h"
+
+namespace mdv::bench {
+
+/// Wall-clock milliseconds of `fn`.
+template <typename Fn>
+double TimeMs(Fn&& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+/// True when MDV_BENCH_FULL=1: run the paper-scale configurations
+/// (rule bases up to 100,000). Default is a scaled-down sweep that keeps
+/// `for b in build/bench/*; do $b; done` fast while preserving the curve
+/// shapes.
+inline bool FullScale() {
+  const char* env = std::getenv("MDV_BENCH_FULL");
+  return env != nullptr && std::string(env) == "1";
+}
+
+/// The batch sizes swept on the x axis of Figures 11-14.
+inline std::vector<size_t> BatchSizes() {
+  return {1, 2, 5, 10, 20, 50, 100, 200};
+}
+
+/// Aborts with a message on error statuses inside benchmarks.
+inline void BenchCheck(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T BenchMust(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+/// Registers `count` rules of the generator's type into `fixture`.
+inline void RegisterRuleBase(
+    bench_support::FilterFixture* fixture,
+    const bench_support::WorkloadGenerator& generator, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    BenchMust(fixture->RegisterRule(generator.RuleText(i)), "register rule");
+  }
+}
+
+/// Registers one out-of-range document before timing starts so cold
+/// allocator/cache effects do not pollute the first (batch = 1) point.
+inline void WarmUp(bench_support::FilterFixture* fixture,
+                   const bench_support::WorkloadGenerator& generator) {
+  std::vector<rdf::RdfDocument> docs =
+      generator.MakeDocumentBatch(10000000, 1);
+  BenchMust(fixture->RegisterDocumentBatch(docs), "warmup");
+}
+
+/// One figure-style sweep: for each batch size, registers a fresh range
+/// of documents in one filter run and reports the average registration
+/// time per document (the paper's y axis). Documents are drawn from
+/// consecutive ranges so each doc still pairs 1:1 with its rule.
+inline void RunBatchSweep(const char* figure, const char* series,
+                          bench_support::FilterFixture* fixture,
+                          const bench_support::WorkloadGenerator& generator,
+                          size_t* next_doc) {
+  for (size_t batch : BatchSizes()) {
+    if (*next_doc + batch > generator.options().rule_base_size &&
+        generator.options().rule_type != bench_support::BenchRuleType::kComp) {
+      break;  // Out of 1:1 rule/document pairs.
+    }
+    std::vector<rdf::RdfDocument> docs =
+        generator.MakeDocumentBatch(*next_doc, batch);
+    *next_doc += batch;
+    double ms = TimeMs([&] {
+      BenchMust(fixture->RegisterDocumentBatch(docs), "register batch");
+    });
+    std::printf("%s,%s,%zu,%.4f\n", figure, series, batch,
+                ms / static_cast<double>(batch));
+    std::fflush(stdout);
+  }
+}
+
+inline void PrintHeader(const char* figure, const char* description) {
+  std::printf("# %s: %s\n", figure, description);
+  std::printf("# columns: figure,series,batch_size,avg_registration_ms\n");
+}
+
+}  // namespace mdv::bench
+
+#endif  // MDV_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,29 @@
+// Figure 11: OID rules — average registration cost per document as a
+// function of the batch size, for rule bases of 10,000 and 100,000
+// rules. Expected shape: cost drops with batch size then flattens, and
+// the two curves nearly coincide (the rule base size does not matter for
+// OID rules, which resolve with one point lookup on the value index).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace mdv::bench;
+  using mdv::bench_support::BenchRuleType;
+  using mdv::bench_support::FilterFixture;
+  using mdv::bench_support::WorkloadGenerator;
+
+  PrintHeader("fig11", "OID rules, varying rule base size");
+  std::vector<size_t> rule_bases =
+      FullScale() ? std::vector<size_t>{10000, 100000}
+                  : std::vector<size_t>{2000, 20000};
+  for (size_t rule_base : rule_bases) {
+    WorkloadGenerator generator({BenchRuleType::kOid, rule_base, 0.1});
+    FilterFixture fixture;
+    RegisterRuleBase(&fixture, generator, rule_base);
+    WarmUp(&fixture, generator);
+    size_t next_doc = 0;
+    std::string series = std::to_string(rule_base) + "_rules";
+    RunBatchSweep("fig11", series.c_str(), &fixture, generator, &next_doc);
+  }
+  return 0;
+}

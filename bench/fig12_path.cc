@@ -1,0 +1,30 @@
+// Figure 12: PATH rules (c.serverInformation.memory = INT) — decomposed
+// into a shared class rule, a per-rule memory trigger and a join rule.
+// Expected shape: cost drops with batch size then flattens; larger rule
+// bases cost more (the memory triggers share one property, so every atom
+// probes the whole per-property rule list, and the shared class rule
+// feeds a join-rule group whose membership grows with the rule base).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace mdv::bench;
+  using mdv::bench_support::BenchRuleType;
+  using mdv::bench_support::FilterFixture;
+  using mdv::bench_support::WorkloadGenerator;
+
+  PrintHeader("fig12", "PATH rules, varying rule base size");
+  std::vector<size_t> rule_bases = FullScale()
+                                       ? std::vector<size_t>{1000, 10000, 50000}
+                                       : std::vector<size_t>{1000, 5000};
+  for (size_t rule_base : rule_bases) {
+    WorkloadGenerator generator({BenchRuleType::kPath, rule_base, 0.1});
+    FilterFixture fixture;
+    RegisterRuleBase(&fixture, generator, rule_base);
+    WarmUp(&fixture, generator);
+    size_t next_doc = 0;
+    std::string series = std::to_string(rule_base) + "_rules";
+    RunBatchSweep("fig12", series.c_str(), &fixture, generator, &next_doc);
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 13: COMP rules (c.synthValue > INT), 10% of the rule base
+// matching every document. Expected shape: per-document cost rises with
+// the rule base size; unlike OID/PATH/JOIN, registering few documents
+// per batch is preferable because every document triggers thousands of
+// rules.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace mdv::bench;
+  using mdv::bench_support::BenchRuleType;
+  using mdv::bench_support::FilterFixture;
+  using mdv::bench_support::WorkloadGenerator;
+
+  PrintHeader("fig13", "COMP rules (10% of rule base matches)");
+  std::vector<size_t> rule_bases =
+      FullScale() ? std::vector<size_t>{1000, 10000, 50000}
+                  : std::vector<size_t>{500, 2000};
+  for (size_t rule_base : rule_bases) {
+    WorkloadGenerator generator({BenchRuleType::kComp, rule_base, 0.10});
+    FilterFixture fixture;
+    RegisterRuleBase(&fixture, generator, rule_base);
+    WarmUp(&fixture, generator);
+    size_t next_doc = 0;
+    std::string series = std::to_string(rule_base) + "_rules";
+    RunBatchSweep("fig13", series.c_str(), &fixture, generator, &next_doc);
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 14: JOIN rules (contains + cpu + memory predicates, three
+// triggering rules and two join rules per subscription). Expected shape:
+// like PATH but more expensive per document; cost depends on the rule
+// base size.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace mdv::bench;
+  using mdv::bench_support::BenchRuleType;
+  using mdv::bench_support::FilterFixture;
+  using mdv::bench_support::WorkloadGenerator;
+
+  PrintHeader("fig14", "JOIN rules, varying rule base size");
+  std::vector<size_t> rule_bases = FullScale()
+                                       ? std::vector<size_t>{1000, 10000}
+                                       : std::vector<size_t>{1000, 5000};
+  for (size_t rule_base : rule_bases) {
+    WorkloadGenerator generator({BenchRuleType::kJoin, rule_base, 0.1});
+    FilterFixture fixture;
+    RegisterRuleBase(&fixture, generator, rule_base);
+    WarmUp(&fixture, generator);
+    size_t next_doc = 0;
+    std::string series = std::to_string(rule_base) + "_rules";
+    RunBatchSweep("fig14", series.c_str(), &fixture, generator, &next_doc);
+  }
+  return 0;
+}

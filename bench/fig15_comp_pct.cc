@@ -1,0 +1,40 @@
+// Figure 15: 10,000 COMP rules with a varying fraction of the rule base
+// matching each document (the "triggered rule base percentage"), for
+// several batch sizes. Expected shape: higher match percentage ⇒ higher
+// average registration cost at every batch size.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace mdv::bench;
+  using mdv::bench_support::BenchRuleType;
+  using mdv::bench_support::FilterFixture;
+  using mdv::bench_support::WorkloadGenerator;
+
+  const size_t rule_base = FullScale() ? 10000 : 2000;
+  std::printf("# fig15: %zu COMP rules, varying batch size and match %%\n",
+              rule_base);
+  std::printf("# columns: figure,series,batch_size,avg_registration_ms\n");
+
+  for (double pct : {0.01, 0.05, 0.10, 0.20, 0.50}) {
+    WorkloadGenerator generator({BenchRuleType::kComp, rule_base, pct});
+    FilterFixture fixture;
+    RegisterRuleBase(&fixture, generator, rule_base);
+    WarmUp(&fixture, generator);
+    size_t next_doc = 0;
+    char series[32];
+    std::snprintf(series, sizeof(series), "%.0f%%", pct * 100.0);
+    for (size_t batch : {size_t{1}, size_t{10}, size_t{50}, size_t{100}}) {
+      std::vector<mdv::rdf::RdfDocument> docs =
+          generator.MakeDocumentBatch(next_doc, batch);
+      next_doc += batch;
+      double ms = TimeMs([&] {
+        BenchMust(fixture.RegisterDocumentBatch(docs), "register batch");
+      });
+      std::printf("fig15,%s,%zu,%.4f\n", series, batch,
+                  ms / static_cast<double>(batch));
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Microbenchmarks of the rule front-end on google-benchmark: parsing,
+// full compilation (parse → analyze → normalize → decompose) and
+// dependency-graph merging for the four §4 rule types.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_support/workload.h"
+#include "rules/compiler.h"
+
+namespace {
+
+using mdv::bench_support::BenchRuleType;
+using mdv::bench_support::FilterFixture;
+using mdv::bench_support::WorkloadGenerator;
+
+const char* RuleTextFor(BenchRuleType type) {
+  static WorkloadGenerator oid({BenchRuleType::kOid, 1000, 0.1});
+  static WorkloadGenerator comp({BenchRuleType::kComp, 1000, 0.1});
+  static WorkloadGenerator path({BenchRuleType::kPath, 1000, 0.1});
+  static WorkloadGenerator join({BenchRuleType::kJoin, 1000, 0.1});
+  static std::string oid_text = oid.RuleText(1);
+  static std::string comp_text = comp.RuleText(1);
+  static std::string path_text = path.RuleText(1);
+  static std::string join_text = join.RuleText(1);
+  switch (type) {
+    case BenchRuleType::kOid:
+      return oid_text.c_str();
+    case BenchRuleType::kComp:
+      return comp_text.c_str();
+    case BenchRuleType::kPath:
+      return path_text.c_str();
+    case BenchRuleType::kJoin:
+      return join_text.c_str();
+  }
+  return "";
+}
+
+void BM_ParseRule(benchmark::State& state) {
+  const char* text = RuleTextFor(static_cast<BenchRuleType>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mdv::rules::ParseRule(text));
+  }
+}
+BENCHMARK(BM_ParseRule)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_CompileRule(benchmark::State& state) {
+  const mdv::rdf::RdfSchema schema = mdv::rdf::MakeObjectGlobeSchema();
+  const char* text = RuleTextFor(static_cast<BenchRuleType>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mdv::rules::CompileRule(text, schema));
+  }
+}
+BENCHMARK(BM_CompileRule)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_RegisterRuleIntoStore(benchmark::State& state) {
+  // Registration includes duplicate detection against a growing store.
+  WorkloadGenerator generator(
+      {static_cast<BenchRuleType>(state.range(0)), 100000, 0.1});
+  FilterFixture fixture;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.RegisterRule(generator.RuleText(i++)));
+  }
+}
+BENCHMARK(BM_RegisterRuleIntoStore)->Arg(0)->Arg(2)->Arg(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+// Cache consistency walkthrough: demonstrates the three update
+// situations of §3.5 — a resource gaining a match, losing a match (with
+// and without other matching rules), and referenced-resource updates —
+// plus the garbage collection of strongly referenced companions (§2.4).
+
+#include <cstdlib>
+#include <iostream>
+
+#include "mdv/system.h"
+#include "rdf/schema.h"
+
+namespace {
+
+using mdv::rdf::PropertyValue;
+using mdv::rdf::RdfDocument;
+using mdv::rdf::Resource;
+
+RdfDocument ProviderDoc(const std::string& uri, const std::string& host,
+                        int memory) {
+  RdfDocument doc(uri);
+  Resource info("info", "ServerInformation");
+  info.AddProperty("memory", PropertyValue::Literal(std::to_string(memory)));
+  info.AddProperty("cpu", PropertyValue::Literal("600"));
+  Resource provider("host", "CycleProvider");
+  provider.AddProperty("serverHost", PropertyValue::Literal(host));
+  provider.AddProperty("serverInformation",
+                       PropertyValue::ResourceRef(uri + "#info"));
+  mdv::Status st = doc.AddResource(std::move(info));
+  st = doc.AddResource(std::move(provider));
+  (void)st;
+  return doc;
+}
+
+void Check(const mdv::Status& status, const char* what) {
+  if (!status.ok()) {
+    std::cerr << what << " failed: " << status << "\n";
+    std::exit(1);
+  }
+}
+
+void Report(const mdv::LocalMetadataRepository& lmr, const char* stage) {
+  std::cout << stage << ": cache=" << lmr.CacheSize()
+            << " gc_evictions=" << lmr.gc_evictions();
+  const mdv::CacheEntry* host = lmr.Find("d.rdf#host");
+  if (host != nullptr) {
+    std::cout << " host_matches=" << host->matched_subscriptions.size();
+    const mdv::CacheEntry* info = lmr.Find("d.rdf#info");
+    if (info != nullptr) {
+      std::cout << " info_memory="
+                << info->resource.FindProperty("memory")->text()
+                << " info_strong_refs=" << info->strong_referrers;
+    }
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  mdv::MdvSystem system(mdv::rdf::MakeObjectGlobeSchema());
+  mdv::MetadataProvider* provider = system.AddProvider();
+  mdv::LocalMetadataRepository* lmr = system.AddRepository(provider);
+
+  // Two overlapping subscriptions, as in §3.5's discussion: losing one
+  // match must not evict a resource the other rule still selects.
+  auto memory_rule = lmr->Subscribe(
+      "search CycleProvider c register c "
+      "where c.serverInformation.memory > 64");
+  auto domain_rule = lmr->Subscribe(
+      "search CycleProvider c register c "
+      "where c.serverHost contains 'uni-passau.de'");
+  if (!memory_rule.ok() || !domain_rule.ok()) {
+    std::cerr << "subscription failed\n";
+    return 1;
+  }
+
+  // Situation 0: initially the provider matches neither rule.
+  Check(provider->RegisterDocument(ProviderDoc("d.rdf", "elsewhere.org", 32)),
+        "register");
+  Report(*lmr, "registered (no match)        ");
+
+  // Situation 1 (§3.5): "the resource is matched by a rule it previously
+  // was not" — memory grows to 128, the memory rule now matches, and the
+  // resource plus its strong closure appear in the cache.
+  Check(provider->UpdateDocument(ProviderDoc("d.rdf", "elsewhere.org", 128)),
+        "update to 128MB");
+  Report(*lmr, "memory 32 -> 128 (gain match) ");
+
+  // Situation 2: "the resource still matches" — the cached copies must
+  // be refreshed in place (here memory changes 128 → 256).
+  Check(provider->UpdateDocument(ProviderDoc("d.rdf", "elsewhere.org", 256)),
+        "update to 256MB");
+  Report(*lmr, "memory 128 -> 256 (keep match)");
+
+  // Situation 3a: the resource stops matching the memory rule but gains
+  // the domain rule — it must stay cached ("wrong candidate").
+  Check(provider->UpdateDocument(
+            ProviderDoc("d.rdf", "pirates.uni-passau.de", 16)),
+        "move into domain, shrink memory");
+  Report(*lmr, "lost memory, gained domain    ");
+
+  // Situation 3b: it stops matching every rule — the true candidate is
+  // removed, and the garbage collector also evicts the strongly
+  // referenced ServerInformation (§2.4).
+  Check(provider->UpdateDocument(ProviderDoc("d.rdf", "elsewhere.org", 16)),
+        "lose all matches");
+  Report(*lmr, "lost all matches (GC)         ");
+
+  // Finally: whole-document deletion behaves like losing every match.
+  Check(provider->UpdateDocument(
+            ProviderDoc("d.rdf", "pirates.uni-passau.de", 512)),
+        "re-match");
+  Report(*lmr, "re-registered (both rules)    ");
+  Check(provider->DeleteDocument("d.rdf"), "delete document");
+  Report(*lmr, "document deleted              ");
+  return 0;
+}

@@ -1,0 +1,194 @@
+// ObjectGlobe marketplace: the paper's motivating client (§1). An open
+// marketplace of cycle providers, data providers and function providers
+// publishes metadata into MDV; two query-processing sites subscribe to
+// the slices they need for query optimization and discover candidate
+// providers from their local caches.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "mdv/system.h"
+#include "rdf/schema.h"
+
+namespace {
+
+using mdv::rdf::ClassBuilder;
+using mdv::rdf::PropertyValue;
+using mdv::rdf::RdfDocument;
+using mdv::rdf::RdfSchema;
+using mdv::rdf::Resource;
+
+/// ObjectGlobe's three supplier kinds (§1) plus server descriptions.
+RdfSchema MakeMarketplaceSchema() {
+  RdfSchema schema;
+  mdv::Status st = schema.AddClass(ClassBuilder("ServerInformation")
+                                       .Literal("memory")
+                                       .Literal("cpu")
+                                       .Build());
+  st = schema.AddClass(ClassBuilder("CycleProvider")
+                           .Literal("serverHost")
+                           .Literal("serverPort")
+                           .StrongRef("serverInformation", "ServerInformation")
+                           .Build());
+  st = schema.AddClass(ClassBuilder("DataProvider")
+                           .Literal("serverHost")
+                           .Literal("collection")
+                           .Literal("sizeMB")
+                           .Build());
+  st = schema.AddClass(ClassBuilder("FunctionProvider")
+                           .Literal("serverHost")
+                           .Literal("operatorName")
+                           .Literal("licenseFee")
+                           .Build());
+  (void)st;
+  return schema;
+}
+
+RdfDocument CycleProviderDoc(const std::string& uri, const std::string& host,
+                             int memory, int cpu) {
+  RdfDocument doc(uri);
+  Resource info("info", "ServerInformation");
+  info.AddProperty("memory", PropertyValue::Literal(std::to_string(memory)));
+  info.AddProperty("cpu", PropertyValue::Literal(std::to_string(cpu)));
+  Resource provider("cp", "CycleProvider");
+  provider.AddProperty("serverHost", PropertyValue::Literal(host));
+  provider.AddProperty("serverPort", PropertyValue::Literal("5874"));
+  provider.AddProperty("serverInformation",
+                       PropertyValue::ResourceRef(uri + "#info"));
+  mdv::Status st = doc.AddResource(std::move(info));
+  st = doc.AddResource(std::move(provider));
+  (void)st;
+  return doc;
+}
+
+RdfDocument DataProviderDoc(const std::string& uri, const std::string& host,
+                            const std::string& collection, int size_mb) {
+  RdfDocument doc(uri);
+  Resource provider("dp", "DataProvider");
+  provider.AddProperty("serverHost", PropertyValue::Literal(host));
+  provider.AddProperty("collection", PropertyValue::Literal(collection));
+  provider.AddProperty("sizeMB",
+                       PropertyValue::Literal(std::to_string(size_mb)));
+  mdv::Status st = doc.AddResource(std::move(provider));
+  (void)st;
+  return doc;
+}
+
+RdfDocument FunctionProviderDoc(const std::string& uri,
+                                const std::string& host,
+                                const std::string& op, int fee) {
+  RdfDocument doc(uri);
+  Resource provider("fp", "FunctionProvider");
+  provider.AddProperty("serverHost", PropertyValue::Literal(host));
+  provider.AddProperty("operatorName", PropertyValue::Literal(op));
+  provider.AddProperty("licenseFee",
+                       PropertyValue::Literal(std::to_string(fee)));
+  mdv::Status st = doc.AddResource(std::move(provider));
+  (void)st;
+  return doc;
+}
+
+void Check(const mdv::Status& status, const char* what) {
+  if (!status.ok()) {
+    std::cerr << what << " failed: " << status << "\n";
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Must(mdv::Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::cerr << what << " failed: " << result.status() << "\n";
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+}  // namespace
+
+int main() {
+  mdv::MdvSystem system(MakeMarketplaceSchema());
+  mdv::MetadataProvider* backbone = system.AddProvider();
+
+  // Site A optimizes compute-heavy queries: it wants beefy cycle
+  // providers and the join operators it may ship to them.
+  mdv::LocalMetadataRepository* site_a = system.AddRepository(backbone);
+  Must(site_a->Subscribe("search CycleProvider c register c "
+                         "where c.serverInformation.memory > 256 "
+                         "and c.serverInformation.cpu >= 1000"),
+       "site A cycle subscription");
+  Must(site_a->Subscribe("search FunctionProvider f register f "
+                         "where f.operatorName contains 'join'"),
+       "site A function subscription");
+
+  // Site B integrates astronomy data: data providers of that collection
+  // and any cycle provider in its own domain.
+  mdv::LocalMetadataRepository* site_b = system.AddRepository(backbone);
+  Must(site_b->Subscribe("search DataProvider d register d "
+                         "where d.collection contains 'astro'"),
+       "site B data subscription");
+  Must(site_b->Subscribe("search CycleProvider c register c "
+                         "where c.serverHost contains 'uni-passau.de'"),
+       "site B domain subscription");
+
+  // Suppliers publish their metadata at the backbone.
+  Check(backbone->RegisterDocument(
+            CycleProviderDoc("cp1.rdf", "big.cluster.example", 512, 2000)),
+        "register cp1");
+  Check(backbone->RegisterDocument(
+            CycleProviderDoc("cp2.rdf", "pirates.uni-passau.de", 128, 600)),
+        "register cp2");
+  Check(backbone->RegisterDocument(
+            CycleProviderDoc("cp3.rdf", "small.box.example", 64, 400)),
+        "register cp3");
+  Check(backbone->RegisterDocument(DataProviderDoc(
+            "dp1.rdf", "archive.example", "astro-survey-2001", 1500)),
+        "register dp1");
+  Check(backbone->RegisterDocument(
+            DataProviderDoc("dp2.rdf", "med.example", "genome-bank", 800)),
+        "register dp2");
+  Check(backbone->RegisterDocument(FunctionProviderDoc(
+            "fp1.rdf", "ops.example", "hash-join-v2", 10)),
+        "register fp1");
+  Check(backbone->RegisterDocument(FunctionProviderDoc(
+            "fp2.rdf", "ops.example", "wavelet-compress", 25)),
+        "register fp2");
+
+  std::cout << "site A cache: " << site_a->CacheSize() << " resources\n";
+  std::cout << "site B cache: " << site_b->CacheSize() << " resources\n";
+
+  // Site A plans a query: find a provider with ≥ 1 GHz to run hash-join.
+  auto candidates = Must(
+      site_a->Query("search CycleProvider c register c "
+                    "where c.serverInformation.cpu >= 1000"),
+      "site A candidate query");
+  for (const mdv::QueryMatch& match : candidates) {
+    std::cout << "site A would contract "
+              << match.resource->FindProperty("serverHost")->text() << "\n";
+  }
+
+  // Site B looks for astro data sources larger than 1 GB.
+  auto sources = Must(site_b->Query("search DataProvider d register d "
+                                    "where d.sizeMB > 1000"),
+                      "site B source query");
+  for (const mdv::QueryMatch& match : sources) {
+    std::cout << "site B reads collection "
+              << match.resource->FindProperty("collection")->text()
+              << " from "
+              << match.resource->FindProperty("serverHost")->text() << "\n";
+  }
+
+  // A supplier upgrade is published once and reaches every interested
+  // cache: cp3 triples its memory and becomes relevant for site A.
+  Check(backbone->UpdateDocument(
+            CycleProviderDoc("cp3.rdf", "small.box.example", 512, 1200)),
+        "upgrade cp3");
+  std::cout << "after cp3 upgrade, site A cache: " << site_a->CacheSize()
+            << " resources\n";
+
+  std::cout << "network shipped " << system.network().stats().messages
+            << " notifications ("
+            << system.network().stats().resources_shipped << " resources)\n";
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Web-service discovery: the direction the paper's conclusion points at
+// (§6) — services described by metadata, discovered through subscription
+// rules, including named rules used as extensions of further rules
+// (§2.3) and local (private) metadata at the LMR (§2.2).
+
+#include <cstdlib>
+#include <iostream>
+
+#include "mdv/system.h"
+#include "rdf/schema.h"
+
+namespace {
+
+using mdv::rdf::ClassBuilder;
+using mdv::rdf::PropertyValue;
+using mdv::rdf::RdfDocument;
+using mdv::rdf::RdfSchema;
+using mdv::rdf::Resource;
+
+RdfSchema MakeServiceSchema() {
+  RdfSchema schema;
+  mdv::Status st = schema.AddClass(ClassBuilder("Endpoint")
+                                       .Literal("url")
+                                       .Literal("protocol")
+                                       .Build());
+  st = schema.AddClass(ClassBuilder("WebService")
+                           .Literal("category")
+                           .Literal("price")
+                           .Literal("uptimePercent")
+                           .StrongRef("endpoint", "Endpoint")
+                           .Build());
+  (void)st;
+  return schema;
+}
+
+RdfDocument ServiceDoc(const std::string& uri, const std::string& category,
+                       int price, int uptime, const std::string& url) {
+  RdfDocument doc(uri);
+  Resource endpoint("ep", "Endpoint");
+  endpoint.AddProperty("url", PropertyValue::Literal(url));
+  endpoint.AddProperty("protocol", PropertyValue::Literal("SOAP"));
+  Resource service("svc", "WebService");
+  service.AddProperty("category", PropertyValue::Literal(category));
+  service.AddProperty("price", PropertyValue::Literal(std::to_string(price)));
+  service.AddProperty("uptimePercent",
+                      PropertyValue::Literal(std::to_string(uptime)));
+  service.AddProperty("endpoint", PropertyValue::ResourceRef(uri + "#ep"));
+  mdv::Status st = doc.AddResource(std::move(endpoint));
+  st = doc.AddResource(std::move(service));
+  (void)st;
+  return doc;
+}
+
+void Check(const mdv::Status& status, const char* what) {
+  if (!status.ok()) {
+    std::cerr << what << " failed: " << status << "\n";
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  mdv::MdvSystem system(MakeServiceSchema());
+  mdv::MetadataProvider* registry = system.AddProvider();
+  mdv::LocalMetadataRepository* composer = system.AddRepository(registry);
+
+  // A named base rule: all payment services. Further rules narrow it by
+  // using the name as an extension (§2.3).
+  auto payment_rule = composer->Subscribe(
+      "search WebService w register w where w.category contains 'payment'",
+      "PaymentServices");
+  if (!payment_rule.ok()) {
+    std::cerr << "subscribe failed: " << payment_rule.status() << "\n";
+    return 1;
+  }
+  auto reliable_rule = composer->Subscribe(
+      "search PaymentServices p register p where p.uptimePercent >= 99");
+  if (!reliable_rule.ok()) {
+    std::cerr << "subscribe failed: " << reliable_rule.status() << "\n";
+    return 1;
+  }
+
+  // Providers publish service descriptions.
+  Check(registry->RegisterDocument(ServiceDoc(
+            "pay-fast.rdf", "payment-gateway", 5, 99, "https://fast.pay")),
+        "register pay-fast");
+  Check(registry->RegisterDocument(ServiceDoc(
+            "pay-cheap.rdf", "payment-gateway", 1, 95, "https://cheap.pay")),
+        "register pay-cheap");
+  Check(registry->RegisterDocument(ServiceDoc(
+            "geo.rdf", "geocoding", 2, 99, "https://geo.example")),
+        "register geo");
+
+  std::cout << "composer cache: " << composer->CacheSize()
+            << " resources\n";
+
+  // Compose: pick a reliable payment service under a price cap, using
+  // only the local cache.
+  auto picks = composer->Query(
+      "search WebService w register w "
+      "where w.uptimePercent >= 99 and w.price <= 10 "
+      "and w.category contains 'payment'");
+  if (!picks.ok()) {
+    std::cerr << "query failed: " << picks.status() << "\n";
+    return 1;
+  }
+  for (const mdv::QueryMatch& match : *picks) {
+    const mdv::CacheEntry* endpoint = composer->Find(
+        match.resource->FindProperty("endpoint")->text());
+    std::cout << "composed with " << match.uri_reference << " via "
+              << (endpoint != nullptr
+                      ? endpoint->resource.FindProperty("url")->text()
+                      : std::string("<missing endpoint>"))
+              << "\n";
+  }
+
+  // Private, unpublished candidate services stay local to the composer.
+  Check(composer->RegisterLocalDocument(ServiceDoc(
+            "internal.rdf", "payment-internal", 0, 90, "https://lan.pay")),
+        "register local");
+  auto all_payment = composer->Query(
+      "search WebService w register w where w.category contains 'payment'");
+  std::cout << "locally visible payment services: "
+            << (all_payment.ok() ? all_payment->size() : 0) << "\n";
+  std::cout << "registry knows " << registry->documents().size()
+            << " public documents\n";
+
+  // An SLA degradation is published once; the composer's cache reacts.
+  Check(registry->UpdateDocument(ServiceDoc(
+            "pay-fast.rdf", "payment-gateway", 5, 97, "https://fast.pay")),
+        "degrade pay-fast");
+  const mdv::CacheEntry* fast = composer->Find("pay-fast.rdf#svc");
+  std::cout << "after SLA degradation pay-fast matches "
+            << (fast == nullptr ? 0 : fast->matched_subscriptions.size())
+            << " subscription(s)\n";
+  return 0;
+}

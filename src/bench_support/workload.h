@@ -1,0 +1,99 @@
+#ifndef MDV_BENCH_SUPPORT_WORKLOAD_H_
+#define MDV_BENCH_SUPPORT_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "filter/engine.h"
+#include "filter/rule_store.h"
+#include "filter/tables.h"
+#include "rdf/document.h"
+#include "rdf/schema.h"
+
+namespace mdv::bench_support {
+
+/// The four rule types of the §4 experiments (Figure 10).
+enum class BenchRuleType {
+  kOid,   ///< search CycleProvider c register c where c = 'URI'
+  kComp,  ///< ... where c.synthValue > INT
+  kPath,  ///< ... where c.serverInformation.memory = INT
+  kJoin,  ///< ... where c.serverHost contains 'uni-passau.de'
+          ///      and c.serverInformation.cpu = 600
+          ///      and c.serverInformation.memory = INT
+};
+
+const char* BenchRuleTypeToString(BenchRuleType type);
+
+/// Generates the §4 workload: a rule base of one type plus Figure-1-like
+/// documents (one CycleProvider + one ServerInformation each), arranged
+/// so that — for OID, PATH and JOIN — document j is matched by exactly
+/// rule j and no other, and — for COMP — every document is matched by
+/// `comp_match_fraction` of the rule base.
+class WorkloadGenerator {
+ public:
+  struct Options {
+    BenchRuleType rule_type = BenchRuleType::kOid;
+    size_t rule_base_size = 1000;
+    double comp_match_fraction = 0.10;
+  };
+
+  explicit WorkloadGenerator(Options options) : options_(options) {}
+
+  const Options& options() const { return options_; }
+
+  /// Text of rule `i` of the rule base (i < rule_base_size).
+  std::string RuleText(size_t i) const;
+
+  /// Document `j`; its CycleProvider matches rule `j` (OID/PATH/JOIN) or
+  /// the configured fraction of the rule base (COMP).
+  rdf::RdfDocument MakeDocument(size_t j) const;
+
+  /// Documents [first, first + count).
+  std::vector<rdf::RdfDocument> MakeDocumentBatch(size_t first,
+                                                  size_t count) const;
+
+  /// URI of document `j`.
+  static std::string DocumentUri(size_t j);
+
+ private:
+  Options options_;
+};
+
+/// A self-contained filter stack for benchmarks and tests: database with
+/// filter tables, rule store and engine, sharing the ObjectGlobe schema.
+class FilterFixture {
+ public:
+  explicit FilterFixture(
+      filter::RuleStoreOptions rule_options = filter::RuleStoreOptions{},
+      filter::TableOptions table_options = filter::TableOptions{});
+
+  FilterFixture(const FilterFixture&) = delete;
+  FilterFixture& operator=(const FilterFixture&) = delete;
+
+  /// Compiles `rule_text` and merges it into the rule store. Returns the
+  /// end rule id.
+  Result<int64_t> RegisterRule(const std::string& rule_text);
+
+  /// Inserts the documents' atoms and runs the filter once over the
+  /// whole batch, as the §4 harness does.
+  Result<filter::FilterRunResult> RegisterDocumentBatch(
+      const std::vector<rdf::RdfDocument>& documents);
+
+  rdbms::Database& db() { return db_; }
+  filter::RuleStore& store() { return *store_; }
+  filter::FilterEngine& engine() { return *engine_; }
+  const rdf::RdfSchema& schema() const { return schema_; }
+
+ private:
+  rdf::RdfSchema schema_;
+  rdbms::Database db_;
+  std::unique_ptr<filter::RuleStore> store_;
+  std::unique_ptr<filter::FilterEngine> engine_;
+};
+
+}  // namespace mdv::bench_support
+
+#endif  // MDV_BENCH_SUPPORT_WORKLOAD_H_

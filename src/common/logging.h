@@ -1,0 +1,51 @@
+#ifndef MDV_COMMON_LOGGING_H_
+#define MDV_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace mdv {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted to stderr. Default: kWarning,
+/// so library users are not spammed unless they opt in.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Collects one log line and emits it (with level prefix) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is below the threshold.
+struct LogMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+
+#define MDV_LOG(level)                                                \
+  (::mdv::LogLevel::k##level < ::mdv::GetLogLevel())                  \
+      ? (void)0                                                       \
+      : ::mdv::internal_logging::LogMessageVoidify() &                \
+            ::mdv::internal_logging::LogMessage(                      \
+                ::mdv::LogLevel::k##level, __FILE__, __LINE__)        \
+                .stream()
+
+}  // namespace mdv
+
+#endif  // MDV_COMMON_LOGGING_H_

@@ -1,0 +1,74 @@
+#ifndef MDV_COMMON_RESULT_H_
+#define MDV_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace mdv {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value could not be produced (Arrow's Result / abseil's StatusOr idiom).
+template <typename T>
+class Result {
+ public:
+  /// Implicit so `return value;` works in functions returning Result<T>.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit so `return Status::...;` works. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_{StatusCode::kInternal, "uninitialized Result"};
+  std::optional<T> value_;
+};
+
+/// Evaluates `expr` (a Result<T>); on error returns its Status, otherwise
+/// moves its value into `lhs`.
+#define MDV_ASSIGN_OR_RETURN(lhs, expr)                  \
+  auto MDV_CONCAT_(_res_, __LINE__) = (expr);            \
+  if (!MDV_CONCAT_(_res_, __LINE__).ok())                \
+    return MDV_CONCAT_(_res_, __LINE__).status();        \
+  lhs = std::move(MDV_CONCAT_(_res_, __LINE__)).value()
+
+#define MDV_CONCAT_(a, b) MDV_CONCAT_IMPL_(a, b)
+#define MDV_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace mdv
+
+#endif  // MDV_COMMON_RESULT_H_

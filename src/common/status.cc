@@ -1,0 +1,37 @@
+#include "common/status.h"
+
+namespace mdv {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kSchemaViolation:
+      return "SchemaViolation";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kUnsupported:
+      return "Unsupported";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace mdv

@@ -1,0 +1,89 @@
+#ifndef MDV_COMMON_STATUS_H_
+#define MDV_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace mdv {
+
+/// Error categories used across the MDV code base.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,  ///< Caller passed malformed input (bad rule text, ...).
+  kNotFound,         ///< A named entity (table, class, document) is missing.
+  kAlreadyExists,    ///< Attempt to create an entity that already exists.
+  kParseError,       ///< Lexical or syntactic error in a document or rule.
+  kSchemaViolation,  ///< Input does not conform to the registered RDF schema.
+  kInternal,         ///< Invariant violation inside MDV itself.
+  kUnsupported,      ///< Feature intentionally not implemented.
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of an operation that can fail; cheap to copy in the OK case.
+///
+/// MDV does not throw exceptions across public API boundaries. Every
+/// fallible operation returns a Status (or a Result<T>, see result.h).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status SchemaViolation(std::string msg) {
+    return Status(StatusCode::kSchemaViolation, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK Status to the caller of the enclosing function.
+#define MDV_RETURN_IF_ERROR(expr)             \
+  do {                                        \
+    ::mdv::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+}  // namespace mdv
+
+#endif  // MDV_COMMON_STATUS_H_

@@ -1,0 +1,88 @@
+#include "filter/data_store.h"
+
+#include "filter/tables.h"
+#include "rdbms/table.h"
+#include "rdf/document.h"
+
+namespace mdv::filter {
+
+namespace {
+using rdbms::CompareOp;
+using rdbms::Row;
+using rdbms::ScanCondition;
+using rdbms::Table;
+using rdbms::Value;
+}  // namespace
+
+Status InsertAtoms(rdbms::Database* db, const rdf::Statements& atoms) {
+  Table* data = db->GetTable(kFilterData);
+  if (data == nullptr) {
+    return Status::Internal("FilterData table missing");
+  }
+  for (const rdf::Statement& atom : atoms) {
+    MDV_ASSIGN_OR_RETURN(
+        rdbms::RowId ignored,
+        data->Insert({Value(atom.subject), Value(atom.subject_class),
+                      Value(atom.predicate), Value(atom.object.text())}));
+    (void)ignored;
+  }
+  return Status::OK();
+}
+
+Status RemoveResourceAtoms(rdbms::Database* db,
+                           const std::vector<std::string>& uri_references) {
+  Table* data = db->GetTable(kFilterData);
+  if (data == nullptr) {
+    return Status::Internal("FilterData table missing");
+  }
+  for (const std::string& uri : uri_references) {
+    data->DeleteWhere(
+        {ScanCondition{FilterDataCols::kUri, CompareOp::kEq, Value(uri)}});
+  }
+  return Status::OK();
+}
+
+rdf::Statements AtomsOfResources(
+    const rdbms::Database& db,
+    const std::vector<std::string>& uri_references) {
+  const Table* data = db.GetTable(kFilterData);
+  rdf::Statements out;
+  for (const std::string& uri : uri_references) {
+    for (const Row& row : data->SelectRows(
+             {ScanCondition{FilterDataCols::kUri, CompareOp::kEq,
+                            Value(uri)}})) {
+      rdf::Statement atom;
+      atom.subject = row[FilterDataCols::kUri].as_string();
+      atom.subject_class = row[FilterDataCols::kClass].as_string();
+      atom.predicate = row[FilterDataCols::kProperty].as_string();
+      const std::string& value = row[FilterDataCols::kValue].as_string();
+      // FilterData stores values untyped; reconstruct the reference kind
+      // for the synthetic subject atom, which is all the engine needs.
+      atom.object = atom.predicate == rdf::kRdfSubjectProperty
+                        ? rdf::PropertyValue::ResourceRef(value)
+                        : rdf::PropertyValue::Literal(value);
+      out.push_back(std::move(atom));
+    }
+  }
+  return out;
+}
+
+Status PurgeMaterialized(
+    rdbms::Database* db,
+    const std::map<int64_t, std::vector<std::string>>& matches) {
+  Table* mat = db->GetTable(kMaterializedResults);
+  if (mat == nullptr) {
+    return Status::Internal("MaterializedResults table missing");
+  }
+  for (const auto& [rule_id, uris] : matches) {
+    for (const std::string& uri : uris) {
+      mat->DeleteWhere(
+          {ScanCondition{ResultCols::kUri, CompareOp::kEq, Value(uri)},
+           ScanCondition{ResultCols::kRuleId, CompareOp::kEq,
+                         Value(rule_id)}});
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mdv::filter

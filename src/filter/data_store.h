@@ -1,0 +1,38 @@
+#ifndef MDV_FILTER_DATA_STORE_H_
+#define MDV_FILTER_DATA_STORE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rdbms/database.h"
+#include "rdf/statement.h"
+
+namespace mdv::filter {
+
+/// Inserts document atoms into FilterData (§3.2, Figure 4).
+Status InsertAtoms(rdbms::Database* db, const rdf::Statements& atoms);
+
+/// Removes every FilterData atom of the given resources.
+Status RemoveResourceAtoms(rdbms::Database* db,
+                           const std::vector<std::string>& uri_references);
+
+/// Reads the current FilterData atoms of the given resources (used as
+/// the delta of the candidate pass, §3.5). Resources without atoms
+/// (deleted) contribute nothing.
+rdf::Statements AtomsOfResources(
+    const rdbms::Database& db,
+    const std::vector<std::string>& uri_references);
+
+/// Deletes the given (rule → uris) pairs from MaterializedResults. The
+/// update protocol purges exactly the pairs re-derived by the
+/// original-version probe pass, which covers every materialized match
+/// whose derivation involved a changed resource.
+Status PurgeMaterialized(
+    rdbms::Database* db,
+    const std::map<int64_t, std::vector<std::string>>& matches);
+
+}  // namespace mdv::filter
+
+#endif  // MDV_FILTER_DATA_STORE_H_

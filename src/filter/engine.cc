@@ -1,0 +1,566 @@
+#include "filter/engine.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "common/string_util.h"
+#include "filter/tables.h"
+#include "rdbms/table.h"
+#include "rdf/document.h"
+
+namespace mdv::filter {
+
+namespace {
+
+using rdbms::CompareOp;
+using rdbms::Row;
+using rdbms::ScanCondition;
+using rdbms::Table;
+using rdbms::Value;
+
+Value Int(int64_t v) { return Value(v); }
+Value Str(std::string s) { return Value(std::move(s)); }
+
+/// Compares two stored texts under `op`, numerically when both parse as
+/// numbers (the reconversion of §3.3.4), lexicographically otherwise.
+bool CompareTexts(const std::string& lhs, CompareOp op,
+                  const std::string& rhs) {
+  if (op == CompareOp::kContains) return Contains(lhs, rhs);
+  Value a{lhs};
+  Value b{rhs};
+  auto an = a.TryNumeric();
+  auto bn = b.TryNumeric();
+  if (an && bn) {
+    return rdbms::EvaluateCompare(Value(*an), op, Value(*bn));
+  }
+  return rdbms::EvaluateCompare(a, op, b);
+}
+
+/// Numeric comparison only; false when either side is not a number.
+/// Used for the ordered-operator rule tables, whose constants are
+/// numeric by construction (§3.3.4).
+bool CompareNumericTexts(const std::string& lhs, CompareOp op,
+                         const std::string& rhs) {
+  auto an = Value{lhs}.TryNumeric();
+  auto bn = Value{rhs}.TryNumeric();
+  if (!an || !bn) return false;
+  return rdbms::EvaluateCompare(Value(*an), op, Value(*bn));
+}
+
+}  // namespace
+
+Status FilterEngine::MatchTriggeringRules(
+    const rdf::Statements& delta, std::map<int64_t, MatchSet>* current) const {
+  const Table* cls_rules = db_->GetTable(kFilterRulesCLS);
+  const Table* eqs = db_->GetTable(kFilterRulesEQS);
+  const Table* eqn = db_->GetTable(kFilterRulesEQN);
+  const Table* ne = db_->GetTable(kFilterRulesNE);
+  const Table* lt = db_->GetTable(kFilterRulesLT);
+  const Table* le = db_->GetTable(kFilterRulesLE);
+  const Table* gt = db_->GetTable(kFilterRulesGT);
+  const Table* ge = db_->GetTable(kFilterRulesGE);
+  const Table* con = db_->GetTable(kFilterRulesCON);
+
+  auto add = [&](int64_t rule_id, const std::string& uri) {
+    (*current)[rule_id].insert(uri);
+  };
+
+  for (const rdf::Statement& atom : delta) {
+    const std::string& cls = atom.subject_class;
+    const std::string& prop = atom.predicate;
+    const std::string text = atom.object.text();
+
+    // Predicate-less triggering rules match any resource of their class;
+    // drive them from the synthetic rdf#subject atom (one per resource).
+    if (prop == rdf::kRdfSubjectProperty) {
+      for (const Row& row : cls_rules->SelectRows(
+               {ScanCondition{1, CompareOp::kEq, Str(cls)}})) {
+        add(row[0].as_int(), atom.subject);
+      }
+    }
+
+    // String equality: one point lookup on the value index. This is the
+    // access path that makes OID rules independent of the rule base size
+    // (Figure 11).
+    for (const Row& row : eqs->SelectRows(
+             {ScanCondition{FilterRulesCols::kValue, CompareOp::kEq,
+                            Str(text)},
+              ScanCondition{FilterRulesCols::kClass, CompareOp::kEq,
+                            Str(cls)},
+              ScanCondition{FilterRulesCols::kProperty, CompareOp::kEq,
+                            Str(prop)}})) {
+      add(row[FilterRulesCols::kRuleId].as_int(), atom.subject);
+    }
+
+    // Operator tables are probed by property and the constant is
+    // reconverted per row (§3.3.4) — their cost grows with the number of
+    // rules on the same property (Figures 12-15).
+    auto probe = [&](const Table* table, CompareOp op, bool numeric_only) {
+      for (const Row& row : table->SelectRows(
+               {ScanCondition{FilterRulesCols::kProperty, CompareOp::kEq,
+                              Str(prop)},
+                ScanCondition{FilterRulesCols::kClass, CompareOp::kEq,
+                              Str(cls)}})) {
+        const std::string& constant =
+            row[FilterRulesCols::kValue].as_string();
+        bool matched = numeric_only ? CompareNumericTexts(text, op, constant)
+                                    : CompareTexts(text, op, constant);
+        if (matched) {
+          add(row[FilterRulesCols::kRuleId].as_int(), atom.subject);
+        }
+      }
+    };
+    probe(eqn, CompareOp::kEq, /*numeric_only=*/true);
+    probe(ne, CompareOp::kNe, /*numeric_only=*/false);
+    probe(lt, CompareOp::kLt, /*numeric_only=*/true);
+    probe(le, CompareOp::kLe, /*numeric_only=*/true);
+    probe(gt, CompareOp::kGt, /*numeric_only=*/true);
+    probe(ge, CompareOp::kGe, /*numeric_only=*/true);
+    probe(con, CompareOp::kContains, /*numeric_only=*/false);
+  }
+  return Status::OK();
+}
+
+bool FilterEngine::IsMaterialized(int64_t rule_id,
+                                  const std::string& uri) const {
+  const Table* mat = db_->GetTable(kMaterializedResults);
+  return !mat->SelectRowIds(
+              {ScanCondition{ResultCols::kUri, CompareOp::kEq, Str(uri)},
+               ScanCondition{ResultCols::kRuleId, CompareOp::kEq,
+                             Int(rule_id)}})
+              .empty();
+}
+
+std::vector<std::string> FilterEngine::MaterializedOf(int64_t rule_id) const {
+  const Table* mat = db_->GetTable(kMaterializedResults);
+  std::vector<std::string> out;
+  for (const Row& row : mat->SelectRows({ScanCondition{
+           ResultCols::kRuleId, CompareOp::kEq, Int(rule_id)}})) {
+    out.push_back(row[ResultCols::kUri].as_string());
+  }
+  return out;
+}
+
+std::vector<std::string> FilterEngine::SideValues(
+    const std::string& uri, const std::string& property) const {
+  if (property.empty()) return {uri};
+  const Table* data = db_->GetTable(kFilterData);
+  std::vector<std::string> out;
+  for (const Row& row : data->SelectRows(
+           {ScanCondition{FilterDataCols::kUri, CompareOp::kEq, Str(uri)},
+            ScanCondition{FilterDataCols::kProperty, CompareOp::kEq,
+                          Str(property)}})) {
+    out.push_back(row[FilterDataCols::kValue].as_string());
+  }
+  return out;
+}
+
+std::vector<std::string> FilterEngine::PartnersByValue(
+    const std::string& value, const std::string& property,
+    const std::string& partner_class) const {
+  if (property.empty()) return {value};  // The value *is* the partner uri.
+  const Table* data = db_->GetTable(kFilterData);
+  std::vector<std::string> out;
+  for (const Row& row : data->SelectRows(
+           {ScanCondition{FilterDataCols::kValue, CompareOp::kEq, Str(value)},
+            ScanCondition{FilterDataCols::kProperty, CompareOp::kEq,
+                          Str(property)},
+            ScanCondition{FilterDataCols::kClass, CompareOp::kEq,
+                          Str(partner_class)}})) {
+    out.push_back(row[FilterDataCols::kUri].as_string());
+  }
+  return out;
+}
+
+Status FilterEngine::AppendMaterialized(int64_t rule_id,
+                                        const std::vector<std::string>& uris) {
+  Table* mat = db_->GetTable(kMaterializedResults);
+  for (const std::string& uri : uris) {
+    MDV_ASSIGN_OR_RETURN(rdbms::RowId ignored,
+                         mat->Insert({Str(uri), Int(rule_id)}));
+    (void)ignored;
+  }
+  return Status::OK();
+}
+
+Status FilterEngine::WriteResultObjects(
+    const std::map<int64_t, MatchSet>& current) {
+  Table* ro = db_->GetTable(kResultObjects);
+  ro->Truncate();
+  for (const auto& [rule_id, uris] : current) {
+    for (const std::string& uri : uris) {
+      MDV_ASSIGN_OR_RETURN(rdbms::RowId ignored,
+                           ro->Insert({Str(uri), Int(rule_id)}));
+      (void)ignored;
+    }
+  }
+  return Status::OK();
+}
+
+Result<FilterRunResult> FilterEngine::Run(const rdf::Statements& delta,
+                                          const FilterOptions& options) {
+  FilterRunResult result;
+  result.stats.delta_atoms = static_cast<int64_t>(delta.size());
+  std::map<int64_t, MatchSet> all_matches;
+
+  // ---- Initial iteration: determine affected triggering rules. --------
+  std::map<int64_t, MatchSet> current;
+  MDV_RETURN_IF_ERROR(MatchTriggeringRules(delta, &current));
+
+  if (options.update_materialized) {
+    // Suppress matches that were derived (and published) by earlier runs.
+    for (auto it = current.begin(); it != current.end();) {
+      MatchSet& uris = it->second;
+      for (auto uit = uris.begin(); uit != uris.end();) {
+        if (IsMaterialized(it->first, *uit)) {
+          uit = uris.erase(uit);
+        } else {
+          ++uit;
+        }
+      }
+      it = uris.empty() ? current.erase(it) : std::next(it);
+    }
+  }
+
+  // Reverse index of this run's matches (uri → rules), used by the
+  // grouped join evaluation to split combined results back to members.
+  std::unordered_map<std::string, std::set<int64_t>> run_rules_of_uri;
+
+  // All rules whose result set contains `uri`: this run's matches plus
+  // the materialized state (one indexed lookup).
+  const rdbms::Table* materialized_table = db_->GetTable(kMaterializedResults);
+  auto rules_containing = [&](const std::string& uri) {
+    std::set<int64_t> rules;
+    auto rit = run_rules_of_uri.find(uri);
+    if (rit != run_rules_of_uri.end()) rules = rit->second;
+    for (const Row& row : materialized_table->SelectRows(
+             {ScanCondition{ResultCols::kUri, CompareOp::kEq, Value(uri)}})) {
+      rules.insert(row[ResultCols::kRuleId].as_int());
+    }
+    return rules;
+  };
+
+  for (const auto& [rule_id, uris] : current) {
+    result.stats.triggering_matches += static_cast<int64_t>(uris.size());
+  }
+
+  // ---- Iterate join-rule evaluation until no new matches. --------------
+  while (!current.empty()) {
+    MDV_RETURN_IF_ERROR(WriteResultObjects(current));
+    for (const auto& [rule_id, uris] : current) {
+      MatchSet& sink = all_matches[rule_id];
+      sink.insert(uris.begin(), uris.end());
+      for (const std::string& uri : uris) {
+        run_rules_of_uri[uri].insert(rule_id);
+      }
+    }
+    if (options.update_materialized) {
+      for (const auto& [rule_id, uris] : current) {
+        if (store_->HasDependents(rule_id)) {
+          MDV_RETURN_IF_ERROR(AppendMaterialized(
+              rule_id, {uris.begin(), uris.end()}));
+        }
+      }
+    }
+
+    // Agenda: rule groups with at least one member receiving new input.
+    std::map<int64_t, std::set<int64_t>> agenda;
+    for (const auto& [rule_id, uris] : current) {
+      for (const RuleStore::Dependent& dep : store_->DependentsOf(rule_id)) {
+        agenda[dep.group_id].insert(dep.target);
+      }
+    }
+    if (agenda.empty()) break;
+    ++result.iterations;
+
+    std::map<int64_t, MatchSet> next;
+    for (const auto& [group_id, members] : agenda) {
+      ++result.stats.groups_evaluated;
+      result.stats.members_evaluated += static_cast<int64_t>(members.size());
+      MDV_ASSIGN_OR_RETURN(RuleStore::GroupSpec spec,
+                           store_->GroupSpecOf(group_id));
+
+      // Member wiring: which (left, right) input pairs feed which
+      // members. Splitting the combined result back to members is a map
+      // lookup per candidate pair (§3.3.3, Figure 6).
+      std::map<std::pair<int64_t, int64_t>, std::vector<int64_t>>
+          members_by_children;
+      std::set<int64_t> left_children;
+      std::set<int64_t> right_children;
+      std::map<int64_t, RuleStore::JoinInputs> inputs_of;
+      for (int64_t member : members) {
+        MDV_ASSIGN_OR_RETURN(RuleStore::JoinInputs inputs,
+                             store_->InputsOf(member));
+        members_by_children[{inputs.left, inputs.right}].push_back(member);
+        left_children.insert(inputs.left);
+        right_children.insert(inputs.right);
+        inputs_of.emplace(member, inputs);
+      }
+
+      std::map<int64_t, MatchSet> out;  // member → registered resources.
+
+      // Routes one joined pair to every member whose inputs contain the
+      // two resources.
+      auto emit_pair = [&](const std::string& left_uri,
+                           const std::string& right_uri) {
+        std::set<int64_t> lrules = rules_containing(left_uri);
+        std::set<int64_t> rrules = rules_containing(right_uri);
+        const std::string& registered =
+            spec.register_side == 0 ? left_uri : right_uri;
+        for (int64_t lc : lrules) {
+          if (left_children.count(lc) == 0) continue;
+          for (int64_t rc : rrules) {
+            if (right_children.count(rc) == 0) continue;
+            auto mit = members_by_children.find({lc, rc});
+            if (mit == members_by_children.end()) continue;
+            for (int64_t member : mit->second) {
+              out[member].insert(registered);
+            }
+          }
+        }
+      };
+
+      if (spec.op == CompareOp::kEq) {
+        // Combined, delta-driven equality join, evaluated once for the
+        // whole group: resources newly matched this iteration on either
+        // side produce candidate pairs via the shared join predicate;
+        // the pairs are split to members afterwards.
+        auto drive = [&](bool new_is_left) {
+          const std::set<int64_t>& children =
+              new_is_left ? left_children : right_children;
+          const std::string& new_prop =
+              new_is_left ? spec.lhs_property : spec.rhs_property;
+          const std::string& other_prop =
+              new_is_left ? spec.rhs_property : spec.lhs_property;
+          const std::string& other_class =
+              new_is_left ? spec.right_class : spec.left_class;
+          MatchSet new_uris;
+          for (int64_t child : children) {
+            auto cit = current.find(child);
+            if (cit == current.end()) continue;
+            new_uris.insert(cit->second.begin(), cit->second.end());
+          }
+          for (const std::string& uri : new_uris) {
+            for (const std::string& value : SideValues(uri, new_prop)) {
+              for (const std::string& partner :
+                   PartnersByValue(value, other_prop, other_class)) {
+                if (new_is_left) {
+                  emit_pair(uri, partner);
+                } else {
+                  emit_pair(partner, uri);
+                }
+              }
+            }
+          }
+        };
+        drive(/*new_is_left=*/true);
+        drive(/*new_is_left=*/false);
+      } else {
+        // Non-equality joins cannot use the reverse value lookup; they
+        // scan the other side's results per member (rare in practice).
+        for (int64_t member : members) {
+          const RuleStore::JoinInputs& inputs = inputs_of.at(member);
+          auto drive = [&](int64_t new_child, int64_t other_child,
+                           bool new_is_left) {
+            auto it = current.find(new_child);
+            if (it == current.end()) return;
+            const std::string& new_prop =
+                new_is_left ? spec.lhs_property : spec.rhs_property;
+            const std::string& other_prop =
+                new_is_left ? spec.rhs_property : spec.lhs_property;
+            const bool register_new_side =
+                (spec.register_side == 0) == new_is_left;
+            std::vector<std::string> others = MaterializedOf(other_child);
+            auto oit = all_matches.find(other_child);
+            if (oit != all_matches.end()) {
+              others.insert(others.end(), oit->second.begin(),
+                            oit->second.end());
+            }
+            for (const std::string& uri : it->second) {
+              for (const std::string& value : SideValues(uri, new_prop)) {
+                for (const std::string& partner : others) {
+                  for (const std::string& pv :
+                       SideValues(partner, other_prop)) {
+                    bool ok = new_is_left ? CompareTexts(value, spec.op, pv)
+                                          : CompareTexts(pv, spec.op, value);
+                    if (ok) {
+                      out[member].insert(register_new_side ? uri : partner);
+                    }
+                  }
+                }
+              }
+            }
+          };
+          drive(inputs.left, inputs.right, /*new_is_left=*/true);
+          drive(inputs.right, inputs.left, /*new_is_left=*/false);
+        }
+      }
+
+      // Keep only matches that are new per member.
+      for (auto& [member, uris] : out) {
+        MatchSet fresh;
+        for (const std::string& uri : uris) {
+          auto known = all_matches.find(member);
+          if (known != all_matches.end() && known->second.count(uri) != 0) {
+            continue;
+          }
+          if (options.update_materialized && IsMaterialized(member, uri)) {
+            continue;
+          }
+          fresh.insert(uri);
+        }
+        if (!fresh.empty()) {
+          result.stats.join_matches += static_cast<int64_t>(fresh.size());
+          next[member].insert(fresh.begin(), fresh.end());
+        }
+      }
+    }
+    current = std::move(next);
+  }
+
+  for (auto& [rule_id, uris] : all_matches) {
+    result.matches[rule_id] =
+        std::vector<std::string>(uris.begin(), uris.end());
+    std::sort(result.matches[rule_id].begin(), result.matches[rule_id].end());
+  }
+  return result;
+}
+
+Result<FilterRunResult> FilterEngine::EvaluateNewRules(
+    const std::vector<int64_t>& new_rules) {
+  FilterRunResult result;
+  std::map<int64_t, MatchSet> fresh;
+
+  const Table* atomic = db_->GetTable(kAtomicRules);
+  const Table* data = db_->GetTable(kFilterData);
+
+  // Returns the full result set of `rule_id`, evaluating it from scratch
+  // (recursively) when it is new or was never materialized.
+  std::function<Result<MatchSet>(int64_t)> ensure =
+      [&](int64_t rule_id) -> Result<MatchSet> {
+    auto fit = fresh.find(rule_id);
+    if (fit != fresh.end()) return fit->second;
+    std::vector<std::string> mat = MaterializedOf(rule_id);
+    bool is_new = std::find(new_rules.begin(), new_rules.end(), rule_id) !=
+                  new_rules.end();
+    if (!is_new && !mat.empty()) {
+      return MatchSet(mat.begin(), mat.end());
+    }
+
+    std::vector<Row> rows = atomic->SelectRows({ScanCondition{
+        AtomicRulesCols::kRuleId, CompareOp::kEq, Int(rule_id)}});
+    if (rows.empty()) {
+      return Status::NotFound("atomic rule " + std::to_string(rule_id));
+    }
+    const Row& rule = rows[0];
+    MatchSet out;
+
+    if (rule[AtomicRulesCols::kKind].as_string() == "T") {
+      // Reconstruct the triggering spec from the FilterRules tables and
+      // evaluate it over the full FilterData contents.
+      const std::string& cls = rule[AtomicRulesCols::kType].as_string();
+      auto scan_rule_rows = [&](const std::string& table_name, CompareOp op,
+                                bool numeric_only) {
+        const Table* table = db_->GetTable(table_name);
+        for (const Row& rrow : table->SelectRows({ScanCondition{
+                 FilterRulesCols::kRuleId, CompareOp::kEq, Int(rule_id)}})) {
+          const std::string& prop =
+              rrow[FilterRulesCols::kProperty].as_string();
+          const std::string& constant =
+              rrow[FilterRulesCols::kValue].as_string();
+          for (const Row& drow : data->SelectRows(
+                   {ScanCondition{FilterDataCols::kProperty, CompareOp::kEq,
+                                  Str(prop)},
+                    ScanCondition{FilterDataCols::kClass, CompareOp::kEq,
+                                  Str(cls)}})) {
+            const std::string& text =
+                drow[FilterDataCols::kValue].as_string();
+            bool matched = numeric_only
+                               ? CompareNumericTexts(text, op, constant)
+                               : CompareTexts(text, op, constant);
+            if (matched) {
+              out.insert(drow[FilterDataCols::kUri].as_string());
+            }
+          }
+        }
+      };
+      // Predicate-less class rules.
+      const Table* cls_rules = db_->GetTable(kFilterRulesCLS);
+      if (!cls_rules
+               ->SelectRowIds({ScanCondition{FilterRulesCols::kRuleId,
+                                             CompareOp::kEq, Int(rule_id)}})
+               .empty()) {
+        for (const Row& drow : data->SelectRows(
+                 {ScanCondition{FilterDataCols::kProperty, CompareOp::kEq,
+                                Str(rdf::kRdfSubjectProperty)},
+                  ScanCondition{FilterDataCols::kClass, CompareOp::kEq,
+                                Str(cls)}})) {
+          out.insert(drow[FilterDataCols::kUri].as_string());
+        }
+      }
+      scan_rule_rows(kFilterRulesEQS, CompareOp::kEq, false);
+      scan_rule_rows(kFilterRulesEQN, CompareOp::kEq, true);
+      scan_rule_rows(kFilterRulesNE, CompareOp::kNe, false);
+      scan_rule_rows(kFilterRulesLT, CompareOp::kLt, true);
+      scan_rule_rows(kFilterRulesLE, CompareOp::kLe, true);
+      scan_rule_rows(kFilterRulesGT, CompareOp::kGt, true);
+      scan_rule_rows(kFilterRulesGE, CompareOp::kGe, true);
+      scan_rule_rows(kFilterRulesCON, CompareOp::kContains, false);
+    } else {
+      // Join rule: evaluate over the full results of both children.
+      MDV_ASSIGN_OR_RETURN(RuleStore::JoinInputs inputs,
+                           store_->InputsOf(rule_id));
+      MDV_ASSIGN_OR_RETURN(
+          RuleStore::GroupSpec spec,
+          store_->GroupSpecOf(rule[AtomicRulesCols::kGroupId].as_int()));
+      MDV_ASSIGN_OR_RETURN(MatchSet left, ensure(inputs.left));
+      MDV_ASSIGN_OR_RETURN(MatchSet right, ensure(inputs.right));
+      for (const std::string& uri : left) {
+        for (const std::string& value : SideValues(uri, spec.lhs_property)) {
+          if (spec.op == CompareOp::kEq) {
+            for (const std::string& partner :
+                 PartnersByValue(value, spec.rhs_property,
+                                 spec.right_class)) {
+              if (right.count(partner) != 0) {
+                out.insert(spec.register_side == 0 ? uri : partner);
+              }
+            }
+          } else {
+            for (const std::string& partner : right) {
+              for (const std::string& pv :
+                   SideValues(partner, spec.rhs_property)) {
+                if (CompareTexts(value, spec.op, pv)) {
+                  out.insert(spec.register_side == 0 ? uri : partner);
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+
+    fresh[rule_id] = out;
+    if (store_->HasDependents(rule_id) && !out.empty()) {
+      // Materialize only rows not present yet (a re-evaluated rule may
+      // already be partially materialized).
+      std::vector<std::string> missing;
+      for (const std::string& uri : out) {
+        if (!IsMaterialized(rule_id, uri)) missing.push_back(uri);
+      }
+      MDV_RETURN_IF_ERROR(AppendMaterialized(rule_id, missing));
+    }
+    return out;
+  };
+
+  for (int64_t rule_id : new_rules) {
+    MDV_ASSIGN_OR_RETURN(MatchSet matches, ensure(rule_id));
+    result.matches[rule_id] =
+        std::vector<std::string>(matches.begin(), matches.end());
+    std::sort(result.matches[rule_id].begin(),
+              result.matches[rule_id].end());
+  }
+  return result;
+}
+
+}  // namespace mdv::filter

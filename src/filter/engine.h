@@ -1,0 +1,126 @@
+#ifndef MDV_FILTER_ENGINE_H_
+#define MDV_FILTER_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "filter/rule_store.h"
+#include "rdbms/database.h"
+#include "rdf/statement.h"
+
+namespace mdv::filter {
+
+/// Execution options for one filter run.
+struct FilterOptions {
+  /// When true (normal registration of new metadata), newly matched
+  /// resources are appended to MaterializedResults and matches already
+  /// materialized are suppressed from the output (they were published
+  /// before). When false (the probe passes of the update/delete protocol,
+  /// §3.5), the run re-derives matches for existing data and writes
+  /// nothing.
+  bool update_materialized = true;
+};
+
+/// Execution counters of one filter run, exposed for benchmarks and for
+/// observability of the algorithm's behaviour.
+struct FilterRunStats {
+  int64_t delta_atoms = 0;          ///< Input atoms of the run.
+  int64_t triggering_matches = 0;   ///< (rule, uri) pairs after the
+                                    ///< initial iteration (post-dedup).
+  int64_t groups_evaluated = 0;     ///< Rule-group evaluations.
+  int64_t members_evaluated = 0;    ///< Join-rule members with new input.
+  int64_t join_matches = 0;         ///< New (join rule, uri) pairs.
+};
+
+/// Result of one filter run: for every affected atomic rule, the URI
+/// references of the resources it newly matched, plus run statistics.
+struct FilterRunResult {
+  std::map<int64_t, std::vector<std::string>> matches;
+  int iterations = 0;  ///< Join-rule iterations after the initial step.
+  FilterRunStats stats;
+
+  const std::vector<std::string>* MatchesFor(int64_t rule_id) const {
+    auto it = matches.find(rule_id);
+    return it == matches.end() ? nullptr : &it->second;
+  }
+};
+
+/// The filter algorithm (§3.4): matches document atoms against the
+/// decomposed rule base held in the filter tables.
+///
+/// A run proceeds in two phases. The *initial iteration* joins the delta
+/// atoms with the FilterRules* tables to determine all affected
+/// triggering rules. Subsequent iterations evaluate the join rules that
+/// depend on the rules matched so far (via RuleDependencies), rule group
+/// by rule group, incrementally: only resources newly matched this run
+/// drive the evaluation, with the other join side completed from
+/// MaterializedResults. The run terminates when an iteration produces no
+/// new matches; termination is guaranteed because the dependency graph
+/// is acyclic.
+class FilterEngine {
+ public:
+  FilterEngine(rdbms::Database* db, RuleStore* rule_store)
+      : db_(db), store_(rule_store) {}
+
+  FilterEngine(const FilterEngine&) = delete;
+  FilterEngine& operator=(const FilterEngine&) = delete;
+
+  /// Runs the filter with `delta` (the atoms of newly registered or
+  /// re-registered documents) as input. The delta atoms must already be
+  /// present in FilterData if `options.update_materialized` is true
+  /// (join evaluation resolves property values through FilterData).
+  Result<FilterRunResult> Run(const rdf::Statements& delta,
+                              const FilterOptions& options = FilterOptions{});
+
+  /// Seeds newly created atomic rules (from RuleStore::RegisterTree)
+  /// against the *entire* existing FilterData content, materializing
+  /// their results. Use when a subscription arrives after data: existing
+  /// rules keep their state, only `new_rules` (children before parents)
+  /// are evaluated from scratch. Returns matches for the new rules.
+  Result<FilterRunResult> EvaluateNewRules(
+      const std::vector<int64_t>& new_rules);
+
+ private:
+  using MatchSet = std::unordered_set<std::string>;
+
+  /// Initial iteration: delta atoms × FilterRules* tables.
+  Status MatchTriggeringRules(const rdf::Statements& delta,
+                              std::map<int64_t, MatchSet>* current) const;
+
+  /// True if (rule, uri) is in MaterializedResults.
+  bool IsMaterialized(int64_t rule_id, const std::string& uri) const;
+
+  /// All materialized uris of `rule_id`.
+  std::vector<std::string> MaterializedOf(int64_t rule_id) const;
+
+  /// Values of one join side for resource `uri`: the uri itself when
+  /// `property` is empty, else the FilterData values of that property.
+  std::vector<std::string> SideValues(const std::string& uri,
+                                      const std::string& property) const;
+
+  /// Resources of `partner_class` whose `property` has value `value`
+  /// (reverse FilterData lookup); `property` empty means `value` itself
+  /// is the partner uri.
+  std::vector<std::string> PartnersByValue(const std::string& value,
+                                           const std::string& property,
+                                           const std::string& partner_class)
+      const;
+
+  Status AppendMaterialized(int64_t rule_id,
+                            const std::vector<std::string>& uris);
+
+  /// Mirrors the current iteration's matches into the ResultObjects
+  /// table (Figure 9).
+  Status WriteResultObjects(const std::map<int64_t, MatchSet>& current);
+
+  rdbms::Database* db_;
+  RuleStore* store_;
+};
+
+}  // namespace mdv::filter
+
+#endif  // MDV_FILTER_ENGINE_H_

@@ -1,0 +1,362 @@
+#include "filter/rule_store.h"
+
+#include <cassert>
+
+#include "filter/tables.h"
+#include "rdbms/table.h"
+
+namespace mdv::filter {
+
+namespace {
+
+using rdbms::CompareOp;
+using rdbms::Row;
+using rdbms::ScanCondition;
+using rdbms::Table;
+using rdbms::Value;
+
+Value Int(int64_t v) { return Value(v); }
+Value Str(std::string s) { return Value(std::move(s)); }
+
+Result<CompareOp> ParseOp(const std::string& text) {
+  if (text == "=") return CompareOp::kEq;
+  if (text == "!=") return CompareOp::kNe;
+  if (text == "<") return CompareOp::kLt;
+  if (text == "<=") return CompareOp::kLe;
+  if (text == ">") return CompareOp::kGt;
+  if (text == ">=") return CompareOp::kGe;
+  if (text == "contains") return CompareOp::kContains;
+  return Status::Internal("unknown operator '" + text + "' in RuleGroups");
+}
+
+}  // namespace
+
+RuleStore::RuleStore(rdbms::Database* db, RuleStoreOptions options)
+    : db_(db), options_(options) {
+  // Resume id counters from existing content (e.g. a reopened database).
+  const Table* atomic = db_->GetTable(kAtomicRules);
+  assert(atomic != nullptr && "filter tables missing; call CreateFilterTables");
+  atomic->Scan([&](rdbms::RowId, const Row& row) {
+    next_rule_id_ = std::max(next_rule_id_,
+                             row[AtomicRulesCols::kRuleId].as_int() + 1);
+  });
+  const Table* groups = db_->GetTable(kRuleGroups);
+  groups->Scan([&](rdbms::RowId, const Row& row) {
+    next_group_id_ = std::max(next_group_id_,
+                              row[RuleGroupsCols::kGroupId].as_int() + 1);
+  });
+}
+
+std::optional<int64_t> RuleStore::LookupByText(const std::string& text) const {
+  const Table* atomic = db_->GetTable(kAtomicRules);
+  std::vector<Row> rows = atomic->SelectRows(
+      {ScanCondition{AtomicRulesCols::kText, CompareOp::kEq, Str(text)}});
+  if (rows.empty()) return std::nullopt;
+  return rows[0][AtomicRulesCols::kRuleId].as_int();
+}
+
+Status RuleStore::InsertTriggeringRow(int64_t rule_id,
+                                      const rules::TriggeringSpec& spec) {
+  if (!spec.predicate) {
+    Table* cls = db_->GetTable(kFilterRulesCLS);
+    MDV_ASSIGN_OR_RETURN(rdbms::RowId ignored,
+                         cls->Insert({Int(rule_id), Str(spec.class_name)}));
+    (void)ignored;
+    return Status::OK();
+  }
+  const rules::TriggeringPredicate& pred = *spec.predicate;
+  std::string table_name =
+      FilterRulesTableFor(pred.op, pred.constant_is_number);
+  Table* table = db_->GetTable(table_name);
+  MDV_ASSIGN_OR_RETURN(
+      rdbms::RowId ignored,
+      table->Insert({Int(rule_id), Str(spec.class_name), Str(pred.property),
+                     Str(pred.constant)}));
+  (void)ignored;
+  return Status::OK();
+}
+
+Result<int64_t> RuleStore::GetOrCreateGroup(const rules::JoinSpec& spec,
+                                            int64_t owner_rule_id) {
+  Table* groups = db_->GetTable(kRuleGroups);
+  std::string key = options_.use_rule_groups
+                        ? spec.GroupKey()
+                        : "solo|" + std::to_string(owner_rule_id);
+  std::vector<rdbms::RowId> existing = groups->SelectRowIds(
+      {ScanCondition{RuleGroupsCols::kKey, CompareOp::kEq, Str(key)}});
+  if (!existing.empty()) {
+    Row row = *groups->Get(existing[0]);
+    row[RuleGroupsCols::kMemberCount] =
+        Int(row[RuleGroupsCols::kMemberCount].as_int() + 1);
+    int64_t group_id = row[RuleGroupsCols::kGroupId].as_int();
+    MDV_RETURN_IF_ERROR(groups->Update(existing[0], std::move(row)));
+    return group_id;
+  }
+  int64_t group_id = next_group_id_++;
+  MDV_ASSIGN_OR_RETURN(
+      rdbms::RowId ignored,
+      groups->Insert({Int(group_id), Str(key), Str(spec.left_class),
+                      Str(spec.right_class), Str(spec.lhs.property),
+                      Str(rdbms::CompareOpToString(spec.op)),
+                      Str(spec.rhs.property), Int(spec.register_side),
+                      Int(1)}));
+  (void)ignored;
+  return group_id;
+}
+
+Result<int64_t> RuleStore::MergeNode(const rules::DecomposedRule& tree,
+                                     int node_index,
+                                     std::vector<int64_t>* id_of_node,
+                                     std::vector<int64_t>* created) {
+  if ((*id_of_node)[node_index] >= 0) return (*id_of_node)[node_index];
+  const rules::AtomicRuleNode& node = tree.atoms[node_index];
+
+  if (node.is_external) {
+    (*id_of_node)[node_index] = node.external_rule_id;
+    return node.external_rule_id;
+  }
+
+  Table* atomic = db_->GetTable(kAtomicRules);
+
+  if (node.kind == rules::AtomicRuleKind::kTriggering) {
+    std::string text = TriggeringRuleText(node.trigger);
+    if (options_.merge_shared_atoms) {
+      if (std::optional<int64_t> existing = LookupByText(text)) {
+        (*id_of_node)[node_index] = *existing;
+        return *existing;
+      }
+    }
+    int64_t id = next_rule_id_++;
+    if (!options_.merge_shared_atoms) {
+      text += "|#" + std::to_string(id);  // Force private copies.
+    }
+    MDV_ASSIGN_OR_RETURN(
+        rdbms::RowId ignored,
+        atomic->Insert(
+            {Int(id), Str("T"), Str(node.type), Str(text), Int(-1), Int(0)}));
+    (void)ignored;
+    MDV_RETURN_IF_ERROR(InsertTriggeringRow(id, node.trigger));
+    if (created != nullptr) created->push_back(id);
+    (*id_of_node)[node_index] = id;
+    return id;
+  }
+
+  // Join rule: merge children first; their global ids are part of the
+  // canonical text, so equal subtrees dedup bottom-up.
+  MDV_ASSIGN_OR_RETURN(int64_t left,
+                       MergeNode(tree, node.left_child, id_of_node, created));
+  MDV_ASSIGN_OR_RETURN(
+      int64_t right,
+      MergeNode(tree, node.right_child, id_of_node, created));
+  std::string text = JoinRuleText(node.join, left, right);
+  if (options_.merge_shared_atoms) {
+    if (std::optional<int64_t> existing = LookupByText(text)) {
+      (*id_of_node)[node_index] = *existing;
+      return *existing;
+    }
+  }
+  int64_t id = next_rule_id_++;
+  if (!options_.merge_shared_atoms) {
+    text += "|#" + std::to_string(id);
+  }
+  MDV_ASSIGN_OR_RETURN(int64_t group_id, GetOrCreateGroup(node.join, id));
+  MDV_ASSIGN_OR_RETURN(
+      rdbms::RowId ignored,
+      atomic->Insert({Int(id), Str("J"), Str(node.type), Str(text),
+                      Int(group_id), Int(0)}));
+  (void)ignored;
+
+  // Dependency edges; each edge takes a reference on its source.
+  Table* deps = db_->GetTable(kRuleDependencies);
+  MDV_ASSIGN_OR_RETURN(rdbms::RowId e1,
+                       deps->Insert({Int(left), Int(id), Int(0),
+                                     Int(group_id)}));
+  (void)e1;
+  MDV_RETURN_IF_ERROR(AdjustRefcount(left, +1));
+  MDV_ASSIGN_OR_RETURN(rdbms::RowId e2,
+                       deps->Insert({Int(right), Int(id), Int(1),
+                                     Int(group_id)}));
+  (void)e2;
+  MDV_RETURN_IF_ERROR(AdjustRefcount(right, +1));
+
+  if (created != nullptr) created->push_back(id);
+  (*id_of_node)[node_index] = id;
+  return id;
+}
+
+Result<int64_t> RuleStore::RegisterTree(const rules::DecomposedRule& tree,
+                                        std::vector<int64_t>* created) {
+  if (created != nullptr) created->clear();
+  if (tree.root < 0 || tree.atoms.empty()) {
+    return Status::InvalidArgument("empty decomposed rule");
+  }
+  std::vector<int64_t> id_of_node(tree.atoms.size(), -1);
+  MDV_ASSIGN_OR_RETURN(int64_t end_rule,
+                       MergeNode(tree, tree.root, &id_of_node, created));
+  MDV_RETURN_IF_ERROR(AdjustRefcount(end_rule, +1));  // Subscription ref.
+  return end_rule;
+}
+
+Status RuleStore::AdjustRefcount(int64_t rule_id, int64_t delta) {
+  Table* atomic = db_->GetTable(kAtomicRules);
+  std::vector<rdbms::RowId> ids = atomic->SelectRowIds(
+      {ScanCondition{AtomicRulesCols::kRuleId, CompareOp::kEq, Int(rule_id)}});
+  if (ids.empty()) {
+    return Status::NotFound("atomic rule " + std::to_string(rule_id));
+  }
+  Row row = *atomic->Get(ids[0]);
+  int64_t refs = row[AtomicRulesCols::kRefcount].as_int() + delta;
+  row[AtomicRulesCols::kRefcount] = Int(refs);
+  MDV_RETURN_IF_ERROR(atomic->Update(ids[0], std::move(row)));
+  if (refs <= 0) {
+    return RemoveRule(rule_id);
+  }
+  return Status::OK();
+}
+
+Status RuleStore::RemoveRule(int64_t rule_id) {
+  Table* atomic = db_->GetTable(kAtomicRules);
+  std::vector<rdbms::RowId> ids = atomic->SelectRowIds(
+      {ScanCondition{AtomicRulesCols::kRuleId, CompareOp::kEq, Int(rule_id)}});
+  if (ids.empty()) {
+    return Status::NotFound("atomic rule " + std::to_string(rule_id));
+  }
+  Row row = *atomic->Get(ids[0]);
+  const bool is_join = row[AtomicRulesCols::kKind].as_string() == "J";
+  int64_t group_id = row[AtomicRulesCols::kGroupId].as_int();
+  MDV_RETURN_IF_ERROR(atomic->Delete(ids[0]));
+
+  // Drop the triggering-rule index rows.
+  if (!is_join) {
+    Table* cls = db_->GetTable(kFilterRulesCLS);
+    cls->DeleteWhere({ScanCondition{FilterRulesCols::kRuleId, CompareOp::kEq,
+                                    Int(rule_id)}});
+    for (const std::string& name : AllOperatorTables()) {
+      db_->GetTable(name)->DeleteWhere({ScanCondition{
+          FilterRulesCols::kRuleId, CompareOp::kEq, Int(rule_id)}});
+    }
+  }
+
+  // Release group membership.
+  if (is_join && group_id >= 0) {
+    Table* groups = db_->GetTable(kRuleGroups);
+    std::vector<rdbms::RowId> group_rows = groups->SelectRowIds(
+        {ScanCondition{RuleGroupsCols::kGroupId, CompareOp::kEq,
+                       Int(group_id)}});
+    if (!group_rows.empty()) {
+      Row group = *groups->Get(group_rows[0]);
+      int64_t members = group[RuleGroupsCols::kMemberCount].as_int() - 1;
+      if (members <= 0) {
+        MDV_RETURN_IF_ERROR(groups->Delete(group_rows[0]));
+      } else {
+        group[RuleGroupsCols::kMemberCount] = Int(members);
+        MDV_RETURN_IF_ERROR(groups->Update(group_rows[0], std::move(group)));
+      }
+    }
+  }
+
+  // Drop materialized results of this rule.
+  db_->GetTable(kMaterializedResults)
+      ->DeleteWhere(
+          {ScanCondition{ResultCols::kRuleId, CompareOp::kEq, Int(rule_id)}});
+
+  // Remove incoming edges (this rule as target) and release the sources.
+  Table* deps = db_->GetTable(kRuleDependencies);
+  std::vector<Row> incoming = deps->SelectRows({ScanCondition{
+      RuleDependenciesCols::kTarget, CompareOp::kEq, Int(rule_id)}});
+  deps->DeleteWhere({ScanCondition{RuleDependenciesCols::kTarget,
+                                   CompareOp::kEq, Int(rule_id)}});
+  for (const Row& edge : incoming) {
+    MDV_RETURN_IF_ERROR(
+        AdjustRefcount(edge[RuleDependenciesCols::kSource].as_int(), -1));
+  }
+  return Status::OK();
+}
+
+Status RuleStore::Unregister(int64_t end_rule_id) {
+  return AdjustRefcount(end_rule_id, -1);
+}
+
+std::vector<RuleStore::Dependent> RuleStore::DependentsOf(
+    int64_t source_rule_id) const {
+  const Table* deps = db_->GetTable(kRuleDependencies);
+  std::vector<Row> rows = deps->SelectRows({ScanCondition{
+      RuleDependenciesCols::kSource, CompareOp::kEq, Int(source_rule_id)}});
+  std::vector<Dependent> out;
+  out.reserve(rows.size());
+  for (const Row& row : rows) {
+    out.push_back(Dependent{
+        row[RuleDependenciesCols::kTarget].as_int(),
+        static_cast<int>(row[RuleDependenciesCols::kSide].as_int()),
+        row[RuleDependenciesCols::kGroupId].as_int()});
+  }
+  return out;
+}
+
+Result<RuleStore::JoinInputs> RuleStore::InputsOf(int64_t join_rule_id) const {
+  const Table* deps = db_->GetTable(kRuleDependencies);
+  std::vector<Row> rows = deps->SelectRows({ScanCondition{
+      RuleDependenciesCols::kTarget, CompareOp::kEq, Int(join_rule_id)}});
+  JoinInputs inputs;
+  for (const Row& row : rows) {
+    if (row[RuleDependenciesCols::kSide].as_int() == 0) {
+      inputs.left = row[RuleDependenciesCols::kSource].as_int();
+    } else {
+      inputs.right = row[RuleDependenciesCols::kSource].as_int();
+    }
+  }
+  if (inputs.left < 0 || inputs.right < 0) {
+    return Status::Internal("join rule " + std::to_string(join_rule_id) +
+                            " has incomplete dependency edges");
+  }
+  return inputs;
+}
+
+Result<RuleStore::GroupSpec> RuleStore::GroupSpecOf(int64_t group_id) const {
+  const Table* groups = db_->GetTable(kRuleGroups);
+  std::vector<Row> rows = groups->SelectRows(
+      {ScanCondition{RuleGroupsCols::kGroupId, CompareOp::kEq,
+                     Int(group_id)}});
+  if (rows.empty()) {
+    return Status::NotFound("rule group " + std::to_string(group_id));
+  }
+  const Row& row = rows[0];
+  GroupSpec spec;
+  spec.group_id = group_id;
+  spec.left_class = row[RuleGroupsCols::kLeftClass].as_string();
+  spec.right_class = row[RuleGroupsCols::kRightClass].as_string();
+  spec.lhs_property = row[RuleGroupsCols::kLhsProperty].as_string();
+  MDV_ASSIGN_OR_RETURN(spec.op,
+                       ParseOp(row[RuleGroupsCols::kOp].as_string()));
+  spec.rhs_property = row[RuleGroupsCols::kRhsProperty].as_string();
+  spec.register_side =
+      static_cast<int>(row[RuleGroupsCols::kRegisterSide].as_int());
+  return spec;
+}
+
+Result<std::string> RuleStore::RuleTypeOf(int64_t rule_id) const {
+  const Table* atomic = db_->GetTable(kAtomicRules);
+  std::vector<Row> rows = atomic->SelectRows(
+      {ScanCondition{AtomicRulesCols::kRuleId, CompareOp::kEq, Int(rule_id)}});
+  if (rows.empty()) {
+    return Status::NotFound("atomic rule " + std::to_string(rule_id));
+  }
+  return rows[0][AtomicRulesCols::kType].as_string();
+}
+
+bool RuleStore::HasDependents(int64_t rule_id) const {
+  const Table* deps = db_->GetTable(kRuleDependencies);
+  return !deps->SelectRowIds({ScanCondition{RuleDependenciesCols::kSource,
+                                            CompareOp::kEq, Int(rule_id)}})
+              .empty();
+}
+
+size_t RuleStore::NumAtomicRules() const {
+  return db_->GetTable(kAtomicRules)->NumRows();
+}
+
+size_t RuleStore::NumGroups() const {
+  return db_->GetTable(kRuleGroups)->NumRows();
+}
+
+}  // namespace mdv::filter

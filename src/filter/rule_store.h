@@ -1,0 +1,123 @@
+#ifndef MDV_FILTER_RULE_STORE_H_
+#define MDV_FILTER_RULE_STORE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "rdbms/database.h"
+#include "rules/atomic_rule.h"
+
+namespace mdv::filter {
+
+/// Behavioural knobs of the rule store, exposed for the ablation
+/// benchmarks (DESIGN.md):
+///  - `merge_shared_atoms` implements §3.3.2's duplicate elimination when
+///    merging dependency trees; off, every subscription gets private
+///    copies of its atomic rules.
+///  - `use_rule_groups` implements §3.3.3; off, every join rule gets a
+///    singleton group, so grouped evaluation degenerates to per-rule
+///    evaluation.
+struct RuleStoreOptions {
+  bool merge_shared_atoms = true;
+  bool use_rule_groups = true;
+};
+
+/// Persistent representation of the global dependency graph (§3.3.2) in
+/// the filter tables: AtomicRules, RuleDependencies, RuleGroups, plus the
+/// FilterRules* index tables for triggering rules. Atomic rules are
+/// reference-counted: a rule's count is the number of join rules that
+/// consume it plus the number of subscriptions whose end rule it is;
+/// unregistering cascades deletion of orphaned subtrees.
+class RuleStore {
+ public:
+  /// `db` must already contain the filter tables (CreateFilterTables).
+  explicit RuleStore(rdbms::Database* db,
+                     RuleStoreOptions options = RuleStoreOptions{});
+
+  RuleStore(const RuleStore&) = delete;
+  RuleStore& operator=(const RuleStore&) = delete;
+
+  /// Merges the dependency tree of one decomposed subscription rule into
+  /// the global dependency graph, reusing existing atomic rules with the
+  /// same canonical text. Returns the global id of the end rule and
+  /// takes one subscription reference on it. If `created` is non-null it
+  /// receives the ids of atomic rules that did not exist before, in
+  /// topological order (children before parents) — the filter engine
+  /// evaluates exactly these against the existing data to seed a new
+  /// subscription.
+  Result<int64_t> RegisterTree(const rules::DecomposedRule& tree,
+                               std::vector<int64_t>* created = nullptr);
+
+  /// Releases one subscription reference on `end_rule_id`; atomic rules
+  /// whose reference count drops to zero are removed (cascading to the
+  /// rules they depend on), together with their FilterRules rows, group
+  /// membership, dependency edges and materialized results.
+  Status Unregister(int64_t end_rule_id);
+
+  // ---- Queries used by the filter engine. -----------------------------
+
+  /// A dependency edge: `source` feeds input `side` of join rule
+  /// `target`, which belongs to rule group `group_id`.
+  struct Dependent {
+    int64_t target = -1;
+    int side = 0;
+    int64_t group_id = -1;
+  };
+  std::vector<Dependent> DependentsOf(int64_t source_rule_id) const;
+
+  /// The two inputs of a join rule (left, right). A self-join has
+  /// left == right.
+  struct JoinInputs {
+    int64_t left = -1;
+    int64_t right = -1;
+  };
+  Result<JoinInputs> InputsOf(int64_t join_rule_id) const;
+
+  /// The shared evaluation spec of a rule group.
+  struct GroupSpec {
+    int64_t group_id = -1;
+    std::string left_class;
+    std::string right_class;
+    std::string lhs_property;  ///< Empty = the resource itself.
+    rdbms::CompareOp op = rdbms::CompareOp::kEq;
+    std::string rhs_property;
+    int register_side = 0;
+  };
+  Result<GroupSpec> GroupSpecOf(int64_t group_id) const;
+
+  /// Class of the resources `rule_id` registers.
+  Result<std::string> RuleTypeOf(int64_t rule_id) const;
+
+  /// True if some join rule consumes `rule_id` (its results must then be
+  /// materialized, §3.4).
+  bool HasDependents(int64_t rule_id) const;
+
+  size_t NumAtomicRules() const;
+  size_t NumGroups() const;
+
+  const RuleStoreOptions& options() const { return options_; }
+
+ private:
+  Result<int64_t> MergeNode(const rules::DecomposedRule& tree, int node_index,
+                            std::vector<int64_t>* id_of_node,
+                            std::vector<int64_t>* created);
+  Result<int64_t> GetOrCreateGroup(const rules::JoinSpec& spec,
+                                   int64_t owner_rule_id);
+  std::optional<int64_t> LookupByText(const std::string& text) const;
+  Status AdjustRefcount(int64_t rule_id, int64_t delta);
+  Status RemoveRule(int64_t rule_id);
+  Status InsertTriggeringRow(int64_t rule_id,
+                             const rules::TriggeringSpec& spec);
+
+  rdbms::Database* db_;
+  RuleStoreOptions options_;
+  int64_t next_rule_id_ = 1;
+  int64_t next_group_id_ = 1;
+};
+
+}  // namespace mdv::filter
+
+#endif  // MDV_FILTER_RULE_STORE_H_

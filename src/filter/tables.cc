@@ -1,0 +1,168 @@
+#include "filter/tables.h"
+
+#include <vector>
+
+#include "rdbms/schema.h"
+
+namespace mdv::filter {
+
+namespace {
+
+using rdbms::ColumnDef;
+using rdbms::ColumnType;
+using rdbms::Database;
+using rdbms::IndexKind;
+using rdbms::Table;
+using rdbms::TableSchema;
+
+Status CreateTableWithIndexes(
+    Database* db, TableSchema schema,
+    const std::vector<std::pair<std::string, IndexKind>>& indexes,
+    bool create_indexes) {
+  MDV_ASSIGN_OR_RETURN(Table * table, db->CreateTable(std::move(schema)));
+  if (create_indexes) {
+    for (const auto& [column, kind] : indexes) {
+      MDV_RETURN_IF_ERROR(table->CreateIndex(column, kind));
+    }
+  }
+  return Status::OK();
+}
+
+TableSchema RulesTableSchema(const std::string& name) {
+  return TableSchema(name, {ColumnDef{"rule_id", ColumnType::kInt64},
+                            ColumnDef{"class", ColumnType::kString},
+                            ColumnDef{"property", ColumnType::kString},
+                            ColumnDef{"value", ColumnType::kString}});
+}
+
+}  // namespace
+
+Status CreateFilterTables(rdbms::Database* db, const TableOptions& options) {
+  const bool ix = options.create_indexes;
+
+  // Document atoms (Figure 4). The uri index supports purging a
+  // resource's atoms and resolving property values during join
+  // evaluation; the value index supports reverse lookups (value → uris)
+  // when join rules probe the non-delta side.
+  MDV_RETURN_IF_ERROR(CreateTableWithIndexes(
+      db,
+      TableSchema(kFilterData, {ColumnDef{"uri_reference", ColumnType::kString},
+                                ColumnDef{"class", ColumnType::kString},
+                                ColumnDef{"property", ColumnType::kString},
+                                ColumnDef{"value", ColumnType::kString}}),
+      {{"uri_reference", IndexKind::kHash},
+       {"value", IndexKind::kHash},
+       {"property", IndexKind::kHash}},
+      ix));
+
+  // Decomposed rule base (Figure 7). The text index implements duplicate
+  // elimination when merging dependency trees (§3.3.2).
+  MDV_RETURN_IF_ERROR(CreateTableWithIndexes(
+      db,
+      TableSchema(kAtomicRules, {ColumnDef{"rule_id", ColumnType::kInt64},
+                                 ColumnDef{"kind", ColumnType::kString},
+                                 ColumnDef{"type", ColumnType::kString},
+                                 ColumnDef{"text", ColumnType::kString},
+                                 ColumnDef{"group_id", ColumnType::kInt64},
+                                 ColumnDef{"refcount", ColumnType::kInt64}}),
+      {{"rule_id", IndexKind::kHash}, {"text", IndexKind::kHash}}, ix));
+
+  MDV_RETURN_IF_ERROR(CreateTableWithIndexes(
+      db,
+      TableSchema(kRuleDependencies,
+                  {ColumnDef{"source", ColumnType::kInt64},
+                   ColumnDef{"target", ColumnType::kInt64},
+                   ColumnDef{"side", ColumnType::kInt64},
+                   ColumnDef{"group_id", ColumnType::kInt64}}),
+      {{"source", IndexKind::kHash}, {"target", IndexKind::kHash}}, ix));
+
+  MDV_RETURN_IF_ERROR(CreateTableWithIndexes(
+      db,
+      TableSchema(kRuleGroups,
+                  {ColumnDef{"group_id", ColumnType::kInt64},
+                   ColumnDef{"key", ColumnType::kString},
+                   ColumnDef{"left_class", ColumnType::kString},
+                   ColumnDef{"right_class", ColumnType::kString},
+                   ColumnDef{"lhs_property", ColumnType::kString},
+                   ColumnDef{"op", ColumnType::kString},
+                   ColumnDef{"rhs_property", ColumnType::kString},
+                   ColumnDef{"register_side", ColumnType::kInt64},
+                   ColumnDef{"member_count", ColumnType::kInt64}}),
+      {{"group_id", IndexKind::kHash}, {"key", IndexKind::kHash}}, ix));
+
+  // Per-iteration filter step output (Figure 9) and the materialized
+  // results of atomic rules that join rules depend on (§3.4).
+  MDV_RETURN_IF_ERROR(CreateTableWithIndexes(
+      db,
+      TableSchema(kResultObjects,
+                  {ColumnDef{"uri_reference", ColumnType::kString},
+                   ColumnDef{"rule_id", ColumnType::kInt64}}),
+      {{"rule_id", IndexKind::kHash}}, ix));
+
+  MDV_RETURN_IF_ERROR(CreateTableWithIndexes(
+      db,
+      TableSchema(kMaterializedResults,
+                  {ColumnDef{"uri_reference", ColumnType::kString},
+                   ColumnDef{"rule_id", ColumnType::kInt64}}),
+      {{"uri_reference", IndexKind::kHash}, {"rule_id", IndexKind::kHash}},
+      ix));
+
+  // Triggering rules without a predicate: matched purely by class. The
+  // rule_id index supports unregistration and initial evaluation of new
+  // subscriptions.
+  MDV_RETURN_IF_ERROR(CreateTableWithIndexes(
+      db,
+      TableSchema(kFilterRulesCLS, {ColumnDef{"rule_id", ColumnType::kInt64},
+                                    ColumnDef{"class", ColumnType::kString}}),
+      {{"class", IndexKind::kHash}, {"rule_id", IndexKind::kHash}}, ix));
+
+  // Triggering rules with an operator predicate, one table per operator
+  // (Figure 8). Values are stored as strings and reconverted (§3.3.4).
+  // String-equality rules index the value column so that a delta atom
+  // finds its rules with one point lookup (this is what makes OID rules
+  // independent of the rule base size, Figure 11); the ordered-operator
+  // tables are probed by property.
+  for (const std::string& name : AllOperatorTables()) {
+    std::vector<std::pair<std::string, IndexKind>> indexes;
+    if (name == kFilterRulesEQS) {
+      indexes = {{"value", IndexKind::kHash}};
+    } else {
+      indexes = {{"property", IndexKind::kHash}};
+    }
+    indexes.emplace_back("rule_id", IndexKind::kHash);
+    MDV_RETURN_IF_ERROR(
+        CreateTableWithIndexes(db, RulesTableSchema(name), indexes, ix));
+  }
+  return Status::OK();
+}
+
+std::string FilterRulesTableFor(rdbms::CompareOp op, bool constant_is_number) {
+  switch (op) {
+    case rdbms::CompareOp::kEq:
+      return constant_is_number ? kFilterRulesEQN : kFilterRulesEQS;
+    case rdbms::CompareOp::kNe:
+      return kFilterRulesNE;
+    case rdbms::CompareOp::kLt:
+      return kFilterRulesLT;
+    case rdbms::CompareOp::kLe:
+      return kFilterRulesLE;
+    case rdbms::CompareOp::kGt:
+      return kFilterRulesGT;
+    case rdbms::CompareOp::kGe:
+      return kFilterRulesGE;
+    case rdbms::CompareOp::kContains:
+      return kFilterRulesCON;
+  }
+  return kFilterRulesEQS;
+}
+
+const std::vector<std::string>& AllOperatorTables() {
+  static const std::vector<std::string>& tables =
+      *new std::vector<std::string>{kFilterRulesEQS, kFilterRulesEQN,
+                                    kFilterRulesNE,  kFilterRulesLT,
+                                    kFilterRulesLE,  kFilterRulesGT,
+                                    kFilterRulesGE,  kFilterRulesCON};
+  return tables;
+}
+
+}  // namespace mdv::filter

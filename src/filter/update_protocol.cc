@@ -1,0 +1,131 @@
+#include "filter/update_protocol.h"
+
+#include <algorithm>
+#include <set>
+
+#include "filter/data_store.h"
+
+namespace mdv::filter {
+
+Result<FilterRunResult> RegisterDocuments(
+    rdbms::Database* db, FilterEngine* engine,
+    const std::vector<const rdf::RdfDocument*>& documents) {
+  rdf::Statements delta;
+  for (const rdf::RdfDocument* doc : documents) {
+    rdf::Statements atoms = doc->ToStatements();
+    delta.insert(delta.end(), atoms.begin(), atoms.end());
+  }
+  MDV_RETURN_IF_ERROR(InsertAtoms(db, delta));
+  FilterOptions options;
+  options.update_materialized = true;
+  return engine->Run(delta, options);
+}
+
+Result<UpdateOutcome> ApplyDocumentUpdate(rdbms::Database* db,
+                                          FilterEngine* engine,
+                                          const rdf::RdfDocument& original,
+                                          const rdf::RdfDocument& updated) {
+  if (original.uri() != updated.uri()) {
+    return Status::InvalidArgument(
+        "update must re-register the same document: " + original.uri() +
+        " vs " + updated.uri());
+  }
+  UpdateOutcome outcome;
+  outcome.diff = rdf::DiffDocuments(original, updated);
+  for (const std::string& id : outcome.diff.updated) {
+    outcome.updated_uris.push_back(original.UriReferenceOf(id));
+  }
+  for (const std::string& id : outcome.diff.deleted) {
+    outcome.deleted_uris.push_back(original.UriReferenceOf(id));
+  }
+  for (const std::string& id : outcome.diff.inserted) {
+    outcome.inserted_uris.push_back(updated.UriReferenceOf(id));
+  }
+
+  std::vector<std::string> changed = outcome.updated_uris;
+  changed.insert(changed.end(), outcome.deleted_uris.begin(),
+                 outcome.deleted_uris.end());
+
+  // ---- Pass 1: original versions of changed resources as input. -------
+  {
+    std::set<std::string> changed_ids(outcome.diff.updated.begin(),
+                                      outcome.diff.updated.end());
+    changed_ids.insert(outcome.diff.deleted.begin(),
+                       outcome.diff.deleted.end());
+    rdf::Statements delta;
+    for (const rdf::Statement& atom : original.ToStatements()) {
+      auto [doc_uri, local_id] = rdf::SplitUriReference(atom.subject);
+      if (changed_ids.count(local_id) != 0) delta.push_back(atom);
+    }
+    FilterOptions probe;
+    probe.update_materialized = false;
+    MDV_ASSIGN_OR_RETURN(outcome.candidates, engine->Run(delta, probe));
+  }
+
+  // ---- Write the modified metadata; purge stale materializations. -----
+  MDV_RETURN_IF_ERROR(RemoveResourceAtoms(db, changed));
+  MDV_RETURN_IF_ERROR(PurgeMaterialized(db, outcome.candidates.matches));
+
+  rdf::Statements new_delta;
+  {
+    std::set<std::string> new_ids(outcome.diff.updated.begin(),
+                                  outcome.diff.updated.end());
+    new_ids.insert(outcome.diff.inserted.begin(),
+                   outcome.diff.inserted.end());
+    for (const rdf::Statement& atom : updated.ToStatements()) {
+      auto [doc_uri, local_id] = rdf::SplitUriReference(atom.subject);
+      if (new_ids.count(local_id) != 0) new_delta.push_back(atom);
+    }
+  }
+  MDV_RETURN_IF_ERROR(InsertAtoms(db, new_delta));
+
+  // ---- Pass 3 (run before pass 2, see header): modified metadata. -----
+  {
+    FilterOptions write;
+    write.update_materialized = true;
+    MDV_ASSIGN_OR_RETURN(outcome.new_matches, engine->Run(new_delta, write));
+    // A match derived from both the original (pass 1) and the modified
+    // data is *retained*, not new: the resource "still matches all rules
+    // it previously had" (§3.5) and is refreshed via update
+    // notifications, not re-inserted. Report only genuinely new pairs.
+    for (auto it = outcome.new_matches.matches.begin();
+         it != outcome.new_matches.matches.end();) {
+      const std::vector<std::string>* before =
+          outcome.candidates.MatchesFor(it->first);
+      if (before != nullptr) {
+        std::set<std::string> old_set(before->begin(), before->end());
+        auto& uris = it->second;
+        uris.erase(std::remove_if(uris.begin(), uris.end(),
+                                  [&](const std::string& uri) {
+                                    return old_set.count(uri) != 0;
+                                  }),
+                   uris.end());
+      }
+      it = it->second.empty() ? outcome.new_matches.matches.erase(it)
+                              : std::next(it);
+    }
+  }
+
+  // ---- Pass 2: candidate resources against the updated database. ------
+  {
+    std::set<std::string> candidate_uris;
+    for (const auto& [rule_id, uris] : outcome.candidates.matches) {
+      candidate_uris.insert(uris.begin(), uris.end());
+    }
+    rdf::Statements delta = AtomsOfResources(
+        *db, {candidate_uris.begin(), candidate_uris.end()});
+    FilterOptions probe;
+    probe.update_materialized = false;
+    MDV_ASSIGN_OR_RETURN(outcome.still_matching, engine->Run(delta, probe));
+  }
+  return outcome;
+}
+
+Result<UpdateOutcome> ApplyDocumentDeletion(rdbms::Database* db,
+                                            FilterEngine* engine,
+                                            const rdf::RdfDocument& original) {
+  rdf::RdfDocument empty(original.uri());
+  return ApplyDocumentUpdate(db, engine, original, empty);
+}
+
+}  // namespace mdv::filter

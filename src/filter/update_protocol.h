@@ -1,0 +1,64 @@
+#ifndef MDV_FILTER_UPDATE_PROTOCOL_H_
+#define MDV_FILTER_UPDATE_PROTOCOL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "filter/engine.h"
+#include "rdf/diff.h"
+#include "rdf/document.h"
+
+namespace mdv::filter {
+
+/// Outcome of processing a document re-registration (§3.5).
+///
+/// `candidates` (pass 1) ran with the *original* versions of updated and
+/// deleted resources as input: every match is a resource that no longer
+/// matches at least one rule. `new_matches` (the paper's third pass) ran
+/// with the modified metadata as input and reports genuinely new
+/// matches. `still_matching` (the paper's second pass) ran with the
+/// candidate resources as input against the updated database and reports
+/// every rule a candidate still matches — candidates absent from it may
+/// be dropped from caches.
+///
+/// Implementation note: the paper orders the passes 1-2-3 and writes the
+/// modified data between 1 and 2. We run pass 3 before pass 2 so that the
+/// materialized results (purged of derivations involving the changed
+/// resources, then rebuilt by pass 3) are complete when pass 2 probes
+/// join rules. The reported sets are the same.
+struct UpdateOutcome {
+  rdf::DocumentDiff diff;
+  std::vector<std::string> updated_uris;
+  std::vector<std::string> deleted_uris;
+  std::vector<std::string> inserted_uris;
+
+  FilterRunResult candidates;      ///< Pass 1: matches of original versions.
+  FilterRunResult new_matches;     ///< Pass 3: matches of modified data.
+  FilterRunResult still_matching;  ///< Pass 2: rules candidates still match.
+};
+
+/// Registers the atoms of new documents and runs the filter once (the
+/// plain registration path; sufficient when no updates/deletes occur).
+Result<FilterRunResult> RegisterDocuments(
+    rdbms::Database* db, FilterEngine* engine,
+    const std::vector<const rdf::RdfDocument*>& documents);
+
+/// Processes the re-registration of `updated` replacing `original`
+/// (updating metadata means re-registering a modified version of an
+/// already registered document, §2.2), running the three filter passes
+/// of §3.5. Both documents must have the same URI.
+Result<UpdateOutcome> ApplyDocumentUpdate(rdbms::Database* db,
+                                          FilterEngine* engine,
+                                          const rdf::RdfDocument& original,
+                                          const rdf::RdfDocument& updated);
+
+/// Processes the deletion of a whole document: equivalent to updating it
+/// to an empty document (all resources deleted).
+Result<UpdateOutcome> ApplyDocumentDeletion(rdbms::Database* db,
+                                            FilterEngine* engine,
+                                            const rdf::RdfDocument& original);
+
+}  // namespace mdv::filter
+
+#endif  // MDV_FILTER_UPDATE_PROTOCOL_H_

@@ -1,0 +1,53 @@
+#include "mdv/document_store.h"
+
+namespace mdv {
+
+Status DocumentStore::Add(rdf::RdfDocument document) {
+  const std::string& uri = document.uri();
+  if (uri.empty()) {
+    return Status::InvalidArgument("document without URI");
+  }
+  if (documents_.count(uri) != 0) {
+    return Status::AlreadyExists("document " + uri);
+  }
+  documents_.emplace(uri, std::move(document));
+  return Status::OK();
+}
+
+Status DocumentStore::Replace(rdf::RdfDocument document) {
+  auto it = documents_.find(document.uri());
+  if (it == documents_.end()) {
+    return Status::NotFound("document " + document.uri());
+  }
+  it->second = std::move(document);
+  return Status::OK();
+}
+
+Status DocumentStore::Remove(const std::string& uri) {
+  if (documents_.erase(uri) == 0) {
+    return Status::NotFound("document " + uri);
+  }
+  return Status::OK();
+}
+
+const rdf::RdfDocument* DocumentStore::Find(const std::string& uri) const {
+  auto it = documents_.find(uri);
+  return it == documents_.end() ? nullptr : &it->second;
+}
+
+const rdf::Resource* DocumentStore::FindResource(
+    const std::string& uri_reference) const {
+  auto [doc_uri, local_id] = rdf::SplitUriReference(uri_reference);
+  const rdf::RdfDocument* doc = Find(doc_uri);
+  if (doc == nullptr) return nullptr;
+  return doc->FindResource(local_id);
+}
+
+std::vector<std::string> DocumentStore::DocumentUris() const {
+  std::vector<std::string> uris;
+  uris.reserve(documents_.size());
+  for (const auto& [uri, doc] : documents_) uris.push_back(uri);
+  return uris;
+}
+
+}  // namespace mdv

@@ -1,0 +1,44 @@
+#ifndef MDV_MDV_DOCUMENT_STORE_H_
+#define MDV_MDV_DOCUMENT_STORE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "rdf/document.h"
+
+namespace mdv {
+
+/// The registered RDF documents of one Metadata Provider, addressable by
+/// document URI, with resource resolution by URI reference. Documents are
+/// the unit of registration/update/deletion (§2.2).
+class DocumentStore {
+ public:
+  DocumentStore() = default;
+
+  /// Stores a new document; AlreadyExists if the URI is registered.
+  Status Add(rdf::RdfDocument document);
+
+  /// Replaces an existing document; NotFound if the URI is unknown.
+  Status Replace(rdf::RdfDocument document);
+
+  /// Removes a document; NotFound if absent.
+  Status Remove(const std::string& uri);
+
+  const rdf::RdfDocument* Find(const std::string& uri) const;
+
+  /// Resolves a resource by URI reference (document URI + '#' + local
+  /// id); nullptr if the document or resource is unknown.
+  const rdf::Resource* FindResource(const std::string& uri_reference) const;
+
+  std::vector<std::string> DocumentUris() const;
+  size_t size() const { return documents_.size(); }
+
+ private:
+  std::map<std::string, rdf::RdfDocument> documents_;
+};
+
+}  // namespace mdv
+
+#endif  // MDV_MDV_DOCUMENT_STORE_H_

@@ -1,0 +1,230 @@
+#include "mdv/lmr.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/logging.h"
+#include "rules/evaluator.h"
+
+namespace mdv {
+
+LocalMetadataRepository::LocalMetadataRepository(pubsub::LmrId id,
+                                                 const rdf::RdfSchema* schema,
+                                                 MetadataProvider* provider,
+                                                 Network* network)
+    : id_(id), schema_(schema), provider_(provider), network_(network) {
+  network_->Attach(id_, [this](const pubsub::Notification& note) {
+    ApplyNotification(note);
+  });
+}
+
+LocalMetadataRepository::~LocalMetadataRepository() {
+  network_->Detach(id_);
+}
+
+Result<pubsub::SubscriptionId> LocalMetadataRepository::Subscribe(
+    std::string_view rule_text, const std::string& name) {
+  MDV_ASSIGN_OR_RETURN(pubsub::SubscriptionId id,
+                       provider_->Subscribe(id_, rule_text, name));
+  subscriptions_.insert(id);
+  return id;
+}
+
+Status LocalMetadataRepository::Unsubscribe(
+    pubsub::SubscriptionId subscription) {
+  MDV_RETURN_IF_ERROR(provider_->Unsubscribe(subscription));
+  subscriptions_.erase(subscription);
+  // Retract the subscription's matches locally and let the GC clean up.
+  for (auto& [uri, entry] : cache_) {
+    entry.matched_subscriptions.erase(subscription);
+  }
+  CollectGarbage();
+  return Status::OK();
+}
+
+Status LocalMetadataRepository::Refresh() {
+  // Pull snapshots first so a failing subscription leaves the cache
+  // untouched.
+  std::vector<pubsub::Notification> snapshots;
+  for (pubsub::SubscriptionId sub : subscriptions_) {
+    MDV_ASSIGN_OR_RETURN(pubsub::Notification snapshot,
+                         provider_->SnapshotSubscription(sub));
+    snapshots.push_back(std::move(snapshot));
+  }
+  // Drop all match bookkeeping; snapshot application rebuilds it and the
+  // GC evicts whatever stopped matching.
+  for (auto& [uri, entry] : cache_) {
+    entry.matched_subscriptions.clear();
+  }
+  for (const pubsub::Notification& snapshot : snapshots) {
+    // Apply directly (bypasses the TTL push gate).
+    ApplyNotificationInternal(snapshot);
+  }
+  CollectGarbage();
+  return Status::OK();
+}
+
+Status LocalMetadataRepository::RegisterLocalDocument(
+    const rdf::RdfDocument& document) {
+  MDV_RETURN_IF_ERROR(schema_->ValidateDocument(document));
+  for (const rdf::Resource* res : document.resources()) {
+    CacheEntry& entry =
+        UpsertContent(document.UriReferenceOf(res->local_id()), *res);
+    entry.local = true;
+  }
+  RecountStrongReferrers();
+  return Status::OK();
+}
+
+std::vector<std::string> LocalMetadataRepository::StrongTargetsOf(
+    const rdf::Resource& resource) const {
+  std::vector<std::string> targets;
+  for (const rdf::Property& prop : resource.properties()) {
+    if (!prop.value.is_resource_ref()) continue;
+    const rdf::PropertyDef* def =
+        schema_->FindProperty(resource.class_name(), prop.name);
+    if (def != nullptr && def->strength == rdf::RefStrength::kStrong) {
+      targets.push_back(prop.value.text());
+    }
+  }
+  return targets;
+}
+
+CacheEntry& LocalMetadataRepository::UpsertContent(
+    const std::string& uri, const rdf::Resource& resource) {
+  // Counts are settled by RecountStrongReferrers() after every batch of
+  // content changes; this only lands content and target lists.
+  auto it = cache_.find(uri);
+  if (it == cache_.end()) {
+    CacheEntry entry;
+    entry.resource = resource;
+    entry.strong_targets = StrongTargetsOf(resource);
+    return cache_.emplace(uri, std::move(entry)).first->second;
+  }
+  it->second.resource = resource;
+  it->second.strong_targets = StrongTargetsOf(resource);
+  return it->second;
+}
+
+void LocalMetadataRepository::ApplyNotification(
+    const pubsub::Notification& note) {
+  // In TTL mode pushed notifications are ignored; Refresh() is the only
+  // consistency mechanism (§3.5's alternative).
+  if (mode_ == ConsistencyMode::kTimeToLive) return;
+  ApplyNotificationInternal(note);
+}
+
+void LocalMetadataRepository::ApplyNotificationInternal(
+    const pubsub::Notification& note) {
+  switch (note.kind) {
+    case pubsub::NotificationKind::kInsert: {
+      // First land all contents (closure members may be referenced
+      // before they appear in the list), then settle match flags.
+      for (const pubsub::TransmittedResource& shipped : note.resources) {
+        UpsertContent(shipped.uri_reference, shipped.resource);
+      }
+      RecountStrongReferrers();
+      for (const pubsub::TransmittedResource& shipped : note.resources) {
+        if (shipped.via_strong_reference) continue;
+        auto it = cache_.find(shipped.uri_reference);
+        if (it != cache_.end() && note.subscription >= 0) {
+          it->second.matched_subscriptions.insert(note.subscription);
+        }
+      }
+      break;
+    }
+    case pubsub::NotificationKind::kUpdate: {
+      // Apply only to resources this LMR actually caches.
+      for (const pubsub::TransmittedResource& shipped : note.resources) {
+        if (shipped.via_strong_reference) {
+          // Closure members of an update: refresh if cached.
+          if (cache_.count(shipped.uri_reference) != 0) {
+            UpsertContent(shipped.uri_reference, shipped.resource);
+          }
+        } else if (cache_.count(shipped.uri_reference) != 0) {
+          UpsertContent(shipped.uri_reference, shipped.resource);
+        }
+      }
+      RecountStrongReferrers();
+      CollectGarbage();
+      break;
+    }
+    case pubsub::NotificationKind::kRemove: {
+      for (const pubsub::TransmittedResource& shipped : note.resources) {
+        auto it = cache_.find(shipped.uri_reference);
+        if (it != cache_.end() && note.subscription >= 0) {
+          it->second.matched_subscriptions.erase(note.subscription);
+        }
+      }
+      CollectGarbage();
+      break;
+    }
+  }
+}
+
+void LocalMetadataRepository::RecountStrongReferrers() {
+  for (auto& [uri, entry] : cache_) entry.strong_referrers = 0;
+  for (auto& [uri, entry] : cache_) {
+    for (const std::string& target : entry.strong_targets) {
+      auto it = cache_.find(target);
+      if (it != cache_.end()) ++it->second.strong_referrers;
+    }
+  }
+}
+
+void LocalMetadataRepository::CollectGarbage() {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto it = cache_.begin(); it != cache_.end();) {
+      CacheEntry& entry = it->second;
+      if (!entry.local && entry.matched_subscriptions.empty() &&
+          entry.strong_referrers <= 0) {
+        // Retract this entry's outgoing strong references, then evict.
+        for (const std::string& target : entry.strong_targets) {
+          auto tit = cache_.find(target);
+          if (tit != cache_.end()) --tit->second.strong_referrers;
+        }
+        it = cache_.erase(it);
+        ++gc_evictions_;
+        changed = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+const CacheEntry* LocalMetadataRepository::Find(
+    const std::string& uri_reference) const {
+  auto it = cache_.find(uri_reference);
+  return it == cache_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> LocalMetadataRepository::CachedUris() const {
+  std::vector<std::string> uris;
+  uris.reserve(cache_.size());
+  for (const auto& [uri, entry] : cache_) uris.push_back(uri);
+  return uris;
+}
+
+Result<std::vector<QueryMatch>> LocalMetadataRepository::Query(
+    std::string_view query_text) const {
+  // The query language shares the rule language's syntax and semantics
+  // (§2.2); evaluation runs against locally available metadata only.
+  rules::ResourceMap resources;
+  for (const auto& [uri, entry] : cache_) {
+    resources.emplace(uri, &entry.resource);
+  }
+  MDV_ASSIGN_OR_RETURN(
+      std::vector<std::string> uris,
+      rules::EvaluateRuleText(query_text, *schema_, resources));
+  std::vector<QueryMatch> out;
+  out.reserve(uris.size());
+  for (const std::string& uri : uris) {
+    out.push_back(QueryMatch{uri, resources.at(uri)});
+  }
+  return out;
+}
+
+}  // namespace mdv

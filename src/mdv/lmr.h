@@ -1,0 +1,155 @@
+#ifndef MDV_MDV_LMR_H_
+#define MDV_MDV_LMR_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "mdv/metadata_provider.h"
+#include "pubsub/notification.h"
+#include "rdf/schema.h"
+
+namespace mdv {
+
+/// One entry of an LMR's cache: the resource content plus the two
+/// reference counts driving the garbage collector (§2.4): the set of
+/// subscriptions whose rules match the resource, and the number of
+/// cached resources strongly referencing it.
+struct CacheEntry {
+  rdf::Resource resource;
+  std::set<pubsub::SubscriptionId> matched_subscriptions;
+  int strong_referrers = 0;
+  /// Local metadata is never forwarded to the backbone and never
+  /// garbage-collected (§2.2).
+  bool local = false;
+  /// Outgoing strong-reference targets (uri references), tracked so
+  /// updates and evictions can adjust the targets' counts.
+  std::vector<std::string> strong_targets;
+};
+
+/// Result row of an LMR query: a cached resource with its uri.
+struct QueryMatch {
+  std::string uri_reference;
+  const rdf::Resource* resource = nullptr;
+};
+
+/// How an LMR keeps its cache consistent with the backbone.
+enum class ConsistencyMode {
+  /// Publish & subscribe: the MDP pushes inserts/updates/removals (the
+  /// paper's main mechanism).
+  kNotifications,
+  /// Time-to-live: pushes are ignored; the cache is refreshed wholesale
+  /// by periodic Refresh() calls (the alternative §3.5 mentions —
+  /// "periodical cache invalidation, based on a time-to-live approach").
+  kTimeToLive,
+};
+
+/// A Local Metadata Repository (§2.2): caches the subset of the global
+/// metadata selected by its subscription rules, keeps the cache
+/// consistent by applying publish notifications, stores private local
+/// metadata, and answers declarative queries from locally available
+/// metadata only (no communication across the Internet).
+class LocalMetadataRepository {
+ public:
+  /// Attaches to `provider` via `network`. Ids must be unique per
+  /// network. All pointers must outlive the LMR.
+  LocalMetadataRepository(pubsub::LmrId id, const rdf::RdfSchema* schema,
+                          MetadataProvider* provider, Network* network);
+  ~LocalMetadataRepository();
+
+  LocalMetadataRepository(const LocalMetadataRepository&) = delete;
+  LocalMetadataRepository& operator=(const LocalMetadataRepository&) = delete;
+
+  pubsub::LmrId id() const { return id_; }
+
+  // ---- Subscription management. ----------------------------------------
+
+  /// Registers a subscription rule at the MDP; matching metadata is
+  /// replicated into the cache immediately and kept consistent by the
+  /// publish & subscribe mechanism.
+  Result<pubsub::SubscriptionId> Subscribe(std::string_view rule_text,
+                                           const std::string& name = "");
+
+  /// Drops a subscription; resources matched only by it are removed from
+  /// the cache by the garbage collector.
+  Status Unsubscribe(pubsub::SubscriptionId subscription);
+
+  // ---- Local metadata (§2.2). -------------------------------------------
+
+  /// Stores a document as local metadata: queryable here, invisible to
+  /// the backbone.
+  Status RegisterLocalDocument(const rdf::RdfDocument& document);
+
+  // ---- Cache consistency (§3.5). ----------------------------------------
+
+  ConsistencyMode consistency_mode() const { return mode_; }
+  /// Switches between push-based consistency and the TTL alternative.
+  /// Switching to kTimeToLive does not clear the cache; call Refresh()
+  /// to resynchronize.
+  void set_consistency_mode(ConsistencyMode mode) { mode_ = mode; }
+
+  /// Pulls a full snapshot of every subscription from the MDP, replacing
+  /// all match bookkeeping; resources that no longer match anything are
+  /// garbage-collected. This is the TTL mode's periodic resync (also
+  /// usable in notification mode as a repair step).
+  Status Refresh();
+
+  // ---- Queries. ----------------------------------------------------------
+
+  /// Evaluates a query (same `search ... register ... where ...` syntax
+  /// as the rule language, §2.2) against the cached metadata only.
+  /// Returns the matching resources sorted by uri.
+  Result<std::vector<QueryMatch>> Query(std::string_view query_text) const;
+
+  // ---- Cache introspection. ----------------------------------------------
+
+  const CacheEntry* Find(const std::string& uri_reference) const;
+  size_t CacheSize() const { return cache_.size(); }
+  std::vector<std::string> CachedUris() const;
+
+  /// Applies one publish notification (normally invoked via the
+  /// network; exposed for tests).
+  void ApplyNotification(const pubsub::Notification& notification);
+
+  /// Number of GC evictions so far.
+  int64_t gc_evictions() const { return gc_evictions_; }
+
+ private:
+  /// Replaces/creates the content of a cache entry, maintaining
+  /// outgoing strong-reference counts of its targets.
+  CacheEntry& UpsertContent(const std::string& uri,
+                            const rdf::Resource& resource);
+
+  /// Computes the strong-reference targets of `resource` per the schema.
+  std::vector<std::string> StrongTargetsOf(const rdf::Resource& resource)
+      const;
+
+  /// Recomputes every entry's strong_referrers count from the
+  /// strong_targets lists (run after content changes).
+  void RecountStrongReferrers();
+
+  /// Applies a notification regardless of the consistency mode (used by
+  /// both the push path and Refresh()).
+  void ApplyNotificationInternal(const pubsub::Notification& notification);
+
+  /// Removes entries with no matches, no strong referrers and no local
+  /// flag, cascading reference-count decrements (the reference-counting
+  /// garbage collector of §2.4).
+  void CollectGarbage();
+
+  pubsub::LmrId id_;
+  const rdf::RdfSchema* schema_;
+  MetadataProvider* provider_;
+  Network* network_;
+  std::map<std::string, CacheEntry> cache_;
+  std::set<pubsub::SubscriptionId> subscriptions_;
+  ConsistencyMode mode_ = ConsistencyMode::kNotifications;
+  int64_t gc_evictions_ = 0;
+};
+
+}  // namespace mdv
+
+#endif  // MDV_MDV_LMR_H_

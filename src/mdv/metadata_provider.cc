@@ -1,0 +1,402 @@
+#include "mdv/metadata_provider.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "rdbms/persistence.h"
+#include "rdf/parser.h"
+#include "rdf/writer.h"
+#include "rules/compiler.h"
+
+namespace mdv {
+
+MetadataProvider::MetadataProvider(const rdf::RdfSchema* schema,
+                                   Network* network,
+                                   filter::RuleStoreOptions rule_options)
+    : schema_(schema), network_(network), rule_options_(rule_options),
+      db_(std::make_unique<rdbms::Database>()) {
+  Status st = filter::CreateFilterTables(db_.get());
+  (void)st;  // Fresh database; cannot fail.
+  rule_store_ = std::make_unique<filter::RuleStore>(db_.get(), rule_options);
+  engine_ =
+      std::make_unique<filter::FilterEngine>(db_.get(), rule_store_.get());
+  publisher_ = std::make_unique<pubsub::Publisher>(
+      schema_, &registry_, [this](const std::string& uri_reference) {
+        return documents_.FindResource(uri_reference);
+      });
+}
+
+Status MetadataProvider::RegisterDocumentXml(std::string_view xml,
+                                             const std::string& uri) {
+  MDV_ASSIGN_OR_RETURN(rdf::RdfDocument document, rdf::ParseRdfXml(xml, uri));
+  return RegisterDocument(std::move(document));
+}
+
+Status MetadataProvider::RegisterDocument(rdf::RdfDocument document) {
+  std::vector<rdf::RdfDocument> batch;
+  batch.push_back(std::move(document));
+  return RegisterDocumentBatchInternal(std::move(batch), Origin::kClient);
+}
+
+Status MetadataProvider::RegisterDocumentBatch(
+    std::vector<rdf::RdfDocument> documents) {
+  return RegisterDocumentBatchInternal(std::move(documents), Origin::kClient);
+}
+
+Status MetadataProvider::RegisterDocumentBatchInternal(
+    std::vector<rdf::RdfDocument> docs, Origin origin) {
+  for (const rdf::RdfDocument& doc : docs) {
+    MDV_RETURN_IF_ERROR(schema_->ValidateDocument(doc));
+    if (documents_.Find(doc.uri()) != nullptr) {
+      return Status::AlreadyExists("document " + doc.uri() +
+                                   "; use UpdateDocument to re-register");
+    }
+  }
+  // Keep copies for backbone replication before moving into the store.
+  std::vector<rdf::RdfDocument> replicas;
+  if (origin == Origin::kClient && !peers_.empty()) {
+    replicas = docs;
+  }
+  std::vector<std::string> uris;
+  uris.reserve(docs.size());
+  for (rdf::RdfDocument& doc : docs) {
+    uris.push_back(doc.uri());
+    MDV_RETURN_IF_ERROR(documents_.Add(std::move(doc)));
+  }
+  std::vector<const rdf::RdfDocument*> doc_ptrs;
+  doc_ptrs.reserve(uris.size());
+  for (const std::string& uri : uris) {
+    doc_ptrs.push_back(documents_.Find(uri));
+  }
+
+  MDV_ASSIGN_OR_RETURN(filter::FilterRunResult result,
+                       filter::RegisterDocuments(db_.get(), engine_.get(),
+                                                 doc_ptrs));
+  last_iterations_ = result.iterations;
+
+  MDV_ASSIGN_OR_RETURN(std::vector<pubsub::Notification> notes,
+                       publisher_->PublishNewMatches(result));
+  network_->DeliverAll(notes);
+
+  if (origin == Origin::kClient) {
+    for (MetadataProvider* peer : peers_) {
+      MDV_RETURN_IF_ERROR(
+          peer->RegisterDocumentBatchInternal(replicas, Origin::kPeer));
+    }
+  }
+  return Status::OK();
+}
+
+Status MetadataProvider::UpdateDocument(rdf::RdfDocument document) {
+  return UpdateDocumentInternal(std::move(document), Origin::kClient);
+}
+
+Status MetadataProvider::DeleteDocument(const std::string& uri) {
+  return DeleteDocumentInternal(uri, Origin::kClient);
+}
+
+Status MetadataProvider::UpdateDocumentInternal(rdf::RdfDocument document,
+                                                Origin origin) {
+  MDV_RETURN_IF_ERROR(schema_->ValidateDocument(document));
+  const rdf::RdfDocument* original = documents_.Find(document.uri());
+  if (original == nullptr) {
+    return Status::NotFound("document " + document.uri() +
+                            "; register it first");
+  }
+  rdf::RdfDocument original_copy = *original;
+  rdf::RdfDocument updated_copy = document;
+
+  // Replace the stored document before publishing so the publisher's
+  // resource resolver sees the new versions.
+  MDV_RETURN_IF_ERROR(documents_.Replace(std::move(document)));
+
+  // The three filter passes mutate FilterData and MaterializedResults;
+  // run them transactionally so a mid-protocol failure leaves the filter
+  // state (and the document store) untouched.
+  MDV_RETURN_IF_ERROR(db_->BeginTransaction());
+  Result<filter::UpdateOutcome> protocol = filter::ApplyDocumentUpdate(
+      db_.get(), engine_.get(), original_copy, updated_copy);
+  if (!protocol.ok()) {
+    Status rollback = db_->RollbackTransaction();
+    (void)rollback;
+    Status restore = documents_.Replace(original_copy);
+    (void)restore;
+    return protocol.status();
+  }
+  MDV_RETURN_IF_ERROR(db_->CommitTransaction());
+  filter::UpdateOutcome outcome = std::move(protocol).value();
+  last_iterations_ = outcome.new_matches.iterations;
+
+  MDV_ASSIGN_OR_RETURN(std::vector<pubsub::Notification> notes,
+                       publisher_->PublishUpdateOutcome(outcome));
+  network_->DeliverAll(notes);
+
+  if (origin == Origin::kClient) {
+    for (MetadataProvider* peer : peers_) {
+      MDV_RETURN_IF_ERROR(
+          peer->UpdateDocumentInternal(updated_copy, Origin::kPeer));
+    }
+  }
+  return Status::OK();
+}
+
+Status MetadataProvider::DeleteDocumentInternal(const std::string& uri,
+                                                Origin origin) {
+  const rdf::RdfDocument* original = documents_.Find(uri);
+  if (original == nullptr) {
+    return Status::NotFound("document " + uri);
+  }
+  rdf::RdfDocument original_copy = *original;
+  MDV_RETURN_IF_ERROR(documents_.Remove(uri));
+
+  MDV_RETURN_IF_ERROR(db_->BeginTransaction());
+  Result<filter::UpdateOutcome> protocol =
+      filter::ApplyDocumentDeletion(db_.get(), engine_.get(), original_copy);
+  if (!protocol.ok()) {
+    Status rollback = db_->RollbackTransaction();
+    (void)rollback;
+    Status restore = documents_.Add(original_copy);
+    (void)restore;
+    return protocol.status();
+  }
+  MDV_RETURN_IF_ERROR(db_->CommitTransaction());
+  filter::UpdateOutcome outcome = std::move(protocol).value();
+  last_iterations_ = outcome.new_matches.iterations;
+
+  MDV_ASSIGN_OR_RETURN(std::vector<pubsub::Notification> notes,
+                       publisher_->PublishUpdateOutcome(outcome));
+  network_->DeliverAll(notes);
+
+  if (origin == Origin::kClient) {
+    for (MetadataProvider* peer : peers_) {
+      MDV_RETURN_IF_ERROR(peer->DeleteDocumentInternal(uri, Origin::kPeer));
+    }
+  }
+  return Status::OK();
+}
+
+Result<pubsub::SubscriptionId> MetadataProvider::Subscribe(
+    pubsub::LmrId lmr, std::string_view rule_text, const std::string& name) {
+  // Extensions may name other subscriptions registered here (§2.3).
+  auto extension_resolver =
+      [this](const std::string& ext) -> std::optional<std::string> {
+    const pubsub::Subscription* sub = registry_.FindByName(ext);
+    if (sub == nullptr) return std::nullopt;
+    return sub->type;
+  };
+  auto rule_resolver =
+      [this](const std::string& ext) -> std::optional<rules::ExternalExtension> {
+    const pubsub::Subscription* sub = registry_.FindByName(ext);
+    if (sub == nullptr) return std::nullopt;
+    return rules::ExternalExtension{sub->type, sub->end_rule_id};
+  };
+  MDV_ASSIGN_OR_RETURN(
+      rules::CompiledRule compiled,
+      rules::CompileRule(rule_text, *schema_, extension_resolver,
+                         rule_resolver));
+
+  std::vector<int64_t> created;
+  MDV_ASSIGN_OR_RETURN(int64_t end_rule,
+                       rule_store_->RegisterTree(compiled.decomposed,
+                                                 &created));
+
+  // Seed the subscription with matches from the already-registered
+  // metadata: evaluate the new atomic rules (and the end rule, if it
+  // already existed) against the full database.
+  std::vector<int64_t> to_evaluate = created;
+  if (std::find(to_evaluate.begin(), to_evaluate.end(), end_rule) ==
+      to_evaluate.end()) {
+    to_evaluate.push_back(end_rule);
+  }
+  MDV_ASSIGN_OR_RETURN(filter::FilterRunResult seeded,
+                       engine_->EvaluateNewRules(to_evaluate));
+
+  pubsub::SubscriptionId id =
+      registry_.Add(lmr, std::string(rule_text), name, end_rule,
+                    compiled.type());
+
+  const std::vector<std::string>* matches = seeded.MatchesFor(end_rule);
+  if (matches != nullptr && !matches->empty()) {
+    pubsub::Notification note;
+    note.kind = pubsub::NotificationKind::kInsert;
+    note.lmr = lmr;
+    note.subscription = id;
+    for (const std::string& uri : *matches) {
+      MDV_ASSIGN_OR_RETURN(std::vector<pubsub::TransmittedResource> shipped,
+                           publisher_->WithStrongClosure(uri));
+      note.resources.insert(note.resources.end(), shipped.begin(),
+                            shipped.end());
+    }
+    network_->Deliver(note);
+  }
+  return id;
+}
+
+Result<pubsub::Notification> MetadataProvider::SnapshotSubscription(
+    pubsub::SubscriptionId subscription) {
+  const pubsub::Subscription* sub = registry_.Find(subscription);
+  if (sub == nullptr) {
+    return Status::NotFound("subscription " + std::to_string(subscription));
+  }
+  // Re-evaluate the end rule from scratch against the current metadata.
+  MDV_ASSIGN_OR_RETURN(filter::FilterRunResult snapshot,
+                       engine_->EvaluateNewRules({sub->end_rule_id}));
+  pubsub::Notification note;
+  note.kind = pubsub::NotificationKind::kInsert;
+  note.lmr = sub->lmr;
+  note.subscription = subscription;
+  const std::vector<std::string>* matches =
+      snapshot.MatchesFor(sub->end_rule_id);
+  if (matches != nullptr) {
+    for (const std::string& uri : *matches) {
+      MDV_ASSIGN_OR_RETURN(std::vector<pubsub::TransmittedResource> shipped,
+                           publisher_->WithStrongClosure(uri));
+      note.resources.insert(note.resources.end(), shipped.begin(),
+                            shipped.end());
+    }
+  }
+  return note;
+}
+
+Status MetadataProvider::Unsubscribe(pubsub::SubscriptionId subscription) {
+  MDV_ASSIGN_OR_RETURN(pubsub::Subscription removed,
+                       registry_.Remove(subscription));
+  return rule_store_->Unregister(removed.end_rule_id);
+}
+
+Result<std::vector<std::string>> MetadataProvider::Browse(
+    std::string_view rule_text) {
+  MDV_ASSIGN_OR_RETURN(rules::CompiledRule compiled,
+                       rules::CompileRule(rule_text, *schema_));
+  std::vector<int64_t> created;
+  MDV_ASSIGN_OR_RETURN(int64_t end_rule,
+                       rule_store_->RegisterTree(compiled.decomposed,
+                                                 &created));
+  std::vector<int64_t> to_evaluate = created;
+  if (std::find(to_evaluate.begin(), to_evaluate.end(), end_rule) ==
+      to_evaluate.end()) {
+    to_evaluate.push_back(end_rule);
+  }
+  Result<filter::FilterRunResult> seeded =
+      engine_->EvaluateNewRules(to_evaluate);
+  // Always release the transient registration, even on failure.
+  Status release = rule_store_->Unregister(end_rule);
+  if (!seeded.ok()) return seeded.status();
+  MDV_RETURN_IF_ERROR(release);
+  const std::vector<std::string>* matches = seeded->MatchesFor(end_rule);
+  if (matches == nullptr) return std::vector<std::string>{};
+  return *matches;
+}
+
+
+Status MetadataProvider::SaveSnapshot(std::ostream& out) const {
+  out << "MDVSNAP1\n";
+  out << "DATABASE\n";
+  MDV_RETURN_IF_ERROR(rdbms::SaveDatabase(*db_, out));
+  std::vector<std::string> uris = documents_.DocumentUris();
+  out << "DOCUMENTS " << uris.size() << "\n";
+  for (const std::string& uri : uris) {
+    std::string xml = rdf::WriteRdfXml(*documents_.Find(uri));
+    out << "DOC " << uri << " " << xml.size() << "\n" << xml;
+  }
+  std::vector<const pubsub::Subscription*> subs = registry_.All();
+  out << "SUBSCRIPTIONS " << subs.size() << "\n";
+  for (const pubsub::Subscription* sub : subs) {
+    out << "SUB " << sub->id << " " << sub->lmr << " " << sub->end_rule_id
+        << " " << sub->type << " " << (sub->name.empty() ? "-" : sub->name)
+        << "\n";
+    out << sub->rule_text << "\n";
+  }
+  out << "ENDSNAP\n";
+  if (!out.good()) return Status::Internal("write failure");
+  return Status::OK();
+}
+
+Status MetadataProvider::LoadSnapshot(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != "MDVSNAP1") {
+    return Status::ParseError("missing snapshot header");
+  }
+  if (!std::getline(in, line) || line != "DATABASE") {
+    return Status::ParseError("missing DATABASE section");
+  }
+  MDV_ASSIGN_OR_RETURN(std::unique_ptr<rdbms::Database> db,
+                       rdbms::LoadDatabase(in));
+
+  DocumentStore documents;
+  if (!std::getline(in, line) || line.rfind("DOCUMENTS ", 0) != 0) {
+    return Status::ParseError("missing DOCUMENTS section");
+  }
+  size_t doc_count = 0;
+  {
+    std::istringstream ss(line.substr(10));
+    if (!(ss >> doc_count)) {
+      return Status::ParseError("malformed DOCUMENTS line: " + line);
+    }
+  }
+  for (size_t i = 0; i < doc_count; ++i) {
+    if (!std::getline(in, line) || line.rfind("DOC ", 0) != 0) {
+      return Status::ParseError("missing DOC header");
+    }
+    std::istringstream ss(line.substr(4));
+    std::string uri;
+    size_t bytes = 0;
+    if (!(ss >> uri >> bytes)) {
+      return Status::ParseError("malformed DOC line: " + line);
+    }
+    std::string xml(bytes, '\0');
+    in.read(xml.data(), static_cast<std::streamsize>(bytes));
+    if (in.gcount() != static_cast<std::streamsize>(bytes)) {
+      return Status::ParseError("truncated document " + uri);
+    }
+    MDV_ASSIGN_OR_RETURN(rdf::RdfDocument doc, rdf::ParseRdfXml(xml, uri));
+    MDV_RETURN_IF_ERROR(documents.Add(std::move(doc)));
+  }
+
+  pubsub::SubscriptionRegistry registry;
+  if (!std::getline(in, line) || line.rfind("SUBSCRIPTIONS ", 0) != 0) {
+    return Status::ParseError("missing SUBSCRIPTIONS section");
+  }
+  size_t sub_count = 0;
+  {
+    std::istringstream ss(line.substr(14));
+    if (!(ss >> sub_count)) {
+      return Status::ParseError("malformed SUBSCRIPTIONS line: " + line);
+    }
+  }
+  for (size_t i = 0; i < sub_count; ++i) {
+    if (!std::getline(in, line) || line.rfind("SUB ", 0) != 0) {
+      return Status::ParseError("missing SUB header");
+    }
+    std::istringstream ss(line.substr(4));
+    pubsub::Subscription sub;
+    std::string name;
+    if (!(ss >> sub.id >> sub.lmr >> sub.end_rule_id >> sub.type >> name)) {
+      return Status::ParseError("malformed SUB line: " + line);
+    }
+    if (name != "-") sub.name = name;
+    if (!std::getline(in, sub.rule_text)) {
+      return Status::ParseError("missing rule text for subscription " +
+                                std::to_string(sub.id));
+    }
+    MDV_RETURN_IF_ERROR(registry.Restore(std::move(sub)));
+  }
+  if (!std::getline(in, line) || line != "ENDSNAP") {
+    return Status::ParseError("missing ENDSNAP marker");
+  }
+
+  // Swap in the restored state and rebuild the components bound to it.
+  db_ = std::move(db);
+  documents_ = std::move(documents);
+  registry_ = std::move(registry);
+  rule_store_ = std::make_unique<filter::RuleStore>(db_.get(), rule_options_);
+  engine_ =
+      std::make_unique<filter::FilterEngine>(db_.get(), rule_store_.get());
+  return Status::OK();
+}
+
+void MetadataProvider::AddPeer(MetadataProvider* peer) {
+  peers_.push_back(peer);
+}
+
+}  // namespace mdv

@@ -1,0 +1,143 @@
+#ifndef MDV_MDV_METADATA_PROVIDER_H_
+#define MDV_MDV_METADATA_PROVIDER_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "filter/engine.h"
+#include "filter/rule_store.h"
+#include "filter/tables.h"
+#include "filter/update_protocol.h"
+#include "mdv/document_store.h"
+#include "mdv/network.h"
+#include "pubsub/publisher.h"
+#include "pubsub/subscription.h"
+#include "rdbms/database.h"
+#include "rdf/schema.h"
+
+namespace mdv {
+
+/// A Metadata Provider (MDP) of the MDV backbone (§2.2): accepts
+/// document registrations, updates and deletions; holds the decomposed
+/// subscription rule base in its relational database; runs the filter
+/// algorithm on every change; and publishes the outcome to subscribed
+/// LMRs over the (simulated) network. MDPs replicate registrations to
+/// their backbone peers (flat hierarchy, full replication).
+class MetadataProvider {
+ public:
+  /// `schema` and `network` must outlive the provider.
+  MetadataProvider(const rdf::RdfSchema* schema, Network* network,
+                   filter::RuleStoreOptions rule_options = {});
+
+  MetadataProvider(const MetadataProvider&) = delete;
+  MetadataProvider& operator=(const MetadataProvider&) = delete;
+
+  // ---- Metadata administration (§2.2). --------------------------------
+
+  /// Parses and registers a new RDF document. Validates it against the
+  /// schema, stores it, feeds its atoms to the filter and publishes the
+  /// resulting matches.
+  Status RegisterDocumentXml(std::string_view xml, const std::string& uri);
+
+  /// Registers an already parsed document.
+  Status RegisterDocument(rdf::RdfDocument document);
+
+  /// Registers a batch of documents with a single filter run (the
+  /// batching knob of the §4 experiments).
+  Status RegisterDocumentBatch(std::vector<rdf::RdfDocument> documents);
+
+  /// Re-registers a modified version of an existing document, running
+  /// the three-pass update protocol (§3.5) and publishing inserts,
+  /// updates and removals.
+  Status UpdateDocument(rdf::RdfDocument document);
+
+  /// Deletes a registered document with all its resources.
+  Status DeleteDocument(const std::string& uri);
+
+  // ---- Publish & subscribe. --------------------------------------------
+
+  /// Registers a subscription rule for `lmr`. Compiles the rule, merges
+  /// its dependency tree into the global graph, evaluates the new atomic
+  /// rules against the existing metadata, and publishes the initial
+  /// matches to the LMR. `name` (optional) makes the rule usable as an
+  /// extension in later rules (§2.3).
+  Result<pubsub::SubscriptionId> Subscribe(pubsub::LmrId lmr,
+                                           std::string_view rule_text,
+                                           const std::string& name = "");
+
+  /// Removes a subscription and releases its atomic rules.
+  Status Unsubscribe(pubsub::SubscriptionId subscription);
+
+  /// Builds a full snapshot of a subscription's current matches (with
+  /// strong closures) as an insert notification. This is the pull
+  /// counterpart of publish notifications, used by the TTL-based cache
+  /// consistency alternative the paper mentions in §3.5.
+  Result<pubsub::Notification> SnapshotSubscription(
+      pubsub::SubscriptionId subscription);
+
+  // ---- Browsing (§2.2: real users can browse metadata at an MDP). -----
+
+  /// Evaluates `rule_text` once against the current metadata and returns
+  /// the matching URI references, without creating a subscription.
+  Result<std::vector<std::string>> Browse(std::string_view rule_text);
+
+  // ---- Backbone replication. -------------------------------------------
+
+  /// Adds a backbone peer; registrations/updates/deletes are forwarded.
+  void AddPeer(MetadataProvider* peer);
+
+  // ---- Persistence. --------------------------------------------------------
+
+  /// Serializes the provider's durable state — the filter database (rule
+  /// base, FilterData, materialized results), the registered documents,
+  /// and the subscription registry — into a text snapshot. LMR caches
+  /// are not part of the snapshot; after a restore, LMRs reattach to the
+  /// network and call Refresh() to resynchronize.
+  Status SaveSnapshot(std::ostream& out) const;
+
+  /// Restores a provider from SaveSnapshot output, replacing all current
+  /// state. The provider keeps its schema, network and peers.
+  Status LoadSnapshot(std::istream& in);
+
+  // ---- Introspection. ----------------------------------------------------
+
+  const DocumentStore& documents() const { return documents_; }
+  const rdbms::Database& database() const { return *db_; }
+  rdbms::Database* mutable_database() { return db_.get(); }
+  const filter::RuleStore& rule_store() const { return *rule_store_; }
+  const pubsub::SubscriptionRegistry& subscriptions() const {
+    return registry_;
+  }
+  const rdf::RdfSchema& schema() const { return *schema_; }
+
+  /// Statistics of the most recent filter run.
+  int last_filter_iterations() const { return last_iterations_; }
+
+ private:
+  enum class Origin { kClient, kPeer };
+
+  Status RegisterDocumentBatchInternal(std::vector<rdf::RdfDocument> docs,
+                                       Origin origin);
+  Status UpdateDocumentInternal(rdf::RdfDocument document, Origin origin);
+  Status DeleteDocumentInternal(const std::string& uri, Origin origin);
+
+  const rdf::RdfSchema* schema_;
+  Network* network_;
+  filter::RuleStoreOptions rule_options_;
+  std::unique_ptr<rdbms::Database> db_;
+  std::unique_ptr<filter::RuleStore> rule_store_;
+  std::unique_ptr<filter::FilterEngine> engine_;
+  DocumentStore documents_;
+  pubsub::SubscriptionRegistry registry_;
+  std::unique_ptr<pubsub::Publisher> publisher_;
+  std::vector<MetadataProvider*> peers_;
+  int last_iterations_ = 0;
+};
+
+}  // namespace mdv
+
+#endif  // MDV_MDV_METADATA_PROVIDER_H_

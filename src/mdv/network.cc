@@ -1,0 +1,28 @@
+#include "mdv/network.h"
+
+namespace mdv {
+
+void Network::Attach(pubsub::LmrId lmr, Handler handler) {
+  handlers_[lmr] = std::move(handler);
+}
+
+void Network::Detach(pubsub::LmrId lmr) { handlers_.erase(lmr); }
+
+void Network::Deliver(const pubsub::Notification& notification) {
+  ++stats_.messages;
+  stats_.resources_shipped +=
+      static_cast<int64_t>(notification.resources.size());
+  auto it = handlers_.find(notification.lmr);
+  if (it == handlers_.end()) {
+    ++stats_.undeliverable;
+    return;
+  }
+  it->second(notification);
+}
+
+void Network::DeliverAll(
+    const std::vector<pubsub::Notification>& notifications) {
+  for (const pubsub::Notification& note : notifications) Deliver(note);
+}
+
+}  // namespace mdv

@@ -1,0 +1,55 @@
+#ifndef MDV_MDV_NETWORK_H_
+#define MDV_MDV_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "common/status.h"
+#include "pubsub/notification.h"
+
+namespace mdv {
+
+/// Traffic counters of the simulated network.
+struct NetworkStats {
+  int64_t messages = 0;
+  int64_t resources_shipped = 0;
+  int64_t undeliverable = 0;
+};
+
+/// In-process stand-in for the Internet between MDPs and LMRs. Paper
+/// deployments ship notifications over the network; here delivery is a
+/// synchronous callback per LMR, which exercises the identical
+/// publish/notify code paths deterministically (see DESIGN.md,
+/// substitutions).
+class Network {
+ public:
+  using Handler = std::function<void(const pubsub::Notification&)>;
+
+  Network() = default;
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers the delivery endpoint of an LMR.
+  void Attach(pubsub::LmrId lmr, Handler handler);
+  void Detach(pubsub::LmrId lmr);
+
+  /// Delivers one notification to its LMR; counts it as undeliverable if
+  /// no endpoint is attached.
+  void Deliver(const pubsub::Notification& notification);
+
+  /// Delivers a batch.
+  void DeliverAll(const std::vector<pubsub::Notification>& notifications);
+
+  const NetworkStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = NetworkStats{}; }
+
+ private:
+  std::map<pubsub::LmrId, Handler> handlers_;
+  NetworkStats stats_;
+};
+
+}  // namespace mdv
+
+#endif  // MDV_MDV_NETWORK_H_

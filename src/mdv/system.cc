@@ -1,0 +1,36 @@
+#include "mdv/system.h"
+
+namespace mdv {
+
+MdvSystem::MdvSystem(rdf::RdfSchema schema,
+                     filter::RuleStoreOptions rule_options)
+    : schema_(std::move(schema)), rule_options_(rule_options) {}
+
+MetadataProvider* MdvSystem::AddProvider() {
+  auto provider =
+      std::make_unique<MetadataProvider>(&schema_, &network_, rule_options_);
+  MetadataProvider* raw = provider.get();
+  // Full mesh: every MDP replicates to every other (flat hierarchy with
+  // full replication, §2.2).
+  for (const auto& existing : providers_) {
+    existing->AddPeer(raw);
+    raw->AddPeer(existing.get());
+  }
+  providers_.push_back(std::move(provider));
+  return raw;
+}
+
+LocalMetadataRepository* MdvSystem::AddRepository(
+    MetadataProvider* provider) {
+  if (provider == nullptr) {
+    if (providers_.empty()) AddProvider();
+    provider = providers_.front().get();
+  }
+  auto lmr = std::make_unique<LocalMetadataRepository>(
+      next_lmr_id_++, &schema_, provider, &network_);
+  LocalMetadataRepository* raw = lmr.get();
+  repositories_.push_back(std::move(lmr));
+  return raw;
+}
+
+}  // namespace mdv

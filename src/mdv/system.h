@@ -1,0 +1,54 @@
+#ifndef MDV_MDV_SYSTEM_H_
+#define MDV_MDV_SYSTEM_H_
+
+#include <memory>
+#include <vector>
+
+#include "mdv/lmr.h"
+#include "mdv/metadata_provider.h"
+#include "mdv/network.h"
+#include "rdf/schema.h"
+
+namespace mdv {
+
+/// Convenience wiring of a whole MDV deployment (Figure 2): a backbone
+/// of fully replicating Metadata Providers, any number of Local Metadata
+/// Repositories attached to them, and the simulated network in between.
+/// Owns all components; the schema is shared by every tier.
+class MdvSystem {
+ public:
+  explicit MdvSystem(rdf::RdfSchema schema,
+                     filter::RuleStoreOptions rule_options = {});
+
+  MdvSystem(const MdvSystem&) = delete;
+  MdvSystem& operator=(const MdvSystem&) = delete;
+
+  /// Adds a backbone MDP; it is fully meshed with the existing ones so
+  /// every registration replicates everywhere.
+  MetadataProvider* AddProvider();
+
+  /// Adds an LMR attached to `provider` (defaults to the first MDP).
+  LocalMetadataRepository* AddRepository(MetadataProvider* provider = nullptr);
+
+  const rdf::RdfSchema& schema() const { return schema_; }
+  Network& network() { return network_; }
+  const std::vector<std::unique_ptr<MetadataProvider>>& providers() const {
+    return providers_;
+  }
+  const std::vector<std::unique_ptr<LocalMetadataRepository>>& repositories()
+      const {
+    return repositories_;
+  }
+
+ private:
+  rdf::RdfSchema schema_;
+  filter::RuleStoreOptions rule_options_;
+  Network network_;
+  std::vector<std::unique_ptr<MetadataProvider>> providers_;
+  std::vector<std::unique_ptr<LocalMetadataRepository>> repositories_;
+  pubsub::LmrId next_lmr_id_ = 1;
+};
+
+}  // namespace mdv
+
+#endif  // MDV_MDV_SYSTEM_H_

@@ -1,0 +1,43 @@
+#ifndef MDV_PUBSUB_NOTIFICATION_H_
+#define MDV_PUBSUB_NOTIFICATION_H_
+
+#include <string>
+#include <vector>
+
+#include "pubsub/subscription.h"
+#include "rdf/document.h"
+
+namespace mdv::pubsub {
+
+/// A resource shipped inside a notification: its URI reference plus the
+/// full content an LMR needs to cache it.
+struct TransmittedResource {
+  std::string uri_reference;
+  rdf::Resource resource;
+  /// True when the resource travels only because it is in the strong
+  /// reference closure of a matched resource (§2.4) — it takes a
+  /// reference count at the LMR instead of a subscription match.
+  bool via_strong_reference = false;
+};
+
+/// What a published change means for one LMR.
+enum class NotificationKind {
+  kInsert,  ///< Resources newly matching one of the LMR's rules.
+  kUpdate,  ///< New versions of resources the LMR caches.
+  kRemove,  ///< Resources that stopped matching all of the LMR's rules.
+};
+
+/// One publish message from an MDP to an LMR.
+struct Notification {
+  NotificationKind kind = NotificationKind::kInsert;
+  LmrId lmr = -1;
+  /// Subscription this notification belongs to. kInsert adds a match for
+  /// that subscription; kRemove retracts one. -1 for kUpdate messages,
+  /// which refresh any cached copy regardless of subscription.
+  SubscriptionId subscription = -1;
+  std::vector<TransmittedResource> resources;
+};
+
+}  // namespace mdv::pubsub
+
+#endif  // MDV_PUBSUB_NOTIFICATION_H_

@@ -1,0 +1,136 @@
+#include "pubsub/publisher.h"
+
+#include <set>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace mdv::pubsub {
+
+Result<std::vector<TransmittedResource>> Publisher::WithStrongClosure(
+    const std::string& uri_reference) const {
+  const rdf::Resource* root = resolver_(uri_reference);
+  if (root == nullptr) {
+    return Status::NotFound("resource " + uri_reference);
+  }
+  std::vector<TransmittedResource> out;
+  std::unordered_set<std::string> visited{uri_reference};
+  out.push_back(TransmittedResource{uri_reference, *root, false});
+
+  // Breadth-first walk over strong references only (§2.4: strongly
+  // referenced resources are always transmitted, weakly referenced never).
+  for (size_t i = 0; i < out.size(); ++i) {
+    const rdf::Resource& res = out[i].resource;
+    for (const rdf::Property& prop : res.properties()) {
+      if (!prop.value.is_resource_ref()) continue;
+      const rdf::PropertyDef* def =
+          schema_->FindProperty(res.class_name(), prop.name);
+      if (def == nullptr || def->strength != rdf::RefStrength::kStrong) {
+        continue;
+      }
+      const std::string& target = prop.value.text();
+      if (!visited.insert(target).second) continue;
+      const rdf::Resource* target_res = resolver_(target);
+      if (target_res == nullptr) {
+        MDV_LOG(Warning) << "dangling strong reference " << res.class_name()
+                         << "." << prop.name << " -> " << target;
+        continue;
+      }
+      out.push_back(TransmittedResource{target, *target_res, true});
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Notification>> Publisher::PublishNewMatches(
+    const filter::FilterRunResult& result) const {
+  std::vector<Notification> notifications;
+  for (int64_t end_rule : registry_->EndRuleIds()) {
+    const std::vector<std::string>* matches = result.MatchesFor(end_rule);
+    if (matches == nullptr || matches->empty()) continue;
+    for (const Subscription* sub : registry_->ByEndRule(end_rule)) {
+      Notification note;
+      note.kind = NotificationKind::kInsert;
+      note.lmr = sub->lmr;
+      note.subscription = sub->id;
+      for (const std::string& uri : *matches) {
+        MDV_ASSIGN_OR_RETURN(std::vector<TransmittedResource> shipped,
+                             WithStrongClosure(uri));
+        note.resources.insert(note.resources.end(), shipped.begin(),
+                              shipped.end());
+      }
+      if (!note.resources.empty()) {
+        notifications.push_back(std::move(note));
+      }
+    }
+  }
+  return notifications;
+}
+
+Result<std::vector<Notification>> Publisher::PublishUpdateOutcome(
+    const filter::UpdateOutcome& outcome) const {
+  std::vector<Notification> notifications;
+
+  // New matches (pass 3) → inserts.
+  MDV_ASSIGN_OR_RETURN(std::vector<Notification> inserts,
+                       PublishNewMatches(outcome.new_matches));
+  notifications.insert(notifications.end(), inserts.begin(), inserts.end());
+
+  // Updated resources → broadcast their new versions; LMRs apply them
+  // only to copies they actually cache. (The paper notes the alternative
+  // of tracking per-resource LMR lists and rejects it for scalability.)
+  if (!outcome.updated_uris.empty()) {
+    std::set<LmrId> lmrs;
+    for (int64_t end_rule : registry_->EndRuleIds()) {
+      for (const Subscription* sub : registry_->ByEndRule(end_rule)) {
+        lmrs.insert(sub->lmr);
+      }
+    }
+    for (LmrId lmr : lmrs) {
+      Notification note;
+      note.kind = NotificationKind::kUpdate;
+      note.lmr = lmr;
+      for (const std::string& uri : outcome.updated_uris) {
+        MDV_ASSIGN_OR_RETURN(std::vector<TransmittedResource> shipped,
+                             WithStrongClosure(uri));
+        note.resources.insert(note.resources.end(), shipped.begin(),
+                              shipped.end());
+      }
+      if (!note.resources.empty()) {
+        notifications.push_back(std::move(note));
+      }
+    }
+  }
+
+  // True candidates (pass 1 minus pass 2) → removals, per subscription.
+  for (int64_t end_rule : registry_->EndRuleIds()) {
+    const std::vector<std::string>* was =
+        outcome.candidates.MatchesFor(end_rule);
+    if (was == nullptr || was->empty()) continue;
+    const std::vector<std::string>* still =
+        outcome.still_matching.MatchesFor(end_rule);
+    std::set<std::string> still_set;
+    if (still != nullptr) still_set.insert(still->begin(), still->end());
+
+    std::vector<std::string> removed;
+    for (const std::string& uri : *was) {
+      if (still_set.count(uri) == 0) removed.push_back(uri);
+    }
+    if (removed.empty()) continue;
+
+    for (const Subscription* sub : registry_->ByEndRule(end_rule)) {
+      Notification note;
+      note.kind = NotificationKind::kRemove;
+      note.lmr = sub->lmr;
+      note.subscription = sub->id;
+      for (const std::string& uri : removed) {
+        // Removals carry no content; the uri suffices.
+        note.resources.push_back(TransmittedResource{uri, {}, false});
+      }
+      notifications.push_back(std::move(note));
+    }
+  }
+  return notifications;
+}
+
+}  // namespace mdv::pubsub

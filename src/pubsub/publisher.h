@@ -1,0 +1,64 @@
+#ifndef MDV_PUBSUB_PUBLISHER_H_
+#define MDV_PUBSUB_PUBLISHER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "filter/update_protocol.h"
+#include "pubsub/notification.h"
+#include "pubsub/subscription.h"
+#include "rdf/schema.h"
+
+namespace mdv::pubsub {
+
+/// Turns filter results into publish notifications for the subscribed
+/// LMRs. The publisher owns the strong/weak reference policy of §2.4:
+/// every transmitted resource travels together with its strong-reference
+/// closure, never with weakly referenced resources.
+class Publisher {
+ public:
+  /// Resolves a URI reference to the live resource at the MDP; returns
+  /// nullptr for unknown (e.g. dangling) references.
+  using ResourceResolver =
+      std::function<const rdf::Resource*(const std::string& uri_reference)>;
+
+  Publisher(const rdf::RdfSchema* schema,
+            const SubscriptionRegistry* registry, ResourceResolver resolver)
+      : schema_(schema), registry_(registry), resolver_(std::move(resolver)) {}
+
+  Publisher(const Publisher&) = delete;
+  Publisher& operator=(const Publisher&) = delete;
+
+  /// Notifications for a plain registration (or subscription seeding):
+  /// one kInsert per subscription whose end rule matched, carrying the
+  /// matched resources and their strong closures.
+  Result<std::vector<Notification>> PublishNewMatches(
+      const filter::FilterRunResult& result) const;
+
+  /// Notifications for a document re-registration processed by the
+  /// three-pass update protocol (§3.5):
+  ///  - kInsert for genuinely new matches (pass 3),
+  ///  - kUpdate broadcasting the new versions of updated resources to
+  ///    every subscribed LMR (which applies them only to cached copies),
+  ///  - kRemove per subscription for candidates (pass 1) that no rule of
+  ///    that subscription still matches (pass 2).
+  Result<std::vector<Notification>> PublishUpdateOutcome(
+      const filter::UpdateOutcome& outcome) const;
+
+  /// The resource at `uri_reference` followed by its strong-reference
+  /// closure (§2.4). NotFound if the root resource does not resolve;
+  /// dangling strong references inside the closure are skipped.
+  Result<std::vector<TransmittedResource>> WithStrongClosure(
+      const std::string& uri_reference) const;
+
+ private:
+  const rdf::RdfSchema* schema_;
+  const SubscriptionRegistry* registry_;
+  ResourceResolver resolver_;
+};
+
+}  // namespace mdv::pubsub
+
+#endif  // MDV_PUBSUB_PUBLISHER_H_

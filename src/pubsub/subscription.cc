@@ -1,0 +1,92 @@
+#include "pubsub/subscription.h"
+
+#include <set>
+
+namespace mdv::pubsub {
+
+SubscriptionId SubscriptionRegistry::Add(LmrId lmr, std::string rule_text,
+                                         std::string name,
+                                         int64_t end_rule_id,
+                                         std::string type) {
+  SubscriptionId id = next_id_++;
+  Subscription sub;
+  sub.id = id;
+  sub.lmr = lmr;
+  sub.rule_text = std::move(rule_text);
+  sub.name = std::move(name);
+  sub.end_rule_id = end_rule_id;
+  sub.type = std::move(type);
+  subscriptions_.emplace(id, std::move(sub));
+  return id;
+}
+
+Result<Subscription> SubscriptionRegistry::Remove(SubscriptionId id) {
+  auto it = subscriptions_.find(id);
+  if (it == subscriptions_.end()) {
+    return Status::NotFound("subscription " + std::to_string(id));
+  }
+  Subscription removed = std::move(it->second);
+  subscriptions_.erase(it);
+  return removed;
+}
+
+const Subscription* SubscriptionRegistry::Find(SubscriptionId id) const {
+  auto it = subscriptions_.find(id);
+  return it == subscriptions_.end() ? nullptr : &it->second;
+}
+
+std::vector<const Subscription*> SubscriptionRegistry::ByEndRule(
+    int64_t end_rule_id) const {
+  std::vector<const Subscription*> out;
+  for (const auto& [id, sub] : subscriptions_) {
+    if (sub.end_rule_id == end_rule_id) out.push_back(&sub);
+  }
+  return out;
+}
+
+std::vector<const Subscription*> SubscriptionRegistry::ByLmr(
+    LmrId lmr) const {
+  std::vector<const Subscription*> out;
+  for (const auto& [id, sub] : subscriptions_) {
+    if (sub.lmr == lmr) out.push_back(&sub);
+  }
+  return out;
+}
+
+const Subscription* SubscriptionRegistry::FindByName(
+    const std::string& name) const {
+  if (name.empty()) return nullptr;
+  for (const auto& [id, sub] : subscriptions_) {
+    if (sub.name == name) return &sub;
+  }
+  return nullptr;
+}
+
+std::vector<const Subscription*> SubscriptionRegistry::All() const {
+  std::vector<const Subscription*> out;
+  out.reserve(subscriptions_.size());
+  for (const auto& [id, sub] : subscriptions_) out.push_back(&sub);
+  return out;
+}
+
+Status SubscriptionRegistry::Restore(Subscription subscription) {
+  if (subscriptions_.count(subscription.id) != 0) {
+    return Status::AlreadyExists("subscription " +
+                                 std::to_string(subscription.id));
+  }
+  next_id_ = std::max(next_id_, subscription.id + 1);
+  subscriptions_.emplace(subscription.id, std::move(subscription));
+  return Status::OK();
+}
+
+void SubscriptionRegistry::Clear() { subscriptions_.clear(); }
+
+std::vector<int64_t> SubscriptionRegistry::EndRuleIds() const {
+  std::set<int64_t> unique;
+  for (const auto& [id, sub] : subscriptions_) {
+    unique.insert(sub.end_rule_id);
+  }
+  return {unique.begin(), unique.end()};
+}
+
+}  // namespace mdv::pubsub

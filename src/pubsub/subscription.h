@@ -1,0 +1,81 @@
+#ifndef MDV_PUBSUB_SUBSCRIPTION_H_
+#define MDV_PUBSUB_SUBSCRIPTION_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mdv::pubsub {
+
+using LmrId = int64_t;
+using SubscriptionId = int64_t;
+
+/// One registered subscription: an LMR's interest in the resources
+/// matched by one subscription rule, whose decomposed end rule is
+/// `end_rule_id` in the MDP's rule store.
+struct Subscription {
+  SubscriptionId id = -1;
+  LmrId lmr = -1;
+  std::string rule_text;
+  /// Optional name under which other rules may use this subscription as
+  /// an extension (§2.3); empty = anonymous.
+  std::string name;
+  int64_t end_rule_id = -1;
+  /// Type (class) of the resources the rule registers.
+  std::string type;
+};
+
+/// Bookkeeping of which LMR subscribed which rules and which atomic end
+/// rules serve them. The MDP consults it after every filter run to route
+/// matches to subscribers.
+class SubscriptionRegistry {
+ public:
+  SubscriptionRegistry() = default;
+
+  /// Records a subscription and returns its id.
+  SubscriptionId Add(LmrId lmr, std::string rule_text, std::string name,
+                     int64_t end_rule_id, std::string type);
+
+  /// Removes a subscription; NotFound if absent. Returns the removed
+  /// record so the caller can release the end rule in the rule store.
+  Result<Subscription> Remove(SubscriptionId id);
+
+  const Subscription* Find(SubscriptionId id) const;
+
+  /// Subscriptions whose end rule is `end_rule_id` (several LMRs may
+  /// share one end rule thanks to dependency-graph merging).
+  std::vector<const Subscription*> ByEndRule(int64_t end_rule_id) const;
+
+  /// All subscriptions of one LMR.
+  std::vector<const Subscription*> ByLmr(LmrId lmr) const;
+
+  /// Resolves a named subscription (rule-valued extensions, §2.3).
+  const Subscription* FindByName(const std::string& name) const;
+
+  /// Every end rule referenced by at least one subscription.
+  std::vector<int64_t> EndRuleIds() const;
+
+  /// All subscriptions (for snapshots/diagnostics).
+  std::vector<const Subscription*> All() const;
+
+  /// Re-inserts a subscription under its original id (snapshot restore);
+  /// AlreadyExists if the id is taken. Keeps the id counter ahead.
+  Status Restore(Subscription subscription);
+
+  /// Drops every subscription (snapshot restore).
+  void Clear();
+
+  size_t size() const { return subscriptions_.size(); }
+
+ private:
+  std::map<SubscriptionId, Subscription> subscriptions_;
+  SubscriptionId next_id_ = 1;
+};
+
+}  // namespace mdv::pubsub
+
+#endif  // MDV_PUBSUB_SUBSCRIPTION_H_

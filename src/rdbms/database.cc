@@ -1,0 +1,104 @@
+#include "rdbms/database.h"
+
+#include <algorithm>
+
+namespace mdv::rdbms {
+
+Result<Table*> Database::CreateTable(TableSchema schema) {
+  // Copy the name: `schema` is moved into the Table below, and the map
+  // key must outlive that move.
+  std::string name = schema.table_name();
+  if (tables_.count(name) != 0) {
+    return Status::AlreadyExists("table " + name);
+  }
+  auto table = std::make_unique<Table>(std::move(schema));
+  Table* raw = table.get();
+  tables_.emplace(name, std::move(table));
+  if (in_transaction_) {
+    raw->set_undo_log(&undo_);
+    created_in_transaction_.push_back(name);
+  }
+  return raw;
+}
+
+Table* Database::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Status Database::DropTable(const std::string& name) {
+  if (in_transaction_) {
+    return Status::Unsupported("cannot drop tables inside a transaction");
+  }
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound("table " + name);
+  }
+  return Status::OK();
+}
+
+Status Database::BeginTransaction() {
+  if (in_transaction_) {
+    return Status::InvalidArgument("a transaction is already active");
+  }
+  in_transaction_ = true;
+  created_in_transaction_.clear();
+  for (auto& [name, table] : tables_) {
+    table->set_undo_log(&undo_);
+  }
+  return Status::OK();
+}
+
+Status Database::CommitTransaction() {
+  if (!in_transaction_) {
+    return Status::InvalidArgument("no active transaction");
+  }
+  for (auto& [name, table] : tables_) {
+    table->set_undo_log(nullptr);
+  }
+  undo_.Clear();
+  created_in_transaction_.clear();
+  in_transaction_ = false;
+  return Status::OK();
+}
+
+Status Database::RollbackTransaction() {
+  if (!in_transaction_) {
+    return Status::InvalidArgument("no active transaction");
+  }
+  for (auto& [name, table] : tables_) {
+    table->set_undo_log(nullptr);
+  }
+  in_transaction_ = false;  // Before DropTable of created tables.
+  Status status = undo_.Rollback();
+  for (const std::string& name : created_in_transaction_) {
+    Status drop = DropTable(name);
+    if (!drop.ok() && status.ok()) status = drop;
+  }
+  created_in_transaction_.clear();
+  return status;
+}
+
+bool Database::HasTable(const std::string& name) const {
+  return tables_.count(name) != 0;
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+size_t Database::TotalRows() const {
+  size_t total = 0;
+  for (const auto& [name, table] : tables_) total += table->NumRows();
+  return total;
+}
+
+}  // namespace mdv::rdbms

@@ -1,0 +1,71 @@
+#ifndef MDV_RDBMS_DATABASE_H_
+#define MDV_RDBMS_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rdbms/table.h"
+
+namespace mdv::rdbms {
+
+/// The catalog of an embedded database instance: named tables plus their
+/// indexes. Each MDP and each LMR owns one Database (the paper's
+/// "standard relational database system" used as basic data storage).
+class Database {
+ public:
+  Database() = default;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates a table; AlreadyExists if the name is taken. Returns the
+  /// live table, owned by the database.
+  Result<Table*> CreateTable(TableSchema schema);
+
+  /// Returns the table or nullptr.
+  Table* GetTable(const std::string& name);
+  const Table* GetTable(const std::string& name) const;
+
+  /// Drops the table; NotFound if absent.
+  Status DropTable(const std::string& name);
+
+  bool HasTable(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+
+  /// Sum of NumRows over all tables — rough database size for diagnostics.
+  size_t TotalRows() const;
+
+  // ---- Transactions. -----------------------------------------------------
+  //
+  // One transaction at a time; while active, all row mutations across
+  // every table are recorded and RollbackTransaction() restores the
+  // exact pre-transaction state (including row ids and indexes). Tables
+  // created during the transaction are dropped on rollback; DropTable is
+  // rejected inside a transaction.
+
+  /// Starts a transaction; InvalidArgument if one is active.
+  Status BeginTransaction();
+
+  /// Makes the transaction's changes permanent.
+  Status CommitTransaction();
+
+  /// Undoes every change since BeginTransaction.
+  Status RollbackTransaction();
+
+  bool InTransaction() const { return in_transaction_; }
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  UndoLog undo_;
+  bool in_transaction_ = false;
+  std::vector<std::string> created_in_transaction_;
+};
+
+}  // namespace mdv::rdbms
+
+#endif  // MDV_RDBMS_DATABASE_H_

@@ -1,0 +1,61 @@
+#include "rdbms/index.h"
+
+namespace mdv::rdbms {
+
+void BTreeIndex::Insert(const Value& key, RowId row_id) {
+  entries_.emplace(key, row_id);
+}
+
+void BTreeIndex::Remove(const Value& key, RowId row_id) {
+  auto [begin, end] = entries_.equal_range(key);
+  for (auto it = begin; it != end; ++it) {
+    if (it->second == row_id) {
+      entries_.erase(it);
+      return;
+    }
+  }
+}
+
+void BTreeIndex::Lookup(const Value& key, std::vector<RowId>* out) const {
+  auto [begin, end] = entries_.equal_range(key);
+  for (auto it = begin; it != end; ++it) out->push_back(it->second);
+}
+
+void BTreeIndex::LookupRange(const Value& lower, bool lower_inclusive,
+                             bool has_lower, const Value& upper,
+                             bool upper_inclusive, bool has_upper,
+                             std::vector<RowId>* out) const {
+  auto it = has_lower ? (lower_inclusive ? entries_.lower_bound(lower)
+                                         : entries_.upper_bound(lower))
+                      : entries_.begin();
+  auto stop = has_upper ? (upper_inclusive ? entries_.upper_bound(upper)
+                                           : entries_.lower_bound(upper))
+                        : entries_.end();
+  for (; it != stop; ++it) out->push_back(it->second);
+}
+
+void HashIndex::Insert(const Value& key, RowId row_id) {
+  entries_.emplace(key, row_id);
+}
+
+void HashIndex::Remove(const Value& key, RowId row_id) {
+  auto [begin, end] = entries_.equal_range(key);
+  for (auto it = begin; it != end; ++it) {
+    if (it->second == row_id) {
+      entries_.erase(it);
+      return;
+    }
+  }
+}
+
+void HashIndex::Lookup(const Value& key, std::vector<RowId>* out) const {
+  auto [begin, end] = entries_.equal_range(key);
+  for (auto it = begin; it != end; ++it) out->push_back(it->second);
+}
+
+std::unique_ptr<Index> MakeIndex(IndexKind kind, size_t column) {
+  if (kind == IndexKind::kBTree) return std::make_unique<BTreeIndex>(column);
+  return std::make_unique<HashIndex>(column);
+}
+
+}  // namespace mdv::rdbms

@@ -1,0 +1,97 @@
+#ifndef MDV_RDBMS_INDEX_H_
+#define MDV_RDBMS_INDEX_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdbms/row.h"
+#include "rdbms/value.h"
+
+namespace mdv::rdbms {
+
+/// Kinds of secondary indexes the engine offers.
+enum class IndexKind {
+  kBTree,  ///< Ordered; supports point and range lookups.
+  kHash,   ///< Unordered; point lookups only.
+};
+
+/// A secondary index over one column of a table. Maintained by Table on
+/// every insert/update/delete; duplicates allowed (non-unique).
+class Index {
+ public:
+  virtual ~Index() = default;
+
+  virtual IndexKind kind() const = 0;
+  /// The indexed column's position in the table schema.
+  virtual size_t column() const = 0;
+
+  virtual void Insert(const Value& key, RowId row_id) = 0;
+  virtual void Remove(const Value& key, RowId row_id) = 0;
+
+  /// Appends the row ids whose key equals `key` to `out`.
+  virtual void Lookup(const Value& key, std::vector<RowId>* out) const = 0;
+
+  /// Appends row ids with key in [lower, upper] (bounds optional via NULL
+  /// + flags). Only meaningful for ordered indexes; hash indexes report
+  /// range support via SupportsRange().
+  virtual bool SupportsRange() const = 0;
+  virtual void LookupRange(const Value& lower, bool lower_inclusive,
+                           bool has_lower, const Value& upper,
+                           bool upper_inclusive, bool has_upper,
+                           std::vector<RowId>* out) const = 0;
+
+  virtual size_t NumEntries() const = 0;
+};
+
+/// Ordered index on std::multimap (red-black tree).
+class BTreeIndex final : public Index {
+ public:
+  explicit BTreeIndex(size_t column) : column_(column) {}
+
+  IndexKind kind() const override { return IndexKind::kBTree; }
+  size_t column() const override { return column_; }
+
+  void Insert(const Value& key, RowId row_id) override;
+  void Remove(const Value& key, RowId row_id) override;
+  void Lookup(const Value& key, std::vector<RowId>* out) const override;
+  bool SupportsRange() const override { return true; }
+  void LookupRange(const Value& lower, bool lower_inclusive, bool has_lower,
+                   const Value& upper, bool upper_inclusive, bool has_upper,
+                   std::vector<RowId>* out) const override;
+  size_t NumEntries() const override { return entries_.size(); }
+
+ private:
+  size_t column_;
+  std::multimap<Value, RowId, ValueLess> entries_;
+};
+
+/// Unordered point-lookup index on std::unordered_multimap.
+class HashIndex final : public Index {
+ public:
+  explicit HashIndex(size_t column) : column_(column) {}
+
+  IndexKind kind() const override { return IndexKind::kHash; }
+  size_t column() const override { return column_; }
+
+  void Insert(const Value& key, RowId row_id) override;
+  void Remove(const Value& key, RowId row_id) override;
+  void Lookup(const Value& key, std::vector<RowId>* out) const override;
+  bool SupportsRange() const override { return false; }
+  void LookupRange(const Value&, bool, bool, const Value&, bool, bool,
+                   std::vector<RowId>*) const override {}
+  size_t NumEntries() const override { return entries_.size(); }
+
+ private:
+  size_t column_;
+  std::unordered_multimap<Value, RowId, ValueHash> entries_;
+};
+
+std::unique_ptr<Index> MakeIndex(IndexKind kind, size_t column);
+
+}  // namespace mdv::rdbms
+
+#endif  // MDV_RDBMS_INDEX_H_

@@ -1,0 +1,268 @@
+#include "rdbms/persistence.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "rdbms/table.h"
+
+namespace mdv::rdbms {
+
+namespace {
+
+constexpr char kMagic[] = "MDVDB1";
+
+std::string EscapeText(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case ' ':
+        out += "\\s";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string UnescapeText(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out += s[i];
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case 'n':
+        out += '\n';
+        break;
+      case 't':
+        out += '\t';
+        break;
+      case 's':
+        out += ' ';
+        break;
+      default:
+        out += s[i];
+    }
+  }
+  return out;
+}
+
+std::string EncodeValue(const Value& v) {
+  if (v.is_null()) return "N";
+  if (v.is_int()) return "I " + std::to_string(v.as_int());
+  if (v.is_double()) {
+    std::ostringstream os;
+    os.precision(17);
+    os << "D " << v.as_double();
+    return os.str();
+  }
+  return "S " + EscapeText(v.as_string());
+}
+
+Result<Value> DecodeValue(const std::string& line) {
+  if (line == "N") return Value();
+  if (line.size() < 2 || line[1] != ' ') {
+    return Status::ParseError("malformed value line: " + line);
+  }
+  std::string payload = line.substr(2);
+  switch (line[0]) {
+    case 'I': {
+      int64_t parsed = 0;
+      auto [p, ec] = std::from_chars(payload.data(),
+                                     payload.data() + payload.size(), parsed);
+      if (ec != std::errc() || p != payload.data() + payload.size()) {
+        return Status::ParseError("bad int: " + payload);
+      }
+      return Value(parsed);
+    }
+    case 'D': {
+      double parsed = 0.0;
+      auto [p, ec] = std::from_chars(payload.data(),
+                                     payload.data() + payload.size(), parsed);
+      if (ec != std::errc() || p != payload.data() + payload.size()) {
+        return Status::ParseError("bad double: " + payload);
+      }
+      return Value(parsed);
+    }
+    case 'S':
+      return Value(UnescapeText(payload));
+    default:
+      return Status::ParseError("unknown value tag in: " + line);
+  }
+}
+
+}  // namespace
+
+Status SaveDatabase(const Database& db, std::ostream& out) {
+  out << kMagic << "\n";
+  for (const std::string& name : db.TableNames()) {
+    const Table* table = db.GetTable(name);
+    const TableSchema& schema = table->schema();
+    out << "TABLE " << EscapeText(name) << " " << schema.num_columns()
+        << " " << table->NumRows() << "\n";
+    for (size_t i = 0; i < schema.num_columns(); ++i) {
+      const ColumnDef& col = schema.column(i);
+      out << "COL " << EscapeText(col.name) << " "
+          << ColumnTypeToString(col.type) << " " << (col.nullable ? 1 : 0)
+          << "\n";
+      if (table->HasIndex(i)) {
+        // Kind is not observable through Table's public API per column;
+        // persist as BTREE (lossless for correctness, both kinds answer
+        // the same queries). See rdbms/index.h.
+        out << "INDEX " << EscapeText(col.name) << " BTREE\n";
+      }
+    }
+    table->Scan([&](RowId, const Row& row) {
+      for (const Value& v : row) {
+        out << "V " << EncodeValue(v) << "\n";
+      }
+    });
+  }
+  out << "END\n";
+  if (!out.good()) return Status::Internal("write failure");
+  return Status::OK();
+}
+
+Status SaveDatabaseToFile(const Database& db, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  return SaveDatabase(db, out);
+}
+
+Result<std::unique_ptr<Database>> LoadDatabase(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    return Status::ParseError("missing database header");
+  }
+  auto db = std::make_unique<Database>();
+  Table* table = nullptr;
+  size_t pending_columns = 0;
+  size_t pending_rows = 0;
+  std::string table_name;
+  std::vector<ColumnDef> columns;
+  std::vector<std::pair<std::string, IndexKind>> indexes;
+  Row row;
+
+  auto flush_table_header = [&]() -> Status {
+    if (table != nullptr || table_name.empty()) return Status::OK();
+    if (columns.size() != pending_columns) {
+      return Status::ParseError("column count mismatch for " + table_name);
+    }
+    MDV_ASSIGN_OR_RETURN(table,
+                         db->CreateTable(TableSchema(table_name, columns)));
+    for (const auto& [col, kind] : indexes) {
+      MDV_RETURN_IF_ERROR(table->CreateIndex(col, kind));
+    }
+    return Status::OK();
+  };
+
+  while (std::getline(in, line)) {
+    if (line == "END") {
+      MDV_RETURN_IF_ERROR(flush_table_header());
+      if (pending_rows != 0) {
+        return Status::ParseError("truncated rows for table " + table_name);
+      }
+      return db;
+    }
+    if (StartsWith(line, "TABLE ")) {
+      MDV_RETURN_IF_ERROR(flush_table_header());
+      if (pending_rows != 0) {
+        return Status::ParseError("truncated rows for table " + table_name);
+      }
+      std::istringstream ss(line.substr(6));
+      std::string escaped;
+      if (!(ss >> escaped >> pending_columns >> pending_rows)) {
+        return Status::ParseError("malformed TABLE line: " + line);
+      }
+      table_name = UnescapeText(escaped);
+      columns.clear();
+      indexes.clear();
+      table = nullptr;
+      row.clear();
+      continue;
+    }
+    if (StartsWith(line, "COL ")) {
+      std::istringstream ss(line.substr(4));
+      std::string escaped, type_name;
+      int nullable = 1;
+      if (!(ss >> escaped >> type_name >> nullable)) {
+        return Status::ParseError("malformed COL line: " + line);
+      }
+      ColumnDef def;
+      def.name = UnescapeText(escaped);
+      def.nullable = nullable != 0;
+      if (type_name == "INT64") {
+        def.type = ColumnType::kInt64;
+      } else if (type_name == "DOUBLE") {
+        def.type = ColumnType::kDouble;
+      } else if (type_name == "STRING") {
+        def.type = ColumnType::kString;
+      } else {
+        return Status::ParseError("unknown column type " + type_name);
+      }
+      columns.push_back(std::move(def));
+      continue;
+    }
+    if (StartsWith(line, "INDEX ")) {
+      std::istringstream ss(line.substr(6));
+      std::string escaped, kind_name;
+      if (!(ss >> escaped >> kind_name)) {
+        return Status::ParseError("malformed INDEX line: " + line);
+      }
+      indexes.emplace_back(UnescapeText(escaped),
+                           kind_name == "HASH" ? IndexKind::kHash
+                                               : IndexKind::kBTree);
+      continue;
+    }
+    if (StartsWith(line, "V ")) {
+      MDV_RETURN_IF_ERROR(flush_table_header());
+      if (table == nullptr) {
+        return Status::ParseError("row value outside a table");
+      }
+      MDV_ASSIGN_OR_RETURN(Value v, DecodeValue(line.substr(2)));
+      row.push_back(std::move(v));
+      if (row.size() == table->schema().num_columns()) {
+        if (pending_rows == 0) {
+          return Status::ParseError("too many rows for " + table_name);
+        }
+        MDV_ASSIGN_OR_RETURN(RowId id, table->Insert(std::move(row)));
+        (void)id;
+        row.clear();
+        --pending_rows;
+      }
+      continue;
+    }
+    if (line.empty()) continue;
+    return Status::ParseError("unrecognized line: " + line);
+  }
+  return Status::ParseError("missing END marker");
+}
+
+Result<std::unique_ptr<Database>> LoadDatabaseFromFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open " + path);
+  }
+  return LoadDatabase(in);
+}
+
+}  // namespace mdv::rdbms

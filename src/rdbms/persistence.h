@@ -1,0 +1,31 @@
+#ifndef MDV_RDBMS_PERSISTENCE_H_
+#define MDV_RDBMS_PERSISTENCE_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rdbms/database.h"
+
+namespace mdv::rdbms {
+
+/// Serializes the whole database — schemas, index definitions, and rows —
+/// into a line-oriented text format. RowIds are not preserved; MDV's
+/// tables reference each other through value columns (rule_id etc.), so
+/// a reloaded database is semantically identical.
+Status SaveDatabase(const Database& db, std::ostream& out);
+
+/// Writes SaveDatabase output to `path` (overwriting).
+Status SaveDatabaseToFile(const Database& db, const std::string& path);
+
+/// Reconstructs a database from SaveDatabase output. Indexes are
+/// re-created and back-filled.
+Result<std::unique_ptr<Database>> LoadDatabase(std::istream& in);
+
+Result<std::unique_ptr<Database>> LoadDatabaseFromFile(
+    const std::string& path);
+
+}  // namespace mdv::rdbms
+
+#endif  // MDV_RDBMS_PERSISTENCE_H_

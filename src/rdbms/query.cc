@@ -1,0 +1,162 @@
+#include "rdbms/query.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mdv::rdbms {
+
+int RowSet::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+RowSet FromTable(const Table& table,
+                 const std::vector<ScanCondition>& conditions,
+                 const std::string& prefix) {
+  RowSet out;
+  for (const ColumnDef& col : table.schema().columns()) {
+    out.columns.push_back(prefix.empty() ? col.name : prefix + "." + col.name);
+  }
+  out.rows = table.SelectRows(conditions);
+  return out;
+}
+
+RowSet Select(const RowSet& input, const Predicate& predicate) {
+  RowSet out;
+  out.columns = input.columns;
+  for (const Row& row : input.rows) {
+    if (predicate.Evaluate(row)) out.rows.push_back(row);
+  }
+  return out;
+}
+
+namespace {
+
+Row ConcatRows(const Row& a, const Row& b) {
+  Row out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+std::vector<std::string> ConcatColumns(const std::vector<std::string>& a,
+                                       const std::vector<std::string>& b) {
+  std::vector<std::string> out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+}  // namespace
+
+RowSet HashJoin(const RowSet& left, size_t left_col, const RowSet& right,
+                size_t right_col) {
+  RowSet out;
+  out.columns = ConcatColumns(left.columns, right.columns);
+  // Build on the smaller side; probe with the larger.
+  const bool build_left = left.rows.size() <= right.rows.size();
+  const RowSet& build = build_left ? left : right;
+  const RowSet& probe = build_left ? right : left;
+  const size_t build_col = build_left ? left_col : right_col;
+  const size_t probe_col = build_left ? right_col : left_col;
+
+  std::unordered_multimap<Value, const Row*, ValueHash> ht;
+  ht.reserve(build.rows.size());
+  for (const Row& row : build.rows) {
+    if (row[build_col].is_null()) continue;  // NULL never joins.
+    ht.emplace(row[build_col], &row);
+  }
+  for (const Row& row : probe.rows) {
+    if (row[probe_col].is_null()) continue;
+    auto [begin, end] = ht.equal_range(row[probe_col]);
+    for (auto it = begin; it != end; ++it) {
+      const Row& brow = *it->second;
+      out.rows.push_back(build_left ? ConcatRows(brow, row)
+                                    : ConcatRows(row, brow));
+    }
+  }
+  return out;
+}
+
+RowSet NestedLoopJoin(const RowSet& left, size_t left_col, CompareOp op,
+                      const RowSet& right, size_t right_col) {
+  if (op == CompareOp::kEq) return HashJoin(left, left_col, right, right_col);
+  RowSet out;
+  out.columns = ConcatColumns(left.columns, right.columns);
+  for (const Row& lrow : left.rows) {
+    for (const Row& rrow : right.rows) {
+      if (EvaluateCompare(lrow[left_col], op, rrow[right_col])) {
+        out.rows.push_back(ConcatRows(lrow, rrow));
+      }
+    }
+  }
+  return out;
+}
+
+RowSet Project(const RowSet& input,
+               const std::vector<size_t>& column_indexes) {
+  RowSet out;
+  for (size_t idx : column_indexes) out.columns.push_back(input.columns[idx]);
+  out.rows.reserve(input.rows.size());
+  for (const Row& row : input.rows) {
+    Row projected;
+    projected.reserve(column_indexes.size());
+    for (size_t idx : column_indexes) projected.push_back(row[idx]);
+    out.rows.push_back(std::move(projected));
+  }
+  return out;
+}
+
+namespace {
+
+struct RowHash {
+  size_t operator()(const Row& row) const {
+    size_t h = 0;
+    for (const Value& v : row) {
+      h = h * 1099511628211ULL + v.Hash();
+    }
+    return h;
+  }
+};
+
+struct RowEq {
+  bool operator()(const Row& a, const Row& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      // NULL cells compare equal for dedup purposes.
+      if (a[i].is_null() != b[i].is_null()) return false;
+      if (!a[i].is_null() && a[i] != b[i]) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+RowSet Distinct(const RowSet& input) {
+  RowSet out;
+  out.columns = input.columns;
+  std::unordered_set<Row, RowHash, RowEq> seen;
+  seen.reserve(input.rows.size());
+  for (const Row& row : input.rows) {
+    if (seen.insert(row).second) out.rows.push_back(row);
+  }
+  return out;
+}
+
+Result<RowSet> Union(const RowSet& a, const RowSet& b) {
+  if (a.columns.size() != b.columns.size()) {
+    return Status::InvalidArgument("UNION arity mismatch: " +
+                                   std::to_string(a.columns.size()) + " vs " +
+                                   std::to_string(b.columns.size()));
+  }
+  RowSet out;
+  out.columns = a.columns;
+  out.rows = a.rows;
+  out.rows.insert(out.rows.end(), b.rows.begin(), b.rows.end());
+  return out;
+}
+
+}  // namespace mdv::rdbms

@@ -1,0 +1,59 @@
+#ifndef MDV_RDBMS_QUERY_H_
+#define MDV_RDBMS_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "rdbms/predicate.h"
+#include "rdbms/row.h"
+#include "rdbms/table.h"
+
+namespace mdv::rdbms {
+
+/// A transient relation flowing between query operators: named columns
+/// plus materialized rows. Produced by FromTable and transformed by the
+/// operator functions below (select → join → project pipelines).
+struct RowSet {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+
+  /// Index of `name`, or -1.
+  int ColumnIndex(const std::string& name) const;
+
+  size_t NumRows() const { return rows.size(); }
+  bool Empty() const { return rows.empty(); }
+};
+
+/// Materializes rows of `table` satisfying `conditions` (index-assisted)
+/// into a RowSet whose columns carry the table's column names, optionally
+/// prefixed ("t." + name) to keep names unique across joins.
+RowSet FromTable(const Table& table,
+                 const std::vector<ScanCondition>& conditions,
+                 const std::string& prefix = "");
+
+/// Keeps rows satisfying `predicate` (positional over the RowSet columns).
+RowSet Select(const RowSet& input, const Predicate& predicate);
+
+/// Equi-join on left.columns[left_col] == right.columns[right_col], built
+/// with a hash table on the smaller side. Output columns are
+/// left.columns ++ right.columns.
+RowSet HashJoin(const RowSet& left, size_t left_col, const RowSet& right,
+                size_t right_col);
+
+/// General theta join (nested loop) for non-equality join predicates.
+RowSet NestedLoopJoin(const RowSet& left, size_t left_col, CompareOp op,
+                      const RowSet& right, size_t right_col);
+
+/// Keeps only the columns at `column_indexes`, in that order.
+RowSet Project(const RowSet& input, const std::vector<size_t>& column_indexes);
+
+/// Removes duplicate rows (exact Value equality per cell).
+RowSet Distinct(const RowSet& input);
+
+/// Appends the rows of `b` to `a`; column lists must have equal arity.
+Result<RowSet> Union(const RowSet& a, const RowSet& b);
+
+}  // namespace mdv::rdbms
+
+#endif  // MDV_RDBMS_QUERY_H_

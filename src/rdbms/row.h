@@ -1,0 +1,21 @@
+#ifndef MDV_RDBMS_ROW_H_
+#define MDV_RDBMS_ROW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rdbms/value.h"
+
+namespace mdv::rdbms {
+
+/// A tuple; cell order matches the owning table's schema.
+using Row = std::vector<Value>;
+
+/// Stable identifier of a row within its table (never reused).
+using RowId = int64_t;
+
+constexpr RowId kInvalidRowId = -1;
+
+}  // namespace mdv::rdbms
+
+#endif  // MDV_RDBMS_ROW_H_

@@ -1,0 +1,31 @@
+#include "rdbms/schema.h"
+
+namespace mdv::rdbms {
+
+TableSchema::TableSchema(std::string table_name, std::vector<ColumnDef> columns)
+    : table_name_(std::move(table_name)), columns_(std::move(columns)) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    index_by_name_.emplace(columns_[i].name, i);
+  }
+}
+
+std::optional<size_t> TableSchema::ColumnIndex(const std::string& name) const {
+  auto it = index_by_name_.find(name);
+  if (it == index_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string TableSchema::ToString() const {
+  std::string out = table_name_;
+  out += "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += ColumnTypeToString(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace mdv::rdbms

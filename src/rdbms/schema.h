@@ -1,0 +1,46 @@
+#ifndef MDV_RDBMS_SCHEMA_H_
+#define MDV_RDBMS_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdbms/value.h"
+
+namespace mdv::rdbms {
+
+/// Definition of one column of a table.
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kString;
+  bool nullable = true;
+};
+
+/// Immutable description of a table: its name and ordered columns.
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string table_name, std::vector<ColumnDef> columns);
+
+  const std::string& table_name() const { return table_name_; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Index of the column named `name`, or nullopt.
+  std::optional<size_t> ColumnIndex(const std::string& name) const;
+
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+
+  /// "name(col1 TYPE, col2 TYPE, ...)" — for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::string table_name_;
+  std::vector<ColumnDef> columns_;
+  std::unordered_map<std::string, size_t> index_by_name_;
+};
+
+}  // namespace mdv::rdbms
+
+#endif  // MDV_RDBMS_SCHEMA_H_

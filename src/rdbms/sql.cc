@@ -1,0 +1,964 @@
+#include "rdbms/sql.h"
+#include <cmath>
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+#include "rdbms/predicate.h"
+#include "rdbms/table.h"
+
+namespace mdv::rdbms {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+enum class SqlTokenKind {
+  kIdentifier,
+  kString,
+  kNumber,
+  kComma,
+  kDot,
+  kStar,
+  kLParen,
+  kRParen,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEnd,
+};
+
+struct SqlToken {
+  SqlTokenKind kind = SqlTokenKind::kEnd;
+  std::string text;   // Identifier (upper-cased copy in `upper`), string
+                      // contents, or number lexeme.
+  std::string upper;  // For keyword matching.
+  double number = 0.0;
+  size_t offset = 0;
+};
+
+Result<std::vector<SqlToken>> SqlTokenize(std::string_view input) {
+  std::vector<SqlToken> tokens;
+  size_t i = 0;
+  auto push = [&](SqlTokenKind kind, std::string text, size_t offset) {
+    SqlToken t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.offset = offset;
+    tokens.push_back(std::move(t));
+  };
+  while (i < input.size()) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < input.size() &&
+             (std::isalnum(static_cast<unsigned char>(input[i])) ||
+              input[i] == '_')) {
+        ++i;
+      }
+      SqlToken t;
+      t.kind = SqlTokenKind::kIdentifier;
+      t.text = std::string(input.substr(start, i - start));
+      t.upper = ToLowerAscii(t.text);
+      for (char& ch : t.upper) {
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+      t.offset = start;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < input.size() &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      ++i;
+      while (i < input.size() &&
+             (std::isdigit(static_cast<unsigned char>(input[i])) ||
+              input[i] == '.')) {
+        ++i;
+      }
+      std::string lexeme(input.substr(start, i - start));
+      SqlToken t;
+      t.kind = SqlTokenKind::kNumber;
+      t.text = lexeme;
+      t.offset = start;
+      auto [ptr, ec] =
+          std::from_chars(lexeme.data(), lexeme.data() + lexeme.size(),
+                          t.number);
+      if (ec != std::errc() || ptr != lexeme.data() + lexeme.size()) {
+        return Status::ParseError("malformed number '" + lexeme +
+                                  "' at offset " + std::to_string(start));
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    switch (c) {
+      case '\'': {
+        std::string text;
+        ++i;
+        bool closed = false;
+        while (i < input.size()) {
+          if (input[i] == '\'') {
+            if (i + 1 < input.size() && input[i + 1] == '\'') {
+              text += '\'';
+              i += 2;
+              continue;
+            }
+            ++i;
+            closed = true;
+            break;
+          }
+          text += input[i++];
+        }
+        if (!closed) {
+          return Status::ParseError("unterminated string at offset " +
+                                    std::to_string(start));
+        }
+        push(SqlTokenKind::kString, std::move(text), start);
+        break;
+      }
+      case ',':
+        push(SqlTokenKind::kComma, ",", start);
+        ++i;
+        break;
+      case '.':
+        push(SqlTokenKind::kDot, ".", start);
+        ++i;
+        break;
+      case '*':
+        push(SqlTokenKind::kStar, "*", start);
+        ++i;
+        break;
+      case '(':
+        push(SqlTokenKind::kLParen, "(", start);
+        ++i;
+        break;
+      case ')':
+        push(SqlTokenKind::kRParen, ")", start);
+        ++i;
+        break;
+      case '=':
+        push(SqlTokenKind::kEq, "=", start);
+        ++i;
+        break;
+      case '!':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          push(SqlTokenKind::kNe, "!=", start);
+          i += 2;
+        } else {
+          return Status::ParseError("unexpected '!' at offset " +
+                                    std::to_string(start));
+        }
+        break;
+      case '<':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          push(SqlTokenKind::kLe, "<=", start);
+          i += 2;
+        } else if (i + 1 < input.size() && input[i + 1] == '>') {
+          push(SqlTokenKind::kNe, "<>", start);
+          i += 2;
+        } else {
+          push(SqlTokenKind::kLt, "<", start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          push(SqlTokenKind::kGe, ">=", start);
+          i += 2;
+        } else {
+          push(SqlTokenKind::kGt, ">", start);
+          ++i;
+        }
+        break;
+      case ';':
+        ++i;  // Statement terminator, ignored.
+        break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(start));
+    }
+  }
+  tokens.push_back(SqlToken{});
+  return tokens;
+}
+
+// ---------------------------------------------------------------------
+// AST
+// ---------------------------------------------------------------------
+
+struct SqlOperand {
+  enum class Kind { kColumn, kString, kNumber } kind = Kind::kColumn;
+  std::string qualifier;  // Table alias; may be empty.
+  std::string column;
+  std::string text;
+  double number = 0.0;
+};
+
+struct SqlCondition {
+  SqlOperand lhs;
+  CompareOp op = CompareOp::kEq;
+  SqlOperand rhs;
+};
+
+struct TableRef {
+  std::string table;
+  std::string alias;  // Defaults to the table name.
+};
+
+struct SelectStatement {
+  bool star = false;
+  bool count = false;  // SELECT COUNT(*).
+  std::vector<SqlOperand> columns;  // kColumn operands.
+  std::vector<TableRef> from;
+  std::vector<SqlCondition> where;
+  std::vector<std::pair<SqlOperand, bool>> order_by;  // (column, descending).
+  int64_t limit = -1;  // -1 = no limit.
+};
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+class SqlParser {
+ public:
+  explicit SqlParser(std::vector<SqlToken> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  Result<SqlResult> Execute(Database* db) {
+    const SqlToken& head = Peek();
+    if (head.kind != SqlTokenKind::kIdentifier) {
+      return Err("expected a statement keyword");
+    }
+    if (head.upper == "SELECT") return ExecuteSelect(db);
+    if (head.upper == "CREATE") return ExecuteCreate(db);
+    if (head.upper == "DROP") return ExecuteDrop(db);
+    if (head.upper == "INSERT") return ExecuteInsert(db);
+    if (head.upper == "DELETE") return ExecuteDelete(db);
+    if (head.upper == "UPDATE") return ExecuteUpdate(db);
+    return Err("unknown statement '" + head.text + "'");
+  }
+
+ private:
+  const SqlToken& Peek(size_t ahead = 0) const {
+    size_t idx = pos_ + ahead;
+    return idx < tokens_.size() ? tokens_[idx] : tokens_.back();
+  }
+  const SqlToken& Next() { return tokens_[pos_++]; }
+  bool AtKeyword(const char* kw) const {
+    return Peek().kind == SqlTokenKind::kIdentifier && Peek().upper == kw;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!AtKeyword(kw)) return Err(std::string("expected ") + kw);
+    Next();
+    return Status::OK();
+  }
+  Status Expect(SqlTokenKind kind, const char* what) {
+    if (Peek().kind != kind) return Err(std::string("expected ") + what);
+    Next();
+    return Status::OK();
+  }
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(msg + " at offset " +
+                              std::to_string(Peek().offset) + " (near '" +
+                              Peek().text + "')");
+  }
+  Status AtEndOrError() {
+    if (Peek().kind != SqlTokenKind::kEnd) return Err("trailing input");
+    return Status::OK();
+  }
+
+  Result<SqlOperand> ParseOperand() {
+    const SqlToken& t = Peek();
+    SqlOperand op;
+    if (t.kind == SqlTokenKind::kString) {
+      op.kind = SqlOperand::Kind::kString;
+      op.text = Next().text;
+      return op;
+    }
+    if (t.kind == SqlTokenKind::kNumber) {
+      op.kind = SqlOperand::Kind::kNumber;
+      const SqlToken& n = Next();
+      op.number = n.number;
+      op.text = n.text;
+      return op;
+    }
+    if (t.kind != SqlTokenKind::kIdentifier) {
+      return Err("expected operand");
+    }
+    op.kind = SqlOperand::Kind::kColumn;
+    op.column = Next().text;
+    if (Peek().kind == SqlTokenKind::kDot) {
+      Next();
+      if (Peek().kind != SqlTokenKind::kIdentifier) {
+        return Err("expected column after '.'");
+      }
+      op.qualifier = op.column;
+      op.column = Next().text;
+    }
+    return op;
+  }
+
+  Result<std::vector<SqlCondition>> ParseWhere() {
+    std::vector<SqlCondition> conditions;
+    if (!AtKeyword("WHERE")) return conditions;
+    Next();
+    while (true) {
+      SqlCondition cond;
+      MDV_ASSIGN_OR_RETURN(cond.lhs, ParseOperand());
+      switch (Peek().kind) {
+        case SqlTokenKind::kEq:
+          cond.op = CompareOp::kEq;
+          break;
+        case SqlTokenKind::kNe:
+          cond.op = CompareOp::kNe;
+          break;
+        case SqlTokenKind::kLt:
+          cond.op = CompareOp::kLt;
+          break;
+        case SqlTokenKind::kLe:
+          cond.op = CompareOp::kLe;
+          break;
+        case SqlTokenKind::kGt:
+          cond.op = CompareOp::kGt;
+          break;
+        case SqlTokenKind::kGe:
+          cond.op = CompareOp::kGe;
+          break;
+        case SqlTokenKind::kIdentifier:
+          if (Peek().upper == "CONTAINS") {
+            cond.op = CompareOp::kContains;
+            break;
+          }
+          [[fallthrough]];
+        default:
+          return Err("expected comparison operator");
+      }
+      Next();
+      MDV_ASSIGN_OR_RETURN(cond.rhs, ParseOperand());
+      conditions.push_back(std::move(cond));
+      if (AtKeyword("AND")) {
+        Next();
+        continue;
+      }
+      return conditions;
+    }
+  }
+
+  Result<Value> OperandConstant(const SqlOperand& op) {
+    switch (op.kind) {
+      case SqlOperand::Kind::kString:
+        return Value(op.text);
+      case SqlOperand::Kind::kNumber: {
+        double intpart = 0.0;
+        if (std::modf(op.number, &intpart) == 0.0 &&
+            op.text.find('.') == std::string::npos) {
+          return Value(static_cast<int64_t>(op.number));
+        }
+        return Value(op.number);
+      }
+      case SqlOperand::Kind::kColumn:
+        return Status::InvalidArgument("expected a constant, found column " +
+                                       op.column);
+    }
+    return Status::Internal("unreachable");
+  }
+
+  // ---- SELECT ---------------------------------------------------------
+
+  Result<SqlResult> ExecuteSelect(Database* db) {
+    Next();  // SELECT
+    SelectStatement stmt;
+    if (Peek().kind == SqlTokenKind::kStar) {
+      Next();
+      stmt.star = true;
+    } else if (AtKeyword("COUNT")) {
+      Next();
+      MDV_RETURN_IF_ERROR(Expect(SqlTokenKind::kLParen, "'('"));
+      MDV_RETURN_IF_ERROR(Expect(SqlTokenKind::kStar, "'*'"));
+      MDV_RETURN_IF_ERROR(Expect(SqlTokenKind::kRParen, "')'"));
+      stmt.count = true;
+    } else {
+      while (true) {
+        MDV_ASSIGN_OR_RETURN(SqlOperand col, ParseOperand());
+        if (col.kind != SqlOperand::Kind::kColumn) {
+          return Err("select list must contain column references");
+        }
+        stmt.columns.push_back(std::move(col));
+        if (Peek().kind == SqlTokenKind::kComma) {
+          Next();
+          continue;
+        }
+        break;
+      }
+    }
+    MDV_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    while (true) {
+      if (Peek().kind != SqlTokenKind::kIdentifier) {
+        return Err("expected table name");
+      }
+      TableRef ref;
+      ref.table = Next().text;
+      ref.alias = ref.table;
+      if (Peek().kind == SqlTokenKind::kIdentifier && !AtKeyword("WHERE") &&
+          !AtKeyword("ORDER") && !AtKeyword("LIMIT")) {
+        if (AtKeyword("AS")) Next();
+        if (Peek().kind != SqlTokenKind::kIdentifier) {
+          return Err("expected alias");
+        }
+        ref.alias = Next().text;
+      }
+      stmt.from.push_back(std::move(ref));
+      if (Peek().kind == SqlTokenKind::kComma) {
+        Next();
+        continue;
+      }
+      break;
+    }
+    MDV_ASSIGN_OR_RETURN(stmt.where, ParseWhere());
+    if (AtKeyword("ORDER")) {
+      Next();
+      MDV_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        MDV_ASSIGN_OR_RETURN(SqlOperand col, ParseOperand());
+        if (col.kind != SqlOperand::Kind::kColumn) {
+          return Err("ORDER BY expects column references");
+        }
+        bool descending = false;
+        if (AtKeyword("DESC")) {
+          Next();
+          descending = true;
+        } else if (AtKeyword("ASC")) {
+          Next();
+        }
+        stmt.order_by.emplace_back(std::move(col), descending);
+        if (Peek().kind == SqlTokenKind::kComma) {
+          Next();
+          continue;
+        }
+        break;
+      }
+    }
+    if (AtKeyword("LIMIT")) {
+      Next();
+      if (Peek().kind != SqlTokenKind::kNumber) {
+        return Err("LIMIT expects a number");
+      }
+      stmt.limit = static_cast<int64_t>(Next().number);
+      if (stmt.limit < 0) return Err("LIMIT must be non-negative");
+    }
+    MDV_RETURN_IF_ERROR(AtEndOrError());
+    return RunSelect(db, stmt);
+  }
+
+  /// Resolves `op` (a column) to the alias owning it; errors if the
+  /// column is ambiguous or unknown.
+  Result<std::string> ResolveQualifier(const SqlOperand& op, Database* db,
+                                       const std::vector<TableRef>& from) {
+    if (!op.qualifier.empty()) {
+      for (const TableRef& ref : from) {
+        if (ref.alias == op.qualifier) return op.qualifier;
+      }
+      return Status::NotFound("alias " + op.qualifier);
+    }
+    std::string found;
+    for (const TableRef& ref : from) {
+      const Table* table = db->GetTable(ref.table);
+      if (table == nullptr) return Status::NotFound("table " + ref.table);
+      if (table->schema().ColumnIndex(op.column)) {
+        if (!found.empty()) {
+          return Status::InvalidArgument("ambiguous column " + op.column);
+        }
+        found = ref.alias;
+      }
+    }
+    if (found.empty()) return Status::NotFound("column " + op.column);
+    return found;
+  }
+
+  Result<SqlResult> RunSelect(Database* db, SelectStatement& stmt) {
+    // Classify conditions: single-table (pushed into the scan when they
+    // compare against a constant), cross-table equality (hash join), and
+    // residual (evaluated after the joins).
+    struct Qualified {
+      SqlCondition cond;
+      std::string lhs_alias;  // Empty when lhs is a constant.
+      std::string rhs_alias;
+    };
+    std::vector<Qualified> qualified;
+    for (SqlCondition& cond : stmt.where) {
+      Qualified q;
+      if (cond.lhs.kind == SqlOperand::Kind::kColumn) {
+        MDV_ASSIGN_OR_RETURN(q.lhs_alias,
+                             ResolveQualifier(cond.lhs, db, stmt.from));
+      }
+      if (cond.rhs.kind == SqlOperand::Kind::kColumn) {
+        MDV_ASSIGN_OR_RETURN(q.rhs_alias,
+                             ResolveQualifier(cond.rhs, db, stmt.from));
+      }
+      q.cond = std::move(cond);
+      qualified.push_back(std::move(q));
+    }
+
+    // Scan each table with its pushed-down constant conditions.
+    std::map<std::string, RowSet> relations;  // alias → rows.
+    for (const TableRef& ref : stmt.from) {
+      const Table* table = db->GetTable(ref.table);
+      if (table == nullptr) return Status::NotFound("table " + ref.table);
+      std::vector<ScanCondition> pushed;
+      for (const Qualified& q : qualified) {
+        const SqlCondition& c = q.cond;
+        bool lhs_here = c.lhs.kind == SqlOperand::Kind::kColumn &&
+                        q.lhs_alias == ref.alias;
+        bool rhs_const = c.rhs.kind != SqlOperand::Kind::kColumn;
+        if (lhs_here && rhs_const) {
+          auto col = table->schema().ColumnIndex(c.lhs.column);
+          if (!col) return Status::NotFound("column " + c.lhs.column);
+          MDV_ASSIGN_OR_RETURN(Value constant, OperandConstant(c.rhs));
+          pushed.push_back(ScanCondition{*col, c.op, std::move(constant)});
+        }
+        bool rhs_here = c.rhs.kind == SqlOperand::Kind::kColumn &&
+                        q.rhs_alias == ref.alias;
+        bool lhs_const = c.lhs.kind != SqlOperand::Kind::kColumn;
+        if (rhs_here && lhs_const) {
+          auto col = table->schema().ColumnIndex(c.rhs.column);
+          if (!col) return Status::NotFound("column " + c.rhs.column);
+          MDV_ASSIGN_OR_RETURN(Value constant, OperandConstant(c.lhs));
+          pushed.push_back(
+              ScanCondition{*col, FlipCompareOp(c.op), std::move(constant)});
+        }
+      }
+      relations.emplace(ref.alias, FromTable(*table, pushed, ref.alias));
+    }
+
+    // Join order: left-to-right over the FROM list, applying every
+    // cross-table equality condition between joined aliases as a hash
+    // join; other cross-table conditions become residual filters.
+    RowSet combined = relations.at(stmt.from[0].alias);
+    std::set<std::string> joined{stmt.from[0].alias};
+    for (size_t i = 1; i < stmt.from.size(); ++i) {
+      const std::string& alias = stmt.from[i].alias;
+      const RowSet& right = relations.at(alias);
+      // Find one equality join condition between `combined` and `right`.
+      int join_condition = -1;
+      for (size_t k = 0; k < qualified.size(); ++k) {
+        const Qualified& q = qualified[k];
+        if (q.cond.op != CompareOp::kEq) continue;
+        if (q.lhs_alias.empty() || q.rhs_alias.empty()) continue;
+        bool forward = joined.count(q.lhs_alias) != 0 && q.rhs_alias == alias;
+        bool backward = joined.count(q.rhs_alias) != 0 && q.lhs_alias == alias;
+        if (forward || backward) {
+          join_condition = static_cast<int>(k);
+          break;
+        }
+      }
+      if (join_condition >= 0) {
+        const Qualified& q = qualified[static_cast<size_t>(join_condition)];
+        bool lhs_in_combined = joined.count(q.lhs_alias) != 0;
+        const SqlOperand& left_op = lhs_in_combined ? q.cond.lhs : q.cond.rhs;
+        const SqlOperand& right_op = lhs_in_combined ? q.cond.rhs : q.cond.lhs;
+        const std::string& left_alias =
+            lhs_in_combined ? q.lhs_alias : q.rhs_alias;
+        int lcol = combined.ColumnIndex(left_alias + "." + left_op.column);
+        int rcol = right.ColumnIndex(alias + "." + right_op.column);
+        if (lcol < 0 || rcol < 0) {
+          return Status::Internal("join column resolution failed");
+        }
+        combined = HashJoin(combined, static_cast<size_t>(lcol), right,
+                            static_cast<size_t>(rcol));
+      } else {
+        // Cartesian product via an always-true nested-loop pairing.
+        RowSet product;
+        product.columns = combined.columns;
+        product.columns.insert(product.columns.end(), right.columns.begin(),
+                               right.columns.end());
+        for (const Row& l : combined.rows) {
+          for (const Row& r : right.rows) {
+            Row row = l;
+            row.insert(row.end(), r.begin(), r.end());
+            product.rows.push_back(std::move(row));
+          }
+        }
+        combined = std::move(product);
+      }
+      joined.insert(alias);
+    }
+
+    // Residual filter: every condition re-checked on the joined relation
+    // (cheap; pushed-down conditions are already satisfied).
+    auto column_of = [&](const SqlOperand& op,
+                         const std::string& alias) -> int {
+      return combined.ColumnIndex(alias + "." + op.column);
+    };
+    std::vector<PredicatePtr> residual;
+    for (const Qualified& q : qualified) {
+      const SqlCondition& c = q.cond;
+      bool lhs_col = c.lhs.kind == SqlOperand::Kind::kColumn;
+      bool rhs_col = c.rhs.kind == SqlOperand::Kind::kColumn;
+      if (lhs_col && rhs_col) {
+        int l = column_of(c.lhs, q.lhs_alias);
+        int r = column_of(c.rhs, q.rhs_alias);
+        if (l < 0 || r < 0) return Status::Internal("column lost in join");
+        residual.push_back(ColumnColumnCompare(static_cast<size_t>(l), c.op,
+                                               static_cast<size_t>(r)));
+      } else if (lhs_col) {
+        int l = column_of(c.lhs, q.lhs_alias);
+        if (l < 0) return Status::Internal("column lost in join");
+        MDV_ASSIGN_OR_RETURN(Value constant, OperandConstant(c.rhs));
+        residual.push_back(
+            ColumnCompare(static_cast<size_t>(l), c.op, std::move(constant)));
+      } else {
+        int r = column_of(c.rhs, q.rhs_alias);
+        if (r < 0) return Status::Internal("column lost in join");
+        MDV_ASSIGN_OR_RETURN(Value constant, OperandConstant(c.lhs));
+        residual.push_back(ColumnCompare(static_cast<size_t>(r),
+                                         FlipCompareOp(c.op),
+                                         std::move(constant)));
+      }
+    }
+    if (!residual.empty()) {
+      combined = Select(combined, *And(std::move(residual)));
+    }
+
+    // ORDER BY: stable sort over the (qualified) sort columns.
+    if (!stmt.order_by.empty()) {
+      std::vector<std::pair<size_t, bool>> keys;
+      for (const auto& [col, descending] : stmt.order_by) {
+        MDV_ASSIGN_OR_RETURN(std::string alias,
+                             ResolveQualifier(col, db, stmt.from));
+        int idx = combined.ColumnIndex(alias + "." + col.column);
+        if (idx < 0) return Status::NotFound("column " + col.column);
+        keys.emplace_back(static_cast<size_t>(idx), descending);
+      }
+      std::stable_sort(combined.rows.begin(), combined.rows.end(),
+                       [&](const Row& a, const Row& b) {
+                         for (const auto& [idx, descending] : keys) {
+                           int cmp = a[idx].Compare(b[idx]);
+                           if (cmp != 0) return descending ? cmp > 0 : cmp < 0;
+                         }
+                         return false;
+                       });
+    }
+    if (stmt.limit >= 0 &&
+        combined.rows.size() > static_cast<size_t>(stmt.limit)) {
+      combined.rows.resize(static_cast<size_t>(stmt.limit));
+    }
+
+    // Projection.
+    SqlResult out;
+    out.is_query = true;
+    if (stmt.count) {
+      out.rows.columns = {"count"};
+      out.rows.rows = {
+          Row{Value(static_cast<int64_t>(combined.rows.size()))}};
+      return out;
+    }
+    if (stmt.star) {
+      out.rows = std::move(combined);
+      return out;
+    }
+    std::vector<size_t> projection;
+    for (const SqlOperand& col : stmt.columns) {
+      MDV_ASSIGN_OR_RETURN(std::string alias,
+                           ResolveQualifier(col, db, stmt.from));
+      int idx = combined.ColumnIndex(alias + "." + col.column);
+      if (idx < 0) return Status::NotFound("column " + col.column);
+      projection.push_back(static_cast<size_t>(idx));
+    }
+    out.rows = Project(combined, projection);
+    return out;
+  }
+
+  // ---- DDL / DML ------------------------------------------------------
+
+  Result<SqlResult> ExecuteCreate(Database* db) {
+    Next();  // CREATE
+    IndexKind index_kind = IndexKind::kBTree;
+    bool is_index = false;
+    if (AtKeyword("HASH")) {
+      Next();
+      index_kind = IndexKind::kHash;
+      is_index = true;
+      MDV_RETURN_IF_ERROR(ExpectKeyword("INDEX"));
+    } else if (AtKeyword("BTREE")) {
+      Next();
+      is_index = true;
+      MDV_RETURN_IF_ERROR(ExpectKeyword("INDEX"));
+    } else if (AtKeyword("INDEX")) {
+      Next();
+      is_index = true;
+    } else {
+      MDV_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    }
+
+    if (is_index) {
+      MDV_RETURN_IF_ERROR(ExpectKeyword("ON"));
+      if (Peek().kind != SqlTokenKind::kIdentifier) {
+        return Err("expected table name");
+      }
+      std::string table_name = Next().text;
+      MDV_RETURN_IF_ERROR(Expect(SqlTokenKind::kLParen, "'('"));
+      if (Peek().kind != SqlTokenKind::kIdentifier) {
+        return Err("expected column name");
+      }
+      std::string column = Next().text;
+      MDV_RETURN_IF_ERROR(Expect(SqlTokenKind::kRParen, "')'"));
+      MDV_RETURN_IF_ERROR(AtEndOrError());
+      Table* table = db->GetTable(table_name);
+      if (table == nullptr) return Status::NotFound("table " + table_name);
+      MDV_RETURN_IF_ERROR(table->CreateIndex(column, index_kind));
+      return SqlResult{};
+    }
+
+    if (Peek().kind != SqlTokenKind::kIdentifier) {
+      return Err("expected table name");
+    }
+    std::string table_name = Next().text;
+    MDV_RETURN_IF_ERROR(Expect(SqlTokenKind::kLParen, "'('"));
+    std::vector<ColumnDef> columns;
+    while (true) {
+      if (Peek().kind != SqlTokenKind::kIdentifier) {
+        return Err("expected column name");
+      }
+      ColumnDef def;
+      def.name = Next().text;
+      if (Peek().kind != SqlTokenKind::kIdentifier) {
+        return Err("expected column type");
+      }
+      std::string type = Next().upper;
+      if (type == "INT" || type == "INT64" || type == "INTEGER") {
+        def.type = ColumnType::kInt64;
+      } else if (type == "DOUBLE" || type == "FLOAT" || type == "REAL") {
+        def.type = ColumnType::kDouble;
+      } else if (type == "STRING" || type == "TEXT" || type == "VARCHAR") {
+        def.type = ColumnType::kString;
+      } else {
+        return Err("unknown type " + type);
+      }
+      columns.push_back(std::move(def));
+      if (Peek().kind == SqlTokenKind::kComma) {
+        Next();
+        continue;
+      }
+      break;
+    }
+    MDV_RETURN_IF_ERROR(Expect(SqlTokenKind::kRParen, "')'"));
+    MDV_RETURN_IF_ERROR(AtEndOrError());
+    MDV_ASSIGN_OR_RETURN(Table * created,
+                         db->CreateTable(TableSchema(table_name, columns)));
+    (void)created;
+    return SqlResult{};
+  }
+
+  Result<SqlResult> ExecuteDrop(Database* db) {
+    Next();  // DROP
+    MDV_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    if (Peek().kind != SqlTokenKind::kIdentifier) {
+      return Err("expected table name");
+    }
+    std::string name = Next().text;
+    MDV_RETURN_IF_ERROR(AtEndOrError());
+    MDV_RETURN_IF_ERROR(db->DropTable(name));
+    return SqlResult{};
+  }
+
+  Result<SqlResult> ExecuteInsert(Database* db) {
+    Next();  // INSERT
+    MDV_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    if (Peek().kind != SqlTokenKind::kIdentifier) {
+      return Err("expected table name");
+    }
+    std::string name = Next().text;
+    MDV_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    Table* table = db->GetTable(name);
+    if (table == nullptr) return Status::NotFound("table " + name);
+
+    SqlResult result;
+    while (true) {
+      MDV_RETURN_IF_ERROR(Expect(SqlTokenKind::kLParen, "'('"));
+      Row row;
+      while (true) {
+        if (AtKeyword("NULL")) {
+          Next();
+          row.push_back(Value());
+        } else {
+          MDV_ASSIGN_OR_RETURN(SqlOperand op, ParseOperand());
+          MDV_ASSIGN_OR_RETURN(Value v, OperandConstant(op));
+          row.push_back(std::move(v));
+        }
+        if (Peek().kind == SqlTokenKind::kComma) {
+          Next();
+          continue;
+        }
+        break;
+      }
+      MDV_RETURN_IF_ERROR(Expect(SqlTokenKind::kRParen, "')'"));
+      MDV_ASSIGN_OR_RETURN(RowId id, table->Insert(std::move(row)));
+      (void)id;
+      ++result.affected_rows;
+      if (Peek().kind == SqlTokenKind::kComma) {
+        Next();
+        continue;
+      }
+      break;
+    }
+    MDV_RETURN_IF_ERROR(AtEndOrError());
+    return result;
+  }
+
+  Result<std::vector<ScanCondition>> WhereToScanConditions(
+      const Table& table, const std::vector<SqlCondition>& where) {
+    std::vector<ScanCondition> out;
+    for (const SqlCondition& cond : where) {
+      const SqlOperand* column = nullptr;
+      const SqlOperand* constant = nullptr;
+      CompareOp op = cond.op;
+      if (cond.lhs.kind == SqlOperand::Kind::kColumn &&
+          cond.rhs.kind != SqlOperand::Kind::kColumn) {
+        column = &cond.lhs;
+        constant = &cond.rhs;
+      } else if (cond.rhs.kind == SqlOperand::Kind::kColumn &&
+                 cond.lhs.kind != SqlOperand::Kind::kColumn) {
+        column = &cond.rhs;
+        constant = &cond.lhs;
+        op = FlipCompareOp(op);
+      } else {
+        return Status::Unsupported(
+            "DML WHERE clauses support column-vs-constant conditions only");
+      }
+      auto col = table.schema().ColumnIndex(column->column);
+      if (!col) return Status::NotFound("column " + column->column);
+      MDV_ASSIGN_OR_RETURN(Value v, OperandConstant(*constant));
+      out.push_back(ScanCondition{*col, op, std::move(v)});
+    }
+    return out;
+  }
+
+  Result<SqlResult> ExecuteDelete(Database* db) {
+    Next();  // DELETE
+    MDV_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    if (Peek().kind != SqlTokenKind::kIdentifier) {
+      return Err("expected table name");
+    }
+    std::string name = Next().text;
+    MDV_ASSIGN_OR_RETURN(std::vector<SqlCondition> where, ParseWhere());
+    MDV_RETURN_IF_ERROR(AtEndOrError());
+    Table* table = db->GetTable(name);
+    if (table == nullptr) return Status::NotFound("table " + name);
+    MDV_ASSIGN_OR_RETURN(std::vector<ScanCondition> conditions,
+                         WhereToScanConditions(*table, where));
+    SqlResult result;
+    result.affected_rows = table->DeleteWhere(conditions);
+    return result;
+  }
+
+  Result<SqlResult> ExecuteUpdate(Database* db) {
+    Next();  // UPDATE
+    if (Peek().kind != SqlTokenKind::kIdentifier) {
+      return Err("expected table name");
+    }
+    std::string name = Next().text;
+    MDV_RETURN_IF_ERROR(ExpectKeyword("SET"));
+    Table* table = db->GetTable(name);
+    if (table == nullptr) return Status::NotFound("table " + name);
+
+    std::vector<std::pair<size_t, Value>> assignments;
+    while (true) {
+      if (Peek().kind != SqlTokenKind::kIdentifier) {
+        return Err("expected column name");
+      }
+      std::string column = Next().text;
+      auto col = table->schema().ColumnIndex(column);
+      if (!col) return Status::NotFound("column " + column);
+      MDV_RETURN_IF_ERROR(Expect(SqlTokenKind::kEq, "'='"));
+      if (AtKeyword("NULL")) {
+        Next();
+        assignments.emplace_back(*col, Value());
+      } else {
+        MDV_ASSIGN_OR_RETURN(SqlOperand op, ParseOperand());
+        MDV_ASSIGN_OR_RETURN(Value v, OperandConstant(op));
+        assignments.emplace_back(*col, std::move(v));
+      }
+      if (Peek().kind == SqlTokenKind::kComma) {
+        Next();
+        continue;
+      }
+      break;
+    }
+    MDV_ASSIGN_OR_RETURN(std::vector<SqlCondition> where, ParseWhere());
+    MDV_RETURN_IF_ERROR(AtEndOrError());
+    MDV_ASSIGN_OR_RETURN(std::vector<ScanCondition> conditions,
+                         WhereToScanConditions(*table, where));
+
+    SqlResult result;
+    for (RowId id : table->SelectRowIds(conditions)) {
+      Row row = *table->Get(id);
+      for (const auto& [col, value] : assignments) {
+        row[col] = value;
+      }
+      MDV_RETURN_IF_ERROR(table->Update(id, std::move(row)));
+      ++result.affected_rows;
+    }
+    return result;
+  }
+
+  std::vector<SqlToken> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SqlResult> ExecuteSql(Database* db, std::string_view sql) {
+  MDV_ASSIGN_OR_RETURN(std::vector<SqlToken> tokens, SqlTokenize(sql));
+  SqlParser parser(std::move(tokens));
+  return parser.Execute(db);
+}
+
+std::string FormatRowSet(const RowSet& rows) {
+  std::vector<size_t> widths(rows.columns.size());
+  for (size_t i = 0; i < rows.columns.size(); ++i) {
+    widths[i] = rows.columns[i].size();
+  }
+  std::vector<std::vector<std::string>> cells;
+  for (const Row& row : rows.rows) {
+    std::vector<std::string> line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      line.push_back(row[i].ToString());
+      widths[i] = std::max(widths[i], line.back().size());
+    }
+    cells.push_back(std::move(line));
+  }
+  auto pad = [](const std::string& s, size_t w) {
+    return s + std::string(w - s.size(), ' ');
+  };
+  std::string out;
+  for (size_t i = 0; i < rows.columns.size(); ++i) {
+    out += (i > 0 ? " | " : "") + pad(rows.columns[i], widths[i]);
+  }
+  out += "\n";
+  for (size_t i = 0; i < rows.columns.size(); ++i) {
+    out += (i > 0 ? "-+-" : "") + std::string(widths[i], '-');
+  }
+  out += "\n";
+  for (const auto& line : cells) {
+    for (size_t i = 0; i < line.size(); ++i) {
+      out += (i > 0 ? " | " : "") + pad(line[i], widths[i]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace mdv::rdbms

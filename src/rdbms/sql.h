@@ -1,0 +1,51 @@
+#ifndef MDV_RDBMS_SQL_H_
+#define MDV_RDBMS_SQL_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "rdbms/database.h"
+#include "rdbms/query.h"
+
+namespace mdv::rdbms {
+
+/// Result of executing one SQL statement: a relation for queries, an
+/// affected-row count for DML/DDL.
+struct SqlResult {
+  RowSet rows;              ///< SELECT output (empty otherwise).
+  size_t affected_rows = 0; ///< INSERT/UPDATE/DELETE count; 0 for DDL.
+  bool is_query = false;
+};
+
+/// Executes one statement of the engine's SQL subset against `db`.
+///
+/// Supported grammar (keywords case-insensitive):
+///
+///   CREATE TABLE t (col TYPE [, ...])          TYPE ∈ {INT, DOUBLE, STRING}
+///   CREATE [HASH|BTREE] INDEX ON t (col)
+///   DROP TABLE t
+///   INSERT INTO t VALUES (v [, ...])
+///   DELETE FROM t [WHERE conjunction]
+///   UPDATE t SET col = value [, ...] [WHERE conjunction]
+///   SELECT */cols FROM t [alias] [, t2 [alias2] ...] [WHERE conjunction]
+///
+/// WHERE clauses are conjunctions of `operand op operand` with
+/// op ∈ {=, !=, <, <=, >, >=, CONTAINS}; operands are (optionally
+/// alias-qualified) column references, 'string' literals, or numbers.
+/// Multi-table queries are evaluated as joins: equality conditions
+/// between two tables become hash joins, everything else is applied as a
+/// residual filter. Single-table conditions are pushed into the scan so
+/// they can use indexes.
+///
+/// This is the §2.2 substrate claim made concrete: MDV "uses a relational
+/// database management system as basic data storage" and translates
+/// search requests into SQL join queries.
+Result<SqlResult> ExecuteSql(Database* db, std::string_view sql);
+
+/// Renders a RowSet as an ASCII table (for shells and examples).
+std::string FormatRowSet(const RowSet& rows);
+
+}  // namespace mdv::rdbms
+
+#endif  // MDV_RDBMS_SQL_H_

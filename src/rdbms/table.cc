@@ -1,0 +1,272 @@
+#include "rdbms/table.h"
+
+#include <algorithm>
+
+namespace mdv::rdbms {
+
+Table::Table(TableSchema schema) : schema_(std::move(schema)) {}
+
+Status Table::ValidateRow(const Row& row) const {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match schema " +
+        schema_.ToString());
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const ColumnDef& col = schema_.column(i);
+    if (row[i].is_null()) {
+      if (!col.nullable) {
+        return Status::InvalidArgument("NULL in non-nullable column " +
+                                       col.name);
+      }
+      continue;
+    }
+    switch (col.type) {
+      case ColumnType::kInt64:
+      case ColumnType::kDouble:
+        if (!row[i].is_numeric()) {
+          return Status::InvalidArgument("non-numeric value in column " +
+                                         col.name);
+        }
+        break;
+      case ColumnType::kString:
+        // STRING accepts anything; values render via ToString on demand.
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Result<RowId> Table::Insert(Row row) {
+  MDV_RETURN_IF_ERROR(ValidateRow(row));
+  RowId id = next_row_id_++;
+  IndexInsert(id, row);
+  rows_.emplace(id, std::move(row));
+  if (undo_ != nullptr) undo_->RecordInsert(this, id);
+  return id;
+}
+
+Status Table::Delete(RowId row_id) {
+  auto it = rows_.find(row_id);
+  if (it == rows_.end()) {
+    return Status::NotFound("row " + std::to_string(row_id) + " in table " +
+                            schema_.table_name());
+  }
+  IndexRemove(row_id, it->second);
+  if (undo_ != nullptr) undo_->RecordDelete(this, row_id, it->second);
+  rows_.erase(it);
+  return Status::OK();
+}
+
+Status Table::Update(RowId row_id, Row row) {
+  auto it = rows_.find(row_id);
+  if (it == rows_.end()) {
+    return Status::NotFound("row " + std::to_string(row_id) + " in table " +
+                            schema_.table_name());
+  }
+  MDV_RETURN_IF_ERROR(ValidateRow(row));
+  IndexRemove(row_id, it->second);
+  if (undo_ != nullptr) undo_->RecordUpdate(this, row_id, it->second);
+  it->second = std::move(row);
+  IndexInsert(row_id, it->second);
+  return Status::OK();
+}
+
+const Row* Table::Get(RowId row_id) const {
+  auto it = rows_.find(row_id);
+  return it == rows_.end() ? nullptr : &it->second;
+}
+
+Status Table::CreateIndex(const std::string& column_name, IndexKind kind) {
+  auto col = schema_.ColumnIndex(column_name);
+  if (!col) {
+    return Status::NotFound("column " + column_name + " in table " +
+                            schema_.table_name());
+  }
+  if (HasIndex(*col)) {
+    return Status::AlreadyExists("index on " + schema_.table_name() + "." +
+                                 column_name);
+  }
+  auto index = MakeIndex(kind, *col);
+  for (const auto& [id, row] : rows_) {
+    index->Insert(row[*col], id);
+  }
+  indexes_.push_back(std::move(index));
+  return Status::OK();
+}
+
+Status Table::DropIndex(const std::string& column_name) {
+  auto col = schema_.ColumnIndex(column_name);
+  if (!col) {
+    return Status::NotFound("column " + column_name + " in table " +
+                            schema_.table_name());
+  }
+  auto it = std::find_if(
+      indexes_.begin(), indexes_.end(),
+      [&](const std::unique_ptr<Index>& ix) { return ix->column() == *col; });
+  if (it == indexes_.end()) {
+    return Status::NotFound("index on " + schema_.table_name() + "." +
+                            column_name);
+  }
+  indexes_.erase(it);
+  return Status::OK();
+}
+
+bool Table::HasIndex(size_t column) const {
+  return std::any_of(
+      indexes_.begin(), indexes_.end(),
+      [&](const std::unique_ptr<Index>& ix) { return ix->column() == column; });
+}
+
+void Table::Scan(const std::function<void(RowId, const Row&)>& fn) const {
+  for (const auto& [id, row] : rows_) fn(id, row);
+}
+
+void Table::IndexInsert(RowId row_id, const Row& row) {
+  for (auto& index : indexes_) index->Insert(row[index->column()], row_id);
+}
+
+void Table::IndexRemove(RowId row_id, const Row& row) {
+  for (auto& index : indexes_) index->Remove(row[index->column()], row_id);
+}
+
+bool Table::RowMatches(const Row& row,
+                       const std::vector<ScanCondition>& conditions) {
+  for (const auto& cond : conditions) {
+    if (!EvaluateCompare(row[cond.column], cond.op, cond.constant)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int Table::ChooseAccessPath(
+    const std::vector<ScanCondition>& conditions) const {
+  int best = -1;
+  for (size_t i = 0; i < conditions.size(); ++i) {
+    const ScanCondition& cond = conditions[i];
+    for (const auto& index : indexes_) {
+      if (index->column() != cond.column) continue;
+      bool usable =
+          cond.op == CompareOp::kEq ||
+          (index->SupportsRange() &&
+           (cond.op == CompareOp::kLt || cond.op == CompareOp::kLe ||
+            cond.op == CompareOp::kGt || cond.op == CompareOp::kGe));
+      if (!usable) continue;
+      // Prefer equality over range (more selective in general).
+      if (best == -1 || (conditions[best].op != CompareOp::kEq &&
+                         cond.op == CompareOp::kEq)) {
+        best = static_cast<int>(i);
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<RowId> Table::SelectRowIds(
+    const std::vector<ScanCondition>& conditions) const {
+  std::vector<RowId> out;
+  int path = ChooseAccessPath(conditions);
+  if (path >= 0) {
+    const ScanCondition& cond = conditions[path];
+    const Index* index = nullptr;
+    for (const auto& ix : indexes_) {
+      if (ix->column() != cond.column) continue;
+      bool usable = cond.op == CompareOp::kEq || ix->SupportsRange();
+      if (usable) {
+        index = ix.get();
+        break;
+      }
+    }
+    std::vector<RowId> candidates;
+    switch (cond.op) {
+      case CompareOp::kEq:
+        index->Lookup(cond.constant, &candidates);
+        break;
+      case CompareOp::kLt:
+        index->LookupRange(Value(), false, false, cond.constant, false, true,
+                           &candidates);
+        break;
+      case CompareOp::kLe:
+        index->LookupRange(Value(), false, false, cond.constant, true, true,
+                           &candidates);
+        break;
+      case CompareOp::kGt:
+        index->LookupRange(cond.constant, false, true, Value(), false, false,
+                           &candidates);
+        break;
+      case CompareOp::kGe:
+        index->LookupRange(cond.constant, true, true, Value(), false, false,
+                           &candidates);
+        break;
+      default:
+        break;
+    }
+    ++stats_.index_lookups;
+    stats_.rows_examined += static_cast<int64_t>(candidates.size());
+    for (RowId id : candidates) {
+      const Row* row = Get(id);
+      if (row != nullptr && RowMatches(*row, conditions)) out.push_back(id);
+    }
+    return out;
+  }
+  ++stats_.full_scans;
+  for (const auto& [id, row] : rows_) {
+    ++stats_.rows_examined;
+    if (RowMatches(row, conditions)) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<Row> Table::SelectRows(
+    const std::vector<ScanCondition>& conditions) const {
+  std::vector<Row> out;
+  for (RowId id : SelectRowIds(conditions)) out.push_back(*Get(id));
+  return out;
+}
+
+std::vector<RowId> Table::SelectWhere(const Predicate& predicate) const {
+  std::vector<RowId> out;
+  ++stats_.full_scans;
+  for (const auto& [id, row] : rows_) {
+    ++stats_.rows_examined;
+    if (predicate.Evaluate(row)) out.push_back(id);
+  }
+  return out;
+}
+
+size_t Table::DeleteWhere(const std::vector<ScanCondition>& conditions) {
+  std::vector<RowId> ids = SelectRowIds(conditions);
+  for (RowId id : ids) {
+    Status st = Delete(id);
+    (void)st;  // Ids come from the live table; Delete cannot fail here.
+  }
+  return ids.size();
+}
+
+Status Table::RestoreRow(RowId row_id, Row row) {
+  if (rows_.count(row_id) != 0) {
+    return Status::AlreadyExists("row " + std::to_string(row_id) +
+                                 " in table " + schema_.table_name());
+  }
+  MDV_RETURN_IF_ERROR(ValidateRow(row));
+  IndexInsert(row_id, row);
+  rows_.emplace(row_id, std::move(row));
+  next_row_id_ = std::max(next_row_id_, row_id + 1);
+  return Status::OK();
+}
+
+void Table::Truncate() {
+  if (undo_ != nullptr) {
+    for (const auto& [id, row] : rows_) {
+      undo_->RecordDelete(this, id, row);
+    }
+  }
+  rows_.clear();
+  // Rebuild empty indexes, keeping their definitions.
+  for (auto& index : indexes_) {
+    index = MakeIndex(index->kind(), index->column());
+  }
+}
+
+}  // namespace mdv::rdbms

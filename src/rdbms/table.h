@@ -1,0 +1,128 @@
+#ifndef MDV_RDBMS_TABLE_H_
+#define MDV_RDBMS_TABLE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rdbms/index.h"
+#include "rdbms/predicate.h"
+#include "rdbms/row.h"
+#include "rdbms/schema.h"
+#include "rdbms/transaction.h"
+
+namespace mdv::rdbms {
+
+/// One conjunct of a simple scan: `column op constant`. Used by the
+/// access-path planner; arbitrary predicates go through SelectWhere.
+struct ScanCondition {
+  size_t column = 0;
+  CompareOp op = CompareOp::kEq;
+  Value constant;
+};
+
+/// Execution statistics, exposed so benchmarks can verify which access
+/// path was used (paper §3.3.4 stresses physical design of filter tables).
+struct TableStats {
+  int64_t index_lookups = 0;
+  int64_t full_scans = 0;
+  int64_t rows_examined = 0;
+};
+
+/// An in-memory heap table with optional secondary indexes.
+///
+/// Rows are addressed by stable RowIds; deleting a row never invalidates
+/// other ids. All mutation paths keep every registered index in sync.
+/// Not thread-safe; MDV serializes access per database.
+class Table {
+ public:
+  explicit Table(TableSchema schema);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const TableSchema& schema() const { return schema_; }
+  size_t NumRows() const { return rows_.size(); }
+  const TableStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = TableStats{}; }
+
+  /// Validates arity and (loosely) types, then inserts. Returns the new
+  /// RowId. STRING columns accept any value; numeric columns accept
+  /// numerics or NULL.
+  Result<RowId> Insert(Row row);
+
+  /// Removes the row; NotFound if the id does not exist.
+  Status Delete(RowId row_id);
+
+  /// Replaces the row contents (same validation as Insert).
+  Status Update(RowId row_id, Row row);
+
+  /// Returns the row or nullptr.
+  const Row* Get(RowId row_id) const;
+
+  /// Creates a secondary index over `column_name`. Existing rows are
+  /// back-filled. AlreadyExists if an index on the column exists.
+  Status CreateIndex(const std::string& column_name, IndexKind kind);
+
+  /// Drops the index on `column_name` (NotFound if absent).
+  Status DropIndex(const std::string& column_name);
+
+  bool HasIndex(size_t column) const;
+
+  /// Visits every row. The callback must not mutate the table.
+  void Scan(const std::function<void(RowId, const Row&)>& fn) const;
+
+  /// Returns ids of rows satisfying all `conditions`. Picks an index
+  /// access path when one condition is indexable (equality on any index;
+  /// range on a B-tree), otherwise falls back to a full scan.
+  std::vector<RowId> SelectRowIds(
+      const std::vector<ScanCondition>& conditions) const;
+
+  /// Returns copies of rows satisfying all `conditions`.
+  std::vector<Row> SelectRows(
+      const std::vector<ScanCondition>& conditions) const;
+
+  /// Returns ids of rows satisfying an arbitrary predicate (full scan).
+  std::vector<RowId> SelectWhere(const Predicate& predicate) const;
+
+  /// Removes all rows satisfying all `conditions`; returns count removed.
+  size_t DeleteWhere(const std::vector<ScanCondition>& conditions);
+
+  /// Removes every row (indexes stay registered).
+  void Truncate();
+
+  // ---- Transactions. -----------------------------------------------------
+
+  /// Attaches (or detaches, with nullptr) an undo log; while attached,
+  /// every mutation records its inverse. Managed by
+  /// Database::BeginTransaction — call directly only in tests.
+  void set_undo_log(UndoLog* undo) { undo_ = undo; }
+
+  /// Re-inserts a row under its original id (rollback of a deletion).
+  /// AlreadyExists if the id is live.
+  Status RestoreRow(RowId row_id, Row row);
+
+ private:
+  Status ValidateRow(const Row& row) const;
+  void IndexInsert(RowId row_id, const Row& row);
+  void IndexRemove(RowId row_id, const Row& row);
+  /// Picks the most selective usable condition; -1 if none is indexable.
+  int ChooseAccessPath(const std::vector<ScanCondition>& conditions) const;
+  static bool RowMatches(const Row& row,
+                         const std::vector<ScanCondition>& conditions);
+
+  TableSchema schema_;
+  std::map<RowId, Row> rows_;
+  RowId next_row_id_ = 0;
+  std::vector<std::unique_ptr<Index>> indexes_;  // At most one per column.
+  UndoLog* undo_ = nullptr;
+  mutable TableStats stats_;
+};
+
+}  // namespace mdv::rdbms
+
+#endif  // MDV_RDBMS_TABLE_H_

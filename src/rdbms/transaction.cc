@@ -1,0 +1,45 @@
+#include "rdbms/transaction.h"
+
+#include "rdbms/table.h"
+
+namespace mdv::rdbms {
+
+void UndoLog::RecordInsert(Table* table, RowId row_id) {
+  entries_.push_back(Entry{Kind::kInsert, table, row_id, {}});
+}
+
+void UndoLog::RecordDelete(Table* table, RowId row_id, Row old_row) {
+  entries_.push_back(Entry{Kind::kDelete, table, row_id, std::move(old_row)});
+}
+
+void UndoLog::RecordUpdate(Table* table, RowId row_id, Row old_row) {
+  entries_.push_back(Entry{Kind::kUpdate, table, row_id, std::move(old_row)});
+}
+
+Status UndoLog::Rollback() {
+  // The undo operations run through the normal mutation paths; detach
+  // the log from the involved tables first so they do not re-log.
+  for (const Entry& entry : entries_) {
+    entry.table->set_undo_log(nullptr);
+  }
+  Status status = Status::OK();
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    Status st;
+    switch (it->kind) {
+      case Kind::kInsert:
+        st = it->table->Delete(it->row_id);
+        break;
+      case Kind::kDelete:
+        st = it->table->RestoreRow(it->row_id, it->old_row);
+        break;
+      case Kind::kUpdate:
+        st = it->table->Update(it->row_id, it->old_row);
+        break;
+    }
+    if (!st.ok() && status.ok()) status = st;  // Keep undoing; report first.
+  }
+  entries_.clear();
+  return status;
+}
+
+}  // namespace mdv::rdbms

@@ -1,0 +1,52 @@
+#ifndef MDV_RDBMS_TRANSACTION_H_
+#define MDV_RDBMS_TRANSACTION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rdbms/row.h"
+
+namespace mdv::rdbms {
+
+class Table;
+
+/// Undo log recording inverse images of row mutations. While attached to
+/// the tables of a database (Database::BeginTransaction), every
+/// insert/update/delete appends an entry; Rollback() replays the
+/// inverses in reverse order, restoring the exact pre-transaction rows
+/// (including their RowIds). Index maintenance happens through the
+/// normal mutation paths, so indexes stay consistent.
+class UndoLog {
+ public:
+  UndoLog() = default;
+
+  UndoLog(const UndoLog&) = delete;
+  UndoLog& operator=(const UndoLog&) = delete;
+
+  void RecordInsert(Table* table, RowId row_id);
+  void RecordDelete(Table* table, RowId row_id, Row old_row);
+  void RecordUpdate(Table* table, RowId row_id, Row old_row);
+
+  /// Undoes every recorded mutation (newest first) and clears the log.
+  Status Rollback();
+
+  /// Forgets the recorded mutations (commit).
+  void Clear() { entries_.clear(); }
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  enum class Kind { kInsert, kDelete, kUpdate };
+  struct Entry {
+    Kind kind;
+    Table* table;
+    RowId row_id;
+    Row old_row;  // Unused for kInsert.
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace mdv::rdbms
+
+#endif  // MDV_RDBMS_TRANSACTION_H_

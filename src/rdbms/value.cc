@@ -1,0 +1,93 @@
+#include "rdbms/value.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace mdv::rdbms {
+
+const char* ColumnTypeToString(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return "INT64";
+    case ColumnType::kDouble:
+      return "DOUBLE";
+    case ColumnType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+std::optional<double> Value::TryNumeric() const {
+  if (is_numeric()) return numeric();
+  if (!is_string()) return std::nullopt;
+  const std::string& s = as_string();
+  if (s.empty()) return std::nullopt;
+  double out = 0.0;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (ec != std::errc() || ptr != end) return std::nullopt;
+  return out;
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return std::to_string(as_int());
+  if (is_double()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", as_double());
+    return buf;
+  }
+  return as_string();
+}
+
+namespace {
+// Rank in the canonical value order: NULL < numeric < string.
+int TypeRank(const Value& v) {
+  if (v.is_null()) return 0;
+  if (v.is_numeric()) return 1;
+  return 2;
+}
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  int ra = TypeRank(*this);
+  int rb = TypeRank(other);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (ra) {
+    case 0:
+      return 0;  // NULL == NULL for ordering purposes.
+    case 1: {
+      // Compare ints exactly when both are ints to avoid precision loss.
+      if (is_int() && other.is_int()) {
+        int64_t a = as_int();
+        int64_t b = other.as_int();
+        return a < b ? -1 : (a > b ? 1 : 0);
+      }
+      double a = numeric();
+      double b = other.numeric();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    default: {
+      int c = as_string().compare(other.as_string());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+  }
+}
+
+size_t Value::Hash() const {
+  if (is_null()) return 0x9e3779b97f4a7c15ULL;
+  if (is_numeric()) {
+    // Hash via the double representation so 3 and 3.0 collide with ==.
+    double d = numeric();
+    if (d == 0.0) d = 0.0;  // Normalize -0.0.
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    __builtin_memcpy(&bits, &d, sizeof(bits));
+    return std::hash<uint64_t>()(bits);
+  }
+  return std::hash<std::string>()(as_string());
+}
+
+}  // namespace mdv::rdbms

@@ -1,0 +1,100 @@
+#ifndef MDV_RDBMS_VALUE_H_
+#define MDV_RDBMS_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <variant>
+
+namespace mdv::rdbms {
+
+/// Column data types supported by the embedded engine. The MDV filter
+/// stores all constants as strings and reconverts them when comparing
+/// (paper §3.3.4), so kString plus numeric coercion covers its needs; the
+/// numeric types exist for general use and for the synthetic workloads.
+enum class ColumnType { kInt64, kDouble, kString };
+
+const char* ColumnTypeToString(ColumnType type);
+
+/// A dynamically typed cell value: NULL, INT64, DOUBLE, or STRING.
+///
+/// Values order NULL first, then numerics (int and double compare
+/// numerically against each other), then strings. This total order is what
+/// the B-tree indexes use.
+class Value {
+ public:
+  /// Constructs SQL NULL.
+  Value() : data_(std::monostate{}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  Value(const Value&) = default;
+  Value& operator=(const Value&) = default;
+  Value(Value&&) = default;
+  Value& operator=(Value&&) = default;
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  /// Requires is_int().
+  int64_t as_int() const { return std::get<int64_t>(data_); }
+  /// Requires is_double().
+  double as_double() const { return std::get<double>(data_); }
+  /// Requires is_string().
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+
+  /// Numeric view: int widened to double. Requires is_numeric().
+  double numeric() const {
+    return is_int() ? static_cast<double>(as_int()) : as_double();
+  }
+
+  /// Parses a string value as a number if possible (used when the filter
+  /// reconverts constants stored as strings, paper §3.3.4). Numeric values
+  /// are returned as-is; NULL and non-numeric strings yield nullopt.
+  std::optional<double> TryNumeric() const;
+
+  /// Renders the value for display; NULL renders as "NULL".
+  std::string ToString() const;
+
+  /// Three-way comparison in the canonical order (NULL < numeric < string).
+  /// Ints and doubles compare numerically against each other.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  /// Hash consistent with operator== (int 3 and double 3.0 hash equal).
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+struct ValueLess {
+  bool operator()(const Value& a, const Value& b) const { return a < b; }
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+}  // namespace mdv::rdbms
+
+#endif  // MDV_RDBMS_VALUE_H_

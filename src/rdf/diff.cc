@@ -1,0 +1,26 @@
+#include "rdf/diff.h"
+
+namespace mdv::rdf {
+
+DocumentDiff DiffDocuments(const RdfDocument& original,
+                           const RdfDocument& updated) {
+  DocumentDiff diff;
+  for (const Resource* res : original.resources()) {
+    const Resource* counterpart = updated.FindResource(res->local_id());
+    if (counterpart == nullptr) {
+      diff.deleted.push_back(res->local_id());
+    } else if (res->ContentEquals(*counterpart)) {
+      diff.unchanged.push_back(res->local_id());
+    } else {
+      diff.updated.push_back(res->local_id());
+    }
+  }
+  for (const Resource* res : updated.resources()) {
+    if (original.FindResource(res->local_id()) == nullptr) {
+      diff.inserted.push_back(res->local_id());
+    }
+  }
+  return diff;
+}
+
+}  // namespace mdv::rdf

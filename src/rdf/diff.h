@@ -1,0 +1,34 @@
+#ifndef MDV_RDF_DIFF_H_
+#define MDV_RDF_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "rdf/document.h"
+
+namespace mdv::rdf {
+
+/// Outcome of comparing an original document with its re-registered
+/// version (paper §3.5): a resource is *updated* if present in both but
+/// with changed class or properties; *deleted* if only in the original;
+/// *inserted* if only in the new version.
+struct DocumentDiff {
+  std::vector<std::string> inserted;   ///< Local ids new in `updated`.
+  std::vector<std::string> updated;    ///< Local ids changed in place.
+  std::vector<std::string> deleted;    ///< Local ids gone from `updated`.
+  std::vector<std::string> unchanged;  ///< Local ids identical in both.
+
+  bool Empty() const {
+    return inserted.empty() && updated.empty() && deleted.empty();
+  }
+};
+
+/// Computes the per-resource diff between `original` and `updated`
+/// (matched by local id; both documents must share a URI — callers
+/// re-register a modified version of the same document, §2.2).
+DocumentDiff DiffDocuments(const RdfDocument& original,
+                           const RdfDocument& updated);
+
+}  // namespace mdv::rdf
+
+#endif  // MDV_RDF_DIFF_H_

@@ -1,0 +1,112 @@
+#include "rdf/document.h"
+
+#include <algorithm>
+
+namespace mdv::rdf {
+
+size_t Resource::RemoveProperties(const std::string& name) {
+  size_t before = properties_.size();
+  properties_.erase(
+      std::remove_if(properties_.begin(), properties_.end(),
+                     [&](const Property& p) { return p.name == name; }),
+      properties_.end());
+  return before - properties_.size();
+}
+
+const PropertyValue* Resource::FindProperty(const std::string& name) const {
+  for (const Property& p : properties_) {
+    if (p.name == name) return &p.value;
+  }
+  return nullptr;
+}
+
+std::vector<PropertyValue> Resource::FindProperties(
+    const std::string& name) const {
+  std::vector<PropertyValue> out;
+  for (const Property& p : properties_) {
+    if (p.name == name) out.push_back(p.value);
+  }
+  return out;
+}
+
+void Resource::SetProperty(const std::string& name, PropertyValue value) {
+  for (Property& p : properties_) {
+    if (p.name == name) {
+      p.value = std::move(value);
+      return;
+    }
+  }
+  properties_.push_back({name, std::move(value)});
+}
+
+bool Resource::ContentEquals(const Resource& other) const {
+  if (class_name_ != other.class_name_) return false;
+  if (properties_.size() != other.properties_.size()) return false;
+  // Order-insensitive multiset comparison via sorted copies.
+  auto key = [](const Property& p) {
+    return p.name + "\x01" + (p.value.is_literal() ? "L" : "R") + "\x01" +
+           p.value.text();
+  };
+  std::vector<std::string> a, b;
+  a.reserve(properties_.size());
+  b.reserve(other.properties_.size());
+  for (const Property& p : properties_) a.push_back(key(p));
+  for (const Property& p : other.properties_) b.push_back(key(p));
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+Status RdfDocument::AddResource(Resource resource) {
+  const std::string& id = resource.local_id();
+  if (id.empty()) {
+    return Status::InvalidArgument("resource without rdf:ID in document " +
+                                   uri_);
+  }
+  if (resources_.count(id) != 0) {
+    return Status::AlreadyExists("resource " + id + " in document " + uri_);
+  }
+  resources_.emplace(id, std::move(resource));
+  return Status::OK();
+}
+
+Status RdfDocument::RemoveResource(const std::string& local_id) {
+  if (resources_.erase(local_id) == 0) {
+    return Status::NotFound("resource " + local_id + " in document " + uri_);
+  }
+  return Status::OK();
+}
+
+const Resource* RdfDocument::FindResource(const std::string& local_id) const {
+  auto it = resources_.find(local_id);
+  return it == resources_.end() ? nullptr : &it->second;
+}
+
+Resource* RdfDocument::FindMutableResource(const std::string& local_id) {
+  auto it = resources_.find(local_id);
+  return it == resources_.end() ? nullptr : &it->second;
+}
+
+std::vector<const Resource*> RdfDocument::resources() const {
+  std::vector<const Resource*> out;
+  out.reserve(resources_.size());
+  for (const auto& [id, res] : resources_) out.push_back(&res);
+  return out;
+}
+
+Statements RdfDocument::ToStatements() const {
+  Statements out;
+  for (const auto& [id, res] : resources_) {
+    std::string uri_ref = UriReferenceOf(id);
+    // The synthetic rdf#subject statement lets OID rules register a single
+    // resource by its URI reference (paper §3.2, Figure 4).
+    out.push_back(Statement{uri_ref, res.class_name(), kRdfSubjectProperty,
+                            PropertyValue::ResourceRef(uri_ref)});
+    for (const Property& p : res.properties()) {
+      out.push_back(Statement{uri_ref, res.class_name(), p.name, p.value});
+    }
+  }
+  return out;
+}
+
+}  // namespace mdv::rdf

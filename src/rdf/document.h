@@ -1,0 +1,98 @@
+#ifndef MDV_RDF_DOCUMENT_H_
+#define MDV_RDF_DOCUMENT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rdf/statement.h"
+#include "rdf/term.h"
+
+namespace mdv::rdf {
+
+/// One resource within an RDF document: a local identifier (rdf:ID), an
+/// RDF class, and a list of properties (repeated names = set-valued).
+class Resource {
+ public:
+  Resource() = default;
+  Resource(std::string local_id, std::string class_name)
+      : local_id_(std::move(local_id)), class_name_(std::move(class_name)) {}
+
+  const std::string& local_id() const { return local_id_; }
+  const std::string& class_name() const { return class_name_; }
+  const std::vector<Property>& properties() const { return properties_; }
+
+  void AddProperty(std::string name, PropertyValue value) {
+    properties_.push_back({std::move(name), std::move(value)});
+  }
+
+  /// Removes every property named `name`; returns the count removed.
+  size_t RemoveProperties(const std::string& name);
+
+  /// First value of property `name`, or nullptr.
+  const PropertyValue* FindProperty(const std::string& name) const;
+
+  /// All values of property `name` (set-valued access).
+  std::vector<PropertyValue> FindProperties(const std::string& name) const;
+
+  /// Replaces the first occurrence of `name` (adds it if absent).
+  void SetProperty(const std::string& name, PropertyValue value);
+
+  /// True if both resources have the same class and the same property
+  /// multiset (order-insensitive). Used by document diffing (§3.5).
+  bool ContentEquals(const Resource& other) const;
+
+ private:
+  std::string local_id_;
+  std::string class_name_;
+  std::vector<Property> properties_;
+};
+
+/// An RDF document: a globally unique URI plus its resources. Documents
+/// are the unit of registration, update and deletion at an MDP (§2.2).
+class RdfDocument {
+ public:
+  RdfDocument() = default;
+  explicit RdfDocument(std::string uri) : uri_(std::move(uri)) {}
+
+  const std::string& uri() const { return uri_; }
+  void set_uri(std::string uri) { uri_ = std::move(uri); }
+
+  /// Adds a resource; AlreadyExists if the local id is taken.
+  Status AddResource(Resource resource);
+
+  /// Removes a resource; NotFound if absent.
+  Status RemoveResource(const std::string& local_id);
+
+  /// Returns the resource or nullptr.
+  const Resource* FindResource(const std::string& local_id) const;
+  Resource* FindMutableResource(const std::string& local_id);
+
+  /// Resources in local-id order (deterministic iteration).
+  std::vector<const Resource*> resources() const;
+  size_t NumResources() const { return resources_.size(); }
+
+  /// URI reference of the resource with `local_id` within this document.
+  std::string UriReferenceOf(const std::string& local_id) const {
+    return MakeUriReference(uri_, local_id);
+  }
+
+  /// Expands the document into RDF statements (the document atoms of
+  /// §3.2). Each property yields one statement; additionally each
+  /// resource yields an (rdf#subject, own-URI) statement so OID rules can
+  /// match resources by URI reference (Figure 4).
+  Statements ToStatements() const;
+
+ private:
+  std::string uri_;
+  std::map<std::string, Resource> resources_;  // Keyed by local id.
+};
+
+/// Property name of the synthetic per-resource statement (Figure 4).
+inline constexpr char kRdfSubjectProperty[] = "rdf#subject";
+
+}  // namespace mdv::rdf
+
+#endif  // MDV_RDF_DOCUMENT_H_

@@ -1,0 +1,175 @@
+#include "rdf/parser.h"
+
+#include <cctype>
+#include <map>
+
+#include "common/string_util.h"
+#include "rdf/xml_cursor.h"
+
+namespace mdv::rdf {
+
+namespace {
+
+using internal_xml::LocalName;
+using internal_xml::Prefix;
+using internal_xml::XmlCursor;
+
+/// Recursive-descent RDF reader on top of XmlCursor.
+class RdfReader {
+ public:
+  RdfReader(XmlCursor* cursor, RdfDocument* document)
+      : cursor_(*cursor), document_(*document) {}
+
+  /// Parses one resource element and hoists it (and any nested resources)
+  /// into the document. On success returns the resource's URI reference.
+  Result<std::string> ParseResource() {
+    std::string tag;
+    std::map<std::string, std::string> attrs;
+    bool self_closing = false;
+    MDV_RETURN_IF_ERROR(cursor_.ReadStartTag(&tag, &attrs, &self_closing));
+
+    std::string class_name(LocalName(tag));
+    std::string local_id;
+    for (const auto& [attr, value] : attrs) {
+      if (Prefix(attr) == "rdf" && LocalName(attr) == "ID") local_id = value;
+    }
+    if (local_id.empty()) {
+      return Status::ParseError("resource element <" + tag +
+                                "> without rdf:ID");
+    }
+
+    Resource resource(local_id, class_name);
+    if (!self_closing) {
+      // Body: a sequence of property elements.
+      while (!cursor_.AtEndTag()) {
+        if (!cursor_.AtStartTag()) {
+          return Status::ParseError(
+              "unexpected content in resource " + local_id + " at offset " +
+              std::to_string(cursor_.offset()));
+        }
+        MDV_RETURN_IF_ERROR(ParseProperty(&resource));
+      }
+      MDV_RETURN_IF_ERROR(cursor_.ReadEndTag(tag));
+    }
+
+    MDV_RETURN_IF_ERROR(document_.AddResource(std::move(resource)));
+    return document_.UriReferenceOf(local_id);
+  }
+
+ private:
+  Status ParseProperty(Resource* resource) {
+    std::string tag;
+    std::map<std::string, std::string> attrs;
+    bool self_closing = false;
+    MDV_RETURN_IF_ERROR(cursor_.ReadStartTag(&tag, &attrs, &self_closing));
+    std::string property_name(LocalName(tag));
+
+    // Reference form: <prop rdf:resource="#info"/>.
+    for (const auto& [attr, value] : attrs) {
+      if (Prefix(attr) == "rdf" && LocalName(attr) == "resource") {
+        std::string target = value;
+        if (!target.empty() && target[0] == '#') {
+          target = document_.uri() + target;  // Relative → this document.
+        }
+        resource->AddProperty(property_name,
+                              PropertyValue::ResourceRef(target));
+        if (!self_closing) {
+          MDV_RETURN_IF_ERROR(cursor_.ReadEndTag(tag));
+        }
+        return Status::OK();
+      }
+    }
+
+    if (self_closing) {
+      // Empty property: empty literal.
+      resource->AddProperty(property_name, PropertyValue::Literal(""));
+      return Status::OK();
+    }
+
+    // Nested resource form vs. literal text form.
+    if (cursor_.AtStartTag()) {
+      RdfReader nested(&cursor_, &document_);
+      MDV_ASSIGN_OR_RETURN(std::string target_uri, nested.ParseResource());
+      resource->AddProperty(property_name,
+                            PropertyValue::ResourceRef(target_uri));
+      MDV_RETURN_IF_ERROR(cursor_.ReadEndTag(tag));
+      return Status::OK();
+    }
+
+    std::string text = cursor_.ReadText();
+    resource->AddProperty(
+        property_name,
+        PropertyValue::Literal(std::string(mdv::TrimWhitespace(text))));
+    MDV_RETURN_IF_ERROR(cursor_.ReadEndTag(tag));
+    return Status::OK();
+  }
+
+  XmlCursor& cursor_;
+  RdfDocument& document_;
+};
+
+}  // namespace
+
+Result<RdfDocument> ParseRdfXml(std::string_view xml,
+                                const std::string& document_uri) {
+  if (document_uri.empty()) {
+    return Status::InvalidArgument("document URI must not be empty");
+  }
+  RdfDocument document(document_uri);
+  XmlCursor cursor(xml);
+  MDV_RETURN_IF_ERROR(cursor.SkipPrologAndMisc());
+
+  std::string root;
+  std::map<std::string, std::string> attrs;
+  bool self_closing = false;
+  MDV_RETURN_IF_ERROR(cursor.ReadStartTag(&root, &attrs, &self_closing));
+  if (LocalName(root) != "RDF") {
+    return Status::ParseError("root element must be rdf:RDF, found <" + root +
+                              ">");
+  }
+  if (!self_closing) {
+    while (!cursor.AtEndTag()) {
+      if (!cursor.AtStartTag()) {
+        return Status::ParseError("unexpected content at offset " +
+                                  std::to_string(cursor.offset()));
+      }
+      RdfReader reader(&cursor, &document);
+      MDV_ASSIGN_OR_RETURN(std::string ignored, reader.ParseResource());
+      (void)ignored;
+    }
+    MDV_RETURN_IF_ERROR(cursor.ReadEndTag(root));
+  }
+  if (!cursor.AtEnd()) {
+    return Status::ParseError("trailing content after </" + root + ">");
+  }
+  return document;
+}
+
+std::string XmlEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace mdv::rdf

@@ -1,0 +1,37 @@
+#ifndef MDV_RDF_PARSER_H_
+#define MDV_RDF_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "rdf/document.h"
+
+namespace mdv::rdf {
+
+/// Parses the RDF/XML subset MDV documents use (paper Figure 1):
+///
+///   <rdf:RDF ...namespace declarations...>
+///     <og:CycleProvider rdf:ID="host">
+///       <og:serverHost>pirates.uni-passau.de</og:serverHost>
+///       <og:serverInformation>
+///         <og:ServerInformation rdf:ID="info"> ... </og:ServerInformation>
+///       </og:serverInformation>
+///       <!-- or: <og:serverInformation rdf:resource="#info"/> -->
+///     </og:CycleProvider>
+///   </rdf:RDF>
+///
+/// Namespace prefixes are stripped; element and attribute names are used
+/// by their local part. Nested resources are hoisted into the document
+/// and the enclosing property becomes a reference to them — RDF does not
+/// distinguish nested from referenced resources (§2.1). `rdf:resource`
+/// values starting with '#' resolve against `document_uri`.
+Result<RdfDocument> ParseRdfXml(std::string_view xml,
+                                const std::string& document_uri);
+
+/// XML-escapes `text` (&, <, >, ", ').
+std::string XmlEscape(std::string_view text);
+
+}  // namespace mdv::rdf
+
+#endif  // MDV_RDF_PARSER_H_

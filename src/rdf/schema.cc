@@ -1,0 +1,167 @@
+#include "rdf/schema.h"
+
+#include <set>
+
+namespace mdv::rdf {
+
+Status RdfSchema::AddClass(ClassDef class_def) {
+  const std::string& name = class_def.name;
+  if (name.empty()) {
+    return Status::InvalidArgument("class name must not be empty");
+  }
+  if (classes_.count(name) != 0) {
+    return Status::AlreadyExists("class " + name);
+  }
+  classes_.emplace(name, std::move(class_def));
+  return Status::OK();
+}
+
+Status RdfSchema::ReplaceClass(ClassDef class_def) {
+  if (class_def.name.empty()) {
+    return Status::InvalidArgument("class name must not be empty");
+  }
+  classes_.insert_or_assign(class_def.name, std::move(class_def));
+  return Status::OK();
+}
+
+bool RdfSchema::HasClass(const std::string& name) const {
+  return classes_.count(name) != 0;
+}
+
+const ClassDef* RdfSchema::FindClass(const std::string& name) const {
+  auto it = classes_.find(name);
+  return it == classes_.end() ? nullptr : &it->second;
+}
+
+const PropertyDef* RdfSchema::FindProperty(
+    const std::string& class_name, const std::string& property_name) const {
+  const ClassDef* cls = FindClass(class_name);
+  if (cls == nullptr) return nullptr;
+  auto it = cls->properties.find(property_name);
+  return it == cls->properties.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> RdfSchema::ClassNames() const {
+  std::vector<std::string> names;
+  names.reserve(classes_.size());
+  for (const auto& [name, def] : classes_) names.push_back(name);
+  return names;
+}
+
+Result<ResolvedPath> RdfSchema::ResolvePath(
+    const std::string& class_name,
+    const std::vector<std::string>& path) const {
+  if (path.empty()) {
+    return Status::InvalidArgument("empty property path on class " +
+                                   class_name);
+  }
+  ResolvedPath resolved;
+  std::string current_class = class_name;
+  for (size_t i = 0; i < path.size(); ++i) {
+    if (!HasClass(current_class)) {
+      return Status::NotFound("class " + current_class + " (step " +
+                              std::to_string(i) + " of path)");
+    }
+    const PropertyDef* prop = FindProperty(current_class, path[i]);
+    if (prop == nullptr) {
+      return Status::NotFound("property " + path[i] + " on class " +
+                              current_class);
+    }
+    resolved.classes.push_back(current_class);
+    resolved.properties.push_back(*prop);
+    bool last = (i + 1 == path.size());
+    if (!last) {
+      if (prop->kind != PropertyKind::kReference) {
+        return Status::InvalidArgument(
+            "path steps through literal property " + current_class + "." +
+            path[i]);
+      }
+      current_class = prop->referenced_class;
+    }
+  }
+  return resolved;
+}
+
+Status RdfSchema::ValidateDocument(const RdfDocument& document) const {
+  for (const Resource* res : document.resources()) {
+    const ClassDef* cls = FindClass(res->class_name());
+    if (cls == nullptr) {
+      return Status::SchemaViolation("unknown class " + res->class_name() +
+                                     " for resource " + res->local_id());
+    }
+    std::set<std::string> seen;
+    for (const Property& p : res->properties()) {
+      auto it = cls->properties.find(p.name);
+      if (it == cls->properties.end()) {
+        return Status::SchemaViolation("undeclared property " +
+                                       res->class_name() + "." + p.name +
+                                       " on resource " + res->local_id());
+      }
+      const PropertyDef& def = it->second;
+      if (!def.set_valued && !seen.insert(p.name).second) {
+        return Status::SchemaViolation(
+            "property " + res->class_name() + "." + p.name +
+            " occurs multiple times but is not set-valued (resource " +
+            res->local_id() + ")");
+      }
+      if (def.kind == PropertyKind::kReference &&
+          !p.value.is_resource_ref()) {
+        return Status::SchemaViolation("reference property " +
+                                       res->class_name() + "." + p.name +
+                                       " holds a literal (resource " +
+                                       res->local_id() + ")");
+      }
+      if (def.kind == PropertyKind::kLiteral && !p.value.is_literal()) {
+        return Status::SchemaViolation("literal property " +
+                                       res->class_name() + "." + p.name +
+                                       " holds a reference (resource " +
+                                       res->local_id() + ")");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+ClassBuilder& ClassBuilder::Literal(const std::string& property,
+                                    bool set_valued) {
+  def_.properties[property] =
+      PropertyDef{property, PropertyKind::kLiteral, "", RefStrength::kWeak,
+                  set_valued};
+  return *this;
+}
+
+ClassBuilder& ClassBuilder::StrongRef(const std::string& property,
+                                      const std::string& target_class,
+                                      bool set_valued) {
+  def_.properties[property] =
+      PropertyDef{property, PropertyKind::kReference, target_class,
+                  RefStrength::kStrong, set_valued};
+  return *this;
+}
+
+ClassBuilder& ClassBuilder::WeakRef(const std::string& property,
+                                    const std::string& target_class,
+                                    bool set_valued) {
+  def_.properties[property] =
+      PropertyDef{property, PropertyKind::kReference, target_class,
+                  RefStrength::kWeak, set_valued};
+  return *this;
+}
+
+RdfSchema MakeObjectGlobeSchema() {
+  RdfSchema schema;
+  Status st = schema.AddClass(ClassBuilder("ServerInformation")
+                                  .Literal("memory")
+                                  .Literal("cpu")
+                                  .Build());
+  st = schema.AddClass(ClassBuilder("CycleProvider")
+                           .Literal("serverHost")
+                           .Literal("serverPort")
+                           .Literal("synthValue")
+                           .StrongRef("serverInformation", "ServerInformation")
+                           .Build());
+  (void)st;  // Fresh schema; AddClass cannot fail here.
+  return schema;
+}
+
+}  // namespace mdv::rdf

@@ -1,0 +1,126 @@
+#ifndef MDV_RDF_SCHEMA_H_
+#define MDV_RDF_SCHEMA_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rdf/document.h"
+
+namespace mdv::rdf {
+
+/// Whether a reference property transmits its target together with the
+/// referencing resource (paper §2.4). Strong references are always
+/// transmitted; weak references never are. The schema designer decides.
+enum class RefStrength { kStrong, kWeak };
+
+/// What kind of values a property holds.
+enum class PropertyKind {
+  kLiteral,    ///< Text/number content.
+  kReference,  ///< URI reference to a resource of `referenced_class`.
+};
+
+/// Schema definition of one property of a class.
+struct PropertyDef {
+  std::string name;
+  PropertyKind kind = PropertyKind::kLiteral;
+  /// Class of referenced resources; only for kReference.
+  std::string referenced_class;
+  /// Strong/weak transmission semantics; only for kReference.
+  RefStrength strength = RefStrength::kWeak;
+  /// Set-valued properties may occur multiple times on a resource; the
+  /// rule language's `?` (any) operator applies to them (§2.3).
+  bool set_valued = false;
+};
+
+/// Schema definition of one RDF class.
+struct ClassDef {
+  std::string name;
+  std::map<std::string, PropertyDef> properties;
+};
+
+/// Result of resolving a path expression like
+/// `CycleProvider.serverInformation.memory` against the schema: the
+/// classes traversed and the final property.
+struct ResolvedPath {
+  /// Class at each step; steps[i] owns property path[i].
+  std::vector<std::string> classes;
+  /// The property definitions along the path; all but possibly the last
+  /// are references.
+  std::vector<PropertyDef> properties;
+
+  const PropertyDef& final_property() const { return properties.back(); }
+};
+
+/// The RDF schema all metadata in an MDV federation conforms to (paper
+/// §2: "MDPs share the same schema"). MDV augments RDF Schema with
+/// strong/weak reference annotations (§2.4); here they are fields of
+/// PropertyDef.
+class RdfSchema {
+ public:
+  RdfSchema() = default;
+
+  /// Adds a class; AlreadyExists if the name is taken.
+  Status AddClass(ClassDef class_def);
+
+  /// Adds or replaces a class definition (used by schema inference when
+  /// importing generic XML, see rdf/xml_import.h).
+  Status ReplaceClass(ClassDef class_def);
+
+  bool HasClass(const std::string& name) const;
+  const ClassDef* FindClass(const std::string& name) const;
+
+  /// The property `name` of `class_name`, or nullptr.
+  const PropertyDef* FindProperty(const std::string& class_name,
+                                  const std::string& property_name) const;
+
+  std::vector<std::string> ClassNames() const;
+
+  /// Resolves a property path starting at `class_name`. Every step but
+  /// the last must be a reference property; InvalidArgument/NotFound on
+  /// violations.
+  Result<ResolvedPath> ResolvePath(
+      const std::string& class_name,
+      const std::vector<std::string>& path) const;
+
+  /// Checks `document` against this schema: every resource's class must
+  /// exist; every property must be declared; non-set-valued properties
+  /// must not repeat; reference properties must hold resource refs and
+  /// literal properties literals. Returns SchemaViolation describing the
+  /// first problem.
+  Status ValidateDocument(const RdfDocument& document) const;
+
+ private:
+  std::map<std::string, ClassDef> classes_;
+};
+
+/// Convenience builder for declaring classes fluently in tests/examples.
+class ClassBuilder {
+ public:
+  explicit ClassBuilder(std::string name) { def_.name = std::move(name); }
+
+  ClassBuilder& Literal(const std::string& property, bool set_valued = false);
+  ClassBuilder& StrongRef(const std::string& property,
+                          const std::string& target_class,
+                          bool set_valued = false);
+  ClassBuilder& WeakRef(const std::string& property,
+                        const std::string& target_class,
+                        bool set_valued = false);
+
+  ClassDef Build() { return def_; }
+
+ private:
+  ClassDef def_;
+};
+
+/// The schema used by the paper's running example and the benchmarks:
+/// CycleProvider {serverHost, serverPort, synthValue,
+/// serverInformation → ServerInformation (strong)} and
+/// ServerInformation {memory, cpu}.
+RdfSchema MakeObjectGlobeSchema();
+
+}  // namespace mdv::rdf
+
+#endif  // MDV_RDF_SCHEMA_H_

@@ -1,0 +1,32 @@
+#ifndef MDV_RDF_STATEMENT_H_
+#define MDV_RDF_STATEMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace mdv::rdf {
+
+/// An RDF statement (triple): subject resource, predicate (property
+/// name), object value. These are the "document atoms" the filter
+/// algorithm joins against rule atoms (paper §3.1, §3.2). `subject_class`
+/// carries the class of the subject resource, which the filter tables
+/// need alongside each triple (Figure 4).
+struct Statement {
+  std::string subject;        ///< URI reference of the subject resource.
+  std::string subject_class;  ///< RDF class of the subject resource.
+  std::string predicate;      ///< Property name.
+  PropertyValue object;
+
+  bool operator==(const Statement& other) const {
+    return subject == other.subject && subject_class == other.subject_class &&
+           predicate == other.predicate && object == other.object;
+  }
+};
+
+using Statements = std::vector<Statement>;
+
+}  // namespace mdv::rdf
+
+#endif  // MDV_RDF_STATEMENT_H_

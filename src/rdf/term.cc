@@ -1,0 +1,29 @@
+#include "rdf/term.h"
+
+#include <charconv>
+
+namespace mdv::rdf {
+
+std::optional<double> PropertyValue::AsNumber() const {
+  if (!is_literal() || text_.empty()) return std::nullopt;
+  double out = 0.0;
+  const char* begin = text_.data();
+  const char* end = text_.data() + text_.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (ec != std::errc() || ptr != end) return std::nullopt;
+  return out;
+}
+
+std::string MakeUriReference(const std::string& document_uri,
+                             const std::string& local_id) {
+  return document_uri + "#" + local_id;
+}
+
+std::pair<std::string, std::string> SplitUriReference(
+    const std::string& uri_reference) {
+  size_t pos = uri_reference.rfind('#');
+  if (pos == std::string::npos) return {uri_reference, ""};
+  return {uri_reference.substr(0, pos), uri_reference.substr(pos + 1)};
+}
+
+}  // namespace mdv::rdf

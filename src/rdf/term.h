@@ -1,0 +1,86 @@
+#ifndef MDV_RDF_TERM_H_
+#define MDV_RDF_TERM_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+
+namespace mdv::rdf {
+
+/// What a property value denotes.
+enum class ValueKind {
+  kLiteral,      ///< Plain text content (numbers are literals too).
+  kResourceRef,  ///< A URI reference to another resource.
+};
+
+/// The value of one RDF property: either a literal string or a URI
+/// reference. RDF does not distinguish nested from referenced resources
+/// (paper §2.1), so after parsing all resource-valued properties are
+/// kResourceRef holding the target's URI reference.
+class PropertyValue {
+ public:
+  PropertyValue() : kind_(ValueKind::kLiteral) {}
+
+  static PropertyValue Literal(std::string text) {
+    PropertyValue v;
+    v.kind_ = ValueKind::kLiteral;
+    v.text_ = std::move(text);
+    return v;
+  }
+  static PropertyValue ResourceRef(std::string uri_reference) {
+    PropertyValue v;
+    v.kind_ = ValueKind::kResourceRef;
+    v.text_ = std::move(uri_reference);
+    return v;
+  }
+
+  ValueKind kind() const { return kind_; }
+  bool is_literal() const { return kind_ == ValueKind::kLiteral; }
+  bool is_resource_ref() const { return kind_ == ValueKind::kResourceRef; }
+
+  /// The literal text or the referenced URI, depending on kind.
+  const std::string& text() const { return text_; }
+
+  /// Numeric interpretation of a literal, if it parses as a number.
+  std::optional<double> AsNumber() const;
+
+  bool operator==(const PropertyValue& other) const {
+    return kind_ == other.kind_ && text_ == other.text_;
+  }
+  bool operator!=(const PropertyValue& other) const {
+    return !(*this == other);
+  }
+
+ private:
+  ValueKind kind_;
+  std::string text_;
+};
+
+/// One named property of a resource. Multi-valued (set-valued) properties
+/// appear as repeated Property entries with the same name.
+struct Property {
+  std::string name;
+  PropertyValue value;
+
+  bool operator==(const Property& other) const {
+    return name == other.name && value == other.value;
+  }
+};
+
+/// Builds the globally unique URI reference of a resource: the document
+/// URI combined with the resource's local identifier (paper §2.1).
+std::string MakeUriReference(const std::string& document_uri,
+                             const std::string& local_id);
+
+/// Splits a URI reference back into (document URI, local id); the local id
+/// is everything after the last '#'.
+std::pair<std::string, std::string> SplitUriReference(
+    const std::string& uri_reference);
+
+inline std::ostream& operator<<(std::ostream& os, const PropertyValue& v) {
+  return os << (v.is_literal() ? "lit:" : "ref:") << v.text();
+}
+
+}  // namespace mdv::rdf
+
+#endif  // MDV_RDF_TERM_H_

@@ -1,0 +1,36 @@
+#include "rdf/writer.h"
+
+#include "common/string_util.h"
+#include "rdf/parser.h"
+
+namespace mdv::rdf {
+
+std::string WriteRdfXml(const RdfDocument& document) {
+  std::string out;
+  out += "<?xml version=\"1.0\"?>\n";
+  out += "<rdf:RDF xmlns:rdf=\"http://www.w3.org/1999/02/22-rdf-syntax-ns#\" "
+         "xmlns:og=\"http://mdv/schema#\">\n";
+  for (const Resource* res : document.resources()) {
+    out += "  <og:" + res->class_name() + " rdf:ID=\"" +
+           XmlEscape(res->local_id()) + "\">\n";
+    for (const Property& p : res->properties()) {
+      if (p.value.is_resource_ref()) {
+        std::string target = p.value.text();
+        // Relative form for references within this document.
+        if (StartsWith(target, document.uri() + "#")) {
+          target = target.substr(document.uri().size());
+        }
+        out += "    <og:" + p.name + " rdf:resource=\"" + XmlEscape(target) +
+               "\"/>\n";
+      } else {
+        out += "    <og:" + p.name + ">" + XmlEscape(p.value.text()) +
+               "</og:" + p.name + ">\n";
+      }
+    }
+    out += "  </og:" + res->class_name() + ">\n";
+  }
+  out += "</rdf:RDF>\n";
+  return out;
+}
+
+}  // namespace mdv::rdf

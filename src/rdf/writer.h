@@ -1,0 +1,18 @@
+#ifndef MDV_RDF_WRITER_H_
+#define MDV_RDF_WRITER_H_
+
+#include <string>
+
+#include "rdf/document.h"
+
+namespace mdv::rdf {
+
+/// Serializes `document` into the RDF/XML subset ParseRdfXml accepts.
+/// All resources are written top-level; resource-valued properties use
+/// the <prop rdf:resource="..."/> form (equivalent to nesting, §2.1).
+/// References into the same document are written relative ("#id").
+std::string WriteRdfXml(const RdfDocument& document);
+
+}  // namespace mdv::rdf
+
+#endif  // MDV_RDF_WRITER_H_

@@ -1,0 +1,245 @@
+#ifndef MDV_RDF_XML_CURSOR_H_
+#define MDV_RDF_XML_CURSOR_H_
+
+// Internal shared XML machinery for the RDF/XML parser (rdf/parser.cc)
+// and the generic XML importer (rdf/xml_import.cc). Not part of the
+// public API.
+
+#include <cctype>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace mdv::rdf::internal_xml {
+
+/// Strips an optional namespace prefix: "og:CycleProvider" →
+/// "CycleProvider". "rdf:ID" keeps its prefix meaning via special-casing
+/// at the call sites (we compare against the local name "ID"/"resource"
+/// with prefix "rdf").
+inline std::string_view LocalName(std::string_view qname) {
+  size_t pos = qname.find(':');
+  return pos == std::string_view::npos ? qname : qname.substr(pos + 1);
+}
+
+inline std::string_view Prefix(std::string_view qname) {
+  size_t pos = qname.find(':');
+  return pos == std::string_view::npos ? std::string_view()
+                                       : qname.substr(0, pos);
+}
+
+inline std::string DecodeEntities(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size();) {
+    if (s[i] != '&') {
+      out += s[i++];
+      continue;
+    }
+    auto match = [&](std::string_view entity, char decoded) {
+      if (s.substr(i, entity.size()) == entity) {
+        out += decoded;
+        i += entity.size();
+        return true;
+      }
+      return false;
+    };
+    if (match("&lt;", '<') || match("&gt;", '>') || match("&amp;", '&') ||
+        match("&quot;", '"') || match("&apos;", '\'')) {
+      continue;
+    }
+    out += s[i++];  // Unknown entity: keep verbatim.
+  }
+  return out;
+}
+
+/// Minimal pull-style XML reader over the subset MDV needs: elements,
+/// attributes, character data, comments, the <?xml?> prolog. No CDATA,
+/// DTDs, or processing instructions beyond the prolog.
+class XmlCursor {
+ public:
+  explicit XmlCursor(std::string_view input) : input_(input) {}
+
+  Status SkipPrologAndMisc() {
+    while (true) {
+      SkipWhitespace();
+      if (LookingAt("<?")) {
+        size_t end = input_.find("?>", pos_);
+        if (end == std::string_view::npos) {
+          return Status::ParseError("unterminated <?...?> at offset " +
+                                    std::to_string(pos_));
+        }
+        pos_ = end + 2;
+      } else if (LookingAt("<!--")) {
+        MDV_RETURN_IF_ERROR(SkipComment());
+      } else {
+        return Status::OK();
+      }
+    }
+  }
+
+  bool AtEnd() {
+    SkipWhitespace();
+    return pos_ >= input_.size();
+  }
+
+  /// True if the next construct is a start tag (after skipping comments).
+  bool AtStartTag() {
+    SkipCommentsAndWhitespace();
+    return pos_ < input_.size() && input_[pos_] == '<' &&
+           pos_ + 1 < input_.size() && input_[pos_ + 1] != '/';
+  }
+
+  bool AtEndTag() {
+    SkipCommentsAndWhitespace();
+    return LookingAt("</");
+  }
+
+  /// Reads `<name attr="v" ...>` or `<name .../>`. Sets `self_closing`.
+  Status ReadStartTag(std::string* name,
+                      std::map<std::string, std::string>* attributes,
+                      bool* self_closing) {
+    SkipCommentsAndWhitespace();
+    if (!LookingAt("<")) {
+      return Status::ParseError("expected start tag at offset " +
+                                std::to_string(pos_));
+    }
+    ++pos_;
+    *name = ReadName();
+    if (name->empty()) {
+      return Status::ParseError("empty element name at offset " +
+                                std::to_string(pos_));
+    }
+    attributes->clear();
+    while (true) {
+      SkipWhitespace();
+      if (LookingAt("/>")) {
+        pos_ += 2;
+        *self_closing = true;
+        return Status::OK();
+      }
+      if (LookingAt(">")) {
+        ++pos_;
+        *self_closing = false;
+        return Status::OK();
+      }
+      if (pos_ >= input_.size()) {
+        return Status::ParseError("unterminated start tag <" + *name);
+      }
+      std::string attr_name = ReadName();
+      if (attr_name.empty()) {
+        return Status::ParseError("malformed attribute in <" + *name +
+                                  "> at offset " + std::to_string(pos_));
+      }
+      SkipWhitespace();
+      if (!LookingAt("=")) {
+        return Status::ParseError("attribute " + attr_name +
+                                  " missing '=' in <" + *name + ">");
+      }
+      ++pos_;
+      SkipWhitespace();
+      if (pos_ >= input_.size() ||
+          (input_[pos_] != '"' && input_[pos_] != '\'')) {
+        return Status::ParseError("attribute " + attr_name +
+                                  " value must be quoted in <" + *name + ">");
+      }
+      char quote = input_[pos_++];
+      size_t end = input_.find(quote, pos_);
+      if (end == std::string_view::npos) {
+        return Status::ParseError("unterminated attribute value in <" +
+                                  *name + ">");
+      }
+      (*attributes)[attr_name] =
+          DecodeEntities(input_.substr(pos_, end - pos_));
+      pos_ = end + 1;
+    }
+  }
+
+  /// Reads `</name>` and verifies the name matches.
+  Status ReadEndTag(const std::string& expected_name) {
+    SkipCommentsAndWhitespace();
+    if (!LookingAt("</")) {
+      return Status::ParseError("expected </" + expected_name +
+                                "> at offset " + std::to_string(pos_));
+    }
+    pos_ += 2;
+    std::string name = ReadName();
+    SkipWhitespace();
+    if (!LookingAt(">")) {
+      return Status::ParseError("malformed end tag </" + name);
+    }
+    ++pos_;
+    if (name != expected_name) {
+      return Status::ParseError("mismatched end tag: expected </" +
+                                expected_name + ">, found </" + name + ">");
+    }
+    return Status::OK();
+  }
+
+  /// Reads character data up to the next '<' (entities decoded).
+  std::string ReadText() {
+    size_t end = input_.find('<', pos_);
+    if (end == std::string_view::npos) end = input_.size();
+    std::string text = DecodeEntities(input_.substr(pos_, end - pos_));
+    pos_ = end;
+    return text;
+  }
+
+  size_t offset() const { return pos_; }
+
+ private:
+  bool LookingAt(std::string_view token) const {
+    return input_.substr(pos_, token.size()) == token;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status SkipComment() {
+    size_t end = input_.find("-->", pos_);
+    if (end == std::string_view::npos) {
+      return Status::ParseError("unterminated comment at offset " +
+                                std::to_string(pos_));
+    }
+    pos_ = end + 3;
+    return Status::OK();
+  }
+
+  void SkipCommentsAndWhitespace() {
+    while (true) {
+      SkipWhitespace();
+      if (LookingAt("<!--")) {
+        if (!SkipComment().ok()) return;
+      } else {
+        return;
+      }
+    }
+  }
+
+  std::string ReadName() {
+    size_t start = pos_;
+    while (pos_ < input_.size()) {
+      char c = input_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == ':' ||
+          c == '_' || c == '-' || c == '.') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+
+}  // namespace mdv::rdf::internal_xml
+
+#endif  // MDV_RDF_XML_CURSOR_H_

@@ -1,0 +1,204 @@
+#include "rdf/xml_import.h"
+
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+#include "rdf/xml_cursor.h"
+
+namespace mdv::rdf {
+
+namespace {
+
+using internal_xml::LocalName;
+using internal_xml::XmlCursor;
+
+/// Imports one element as a resource, recursing into child resources.
+/// Returns the new resource's URI reference.
+class GenericXmlImporter {
+ public:
+  GenericXmlImporter(XmlCursor* cursor, RdfDocument* document)
+      : cursor_(*cursor), document_(*document) {}
+
+  Result<std::string> ImportElement() {
+    std::string tag;
+    std::map<std::string, std::string> attrs;
+    bool self_closing = false;
+    MDV_RETURN_IF_ERROR(cursor_.ReadStartTag(&tag, &attrs, &self_closing));
+    std::string class_name(LocalName(tag));
+
+    std::string local_id;
+    auto id_attr = attrs.find("id");
+    if (id_attr != attrs.end()) {
+      local_id = id_attr->second;
+    } else {
+      local_id = class_name + "_" + std::to_string(++counter_[class_name]);
+    }
+
+    Resource resource(local_id, class_name);
+    for (const auto& [attr, value] : attrs) {
+      if (attr == "id") continue;
+      resource.AddProperty(std::string(LocalName(attr)),
+                           PropertyValue::Literal(value));
+    }
+
+    if (!self_closing) {
+      while (!cursor_.AtEndTag()) {
+        if (cursor_.AtStartTag()) {
+          MDV_RETURN_IF_ERROR(ImportChild(&resource));
+        } else {
+          // Mixed content: fold free text into a `text` property.
+          std::string text(TrimWhitespace(cursor_.ReadText()));
+          if (!text.empty()) {
+            resource.AddProperty("text", PropertyValue::Literal(text));
+          }
+        }
+      }
+      MDV_RETURN_IF_ERROR(cursor_.ReadEndTag(tag));
+    }
+
+    MDV_RETURN_IF_ERROR(document_.AddResource(std::move(resource)));
+    return document_.UriReferenceOf(local_id);
+  }
+
+ private:
+  /// A child element is a literal property when it has neither
+  /// attributes nor element children; otherwise it is a nested resource.
+  Status ImportChild(Resource* parent) {
+    // Peek the child: we must read its start tag to decide, so we parse
+    // it fully and then decide by what we found.
+    std::string tag;
+    std::map<std::string, std::string> attrs;
+    bool self_closing = false;
+    MDV_RETURN_IF_ERROR(cursor_.ReadStartTag(&tag, &attrs, &self_closing));
+    std::string name(LocalName(tag));
+
+    if (self_closing && attrs.empty()) {
+      parent->AddProperty(name, PropertyValue::Literal(""));
+      return Status::OK();
+    }
+    if (!self_closing && attrs.empty() && !cursor_.AtStartTag()) {
+      // Text-only child → literal property.
+      std::string text(TrimWhitespace(cursor_.ReadText()));
+      MDV_RETURN_IF_ERROR(cursor_.ReadEndTag(tag));
+      parent->AddProperty(name, PropertyValue::Literal(text));
+      return Status::OK();
+    }
+
+    // Nested resource: re-assemble it from the already-consumed start
+    // tag by importing body and children under a fresh resource.
+    std::string class_name = name;
+    std::string local_id;
+    auto id_attr = attrs.find("id");
+    if (id_attr != attrs.end()) {
+      local_id = id_attr->second;
+    } else {
+      local_id = class_name + "_" + std::to_string(++counter_[class_name]);
+    }
+    Resource resource(local_id, class_name);
+    for (const auto& [attr, value] : attrs) {
+      if (attr == "id") continue;
+      resource.AddProperty(std::string(LocalName(attr)),
+                           PropertyValue::Literal(value));
+    }
+    if (!self_closing) {
+      while (!cursor_.AtEndTag()) {
+        if (cursor_.AtStartTag()) {
+          MDV_RETURN_IF_ERROR(ImportChild(&resource));
+        } else {
+          std::string text(TrimWhitespace(cursor_.ReadText()));
+          if (!text.empty()) {
+            resource.AddProperty("text", PropertyValue::Literal(text));
+          }
+        }
+      }
+      MDV_RETURN_IF_ERROR(cursor_.ReadEndTag(tag));
+    }
+    MDV_RETURN_IF_ERROR(document_.AddResource(std::move(resource)));
+    parent->AddProperty(
+        name, PropertyValue::ResourceRef(document_.UriReferenceOf(local_id)));
+    return Status::OK();
+  }
+
+  XmlCursor& cursor_;
+  RdfDocument& document_;
+  std::map<std::string, int> counter_;
+};
+
+}  // namespace
+
+Result<RdfDocument> ImportGenericXml(std::string_view xml,
+                                     const std::string& document_uri) {
+  if (document_uri.empty()) {
+    return Status::InvalidArgument("document URI must not be empty");
+  }
+  RdfDocument document(document_uri);
+  XmlCursor cursor(xml);
+  MDV_RETURN_IF_ERROR(cursor.SkipPrologAndMisc());
+  if (!cursor.AtStartTag()) {
+    return Status::ParseError("expected a root element");
+  }
+  GenericXmlImporter importer(&cursor, &document);
+  MDV_ASSIGN_OR_RETURN(std::string root_uri, importer.ImportElement());
+  (void)root_uri;
+  if (!cursor.AtEnd()) {
+    return Status::ParseError("trailing content after the root element");
+  }
+  return document;
+}
+
+Status ExtendSchemaForDocument(const RdfDocument& document,
+                               RdfSchema* schema) {
+  // First make sure every class exists (references may point forward).
+  for (const Resource* res : document.resources()) {
+    if (!schema->HasClass(res->class_name())) {
+      MDV_RETURN_IF_ERROR(
+          schema->AddClass(ClassDef{res->class_name(), {}}));
+    }
+  }
+  // Then declare properties. Because ClassDef instances live inside the
+  // schema, rebuild each class definition and re-add.
+  std::map<std::string, ClassDef> updated;
+  for (const Resource* res : document.resources()) {
+    ClassDef& cls = updated
+                        .emplace(res->class_name(),
+                                 *schema->FindClass(res->class_name()))
+                        .first->second;
+    std::set<std::string> seen_here;
+    for (const Property& prop : res->properties()) {
+      bool repeated = !seen_here.insert(prop.name).second;
+      auto it = cls.properties.find(prop.name);
+      if (it == cls.properties.end()) {
+        PropertyDef def;
+        def.name = prop.name;
+        if (prop.value.is_resource_ref()) {
+          def.kind = PropertyKind::kReference;
+          // Resolve the referenced class from the target when possible.
+          auto [doc_uri, local] = SplitUriReference(prop.value.text());
+          const Resource* target = document.FindResource(local);
+          def.referenced_class =
+              target != nullptr ? target->class_name() : "";
+          def.strength = RefStrength::kWeak;
+        }
+        def.set_valued = repeated;
+        cls.properties.emplace(prop.name, std::move(def));
+      } else {
+        PropertyDef& def = it->second;
+        bool is_ref = prop.value.is_resource_ref();
+        if ((def.kind == PropertyKind::kReference) != is_ref) {
+          return Status::SchemaViolation(
+              "property " + res->class_name() + "." + prop.name +
+              " holds both literals and references");
+        }
+        if (repeated) def.set_valued = true;
+      }
+    }
+  }
+  // Replace the class definitions with the extended ones.
+  for (auto& [name, cls] : updated) {
+    MDV_RETURN_IF_ERROR(schema->ReplaceClass(std::move(cls)));
+  }
+  return Status::OK();
+}
+
+}  // namespace mdv::rdf

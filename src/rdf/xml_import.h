@@ -1,0 +1,40 @@
+#ifndef MDV_RDF_XML_IMPORT_H_
+#define MDV_RDF_XML_IMPORT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "rdf/document.h"
+#include "rdf/schema.h"
+
+namespace mdv::rdf {
+
+/// Imports *generic* XML (not RDF/XML) into the RDF data model — the
+/// direction the paper's conclusion announces ("the utilization of XML
+/// as data format", §6). The mapping:
+///
+///  - every element with element children becomes a resource whose class
+///    is the element's local name;
+///  - attributes and text-only child elements become literal properties;
+///  - element children that are themselves resources become reference
+///    properties named after the child element's local name;
+///  - local ids are taken from an `id` attribute when present, otherwise
+///    synthesized as `<element>_<n>` in document order;
+///  - the root element is imported like any other resource.
+///
+/// The result registers/filters through MDV exactly like native RDF.
+Result<RdfDocument> ImportGenericXml(std::string_view xml,
+                                     const std::string& document_uri);
+
+/// Extends `schema` so that `document` validates: missing classes are
+/// added; missing properties are declared (reference properties weak,
+/// repeated properties set-valued). Existing declarations are kept;
+/// SchemaViolation if an existing declaration conflicts (e.g. a literal
+/// property now holding references).
+Status ExtendSchemaForDocument(const RdfDocument& document,
+                               RdfSchema* schema);
+
+}  // namespace mdv::rdf
+
+#endif  // MDV_RDF_XML_IMPORT_H_

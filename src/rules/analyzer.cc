@@ -1,0 +1,149 @@
+#include "rules/analyzer.h"
+
+namespace mdv::rules {
+
+namespace {
+
+/// Kind of an operand after resolution, for compatibility checking.
+enum class OperandType { kResource, kLiteral, kStringConst, kNumberConst };
+
+Result<OperandType> ResolveOperand(const Operand& operand,
+                                   const AnalyzedRule& analyzed,
+                                   const rdf::RdfSchema& schema) {
+  switch (operand.kind) {
+    case Operand::Kind::kString:
+      return OperandType::kStringConst;
+    case Operand::Kind::kNumber:
+      return OperandType::kNumberConst;
+    case Operand::Kind::kPath:
+      break;
+  }
+  const PathExpr& path = operand.path;
+  auto it = analyzed.variable_class.find(path.variable);
+  if (it == analyzed.variable_class.end()) {
+    return Status::InvalidArgument("undeclared variable " + path.variable);
+  }
+  if (path.IsBareVariable()) return OperandType::kResource;
+
+  std::vector<std::string> names;
+  names.reserve(path.steps.size());
+  for (const PathStep& step : path.steps) names.push_back(step.property);
+  MDV_ASSIGN_OR_RETURN(rdf::ResolvedPath resolved,
+                       schema.ResolvePath(it->second, names));
+  // `?` is only meaningful on set-valued properties (§2.3).
+  for (size_t i = 0; i < path.steps.size(); ++i) {
+    if (path.steps[i].any && !resolved.properties[i].set_valued) {
+      return Status::InvalidArgument(
+          "any operator '?' on non-set-valued property " +
+          resolved.classes[i] + "." + path.steps[i].property);
+    }
+  }
+  return resolved.final_property().kind == rdf::PropertyKind::kReference
+             ? OperandType::kResource
+             : OperandType::kLiteral;
+}
+
+bool IsOrderedOp(rdbms::CompareOp op) {
+  return op == rdbms::CompareOp::kLt || op == rdbms::CompareOp::kLe ||
+         op == rdbms::CompareOp::kGt || op == rdbms::CompareOp::kGe;
+}
+
+}  // namespace
+
+Result<AnalyzedRule> AnalyzeRule(const RuleAst& rule,
+                                 const rdf::RdfSchema& schema,
+                                 const ExtensionResolver& resolver) {
+  AnalyzedRule analyzed;
+  analyzed.ast = rule;
+
+  if (rule.search.empty()) {
+    return Status::InvalidArgument("rule has an empty search clause");
+  }
+  for (const SearchEntry& entry : rule.search) {
+    if (analyzed.variable_class.count(entry.variable) != 0) {
+      return Status::InvalidArgument("duplicate variable " + entry.variable);
+    }
+    std::string class_name;
+    bool is_rule = false;
+    if (schema.HasClass(entry.extension)) {
+      class_name = entry.extension;
+    } else if (resolver) {
+      std::optional<std::string> rule_type = resolver(entry.extension);
+      if (!rule_type) {
+        return Status::NotFound("extension " + entry.extension +
+                                " is neither a schema class nor a "
+                                "registered rule");
+      }
+      class_name = *rule_type;
+      is_rule = true;
+    } else {
+      return Status::NotFound("unknown class " + entry.extension);
+    }
+    analyzed.variable_class[entry.variable] = class_name;
+    analyzed.variable_extension[entry.variable] = entry.extension;
+    analyzed.variable_is_rule_extension[entry.variable] = is_rule;
+  }
+
+  if (analyzed.variable_class.count(rule.register_variable) == 0) {
+    return Status::InvalidArgument("register variable " +
+                                   rule.register_variable +
+                                   " is not declared in the search clause");
+  }
+
+  for (const PredicateExpr& pred : rule.where) {
+    MDV_ASSIGN_OR_RETURN(OperandType lhs,
+                         ResolveOperand(pred.lhs, analyzed, schema));
+    MDV_ASSIGN_OR_RETURN(OperandType rhs,
+                         ResolveOperand(pred.rhs, analyzed, schema));
+    bool lhs_const =
+        lhs == OperandType::kStringConst || lhs == OperandType::kNumberConst;
+    bool rhs_const =
+        rhs == OperandType::kStringConst || rhs == OperandType::kNumberConst;
+    if (lhs_const && rhs_const) {
+      return Status::InvalidArgument("predicate '" + pred.ToString() +
+                                     "' does not reference a variable");
+    }
+    // Ordered comparisons against constants need numeric constants
+    // (paper §3.3.4: "< <= > >= only on numerical constants").
+    if (IsOrderedOp(pred.op)) {
+      if (lhs == OperandType::kStringConst ||
+          rhs == OperandType::kStringConst) {
+        return Status::InvalidArgument(
+            "ordered comparison with non-numeric constant in '" +
+            pred.ToString() + "'");
+      }
+      if (lhs == OperandType::kResource || rhs == OperandType::kResource) {
+        return Status::InvalidArgument(
+            "ordered comparison on resource reference in '" +
+            pred.ToString() + "'");
+      }
+    }
+    if (pred.op == rdbms::CompareOp::kContains) {
+      if (lhs == OperandType::kNumberConst ||
+          rhs == OperandType::kNumberConst || lhs == OperandType::kResource ||
+          rhs == OperandType::kResource) {
+        return Status::InvalidArgument("contains needs string operands in '" +
+                                       pred.ToString() + "'");
+      }
+      // `contains` is not symmetric, so a constant left-hand side cannot be
+      // flipped into the canonical property-contains-constant form.
+      if (lhs == OperandType::kStringConst) {
+        return Status::Unsupported(
+            "constant on the left of contains in '" + pred.ToString() +
+            "'; write <path> contains '<text>'");
+      }
+    }
+    // Resources compare only against resources or string constants
+    // (URI references written as strings, e.g. OID rules).
+    if ((lhs == OperandType::kResource &&
+         rhs == OperandType::kNumberConst) ||
+        (rhs == OperandType::kResource &&
+         lhs == OperandType::kNumberConst)) {
+      return Status::InvalidArgument(
+          "resource compared against a number in '" + pred.ToString() + "'");
+    }
+  }
+  return analyzed;
+}
+
+}  // namespace mdv::rules

@@ -1,0 +1,49 @@
+#ifndef MDV_RULES_ANALYZER_H_
+#define MDV_RULES_ANALYZER_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "rdf/schema.h"
+#include "rules/ast.h"
+
+namespace mdv::rules {
+
+/// Resolves an extension name that is not a schema class to the type
+/// (class) of another registered subscription rule (§2.3: an extension is
+/// "either some class defined in the schema or another subscription
+/// rule"). Returns nullopt if the name is not a known rule either.
+using ExtensionResolver =
+    std::function<std::optional<std::string>(const std::string& name)>;
+
+/// A rule with every variable bound to an RDF class and every predicate
+/// type-checked against the schema.
+struct AnalyzedRule {
+  RuleAst ast;
+  /// variable → RDF class of the resources it ranges over.
+  std::map<std::string, std::string> variable_class;
+  /// variable → the extension it was declared with (class name, or the
+  /// name of another subscription rule).
+  std::map<std::string, std::string> variable_extension;
+  /// Variables whose extension is another subscription rule.
+  std::map<std::string, bool> variable_is_rule_extension;
+};
+
+/// Validates `rule` against `schema`:
+///  - every extension is a schema class or resolvable via `resolver`;
+///  - variables are unique and the register variable is declared;
+///  - every path expression resolves (each non-final step is a reference
+///    property, `?` only on set-valued properties);
+///  - each predicate relates compatible operands; ordered comparisons
+///    (< <= > >=) with constants require numeric constants (§3.3.4);
+///  - no predicate is constant-only.
+Result<AnalyzedRule> AnalyzeRule(const RuleAst& rule,
+                                 const rdf::RdfSchema& schema,
+                                 const ExtensionResolver& resolver = nullptr);
+
+}  // namespace mdv::rules
+
+#endif  // MDV_RULES_ANALYZER_H_

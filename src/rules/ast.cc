@@ -1,0 +1,49 @@
+#include "rules/ast.h"
+
+namespace mdv::rules {
+
+std::string PathExpr::ToString() const {
+  std::string out = variable;
+  for (const PathStep& step : steps) {
+    out += ".";
+    out += step.property;
+    if (step.any) out += "?";
+  }
+  return out;
+}
+
+std::string Operand::ToString() const {
+  switch (kind) {
+    case Kind::kPath:
+      return path.ToString();
+    case Kind::kString:
+      return "'" + text + "'";
+    case Kind::kNumber:
+      return text;
+  }
+  return "?";
+}
+
+std::string PredicateExpr::ToString() const {
+  return lhs.ToString() + " " + rdbms::CompareOpToString(op) + " " +
+         rhs.ToString();
+}
+
+std::string RuleAst::ToString() const {
+  std::string out = "search ";
+  for (size_t i = 0; i < search.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += search[i].extension + " " + search[i].variable;
+  }
+  out += " register " + register_variable;
+  if (!where.empty()) {
+    out += " where ";
+    for (size_t i = 0; i < where.size(); ++i) {
+      if (i > 0) out += " and ";
+      out += where[i].ToString();
+    }
+  }
+  return out;
+}
+
+}  // namespace mdv::rules

@@ -1,0 +1,103 @@
+#ifndef MDV_RULES_AST_H_
+#define MDV_RULES_AST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rdbms/predicate.h"
+
+namespace mdv::rules {
+
+/// One step of a path expression. `any` marks the rule language's `?`
+/// operator for set-valued properties (§2.3); matching semantics are
+/// existential either way because set-valued properties decompose into
+/// one atom per element.
+struct PathStep {
+  std::string property;
+  bool any = false;
+
+  bool operator==(const PathStep& other) const {
+    return property == other.property && any == other.any;
+  }
+};
+
+/// A path expression `v.p1.p2...`; `steps` may be empty, denoting the
+/// variable itself (its resource / URI reference).
+struct PathExpr {
+  std::string variable;
+  std::vector<PathStep> steps;
+
+  bool IsBareVariable() const { return steps.empty(); }
+  std::string ToString() const;
+
+  bool operator==(const PathExpr& other) const {
+    return variable == other.variable && steps == other.steps;
+  }
+};
+
+/// One side of an elementary predicate: a path expression or a constant.
+struct Operand {
+  enum class Kind { kPath, kString, kNumber };
+
+  Kind kind = Kind::kPath;
+  PathExpr path;        // kPath
+  std::string text;     // kString (raw characters) / kNumber (lexeme)
+  double number = 0.0;  // kNumber
+
+  static Operand Path(PathExpr p) {
+    Operand o;
+    o.kind = Kind::kPath;
+    o.path = std::move(p);
+    return o;
+  }
+  static Operand String(std::string s) {
+    Operand o;
+    o.kind = Kind::kString;
+    o.text = std::move(s);
+    return o;
+  }
+  static Operand Number(double value, std::string lexeme) {
+    Operand o;
+    o.kind = Kind::kNumber;
+    o.number = value;
+    o.text = std::move(lexeme);
+    return o;
+  }
+
+  bool is_path() const { return kind == Kind::kPath; }
+  bool is_constant() const { return kind != Kind::kPath; }
+  std::string ToString() const;
+};
+
+/// An elementary predicate `X o Y` (§2.3). The where part of a rule is a
+/// conjunction of these; `or` is not supported (the paper notes rules
+/// with `or` can be split into multiple rules).
+struct PredicateExpr {
+  Operand lhs;
+  rdbms::CompareOp op = rdbms::CompareOp::kEq;
+  Operand rhs;
+
+  std::string ToString() const;
+};
+
+/// An entry of the search clause: `Extension variable`, where Extension
+/// is a schema class or the name of another subscription rule (§2.3).
+struct SearchEntry {
+  std::string extension;
+  std::string variable;
+};
+
+/// Parsed form of `search E1 v1, E2 v2 register v where P1 and P2 ...`.
+struct RuleAst {
+  std::vector<SearchEntry> search;
+  std::string register_variable;
+  std::vector<PredicateExpr> where;
+
+  /// Re-serializes the rule in canonical surface syntax.
+  std::string ToString() const;
+};
+
+}  // namespace mdv::rules
+
+#endif  // MDV_RULES_AST_H_

@@ -1,0 +1,54 @@
+#include "rules/atomic_rule.h"
+
+namespace mdv::rules {
+
+std::string JoinSpec::GroupKey() const {
+  std::string out = "G|";
+  out += left_class;
+  out += "|";
+  out += right_class;
+  out += "|";
+  out += lhs.property;
+  out += "|";
+  out += rdbms::CompareOpToString(op);
+  out += "|";
+  out += rhs.property;
+  out += "|";
+  out += std::to_string(register_side);
+  return out;
+}
+
+std::string TriggeringRuleText(const TriggeringSpec& spec) {
+  std::string out = "T|";
+  out += spec.class_name;
+  if (spec.predicate) {
+    out += "|";
+    out += spec.predicate->property;
+    out += "|";
+    out += rdbms::CompareOpToString(spec.predicate->op);
+    out += "|";
+    out += spec.predicate->constant;
+    out += "|";
+    out += spec.predicate->constant_is_number ? "N" : "S";
+  }
+  return out;
+}
+
+std::string JoinRuleText(const JoinSpec& spec, int64_t left_id,
+                         int64_t right_id) {
+  std::string out = "J|";
+  out += std::to_string(left_id);
+  out += "|";
+  out += std::to_string(right_id);
+  out += "|";
+  out += spec.lhs.property;
+  out += "|";
+  out += rdbms::CompareOpToString(spec.op);
+  out += "|";
+  out += spec.rhs.property;
+  out += "|";
+  out += std::to_string(spec.register_side);
+  return out;
+}
+
+}  // namespace mdv::rules

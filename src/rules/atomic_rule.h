@@ -1,0 +1,101 @@
+#ifndef MDV_RULES_ATOMIC_RULE_H_
+#define MDV_RULES_ATOMIC_RULE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rdbms/predicate.h"
+
+namespace mdv::rules {
+
+/// The two kinds of atomic rules produced by decomposition (§3.3): a
+/// *triggering rule* refers to a single class and compares one property
+/// against a constant (or has no predicate at all); a *join rule* joins
+/// the results of two other atomic rules with one join predicate.
+enum class AtomicRuleKind { kTriggering, kJoin };
+
+/// The where part of a triggering rule. `property` is the FilterData
+/// property the predicate reads; OID rules (bare `c = 'uri'`) use the
+/// synthetic rdf#subject property (§3.2). `constant` is always stored as
+/// a string and reconverted for numeric comparisons (§3.3.4).
+struct TriggeringPredicate {
+  std::string property;
+  rdbms::CompareOp op = rdbms::CompareOp::kEq;
+  std::string constant;
+  bool constant_is_number = false;
+};
+
+/// Specification of a triggering rule: `search C v register v [where
+/// v.property op constant]`.
+struct TriggeringSpec {
+  std::string class_name;
+  std::optional<TriggeringPredicate> predicate;
+};
+
+/// One side of a join predicate: the resources of one input rule,
+/// optionally dereferenced through a property. An empty property denotes
+/// the resource itself (its URI reference).
+struct JoinSideSpec {
+  std::string property;
+};
+
+/// Specification of a join rule: `search L a, R b register <side> where
+/// a[.p] op b[.q]`. `left_class`/`right_class` are the types of the two
+/// input rules; together with the predicate they form the rule-group key
+/// (§3.3.3): join rules with equal where parts over equally-typed inputs
+/// share a group regardless of which concrete rules feed them.
+struct JoinSpec {
+  std::string left_class;
+  std::string right_class;
+  JoinSideSpec lhs;
+  JoinSideSpec rhs;
+  rdbms::CompareOp op = rdbms::CompareOp::kEq;
+  int register_side = 0;  ///< 0 = left input's resources, 1 = right.
+
+  /// The rule-group key (everything except the concrete input rules).
+  std::string GroupKey() const;
+};
+
+/// A node of the dependency tree produced by decomposing one
+/// subscription rule (§3.3.2). Children are indices into
+/// DecomposedRule::atoms; external nodes reference the end rule of
+/// another subscription rule (rule-valued extensions, §2.3).
+struct AtomicRuleNode {
+  AtomicRuleKind kind = AtomicRuleKind::kTriggering;
+  /// Class of the resources this atomic rule registers (its *type*).
+  std::string type;
+
+  TriggeringSpec trigger;                  // kind == kTriggering
+  JoinSpec join;                           // kind == kJoin
+  int left_child = -1;                     // kind == kJoin
+  int right_child = -1;                    // kind == kJoin
+
+  /// Set when this leaf is the already-registered end rule of another
+  /// subscription; `external_rule_id` is its global atomic-rule id.
+  bool is_external = false;
+  int64_t external_rule_id = -1;
+};
+
+/// The dependency tree of one decomposed subscription rule: triggering
+/// rules as leaves, join rules as inner nodes, the end rule at `root`.
+struct DecomposedRule {
+  std::vector<AtomicRuleNode> atoms;
+  int root = -1;
+
+  const AtomicRuleNode& root_node() const { return atoms[root]; }
+};
+
+/// Canonical text of a triggering spec, used for duplicate elimination
+/// when merging into the global dependency graph ("no rules having the
+/// same rule text but different rule_ids", §3.3.4).
+std::string TriggeringRuleText(const TriggeringSpec& spec);
+
+/// Canonical text of a join rule given the global ids of its inputs.
+std::string JoinRuleText(const JoinSpec& spec, int64_t left_id,
+                         int64_t right_id);
+
+}  // namespace mdv::rules
+
+#endif  // MDV_RULES_ATOMIC_RULE_H_

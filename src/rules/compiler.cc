@@ -1,0 +1,21 @@
+#include "rules/compiler.h"
+
+namespace mdv::rules {
+
+Result<CompiledRule> CompileRule(std::string_view text,
+                                 const rdf::RdfSchema& schema,
+                                 const ExtensionResolver& extension_resolver,
+                                 const RuleExtensionResolver& rule_resolver) {
+  CompiledRule compiled;
+  compiled.text = std::string(text);
+  MDV_ASSIGN_OR_RETURN(RuleAst ast, ParseRule(text));
+  MDV_ASSIGN_OR_RETURN(compiled.analyzed,
+                       AnalyzeRule(ast, schema, extension_resolver));
+  MDV_ASSIGN_OR_RETURN(compiled.normalized,
+                       NormalizeRule(compiled.analyzed, schema));
+  MDV_ASSIGN_OR_RETURN(compiled.decomposed,
+                       DecomposeRule(compiled.normalized, rule_resolver));
+  return compiled;
+}
+
+}  // namespace mdv::rules

@@ -1,0 +1,38 @@
+#ifndef MDV_RULES_COMPILER_H_
+#define MDV_RULES_COMPILER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "rdf/schema.h"
+#include "rules/analyzer.h"
+#include "rules/decomposer.h"
+#include "rules/normalizer.h"
+#include "rules/parser.h"
+
+namespace mdv::rules {
+
+/// A fully compiled subscription rule: the original text, its normalized
+/// form, and the dependency tree of atomic rules.
+struct CompiledRule {
+  std::string text;
+  AnalyzedRule analyzed;
+  AnalyzedRule normalized;
+  DecomposedRule decomposed;
+
+  /// Class of the resources the rule registers (its type, §3.3.1).
+  const std::string& type() const { return decomposed.root_node().type; }
+};
+
+/// Runs the whole front-end: parse → analyze → normalize → decompose.
+/// `extension_resolver`/`rule_resolver` supply types and end-rule ids for
+/// extensions that name other subscription rules; both may be null when
+/// rules only use schema classes.
+Result<CompiledRule> CompileRule(
+    std::string_view text, const rdf::RdfSchema& schema,
+    const ExtensionResolver& extension_resolver = nullptr,
+    const RuleExtensionResolver& rule_resolver = nullptr);
+
+}  // namespace mdv::rules
+
+#endif  // MDV_RULES_COMPILER_H_

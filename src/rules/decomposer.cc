@@ -1,0 +1,283 @@
+#include "rules/decomposer.h"
+
+#include <map>
+#include <set>
+
+#include "rdf/document.h"
+
+namespace mdv::rules {
+
+namespace {
+
+struct ConstantPred {
+  std::string property;  // rdf#subject for bare-variable (OID) predicates.
+  rdbms::CompareOp op;
+  std::string constant;
+  bool is_number;
+};
+
+/// Renders a constant operand as the string stored in the filter tables
+/// (§3.3.4: constants are stored as strings and reconverted).
+std::string ConstantText(const Operand& operand) {
+  return operand.text;
+}
+
+}  // namespace
+
+Result<DecomposedRule> DecomposeRule(const AnalyzedRule& normalized,
+                                     const RuleExtensionResolver& resolver) {
+  DecomposedRule out;
+  const RuleAst& ast = normalized.ast;
+
+  // ---- Partition predicates into constant and join predicates. --------
+  std::map<std::string, std::vector<ConstantPred>> constant_preds;
+  std::vector<PredicateExpr> join_preds;
+  for (const PredicateExpr& pred : ast.where) {
+    if (pred.lhs.is_path() && pred.rhs.is_constant()) {
+      const PathExpr& path = pred.lhs.path;
+      if (path.steps.size() > 1) {
+        return Status::Internal("rule is not normalized: path " +
+                                path.ToString());
+      }
+      ConstantPred cp;
+      cp.property =
+          path.IsBareVariable() ? rdf::kRdfSubjectProperty
+                                : path.steps[0].property;
+      cp.op = pred.op;
+      cp.constant = ConstantText(pred.rhs);
+      cp.is_number = pred.rhs.kind == Operand::Kind::kNumber;
+      constant_preds[path.variable].push_back(std::move(cp));
+    } else if (pred.lhs.is_path() && pred.rhs.is_path()) {
+      if (pred.lhs.path.steps.size() > 1 || pred.rhs.path.steps.size() > 1) {
+        return Status::Internal("rule is not normalized: predicate " +
+                                pred.ToString());
+      }
+      join_preds.push_back(pred);
+    } else {
+      // Normalization puts constants on the right; two constants are
+      // rejected by the analyzer.
+      return Status::Internal("unexpected predicate shape: " +
+                              pred.ToString());
+    }
+  }
+
+  // ---- Per-variable leaf inputs. ---------------------------------------
+  // Each variable gets one current input node: the fold (by bare-equality
+  // join rules) of its triggering rules, plus — for rule-valued
+  // extensions — the external end rule.
+  std::map<std::string, int> node_of_var;
+
+  auto add_node = [&](AtomicRuleNode node) {
+    out.atoms.push_back(std::move(node));
+    return static_cast<int>(out.atoms.size() - 1);
+  };
+  auto fold_pair = [&](int left, int right) {
+    AtomicRuleNode node;
+    node.kind = AtomicRuleKind::kJoin;
+    node.type = out.atoms[left].type;
+    node.left_child = left;
+    node.right_child = right;
+    node.join.left_class = out.atoms[left].type;
+    node.join.right_class = out.atoms[right].type;
+    node.join.op = rdbms::CompareOp::kEq;
+    node.join.register_side = 0;
+    return add_node(std::move(node));
+  };
+
+  for (const SearchEntry& entry : ast.search) {
+    const std::string& var = entry.variable;
+    const std::string& cls = normalized.variable_class.at(var);
+    std::vector<int> inputs;
+
+    if (normalized.variable_is_rule_extension.at(var)) {
+      if (!resolver) {
+        return Status::InvalidArgument(
+            "rule extension " + entry.extension +
+            " used but no rule resolver available");
+      }
+      std::optional<ExternalExtension> ext = resolver(entry.extension);
+      if (!ext) {
+        return Status::NotFound("rule extension " + entry.extension);
+      }
+      AtomicRuleNode node;
+      node.kind = AtomicRuleKind::kTriggering;  // Leaf position.
+      node.type = ext->type;
+      node.is_external = true;
+      node.external_rule_id = ext->end_rule_id;
+      inputs.push_back(add_node(std::move(node)));
+    }
+
+    auto it = constant_preds.find(var);
+    if (it != constant_preds.end()) {
+      for (const ConstantPred& cp : it->second) {
+        AtomicRuleNode node;
+        node.kind = AtomicRuleKind::kTriggering;
+        node.type = cls;
+        node.trigger.class_name = cls;
+        node.trigger.predicate = TriggeringPredicate{
+            cp.property, cp.op, cp.constant, cp.is_number};
+        inputs.push_back(add_node(std::move(node)));
+      }
+    }
+    if (inputs.empty()) {
+      // Class without any constant predicate: triggering rule without a
+      // where clause (matches every resource of the class).
+      AtomicRuleNode node;
+      node.kind = AtomicRuleKind::kTriggering;
+      node.type = cls;
+      node.trigger.class_name = cls;
+      inputs.push_back(add_node(std::move(node)));
+    }
+    // Intersect multiple inputs of the same variable with bare-equality
+    // join rules (the paper's RuleE pattern: `a = b`).
+    int current = inputs[0];
+    for (size_t i = 1; i < inputs.size(); ++i) {
+      current = fold_pair(current, inputs[i]);
+    }
+    node_of_var[var] = current;
+  }
+
+  // ---- Consume join predicates, building inner join rules. ------------
+  std::vector<PredicateExpr> remaining = std::move(join_preds);
+
+  auto needed_after = [&](const std::string& var, size_t skip) {
+    if (var == ast.register_variable) return true;
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      if (i == skip) continue;
+      if ((remaining[i].lhs.is_path() &&
+           remaining[i].lhs.path.variable == var) ||
+          (remaining[i].rhs.is_path() &&
+           remaining[i].rhs.path.variable == var)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  while (!remaining.empty()) {
+    // Pick the first predicate where at least one side becomes
+    // unnecessary afterwards, or failing that a bare-equality predicate
+    // (whose output can stand for both sides).
+    int pick = -1;
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      const PredicateExpr& p = remaining[i];
+      const std::string& lv = p.lhs.path.variable;
+      const std::string& rv = p.rhs.path.variable;
+      if (node_of_var.count(lv) == 0 || node_of_var.count(rv) == 0) {
+        return Status::Unsupported(
+            "predicate '" + p.ToString() +
+            "' references a variable already consumed by a previous join; "
+            "this join graph is not tree-shaped");
+      }
+      if (lv == rv || !needed_after(lv, i) || !needed_after(rv, i)) {
+        // Self-joins (both sides the same variable) filter one input and
+        // are always safe to apply.
+        pick = static_cast<int>(i);
+        break;
+      }
+      bool bare_eq = p.op == rdbms::CompareOp::kEq &&
+                     p.lhs.path.IsBareVariable() &&
+                     p.rhs.path.IsBareVariable();
+      if (bare_eq && pick < 0) pick = static_cast<int>(i);
+    }
+    if (pick < 0) {
+      return Status::Unsupported(
+          "cyclic join graph: every remaining predicate needs both sides "
+          "later (" + std::to_string(remaining.size()) + " predicates left)");
+    }
+
+    PredicateExpr pred = remaining[static_cast<size_t>(pick)];
+    const std::string lvar = pred.lhs.path.variable;
+    const std::string rvar = pred.rhs.path.variable;
+    const bool lneeded = needed_after(lvar, static_cast<size_t>(pick));
+    const bool rneeded = needed_after(rvar, static_cast<size_t>(pick));
+    remaining.erase(remaining.begin() + pick);
+
+    int lnode = node_of_var.at(lvar);
+    int rnode = node_of_var.at(rvar);
+
+    AtomicRuleNode node;
+    node.kind = AtomicRuleKind::kJoin;
+    node.left_child = lnode;
+    node.right_child = rnode;
+    node.join.left_class = out.atoms[lnode].type;
+    node.join.right_class = out.atoms[rnode].type;
+    node.join.lhs.property = pred.lhs.path.IsBareVariable()
+                                 ? ""
+                                 : pred.lhs.path.steps[0].property;
+    node.join.rhs.property = pred.rhs.path.IsBareVariable()
+                                 ? ""
+                                 : pred.rhs.path.steps[0].property;
+    node.join.op = pred.op;
+
+    bool bare_eq = pred.op == rdbms::CompareOp::kEq &&
+                   node.join.lhs.property.empty() &&
+                   node.join.rhs.property.empty();
+    int register_side;
+    if (lvar == rvar) {
+      register_side = 0;  // Self-join: the single input is forwarded.
+    } else if (lneeded && rneeded) {
+      if (!bare_eq) {
+        return Status::Unsupported(
+            "join '" + pred.ToString() +
+            "' must forward both variables but is not a bare equality");
+      }
+      register_side = 0;
+    } else if (lneeded) {
+      register_side = 0;
+    } else if (rneeded) {
+      register_side = 1;
+    } else {
+      register_side = 0;
+    }
+    node.join.register_side = register_side;
+    node.type = register_side == 0 ? node.join.left_class
+                                   : node.join.right_class;
+
+    int new_node = add_node(std::move(node));
+
+    // Remap variables: everything that pointed at the registered child
+    // follows the output; the other child's variables follow only across
+    // a bare equality (their resources coincide with the output's),
+    // otherwise they are consumed.
+    int kept = register_side == 0 ? lnode : rnode;
+    int other = register_side == 0 ? rnode : lnode;
+    for (auto it = node_of_var.begin(); it != node_of_var.end();) {
+      if (it->second == kept) {
+        it->second = new_node;
+        ++it;
+      } else if (it->second == other) {
+        if (bare_eq) {
+          it->second = new_node;
+          ++it;
+        } else {
+          it = node_of_var.erase(it);
+        }
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // ---- Root and connectivity. ------------------------------------------
+  auto root_it = node_of_var.find(ast.register_variable);
+  if (root_it == node_of_var.end()) {
+    return Status::Internal("register variable lost during decomposition");
+  }
+  out.root = root_it->second;
+  for (const auto& [var, node] : node_of_var) {
+    if (node != out.root) {
+      return Status::Unsupported(
+          "variable " + var +
+          " is not connected to the register variable (cartesian products "
+          "are not supported)");
+    }
+  }
+  if (out.atoms[out.root].type !=
+      normalized.variable_class.at(ast.register_variable)) {
+    return Status::Internal("end rule type mismatch");
+  }
+  return out;
+}
+
+}  // namespace mdv::rules

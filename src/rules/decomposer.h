@@ -1,0 +1,50 @@
+#ifndef MDV_RULES_DECOMPOSER_H_
+#define MDV_RULES_DECOMPOSER_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "rules/analyzer.h"
+#include "rules/atomic_rule.h"
+
+namespace mdv::rules {
+
+/// Resolution of an extension that names another subscription rule: the
+/// type it registers and the global id of its end atomic rule.
+struct ExternalExtension {
+  std::string type;
+  int64_t end_rule_id = -1;
+};
+
+using RuleExtensionResolver =
+    std::function<std::optional<ExternalExtension>(const std::string& name)>;
+
+/// Decomposes a *normalized* rule into atomic rules (§3.3.1):
+///
+///  1. Every predicate comparing a property (or the bare variable, for
+///     OID rules) against a constant becomes a triggering rule; classes
+///     without such a predicate get a predicate-less triggering rule.
+///     Several triggering rules for the same variable are intersected
+///     with bare-equality join rules (the paper's `a = b`).
+///  2. The remaining (join) predicates are consumed one at a time, each
+///     producing a join rule over two current inputs. The register side
+///     of each join rule is the side whose variable is still needed by
+///     later predicates (or is the rule's register variable) — exactly
+///     how the paper derives RuleE/RuleF from RuleD.
+///
+/// The result is the rule's dependency tree (§3.3.2): triggering rules as
+/// leaves, join rules as inner nodes, the end rule as root.
+///
+/// Limitations (reported as Unsupported): join graphs where a
+/// non-equality join would have to forward both sides' variables
+/// (cyclic join graphs), and search-clause variables not connected to
+/// the register variable (cartesian products).
+Result<DecomposedRule> DecomposeRule(
+    const AnalyzedRule& normalized,
+    const RuleExtensionResolver& resolver = nullptr);
+
+}  // namespace mdv::rules
+
+#endif  // MDV_RULES_DECOMPOSER_H_

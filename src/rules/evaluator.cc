@@ -1,0 +1,130 @@
+#include "rules/evaluator.h"
+
+#include <algorithm>
+
+#include <functional>
+
+#include "common/string_util.h"
+#include "rdbms/predicate.h"
+#include "rules/normalizer.h"
+#include "rules/parser.h"
+
+namespace mdv::rules {
+
+bool CompareValueTexts(const std::string& lhs, rdbms::CompareOp op,
+                       const std::string& rhs) {
+  if (op == rdbms::CompareOp::kContains) return Contains(lhs, rhs);
+  rdbms::Value a{lhs};
+  rdbms::Value b{rhs};
+  auto an = a.TryNumeric();
+  auto bn = b.TryNumeric();
+  if (an && bn) {
+    return rdbms::EvaluateCompare(rdbms::Value(*an), op, rdbms::Value(*bn));
+  }
+  return rdbms::EvaluateCompare(a, op, b);
+}
+
+Result<std::vector<std::string>> EvaluateRule(const AnalyzedRule& normalized,
+                                              const ResourceMap& resources) {
+  const std::vector<SearchEntry>& vars = normalized.ast.search;
+  if (vars.empty()) {
+    return Status::InvalidArgument("rule without search clause");
+  }
+  for (const auto& [var, is_rule] : normalized.variable_is_rule_extension) {
+    if (is_rule) {
+      return Status::Unsupported(
+          "EvaluateRule does not resolve rule-valued extensions (variable " +
+          var + ")");
+    }
+  }
+
+  // Candidates per variable: resources of the variable's class.
+  std::vector<std::vector<ResourceMap::const_iterator>> candidates(
+      vars.size());
+  for (size_t i = 0; i < vars.size(); ++i) {
+    const std::string& cls = normalized.variable_class.at(vars[i].variable);
+    for (auto it = resources.begin(); it != resources.end(); ++it) {
+      if (it->second->class_name() == cls) candidates[i].push_back(it);
+    }
+  }
+
+  std::map<std::string, size_t> var_index;
+  for (size_t i = 0; i < vars.size(); ++i) {
+    var_index[vars[i].variable] = i;
+  }
+  std::vector<ResourceMap::const_iterator> binding(vars.size(),
+                                                   resources.end());
+
+  auto operand_values =
+      [&](const Operand& op) -> std::vector<std::string> {
+    if (op.kind != Operand::Kind::kPath) return {op.text};
+    size_t idx = var_index.at(op.path.variable);
+    auto bound = binding[idx];
+    if (op.path.IsBareVariable()) return {bound->first};
+    std::vector<std::string> out;
+    for (const rdf::PropertyValue& value :
+         bound->second->FindProperties(op.path.steps[0].property)) {
+      out.push_back(value.text());
+    }
+    return out;
+  };
+  auto side_ready = [&](const Operand& op) {
+    return op.kind != Operand::Kind::kPath ||
+           binding[var_index.at(op.path.variable)] != resources.end();
+  };
+  auto pred_holds = [&](const PredicateExpr& pred) {
+    for (const std::string& lhs : operand_values(pred.lhs)) {
+      for (const std::string& rhs : operand_values(pred.rhs)) {
+        if (CompareValueTexts(lhs, pred.op, rhs)) return true;
+      }
+    }
+    return false;
+  };
+
+  size_t register_idx = var_index.at(normalized.ast.register_variable);
+  std::vector<std::string> results;
+
+  std::function<void(size_t)> recurse = [&](size_t depth) {
+    if (depth == vars.size()) {
+      results.push_back(binding[register_idx]->first);
+      return;
+    }
+    for (auto candidate : candidates[depth]) {
+      binding[depth] = candidate;
+      bool ok = true;
+      for (const PredicateExpr& pred : normalized.ast.where) {
+        auto newly_bound = [&](const Operand& op) {
+          return op.kind == Operand::Kind::kPath &&
+                 var_index.at(op.path.variable) == depth;
+        };
+        // Check each predicate as soon as all of its variables are bound
+        // (at the depth that binds the last one).
+        if ((newly_bound(pred.lhs) || newly_bound(pred.rhs)) &&
+            side_ready(pred.lhs) && side_ready(pred.rhs) &&
+            !pred_holds(pred)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) recurse(depth + 1);
+      binding[depth] = resources.end();
+    }
+  };
+  recurse(0);
+
+  std::sort(results.begin(), results.end());
+  results.erase(std::unique(results.begin(), results.end()), results.end());
+  return results;
+}
+
+Result<std::vector<std::string>> EvaluateRuleText(
+    std::string_view rule_text, const rdf::RdfSchema& schema,
+    const ResourceMap& resources) {
+  MDV_ASSIGN_OR_RETURN(RuleAst ast, ParseRule(rule_text));
+  MDV_ASSIGN_OR_RETURN(AnalyzedRule analyzed, AnalyzeRule(ast, schema));
+  MDV_ASSIGN_OR_RETURN(AnalyzedRule normalized,
+                       NormalizeRule(analyzed, schema));
+  return EvaluateRule(normalized, resources);
+}
+
+}  // namespace mdv::rules

@@ -1,0 +1,45 @@
+#ifndef MDV_RULES_EVALUATOR_H_
+#define MDV_RULES_EVALUATOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "rdf/document.h"
+#include "rules/analyzer.h"
+
+namespace mdv::rules {
+
+/// A resource collection the evaluator ranges over: URI reference →
+/// resource. Both keys and resources must stay valid during evaluation.
+using ResourceMap = std::map<std::string, const rdf::Resource*>;
+
+/// Directly evaluates a *normalized* rule against an in-memory resource
+/// collection by backtracking over the variables (a nested-loop join).
+///
+/// This is the semantics baseline of the rule language: the LMR query
+/// processor uses it over the cache, and the filter tests use it as an
+/// oracle the incremental filter algorithm must agree with. Text
+/// comparisons reconvert numeric-looking values, mirroring the filter
+/// (§3.3.4). Rule-valued extensions are not supported here (the caller
+/// must resolve them to classes first).
+///
+/// Returns the URI references of the registered resources, sorted.
+Result<std::vector<std::string>> EvaluateRule(const AnalyzedRule& normalized,
+                                              const ResourceMap& resources);
+
+/// Convenience: compiles (parse → analyze → normalize) and evaluates
+/// `rule_text` over `resources`.
+Result<std::vector<std::string>> EvaluateRuleText(
+    std::string_view rule_text, const rdf::RdfSchema& schema,
+    const ResourceMap& resources);
+
+/// Text comparison with numeric reconversion (§3.3.4): numeric when both
+/// sides parse as numbers, string otherwise; `contains` is substring.
+bool CompareValueTexts(const std::string& lhs, rdbms::CompareOp op,
+                       const std::string& rhs);
+
+}  // namespace mdv::rules
+
+#endif  // MDV_RULES_EVALUATOR_H_

@@ -1,0 +1,193 @@
+#include "rules/lexer.h"
+
+#include <cctype>
+#include <charconv>
+
+#include "common/string_util.h"
+
+namespace mdv::rules {
+
+const char* TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kKeywordSearch:
+      return "search";
+    case TokenKind::kKeywordRegister:
+      return "register";
+    case TokenKind::kKeywordWhere:
+      return "where";
+    case TokenKind::kKeywordAnd:
+      return "and";
+    case TokenKind::kKeywordContains:
+      return "contains";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kDot:
+      return ".";
+    case TokenKind::kComma:
+      return ",";
+    case TokenKind::kQuestion:
+      return "?";
+    case TokenKind::kEq:
+      return "=";
+    case TokenKind::kNe:
+      return "!=";
+    case TokenKind::kLt:
+      return "<";
+    case TokenKind::kLe:
+      return "<=";
+    case TokenKind::kGt:
+      return ">";
+    case TokenKind::kGe:
+      return ">=";
+    case TokenKind::kEnd:
+      return "<end>";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  auto push = [&](TokenKind kind, std::string text, size_t offset) {
+    tokens.push_back(Token{kind, std::move(text), 0.0, offset});
+  };
+  while (i < input.size()) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < input.size() &&
+             (std::isalnum(static_cast<unsigned char>(input[i])) ||
+              input[i] == '_' || input[i] == '#' || input[i] == '/')) {
+        ++i;
+      }
+      std::string word(input.substr(start, i - start));
+      std::string lower = ToLowerAscii(word);
+      if (lower == "search") {
+        push(TokenKind::kKeywordSearch, word, start);
+      } else if (lower == "register") {
+        push(TokenKind::kKeywordRegister, word, start);
+      } else if (lower == "where") {
+        push(TokenKind::kKeywordWhere, word, start);
+      } else if (lower == "and") {
+        push(TokenKind::kKeywordAnd, word, start);
+      } else if (lower == "contains") {
+        push(TokenKind::kKeywordContains, word, start);
+      } else {
+        push(TokenKind::kIdentifier, word, start);
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < input.size() &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      ++i;  // Sign or first digit.
+      while (i < input.size() &&
+             (std::isdigit(static_cast<unsigned char>(input[i])) ||
+              input[i] == '.')) {
+        // A '.' not followed by a digit ends the number (path after a
+        // number is not valid anyway, but keep the lexer decoupled).
+        if (input[i] == '.' &&
+            (i + 1 >= input.size() ||
+             !std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+          break;
+        }
+        ++i;
+      }
+      std::string lexeme(input.substr(start, i - start));
+      double value = 0.0;
+      auto [ptr, ec] =
+          std::from_chars(lexeme.data(), lexeme.data() + lexeme.size(), value);
+      if (ec != std::errc() || ptr != lexeme.data() + lexeme.size()) {
+        return Status::ParseError("malformed number '" + lexeme +
+                                  "' at offset " + std::to_string(start));
+      }
+      Token t{TokenKind::kNumber, lexeme, value, start};
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    switch (c) {
+      case '\'': {
+        std::string text;
+        ++i;
+        bool closed = false;
+        while (i < input.size()) {
+          if (input[i] == '\'') {
+            if (i + 1 < input.size() && input[i + 1] == '\'') {
+              text += '\'';  // '' escapes a quote.
+              i += 2;
+              continue;
+            }
+            ++i;
+            closed = true;
+            break;
+          }
+          text += input[i++];
+        }
+        if (!closed) {
+          return Status::ParseError("unterminated string at offset " +
+                                    std::to_string(start));
+        }
+        push(TokenKind::kString, std::move(text), start);
+        break;
+      }
+      case '.':
+        push(TokenKind::kDot, ".", start);
+        ++i;
+        break;
+      case ',':
+        push(TokenKind::kComma, ",", start);
+        ++i;
+        break;
+      case '?':
+        push(TokenKind::kQuestion, "?", start);
+        ++i;
+        break;
+      case '=':
+        push(TokenKind::kEq, "=", start);
+        ++i;
+        break;
+      case '!':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          push(TokenKind::kNe, "!=", start);
+          i += 2;
+        } else {
+          return Status::ParseError("unexpected '!' at offset " +
+                                    std::to_string(start));
+        }
+        break;
+      case '<':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          push(TokenKind::kLe, "<=", start);
+          i += 2;
+        } else {
+          push(TokenKind::kLt, "<", start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          push(TokenKind::kGe, ">=", start);
+          i += 2;
+        } else {
+          push(TokenKind::kGt, ">", start);
+          ++i;
+        }
+        break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(start));
+    }
+  }
+  tokens.push_back(Token{TokenKind::kEnd, "", 0.0, input.size()});
+  return tokens;
+}
+
+}  // namespace mdv::rules

@@ -1,0 +1,48 @@
+#ifndef MDV_RULES_LEXER_H_
+#define MDV_RULES_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mdv::rules {
+
+enum class TokenKind {
+  kIdentifier,    ///< Class, rule, variable, or property name.
+  kKeywordSearch,
+  kKeywordRegister,
+  kKeywordWhere,
+  kKeywordAnd,
+  kKeywordContains,
+  kString,  ///< 'single-quoted literal' ('' escapes a quote).
+  kNumber,
+  kDot,
+  kComma,
+  kQuestion,  ///< The any operator `?` (§2.3).
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEnd,
+};
+
+const char* TokenKindToString(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;    ///< Identifier/lexeme; string contents for kString.
+  double number = 0.0; ///< For kNumber.
+  size_t offset = 0;   ///< Byte offset in the input, for error messages.
+};
+
+/// Tokenizes rule text. Keywords are case-insensitive (search/SEARCH);
+/// identifiers keep their case. ParseError on malformed input.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace mdv::rules
+
+#endif  // MDV_RULES_LEXER_H_

@@ -1,0 +1,114 @@
+#include "rules/normalizer.h"
+
+#include <map>
+
+namespace mdv::rules {
+
+namespace {
+
+/// Allocates auxiliary variables `_v1`, `_v2`, ... that do not collide
+/// with declared variables.
+class VariableAllocator {
+ public:
+  explicit VariableAllocator(const AnalyzedRule& rule) : rule_(rule) {}
+
+  std::string Fresh() {
+    while (true) {
+      std::string candidate = "_v" + std::to_string(++counter_);
+      if (rule_.variable_class.count(candidate) == 0) return candidate;
+    }
+  }
+
+ private:
+  const AnalyzedRule& rule_;
+  int counter_ = 0;
+};
+
+}  // namespace
+
+Result<AnalyzedRule> NormalizeRule(const AnalyzedRule& rule,
+                                   const rdf::RdfSchema& schema) {
+  AnalyzedRule out;
+  out.ast.search = rule.ast.search;
+  out.ast.register_variable = rule.ast.register_variable;
+  out.variable_class = rule.variable_class;
+  out.variable_extension = rule.variable_extension;
+  out.variable_is_rule_extension = rule.variable_is_rule_extension;
+
+  VariableAllocator allocator(rule);
+  // (variable, dotted prefix) → auxiliary variable standing for the
+  // resource reached through that prefix.
+  std::map<std::pair<std::string, std::string>, std::string> prefix_vars;
+  std::vector<PredicateExpr> join_preds;   // Introduced by path splitting.
+  std::vector<PredicateExpr> rewritten;    // Original predicates, rewritten.
+
+  // Rewrites a multi-step path to a one-step path (or bare variable),
+  // introducing auxiliary variables and reference joins for the prefix.
+  auto shorten_path = [&](const PathExpr& path) -> Result<PathExpr> {
+    if (path.steps.size() <= 1) return path;
+    std::string current_var = path.variable;
+    std::string current_class = out.variable_class.at(path.variable);
+    std::string prefix;
+    for (size_t i = 0; i + 1 < path.steps.size(); ++i) {
+      const PathStep& step = path.steps[i];
+      const rdf::PropertyDef* prop =
+          schema.FindProperty(current_class, step.property);
+      if (prop == nullptr || prop->kind != rdf::PropertyKind::kReference) {
+        return Status::Internal("path step " + current_class + "." +
+                                step.property +
+                                " is not a reference (analyzer should have "
+                                "rejected this rule)");
+      }
+      prefix += "." + step.property;
+      auto key = std::make_pair(path.variable, prefix);
+      auto it = prefix_vars.find(key);
+      std::string next_var;
+      if (it != prefix_vars.end()) {
+        next_var = it->second;
+      } else {
+        next_var = allocator.Fresh();
+        prefix_vars.emplace(key, next_var);
+        out.variable_class[next_var] = prop->referenced_class;
+        out.variable_extension[next_var] = prop->referenced_class;
+        out.variable_is_rule_extension[next_var] = false;
+        out.ast.search.push_back(SearchEntry{prop->referenced_class, next_var});
+        // current_var.step = next_var
+        PredicateExpr join;
+        join.lhs = Operand::Path(
+            PathExpr{current_var, {PathStep{step.property, step.any}}});
+        join.op = rdbms::CompareOp::kEq;
+        join.rhs = Operand::Path(PathExpr{next_var, {}});
+        join_preds.push_back(std::move(join));
+      }
+      current_var = next_var;
+      current_class = prop->referenced_class;
+    }
+    PathExpr shortened;
+    shortened.variable = current_var;
+    shortened.steps.push_back(path.steps.back());
+    return shortened;
+  };
+
+  for (const PredicateExpr& pred : rule.ast.where) {
+    PredicateExpr p = pred;
+    if (p.lhs.is_path()) {
+      MDV_ASSIGN_OR_RETURN(p.lhs.path, shorten_path(p.lhs.path));
+    }
+    if (p.rhs.is_path()) {
+      MDV_ASSIGN_OR_RETURN(p.rhs.path, shorten_path(p.rhs.path));
+    }
+    // Canonical form: constants on the right.
+    if (p.lhs.is_constant() && p.rhs.is_path()) {
+      std::swap(p.lhs, p.rhs);
+      p.op = rdbms::FlipCompareOp(p.op);
+    }
+    rewritten.push_back(std::move(p));
+  }
+
+  out.ast.where = std::move(join_preds);
+  out.ast.where.insert(out.ast.where.end(), rewritten.begin(),
+                       rewritten.end());
+  return out;
+}
+
+}  // namespace mdv::rules

@@ -1,0 +1,34 @@
+#ifndef MDV_RULES_NORMALIZER_H_
+#define MDV_RULES_NORMALIZER_H_
+
+#include "common/result.h"
+#include "rdf/schema.h"
+#include "rules/analyzer.h"
+
+namespace mdv::rules {
+
+/// Normalizes an analyzed rule (§3.3): the result's search clause names
+/// every class used anywhere in the where part, and no path expression is
+/// longer than one step (property access only). Multi-step paths are split
+/// by introducing auxiliary variables and reference-equality join
+/// predicates:
+///
+///   search CycleProvider c register c
+///   where c.serverInformation.memory > 64
+///
+/// becomes
+///
+///   search CycleProvider c, ServerInformation s register c
+///   where c.serverInformation = s and s.memory > 64
+///
+/// Identical path prefixes of the same variable share one auxiliary
+/// variable (so `.memory` and `.cpu` under the same reference bind to the
+/// same `s`, matching the paper's §3.3.1 example). Constants are also
+/// moved to the right-hand side of their predicates (flipping the
+/// operator as needed), which simplifies decomposition.
+Result<AnalyzedRule> NormalizeRule(const AnalyzedRule& rule,
+                                   const rdf::RdfSchema& schema);
+
+}  // namespace mdv::rules
+
+#endif  // MDV_RULES_NORMALIZER_H_

@@ -1,0 +1,163 @@
+#include "rules/parser.h"
+
+#include "rules/lexer.h"
+
+namespace mdv::rules {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<RuleAst> Parse() {
+    RuleAst rule;
+    MDV_RETURN_IF_ERROR(Expect(TokenKind::kKeywordSearch));
+    MDV_RETURN_IF_ERROR(ParseSearchList(&rule));
+    MDV_RETURN_IF_ERROR(Expect(TokenKind::kKeywordRegister));
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Err("expected variable after 'register'");
+    }
+    rule.register_variable = Next().text;
+    if (Peek().kind == TokenKind::kKeywordWhere) {
+      Next();
+      MDV_RETURN_IF_ERROR(ParseWhere(&rule));
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Err("unexpected trailing input");
+    }
+    return rule;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t idx = pos_ + ahead;
+    return idx < tokens_.size() ? tokens_[idx] : tokens_.back();
+  }
+  const Token& Next() { return tokens_[pos_++]; }
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(msg + " at offset " +
+                              std::to_string(Peek().offset) + " (near '" +
+                              Peek().text + "')");
+  }
+
+  Status Expect(TokenKind kind) {
+    if (Peek().kind != kind) {
+      return Err(std::string("expected '") + TokenKindToString(kind) + "'");
+    }
+    Next();
+    return Status::OK();
+  }
+
+  Status ParseSearchList(RuleAst* rule) {
+    while (true) {
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return Err("expected extension name in search clause");
+      }
+      SearchEntry entry;
+      entry.extension = Next().text;
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return Err("expected variable after extension " + entry.extension);
+      }
+      entry.variable = Next().text;
+      rule->search.push_back(std::move(entry));
+      if (Peek().kind == TokenKind::kComma) {
+        Next();
+        continue;
+      }
+      return Status::OK();
+    }
+  }
+
+  Status ParseWhere(RuleAst* rule) {
+    while (true) {
+      PredicateExpr pred;
+      MDV_RETURN_IF_ERROR(ParsePredicate(&pred));
+      rule->where.push_back(std::move(pred));
+      if (Peek().kind == TokenKind::kKeywordAnd) {
+        Next();
+        continue;
+      }
+      return Status::OK();
+    }
+  }
+
+  Status ParsePredicate(PredicateExpr* pred) {
+    MDV_RETURN_IF_ERROR(ParseOperand(&pred->lhs));
+    switch (Peek().kind) {
+      case TokenKind::kEq:
+        pred->op = rdbms::CompareOp::kEq;
+        break;
+      case TokenKind::kNe:
+        pred->op = rdbms::CompareOp::kNe;
+        break;
+      case TokenKind::kLt:
+        pred->op = rdbms::CompareOp::kLt;
+        break;
+      case TokenKind::kLe:
+        pred->op = rdbms::CompareOp::kLe;
+        break;
+      case TokenKind::kGt:
+        pred->op = rdbms::CompareOp::kGt;
+        break;
+      case TokenKind::kGe:
+        pred->op = rdbms::CompareOp::kGe;
+        break;
+      case TokenKind::kKeywordContains:
+        pred->op = rdbms::CompareOp::kContains;
+        break;
+      default:
+        return Err("expected comparison operator");
+    }
+    Next();
+    MDV_RETURN_IF_ERROR(ParseOperand(&pred->rhs));
+    return Status::OK();
+  }
+
+  Status ParseOperand(Operand* operand) {
+    const Token& t = Peek();
+    if (t.kind == TokenKind::kString) {
+      *operand = Operand::String(Next().text);
+      return Status::OK();
+    }
+    if (t.kind == TokenKind::kNumber) {
+      const Token& n = Next();
+      *operand = Operand::Number(n.number, n.text);
+      return Status::OK();
+    }
+    if (t.kind != TokenKind::kIdentifier) {
+      return Err("expected operand (constant or path expression)");
+    }
+    PathExpr path;
+    path.variable = Next().text;
+    while (Peek().kind == TokenKind::kDot) {
+      Next();
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return Err("expected property name after '.'");
+      }
+      PathStep step;
+      step.property = Next().text;
+      if (Peek().kind == TokenKind::kQuestion) {
+        Next();
+        step.any = true;
+      }
+      path.steps.push_back(std::move(step));
+    }
+    *operand = Operand::Path(std::move(path));
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<RuleAst> ParseRule(std::string_view text) {
+  MDV_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace mdv::rules

@@ -1,0 +1,25 @@
+#ifndef MDV_RULES_PARSER_H_
+#define MDV_RULES_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "rules/ast.h"
+
+namespace mdv::rules {
+
+/// Parses rule text in the MDV subscription rule language (§2.3):
+///
+///   search Extension v [, Extension v ...]
+///   register v
+///   [where X o Y [and X o Y ...]]
+///
+/// with o in {=, !=, <, <=, >, >=, contains}, operands either constants
+/// ('string' or number) or path expressions (v.p1.p2, `?` after a step
+/// marks the any operator). Disjunction is not supported; split rules
+/// containing `or` into several rules (paper §2.3).
+Result<RuleAst> ParseRule(std::string_view text);
+
+}  // namespace mdv::rules
+
+#endif  // MDV_RULES_PARSER_H_

@@ -1,0 +1,101 @@
+// The §4 workload generator must satisfy the paper's construction: for
+// OID/PATH/JOIN, document j is matched by exactly rule j and no other;
+// for COMP, every document is matched by the configured fraction of the
+// rule base. Verified against the direct rule evaluator.
+
+#include "bench_support/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "rules/compiler.h"
+#include "rules/evaluator.h"
+
+namespace mdv::bench_support {
+namespace {
+
+class WorkloadTest : public ::testing::TestWithParam<BenchRuleType> {
+ protected:
+  static constexpr size_t kRules = 40;
+
+  rules::ResourceMap ResourcesOf(const std::vector<rdf::RdfDocument>& docs) {
+    rules::ResourceMap out;
+    for (const rdf::RdfDocument& doc : docs) {
+      for (const rdf::Resource* res : doc.resources()) {
+        out.emplace(doc.UriReferenceOf(res->local_id()), res);
+      }
+    }
+    return out;
+  }
+};
+
+TEST_P(WorkloadTest, DocumentsValidateAgainstSchema) {
+  WorkloadGenerator generator({GetParam(), kRules, 0.1});
+  rdf::RdfSchema schema = rdf::MakeObjectGlobeSchema();
+  for (size_t j = 0; j < 10; ++j) {
+    EXPECT_TRUE(schema.ValidateDocument(generator.MakeDocument(j)).ok())
+        << "doc " << j;
+  }
+}
+
+TEST_P(WorkloadTest, RulesCompile) {
+  WorkloadGenerator generator({GetParam(), kRules, 0.1});
+  rdf::RdfSchema schema = rdf::MakeObjectGlobeSchema();
+  for (size_t i = 0; i < kRules; ++i) {
+    Result<rules::CompiledRule> compiled =
+        rules::CompileRule(generator.RuleText(i), schema);
+    EXPECT_TRUE(compiled.ok()) << generator.RuleText(i) << " -> "
+                               << compiled.status();
+  }
+}
+
+TEST_P(WorkloadTest, OneToOneMatchingForNonCompTypes) {
+  if (GetParam() == BenchRuleType::kComp) {
+    GTEST_SKIP() << "COMP uses fraction-based matching";
+  }
+  WorkloadGenerator generator({GetParam(), kRules, 0.1});
+  rdf::RdfSchema schema = rdf::MakeObjectGlobeSchema();
+  std::vector<rdf::RdfDocument> docs = generator.MakeDocumentBatch(0, kRules);
+  rules::ResourceMap resources = ResourcesOf(docs);
+  for (size_t i = 0; i < kRules; ++i) {
+    Result<std::vector<std::string>> matches = rules::EvaluateRuleText(
+        generator.RuleText(i), schema, resources);
+    ASSERT_TRUE(matches.ok()) << generator.RuleText(i);
+    EXPECT_EQ(*matches,
+              std::vector<std::string>{WorkloadGenerator::DocumentUri(i) +
+                                       "#host"})
+        << "rule " << i;
+  }
+}
+
+TEST_P(WorkloadTest, CompMatchesConfiguredFraction) {
+  if (GetParam() != BenchRuleType::kComp) {
+    GTEST_SKIP() << "fraction matching is COMP-specific";
+  }
+  for (double fraction : {0.05, 0.10, 0.50}) {
+    WorkloadGenerator generator({BenchRuleType::kComp, kRules, fraction});
+    rdf::RdfSchema schema = rdf::MakeObjectGlobeSchema();
+    std::vector<rdf::RdfDocument> docs = generator.MakeDocumentBatch(0, 1);
+    rules::ResourceMap resources = ResourcesOf(docs);
+    size_t matched = 0;
+    for (size_t i = 0; i < kRules; ++i) {
+      Result<std::vector<std::string>> matches = rules::EvaluateRuleText(
+          generator.RuleText(i), schema, resources);
+      ASSERT_TRUE(matches.ok());
+      matched += matches->size();
+    }
+    EXPECT_EQ(matched, static_cast<size_t>(fraction * kRules))
+        << "fraction " << fraction;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRuleTypes, WorkloadTest,
+                         ::testing::Values(BenchRuleType::kOid,
+                                           BenchRuleType::kComp,
+                                           BenchRuleType::kPath,
+                                           BenchRuleType::kJoin),
+                         [](const auto& info) {
+                           return BenchRuleTypeToString(info.param);
+                         });
+
+}  // namespace
+}  // namespace mdv::bench_support

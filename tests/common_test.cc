@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace mdv {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  Status err = Status::NotFound("table foo");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kNotFound);
+  EXPECT_EQ(err.ToString(), "NotFound: table foo");
+  EXPECT_EQ(Status(StatusCode::kParseError, "").ToString(), "ParseError");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kParseError,
+        StatusCode::kSchemaViolation, StatusCode::kInternal,
+        StatusCode::kUnsupported}) {
+    EXPECT_STRNE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  auto fails = [] { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    MDV_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, ValueAndStatus) {
+  Result<int> ok = 42;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  EXPECT_EQ(ok.value_or(0), 42);
+
+  Result<int> err = Status::NotFound("x");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(err.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> result = std::make_unique<int>(7);
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> moved = std::move(result).value();
+  EXPECT_EQ(*moved, 7);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto make = [](bool fail) -> Result<std::string> {
+    if (fail) return Status::InvalidArgument("nope");
+    return std::string("value");
+  };
+  auto wrapper = [&](bool fail) -> Result<size_t> {
+    MDV_ASSIGN_OR_RETURN(std::string s, make(fail));
+    return s.size();
+  };
+  Result<size_t> ok = wrapper(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 5u);
+  EXPECT_EQ(wrapper(true).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(TrimWhitespace("  a b  "), "a b");
+  EXPECT_EQ(TrimWhitespace("\t\n"), "");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace("x"), "x");
+}
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(SplitString("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitString("a,,c", ','),
+            (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(SplitString("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(SplitString("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StringUtilTest, PrefixSuffixContains) {
+  EXPECT_TRUE(StartsWith("doc.rdf#host", "doc.rdf"));
+  EXPECT_FALSE(StartsWith("doc", "doc.rdf"));
+  EXPECT_TRUE(EndsWith("doc.rdf", ".rdf"));
+  EXPECT_FALSE(EndsWith("rdf", ".rdf"));
+  EXPECT_TRUE(Contains("pirates.uni-passau.de", "uni-passau"));
+  EXPECT_FALSE(Contains("tum.de", "uni-passau"));
+  EXPECT_TRUE(Contains("abc", ""));
+}
+
+TEST(StringUtilTest, LowerAndJoin) {
+  EXPECT_EQ(ToLowerAscii("SeArCh"), "search");
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"solo"}, ","), "solo");
+}
+
+TEST(LoggingTest, LevelGate) {
+  LogLevel old_level = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  // Streams below the threshold must not be evaluated.
+  int evaluations = 0;
+  auto count = [&]() {
+    ++evaluations;
+    return "msg";
+  };
+  MDV_LOG(Debug) << count();
+  MDV_LOG(Info) << count();
+  EXPECT_EQ(evaluations, 0);
+  SetLogLevel(LogLevel::kDebug);
+  MDV_LOG(Debug) << count();
+  EXPECT_EQ(evaluations, 1);
+  SetLogLevel(old_level);
+}
+
+}  // namespace
+}  // namespace mdv

@@ -1,0 +1,250 @@
+// Edge cases of the filter algorithm beyond the paper's two-class
+// running example: three-level reference chains (deeper dependency
+// graphs and more filter iterations), set-valued reference properties,
+// rules with several variables of the same class, and the remaining
+// comparison operators.
+
+#include <gtest/gtest.h>
+
+#include "filter/data_store.h"
+#include "filter/engine.h"
+#include "filter/tables.h"
+#include "rules/compiler.h"
+
+namespace mdv::filter {
+namespace {
+
+/// Cluster → (set-valued, strong) nodes → CycleProvider →
+/// ServerInformation: a three-level reference chain.
+rdf::RdfSchema MakeDeepSchema() {
+  rdf::RdfSchema schema;
+  Status st = schema.AddClass(rdf::ClassBuilder("ServerInformation")
+                                  .Literal("memory")
+                                  .Literal("cpu")
+                                  .Build());
+  st = schema.AddClass(rdf::ClassBuilder("CycleProvider")
+                           .Literal("serverHost")
+                           .StrongRef("serverInformation",
+                                      "ServerInformation")
+                           .Build());
+  st = schema.AddClass(rdf::ClassBuilder("Cluster")
+                           .Literal("region")
+                           .StrongRef("node", "CycleProvider",
+                                      /*set_valued=*/true)
+                           .Build());
+  (void)st;
+  return schema;
+}
+
+class DeepFilterTest : public ::testing::Test {
+ protected:
+  DeepFilterTest() : schema_(MakeDeepSchema()) {
+    Status st = CreateFilterTables(&db_);
+    EXPECT_TRUE(st.ok());
+    store_ = std::make_unique<RuleStore>(&db_);
+    engine_ = std::make_unique<FilterEngine>(&db_, store_.get());
+  }
+
+  int64_t MustRegisterRule(const std::string& text) {
+    Result<rules::CompiledRule> compiled = rules::CompileRule(text, schema_);
+    EXPECT_TRUE(compiled.ok()) << text << " -> " << compiled.status();
+    Result<int64_t> end = store_->RegisterTree(compiled->decomposed);
+    EXPECT_TRUE(end.ok()) << end.status();
+    return *end;
+  }
+
+  Result<FilterRunResult> RegisterDoc(const rdf::RdfDocument& doc) {
+    rdf::Statements delta = doc.ToStatements();
+    Status st = InsertAtoms(&db_, delta);
+    EXPECT_TRUE(st.ok());
+    return engine_->Run(delta);
+  }
+
+  /// A cluster with two nodes; node memories given by the arguments.
+  rdf::RdfDocument MakeClusterDoc(const std::string& uri,
+                                  const std::string& region, int mem_a,
+                                  int mem_b) {
+    rdf::RdfDocument doc(uri);
+    auto add_node = [&](const std::string& suffix, int memory) {
+      rdf::Resource info("info" + suffix, "ServerInformation");
+      info.AddProperty("memory",
+                       rdf::PropertyValue::Literal(std::to_string(memory)));
+      info.AddProperty("cpu", rdf::PropertyValue::Literal("600"));
+      rdf::Resource node("node" + suffix, "CycleProvider");
+      node.AddProperty("serverHost",
+                       rdf::PropertyValue::Literal(suffix + ".example"));
+      node.AddProperty("serverInformation", rdf::PropertyValue::ResourceRef(
+                                                uri + "#info" + suffix));
+      Status st = doc.AddResource(std::move(info));
+      st = doc.AddResource(std::move(node));
+      (void)st;
+    };
+    add_node("A", mem_a);
+    add_node("B", mem_b);
+    rdf::Resource cluster("cluster", "Cluster");
+    cluster.AddProperty("region", rdf::PropertyValue::Literal(region));
+    cluster.AddProperty("node",
+                        rdf::PropertyValue::ResourceRef(uri + "#nodeA"));
+    cluster.AddProperty("node",
+                        rdf::PropertyValue::ResourceRef(uri + "#nodeB"));
+    Status st = doc.AddResource(std::move(cluster));
+    (void)st;
+    return doc;
+  }
+
+  rdf::RdfSchema schema_;
+  rdbms::Database db_;
+  std::unique_ptr<RuleStore> store_;
+  std::unique_ptr<FilterEngine> engine_;
+};
+
+TEST_F(DeepFilterTest, TwoHopPathNeedsThreeIterations) {
+  // Cluster whose (some) node runs on >64MB: two reference hops, so the
+  // dependency graph has depth 3 and the filter iterates three times.
+  int64_t rule = MustRegisterRule(
+      "search Cluster k register k "
+      "where k.node?.serverInformation.memory > 64");
+  Result<FilterRunResult> result =
+      RegisterDoc(MakeClusterDoc("c.rdf", "eu", 92, 16));
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_NE(result->MatchesFor(rule), nullptr);
+  EXPECT_EQ(*result->MatchesFor(rule),
+            std::vector<std::string>{"c.rdf#cluster"});
+  EXPECT_GE(result->iterations, 2);
+}
+
+TEST_F(DeepFilterTest, SetValuedReferenceMatchesExistentially) {
+  int64_t rule = MustRegisterRule(
+      "search Cluster k register k "
+      "where k.node?.serverInformation.memory > 64");
+  // Neither node qualifies.
+  Result<FilterRunResult> result =
+      RegisterDoc(MakeClusterDoc("c.rdf", "eu", 16, 32));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->MatchesFor(rule), nullptr);
+  // One of two nodes qualifies in another cluster.
+  result = RegisterDoc(MakeClusterDoc("d.rdf", "us", 16, 128));
+  ASSERT_TRUE(result.ok());
+  ASSERT_NE(result->MatchesFor(rule), nullptr);
+  EXPECT_EQ(*result->MatchesFor(rule),
+            std::vector<std::string>{"d.rdf#cluster"});
+}
+
+TEST_F(DeepFilterTest, ConjunctionAcrossLevels) {
+  int64_t rule = MustRegisterRule(
+      "search Cluster k register k "
+      "where k.region contains 'eu' "
+      "and k.node?.serverInformation.memory > 64");
+  ASSERT_TRUE(RegisterDoc(MakeClusterDoc("eu1.rdf", "eu-west", 92, 16)).ok());
+  ASSERT_TRUE(RegisterDoc(MakeClusterDoc("us1.rdf", "us-east", 92, 92)).ok());
+  Result<FilterRunResult> result =
+      RegisterDoc(MakeClusterDoc("eu2.rdf", "eu-north", 8, 8));
+  ASSERT_TRUE(result.ok());
+  // Only eu1 matched over the whole history; eu2 fails on memory, us1 on
+  // region. eu1's match was reported in its own run:
+  rdf::Statements eu1_atoms =
+      AtomsOfResources(db_, {"eu1.rdf#cluster"});
+  EXPECT_FALSE(eu1_atoms.empty());
+  EXPECT_EQ(result->MatchesFor(rule), nullptr);  // Nothing new in eu2 run.
+}
+
+TEST_F(DeepFilterTest, MiddleLevelRuleRegistersProviders) {
+  int64_t rule = MustRegisterRule(
+      "search CycleProvider c register c "
+      "where c.serverInformation.memory >= 92");
+  Result<FilterRunResult> result =
+      RegisterDoc(MakeClusterDoc("c.rdf", "eu", 92, 128));
+  ASSERT_TRUE(result.ok());
+  ASSERT_NE(result->MatchesFor(rule), nullptr);
+  EXPECT_EQ(*result->MatchesFor(rule),
+            (std::vector<std::string>{"c.rdf#nodeA", "c.rdf#nodeB"}));
+}
+
+TEST_F(DeepFilterTest, TwoVariablesSameClass) {
+  // Pairs of providers with equal memory values: a literal-equality join
+  // between two variables of the same class.
+  int64_t rule = MustRegisterRule(
+      "search CycleProvider a, CycleProvider b register a "
+      "where a.serverInformation.memory = b.serverInformation.memory "
+      "and b.serverHost contains 'B.example'");
+  Result<FilterRunResult> result =
+      RegisterDoc(MakeClusterDoc("c.rdf", "eu", 92, 92));
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_NE(result->MatchesFor(rule), nullptr);
+  // Both nodes share memory 92, and nodeB satisfies the host predicate,
+  // so both qualify as `a` (a pairs with b=nodeB, including itself).
+  EXPECT_EQ(*result->MatchesFor(rule),
+            (std::vector<std::string>{"c.rdf#nodeA", "c.rdf#nodeB"}));
+}
+
+TEST_F(DeepFilterTest, RemainingComparisonOperators) {
+  int64_t le_rule = MustRegisterRule(
+      "search ServerInformation s register s where s.memory <= 16");
+  int64_t ge_rule = MustRegisterRule(
+      "search ServerInformation s register s where s.memory >= 128");
+  int64_t ne_rule = MustRegisterRule(
+      "search ServerInformation s register s where s.cpu != 600");
+  int64_t eq_rule = MustRegisterRule(
+      "search ServerInformation s register s where s.memory = 92");
+  Result<FilterRunResult> result =
+      RegisterDoc(MakeClusterDoc("c.rdf", "eu", 16, 92));
+  ASSERT_TRUE(result.ok());
+  ASSERT_NE(result->MatchesFor(le_rule), nullptr);
+  EXPECT_EQ(*result->MatchesFor(le_rule),
+            std::vector<std::string>{"c.rdf#infoA"});
+  EXPECT_EQ(result->MatchesFor(ge_rule), nullptr);
+  EXPECT_EQ(result->MatchesFor(ne_rule), nullptr);  // All cpus are 600.
+  ASSERT_NE(result->MatchesFor(eq_rule), nullptr);
+  EXPECT_EQ(*result->MatchesFor(eq_rule),
+            std::vector<std::string>{"c.rdf#infoB"});
+}
+
+TEST_F(DeepFilterTest, NonEqualityJoinBetweenVariables) {
+  // a strictly bigger than b: a non-equality join predicate, evaluated
+  // by the per-member fallback path.
+  int64_t rule = MustRegisterRule(
+      "search ServerInformation a, ServerInformation b register a "
+      "where a.memory > b.memory and b.cpu >= 600");
+  Result<FilterRunResult> result =
+      RegisterDoc(MakeClusterDoc("c.rdf", "eu", 92, 16));
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_NE(result->MatchesFor(rule), nullptr);
+  EXPECT_EQ(*result->MatchesFor(rule),
+            std::vector<std::string>{"c.rdf#infoA"});
+}
+
+TEST_F(DeepFilterTest, IncrementalAcrossDocumentsDeepChain) {
+  // Register the cluster first, the node documents later: the deep join
+  // must complete incrementally when the missing pieces arrive.
+  int64_t rule = MustRegisterRule(
+      "search Cluster k register k "
+      "where k.node?.serverInformation.memory > 64");
+
+  rdf::RdfDocument cluster_doc("k.rdf");
+  rdf::Resource cluster("cluster", "Cluster");
+  cluster.AddProperty("region", rdf::PropertyValue::Literal("eu"));
+  cluster.AddProperty("node",
+                      rdf::PropertyValue::ResourceRef("n.rdf#node"));
+  ASSERT_TRUE(cluster_doc.AddResource(std::move(cluster)).ok());
+  Result<FilterRunResult> first = RegisterDoc(cluster_doc);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->MatchesFor(rule), nullptr);
+
+  rdf::RdfDocument node_doc("n.rdf");
+  rdf::Resource info("info", "ServerInformation");
+  info.AddProperty("memory", rdf::PropertyValue::Literal("128"));
+  rdf::Resource node("node", "CycleProvider");
+  node.AddProperty("serverHost", rdf::PropertyValue::Literal("n.example"));
+  node.AddProperty("serverInformation",
+                   rdf::PropertyValue::ResourceRef("n.rdf#info"));
+  ASSERT_TRUE(node_doc.AddResource(std::move(info)).ok());
+  ASSERT_TRUE(node_doc.AddResource(std::move(node)).ok());
+  Result<FilterRunResult> second = RegisterDoc(node_doc);
+  ASSERT_TRUE(second.ok()) << second.status();
+  ASSERT_NE(second->MatchesFor(rule), nullptr);
+  EXPECT_EQ(*second->MatchesFor(rule),
+            std::vector<std::string>{"k.rdf#cluster"});
+}
+
+}  // namespace
+}  // namespace mdv::filter

@@ -1,0 +1,278 @@
+#include "filter/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "bench_support/workload.h"
+#include "filter/data_store.h"
+#include "rdf/parser.h"
+#include "rules/compiler.h"
+
+namespace mdv::filter {
+namespace {
+
+using bench_support::FilterFixture;
+
+constexpr char kFigure1[] = R"(<rdf:RDF>
+  <og:CycleProvider rdf:ID="host">
+    <og:serverHost>pirates.uni-passau.de</og:serverHost>
+    <og:serverPort>5874</og:serverPort>
+    <og:serverInformation>
+      <og:ServerInformation rdf:ID="info">
+        <og:memory>92</og:memory>
+        <og:cpu>600</og:cpu>
+      </og:ServerInformation>
+    </og:serverInformation>
+  </og:CycleProvider>
+</rdf:RDF>)";
+
+rdf::RdfDocument Figure1Document() {
+  Result<rdf::RdfDocument> doc = rdf::ParseRdfXml(kFigure1, "doc.rdf");
+  EXPECT_TRUE(doc.ok()) << doc.status();
+  return *doc;
+}
+
+class FilterEngineTest : public ::testing::Test {
+ protected:
+  Result<FilterRunResult> RegisterDoc(const rdf::RdfDocument& doc) {
+    return fixture_.RegisterDocumentBatch({doc});
+  }
+
+  FilterFixture fixture_;
+};
+
+TEST_F(FilterEngineTest, TriggeringRuleMatchesFigure1) {
+  Result<int64_t> rule = fixture_.RegisterRule(
+      "search CycleProvider c register c "
+      "where c.serverHost contains 'uni-passau.de'");
+  ASSERT_TRUE(rule.ok()) << rule.status();
+  Result<FilterRunResult> result = RegisterDoc(Figure1Document());
+  ASSERT_TRUE(result.ok()) << result.status();
+  const std::vector<std::string>* matches = result->MatchesFor(*rule);
+  ASSERT_NE(matches, nullptr);
+  EXPECT_EQ(*matches, std::vector<std::string>{"doc.rdf#host"});
+  EXPECT_EQ(result->iterations, 0);  // No join rules involved.
+}
+
+TEST_F(FilterEngineTest, OidRuleMatchesByUriReference) {
+  Result<int64_t> rule = fixture_.RegisterRule(
+      "search CycleProvider c register c where c = 'doc.rdf#host'");
+  ASSERT_TRUE(rule.ok());
+  Result<FilterRunResult> result = RegisterDoc(Figure1Document());
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_NE(result->MatchesFor(*rule), nullptr);
+  EXPECT_EQ(*result->MatchesFor(*rule),
+            std::vector<std::string>{"doc.rdf#host"});
+}
+
+TEST_F(FilterEngineTest, NonMatchingRuleStaysSilent) {
+  Result<int64_t> rule = fixture_.RegisterRule(
+      "search CycleProvider c register c "
+      "where c.serverHost contains 'tum.de'");
+  ASSERT_TRUE(rule.ok());
+  Result<FilterRunResult> result = RegisterDoc(Figure1Document());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->MatchesFor(*rule), nullptr);
+}
+
+TEST_F(FilterEngineTest, PaperFigure9Run) {
+  // The full §3.3.1 rule: the filter needs the initial iteration plus two
+  // join iterations and ends with doc.rdf#host (Figure 9).
+  Result<int64_t> rule = fixture_.RegisterRule(
+      "search CycleProvider c, ServerInformation s register c "
+      "where c.serverHost contains 'uni-passau.de' "
+      "and c.serverInformation = s "
+      "and s.memory > 64 and s.cpu > 500");
+  ASSERT_TRUE(rule.ok()) << rule.status();
+  Result<FilterRunResult> result = RegisterDoc(Figure1Document());
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_NE(result->MatchesFor(*rule), nullptr);
+  EXPECT_EQ(*result->MatchesFor(*rule),
+            std::vector<std::string>{"doc.rdf#host"});
+  EXPECT_EQ(result->iterations, 2);
+}
+
+TEST_F(FilterEngineTest, PathRuleViaReferencedResource) {
+  Result<int64_t> rule = fixture_.RegisterRule(
+      "search CycleProvider c register c "
+      "where c.serverInformation.memory > 64");
+  ASSERT_TRUE(rule.ok());
+  Result<FilterRunResult> result = RegisterDoc(Figure1Document());
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_NE(result->MatchesFor(*rule), nullptr);
+  EXPECT_EQ(*result->MatchesFor(*rule),
+            std::vector<std::string>{"doc.rdf#host"});
+  EXPECT_EQ(result->iterations, 1);
+}
+
+TEST_F(FilterEngineTest, PathRuleBelowThresholdDoesNotMatch) {
+  Result<int64_t> rule = fixture_.RegisterRule(
+      "search CycleProvider c register c "
+      "where c.serverInformation.memory > 100");
+  ASSERT_TRUE(rule.ok());
+  Result<FilterRunResult> result = RegisterDoc(Figure1Document());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->MatchesFor(*rule), nullptr);
+}
+
+TEST_F(FilterEngineTest, SecondRegistrationIsNotRepublished) {
+  Result<int64_t> rule = fixture_.RegisterRule(
+      "search CycleProvider c register c "
+      "where c.serverInformation.memory > 64");
+  ASSERT_TRUE(rule.ok());
+  ASSERT_TRUE(RegisterDoc(Figure1Document()).ok());
+
+  // A second, unrelated document registration must not re-derive the
+  // first document's matches (they are materialized).
+  rdf::RdfDocument other("other.rdf");
+  rdf::Resource info("info", "ServerInformation");
+  info.AddProperty("memory", rdf::PropertyValue::Literal("16"));
+  ASSERT_TRUE(other.AddResource(std::move(info)).ok());
+  Result<FilterRunResult> result = RegisterDoc(other);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->MatchesFor(*rule), nullptr);
+}
+
+TEST_F(FilterEngineTest, CrossDocumentReferenceJoins) {
+  // The referenced ServerInformation lives in a different document and
+  // is registered *later*; the join must still fire incrementally.
+  Result<int64_t> rule = fixture_.RegisterRule(
+      "search CycleProvider c register c "
+      "where c.serverInformation.memory > 64");
+  ASSERT_TRUE(rule.ok());
+
+  rdf::RdfDocument provider("cp.rdf");
+  rdf::Resource host("host", "CycleProvider");
+  host.AddProperty("serverHost", rdf::PropertyValue::Literal("x.example"));
+  host.AddProperty("serverInformation",
+                   rdf::PropertyValue::ResourceRef("si.rdf#info"));
+  ASSERT_TRUE(provider.AddResource(std::move(host)).ok());
+  Result<FilterRunResult> first = RegisterDoc(provider);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->MatchesFor(*rule), nullptr);  // Reference dangling yet.
+
+  rdf::RdfDocument si("si.rdf");
+  rdf::Resource info("info", "ServerInformation");
+  info.AddProperty("memory", rdf::PropertyValue::Literal("128"));
+  ASSERT_TRUE(si.AddResource(std::move(info)).ok());
+  Result<FilterRunResult> second = RegisterDoc(si);
+  ASSERT_TRUE(second.ok()) << second.status();
+  ASSERT_NE(second->MatchesFor(*rule), nullptr);
+  EXPECT_EQ(*second->MatchesFor(*rule),
+            std::vector<std::string>{"cp.rdf#host"});
+}
+
+TEST_F(FilterEngineTest, BatchRegistrationMatchesAll) {
+  bench_support::WorkloadGenerator generator(
+      {bench_support::BenchRuleType::kPath, 20, 0.1});
+  std::vector<int64_t> end_rules;
+  for (size_t i = 0; i < 20; ++i) {
+    Result<int64_t> rule = fixture_.RegisterRule(generator.RuleText(i));
+    ASSERT_TRUE(rule.ok()) << rule.status();
+    end_rules.push_back(*rule);
+  }
+  Result<FilterRunResult> result =
+      fixture_.RegisterDocumentBatch(generator.MakeDocumentBatch(0, 20));
+  ASSERT_TRUE(result.ok()) << result.status();
+  for (size_t i = 0; i < 20; ++i) {
+    const std::vector<std::string>* matches =
+        result->MatchesFor(end_rules[i]);
+    ASSERT_NE(matches, nullptr) << "rule " << i;
+    EXPECT_EQ(*matches,
+              std::vector<std::string>{
+                  bench_support::WorkloadGenerator::DocumentUri(i) + "#host"})
+        << "rule " << i;
+  }
+}
+
+TEST_F(FilterEngineTest, EvaluateNewRulesSeedsFromExistingData) {
+  // Register data first, the subscription afterwards — the new atomic
+  // rules must be evaluated against the whole database.
+  ASSERT_TRUE(RegisterDoc(Figure1Document()).ok());
+  Result<rules::CompiledRule> compiled = rules::CompileRule(
+      "search CycleProvider c register c "
+      "where c.serverInformation.memory > 64",
+      fixture_.schema());
+  ASSERT_TRUE(compiled.ok());
+  std::vector<int64_t> created;
+  Result<int64_t> end =
+      fixture_.store().RegisterTree(compiled->decomposed, &created);
+  ASSERT_TRUE(end.ok());
+  Result<FilterRunResult> seeded =
+      fixture_.engine().EvaluateNewRules(created);
+  ASSERT_TRUE(seeded.ok()) << seeded.status();
+  ASSERT_NE(seeded->MatchesFor(*end), nullptr);
+  EXPECT_EQ(*seeded->MatchesFor(*end),
+            std::vector<std::string>{"doc.rdf#host"});
+}
+
+TEST_F(FilterEngineTest, SetValuedPropertiesMatchExistentially) {
+  rdf::RdfSchema schema;
+  ASSERT_TRUE(
+      schema.AddClass(rdf::ClassBuilder("C").Literal("tags", true).Build())
+          .ok());
+  rdbms::Database db;
+  ASSERT_TRUE(CreateFilterTables(&db).ok());
+  RuleStore store(&db);
+  FilterEngine engine(&db, &store);
+
+  Result<rules::CompiledRule> compiled = rules::CompileRule(
+      "search C c register c where c.tags? = 'blue'", schema);
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  Result<int64_t> end = store.RegisterTree(compiled->decomposed);
+  ASSERT_TRUE(end.ok());
+
+  rdf::RdfDocument doc("d.rdf");
+  rdf::Resource r("x", "C");
+  r.AddProperty("tags", rdf::PropertyValue::Literal("red"));
+  r.AddProperty("tags", rdf::PropertyValue::Literal("blue"));
+  ASSERT_TRUE(doc.AddResource(std::move(r)).ok());
+  rdf::Statements delta = doc.ToStatements();
+  ASSERT_TRUE(InsertAtoms(&db, delta).ok());
+  Result<FilterRunResult> result = engine.Run(delta);
+  ASSERT_TRUE(result.ok());
+  ASSERT_NE(result->MatchesFor(*end), nullptr);
+  EXPECT_EQ(*result->MatchesFor(*end), std::vector<std::string>{"d.rdf#x"});
+}
+
+TEST_F(FilterEngineTest, AblationOptionsProduceSameMatches) {
+  // Rule groups and graph merging are performance features; results must
+  // be identical with them disabled.
+  bench_support::WorkloadGenerator generator(
+      {bench_support::BenchRuleType::kJoin, 10, 0.1});
+
+  auto run = [&](RuleStoreOptions options) {
+    FilterFixture fixture(options);
+    std::vector<int64_t> end_rules;
+    for (size_t i = 0; i < 10; ++i) {
+      Result<int64_t> rule = fixture.RegisterRule(generator.RuleText(i));
+      EXPECT_TRUE(rule.ok()) << rule.status();
+      end_rules.push_back(*rule);
+    }
+    Result<FilterRunResult> result =
+        fixture.RegisterDocumentBatch(generator.MakeDocumentBatch(0, 10));
+    EXPECT_TRUE(result.ok()) << result.status();
+    std::vector<std::vector<std::string>> matches;
+    for (int64_t rule : end_rules) {
+      const std::vector<std::string>* m = result->MatchesFor(rule);
+      matches.push_back(m == nullptr ? std::vector<std::string>{} : *m);
+    }
+    return matches;
+  };
+
+  RuleStoreOptions defaults;
+  RuleStoreOptions no_groups;
+  no_groups.use_rule_groups = false;
+  RuleStoreOptions no_merge;
+  no_merge.merge_shared_atoms = false;
+  no_merge.use_rule_groups = false;
+
+  auto expected = run(defaults);
+  EXPECT_EQ(run(no_groups), expected);
+  EXPECT_EQ(run(no_merge), expected);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].size(), 1u) << "rule " << i;
+  }
+}
+
+}  // namespace
+}  // namespace mdv::filter

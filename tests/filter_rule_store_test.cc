@@ -1,0 +1,239 @@
+#include "filter/rule_store.h"
+
+#include <gtest/gtest.h>
+
+#include "bench_support/workload.h"
+#include "filter/tables.h"
+#include "rules/compiler.h"
+
+namespace mdv::filter {
+namespace {
+
+using bench_support::FilterFixture;
+
+class RuleStoreTest : public ::testing::Test {
+ protected:
+  RuleStoreTest() : schema_(rdf::MakeObjectGlobeSchema()) {
+    Status st = CreateFilterTables(&db_);
+    EXPECT_TRUE(st.ok());
+    store_ = std::make_unique<RuleStore>(&db_);
+  }
+
+  Result<int64_t> Register(const std::string& text,
+                           std::vector<int64_t>* created = nullptr) {
+    Result<rules::CompiledRule> compiled =
+        rules::CompileRule(text, schema_);
+    if (!compiled.ok()) return compiled.status();
+    return store_->RegisterTree(compiled->decomposed, created);
+  }
+
+  rdf::RdfSchema schema_;
+  rdbms::Database db_;
+  std::unique_ptr<RuleStore> store_;
+};
+
+TEST_F(RuleStoreTest, RegisterSimpleRuleCreatesOneAtomicRule) {
+  std::vector<int64_t> created;
+  Result<int64_t> end = Register(
+      "search CycleProvider c register c "
+      "where c.serverHost contains 'uni-passau.de'",
+      &created);
+  ASSERT_TRUE(end.ok()) << end.status();
+  EXPECT_EQ(created.size(), 1u);
+  EXPECT_EQ(created[0], *end);
+  EXPECT_EQ(store_->NumAtomicRules(), 1u);
+  EXPECT_EQ(db_.GetTable(kFilterRulesCON)->NumRows(), 1u);
+}
+
+TEST_F(RuleStoreTest, DuplicateRulesShareAtomicRules) {
+  // §3.3.2: merging takes advantage of rule redundancy; equivalent rules
+  // map to the same atomic rules.
+  const std::string text =
+      "search CycleProvider c register c "
+      "where c.serverInformation.memory > 64";
+  Result<int64_t> first = Register(text);
+  ASSERT_TRUE(first.ok());
+  size_t rules_after_first = store_->NumAtomicRules();
+  std::vector<int64_t> created;
+  Result<int64_t> second = Register(text, &created);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);
+  EXPECT_TRUE(created.empty());
+  EXPECT_EQ(store_->NumAtomicRules(), rules_after_first);
+}
+
+TEST_F(RuleStoreTest, SharedTriggeringRulesAcrossRules) {
+  // §3.3.3's example: the memory rule and the cpu rule share the
+  // predicate-less CycleProvider class rule ("RuleA").
+  ASSERT_TRUE(Register("search CycleProvider c register c "
+                       "where c.serverInformation.memory > 64")
+                  .ok());
+  size_t after_first = store_->NumAtomicRules();  // Class + memory + join.
+  EXPECT_EQ(after_first, 3u);
+  ASSERT_TRUE(Register("search CycleProvider c register c "
+                       "where c.serverInformation.cpu > 500")
+                  .ok());
+  // Shares the class rule: adds only cpu trigger + join.
+  EXPECT_EQ(store_->NumAtomicRules(), 5u);
+}
+
+TEST_F(RuleStoreTest, RuleGroupsShareJoinSpecs) {
+  ASSERT_TRUE(Register("search CycleProvider c register c "
+                       "where c.serverInformation.memory > 64")
+                  .ok());
+  ASSERT_TRUE(Register("search CycleProvider c register c "
+                       "where c.serverInformation.cpu > 500")
+                  .ok());
+  // Both join rules have the same group (Figure 6).
+  EXPECT_EQ(store_->NumGroups(), 1u);
+  const rdbms::Table* groups = db_.GetTable(kRuleGroups);
+  bool checked = false;
+  groups->Scan([&](rdbms::RowId, const rdbms::Row& row) {
+    EXPECT_EQ(row[RuleGroupsCols::kMemberCount].as_int(), 2);
+    checked = true;
+  });
+  EXPECT_TRUE(checked);
+}
+
+TEST_F(RuleStoreTest, GroupingDisabledGivesSingletonGroups) {
+  RuleStoreOptions options;
+  options.use_rule_groups = false;
+  rdbms::Database db;
+  ASSERT_TRUE(CreateFilterTables(&db).ok());
+  RuleStore store(&db, options);
+  for (const char* text :
+       {"search CycleProvider c register c "
+        "where c.serverInformation.memory > 64",
+        "search CycleProvider c register c "
+        "where c.serverInformation.cpu > 500"}) {
+    Result<rules::CompiledRule> compiled = rules::CompileRule(text, schema_);
+    ASSERT_TRUE(compiled.ok());
+    ASSERT_TRUE(store.RegisterTree(compiled->decomposed).ok());
+  }
+  EXPECT_EQ(store.NumGroups(), 2u);
+}
+
+TEST_F(RuleStoreTest, MergingDisabledDuplicatesAtoms) {
+  RuleStoreOptions options;
+  options.merge_shared_atoms = false;
+  rdbms::Database db;
+  ASSERT_TRUE(CreateFilterTables(&db).ok());
+  RuleStore store(&db, options);
+  const std::string text =
+      "search CycleProvider c register c "
+      "where c.serverInformation.memory > 64";
+  for (int i = 0; i < 2; ++i) {
+    Result<rules::CompiledRule> compiled = rules::CompileRule(text, schema_);
+    ASSERT_TRUE(compiled.ok());
+    ASSERT_TRUE(store.RegisterTree(compiled->decomposed).ok());
+  }
+  EXPECT_EQ(store.NumAtomicRules(), 6u);  // 3 per registration.
+}
+
+TEST_F(RuleStoreTest, DependencyEdgesAndInputs) {
+  std::vector<int64_t> created;
+  Result<int64_t> end = Register(
+      "search CycleProvider c register c "
+      "where c.serverInformation.memory > 64",
+      &created);
+  ASSERT_TRUE(end.ok());
+  ASSERT_EQ(created.size(), 3u);
+
+  Result<RuleStore::JoinInputs> inputs = store_->InputsOf(*end);
+  ASSERT_TRUE(inputs.ok()) << inputs.status();
+  EXPECT_NE(inputs->left, inputs->right);
+
+  std::vector<RuleStore::Dependent> deps =
+      store_->DependentsOf(inputs->left);
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_EQ(deps[0].target, *end);
+  EXPECT_TRUE(store_->HasDependents(inputs->left));
+  EXPECT_FALSE(store_->HasDependents(*end));
+
+  Result<std::string> type = store_->RuleTypeOf(*end);
+  ASSERT_TRUE(type.ok());
+  EXPECT_EQ(*type, "CycleProvider");
+}
+
+TEST_F(RuleStoreTest, GroupSpecRoundTrips) {
+  Result<int64_t> end = Register(
+      "search CycleProvider c register c "
+      "where c.serverInformation.memory > 64");
+  ASSERT_TRUE(end.ok());
+  std::vector<RuleStore::Dependent> deps;
+  Result<RuleStore::JoinInputs> inputs = store_->InputsOf(*end);
+  ASSERT_TRUE(inputs.ok());
+  deps = store_->DependentsOf(inputs->left);
+  ASSERT_FALSE(deps.empty());
+  Result<RuleStore::GroupSpec> spec = store_->GroupSpecOf(deps[0].group_id);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->op, rdbms::CompareOp::kEq);
+  const std::string& reg_prop =
+      spec->register_side == 0 ? spec->lhs_property : spec->rhs_property;
+  EXPECT_EQ(reg_prop, "serverInformation");
+}
+
+TEST_F(RuleStoreTest, UnregisterCascadesToOrphans) {
+  Result<int64_t> end = Register(
+      "search CycleProvider c register c "
+      "where c.serverInformation.memory > 64");
+  ASSERT_TRUE(end.ok());
+  EXPECT_EQ(store_->NumAtomicRules(), 3u);
+  ASSERT_TRUE(store_->Unregister(*end).ok());
+  EXPECT_EQ(store_->NumAtomicRules(), 0u);
+  EXPECT_EQ(store_->NumGroups(), 0u);
+  EXPECT_EQ(db_.GetTable(kRuleDependencies)->NumRows(), 0u);
+  EXPECT_EQ(db_.GetTable(kFilterRulesGT)->NumRows(), 0u);
+  EXPECT_EQ(db_.GetTable(kFilterRulesCLS)->NumRows(), 0u);
+}
+
+TEST_F(RuleStoreTest, UnregisterKeepsSharedSubtrees) {
+  Result<int64_t> memory_rule = Register(
+      "search CycleProvider c register c "
+      "where c.serverInformation.memory > 64");
+  Result<int64_t> cpu_rule = Register(
+      "search CycleProvider c register c "
+      "where c.serverInformation.cpu > 500");
+  ASSERT_TRUE(memory_rule.ok());
+  ASSERT_TRUE(cpu_rule.ok());
+  EXPECT_EQ(store_->NumAtomicRules(), 5u);
+
+  ASSERT_TRUE(store_->Unregister(*memory_rule).ok());
+  // The shared class rule survives; memory trigger + its join are gone.
+  EXPECT_EQ(store_->NumAtomicRules(), 3u);
+  EXPECT_EQ(store_->NumGroups(), 1u);
+
+  ASSERT_TRUE(store_->Unregister(*cpu_rule).ok());
+  EXPECT_EQ(store_->NumAtomicRules(), 0u);
+}
+
+TEST_F(RuleStoreTest, UnregisterSharedEndRuleKeepsItUntilLastRelease) {
+  const std::string text =
+      "search CycleProvider c register c "
+      "where c.serverInformation.memory > 64";
+  Result<int64_t> first = Register(text);
+  Result<int64_t> second = Register(text);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(*first, *second);
+  ASSERT_TRUE(store_->Unregister(*first).ok());
+  EXPECT_EQ(store_->NumAtomicRules(), 3u);  // Second subscription holds on.
+  ASSERT_TRUE(store_->Unregister(*second).ok());
+  EXPECT_EQ(store_->NumAtomicRules(), 0u);
+}
+
+TEST_F(RuleStoreTest, IdCountersResumeFromExistingRows) {
+  Result<int64_t> end = Register(
+      "search CycleProvider c register c where c.serverPort > 5000");
+  ASSERT_TRUE(end.ok());
+  RuleStore reopened(&db_);
+  Result<rules::CompiledRule> compiled = rules::CompileRule(
+      "search ServerInformation s register s where s.memory > 1", schema_);
+  ASSERT_TRUE(compiled.ok());
+  Result<int64_t> next = reopened.RegisterTree(compiled->decomposed);
+  ASSERT_TRUE(next.ok());
+  EXPECT_GT(*next, *end);
+}
+
+}  // namespace
+}  // namespace mdv::filter

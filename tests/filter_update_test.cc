@@ -1,0 +1,225 @@
+#include "filter/update_protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "bench_support/workload.h"
+#include "filter/data_store.h"
+#include "rdf/parser.h"
+
+namespace mdv::filter {
+namespace {
+
+using bench_support::FilterFixture;
+
+rdf::RdfDocument MakeDoc(const std::string& uri, int memory,
+                         const std::string& host_name = "x.uni-passau.de") {
+  rdf::RdfDocument doc(uri);
+  rdf::Resource info("info", "ServerInformation");
+  info.AddProperty("memory",
+                   rdf::PropertyValue::Literal(std::to_string(memory)));
+  info.AddProperty("cpu", rdf::PropertyValue::Literal("600"));
+  rdf::Resource host("host", "CycleProvider");
+  host.AddProperty("serverHost", rdf::PropertyValue::Literal(host_name));
+  host.AddProperty("serverInformation",
+                   rdf::PropertyValue::ResourceRef(uri + "#info"));
+  Status st = doc.AddResource(std::move(info));
+  st = doc.AddResource(std::move(host));
+  (void)st;
+  return doc;
+}
+
+class UpdateProtocolTest : public ::testing::Test {
+ protected:
+  int64_t MustRegisterRule(const std::string& text) {
+    Result<int64_t> rule = fixture_.RegisterRule(text);
+    EXPECT_TRUE(rule.ok()) << rule.status();
+    return *rule;
+  }
+
+  void MustRegisterDoc(const rdf::RdfDocument& doc) {
+    Result<FilterRunResult> result = fixture_.RegisterDocumentBatch({doc});
+    ASSERT_TRUE(result.ok()) << result.status();
+  }
+
+  Result<UpdateOutcome> Update(const rdf::RdfDocument& original,
+                               const rdf::RdfDocument& updated) {
+    return ApplyDocumentUpdate(&fixture_.db(), &fixture_.engine(), original,
+                               updated);
+  }
+
+  FilterFixture fixture_;
+};
+
+TEST_F(UpdateProtocolTest, UpdateGainsMatch) {
+  // §3.1's motivating case: memory 32 → 128 makes the provider match.
+  int64_t rule = MustRegisterRule(
+      "search CycleProvider c register c "
+      "where c.serverInformation.memory > 64");
+  rdf::RdfDocument before = MakeDoc("d.rdf", 32);
+  MustRegisterDoc(before);
+
+  rdf::RdfDocument after = MakeDoc("d.rdf", 128);
+  Result<UpdateOutcome> outcome = Update(before, after);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->updated_uris, std::vector<std::string>{"d.rdf#info"});
+
+  // Pass 1 found no candidates (nothing matched before) ...
+  EXPECT_EQ(outcome->candidates.MatchesFor(rule), nullptr);
+  // ... and pass 3 reports the new match.
+  ASSERT_NE(outcome->new_matches.MatchesFor(rule), nullptr);
+  EXPECT_EQ(*outcome->new_matches.MatchesFor(rule),
+            std::vector<std::string>{"d.rdf#host"});
+}
+
+TEST_F(UpdateProtocolTest, UpdateLosesMatch) {
+  // memory 128 → 32: the provider is a true candidate and must drop out.
+  int64_t rule = MustRegisterRule(
+      "search CycleProvider c register c "
+      "where c.serverInformation.memory > 64");
+  rdf::RdfDocument before = MakeDoc("d.rdf", 128);
+  MustRegisterDoc(before);
+
+  Result<UpdateOutcome> outcome = Update(before, MakeDoc("d.rdf", 32));
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  ASSERT_NE(outcome->candidates.MatchesFor(rule), nullptr);
+  EXPECT_EQ(*outcome->candidates.MatchesFor(rule),
+            std::vector<std::string>{"d.rdf#host"});
+  // Pass 2: the candidate no longer matches the rule.
+  const std::vector<std::string>* still =
+      outcome->still_matching.MatchesFor(rule);
+  if (still != nullptr) {
+    EXPECT_TRUE(std::find(still->begin(), still->end(), "d.rdf#host") ==
+                still->end());
+  }
+  // Pass 3: nothing new.
+  EXPECT_EQ(outcome->new_matches.MatchesFor(rule), nullptr);
+}
+
+TEST_F(UpdateProtocolTest, WrongCandidateSurvivesViaOtherRule) {
+  // The resource stops matching the memory rule but still matches the
+  // host rule — it is a "wrong candidate" and must not be dropped.
+  int64_t memory_rule = MustRegisterRule(
+      "search CycleProvider c register c "
+      "where c.serverInformation.memory > 64");
+  int64_t host_rule = MustRegisterRule(
+      "search CycleProvider c register c "
+      "where c.serverHost contains 'uni-passau.de'");
+  rdf::RdfDocument before = MakeDoc("d.rdf", 128);
+  MustRegisterDoc(before);
+
+  Result<UpdateOutcome> outcome = Update(before, MakeDoc("d.rdf", 32));
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  ASSERT_NE(outcome->candidates.MatchesFor(memory_rule), nullptr);
+  // Pass 2 re-derives the host-rule match for the candidate.
+  ASSERT_NE(outcome->still_matching.MatchesFor(host_rule), nullptr);
+  EXPECT_EQ(*outcome->still_matching.MatchesFor(host_rule),
+            std::vector<std::string>{"d.rdf#host"});
+}
+
+TEST_F(UpdateProtocolTest, UpdateKeepingMatchIsNotReinserted) {
+  // memory 128 → 256: still matches; pass 3 must not republish (the LMR
+  // is refreshed through the update broadcast instead).
+  int64_t rule = MustRegisterRule(
+      "search CycleProvider c register c "
+      "where c.serverInformation.memory > 64");
+  rdf::RdfDocument before = MakeDoc("d.rdf", 128);
+  MustRegisterDoc(before);
+
+  Result<UpdateOutcome> outcome = Update(before, MakeDoc("d.rdf", 256));
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->new_matches.MatchesFor(rule), nullptr);
+  // Pass 2 confirms the candidate still matches.
+  ASSERT_NE(outcome->still_matching.MatchesFor(rule), nullptr);
+  EXPECT_EQ(*outcome->still_matching.MatchesFor(rule),
+            std::vector<std::string>{"d.rdf#host"});
+}
+
+TEST_F(UpdateProtocolTest, RegainedMatchAfterLossIsRepublished) {
+  // Lose the match, then regain it: materialized state must have been
+  // purged so the regained match is published again.
+  int64_t rule = MustRegisterRule(
+      "search CycleProvider c register c "
+      "where c.serverInformation.memory > 64");
+  rdf::RdfDocument v1 = MakeDoc("d.rdf", 128);
+  MustRegisterDoc(v1);
+  rdf::RdfDocument v2 = MakeDoc("d.rdf", 32);
+  ASSERT_TRUE(Update(v1, v2).ok());
+  Result<UpdateOutcome> outcome = Update(v2, MakeDoc("d.rdf", 200));
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  ASSERT_NE(outcome->new_matches.MatchesFor(rule), nullptr);
+  EXPECT_EQ(*outcome->new_matches.MatchesFor(rule),
+            std::vector<std::string>{"d.rdf#host"});
+}
+
+TEST_F(UpdateProtocolTest, DocumentDeletionProducesCandidatesOnly) {
+  int64_t rule = MustRegisterRule(
+      "search CycleProvider c register c "
+      "where c.serverInformation.memory > 64");
+  rdf::RdfDocument doc = MakeDoc("d.rdf", 128);
+  MustRegisterDoc(doc);
+
+  Result<UpdateOutcome> outcome =
+      ApplyDocumentDeletion(&fixture_.db(), &fixture_.engine(), doc);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->deleted_uris.size(), 2u);
+  ASSERT_NE(outcome->candidates.MatchesFor(rule), nullptr);
+  EXPECT_EQ(outcome->still_matching.MatchesFor(rule), nullptr);
+  EXPECT_EQ(outcome->new_matches.MatchesFor(rule), nullptr);
+  // All atoms of the document are gone.
+  EXPECT_EQ(AtomsOfResources(fixture_.db(),
+                             {"d.rdf#host", "d.rdf#info"})
+                .size(),
+            0u);
+}
+
+TEST_F(UpdateProtocolTest, ResourceInsertionViaUpdate) {
+  int64_t rule = MustRegisterRule(
+      "search ServerInformation s register s where s.memory > 64");
+  rdf::RdfDocument before("d.rdf");
+  rdf::Resource host("host", "CycleProvider");
+  host.AddProperty("serverHost", rdf::PropertyValue::Literal("a"));
+  ASSERT_TRUE(before.AddResource(std::move(host)).ok());
+  MustRegisterDoc(before);
+
+  rdf::RdfDocument after = before;
+  rdf::Resource info("info", "ServerInformation");
+  info.AddProperty("memory", rdf::PropertyValue::Literal("100"));
+  ASSERT_TRUE(after.AddResource(std::move(info)).ok());
+
+  Result<UpdateOutcome> outcome = Update(before, after);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->inserted_uris, std::vector<std::string>{"d.rdf#info"});
+  ASSERT_NE(outcome->new_matches.MatchesFor(rule), nullptr);
+  EXPECT_EQ(*outcome->new_matches.MatchesFor(rule),
+            std::vector<std::string>{"d.rdf#info"});
+}
+
+TEST_F(UpdateProtocolTest, MismatchedUriRejected) {
+  rdf::RdfDocument a("a.rdf");
+  rdf::RdfDocument b("b.rdf");
+  EXPECT_EQ(Update(a, b).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(UpdateProtocolTest, ReferencedResourceUpdateAffectsReferrer) {
+  // §3.5: updating the ServerInformation can add/remove CycleProvider
+  // matches even though the CycleProvider itself is untouched.
+  int64_t rule = MustRegisterRule(
+      "search CycleProvider c register c "
+      "where c.serverInformation.memory > 64");
+  rdf::RdfDocument before = MakeDoc("d.rdf", 32);
+  MustRegisterDoc(before);
+
+  // Only the info resource changes.
+  rdf::RdfDocument after = before;
+  after.FindMutableResource("info")->SetProperty(
+      "memory", rdf::PropertyValue::Literal("128"));
+  Result<UpdateOutcome> outcome = Update(before, after);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->updated_uris, std::vector<std::string>{"d.rdf#info"});
+  ASSERT_NE(outcome->new_matches.MatchesFor(rule), nullptr);
+  EXPECT_EQ(*outcome->new_matches.MatchesFor(rule),
+            std::vector<std::string>{"d.rdf#host"});
+}
+
+}  // namespace
+}  // namespace mdv::filter

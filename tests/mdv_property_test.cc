@@ -1,0 +1,196 @@
+// End-to-end property test: after an arbitrary sequence of document
+// registrations, updates and deletions, every LMR cache must contain
+// exactly the resources its subscription rules select from the final
+// state of the metadata (plus strong-reference closures), with current
+// contents — the cache-consistency guarantee of the publish & subscribe
+// architecture (§2.2, §3.5).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <set>
+
+#include "mdv/system.h"
+#include "rules/evaluator.h"
+
+namespace mdv {
+namespace {
+
+struct Scenario {
+  explicit Scenario(uint32_t seed) : rng(seed) {}
+
+  std::mt19937 rng;
+  std::map<std::string, rdf::RdfDocument> live_docs;  // uri → current.
+
+  int RandInt(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rng);
+  }
+
+  std::string RandomHost() {
+    static const char* kHosts[] = {"pirates.uni-passau.de", "db.tum.de",
+                                   "big.example", "edge.uni-passau.de"};
+    return kHosts[RandInt(0, 3)];
+  }
+
+  rdf::RdfDocument MakeDocument(const std::string& uri) {
+    rdf::RdfDocument doc(uri);
+    rdf::Resource info("info", "ServerInformation");
+    info.AddProperty("memory", rdf::PropertyValue::Literal(
+                                   std::to_string(RandInt(0, 200))));
+    info.AddProperty("cpu", rdf::PropertyValue::Literal(
+                                std::to_string(RandInt(1, 4) * 500)));
+    rdf::Resource host("host", "CycleProvider");
+    host.AddProperty("serverHost", rdf::PropertyValue::Literal(RandomHost()));
+    host.AddProperty("synthValue", rdf::PropertyValue::Literal(
+                                       std::to_string(RandInt(0, 100))));
+    host.AddProperty("serverInformation",
+                     rdf::PropertyValue::ResourceRef(uri + "#info"));
+    Status st = doc.AddResource(std::move(info));
+    st = doc.AddResource(std::move(host));
+    (void)st;
+    return doc;
+  }
+};
+
+class MdvPropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(MdvPropertyTest, CachesConvergeToSubscriptionSemantics) {
+  Scenario scenario(GetParam());
+  MdvSystem system(rdf::MakeObjectGlobeSchema());
+  MetadataProvider* provider = system.AddProvider();
+  LocalMetadataRepository* lmr_a = system.AddRepository(provider);
+  LocalMetadataRepository* lmr_b = system.AddRepository(provider);
+
+  // Subscriptions: A follows strong providers, B follows a domain plus a
+  // plain ServerInformation slice (no strong closure of its own).
+  struct Sub {
+    LocalMetadataRepository* lmr;
+    std::string text;
+    pubsub::SubscriptionId id;
+  };
+  std::vector<Sub> subs = {
+      {lmr_a,
+       "search CycleProvider c register c "
+       "where c.serverInformation.memory > 100",
+       -1},
+      {lmr_a,
+       "search CycleProvider c register c where c.synthValue <= 30", -1},
+      {lmr_b,
+       "search CycleProvider c register c "
+       "where c.serverHost contains 'uni-passau.de'",
+       -1},
+      {lmr_b,
+       "search ServerInformation s register s where s.cpu >= 1500", -1},
+  };
+  for (Sub& sub : subs) {
+    Result<pubsub::SubscriptionId> id = sub.lmr->Subscribe(sub.text);
+    ASSERT_TRUE(id.ok()) << sub.text << " -> " << id.status();
+    sub.id = *id;
+  }
+
+  // Random operation sequence.
+  for (int step = 0; step < 40; ++step) {
+    int op = scenario.RandInt(0, 9);
+    if (op <= 4 || scenario.live_docs.empty()) {
+      // Register a new document (or re-register after deletion).
+      std::string uri = "doc" + std::to_string(scenario.RandInt(0, 11)) +
+                        ".rdf";
+      if (scenario.live_docs.count(uri) != 0) {
+        rdf::RdfDocument doc = scenario.MakeDocument(uri);
+        ASSERT_TRUE(provider->UpdateDocument(doc).ok());
+        scenario.live_docs.insert_or_assign(uri, std::move(doc));
+      } else {
+        rdf::RdfDocument doc = scenario.MakeDocument(uri);
+        ASSERT_TRUE(provider->RegisterDocument(doc).ok());
+        scenario.live_docs.emplace(uri, std::move(doc));
+      }
+    } else if (op <= 7) {
+      // Update an existing document.
+      auto it = scenario.live_docs.begin();
+      std::advance(it, scenario.RandInt(
+                           0, static_cast<int>(scenario.live_docs.size()) - 1));
+      rdf::RdfDocument doc = scenario.MakeDocument(it->first);
+      ASSERT_TRUE(provider->UpdateDocument(doc).ok());
+      it->second = std::move(doc);
+    } else {
+      // Delete a document.
+      auto it = scenario.live_docs.begin();
+      std::advance(it, scenario.RandInt(
+                           0, static_cast<int>(scenario.live_docs.size()) - 1));
+      ASSERT_TRUE(provider->DeleteDocument(it->first).ok());
+      scenario.live_docs.erase(it);
+    }
+  }
+
+  // Oracle: evaluate every subscription over the final metadata.
+  rules::ResourceMap resources;
+  for (const auto& [uri, doc] : scenario.live_docs) {
+    for (const rdf::Resource* res : doc.resources()) {
+      resources.emplace(doc.UriReferenceOf(res->local_id()), res);
+    }
+  }
+  const rdf::RdfSchema& schema = system.schema();
+
+  auto strong_closure = [&](const std::string& uri,
+                            std::set<std::string>* out) {
+    std::vector<std::string> stack{uri};
+    while (!stack.empty()) {
+      std::string current = stack.back();
+      stack.pop_back();
+      if (!out->insert(current).second) continue;
+      auto it = resources.find(current);
+      if (it == resources.end()) continue;
+      for (const rdf::Property& prop : it->second->properties()) {
+        if (!prop.value.is_resource_ref()) continue;
+        const rdf::PropertyDef* def =
+            schema.FindProperty(it->second->class_name(), prop.name);
+        if (def != nullptr && def->strength == rdf::RefStrength::kStrong) {
+          stack.push_back(prop.value.text());
+        }
+      }
+    }
+  };
+
+  for (LocalMetadataRepository* lmr : {lmr_a, lmr_b}) {
+    std::set<std::string> expected_cache;
+    std::map<std::string, std::set<pubsub::SubscriptionId>> expected_matches;
+    for (const Sub& sub : subs) {
+      if (sub.lmr != lmr) continue;
+      Result<std::vector<std::string>> oracle =
+          rules::EvaluateRuleText(sub.text, schema, resources);
+      ASSERT_TRUE(oracle.ok()) << sub.text;
+      for (const std::string& uri : *oracle) {
+        expected_matches[uri].insert(sub.id);
+        strong_closure(uri, &expected_cache);
+      }
+    }
+
+    std::set<std::string> actual_cache;
+    for (const std::string& uri : lmr->CachedUris()) {
+      actual_cache.insert(uri);
+    }
+    EXPECT_EQ(actual_cache, expected_cache)
+        << "LMR " << lmr->id() << " cache diverged (seed " << GetParam()
+        << ")";
+
+    for (const std::string& uri : expected_cache) {
+      const CacheEntry* entry = lmr->Find(uri);
+      ASSERT_NE(entry, nullptr) << uri;
+      // Content must be the *current* version.
+      auto res = resources.find(uri);
+      ASSERT_NE(res, resources.end());
+      EXPECT_TRUE(entry->resource.ContentEquals(*res->second))
+          << uri << " stale in LMR " << lmr->id();
+      // Match bookkeeping must equal the oracle's per-subscription view.
+      EXPECT_EQ(entry->matched_subscriptions, expected_matches[uri])
+          << uri << " in LMR " << lmr->id();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MdvPropertyTest,
+                         ::testing::Values(7u, 11u, 23u, 42u, 77u, 101u));
+
+}  // namespace
+}  // namespace mdv

@@ -1,0 +1,119 @@
+// Sharing across subscriptions and LMRs: thanks to dependency-graph
+// merging (§3.3.2), identical rules registered by different LMRs map to
+// the same end rule; the publisher must still route matches, updates and
+// removals per subscription, and unregistration must not disturb the
+// other subscribers.
+
+#include <gtest/gtest.h>
+
+#include "mdv/system.h"
+
+namespace mdv {
+namespace {
+
+rdf::RdfDocument MakeDoc(const std::string& uri, int memory) {
+  rdf::RdfDocument doc(uri);
+  rdf::Resource info("info", "ServerInformation");
+  info.AddProperty("memory",
+                   rdf::PropertyValue::Literal(std::to_string(memory)));
+  rdf::Resource host("host", "CycleProvider");
+  host.AddProperty("serverHost", rdf::PropertyValue::Literal("x.example"));
+  host.AddProperty("serverInformation",
+                   rdf::PropertyValue::ResourceRef(uri + "#info"));
+  Status st = doc.AddResource(std::move(info));
+  st = doc.AddResource(std::move(host));
+  (void)st;
+  return doc;
+}
+
+constexpr char kRule[] =
+    "search CycleProvider c register c "
+    "where c.serverInformation.memory > 64";
+
+class SharingTest : public ::testing::Test {
+ protected:
+  SharingTest() : system_(rdf::MakeObjectGlobeSchema()) {
+    provider_ = system_.AddProvider();
+    lmr_a_ = system_.AddRepository(provider_);
+    lmr_b_ = system_.AddRepository(provider_);
+  }
+
+  MdvSystem system_;
+  MetadataProvider* provider_;
+  LocalMetadataRepository* lmr_a_;
+  LocalMetadataRepository* lmr_b_;
+};
+
+TEST_F(SharingTest, IdenticalRulesShareOneEndRule) {
+  Result<pubsub::SubscriptionId> sub_a = lmr_a_->Subscribe(kRule);
+  Result<pubsub::SubscriptionId> sub_b = lmr_b_->Subscribe(kRule);
+  ASSERT_TRUE(sub_a.ok());
+  ASSERT_TRUE(sub_b.ok());
+  // One shared decomposition: class rule + memory trigger + join.
+  EXPECT_EQ(provider_->rule_store().NumAtomicRules(), 3u);
+  EXPECT_EQ(provider_->subscriptions().Find(*sub_a)->end_rule_id,
+            provider_->subscriptions().Find(*sub_b)->end_rule_id);
+}
+
+TEST_F(SharingTest, MatchRoutedToEverySubscriber) {
+  ASSERT_TRUE(lmr_a_->Subscribe(kRule).ok());
+  ASSERT_TRUE(lmr_b_->Subscribe(kRule).ok());
+  ASSERT_TRUE(provider_->RegisterDocument(MakeDoc("d.rdf", 92)).ok());
+  EXPECT_EQ(lmr_a_->CacheSize(), 2u);
+  EXPECT_EQ(lmr_b_->CacheSize(), 2u);
+}
+
+TEST_F(SharingTest, UnsubscribingOneKeepsTheOtherAlive) {
+  Result<pubsub::SubscriptionId> sub_a = lmr_a_->Subscribe(kRule);
+  ASSERT_TRUE(sub_a.ok());
+  ASSERT_TRUE(lmr_b_->Subscribe(kRule).ok());
+  ASSERT_TRUE(provider_->RegisterDocument(MakeDoc("d.rdf", 92)).ok());
+
+  ASSERT_TRUE(lmr_a_->Unsubscribe(*sub_a).ok());
+  // A's cache is collected; B keeps its copy and the rules survive.
+  EXPECT_EQ(lmr_a_->CacheSize(), 0u);
+  EXPECT_EQ(lmr_b_->CacheSize(), 2u);
+  EXPECT_EQ(provider_->rule_store().NumAtomicRules(), 3u);
+
+  // New registrations still reach B.
+  ASSERT_TRUE(provider_->RegisterDocument(MakeDoc("e.rdf", 128)).ok());
+  EXPECT_EQ(lmr_a_->CacheSize(), 0u);
+  EXPECT_EQ(lmr_b_->CacheSize(), 4u);
+}
+
+TEST_F(SharingTest, RemovalRoutedPerSubscription) {
+  ASSERT_TRUE(lmr_a_->Subscribe(kRule).ok());
+  // B has an additional rule the resource keeps matching.
+  ASSERT_TRUE(lmr_b_->Subscribe(kRule).ok());
+  ASSERT_TRUE(lmr_b_->Subscribe("search CycleProvider c register c "
+                                "where c.serverHost contains 'example'")
+                  .ok());
+  ASSERT_TRUE(provider_->RegisterDocument(MakeDoc("d.rdf", 92)).ok());
+  ASSERT_EQ(lmr_a_->CacheSize(), 2u);
+  ASSERT_EQ(lmr_b_->CacheSize(), 2u);
+
+  // Memory drops: both lose the shared rule, but B's host rule still
+  // matches — only A's cache empties.
+  ASSERT_TRUE(provider_->UpdateDocument(MakeDoc("d.rdf", 16)).ok());
+  EXPECT_EQ(lmr_a_->CacheSize(), 0u);
+  EXPECT_EQ(lmr_b_->CacheSize(), 2u);
+  const CacheEntry* host = lmr_b_->Find("d.rdf#host");
+  ASSERT_NE(host, nullptr);
+  EXPECT_EQ(host->matched_subscriptions.size(), 1u);
+}
+
+TEST_F(SharingTest, OverlappingButDifferentRulesShareTriggeringLayer) {
+  ASSERT_TRUE(lmr_a_->Subscribe(kRule).ok());
+  size_t after_first = provider_->rule_store().NumAtomicRules();
+  ASSERT_TRUE(lmr_b_->Subscribe("search CycleProvider c register c "
+                                "where c.serverInformation.memory > 64 "
+                                "and c.serverHost contains 'example'")
+                  .ok());
+  // The second rule reuses the shared memory trigger; it adds its own
+  // host trigger (which replaces the predicate-less class rule as the
+  // CycleProvider input) and one join rule.
+  EXPECT_EQ(provider_->rule_store().NumAtomicRules(), after_first + 2);
+}
+
+}  // namespace
+}  // namespace mdv

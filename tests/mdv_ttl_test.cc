@@ -1,0 +1,119 @@
+// Tests of the TTL-based cache consistency alternative (§3.5 mentions
+// "periodical cache invalidation, based on a time-to-live approach") and
+// of Refresh() as a repair mechanism.
+
+#include <gtest/gtest.h>
+
+#include "mdv/system.h"
+
+namespace mdv {
+namespace {
+
+rdf::RdfDocument MakeDoc(const std::string& uri, const std::string& host,
+                         int memory) {
+  rdf::RdfDocument doc(uri);
+  rdf::Resource info("info", "ServerInformation");
+  info.AddProperty("memory",
+                   rdf::PropertyValue::Literal(std::to_string(memory)));
+  rdf::Resource provider("host", "CycleProvider");
+  provider.AddProperty("serverHost", rdf::PropertyValue::Literal(host));
+  provider.AddProperty("serverInformation",
+                       rdf::PropertyValue::ResourceRef(uri + "#info"));
+  Status st = doc.AddResource(std::move(info));
+  st = doc.AddResource(std::move(provider));
+  (void)st;
+  return doc;
+}
+
+class TtlModeTest : public ::testing::Test {
+ protected:
+  TtlModeTest() : system_(rdf::MakeObjectGlobeSchema()) {
+    provider_ = system_.AddProvider();
+    lmr_ = system_.AddRepository(provider_);
+  }
+
+  MdvSystem system_;
+  MetadataProvider* provider_;
+  LocalMetadataRepository* lmr_;
+};
+
+TEST_F(TtlModeTest, PushesIgnoredUntilRefresh) {
+  ASSERT_TRUE(lmr_->Subscribe("search CycleProvider c register c "
+                              "where c.serverInformation.memory > 64")
+                  .ok());
+  lmr_->set_consistency_mode(ConsistencyMode::kTimeToLive);
+
+  ASSERT_TRUE(provider_->RegisterDocument(MakeDoc("d.rdf", "x", 92)).ok());
+  // Push suppressed.
+  EXPECT_EQ(lmr_->CacheSize(), 0u);
+
+  ASSERT_TRUE(lmr_->Refresh().ok());
+  EXPECT_EQ(lmr_->CacheSize(), 2u);
+  EXPECT_NE(lmr_->Find("d.rdf#host"), nullptr);
+}
+
+TEST_F(TtlModeTest, StaleEntriesSurviveUntilRefresh) {
+  ASSERT_TRUE(lmr_->Subscribe("search CycleProvider c register c "
+                              "where c.serverInformation.memory > 64")
+                  .ok());
+  ASSERT_TRUE(provider_->RegisterDocument(MakeDoc("d.rdf", "x", 92)).ok());
+  ASSERT_EQ(lmr_->CacheSize(), 2u);
+
+  lmr_->set_consistency_mode(ConsistencyMode::kTimeToLive);
+  // The resource stops matching, but the push is ignored: stale copy.
+  ASSERT_TRUE(provider_->UpdateDocument(MakeDoc("d.rdf", "x", 16)).ok());
+  EXPECT_EQ(lmr_->CacheSize(), 2u);
+  EXPECT_EQ(lmr_->Find("d.rdf#info")->resource.FindProperty("memory")->text(),
+            "92");
+
+  ASSERT_TRUE(lmr_->Refresh().ok());
+  EXPECT_EQ(lmr_->CacheSize(), 0u);
+}
+
+TEST_F(TtlModeTest, RefreshPullsCurrentVersions) {
+  ASSERT_TRUE(lmr_->Subscribe("search CycleProvider c register c "
+                              "where c.serverInformation.memory > 64")
+                  .ok());
+  lmr_->set_consistency_mode(ConsistencyMode::kTimeToLive);
+  ASSERT_TRUE(provider_->RegisterDocument(MakeDoc("d.rdf", "x", 92)).ok());
+  ASSERT_TRUE(lmr_->Refresh().ok());
+  ASSERT_TRUE(provider_->UpdateDocument(MakeDoc("d.rdf", "x", 128)).ok());
+  // Stale between refreshes.
+  EXPECT_EQ(lmr_->Find("d.rdf#info")->resource.FindProperty("memory")->text(),
+            "92");
+  ASSERT_TRUE(lmr_->Refresh().ok());
+  EXPECT_EQ(lmr_->Find("d.rdf#info")->resource.FindProperty("memory")->text(),
+            "128");
+}
+
+TEST_F(TtlModeTest, RefreshInNotificationModeIsIdempotent) {
+  Result<pubsub::SubscriptionId> sub =
+      lmr_->Subscribe("search CycleProvider c register c "
+                      "where c.serverInformation.memory > 64");
+  ASSERT_TRUE(sub.ok());
+  ASSERT_TRUE(provider_->RegisterDocument(MakeDoc("d.rdf", "x", 92)).ok());
+  ASSERT_EQ(lmr_->CacheSize(), 2u);
+  ASSERT_TRUE(lmr_->Refresh().ok());
+  EXPECT_EQ(lmr_->CacheSize(), 2u);
+  const CacheEntry* host = lmr_->Find("d.rdf#host");
+  ASSERT_NE(host, nullptr);
+  EXPECT_EQ(host->matched_subscriptions.count(*sub), 1u);
+}
+
+TEST_F(TtlModeTest, RefreshPreservesLocalMetadata) {
+  ASSERT_TRUE(lmr_->Subscribe("search CycleProvider c register c").ok());
+  ASSERT_TRUE(
+      lmr_->RegisterLocalDocument(MakeDoc("local.rdf", "lan", 1)).ok());
+  lmr_->set_consistency_mode(ConsistencyMode::kTimeToLive);
+  ASSERT_TRUE(lmr_->Refresh().ok());
+  EXPECT_NE(lmr_->Find("local.rdf#host"), nullptr);
+  EXPECT_NE(lmr_->Find("local.rdf#info"), nullptr);
+}
+
+TEST_F(TtlModeTest, SnapshotOfUnknownSubscriptionFails) {
+  EXPECT_EQ(provider_->SnapshotSubscription(999).status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace mdv

@@ -1,0 +1,145 @@
+#include "pubsub/publisher.h"
+
+#include <gtest/gtest.h>
+
+#include "pubsub/subscription.h"
+#include "rdf/schema.h"
+
+namespace mdv::pubsub {
+namespace {
+
+class PublisherTest : public ::testing::Test {
+ protected:
+  PublisherTest() : schema_(rdf::MakeObjectGlobeSchema()) {
+    // A CycleProvider strongly referencing a ServerInformation, which is
+    // the shape of Figure 1.
+    rdf::Resource host("host", "CycleProvider");
+    host.AddProperty("serverHost",
+                     rdf::PropertyValue::Literal("pirates.uni-passau.de"));
+    host.AddProperty("serverInformation",
+                     rdf::PropertyValue::ResourceRef("doc.rdf#info"));
+    resources_["doc.rdf#host"] = host;
+    rdf::Resource info("info", "ServerInformation");
+    info.AddProperty("memory", rdf::PropertyValue::Literal("92"));
+    resources_["doc.rdf#info"] = info;
+
+    publisher_ = std::make_unique<Publisher>(
+        &schema_, &registry_, [this](const std::string& uri) {
+          auto it = resources_.find(uri);
+          return it == resources_.end() ? nullptr : &it->second;
+        });
+  }
+
+  rdf::RdfSchema schema_;
+  SubscriptionRegistry registry_;
+  std::map<std::string, rdf::Resource> resources_;
+  std::unique_ptr<Publisher> publisher_;
+};
+
+TEST_F(PublisherTest, StrongClosureFollowsStrongReferences) {
+  Result<std::vector<TransmittedResource>> shipped =
+      publisher_->WithStrongClosure("doc.rdf#host");
+  ASSERT_TRUE(shipped.ok()) << shipped.status();
+  ASSERT_EQ(shipped->size(), 2u);
+  EXPECT_EQ((*shipped)[0].uri_reference, "doc.rdf#host");
+  EXPECT_FALSE((*shipped)[0].via_strong_reference);
+  EXPECT_EQ((*shipped)[1].uri_reference, "doc.rdf#info");
+  EXPECT_TRUE((*shipped)[1].via_strong_reference);
+}
+
+TEST_F(PublisherTest, ClosureStopsAtWeakReferences) {
+  rdf::RdfSchema schema;
+  ASSERT_TRUE(schema
+                  .AddClass(rdf::ClassBuilder("A")
+                                .WeakRef("next", "B")
+                                .Build())
+                  .ok());
+  ASSERT_TRUE(schema.AddClass(rdf::ClassBuilder("B").Build()).ok());
+  std::map<std::string, rdf::Resource> resources;
+  rdf::Resource a("a", "A");
+  a.AddProperty("next", rdf::PropertyValue::ResourceRef("d#b"));
+  resources["d#a"] = a;
+  resources["d#b"] = rdf::Resource("b", "B");
+  SubscriptionRegistry registry;
+  Publisher publisher(&schema, &registry, [&](const std::string& uri) {
+    auto it = resources.find(uri);
+    return it == resources.end() ? nullptr : &it->second;
+  });
+  Result<std::vector<TransmittedResource>> shipped =
+      publisher.WithStrongClosure("d#a");
+  ASSERT_TRUE(shipped.ok());
+  EXPECT_EQ(shipped->size(), 1u);  // Weak reference not followed.
+}
+
+TEST_F(PublisherTest, ClosureHandlesCyclesAndDanglingRefs) {
+  rdf::RdfSchema schema;
+  ASSERT_TRUE(schema
+                  .AddClass(rdf::ClassBuilder("N")
+                                .StrongRef("next", "N")
+                                .Build())
+                  .ok());
+  std::map<std::string, rdf::Resource> resources;
+  rdf::Resource a("a", "N");
+  a.AddProperty("next", rdf::PropertyValue::ResourceRef("d#b"));
+  rdf::Resource b("b", "N");
+  b.AddProperty("next", rdf::PropertyValue::ResourceRef("d#a"));  // Cycle.
+  b.AddProperty("next", rdf::PropertyValue::ResourceRef("d#gone"));
+  resources["d#a"] = a;
+  resources["d#b"] = b;
+  SubscriptionRegistry registry;
+  Publisher publisher(&schema, &registry, [&](const std::string& uri) {
+    auto it = resources.find(uri);
+    return it == resources.end() ? nullptr : &it->second;
+  });
+  Result<std::vector<TransmittedResource>> shipped =
+      publisher.WithStrongClosure("d#a");
+  ASSERT_TRUE(shipped.ok()) << shipped.status();
+  EXPECT_EQ(shipped->size(), 2u);  // a, b once each; dangling skipped.
+}
+
+TEST_F(PublisherTest, ClosureOfUnknownResourceFails) {
+  EXPECT_EQ(publisher_->WithStrongClosure("nope#x").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(PublisherTest, PublishNewMatchesRoutesPerSubscription) {
+  SubscriptionId sub1 = registry_.Add(1, "rule", "", 7, "CycleProvider");
+  SubscriptionId sub2 = registry_.Add(2, "rule", "", 7, "CycleProvider");
+
+  filter::FilterRunResult result;
+  result.matches[7] = {"doc.rdf#host"};
+  result.matches[99] = {"doc.rdf#info"};  // Not an end rule: ignored.
+
+  Result<std::vector<Notification>> notes =
+      publisher_->PublishNewMatches(result);
+  ASSERT_TRUE(notes.ok()) << notes.status();
+  ASSERT_EQ(notes->size(), 2u);
+  for (const Notification& note : *notes) {
+    EXPECT_EQ(note.kind, NotificationKind::kInsert);
+    EXPECT_TRUE(note.subscription == sub1 || note.subscription == sub2);
+    ASSERT_EQ(note.resources.size(), 2u);  // host + strong closure info.
+    EXPECT_EQ(note.resources[0].uri_reference, "doc.rdf#host");
+  }
+}
+
+TEST(SubscriptionRegistryTest, Lifecycle) {
+  SubscriptionRegistry registry;
+  SubscriptionId id = registry.Add(5, "text", "MyRules", 11, "T");
+  EXPECT_EQ(registry.size(), 1u);
+  ASSERT_NE(registry.Find(id), nullptr);
+  EXPECT_EQ(registry.Find(id)->lmr, 5);
+  EXPECT_EQ(registry.FindByName("MyRules")->id, id);
+  EXPECT_EQ(registry.FindByName(""), nullptr);
+  EXPECT_EQ(registry.ByEndRule(11).size(), 1u);
+  EXPECT_EQ(registry.ByLmr(5).size(), 1u);
+  EXPECT_EQ(registry.EndRuleIds(), std::vector<int64_t>{11});
+
+  Result<Subscription> removed = registry.Remove(id);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(removed->end_rule_id, 11);
+  EXPECT_EQ(registry.Remove(id).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+}  // namespace
+}  // namespace mdv::pubsub

@@ -1,0 +1,120 @@
+// Publisher routing for update outcomes (§3.5): inserts for new matches,
+// update broadcasts for changed resources, removals only for true
+// candidates, each addressed to the right LMRs and subscriptions.
+
+#include <gtest/gtest.h>
+
+#include "pubsub/publisher.h"
+
+namespace mdv::pubsub {
+namespace {
+
+class UpdateRoutingTest : public ::testing::Test {
+ protected:
+  UpdateRoutingTest() : schema_(rdf::MakeObjectGlobeSchema()) {
+    rdf::Resource host("host", "CycleProvider");
+    host.AddProperty("serverHost", rdf::PropertyValue::Literal("x"));
+    resources_["d.rdf#host"] = host;
+    rdf::Resource info("info", "ServerInformation");
+    info.AddProperty("memory", rdf::PropertyValue::Literal("92"));
+    resources_["d.rdf#info"] = info;
+
+    publisher_ = std::make_unique<Publisher>(
+        &schema_, &registry_, [this](const std::string& uri) {
+          auto it = resources_.find(uri);
+          return it == resources_.end() ? nullptr : &it->second;
+        });
+    sub_a_ = registry_.Add(/*lmr=*/1, "ruleA", "", /*end_rule=*/10, "T");
+    sub_b_ = registry_.Add(/*lmr=*/2, "ruleB", "", /*end_rule=*/20, "T");
+  }
+
+  std::vector<Notification> Publish(const filter::UpdateOutcome& outcome) {
+    Result<std::vector<Notification>> notes =
+        publisher_->PublishUpdateOutcome(outcome);
+    EXPECT_TRUE(notes.ok()) << notes.status();
+    return notes.ok() ? *notes : std::vector<Notification>{};
+  }
+
+  static size_t CountKind(const std::vector<Notification>& notes,
+                          NotificationKind kind) {
+    size_t n = 0;
+    for (const Notification& note : notes) {
+      if (note.kind == kind) ++n;
+    }
+    return n;
+  }
+
+  rdf::RdfSchema schema_;
+  SubscriptionRegistry registry_;
+  std::map<std::string, rdf::Resource> resources_;
+  std::unique_ptr<Publisher> publisher_;
+  SubscriptionId sub_a_ = -1;
+  SubscriptionId sub_b_ = -1;
+};
+
+TEST_F(UpdateRoutingTest, NewMatchBecomesInsertForOwningSubscription) {
+  filter::UpdateOutcome outcome;
+  outcome.new_matches.matches[10] = {"d.rdf#host"};
+  std::vector<Notification> notes = Publish(outcome);
+  ASSERT_EQ(notes.size(), 1u);
+  EXPECT_EQ(notes[0].kind, NotificationKind::kInsert);
+  EXPECT_EQ(notes[0].lmr, 1);
+  EXPECT_EQ(notes[0].subscription, sub_a_);
+}
+
+TEST_F(UpdateRoutingTest, UpdatedResourcesBroadcastToAllSubscribedLmrs) {
+  filter::UpdateOutcome outcome;
+  outcome.updated_uris = {"d.rdf#info"};
+  std::vector<Notification> notes = Publish(outcome);
+  // One kUpdate per LMR (1 and 2), no inserts/removals.
+  EXPECT_EQ(CountKind(notes, NotificationKind::kUpdate), 2u);
+  EXPECT_EQ(CountKind(notes, NotificationKind::kInsert), 0u);
+  EXPECT_EQ(CountKind(notes, NotificationKind::kRemove), 0u);
+  for (const Notification& note : notes) {
+    EXPECT_EQ(note.subscription, -1);
+    ASSERT_EQ(note.resources.size(), 1u);
+    EXPECT_EQ(note.resources[0].uri_reference, "d.rdf#info");
+  }
+}
+
+TEST_F(UpdateRoutingTest, TrueCandidateBecomesRemoval) {
+  filter::UpdateOutcome outcome;
+  outcome.candidates.matches[10] = {"d.rdf#host"};
+  // No still_matching entry → true candidate.
+  std::vector<Notification> notes = Publish(outcome);
+  ASSERT_EQ(notes.size(), 1u);
+  EXPECT_EQ(notes[0].kind, NotificationKind::kRemove);
+  EXPECT_EQ(notes[0].lmr, 1);
+  EXPECT_EQ(notes[0].subscription, sub_a_);
+  ASSERT_EQ(notes[0].resources.size(), 1u);
+  EXPECT_EQ(notes[0].resources[0].uri_reference, "d.rdf#host");
+}
+
+TEST_F(UpdateRoutingTest, WrongCandidateIsNotRemoved) {
+  filter::UpdateOutcome outcome;
+  outcome.candidates.matches[10] = {"d.rdf#host"};
+  outcome.still_matching.matches[10] = {"d.rdf#host"};
+  std::vector<Notification> notes = Publish(outcome);
+  EXPECT_EQ(CountKind(notes, NotificationKind::kRemove), 0u);
+}
+
+TEST_F(UpdateRoutingTest, MatchesOfNonEndRulesIgnored) {
+  filter::UpdateOutcome outcome;
+  outcome.new_matches.matches[999] = {"d.rdf#host"};   // Inner rule.
+  outcome.candidates.matches[999] = {"d.rdf#info"};
+  EXPECT_TRUE(Publish(outcome).empty());
+}
+
+TEST_F(UpdateRoutingTest, MixedOutcomeRoutesEverything) {
+  filter::UpdateOutcome outcome;
+  outcome.new_matches.matches[20] = {"d.rdf#host"};    // Insert for B.
+  outcome.updated_uris = {"d.rdf#info"};               // Broadcast.
+  outcome.candidates.matches[10] = {"d.rdf#host"};     // Removal for A.
+  std::vector<Notification> notes = Publish(outcome);
+  EXPECT_EQ(CountKind(notes, NotificationKind::kInsert), 1u);
+  EXPECT_EQ(CountKind(notes, NotificationKind::kUpdate), 2u);
+  EXPECT_EQ(CountKind(notes, NotificationKind::kRemove), 1u);
+}
+
+}  // namespace
+}  // namespace mdv::pubsub

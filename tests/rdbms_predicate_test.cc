@@ -1,0 +1,83 @@
+#include "rdbms/predicate.h"
+
+#include <gtest/gtest.h>
+
+namespace mdv::rdbms {
+namespace {
+
+Row MakeRow(int64_t a, const std::string& b) {
+  return Row{Value(a), Value(b)};
+}
+
+TEST(PredicateTest, ColumnCompare) {
+  PredicatePtr p = ColumnCompare(0, CompareOp::kGt, Value(int64_t{10}));
+  EXPECT_TRUE(p->Evaluate(MakeRow(11, "x")));
+  EXPECT_FALSE(p->Evaluate(MakeRow(10, "x")));
+  EXPECT_NE(p->ToString().find(">"), std::string::npos);
+}
+
+TEST(PredicateTest, ColumnColumnCompare) {
+  PredicatePtr p = ColumnColumnCompare(0, CompareOp::kEq, 1);
+  EXPECT_TRUE(p->Evaluate(Row{Value(int64_t{5}), Value(int64_t{5})}));
+  EXPECT_FALSE(p->Evaluate(Row{Value(int64_t{5}), Value(int64_t{6})}));
+}
+
+TEST(PredicateTest, AndSemantics) {
+  PredicatePtr both = And({ColumnCompare(0, CompareOp::kGt, Value(int64_t{0})),
+                           ColumnCompare(1, CompareOp::kContains,
+                                         Value("uni"))});
+  EXPECT_TRUE(both->Evaluate(MakeRow(1, "uni-passau")));
+  EXPECT_FALSE(both->Evaluate(MakeRow(1, "tum")));
+  EXPECT_FALSE(both->Evaluate(MakeRow(-1, "uni-passau")));
+  // Empty conjunction is TRUE.
+  EXPECT_TRUE(And({})->Evaluate(MakeRow(0, "")));
+  EXPECT_EQ(And({})->ToString(), "TRUE");
+}
+
+TEST(PredicateTest, OrSemantics) {
+  PredicatePtr either = Or({ColumnCompare(0, CompareOp::kLt, Value(int64_t{0})),
+                            ColumnCompare(1, CompareOp::kEq, Value("x"))});
+  EXPECT_TRUE(either->Evaluate(MakeRow(-1, "y")));
+  EXPECT_TRUE(either->Evaluate(MakeRow(1, "x")));
+  EXPECT_FALSE(either->Evaluate(MakeRow(1, "y")));
+  // Empty disjunction is FALSE.
+  EXPECT_FALSE(Or({})->Evaluate(MakeRow(0, "")));
+  EXPECT_EQ(Or({})->ToString(), "FALSE");
+}
+
+TEST(PredicateTest, NotAndTrue) {
+  PredicatePtr p = Not(ColumnCompare(0, CompareOp::kEq, Value(int64_t{1})));
+  EXPECT_FALSE(p->Evaluate(MakeRow(1, "")));
+  EXPECT_TRUE(p->Evaluate(MakeRow(2, "")));
+  EXPECT_TRUE(True()->Evaluate(MakeRow(0, "")));
+}
+
+TEST(PredicateTest, NestedComposition) {
+  // (a > 0 AND b contains 'uni') OR NOT (a = 7)
+  PredicatePtr p = Or(
+      {And({ColumnCompare(0, CompareOp::kGt, Value(int64_t{0})),
+            ColumnCompare(1, CompareOp::kContains, Value("uni"))}),
+       Not(ColumnCompare(0, CompareOp::kEq, Value(int64_t{7})))});
+  EXPECT_TRUE(p->Evaluate(MakeRow(1, "tum")));    // NOT(1=7).
+  EXPECT_TRUE(p->Evaluate(MakeRow(7, "uni")));    // First branch.
+  EXPECT_FALSE(p->Evaluate(MakeRow(7, "tum")));   // Neither.
+}
+
+TEST(PredicateTest, ToStringIsReadable) {
+  PredicatePtr p = And({ColumnCompare(0, CompareOp::kGe, Value(int64_t{5})),
+                        Not(ColumnColumnCompare(0, CompareOp::kNe, 1))});
+  std::string text = p->ToString();
+  EXPECT_NE(text.find("AND"), std::string::npos);
+  EXPECT_NE(text.find("NOT"), std::string::npos);
+  EXPECT_NE(text.find("$0"), std::string::npos);
+}
+
+TEST(PredicateTest, NullRowsNeverMatchComparisons) {
+  PredicatePtr p = ColumnCompare(0, CompareOp::kEq, Value(int64_t{1}));
+  EXPECT_FALSE(p->Evaluate(Row{Value(), Value("x")}));
+  PredicatePtr ne = ColumnCompare(0, CompareOp::kNe, Value(int64_t{1}));
+  EXPECT_FALSE(ne->Evaluate(Row{Value(), Value("x")}));
+}
+
+}  // namespace
+}  // namespace mdv::rdbms

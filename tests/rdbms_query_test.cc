@@ -1,0 +1,93 @@
+#include "rdbms/query.h"
+
+#include <gtest/gtest.h>
+
+namespace mdv::rdbms {
+namespace {
+
+RowSet MakeSet(std::vector<std::string> columns, std::vector<Row> rows) {
+  RowSet out;
+  out.columns = std::move(columns);
+  out.rows = std::move(rows);
+  return out;
+}
+
+TEST(QueryTest, FromTableProjectsAllColumnsWithPrefix) {
+  Table table(TableSchema("t", {ColumnDef{"a"}, ColumnDef{"b"}}));
+  ASSERT_TRUE(table.Insert(Row{Value("x"), Value("y")}).ok());
+  RowSet rs = FromTable(table, {}, "t1");
+  EXPECT_EQ(rs.columns, (std::vector<std::string>{"t1.a", "t1.b"}));
+  ASSERT_EQ(rs.NumRows(), 1u);
+  EXPECT_EQ(rs.ColumnIndex("t1.b"), 1);
+  EXPECT_EQ(rs.ColumnIndex("nope"), -1);
+}
+
+TEST(QueryTest, SelectFiltersByPredicate) {
+  RowSet rs = MakeSet({"v"}, {Row{Value(int64_t{1})}, Row{Value(int64_t{5})},
+                              Row{Value(int64_t{9})}});
+  RowSet filtered =
+      Select(rs, *ColumnCompare(0, CompareOp::kGt, Value(int64_t{3})));
+  EXPECT_EQ(filtered.NumRows(), 2u);
+}
+
+TEST(QueryTest, HashJoinMatchesEqualKeys) {
+  RowSet left = MakeSet({"id", "name"}, {Row{Value(int64_t{1}), Value("a")},
+                                         Row{Value(int64_t{2}), Value("b")}});
+  RowSet right = MakeSet({"ref", "val"}, {Row{Value(int64_t{2}), Value("x")},
+                                          Row{Value(int64_t{2}), Value("y")},
+                                          Row{Value(int64_t{3}), Value("z")}});
+  RowSet joined = HashJoin(left, 0, right, 0);
+  EXPECT_EQ(joined.columns.size(), 4u);
+  ASSERT_EQ(joined.NumRows(), 2u);  // id=2 joins twice.
+  for (const Row& row : joined.rows) {
+    EXPECT_EQ(row[0], row[2]);
+    EXPECT_EQ(row[1].as_string(), "b");
+  }
+}
+
+TEST(QueryTest, HashJoinSkipsNullKeys) {
+  RowSet left = MakeSet({"k"}, {Row{Value()}, Row{Value(int64_t{1})}});
+  RowSet right = MakeSet({"k"}, {Row{Value()}, Row{Value(int64_t{1})}});
+  EXPECT_EQ(HashJoin(left, 0, right, 0).NumRows(), 1u);
+}
+
+TEST(QueryTest, NestedLoopJoinNonEquality) {
+  RowSet left = MakeSet({"a"}, {Row{Value(int64_t{1})}, Row{Value(int64_t{5})}});
+  RowSet right =
+      MakeSet({"b"}, {Row{Value(int64_t{2})}, Row{Value(int64_t{6})}});
+  RowSet lt = NestedLoopJoin(left, 0, CompareOp::kLt, right, 0);
+  EXPECT_EQ(lt.NumRows(), 3u);  // 1<2, 1<6, 5<6.
+}
+
+TEST(QueryTest, NestedLoopJoinDelegatesEqToHash) {
+  RowSet left = MakeSet({"a"}, {Row{Value(int64_t{7})}});
+  RowSet right = MakeSet({"b"}, {Row{Value(int64_t{7})}});
+  EXPECT_EQ(NestedLoopJoin(left, 0, CompareOp::kEq, right, 0).NumRows(), 1u);
+}
+
+TEST(QueryTest, ProjectAndDistinct) {
+  RowSet rs = MakeSet({"a", "b"}, {Row{Value("x"), Value(int64_t{1})},
+                                   Row{Value("x"), Value(int64_t{2})}});
+  RowSet projected = Project(rs, {0});
+  EXPECT_EQ(projected.columns, (std::vector<std::string>{"a"}));
+  EXPECT_EQ(projected.NumRows(), 2u);
+  EXPECT_EQ(Distinct(projected).NumRows(), 1u);
+}
+
+TEST(QueryTest, DistinctTreatsNullsAsEqual) {
+  RowSet rs = MakeSet({"a"}, {Row{Value()}, Row{Value()}});
+  EXPECT_EQ(Distinct(rs).NumRows(), 1u);
+}
+
+TEST(QueryTest, UnionChecksArity) {
+  RowSet a = MakeSet({"x"}, {Row{Value(int64_t{1})}});
+  RowSet b = MakeSet({"y"}, {Row{Value(int64_t{2})}});
+  Result<RowSet> u = Union(a, b);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->NumRows(), 2u);
+  RowSet c = MakeSet({"y", "z"}, {});
+  EXPECT_FALSE(Union(a, c).ok());
+}
+
+}  // namespace
+}  // namespace mdv::rdbms

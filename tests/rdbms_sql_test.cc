@@ -1,0 +1,270 @@
+#include "rdbms/sql.h"
+
+#include <gtest/gtest.h>
+
+namespace mdv::rdbms {
+namespace {
+
+class SqlTest : public ::testing::Test {
+ protected:
+  SqlResult Exec(const std::string& sql) {
+    Result<SqlResult> result = ExecuteSql(&db_, sql);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status();
+    return result.ok() ? *result : SqlResult{};
+  }
+
+  Status ExecStatus(const std::string& sql) {
+    return ExecuteSql(&db_, sql).ok()
+               ? Status::OK()
+               : ExecuteSql(&db_, sql).status();
+  }
+
+  void SeedProviders() {
+    Exec("CREATE TABLE providers (host STRING, port INT, memory INT)");
+    Exec("INSERT INTO providers VALUES ('pirates.uni-passau.de', 5874, 92)");
+    Exec("INSERT INTO providers VALUES ('tum.de', 80, 32), "
+         "('big.example', 9999, 512)");
+  }
+
+  Database db_;
+};
+
+TEST_F(SqlTest, CreateInsertSelect) {
+  SeedProviders();
+  SqlResult all = Exec("SELECT * FROM providers");
+  EXPECT_TRUE(all.is_query);
+  EXPECT_EQ(all.rows.NumRows(), 3u);
+  EXPECT_EQ(all.rows.columns.size(), 3u);
+}
+
+TEST_F(SqlTest, WhereWithComparisons) {
+  SeedProviders();
+  EXPECT_EQ(Exec("SELECT host FROM providers WHERE memory > 64").rows
+                .NumRows(),
+            2u);
+  EXPECT_EQ(Exec("SELECT host FROM providers WHERE memory > 64 "
+                 "AND port < 6000")
+                .rows.NumRows(),
+            1u);
+  EXPECT_EQ(Exec("SELECT host FROM providers WHERE memory <> 92").rows
+                .NumRows(),
+            2u);
+  EXPECT_EQ(
+      Exec("SELECT host FROM providers WHERE host CONTAINS 'uni-passau'")
+          .rows.NumRows(),
+      1u);
+  // Constant on the left flips the operator.
+  EXPECT_EQ(Exec("SELECT host FROM providers WHERE 64 < memory").rows
+                .NumRows(),
+            2u);
+}
+
+TEST_F(SqlTest, ProjectionPicksColumns) {
+  SeedProviders();
+  SqlResult result = Exec("SELECT port, host FROM providers WHERE memory = 92");
+  ASSERT_EQ(result.rows.NumRows(), 1u);
+  ASSERT_EQ(result.rows.columns.size(), 2u);
+  EXPECT_EQ(result.rows.rows[0][0].as_int(), 5874);
+  EXPECT_EQ(result.rows.rows[0][1].as_string(), "pirates.uni-passau.de");
+}
+
+TEST_F(SqlTest, JoinTwoTables) {
+  SeedProviders();
+  Exec("CREATE TABLE locations (host STRING, country STRING)");
+  Exec("INSERT INTO locations VALUES ('pirates.uni-passau.de', 'DE'), "
+       "('big.example', 'US')");
+  SqlResult joined = Exec(
+      "SELECT p.host, l.country FROM providers p, locations l "
+      "WHERE p.host = l.host AND p.memory > 64");
+  ASSERT_EQ(joined.rows.NumRows(), 2u);
+}
+
+TEST_F(SqlTest, ThreeWayJoinWithResidual) {
+  Exec("CREATE TABLE a (k INT, v STRING)");
+  Exec("CREATE TABLE b (k INT, w INT)");
+  Exec("CREATE TABLE c (w INT, name STRING)");
+  Exec("INSERT INTO a VALUES (1, 'x'), (2, 'y')");
+  Exec("INSERT INTO b VALUES (1, 10), (2, 20)");
+  Exec("INSERT INTO c VALUES (10, 'ten'), (20, 'twenty')");
+  SqlResult joined = Exec(
+      "SELECT a.v, c.name FROM a, b, c "
+      "WHERE a.k = b.k AND b.w = c.w AND a.v != 'y'");
+  ASSERT_EQ(joined.rows.NumRows(), 1u);
+  EXPECT_EQ(joined.rows.rows[0][1].as_string(), "ten");
+}
+
+TEST_F(SqlTest, CartesianProductWithoutJoinCondition) {
+  Exec("CREATE TABLE a (x INT)");
+  Exec("CREATE TABLE b (y INT)");
+  Exec("INSERT INTO a VALUES (1), (2)");
+  Exec("INSERT INTO b VALUES (3), (4), (5)");
+  EXPECT_EQ(Exec("SELECT * FROM a, b").rows.NumRows(), 6u);
+}
+
+TEST_F(SqlTest, IndexCreationAndUse) {
+  SeedProviders();
+  Exec("CREATE HASH INDEX ON providers (host)");
+  Table* table = db_.GetTable("providers");
+  table->ResetStats();
+  EXPECT_EQ(Exec("SELECT * FROM providers WHERE host = 'tum.de'").rows
+                .NumRows(),
+            1u);
+  EXPECT_EQ(table->stats().index_lookups, 1);
+  EXPECT_EQ(table->stats().full_scans, 0);
+  Exec("CREATE BTREE INDEX ON providers (memory)");
+  EXPECT_EQ(Exec("SELECT * FROM providers WHERE memory >= 92").rows
+                .NumRows(),
+            2u);
+}
+
+TEST_F(SqlTest, DeleteAndUpdate) {
+  SeedProviders();
+  EXPECT_EQ(Exec("DELETE FROM providers WHERE memory < 64").affected_rows,
+            1u);
+  EXPECT_EQ(Exec("SELECT * FROM providers").rows.NumRows(), 2u);
+  EXPECT_EQ(
+      Exec("UPDATE providers SET memory = 1024 WHERE port = 9999")
+          .affected_rows,
+      1u);
+  EXPECT_EQ(Exec("SELECT host FROM providers WHERE memory = 1024").rows
+                .NumRows(),
+            1u);
+  EXPECT_EQ(Exec("DELETE FROM providers").affected_rows, 2u);
+}
+
+TEST_F(SqlTest, UpdateSetsNull) {
+  SeedProviders();
+  Exec("UPDATE providers SET memory = NULL WHERE port = 80");
+  EXPECT_EQ(Exec("SELECT host FROM providers WHERE memory > 0").rows
+                .NumRows(),
+            2u);  // NULL never matches.
+}
+
+TEST_F(SqlTest, InsertNullAndStringsWithEscapes) {
+  Exec("CREATE TABLE t (a STRING, b INT)");
+  Exec("INSERT INTO t VALUES ('it''s', NULL)");
+  SqlResult result = Exec("SELECT * FROM t");
+  ASSERT_EQ(result.rows.NumRows(), 1u);
+  EXPECT_EQ(result.rows.rows[0][0].as_string(), "it's");
+  EXPECT_TRUE(result.rows.rows[0][1].is_null());
+}
+
+TEST_F(SqlTest, DropTable) {
+  SeedProviders();
+  Exec("DROP TABLE providers");
+  EXPECT_FALSE(db_.HasTable("providers"));
+  EXPECT_EQ(ExecuteSql(&db_, "SELECT * FROM providers").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(SqlTest, ErrorsAreDiagnosed) {
+  SeedProviders();
+  EXPECT_EQ(ExecuteSql(&db_, "SELEKT * FROM providers").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ExecuteSql(&db_, "SELECT nope FROM providers").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(ExecuteSql(&db_, "SELECT * FROM providers WHERE").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(
+      ExecuteSql(&db_, "CREATE TABLE t (x BOGUS)").status().code(),
+      StatusCode::kParseError);
+  EXPECT_EQ(ExecuteSql(&db_, "INSERT INTO nope VALUES (1)").status().code(),
+            StatusCode::kNotFound);
+  // Ambiguous column across two tables.
+  Result<SqlResult> created =
+      ExecuteSql(&db_, "CREATE TABLE locations (host STRING)");
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ(ExecuteSql(&db_,
+                       "SELECT host FROM providers, locations "
+                       "WHERE port = 80")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(SqlTest, AliasesWithAsKeyword) {
+  SeedProviders();
+  SqlResult result = Exec(
+      "SELECT p.host FROM providers AS p WHERE p.memory > 64");
+  EXPECT_EQ(result.rows.NumRows(), 2u);
+}
+
+TEST_F(SqlTest, FormatRowSetRendersTable) {
+  SeedProviders();
+  std::string text =
+      FormatRowSet(Exec("SELECT host, port FROM providers "
+                        "WHERE memory = 92")
+                       .rows);
+  EXPECT_NE(text.find("host"), std::string::npos);
+  EXPECT_NE(text.find("pirates.uni-passau.de"), std::string::npos);
+  EXPECT_NE(text.find("5874"), std::string::npos);
+}
+
+// The paper translates rule-language search requests into SQL join
+// queries (§2.2); this mirrors the FilterData/FilterRules join of the
+// initial filter iteration as plain SQL.
+TEST_F(SqlTest, FilterStyleJoinOverAtomTables) {
+  Exec("CREATE TABLE FilterDataDemo (uri STRING, property STRING, "
+       "value STRING)");
+  Exec("CREATE TABLE FilterRulesDemo (rule_id INT, property STRING, "
+       "value STRING)");
+  Exec("INSERT INTO FilterDataDemo VALUES "
+       "('doc.rdf#host', 'serverHost', 'pirates.uni-passau.de'), "
+       "('doc.rdf#info', 'memory', '92')");
+  Exec("INSERT INTO FilterRulesDemo VALUES (1, 'memory', '92')");
+  SqlResult result = Exec(
+      "SELECT d.uri, r.rule_id FROM FilterDataDemo d, FilterRulesDemo r "
+      "WHERE d.property = r.property AND d.value = r.value");
+  ASSERT_EQ(result.rows.NumRows(), 1u);
+  EXPECT_EQ(result.rows.rows[0][0].as_string(), "doc.rdf#info");
+}
+
+
+TEST_F(SqlTest, OrderByAndLimit) {
+  SeedProviders();
+  SqlResult asc = Exec("SELECT host FROM providers ORDER BY memory");
+  ASSERT_EQ(asc.rows.NumRows(), 3u);
+  EXPECT_EQ(asc.rows.rows[0][0].as_string(), "tum.de");
+  EXPECT_EQ(asc.rows.rows[2][0].as_string(), "big.example");
+
+  SqlResult desc =
+      Exec("SELECT host FROM providers ORDER BY memory DESC LIMIT 2");
+  ASSERT_EQ(desc.rows.NumRows(), 2u);
+  EXPECT_EQ(desc.rows.rows[0][0].as_string(), "big.example");
+  EXPECT_EQ(desc.rows.rows[1][0].as_string(),
+            "pirates.uni-passau.de");
+
+  EXPECT_EQ(Exec("SELECT * FROM providers LIMIT 0").rows.NumRows(), 0u);
+  EXPECT_EQ(Exec("SELECT * FROM providers LIMIT 99").rows.NumRows(), 3u);
+}
+
+TEST_F(SqlTest, OrderByMultipleKeys) {
+  Exec("CREATE TABLE t (a INT, b INT)");
+  Exec("INSERT INTO t VALUES (1, 2), (1, 1), (0, 9)");
+  SqlResult result = Exec("SELECT a, b FROM t ORDER BY a, b DESC");
+  ASSERT_EQ(result.rows.NumRows(), 3u);
+  EXPECT_EQ(result.rows.rows[0][0].as_int(), 0);
+  EXPECT_EQ(result.rows.rows[1][1].as_int(), 2);
+  EXPECT_EQ(result.rows.rows[2][1].as_int(), 1);
+}
+
+TEST_F(SqlTest, CountStar) {
+  SeedProviders();
+  SqlResult count = Exec("SELECT COUNT(*) FROM providers WHERE memory > 64");
+  ASSERT_TRUE(count.is_query);
+  ASSERT_EQ(count.rows.NumRows(), 1u);
+  EXPECT_EQ(count.rows.rows[0][0].as_int(), 2);
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM providers").rows.rows[0][0].as_int(),
+            3);
+}
+
+TEST_F(SqlTest, OrderBySyntaxErrors) {
+  SeedProviders();
+  EXPECT_FALSE(ExecuteSql(&db_, "SELECT * FROM providers ORDER memory").ok());
+  EXPECT_FALSE(
+      ExecuteSql(&db_, "SELECT * FROM providers ORDER BY 'x'").ok());
+  EXPECT_FALSE(ExecuteSql(&db_, "SELECT * FROM providers LIMIT x").ok());
+}
+
+}  // namespace
+}  // namespace mdv::rdbms

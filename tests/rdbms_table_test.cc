@@ -1,0 +1,174 @@
+#include "rdbms/table.h"
+
+#include <gtest/gtest.h>
+
+#include "rdbms/database.h"
+
+namespace mdv::rdbms {
+namespace {
+
+TableSchema PeopleSchema() {
+  return TableSchema("people", {ColumnDef{"name", ColumnType::kString},
+                                ColumnDef{"age", ColumnType::kInt64}});
+}
+
+Row MakePerson(const std::string& name, int64_t age) {
+  return Row{Value(name), Value(age)};
+}
+
+TEST(TableTest, InsertGetDelete) {
+  Table table(PeopleSchema());
+  Result<RowId> id = table.Insert(MakePerson("ada", 36));
+  ASSERT_TRUE(id.ok());
+  ASSERT_NE(table.Get(*id), nullptr);
+  EXPECT_EQ((*table.Get(*id))[0].as_string(), "ada");
+  EXPECT_EQ(table.NumRows(), 1u);
+  EXPECT_TRUE(table.Delete(*id).ok());
+  EXPECT_EQ(table.Get(*id), nullptr);
+  EXPECT_FALSE(table.Delete(*id).ok());
+}
+
+TEST(TableTest, InsertValidatesArityAndTypes) {
+  Table table(PeopleSchema());
+  EXPECT_FALSE(table.Insert(Row{Value("ada")}).ok());
+  EXPECT_FALSE(table.Insert(Row{Value("ada"), Value("not a number")}).ok());
+  EXPECT_TRUE(table.Insert(Row{Value("ada"), Value()}).ok());  // NULL ok.
+}
+
+TEST(TableTest, UpdateKeepsIndexesInSync) {
+  Table table(PeopleSchema());
+  ASSERT_TRUE(table.CreateIndex("age", IndexKind::kBTree).ok());
+  RowId id = *table.Insert(MakePerson("ada", 36));
+  ASSERT_TRUE(table.Update(id, MakePerson("ada", 37)).ok());
+  EXPECT_TRUE(table
+                  .SelectRowIds({ScanCondition{1, CompareOp::kEq,
+                                               Value(int64_t{36})}})
+                  .empty());
+  EXPECT_EQ(table
+                .SelectRowIds(
+                    {ScanCondition{1, CompareOp::kEq, Value(int64_t{37})}})
+                .size(),
+            1u);
+}
+
+TEST(TableTest, IndexBackfillsExistingRows) {
+  Table table(PeopleSchema());
+  RowId ada = *table.Insert(MakePerson("ada", 36));
+  RowId bob = *table.Insert(MakePerson("bob", 25));
+  ASSERT_TRUE(table.CreateIndex("name", IndexKind::kHash).ok());
+  std::vector<RowId> hits =
+      table.SelectRowIds({ScanCondition{0, CompareOp::kEq, Value("bob")}});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], bob);
+  (void)ada;
+  EXPECT_EQ(table.stats().index_lookups, 1);
+  EXPECT_EQ(table.stats().full_scans, 0);
+}
+
+TEST(TableTest, DuplicateIndexRejected) {
+  Table table(PeopleSchema());
+  ASSERT_TRUE(table.CreateIndex("name", IndexKind::kHash).ok());
+  EXPECT_EQ(table.CreateIndex("name", IndexKind::kBTree).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(table.CreateIndex("nope", IndexKind::kHash).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(TableTest, BTreeRangeScan) {
+  Table table(PeopleSchema());
+  ASSERT_TRUE(table.CreateIndex("age", IndexKind::kBTree).ok());
+  for (int64_t age = 10; age <= 50; age += 10) {
+    ASSERT_TRUE(table.Insert(MakePerson("p" + std::to_string(age), age)).ok());
+  }
+  EXPECT_EQ(table
+                .SelectRowIds(
+                    {ScanCondition{1, CompareOp::kGt, Value(int64_t{20})}})
+                .size(),
+            3u);
+  EXPECT_EQ(table
+                .SelectRowIds(
+                    {ScanCondition{1, CompareOp::kGe, Value(int64_t{20})}})
+                .size(),
+            4u);
+  EXPECT_EQ(table
+                .SelectRowIds(
+                    {ScanCondition{1, CompareOp::kLe, Value(int64_t{20})}})
+                .size(),
+            2u);
+  EXPECT_EQ(table.stats().full_scans, 0);
+}
+
+TEST(TableTest, FullScanFallbackWithoutIndex) {
+  Table table(PeopleSchema());
+  ASSERT_TRUE(table.Insert(MakePerson("ada", 36)).ok());
+  ASSERT_TRUE(table.Insert(MakePerson("bob", 25)).ok());
+  std::vector<RowId> hits =
+      table.SelectRowIds({ScanCondition{0, CompareOp::kEq, Value("ada")}});
+  EXPECT_EQ(hits.size(), 1u);
+  EXPECT_EQ(table.stats().full_scans, 1);
+}
+
+TEST(TableTest, MultiConditionUsesOneIndexAndFilters) {
+  Table table(PeopleSchema());
+  ASSERT_TRUE(table.CreateIndex("age", IndexKind::kBTree).ok());
+  ASSERT_TRUE(table.Insert(MakePerson("ada", 36)).ok());
+  ASSERT_TRUE(table.Insert(MakePerson("bob", 36)).ok());
+  std::vector<RowId> hits = table.SelectRowIds(
+      {ScanCondition{1, CompareOp::kEq, Value(int64_t{36})},
+       ScanCondition{0, CompareOp::kEq, Value("bob")}});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ((*table.Get(hits[0]))[0].as_string(), "bob");
+}
+
+TEST(TableTest, DeleteWhereRemovesMatching) {
+  Table table(PeopleSchema());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        table.Insert(MakePerson("p" + std::to_string(i), i % 2)).ok());
+  }
+  EXPECT_EQ(table.DeleteWhere(
+                {ScanCondition{1, CompareOp::kEq, Value(int64_t{1})}}),
+            5u);
+  EXPECT_EQ(table.NumRows(), 5u);
+}
+
+TEST(TableTest, TruncateKeepsIndexDefinitions) {
+  Table table(PeopleSchema());
+  ASSERT_TRUE(table.CreateIndex("age", IndexKind::kBTree).ok());
+  ASSERT_TRUE(table.Insert(MakePerson("ada", 36)).ok());
+  table.Truncate();
+  EXPECT_EQ(table.NumRows(), 0u);
+  ASSERT_TRUE(table.Insert(MakePerson("bob", 25)).ok());
+  EXPECT_EQ(table
+                .SelectRowIds(
+                    {ScanCondition{1, CompareOp::kEq, Value(int64_t{25})}})
+                .size(),
+            1u);
+  EXPECT_TRUE(table.HasIndex(1));
+}
+
+TEST(DatabaseTest, CatalogLifecycle) {
+  Database db;
+  Result<Table*> created = db.CreateTable(PeopleSchema());
+  ASSERT_TRUE(created.ok());
+  EXPECT_TRUE(db.HasTable("people"));
+  EXPECT_EQ(db.CreateTable(PeopleSchema()).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(db.GetTable("people"), *created);
+  EXPECT_EQ(db.GetTable("nope"), nullptr);
+  EXPECT_TRUE(db.DropTable("people").ok());
+  EXPECT_FALSE(db.DropTable("people").ok());
+}
+
+TEST(DatabaseTest, TotalRowsAndNames) {
+  Database db;
+  Table* people = *db.CreateTable(PeopleSchema());
+  ASSERT_TRUE(people->Insert(MakePerson("ada", 1)).ok());
+  ASSERT_TRUE(
+      db.CreateTable(TableSchema("empty", {ColumnDef{"x"}})).ok());
+  EXPECT_EQ(db.TotalRows(), 1u);
+  EXPECT_EQ(db.TableNames(), (std::vector<std::string>{"empty", "people"}));
+}
+
+}  // namespace
+}  // namespace mdv::rdbms

@@ -1,0 +1,110 @@
+#include "rdbms/value.h"
+
+#include <gtest/gtest.h>
+
+#include "rdbms/predicate.h"
+
+namespace mdv::rdbms {
+namespace {
+
+TEST(ValueTest, NullBasics) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.is_numeric());
+  EXPECT_EQ(v.ToString(), "NULL");
+  EXPECT_EQ(Value::Null().Compare(Value()), 0);
+}
+
+TEST(ValueTest, IntAndDoubleCompareNumerically) {
+  EXPECT_EQ(Value(int64_t{3}), Value(3.0));
+  EXPECT_LT(Value(int64_t{3}), Value(3.5));
+  EXPECT_GT(Value(4.5), Value(int64_t{4}));
+}
+
+TEST(ValueTest, LargeIntsCompareExactly) {
+  // Values beyond double's 53-bit mantissa must not collapse.
+  Value a(int64_t{9007199254740993});  // 2^53 + 1
+  Value b(int64_t{9007199254740992});  // 2^53
+  EXPECT_GT(a, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(ValueTest, CanonicalOrderNullNumericString) {
+  EXPECT_LT(Value(), Value(int64_t{0}));
+  EXPECT_LT(Value(int64_t{1000000}), Value("a"));
+  EXPECT_LT(Value(""), Value("a"));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(int64_t{3}).Hash(), Value(3.0).Hash());
+  EXPECT_EQ(Value("abc").Hash(), Value("abc").Hash());
+}
+
+TEST(ValueTest, TryNumericParsesStrings) {
+  EXPECT_EQ(Value("64").TryNumeric(), 64.0);
+  EXPECT_EQ(Value("-2.5").TryNumeric(), -2.5);
+  EXPECT_FALSE(Value("64MB").TryNumeric().has_value());
+  EXPECT_FALSE(Value("").TryNumeric().has_value());
+  EXPECT_FALSE(Value().TryNumeric().has_value());
+  EXPECT_EQ(Value(int64_t{7}).TryNumeric(), 7.0);
+}
+
+TEST(ValueTest, ToStringFormats) {
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value("x").ToString(), "x");
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+}
+
+TEST(CompareTest, NullNeverMatches) {
+  EXPECT_FALSE(EvaluateCompare(Value(), CompareOp::kEq, Value()));
+  EXPECT_FALSE(EvaluateCompare(Value(int64_t{1}), CompareOp::kNe, Value()));
+}
+
+TEST(CompareTest, NumericStringCoercionForOrderedOps) {
+  // "92" stored as string compared against numeric 64 (paper §3.3.4).
+  EXPECT_TRUE(EvaluateCompare(Value("92"), CompareOp::kGt, Value(int64_t{64})));
+  EXPECT_FALSE(
+      EvaluateCompare(Value("32"), CompareOp::kGt, Value(int64_t{64})));
+  EXPECT_FALSE(
+      EvaluateCompare(Value("abc"), CompareOp::kGt, Value(int64_t{64})));
+}
+
+TEST(CompareTest, Contains) {
+  EXPECT_TRUE(EvaluateCompare(Value("pirates.uni-passau.de"),
+                              CompareOp::kContains, Value("uni-passau.de")));
+  EXPECT_FALSE(EvaluateCompare(Value("tum.de"), CompareOp::kContains,
+                               Value("uni-passau.de")));
+  EXPECT_FALSE(EvaluateCompare(Value(int64_t{5}), CompareOp::kContains,
+                               Value("5")));
+}
+
+TEST(CompareTest, FlipAndNegate) {
+  EXPECT_EQ(FlipCompareOp(CompareOp::kLt), CompareOp::kGt);
+  EXPECT_EQ(FlipCompareOp(CompareOp::kGe), CompareOp::kLe);
+  EXPECT_EQ(FlipCompareOp(CompareOp::kEq), CompareOp::kEq);
+  EXPECT_EQ(NegateCompareOp(CompareOp::kEq), CompareOp::kNe);
+  EXPECT_EQ(NegateCompareOp(CompareOp::kLe), CompareOp::kGt);
+}
+
+class CompareOpParamTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CompareOpParamTest, OrderedOpsAgreeWithInts) {
+  auto [a, b] = GetParam();
+  Value va(static_cast<int64_t>(a));
+  Value vb(static_cast<int64_t>(b));
+  EXPECT_EQ(EvaluateCompare(va, CompareOp::kLt, vb), a < b);
+  EXPECT_EQ(EvaluateCompare(va, CompareOp::kLe, vb), a <= b);
+  EXPECT_EQ(EvaluateCompare(va, CompareOp::kGt, vb), a > b);
+  EXPECT_EQ(EvaluateCompare(va, CompareOp::kGe, vb), a >= b);
+  EXPECT_EQ(EvaluateCompare(va, CompareOp::kEq, vb), a == b);
+  EXPECT_EQ(EvaluateCompare(va, CompareOp::kNe, vb), a != b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, CompareOpParamTest,
+    ::testing::Combine(::testing::Values(-2, 0, 1, 64, 92),
+                       ::testing::Values(-2, 0, 1, 64, 92)));
+
+}  // namespace
+}  // namespace mdv::rdbms

@@ -1,0 +1,150 @@
+#include "rdf/document.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/diff.h"
+#include "rdf/term.h"
+
+namespace mdv::rdf {
+namespace {
+
+Resource MakeHost(const std::string& host_name) {
+  Resource r("host", "CycleProvider");
+  r.AddProperty("serverHost", PropertyValue::Literal(host_name));
+  r.AddProperty("serverInformation",
+                PropertyValue::ResourceRef("doc.rdf#info"));
+  return r;
+}
+
+TEST(TermTest, UriReferenceRoundTrip) {
+  EXPECT_EQ(MakeUriReference("doc.rdf", "host"), "doc.rdf#host");
+  auto [doc, local] = SplitUriReference("doc.rdf#host");
+  EXPECT_EQ(doc, "doc.rdf");
+  EXPECT_EQ(local, "host");
+  auto [doc2, local2] = SplitUriReference("no-hash");
+  EXPECT_EQ(doc2, "no-hash");
+  EXPECT_EQ(local2, "");
+}
+
+TEST(ResourceTest, PropertyAccessors) {
+  Resource r = MakeHost("a.example");
+  EXPECT_NE(r.FindProperty("serverHost"), nullptr);
+  EXPECT_EQ(r.FindProperty("nope"), nullptr);
+  r.AddProperty("serverHost", PropertyValue::Literal("b.example"));
+  EXPECT_EQ(r.FindProperties("serverHost").size(), 2u);
+  r.SetProperty("serverHost", PropertyValue::Literal("c.example"));
+  EXPECT_EQ(r.FindProperty("serverHost")->text(), "c.example");
+  EXPECT_EQ(r.RemoveProperties("serverHost"), 2u);
+  EXPECT_EQ(r.FindProperty("serverHost"), nullptr);
+}
+
+TEST(ResourceTest, ContentEqualsIsOrderInsensitive) {
+  Resource a("x", "C");
+  a.AddProperty("p", PropertyValue::Literal("1"));
+  a.AddProperty("q", PropertyValue::Literal("2"));
+  Resource b("y", "C");  // Local id does not matter for content.
+  b.AddProperty("q", PropertyValue::Literal("2"));
+  b.AddProperty("p", PropertyValue::Literal("1"));
+  EXPECT_TRUE(a.ContentEquals(b));
+
+  Resource c = b;
+  c.AddProperty("p", PropertyValue::Literal("1"));
+  EXPECT_FALSE(a.ContentEquals(c));  // Different multiset size.
+
+  Resource d("z", "D");
+  d.AddProperty("p", PropertyValue::Literal("1"));
+  d.AddProperty("q", PropertyValue::Literal("2"));
+  EXPECT_FALSE(a.ContentEquals(d));  // Different class.
+
+  // Literal vs reference with the same text differ.
+  Resource e("x", "C");
+  e.AddProperty("p", PropertyValue::ResourceRef("1"));
+  e.AddProperty("q", PropertyValue::Literal("2"));
+  EXPECT_FALSE(a.ContentEquals(e));
+}
+
+TEST(DocumentTest, AddFindRemove) {
+  RdfDocument doc("doc.rdf");
+  ASSERT_TRUE(doc.AddResource(MakeHost("a")).ok());
+  EXPECT_EQ(doc.AddResource(MakeHost("a")).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_NE(doc.FindResource("host"), nullptr);
+  EXPECT_EQ(doc.UriReferenceOf("host"), "doc.rdf#host");
+  EXPECT_TRUE(doc.RemoveResource("host").ok());
+  EXPECT_EQ(doc.RemoveResource("host").code(), StatusCode::kNotFound);
+}
+
+TEST(DocumentTest, EmptyLocalIdRejected) {
+  RdfDocument doc("doc.rdf");
+  EXPECT_EQ(doc.AddResource(Resource("", "C")).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DocumentTest, ToStatementsEmitsSubjectAtomPerResource) {
+  // Mirrors Figure 4: each property yields an atom plus one rdf#subject
+  // atom per resource.
+  RdfDocument doc("doc.rdf");
+  Resource info("info", "ServerInformation");
+  info.AddProperty("memory", PropertyValue::Literal("92"));
+  info.AddProperty("cpu", PropertyValue::Literal("600"));
+  ASSERT_TRUE(doc.AddResource(std::move(info)).ok());
+  ASSERT_TRUE(doc.AddResource(MakeHost("pirates.uni-passau.de")).ok());
+
+  Statements atoms = doc.ToStatements();
+  // host: subject + 2 properties; info: subject + 2 properties.
+  EXPECT_EQ(atoms.size(), 6u);
+
+  int subject_atoms = 0;
+  for (const Statement& atom : atoms) {
+    if (atom.predicate == kRdfSubjectProperty) {
+      ++subject_atoms;
+      EXPECT_EQ(atom.object.text(), atom.subject);
+      EXPECT_TRUE(atom.object.is_resource_ref());
+    }
+  }
+  EXPECT_EQ(subject_atoms, 2);
+}
+
+TEST(DiffTest, DetectsInsertUpdateDelete) {
+  RdfDocument before("d.rdf");
+  ASSERT_TRUE(before.AddResource(MakeHost("a")).ok());
+  Resource info("info", "ServerInformation");
+  info.AddProperty("memory", PropertyValue::Literal("32"));
+  ASSERT_TRUE(before.AddResource(info).ok());
+
+  RdfDocument after("d.rdf");
+  Resource info2("info", "ServerInformation");
+  info2.AddProperty("memory", PropertyValue::Literal("128"));  // Updated.
+  ASSERT_TRUE(after.AddResource(std::move(info2)).ok());
+  Resource extra("extra", "ServerInformation");  // Inserted.
+  extra.AddProperty("memory", PropertyValue::Literal("64"));
+  ASSERT_TRUE(after.AddResource(std::move(extra)).ok());
+  // "host" deleted.
+
+  DocumentDiff diff = DiffDocuments(before, after);
+  EXPECT_EQ(diff.updated, std::vector<std::string>{"info"});
+  EXPECT_EQ(diff.inserted, std::vector<std::string>{"extra"});
+  EXPECT_EQ(diff.deleted, std::vector<std::string>{"host"});
+  EXPECT_TRUE(diff.unchanged.empty());
+  EXPECT_FALSE(diff.Empty());
+}
+
+TEST(DiffTest, IdenticalDocumentsAreUnchanged) {
+  RdfDocument a("d.rdf");
+  ASSERT_TRUE(a.AddResource(MakeHost("x")).ok());
+  RdfDocument b("d.rdf");
+  ASSERT_TRUE(b.AddResource(MakeHost("x")).ok());
+  DocumentDiff diff = DiffDocuments(a, b);
+  EXPECT_TRUE(diff.Empty());
+  EXPECT_EQ(diff.unchanged, std::vector<std::string>{"host"});
+}
+
+TEST(DiffTest, WholeDocumentDeletion) {
+  RdfDocument a("d.rdf");
+  ASSERT_TRUE(a.AddResource(MakeHost("x")).ok());
+  DocumentDiff diff = DiffDocuments(a, RdfDocument("d.rdf"));
+  EXPECT_EQ(diff.deleted, std::vector<std::string>{"host"});
+}
+
+}  // namespace
+}  // namespace mdv::rdf

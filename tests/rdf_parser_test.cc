@@ -1,0 +1,169 @@
+#include "rdf/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/writer.h"
+
+namespace mdv::rdf {
+namespace {
+
+// The paper's Figure 1 document, in the RDF/XML subset MDV uses.
+constexpr char kFigure1[] = R"(<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:og="http://mdv/schema#">
+  <og:CycleProvider rdf:ID="host">
+    <og:serverHost>pirates.uni-passau.de</og:serverHost>
+    <og:serverPort>5874</og:serverPort>
+    <og:serverInformation>
+      <og:ServerInformation rdf:ID="info">
+        <og:memory>92</og:memory>
+        <og:cpu>600</og:cpu>
+      </og:ServerInformation>
+    </og:serverInformation>
+  </og:CycleProvider>
+</rdf:RDF>)";
+
+TEST(RdfParserTest, ParsesFigure1Document) {
+  Result<RdfDocument> doc = ParseRdfXml(kFigure1, "doc.rdf");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->NumResources(), 2u);
+
+  const Resource* host = doc->FindResource("host");
+  ASSERT_NE(host, nullptr);
+  EXPECT_EQ(host->class_name(), "CycleProvider");
+  ASSERT_NE(host->FindProperty("serverHost"), nullptr);
+  EXPECT_EQ(host->FindProperty("serverHost")->text(),
+            "pirates.uni-passau.de");
+  EXPECT_EQ(host->FindProperty("serverPort")->text(), "5874");
+
+  // The nested resource was hoisted and referenced by URI reference.
+  const PropertyValue* ref = host->FindProperty("serverInformation");
+  ASSERT_NE(ref, nullptr);
+  EXPECT_TRUE(ref->is_resource_ref());
+  EXPECT_EQ(ref->text(), "doc.rdf#info");
+
+  const Resource* info = doc->FindResource("info");
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->class_name(), "ServerInformation");
+  EXPECT_EQ(info->FindProperty("memory")->text(), "92");
+  EXPECT_EQ(info->FindProperty("memory")->AsNumber(), 92.0);
+}
+
+TEST(RdfParserTest, RdfResourceAttributeResolvesRelative) {
+  constexpr char xml[] = R"(<rdf:RDF>
+    <og:CycleProvider rdf:ID="host">
+      <og:serverInformation rdf:resource="#info"/>
+    </og:CycleProvider>
+    <og:ServerInformation rdf:ID="info">
+      <og:memory>92</og:memory>
+    </og:ServerInformation>
+  </rdf:RDF>)";
+  Result<RdfDocument> doc = ParseRdfXml(xml, "d.rdf");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->FindResource("host")
+                ->FindProperty("serverInformation")
+                ->text(),
+            "d.rdf#info");
+}
+
+TEST(RdfParserTest, AbsoluteReferenceToOtherDocumentKept) {
+  constexpr char xml[] = R"(<rdf:RDF>
+    <og:CycleProvider rdf:ID="host">
+      <og:serverInformation rdf:resource="other.rdf#info"/>
+    </og:CycleProvider>
+  </rdf:RDF>)";
+  Result<RdfDocument> doc = ParseRdfXml(xml, "d.rdf");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->FindResource("host")
+                ->FindProperty("serverInformation")
+                ->text(),
+            "other.rdf#info");
+}
+
+TEST(RdfParserTest, EntitiesDecoded) {
+  constexpr char xml[] = R"(<rdf:RDF>
+    <og:CycleProvider rdf:ID="h">
+      <og:serverHost>a &lt;&amp;&gt; b</og:serverHost>
+    </og:CycleProvider>
+  </rdf:RDF>)";
+  Result<RdfDocument> doc = ParseRdfXml(xml, "d.rdf");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->FindResource("h")->FindProperty("serverHost")->text(),
+            "a <&> b");
+}
+
+TEST(RdfParserTest, CommentsIgnored) {
+  constexpr char xml[] = R"(<rdf:RDF>
+    <!-- a comment -->
+    <og:CycleProvider rdf:ID="h">
+      <!-- inside -->
+      <og:serverPort>1</og:serverPort>
+    </og:CycleProvider>
+  </rdf:RDF>)";
+  EXPECT_TRUE(ParseRdfXml(xml, "d.rdf").ok());
+}
+
+TEST(RdfParserTest, SetValuedPropertiesRepeat) {
+  constexpr char xml[] = R"(<rdf:RDF>
+    <og:CycleProvider rdf:ID="h">
+      <og:serverHost>a</og:serverHost>
+      <og:serverHost>b</og:serverHost>
+    </og:CycleProvider>
+  </rdf:RDF>)";
+  Result<RdfDocument> doc = ParseRdfXml(xml, "d.rdf");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->FindResource("h")->FindProperties("serverHost").size(), 2u);
+}
+
+TEST(RdfParserTest, ErrorsAreReported) {
+  EXPECT_EQ(ParseRdfXml("<notRDF/>", "d.rdf").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseRdfXml("<rdf:RDF><og:X rdf:ID='a'>", "d.rdf").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseRdfXml("<rdf:RDF><og:X/></rdf:RDF>", "d.rdf")
+                .status()
+                .code(),
+            StatusCode::kParseError);  // Resource without rdf:ID.
+  EXPECT_EQ(
+      ParseRdfXml("<rdf:RDF></rdf:RDF>trailing", "d.rdf").status().code(),
+      StatusCode::kParseError);
+  EXPECT_EQ(ParseRdfXml(kFigure1, "").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RdfParserTest, DuplicateLocalIdRejected) {
+  constexpr char xml[] = R"(<rdf:RDF>
+    <og:A rdf:ID="x"><og:p>1</og:p></og:A>
+    <og:B rdf:ID="x"><og:p>2</og:p></og:B>
+  </rdf:RDF>)";
+  EXPECT_EQ(ParseRdfXml(xml, "d.rdf").status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(RdfWriterTest, RoundTripsThroughParser) {
+  Result<RdfDocument> doc = ParseRdfXml(kFigure1, "doc.rdf");
+  ASSERT_TRUE(doc.ok());
+  std::string xml = WriteRdfXml(*doc);
+  Result<RdfDocument> reparsed = ParseRdfXml(xml, "doc.rdf");
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  ASSERT_EQ(reparsed->NumResources(), doc->NumResources());
+  for (const Resource* res : doc->resources()) {
+    const Resource* other = reparsed->FindResource(res->local_id());
+    ASSERT_NE(other, nullptr);
+    EXPECT_TRUE(res->ContentEquals(*other)) << res->local_id();
+  }
+}
+
+TEST(RdfWriterTest, EscapesSpecialCharacters) {
+  RdfDocument doc("d.rdf");
+  Resource r("x", "CycleProvider");
+  r.AddProperty("serverHost", PropertyValue::Literal("<a> & 'b' \"c\""));
+  ASSERT_TRUE(doc.AddResource(std::move(r)).ok());
+  Result<RdfDocument> reparsed = ParseRdfXml(WriteRdfXml(doc), "d.rdf");
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->FindResource("x")->FindProperty("serverHost")->text(),
+            "<a> & 'b' \"c\"");
+}
+
+}  // namespace
+}  // namespace mdv::rdf

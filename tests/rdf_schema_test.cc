@@ -1,0 +1,138 @@
+#include "rdf/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace mdv::rdf {
+namespace {
+
+TEST(SchemaTest, ObjectGlobeSchemaShape) {
+  RdfSchema schema = MakeObjectGlobeSchema();
+  EXPECT_TRUE(schema.HasClass("CycleProvider"));
+  EXPECT_TRUE(schema.HasClass("ServerInformation"));
+  const PropertyDef* ref =
+      schema.FindProperty("CycleProvider", "serverInformation");
+  ASSERT_NE(ref, nullptr);
+  EXPECT_EQ(ref->kind, PropertyKind::kReference);
+  EXPECT_EQ(ref->referenced_class, "ServerInformation");
+  EXPECT_EQ(ref->strength, RefStrength::kStrong);
+  const PropertyDef* mem = schema.FindProperty("ServerInformation", "memory");
+  ASSERT_NE(mem, nullptr);
+  EXPECT_EQ(mem->kind, PropertyKind::kLiteral);
+}
+
+TEST(SchemaTest, DuplicateClassRejected) {
+  RdfSchema schema;
+  ASSERT_TRUE(schema.AddClass(ClassBuilder("A").Literal("p").Build()).ok());
+  EXPECT_EQ(schema.AddClass(ClassBuilder("A").Build()).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(schema.AddClass(ClassBuilder("").Build()).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, ResolvePathWalksReferences) {
+  RdfSchema schema = MakeObjectGlobeSchema();
+  Result<ResolvedPath> path =
+      schema.ResolvePath("CycleProvider", {"serverInformation", "memory"});
+  ASSERT_TRUE(path.ok()) << path.status();
+  EXPECT_EQ(path->classes,
+            (std::vector<std::string>{"CycleProvider", "ServerInformation"}));
+  EXPECT_EQ(path->final_property().name, "memory");
+}
+
+TEST(SchemaTest, ResolvePathRejectsLiteralMidway) {
+  RdfSchema schema = MakeObjectGlobeSchema();
+  EXPECT_EQ(
+      schema.ResolvePath("CycleProvider", {"serverHost", "memory"})
+          .status()
+          .code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(schema.ResolvePath("CycleProvider", {"nope"}).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(schema.ResolvePath("Nope", {"x"}).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(schema.ResolvePath("CycleProvider", {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+RdfDocument ValidDocument() {
+  RdfDocument doc("d.rdf");
+  Resource info("info", "ServerInformation");
+  info.AddProperty("memory", PropertyValue::Literal("92"));
+  Resource host("host", "CycleProvider");
+  host.AddProperty("serverHost", PropertyValue::Literal("x"));
+  host.AddProperty("serverInformation",
+                   PropertyValue::ResourceRef("d.rdf#info"));
+  Status st = doc.AddResource(std::move(info));
+  st = doc.AddResource(std::move(host));
+  (void)st;
+  return doc;
+}
+
+TEST(SchemaValidationTest, AcceptsValidDocument) {
+  RdfSchema schema = MakeObjectGlobeSchema();
+  EXPECT_TRUE(schema.ValidateDocument(ValidDocument()).ok());
+}
+
+TEST(SchemaValidationTest, RejectsUnknownClass) {
+  RdfSchema schema = MakeObjectGlobeSchema();
+  RdfDocument doc("d.rdf");
+  ASSERT_TRUE(doc.AddResource(Resource("x", "Mystery")).ok());
+  EXPECT_EQ(schema.ValidateDocument(doc).code(),
+            StatusCode::kSchemaViolation);
+}
+
+TEST(SchemaValidationTest, RejectsUndeclaredProperty) {
+  RdfSchema schema = MakeObjectGlobeSchema();
+  RdfDocument doc("d.rdf");
+  Resource r("x", "CycleProvider");
+  r.AddProperty("bogus", PropertyValue::Literal("1"));
+  ASSERT_TRUE(doc.AddResource(std::move(r)).ok());
+  EXPECT_EQ(schema.ValidateDocument(doc).code(),
+            StatusCode::kSchemaViolation);
+}
+
+TEST(SchemaValidationTest, RejectsRepeatedSingleValuedProperty) {
+  RdfSchema schema = MakeObjectGlobeSchema();
+  RdfDocument doc("d.rdf");
+  Resource r("x", "CycleProvider");
+  r.AddProperty("serverHost", PropertyValue::Literal("a"));
+  r.AddProperty("serverHost", PropertyValue::Literal("b"));
+  ASSERT_TRUE(doc.AddResource(std::move(r)).ok());
+  EXPECT_EQ(schema.ValidateDocument(doc).code(),
+            StatusCode::kSchemaViolation);
+}
+
+TEST(SchemaValidationTest, SetValuedPropertyMayRepeat) {
+  RdfSchema schema;
+  ASSERT_TRUE(
+      schema.AddClass(ClassBuilder("C").Literal("tags", true).Build()).ok());
+  RdfDocument doc("d.rdf");
+  Resource r("x", "C");
+  r.AddProperty("tags", PropertyValue::Literal("a"));
+  r.AddProperty("tags", PropertyValue::Literal("b"));
+  ASSERT_TRUE(doc.AddResource(std::move(r)).ok());
+  EXPECT_TRUE(schema.ValidateDocument(doc).ok());
+}
+
+TEST(SchemaValidationTest, RejectsKindMismatch) {
+  RdfSchema schema = MakeObjectGlobeSchema();
+  {
+    RdfDocument doc("d.rdf");
+    Resource r("x", "CycleProvider");
+    r.AddProperty("serverInformation", PropertyValue::Literal("not a ref"));
+    ASSERT_TRUE(doc.AddResource(std::move(r)).ok());
+    EXPECT_EQ(schema.ValidateDocument(doc).code(),
+              StatusCode::kSchemaViolation);
+  }
+  {
+    RdfDocument doc("d.rdf");
+    Resource r("x", "CycleProvider");
+    r.AddProperty("serverHost", PropertyValue::ResourceRef("d.rdf#y"));
+    ASSERT_TRUE(doc.AddResource(std::move(r)).ok());
+    EXPECT_EQ(schema.ValidateDocument(doc).code(),
+              StatusCode::kSchemaViolation);
+  }
+}
+
+}  // namespace
+}  // namespace mdv::rdf

@@ -1,0 +1,133 @@
+#include "rdf/xml_import.h"
+
+#include <gtest/gtest.h>
+
+#include "rules/evaluator.h"
+
+namespace mdv::rdf {
+namespace {
+
+constexpr char kServiceXml[] = R"(<?xml version="1.0"?>
+<service id="pay" category="payment">
+  <name>FastPay</name>
+  <price>5</price>
+  <endpoint id="ep1">
+    <url>https://fast.pay</url>
+    <protocol>SOAP</protocol>
+  </endpoint>
+  <tag>fintech</tag>
+  <tag>gateway</tag>
+</service>)";
+
+TEST(XmlImportTest, ImportsElementsAsResources) {
+  Result<RdfDocument> doc = ImportGenericXml(kServiceXml, "svc.xml");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->NumResources(), 2u);
+
+  const Resource* service = doc->FindResource("pay");
+  ASSERT_NE(service, nullptr);
+  EXPECT_EQ(service->class_name(), "service");
+  EXPECT_EQ(service->FindProperty("category")->text(), "payment");
+  EXPECT_EQ(service->FindProperty("name")->text(), "FastPay");
+  EXPECT_EQ(service->FindProperty("price")->text(), "5");
+  EXPECT_EQ(service->FindProperties("tag").size(), 2u);
+
+  const PropertyValue* ref = service->FindProperty("endpoint");
+  ASSERT_NE(ref, nullptr);
+  EXPECT_TRUE(ref->is_resource_ref());
+  EXPECT_EQ(ref->text(), "svc.xml#ep1");
+  const Resource* endpoint = doc->FindResource("ep1");
+  ASSERT_NE(endpoint, nullptr);
+  EXPECT_EQ(endpoint->FindProperty("url")->text(), "https://fast.pay");
+}
+
+TEST(XmlImportTest, SynthesizesIdsInDocumentOrder) {
+  constexpr char xml[] = R"(<list>
+    <item><v>1</v></item>
+    <item><v>2</v></item>
+  </list>)";
+  Result<RdfDocument> doc = ImportGenericXml(xml, "l.xml");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->NumResources(), 3u);
+  EXPECT_NE(doc->FindResource("list_1"), nullptr);
+  EXPECT_NE(doc->FindResource("item_1"), nullptr);
+  EXPECT_NE(doc->FindResource("item_2"), nullptr);
+  EXPECT_EQ(doc->FindResource("list_1")->FindProperties("item").size(), 2u);
+}
+
+TEST(XmlImportTest, MixedContentBecomesTextProperty) {
+  constexpr char xml[] = R"(<note id="n">hello <b>world</b></note>)";
+  Result<RdfDocument> doc = ImportGenericXml(xml, "n.xml");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  const Resource* note = doc->FindResource("n");
+  ASSERT_NE(note, nullptr);
+  EXPECT_EQ(note->FindProperty("text")->text(), "hello");
+  ASSERT_NE(note->FindProperty("b"), nullptr);
+}
+
+TEST(XmlImportTest, RejectsMalformedXml) {
+  EXPECT_FALSE(ImportGenericXml("<a><b></a>", "x.xml").ok());
+  EXPECT_FALSE(ImportGenericXml("<a/><b/>", "x.xml").ok());  // Two roots.
+  EXPECT_FALSE(ImportGenericXml("just text", "x.xml").ok());
+  EXPECT_FALSE(ImportGenericXml("<a/>", "").ok());
+}
+
+TEST(XmlImportTest, ExtendSchemaMakesDocumentValid) {
+  Result<RdfDocument> doc = ImportGenericXml(kServiceXml, "svc.xml");
+  ASSERT_TRUE(doc.ok());
+  RdfSchema schema;
+  EXPECT_FALSE(schema.ValidateDocument(*doc).ok());
+  ASSERT_TRUE(ExtendSchemaForDocument(*doc, &schema).ok());
+  EXPECT_TRUE(schema.ValidateDocument(*doc).ok()) << "after extension";
+
+  const PropertyDef* endpoint = schema.FindProperty("service", "endpoint");
+  ASSERT_NE(endpoint, nullptr);
+  EXPECT_EQ(endpoint->kind, PropertyKind::kReference);
+  EXPECT_EQ(endpoint->referenced_class, "endpoint");
+  const PropertyDef* tag = schema.FindProperty("service", "tag");
+  ASSERT_NE(tag, nullptr);
+  EXPECT_TRUE(tag->set_valued);
+}
+
+TEST(XmlImportTest, ExtensionIsIdempotentAndAdditive) {
+  Result<RdfDocument> doc = ImportGenericXml(kServiceXml, "svc.xml");
+  ASSERT_TRUE(doc.ok());
+  RdfSchema schema;
+  ASSERT_TRUE(ExtendSchemaForDocument(*doc, &schema).ok());
+  ASSERT_TRUE(ExtendSchemaForDocument(*doc, &schema).ok());
+  EXPECT_TRUE(schema.ValidateDocument(*doc).ok());
+}
+
+TEST(XmlImportTest, ConflictingPropertyKindsRejected) {
+  RdfSchema schema;
+  ASSERT_TRUE(
+      schema.AddClass(ClassBuilder("service").Literal("endpoint").Build())
+          .ok());
+  Result<RdfDocument> doc = ImportGenericXml(kServiceXml, "svc.xml");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(ExtendSchemaForDocument(*doc, &schema).code(),
+            StatusCode::kSchemaViolation);
+}
+
+// Imported XML flows through the rule machinery like native RDF (§6).
+TEST(XmlImportTest, ImportedDocumentIsQueryable) {
+  Result<RdfDocument> doc = ImportGenericXml(kServiceXml, "svc.xml");
+  ASSERT_TRUE(doc.ok());
+  RdfSchema schema;
+  ASSERT_TRUE(ExtendSchemaForDocument(*doc, &schema).ok());
+
+  rules::ResourceMap resources;
+  for (const Resource* res : doc->resources()) {
+    resources.emplace(doc->UriReferenceOf(res->local_id()), res);
+  }
+  Result<std::vector<std::string>> matches = rules::EvaluateRuleText(
+      "search service s register s "
+      "where s.category contains 'payment' and s.endpoint.url contains "
+      "'fast'",
+      schema, resources);
+  ASSERT_TRUE(matches.ok()) << matches.status();
+  EXPECT_EQ(*matches, std::vector<std::string>{"svc.xml#pay"});
+}
+
+}  // namespace
+}  // namespace mdv::rdf

@@ -1,0 +1,148 @@
+#include "rules/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "rules/parser.h"
+
+namespace mdv::rules {
+namespace {
+
+class AnalyzerTest : public ::testing::Test {
+ protected:
+  AnalyzerTest() : schema_(rdf::MakeObjectGlobeSchema()) {}
+
+  Result<AnalyzedRule> Analyze(const std::string& text,
+                               const ExtensionResolver& resolver = nullptr) {
+    Result<RuleAst> ast = ParseRule(text);
+    if (!ast.ok()) return ast.status();
+    return AnalyzeRule(*ast, schema_, resolver);
+  }
+
+  rdf::RdfSchema schema_;
+};
+
+TEST_F(AnalyzerTest, BindsVariablesToClasses) {
+  Result<AnalyzedRule> rule = Analyze(
+      "search CycleProvider c, ServerInformation s register c "
+      "where c.serverInformation = s and s.memory > 64");
+  ASSERT_TRUE(rule.ok()) << rule.status();
+  EXPECT_EQ(rule->variable_class.at("c"), "CycleProvider");
+  EXPECT_EQ(rule->variable_class.at("s"), "ServerInformation");
+  EXPECT_FALSE(rule->variable_is_rule_extension.at("c"));
+}
+
+TEST_F(AnalyzerTest, PathExpressionsResolvedThroughSchema) {
+  EXPECT_TRUE(Analyze("search CycleProvider c register c "
+                      "where c.serverInformation.memory > 64")
+                  .ok());
+  EXPECT_EQ(Analyze("search CycleProvider c register c "
+                    "where c.serverHost.memory > 64")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Analyze("search CycleProvider c register c where c.nope = 1")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(AnalyzerTest, UnknownClassAndVariableErrors) {
+  EXPECT_EQ(Analyze("search Nope n register n").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(Analyze("search CycleProvider c register x").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Analyze("search CycleProvider c, CycleProvider c register c")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      Analyze("search CycleProvider c register c where x.serverPort = 1")
+          .status()
+          .code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST_F(AnalyzerTest, ConstantOnlyPredicateRejected) {
+  EXPECT_EQ(Analyze("search CycleProvider c register c where 1 = 2")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(AnalyzerTest, OrderedComparisonNeedsNumericConstant) {
+  // Paper §3.3.4: < <= > >= only on numerical constants.
+  EXPECT_EQ(Analyze("search CycleProvider c register c "
+                    "where c.serverHost > 'abc'")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(Analyze("search CycleProvider c register c "
+                      "where c.serverPort > 1000")
+                  .ok());
+  // Ordered comparison on a resource reference is meaningless.
+  EXPECT_EQ(Analyze("search CycleProvider c register c "
+                    "where c.serverInformation > 5")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(AnalyzerTest, ContainsRestrictions) {
+  EXPECT_TRUE(Analyze("search CycleProvider c register c "
+                      "where c.serverHost contains 'uni'")
+                  .ok());
+  EXPECT_EQ(Analyze("search CycleProvider c register c "
+                    "where c.serverHost contains 64")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Analyze("search CycleProvider c register c "
+                    "where 'uni' contains c.serverHost")
+                .status()
+                .code(),
+            StatusCode::kUnsupported);
+}
+
+TEST_F(AnalyzerTest, ResourceVersusNumberRejected) {
+  EXPECT_EQ(Analyze("search CycleProvider c register c where c = 5")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // OID form: resource against a string URI is fine.
+  EXPECT_TRUE(
+      Analyze("search CycleProvider c register c where c = 'doc.rdf#host'")
+          .ok());
+}
+
+TEST_F(AnalyzerTest, AnyOperatorRequiresSetValuedProperty) {
+  EXPECT_EQ(Analyze("search CycleProvider c register c "
+                    "where c.serverHost? = 'x'")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  rdf::RdfSchema schema;
+  ASSERT_TRUE(
+      schema.AddClass(rdf::ClassBuilder("C").Literal("tags", true).Build())
+          .ok());
+  Result<RuleAst> ast =
+      ParseRule("search C c register c where c.tags? = 'x'");
+  ASSERT_TRUE(ast.ok());
+  EXPECT_TRUE(AnalyzeRule(*ast, schema).ok());
+}
+
+TEST_F(AnalyzerTest, RuleExtensionsResolveThroughResolver) {
+  auto resolver = [](const std::string& name) -> std::optional<std::string> {
+    if (name == "MyProviders") return "CycleProvider";
+    return std::nullopt;
+  };
+  Result<AnalyzedRule> rule = Analyze(
+      "search MyProviders m register m where m.serverPort > 5000", resolver);
+  ASSERT_TRUE(rule.ok()) << rule.status();
+  EXPECT_EQ(rule->variable_class.at("m"), "CycleProvider");
+  EXPECT_TRUE(rule->variable_is_rule_extension.at("m"));
+  EXPECT_EQ(Analyze("search Unknown u register u", resolver).status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace mdv::rules

@@ -1,0 +1,217 @@
+#include "rules/decomposer.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/document.h"
+#include "rules/compiler.h"
+
+namespace mdv::rules {
+namespace {
+
+class DecomposerTest : public ::testing::Test {
+ protected:
+  DecomposerTest() : schema_(rdf::MakeObjectGlobeSchema()) {}
+
+  Result<DecomposedRule> Decompose(
+      const std::string& text,
+      const RuleExtensionResolver& resolver = nullptr) {
+    Result<CompiledRule> compiled =
+        CompileRule(text, schema_, nullptr, resolver);
+    if (!compiled.ok()) return compiled.status();
+    return compiled->decomposed;
+  }
+
+  static size_t CountKind(const DecomposedRule& rule, AtomicRuleKind kind) {
+    size_t n = 0;
+    for (const AtomicRuleNode& node : rule.atoms) {
+      if (node.kind == kind && !node.is_external) ++n;
+    }
+    return n;
+  }
+
+  rdf::RdfSchema schema_;
+};
+
+TEST_F(DecomposerTest, SingleTriggeringRule) {
+  Result<DecomposedRule> rule = Decompose(
+      "search CycleProvider c register c "
+      "where c.serverHost contains 'uni-passau.de'");
+  ASSERT_TRUE(rule.ok()) << rule.status();
+  ASSERT_EQ(rule->atoms.size(), 1u);
+  const AtomicRuleNode& node = rule->root_node();
+  EXPECT_EQ(node.kind, AtomicRuleKind::kTriggering);
+  EXPECT_EQ(node.type, "CycleProvider");
+  ASSERT_TRUE(node.trigger.predicate.has_value());
+  EXPECT_EQ(node.trigger.predicate->property, "serverHost");
+  EXPECT_EQ(node.trigger.predicate->op, rdbms::CompareOp::kContains);
+  EXPECT_EQ(node.trigger.predicate->constant, "uni-passau.de");
+  EXPECT_FALSE(node.trigger.predicate->constant_is_number);
+}
+
+TEST_F(DecomposerTest, OidRuleUsesRdfSubject) {
+  Result<DecomposedRule> rule = Decompose(
+      "search CycleProvider c register c where c = 'doc.rdf#host'");
+  ASSERT_TRUE(rule.ok()) << rule.status();
+  ASSERT_EQ(rule->atoms.size(), 1u);
+  EXPECT_EQ(rule->root_node().trigger.predicate->property,
+            rdf::kRdfSubjectProperty);
+  EXPECT_EQ(rule->root_node().trigger.predicate->constant, "doc.rdf#host");
+}
+
+TEST_F(DecomposerTest, ClassOnlyRuleHasNoPredicate) {
+  Result<DecomposedRule> rule =
+      Decompose("search CycleProvider c register c");
+  ASSERT_TRUE(rule.ok());
+  ASSERT_EQ(rule->atoms.size(), 1u);
+  EXPECT_FALSE(rule->root_node().trigger.predicate.has_value());
+}
+
+TEST_F(DecomposerTest, PaperExampleSection331) {
+  // The §3.3.1 rule decomposes into RuleA, RuleB, RuleC (triggering) and
+  // RuleE, RuleF (join), with the dependency tree of Figure 5.
+  Result<DecomposedRule> rule = Decompose(
+      "search CycleProvider c, ServerInformation s register c "
+      "where c.serverHost contains 'uni-passau.de' "
+      "and c.serverInformation = s "
+      "and s.memory > 64 and s.cpu > 500");
+  ASSERT_TRUE(rule.ok()) << rule.status();
+  EXPECT_EQ(CountKind(*rule, AtomicRuleKind::kTriggering), 3u);
+  EXPECT_EQ(CountKind(*rule, AtomicRuleKind::kJoin), 2u);
+
+  // Root (the end rule, "RuleF") registers CycleProviders and joins
+  // through serverInformation.
+  const AtomicRuleNode& root = rule->root_node();
+  EXPECT_EQ(root.kind, AtomicRuleKind::kJoin);
+  EXPECT_EQ(root.type, "CycleProvider");
+  const bool left_registers = root.join.register_side == 0;
+  const JoinSideSpec& reg = left_registers ? root.join.lhs : root.join.rhs;
+  const JoinSideSpec& other = left_registers ? root.join.rhs : root.join.lhs;
+  EXPECT_EQ(reg.property, "serverInformation");
+  EXPECT_EQ(other.property, "");
+
+  // The inner join ("RuleE") intersects the two ServerInformation
+  // triggering rules via a bare equality.
+  int inner = left_registers ? root.right_child : root.left_child;
+  const AtomicRuleNode& rule_e = rule->atoms[inner];
+  EXPECT_EQ(rule_e.kind, AtomicRuleKind::kJoin);
+  EXPECT_EQ(rule_e.type, "ServerInformation");
+  EXPECT_EQ(rule_e.join.lhs.property, "");
+  EXPECT_EQ(rule_e.join.rhs.property, "");
+  EXPECT_EQ(rule_e.join.op, rdbms::CompareOp::kEq);
+  EXPECT_EQ(rule->atoms[rule_e.left_child].kind,
+            AtomicRuleKind::kTriggering);
+  EXPECT_EQ(rule->atoms[rule_e.right_child].kind,
+            AtomicRuleKind::kTriggering);
+}
+
+TEST_F(DecomposerTest, PathRuleDecomposesIntoClassRulePlusJoin) {
+  // §3.3.3: `c.serverInformation.memory > 64` yields a predicate-less
+  // CycleProvider triggering rule, a memory triggering rule, and a join.
+  Result<DecomposedRule> rule = Decompose(
+      "search CycleProvider c register c "
+      "where c.serverInformation.memory > 64");
+  ASSERT_TRUE(rule.ok()) << rule.status();
+  EXPECT_EQ(CountKind(*rule, AtomicRuleKind::kTriggering), 2u);
+  EXPECT_EQ(CountKind(*rule, AtomicRuleKind::kJoin), 1u);
+  bool found_class_rule = false;
+  for (const AtomicRuleNode& node : rule->atoms) {
+    if (node.kind == AtomicRuleKind::kTriggering &&
+        !node.trigger.predicate.has_value()) {
+      EXPECT_EQ(node.trigger.class_name, "CycleProvider");
+      found_class_rule = true;
+    }
+  }
+  EXPECT_TRUE(found_class_rule);
+}
+
+TEST_F(DecomposerTest, NumericConstantsFlagged) {
+  Result<DecomposedRule> rule = Decompose(
+      "search ServerInformation s register s where s.memory > 64");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_TRUE(rule->root_node().trigger.predicate->constant_is_number);
+  EXPECT_EQ(rule->root_node().trigger.predicate->constant, "64");
+}
+
+TEST_F(DecomposerTest, GroupKeyIgnoresInputsButKeepsSpec) {
+  JoinSpec a;
+  a.left_class = "CycleProvider";
+  a.right_class = "ServerInformation";
+  a.lhs.property = "serverInformation";
+  a.op = rdbms::CompareOp::kEq;
+  a.register_side = 0;
+  JoinSpec b = a;
+  EXPECT_EQ(a.GroupKey(), b.GroupKey());
+  b.register_side = 1;
+  EXPECT_NE(a.GroupKey(), b.GroupKey());
+  b = a;
+  b.rhs.property = "x";
+  EXPECT_NE(a.GroupKey(), b.GroupKey());
+}
+
+TEST_F(DecomposerTest, CanonicalTextsDistinguishRules) {
+  TriggeringSpec t1{"ServerInformation",
+                    TriggeringPredicate{"memory", rdbms::CompareOp::kGt,
+                                        "64", true}};
+  TriggeringSpec t2 = t1;
+  EXPECT_EQ(TriggeringRuleText(t1), TriggeringRuleText(t2));
+  t2.predicate->constant = "65";
+  EXPECT_NE(TriggeringRuleText(t1), TriggeringRuleText(t2));
+  TriggeringSpec bare{"ServerInformation", std::nullopt};
+  EXPECT_NE(TriggeringRuleText(t1), TriggeringRuleText(bare));
+}
+
+TEST_F(DecomposerTest, ExternalRuleExtension) {
+  auto resolver =
+      [](const std::string& name) -> std::optional<ExternalExtension> {
+    if (name == "PassauProviders") {
+      return ExternalExtension{"CycleProvider", 42};
+    }
+    return std::nullopt;
+  };
+  auto ext_resolver = [](const std::string& name) -> std::optional<std::string> {
+    if (name == "PassauProviders") return "CycleProvider";
+    return std::nullopt;
+  };
+  Result<CompiledRule> compiled = CompileRule(
+      "search PassauProviders p register p where p.serverPort > 5000",
+      schema_, ext_resolver, resolver);
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  const DecomposedRule& rule = compiled->decomposed;
+  bool found_external = false;
+  for (const AtomicRuleNode& node : rule.atoms) {
+    if (node.is_external) {
+      EXPECT_EQ(node.external_rule_id, 42);
+      EXPECT_EQ(node.type, "CycleProvider");
+      found_external = true;
+    }
+  }
+  EXPECT_TRUE(found_external);
+  // Root joins the external input with the serverPort triggering rule.
+  EXPECT_EQ(rule.root_node().kind, AtomicRuleKind::kJoin);
+}
+
+TEST_F(DecomposerTest, CartesianProductRejected) {
+  EXPECT_EQ(Decompose("search CycleProvider a, CycleProvider b register a")
+                .status()
+                .code(),
+            StatusCode::kUnsupported);
+}
+
+TEST_F(DecomposerTest, SelfJoinOnSameVariableAllowed) {
+  rdf::RdfSchema schema;
+  ASSERT_TRUE(schema
+                  .AddClass(rdf::ClassBuilder("C")
+                                .Literal("a")
+                                .Literal("b")
+                                .Build())
+                  .ok());
+  Result<CompiledRule> compiled =
+      CompileRule("search C c register c where c.a = c.b", schema);
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  const AtomicRuleNode& root = compiled->decomposed.root_node();
+  EXPECT_EQ(root.kind, AtomicRuleKind::kJoin);
+  EXPECT_EQ(root.left_child, root.right_child);
+}
+
+}  // namespace
+}  // namespace mdv::rules

@@ -1,0 +1,113 @@
+#include "rules/evaluator.h"
+
+#include <gtest/gtest.h>
+
+namespace mdv::rules {
+namespace {
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  EvaluatorTest() : schema_(rdf::MakeObjectGlobeSchema()) {
+    AddProvider("a.rdf", "pirates.uni-passau.de", 92, 600);
+    AddProvider("b.rdf", "tum.de", 32, 2000);
+    AddProvider("c.rdf", "big.uni-passau.de", 512, 1200);
+  }
+
+  void AddProvider(const std::string& uri, const std::string& host,
+                   int memory, int cpu) {
+    rdf::Resource info("info", "ServerInformation");
+    info.AddProperty("memory",
+                     rdf::PropertyValue::Literal(std::to_string(memory)));
+    info.AddProperty("cpu", rdf::PropertyValue::Literal(std::to_string(cpu)));
+    rdf::Resource provider("host", "CycleProvider");
+    provider.AddProperty("serverHost", rdf::PropertyValue::Literal(host));
+    provider.AddProperty("serverInformation",
+                         rdf::PropertyValue::ResourceRef(uri + "#info"));
+    owned_.push_back(std::make_unique<rdf::Resource>(std::move(info)));
+    resources_[uri + "#info"] = owned_.back().get();
+    owned_.push_back(std::make_unique<rdf::Resource>(std::move(provider)));
+    resources_[uri + "#host"] = owned_.back().get();
+  }
+
+  std::vector<std::string> Eval(const std::string& text) {
+    Result<std::vector<std::string>> result =
+        EvaluateRuleText(text, schema_, resources_);
+    EXPECT_TRUE(result.ok()) << text << " -> " << result.status();
+    return result.ok() ? *result : std::vector<std::string>{};
+  }
+
+  rdf::RdfSchema schema_;
+  std::vector<std::unique_ptr<rdf::Resource>> owned_;
+  ResourceMap resources_;
+};
+
+TEST_F(EvaluatorTest, ClassOnlyRule) {
+  EXPECT_EQ(Eval("search CycleProvider c register c").size(), 3u);
+  EXPECT_EQ(Eval("search ServerInformation s register s").size(), 3u);
+}
+
+TEST_F(EvaluatorTest, TriggeringStylePredicates) {
+  EXPECT_EQ(Eval("search CycleProvider c register c "
+                 "where c.serverHost contains 'uni-passau.de'"),
+            (std::vector<std::string>{"a.rdf#host", "c.rdf#host"}));
+  EXPECT_EQ(Eval("search ServerInformation s register s where s.memory > 64"),
+            (std::vector<std::string>{"a.rdf#info", "c.rdf#info"}));
+  EXPECT_EQ(Eval("search CycleProvider c register c "
+                 "where c = 'b.rdf#host'"),
+            (std::vector<std::string>{"b.rdf#host"}));
+}
+
+TEST_F(EvaluatorTest, PathPredicateJoinsThroughReference) {
+  EXPECT_EQ(Eval("search CycleProvider c register c "
+                 "where c.serverInformation.memory > 64"),
+            (std::vector<std::string>{"a.rdf#host", "c.rdf#host"}));
+  EXPECT_EQ(Eval("search CycleProvider c register c "
+                 "where c.serverInformation.memory > 64 "
+                 "and c.serverInformation.cpu > 1000"),
+            (std::vector<std::string>{"c.rdf#host"}));
+}
+
+TEST_F(EvaluatorTest, ExplicitJoinVariables) {
+  EXPECT_EQ(Eval("search CycleProvider c, ServerInformation s register s "
+                 "where c.serverInformation = s "
+                 "and c.serverHost contains 'tum'"),
+            (std::vector<std::string>{"b.rdf#info"}));
+}
+
+TEST_F(EvaluatorTest, EmptyResultIsEmpty) {
+  EXPECT_TRUE(Eval("search CycleProvider c register c "
+                   "where c.serverInformation.memory > 100000")
+                  .empty());
+}
+
+TEST_F(EvaluatorTest, DuplicateBindingsDeduplicate) {
+  // Two different s bindings can register the same c; dedup must apply.
+  EXPECT_EQ(Eval("search CycleProvider c, ServerInformation s register c "
+                 "where s.memory > 0")
+                .size(),
+            3u);
+}
+
+TEST_F(EvaluatorTest, RuleExtensionsRejected) {
+  AnalyzedRule fake;
+  fake.ast.search.push_back(SearchEntry{"X", "x"});
+  fake.ast.register_variable = "x";
+  fake.variable_class["x"] = "CycleProvider";
+  fake.variable_is_rule_extension["x"] = true;
+  EXPECT_EQ(EvaluateRule(fake, resources_).status().code(),
+            StatusCode::kUnsupported);
+}
+
+TEST(CompareValueTextsTest, NumericReconversion) {
+  EXPECT_TRUE(CompareValueTexts("92", rdbms::CompareOp::kGt, "64"));
+  EXPECT_FALSE(CompareValueTexts("100", rdbms::CompareOp::kLt, "64"));
+  // Both non-numeric: lexicographic.
+  EXPECT_TRUE(CompareValueTexts("abc", rdbms::CompareOp::kLt, "abd"));
+  // Mixed: falls back to the engine's canonical ordering.
+  EXPECT_TRUE(CompareValueTexts("x", rdbms::CompareOp::kNe, "92"));
+  EXPECT_TRUE(
+      CompareValueTexts("a.uni.de", rdbms::CompareOp::kContains, "uni"));
+}
+
+}  // namespace
+}  // namespace mdv::rules

@@ -1,0 +1,87 @@
+#include "rules/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace mdv::rules {
+namespace {
+
+std::vector<TokenKind> Kinds(const std::vector<Token>& tokens) {
+  std::vector<TokenKind> kinds;
+  for (const Token& t : tokens) kinds.push_back(t.kind);
+  return kinds;
+}
+
+TEST(LexerTest, TokenizesExampleRule) {
+  Result<std::vector<Token>> tokens = Tokenize(
+      "search CycleProvider c register c "
+      "where c.serverHost contains 'uni-passau.de' "
+      "and c.serverInformation.memory > 64");
+  ASSERT_TRUE(tokens.ok()) << tokens.status();
+  EXPECT_EQ(Kinds(*tokens),
+            (std::vector<TokenKind>{
+                TokenKind::kKeywordSearch, TokenKind::kIdentifier,
+                TokenKind::kIdentifier, TokenKind::kKeywordRegister,
+                TokenKind::kIdentifier, TokenKind::kKeywordWhere,
+                TokenKind::kIdentifier, TokenKind::kDot,
+                TokenKind::kIdentifier, TokenKind::kKeywordContains,
+                TokenKind::kString, TokenKind::kKeywordAnd,
+                TokenKind::kIdentifier, TokenKind::kDot,
+                TokenKind::kIdentifier, TokenKind::kDot,
+                TokenKind::kIdentifier, TokenKind::kGt, TokenKind::kNumber,
+                TokenKind::kEnd}));
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  Result<std::vector<Token>> tokens = Tokenize("SEARCH X x REGISTER x");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kKeywordSearch);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kKeywordRegister);
+}
+
+TEST(LexerTest, AllComparisonOperators) {
+  Result<std::vector<Token>> tokens = Tokenize("= != < <= > >= ? . ,");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(Kinds(*tokens),
+            (std::vector<TokenKind>{
+                TokenKind::kEq, TokenKind::kNe, TokenKind::kLt,
+                TokenKind::kLe, TokenKind::kGt, TokenKind::kGe,
+                TokenKind::kQuestion, TokenKind::kDot, TokenKind::kComma,
+                TokenKind::kEnd}));
+}
+
+TEST(LexerTest, NumbersIncludingNegativeAndDecimal) {
+  Result<std::vector<Token>> tokens = Tokenize("64 -2 3.5");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].number, 64.0);
+  EXPECT_EQ((*tokens)[1].number, -2.0);
+  EXPECT_EQ((*tokens)[2].number, 3.5);
+}
+
+TEST(LexerTest, StringEscapes) {
+  Result<std::vector<Token>> tokens = Tokenize("'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_EQ(Tokenize("'oops").status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, BangWithoutEqualsFails) {
+  EXPECT_EQ(Tokenize("a ! b").status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, UnknownCharacterFails) {
+  EXPECT_EQ(Tokenize("a $ b").status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, IdentifiersMayCarryUriCharacters) {
+  // URI-ish identifiers (with # and /) stay one token.
+  Result<std::vector<Token>> tokens = Tokenize("rdf#subject a/b");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "rdf#subject");
+  EXPECT_EQ((*tokens)[1].text, "a/b");
+}
+
+}  // namespace
+}  // namespace mdv::rules

@@ -1,0 +1,133 @@
+#include "rules/normalizer.h"
+
+#include <gtest/gtest.h>
+
+#include "rules/parser.h"
+
+namespace mdv::rules {
+namespace {
+
+class NormalizerTest : public ::testing::Test {
+ protected:
+  NormalizerTest() : schema_(rdf::MakeObjectGlobeSchema()) {}
+
+  Result<AnalyzedRule> Normalize(const std::string& text) {
+    Result<RuleAst> ast = ParseRule(text);
+    if (!ast.ok()) return ast.status();
+    Result<AnalyzedRule> analyzed = AnalyzeRule(*ast, schema_);
+    if (!analyzed.ok()) return analyzed.status();
+    return NormalizeRule(*analyzed, schema_);
+  }
+
+  rdf::RdfSchema schema_;
+};
+
+size_t MaxPathLength(const AnalyzedRule& rule) {
+  size_t max_len = 0;
+  for (const PredicateExpr& pred : rule.ast.where) {
+    if (pred.lhs.is_path()) {
+      max_len = std::max(max_len, pred.lhs.path.steps.size());
+    }
+    if (pred.rhs.is_path()) {
+      max_len = std::max(max_len, pred.rhs.path.steps.size());
+    }
+  }
+  return max_len;
+}
+
+TEST_F(NormalizerTest, SplitsPathExpressions) {
+  // §3.3's example: the Example 1 rule normalizes to a two-variable rule
+  // with a reference join.
+  Result<AnalyzedRule> rule = Normalize(
+      "search CycleProvider c register c "
+      "where c.serverHost contains 'uni-passau.de' "
+      "and c.serverInformation.memory > 64");
+  ASSERT_TRUE(rule.ok()) << rule.status();
+  ASSERT_EQ(rule->ast.search.size(), 2u);
+  EXPECT_EQ(rule->ast.search[1].extension, "ServerInformation");
+  EXPECT_LE(MaxPathLength(*rule), 1u);
+
+  // One of the predicates must be the introduced reference join.
+  bool found_join = false;
+  for (const PredicateExpr& pred : rule->ast.where) {
+    if (pred.lhs.is_path() && pred.rhs.is_path() &&
+        pred.rhs.path.IsBareVariable() &&
+        !pred.lhs.path.IsBareVariable() &&
+        pred.lhs.path.steps[0].property == "serverInformation") {
+      found_join = true;
+    }
+  }
+  EXPECT_TRUE(found_join);
+}
+
+TEST_F(NormalizerTest, SharedPrefixUsesOneAuxiliaryVariable) {
+  // §3.3.1: memory and cpu under the same reference bind to the same s.
+  Result<AnalyzedRule> rule = Normalize(
+      "search CycleProvider c register c "
+      "where c.serverInformation.memory > 64 "
+      "and c.serverInformation.cpu > 500");
+  ASSERT_TRUE(rule.ok()) << rule.status();
+  EXPECT_EQ(rule->ast.search.size(), 2u);  // c plus one auxiliary.
+  // Exactly one introduced join predicate.
+  int joins = 0;
+  for (const PredicateExpr& pred : rule->ast.where) {
+    if (pred.lhs.is_path() && pred.rhs.is_path()) ++joins;
+  }
+  EXPECT_EQ(joins, 1);
+  EXPECT_EQ(rule->ast.where.size(), 3u);
+}
+
+TEST_F(NormalizerTest, AlreadyNormalizedRuleUnchanged) {
+  const std::string text =
+      "search CycleProvider c, ServerInformation s register c "
+      "where c.serverInformation = s and s.memory > 64";
+  Result<AnalyzedRule> rule = Normalize(text);
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->ast.search.size(), 2u);
+  EXPECT_EQ(rule->ast.where.size(), 2u);
+}
+
+TEST_F(NormalizerTest, ConstantsMoveToTheRight) {
+  Result<AnalyzedRule> rule =
+      Normalize("search CycleProvider c register c where 64 < c.serverPort");
+  ASSERT_TRUE(rule.ok()) << rule.status();
+  ASSERT_EQ(rule->ast.where.size(), 1u);
+  EXPECT_TRUE(rule->ast.where[0].lhs.is_path());
+  EXPECT_TRUE(rule->ast.where[0].rhs.is_constant());
+  EXPECT_EQ(rule->ast.where[0].op, rdbms::CompareOp::kGt);  // Flipped.
+}
+
+TEST_F(NormalizerTest, AuxiliaryVariableNamesAvoidCollisions) {
+  Result<AnalyzedRule> rule = Normalize(
+      "search CycleProvider _v1 register _v1 "
+      "where _v1.serverInformation.memory > 64");
+  ASSERT_TRUE(rule.ok()) << rule.status();
+  ASSERT_EQ(rule->ast.search.size(), 2u);
+  EXPECT_NE(rule->ast.search[1].variable, "_v1");
+}
+
+TEST_F(NormalizerTest, BothSidesSplit) {
+  rdf::RdfSchema schema;
+  ASSERT_TRUE(schema
+                  .AddClass(rdf::ClassBuilder("Info")
+                                .Literal("value")
+                                .Build())
+                  .ok());
+  ASSERT_TRUE(schema
+                  .AddClass(rdf::ClassBuilder("Node")
+                                .WeakRef("info", "Info")
+                                .Build())
+                  .ok());
+  Result<RuleAst> ast = ParseRule(
+      "search Node a, Node b register a where a.info.value = b.info.value");
+  ASSERT_TRUE(ast.ok());
+  Result<AnalyzedRule> analyzed = AnalyzeRule(*ast, schema);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status();
+  Result<AnalyzedRule> rule = NormalizeRule(*analyzed, schema);
+  ASSERT_TRUE(rule.ok()) << rule.status();
+  EXPECT_EQ(rule->ast.search.size(), 4u);  // a, b plus two auxiliaries.
+  EXPECT_LE(MaxPathLength(*rule), 1u);
+}
+
+}  // namespace
+}  // namespace mdv::rules

@@ -1,0 +1,99 @@
+#include "rules/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace mdv::rules {
+namespace {
+
+TEST(RuleParserTest, ParsesExample1) {
+  // Example 1 of the paper.
+  Result<RuleAst> rule = ParseRule(
+      "search CycleProvider c register c "
+      "where c.serverHost contains 'uni-passau.de' "
+      "and c.serverInformation.memory > 64");
+  ASSERT_TRUE(rule.ok()) << rule.status();
+  ASSERT_EQ(rule->search.size(), 1u);
+  EXPECT_EQ(rule->search[0].extension, "CycleProvider");
+  EXPECT_EQ(rule->search[0].variable, "c");
+  EXPECT_EQ(rule->register_variable, "c");
+  ASSERT_EQ(rule->where.size(), 2u);
+
+  EXPECT_EQ(rule->where[0].op, rdbms::CompareOp::kContains);
+  EXPECT_EQ(rule->where[0].lhs.path.variable, "c");
+  ASSERT_EQ(rule->where[0].lhs.path.steps.size(), 1u);
+  EXPECT_EQ(rule->where[0].lhs.path.steps[0].property, "serverHost");
+  EXPECT_EQ(rule->where[0].rhs.kind, Operand::Kind::kString);
+  EXPECT_EQ(rule->where[0].rhs.text, "uni-passau.de");
+
+  EXPECT_EQ(rule->where[1].op, rdbms::CompareOp::kGt);
+  ASSERT_EQ(rule->where[1].lhs.path.steps.size(), 2u);
+  EXPECT_EQ(rule->where[1].rhs.kind, Operand::Kind::kNumber);
+  EXPECT_EQ(rule->where[1].rhs.number, 64.0);
+}
+
+TEST(RuleParserTest, MultipleSearchEntries) {
+  Result<RuleAst> rule = ParseRule(
+      "search CycleProvider c, ServerInformation s register c "
+      "where c.serverInformation = s and s.memory > 64");
+  ASSERT_TRUE(rule.ok()) << rule.status();
+  ASSERT_EQ(rule->search.size(), 2u);
+  EXPECT_EQ(rule->search[1].extension, "ServerInformation");
+  EXPECT_EQ(rule->search[1].variable, "s");
+  // Join predicate: path = bare variable.
+  EXPECT_TRUE(rule->where[0].rhs.path.IsBareVariable());
+}
+
+TEST(RuleParserTest, RuleWithoutWhere) {
+  Result<RuleAst> rule = ParseRule("search CycleProvider c register c");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_TRUE(rule->where.empty());
+}
+
+TEST(RuleParserTest, AnyOperator) {
+  Result<RuleAst> rule =
+      ParseRule("search C c register c where c.tags? = 'x'");
+  ASSERT_TRUE(rule.ok()) << rule.status();
+  EXPECT_TRUE(rule->where[0].lhs.path.steps[0].any);
+}
+
+TEST(RuleParserTest, ConstantOnLeft) {
+  Result<RuleAst> rule =
+      ParseRule("search C c register c where 64 < c.memory");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->where[0].lhs.kind, Operand::Kind::kNumber);
+  EXPECT_EQ(rule->where[0].op, rdbms::CompareOp::kLt);
+}
+
+TEST(RuleParserTest, ToStringRoundTrips) {
+  const std::string text =
+      "search CycleProvider c, ServerInformation s register c "
+      "where c.serverInformation = s and s.memory > 64";
+  Result<RuleAst> rule = ParseRule(text);
+  ASSERT_TRUE(rule.ok());
+  Result<RuleAst> reparsed = ParseRule(rule->ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->ToString(), rule->ToString());
+}
+
+TEST(RuleParserTest, SyntaxErrors) {
+  EXPECT_FALSE(ParseRule("").ok());
+  EXPECT_FALSE(ParseRule("search register c").ok());
+  EXPECT_FALSE(ParseRule("search C c").ok());  // Missing register.
+  EXPECT_FALSE(ParseRule("search C c register").ok());
+  EXPECT_FALSE(ParseRule("search C c register c where").ok());
+  EXPECT_FALSE(ParseRule("search C c register c where c =").ok());
+  EXPECT_FALSE(ParseRule("search C c register c where c ~ 1").ok());
+  EXPECT_FALSE(ParseRule("search C c register c extra").ok());
+  EXPECT_FALSE(ParseRule("search C c register c where c. = 1").ok());
+  EXPECT_FALSE(ParseRule("search C c, register c").ok());
+}
+
+TEST(RuleParserTest, WhereChainOfAnds) {
+  Result<RuleAst> rule = ParseRule(
+      "search C c register c where c.a = 1 and c.b = 2 and c.d = 3");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->where.size(), 3u);
+}
+
+}  // namespace
+}  // namespace mdv::rules
