@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_graph_merge.dir/ablation_graph_merge.cc.o"
+  "CMakeFiles/ablation_graph_merge.dir/ablation_graph_merge.cc.o.d"
+  "ablation_graph_merge"
+  "ablation_graph_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_graph_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rule_groups.dir/ablation_rule_groups.cc.o"
+  "CMakeFiles/ablation_rule_groups.dir/ablation_rule_groups.cc.o.d"
+  "ablation_rule_groups"
+  "ablation_rule_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rule_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_oid.dir/fig11_oid.cc.o"
+  "CMakeFiles/fig11_oid.dir/fig11_oid.cc.o.d"
+  "fig11_oid"
+  "fig11_oid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_oid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

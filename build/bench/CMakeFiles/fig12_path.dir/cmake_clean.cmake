@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_path.dir/fig12_path.cc.o"
+  "CMakeFiles/fig12_path.dir/fig12_path.cc.o.d"
+  "fig12_path"
+  "fig12_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_comp.dir/fig13_comp.cc.o"
+  "CMakeFiles/fig13_comp.dir/fig13_comp.cc.o.d"
+  "fig13_comp"
+  "fig13_comp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_comp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

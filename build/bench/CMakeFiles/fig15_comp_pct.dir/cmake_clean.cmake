@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_comp_pct.dir/fig15_comp_pct.cc.o"
+  "CMakeFiles/fig15_comp_pct.dir/fig15_comp_pct.cc.o.d"
+  "fig15_comp_pct"
+  "fig15_comp_pct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_comp_pct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_rdbms.dir/micro_rdbms.cc.o"
+  "CMakeFiles/micro_rdbms.dir/micro_rdbms.cc.o.d"
+  "micro_rdbms"
+  "micro_rdbms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_rdbms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_rules.dir/micro_rules.cc.o"
+  "CMakeFiles/micro_rules.dir/micro_rules.cc.o.d"
+  "micro_rules"
+  "micro_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

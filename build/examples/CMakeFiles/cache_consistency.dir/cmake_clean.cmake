@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_consistency.dir/cache_consistency.cpp.o"
+  "CMakeFiles/cache_consistency.dir/cache_consistency.cpp.o.d"
+  "cache_consistency"
+  "cache_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

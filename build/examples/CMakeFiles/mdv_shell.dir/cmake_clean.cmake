@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdv_shell.dir/mdv_shell.cpp.o"
+  "CMakeFiles/mdv_shell.dir/mdv_shell.cpp.o.d"
+  "mdv_shell"
+  "mdv_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdv_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objectglobe_marketplace.dir/objectglobe_marketplace.cpp.o"
+  "CMakeFiles/objectglobe_marketplace.dir/objectglobe_marketplace.cpp.o.d"
+  "objectglobe_marketplace"
+  "objectglobe_marketplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objectglobe_marketplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

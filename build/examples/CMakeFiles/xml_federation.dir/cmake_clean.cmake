@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_federation.dir/xml_federation.cpp.o"
+  "CMakeFiles/xml_federation.dir/xml_federation.cpp.o.d"
+  "xml_federation"
+  "xml_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdv_bench_support.dir/workload.cc.o"
+  "CMakeFiles/mdv_bench_support.dir/workload.cc.o.d"
+  "libmdv_bench_support.a"
+  "libmdv_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdv_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmdv_bench_support.a"
+)

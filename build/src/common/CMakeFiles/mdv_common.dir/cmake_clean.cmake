@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdv_common.dir/logging.cc.o"
+  "CMakeFiles/mdv_common.dir/logging.cc.o.d"
+  "CMakeFiles/mdv_common.dir/status.cc.o"
+  "CMakeFiles/mdv_common.dir/status.cc.o.d"
+  "CMakeFiles/mdv_common.dir/string_util.cc.o"
+  "CMakeFiles/mdv_common.dir/string_util.cc.o.d"
+  "libmdv_common.a"
+  "libmdv_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdv_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

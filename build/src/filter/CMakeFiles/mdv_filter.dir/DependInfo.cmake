@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/filter/data_store.cc" "src/filter/CMakeFiles/mdv_filter.dir/data_store.cc.o" "gcc" "src/filter/CMakeFiles/mdv_filter.dir/data_store.cc.o.d"
+  "/root/repo/src/filter/engine.cc" "src/filter/CMakeFiles/mdv_filter.dir/engine.cc.o" "gcc" "src/filter/CMakeFiles/mdv_filter.dir/engine.cc.o.d"
+  "/root/repo/src/filter/rule_store.cc" "src/filter/CMakeFiles/mdv_filter.dir/rule_store.cc.o" "gcc" "src/filter/CMakeFiles/mdv_filter.dir/rule_store.cc.o.d"
+  "/root/repo/src/filter/tables.cc" "src/filter/CMakeFiles/mdv_filter.dir/tables.cc.o" "gcc" "src/filter/CMakeFiles/mdv_filter.dir/tables.cc.o.d"
+  "/root/repo/src/filter/update_protocol.cc" "src/filter/CMakeFiles/mdv_filter.dir/update_protocol.cc.o" "gcc" "src/filter/CMakeFiles/mdv_filter.dir/update_protocol.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mdv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdbms/CMakeFiles/mdv_rdbms.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/mdv_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/mdv_rules.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdv_filter.dir/data_store.cc.o"
+  "CMakeFiles/mdv_filter.dir/data_store.cc.o.d"
+  "CMakeFiles/mdv_filter.dir/engine.cc.o"
+  "CMakeFiles/mdv_filter.dir/engine.cc.o.d"
+  "CMakeFiles/mdv_filter.dir/rule_store.cc.o"
+  "CMakeFiles/mdv_filter.dir/rule_store.cc.o.d"
+  "CMakeFiles/mdv_filter.dir/tables.cc.o"
+  "CMakeFiles/mdv_filter.dir/tables.cc.o.d"
+  "CMakeFiles/mdv_filter.dir/update_protocol.cc.o"
+  "CMakeFiles/mdv_filter.dir/update_protocol.cc.o.d"
+  "libmdv_filter.a"
+  "libmdv_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdv_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mdv/document_store.cc" "src/mdv/CMakeFiles/mdv_mdv.dir/document_store.cc.o" "gcc" "src/mdv/CMakeFiles/mdv_mdv.dir/document_store.cc.o.d"
+  "/root/repo/src/mdv/lmr.cc" "src/mdv/CMakeFiles/mdv_mdv.dir/lmr.cc.o" "gcc" "src/mdv/CMakeFiles/mdv_mdv.dir/lmr.cc.o.d"
+  "/root/repo/src/mdv/metadata_provider.cc" "src/mdv/CMakeFiles/mdv_mdv.dir/metadata_provider.cc.o" "gcc" "src/mdv/CMakeFiles/mdv_mdv.dir/metadata_provider.cc.o.d"
+  "/root/repo/src/mdv/network.cc" "src/mdv/CMakeFiles/mdv_mdv.dir/network.cc.o" "gcc" "src/mdv/CMakeFiles/mdv_mdv.dir/network.cc.o.d"
+  "/root/repo/src/mdv/system.cc" "src/mdv/CMakeFiles/mdv_mdv.dir/system.cc.o" "gcc" "src/mdv/CMakeFiles/mdv_mdv.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mdv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdbms/CMakeFiles/mdv_rdbms.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/mdv_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/mdv_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/mdv_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/mdv_pubsub.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdv_mdv.dir/document_store.cc.o"
+  "CMakeFiles/mdv_mdv.dir/document_store.cc.o.d"
+  "CMakeFiles/mdv_mdv.dir/lmr.cc.o"
+  "CMakeFiles/mdv_mdv.dir/lmr.cc.o.d"
+  "CMakeFiles/mdv_mdv.dir/metadata_provider.cc.o"
+  "CMakeFiles/mdv_mdv.dir/metadata_provider.cc.o.d"
+  "CMakeFiles/mdv_mdv.dir/network.cc.o"
+  "CMakeFiles/mdv_mdv.dir/network.cc.o.d"
+  "CMakeFiles/mdv_mdv.dir/system.cc.o"
+  "CMakeFiles/mdv_mdv.dir/system.cc.o.d"
+  "libmdv_mdv.a"
+  "libmdv_mdv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdv_mdv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdv_pubsub.dir/publisher.cc.o"
+  "CMakeFiles/mdv_pubsub.dir/publisher.cc.o.d"
+  "CMakeFiles/mdv_pubsub.dir/subscription.cc.o"
+  "CMakeFiles/mdv_pubsub.dir/subscription.cc.o.d"
+  "libmdv_pubsub.a"
+  "libmdv_pubsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdv_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

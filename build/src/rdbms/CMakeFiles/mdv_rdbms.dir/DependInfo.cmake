@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdbms/database.cc" "src/rdbms/CMakeFiles/mdv_rdbms.dir/database.cc.o" "gcc" "src/rdbms/CMakeFiles/mdv_rdbms.dir/database.cc.o.d"
+  "/root/repo/src/rdbms/index.cc" "src/rdbms/CMakeFiles/mdv_rdbms.dir/index.cc.o" "gcc" "src/rdbms/CMakeFiles/mdv_rdbms.dir/index.cc.o.d"
+  "/root/repo/src/rdbms/persistence.cc" "src/rdbms/CMakeFiles/mdv_rdbms.dir/persistence.cc.o" "gcc" "src/rdbms/CMakeFiles/mdv_rdbms.dir/persistence.cc.o.d"
+  "/root/repo/src/rdbms/predicate.cc" "src/rdbms/CMakeFiles/mdv_rdbms.dir/predicate.cc.o" "gcc" "src/rdbms/CMakeFiles/mdv_rdbms.dir/predicate.cc.o.d"
+  "/root/repo/src/rdbms/query.cc" "src/rdbms/CMakeFiles/mdv_rdbms.dir/query.cc.o" "gcc" "src/rdbms/CMakeFiles/mdv_rdbms.dir/query.cc.o.d"
+  "/root/repo/src/rdbms/schema.cc" "src/rdbms/CMakeFiles/mdv_rdbms.dir/schema.cc.o" "gcc" "src/rdbms/CMakeFiles/mdv_rdbms.dir/schema.cc.o.d"
+  "/root/repo/src/rdbms/sql.cc" "src/rdbms/CMakeFiles/mdv_rdbms.dir/sql.cc.o" "gcc" "src/rdbms/CMakeFiles/mdv_rdbms.dir/sql.cc.o.d"
+  "/root/repo/src/rdbms/table.cc" "src/rdbms/CMakeFiles/mdv_rdbms.dir/table.cc.o" "gcc" "src/rdbms/CMakeFiles/mdv_rdbms.dir/table.cc.o.d"
+  "/root/repo/src/rdbms/transaction.cc" "src/rdbms/CMakeFiles/mdv_rdbms.dir/transaction.cc.o" "gcc" "src/rdbms/CMakeFiles/mdv_rdbms.dir/transaction.cc.o.d"
+  "/root/repo/src/rdbms/value.cc" "src/rdbms/CMakeFiles/mdv_rdbms.dir/value.cc.o" "gcc" "src/rdbms/CMakeFiles/mdv_rdbms.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mdv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdv_rdbms.dir/database.cc.o"
+  "CMakeFiles/mdv_rdbms.dir/database.cc.o.d"
+  "CMakeFiles/mdv_rdbms.dir/index.cc.o"
+  "CMakeFiles/mdv_rdbms.dir/index.cc.o.d"
+  "CMakeFiles/mdv_rdbms.dir/persistence.cc.o"
+  "CMakeFiles/mdv_rdbms.dir/persistence.cc.o.d"
+  "CMakeFiles/mdv_rdbms.dir/predicate.cc.o"
+  "CMakeFiles/mdv_rdbms.dir/predicate.cc.o.d"
+  "CMakeFiles/mdv_rdbms.dir/query.cc.o"
+  "CMakeFiles/mdv_rdbms.dir/query.cc.o.d"
+  "CMakeFiles/mdv_rdbms.dir/schema.cc.o"
+  "CMakeFiles/mdv_rdbms.dir/schema.cc.o.d"
+  "CMakeFiles/mdv_rdbms.dir/sql.cc.o"
+  "CMakeFiles/mdv_rdbms.dir/sql.cc.o.d"
+  "CMakeFiles/mdv_rdbms.dir/table.cc.o"
+  "CMakeFiles/mdv_rdbms.dir/table.cc.o.d"
+  "CMakeFiles/mdv_rdbms.dir/transaction.cc.o"
+  "CMakeFiles/mdv_rdbms.dir/transaction.cc.o.d"
+  "CMakeFiles/mdv_rdbms.dir/value.cc.o"
+  "CMakeFiles/mdv_rdbms.dir/value.cc.o.d"
+  "libmdv_rdbms.a"
+  "libmdv_rdbms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdv_rdbms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

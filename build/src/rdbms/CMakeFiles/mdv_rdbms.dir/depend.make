@@ -1,0 +1,2 @@
+# Empty dependencies file for mdv_rdbms.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdf/diff.cc" "src/rdf/CMakeFiles/mdv_rdf.dir/diff.cc.o" "gcc" "src/rdf/CMakeFiles/mdv_rdf.dir/diff.cc.o.d"
+  "/root/repo/src/rdf/document.cc" "src/rdf/CMakeFiles/mdv_rdf.dir/document.cc.o" "gcc" "src/rdf/CMakeFiles/mdv_rdf.dir/document.cc.o.d"
+  "/root/repo/src/rdf/parser.cc" "src/rdf/CMakeFiles/mdv_rdf.dir/parser.cc.o" "gcc" "src/rdf/CMakeFiles/mdv_rdf.dir/parser.cc.o.d"
+  "/root/repo/src/rdf/schema.cc" "src/rdf/CMakeFiles/mdv_rdf.dir/schema.cc.o" "gcc" "src/rdf/CMakeFiles/mdv_rdf.dir/schema.cc.o.d"
+  "/root/repo/src/rdf/term.cc" "src/rdf/CMakeFiles/mdv_rdf.dir/term.cc.o" "gcc" "src/rdf/CMakeFiles/mdv_rdf.dir/term.cc.o.d"
+  "/root/repo/src/rdf/writer.cc" "src/rdf/CMakeFiles/mdv_rdf.dir/writer.cc.o" "gcc" "src/rdf/CMakeFiles/mdv_rdf.dir/writer.cc.o.d"
+  "/root/repo/src/rdf/xml_import.cc" "src/rdf/CMakeFiles/mdv_rdf.dir/xml_import.cc.o" "gcc" "src/rdf/CMakeFiles/mdv_rdf.dir/xml_import.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mdv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

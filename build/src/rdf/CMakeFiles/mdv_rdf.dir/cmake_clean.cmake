@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdv_rdf.dir/diff.cc.o"
+  "CMakeFiles/mdv_rdf.dir/diff.cc.o.d"
+  "CMakeFiles/mdv_rdf.dir/document.cc.o"
+  "CMakeFiles/mdv_rdf.dir/document.cc.o.d"
+  "CMakeFiles/mdv_rdf.dir/parser.cc.o"
+  "CMakeFiles/mdv_rdf.dir/parser.cc.o.d"
+  "CMakeFiles/mdv_rdf.dir/schema.cc.o"
+  "CMakeFiles/mdv_rdf.dir/schema.cc.o.d"
+  "CMakeFiles/mdv_rdf.dir/term.cc.o"
+  "CMakeFiles/mdv_rdf.dir/term.cc.o.d"
+  "CMakeFiles/mdv_rdf.dir/writer.cc.o"
+  "CMakeFiles/mdv_rdf.dir/writer.cc.o.d"
+  "CMakeFiles/mdv_rdf.dir/xml_import.cc.o"
+  "CMakeFiles/mdv_rdf.dir/xml_import.cc.o.d"
+  "libmdv_rdf.a"
+  "libmdv_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdv_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rules/analyzer.cc" "src/rules/CMakeFiles/mdv_rules.dir/analyzer.cc.o" "gcc" "src/rules/CMakeFiles/mdv_rules.dir/analyzer.cc.o.d"
+  "/root/repo/src/rules/ast.cc" "src/rules/CMakeFiles/mdv_rules.dir/ast.cc.o" "gcc" "src/rules/CMakeFiles/mdv_rules.dir/ast.cc.o.d"
+  "/root/repo/src/rules/atomic_rule.cc" "src/rules/CMakeFiles/mdv_rules.dir/atomic_rule.cc.o" "gcc" "src/rules/CMakeFiles/mdv_rules.dir/atomic_rule.cc.o.d"
+  "/root/repo/src/rules/compiler.cc" "src/rules/CMakeFiles/mdv_rules.dir/compiler.cc.o" "gcc" "src/rules/CMakeFiles/mdv_rules.dir/compiler.cc.o.d"
+  "/root/repo/src/rules/decomposer.cc" "src/rules/CMakeFiles/mdv_rules.dir/decomposer.cc.o" "gcc" "src/rules/CMakeFiles/mdv_rules.dir/decomposer.cc.o.d"
+  "/root/repo/src/rules/evaluator.cc" "src/rules/CMakeFiles/mdv_rules.dir/evaluator.cc.o" "gcc" "src/rules/CMakeFiles/mdv_rules.dir/evaluator.cc.o.d"
+  "/root/repo/src/rules/lexer.cc" "src/rules/CMakeFiles/mdv_rules.dir/lexer.cc.o" "gcc" "src/rules/CMakeFiles/mdv_rules.dir/lexer.cc.o.d"
+  "/root/repo/src/rules/normalizer.cc" "src/rules/CMakeFiles/mdv_rules.dir/normalizer.cc.o" "gcc" "src/rules/CMakeFiles/mdv_rules.dir/normalizer.cc.o.d"
+  "/root/repo/src/rules/parser.cc" "src/rules/CMakeFiles/mdv_rules.dir/parser.cc.o" "gcc" "src/rules/CMakeFiles/mdv_rules.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mdv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdbms/CMakeFiles/mdv_rdbms.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/mdv_rdf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdv_rules.dir/analyzer.cc.o"
+  "CMakeFiles/mdv_rules.dir/analyzer.cc.o.d"
+  "CMakeFiles/mdv_rules.dir/ast.cc.o"
+  "CMakeFiles/mdv_rules.dir/ast.cc.o.d"
+  "CMakeFiles/mdv_rules.dir/atomic_rule.cc.o"
+  "CMakeFiles/mdv_rules.dir/atomic_rule.cc.o.d"
+  "CMakeFiles/mdv_rules.dir/compiler.cc.o"
+  "CMakeFiles/mdv_rules.dir/compiler.cc.o.d"
+  "CMakeFiles/mdv_rules.dir/decomposer.cc.o"
+  "CMakeFiles/mdv_rules.dir/decomposer.cc.o.d"
+  "CMakeFiles/mdv_rules.dir/evaluator.cc.o"
+  "CMakeFiles/mdv_rules.dir/evaluator.cc.o.d"
+  "CMakeFiles/mdv_rules.dir/lexer.cc.o"
+  "CMakeFiles/mdv_rules.dir/lexer.cc.o.d"
+  "CMakeFiles/mdv_rules.dir/normalizer.cc.o"
+  "CMakeFiles/mdv_rules.dir/normalizer.cc.o.d"
+  "CMakeFiles/mdv_rules.dir/parser.cc.o"
+  "CMakeFiles/mdv_rules.dir/parser.cc.o.d"
+  "libmdv_rules.a"
+  "libmdv_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdv_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

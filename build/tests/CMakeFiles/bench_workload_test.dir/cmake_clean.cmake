@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_workload_test.dir/bench_workload_test.cc.o"
+  "CMakeFiles/bench_workload_test.dir/bench_workload_test.cc.o.d"
+  "bench_workload_test"
+  "bench_workload_test.pdb"
+  "bench_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

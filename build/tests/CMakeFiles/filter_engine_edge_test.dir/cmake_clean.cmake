@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_engine_edge_test.dir/filter_engine_edge_test.cc.o"
+  "CMakeFiles/filter_engine_edge_test.dir/filter_engine_edge_test.cc.o.d"
+  "filter_engine_edge_test"
+  "filter_engine_edge_test.pdb"
+  "filter_engine_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_engine_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/filter_engine_test.cc" "tests/CMakeFiles/filter_engine_test.dir/filter_engine_test.cc.o" "gcc" "tests/CMakeFiles/filter_engine_test.dir/filter_engine_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mdv/CMakeFiles/mdv_mdv.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/mdv_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/mdv_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/mdv_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/mdv_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdbms/CMakeFiles/mdv_rdbms.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mdv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench_support/CMakeFiles/mdv_bench_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

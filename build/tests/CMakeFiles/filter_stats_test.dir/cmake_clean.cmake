@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_stats_test.dir/filter_stats_test.cc.o"
+  "CMakeFiles/filter_stats_test.dir/filter_stats_test.cc.o.d"
+  "filter_stats_test"
+  "filter_stats_test.pdb"
+  "filter_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

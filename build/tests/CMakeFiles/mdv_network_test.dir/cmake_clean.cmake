@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdv_network_test.dir/mdv_network_test.cc.o"
+  "CMakeFiles/mdv_network_test.dir/mdv_network_test.cc.o.d"
+  "mdv_network_test"
+  "mdv_network_test.pdb"
+  "mdv_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdv_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdv_property_test.dir/mdv_property_test.cc.o"
+  "CMakeFiles/mdv_property_test.dir/mdv_property_test.cc.o.d"
+  "mdv_property_test"
+  "mdv_property_test.pdb"
+  "mdv_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdv_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdv_sharing_test.dir/mdv_sharing_test.cc.o"
+  "CMakeFiles/mdv_sharing_test.dir/mdv_sharing_test.cc.o.d"
+  "mdv_sharing_test"
+  "mdv_sharing_test.pdb"
+  "mdv_sharing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdv_sharing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdv_snapshot_test.dir/mdv_snapshot_test.cc.o"
+  "CMakeFiles/mdv_snapshot_test.dir/mdv_snapshot_test.cc.o.d"
+  "mdv_snapshot_test"
+  "mdv_snapshot_test.pdb"
+  "mdv_snapshot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdv_snapshot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

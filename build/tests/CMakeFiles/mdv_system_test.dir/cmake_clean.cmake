@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdv_system_test.dir/mdv_system_test.cc.o"
+  "CMakeFiles/mdv_system_test.dir/mdv_system_test.cc.o.d"
+  "mdv_system_test"
+  "mdv_system_test.pdb"
+  "mdv_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdv_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdv_ttl_test.dir/mdv_ttl_test.cc.o"
+  "CMakeFiles/mdv_ttl_test.dir/mdv_ttl_test.cc.o.d"
+  "mdv_ttl_test"
+  "mdv_ttl_test.pdb"
+  "mdv_ttl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdv_ttl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

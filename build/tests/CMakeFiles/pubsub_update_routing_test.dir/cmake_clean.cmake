@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pubsub_update_routing_test.dir/pubsub_update_routing_test.cc.o"
+  "CMakeFiles/pubsub_update_routing_test.dir/pubsub_update_routing_test.cc.o.d"
+  "pubsub_update_routing_test"
+  "pubsub_update_routing_test.pdb"
+  "pubsub_update_routing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pubsub_update_routing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

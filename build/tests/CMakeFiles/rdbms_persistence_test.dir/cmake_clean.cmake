@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdbms_persistence_test.dir/rdbms_persistence_test.cc.o"
+  "CMakeFiles/rdbms_persistence_test.dir/rdbms_persistence_test.cc.o.d"
+  "rdbms_persistence_test"
+  "rdbms_persistence_test.pdb"
+  "rdbms_persistence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdbms_persistence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdbms_query_test.dir/rdbms_query_test.cc.o"
+  "CMakeFiles/rdbms_query_test.dir/rdbms_query_test.cc.o.d"
+  "rdbms_query_test"
+  "rdbms_query_test.pdb"
+  "rdbms_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdbms_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdbms_table_test.dir/rdbms_table_test.cc.o"
+  "CMakeFiles/rdbms_table_test.dir/rdbms_table_test.cc.o.d"
+  "rdbms_table_test"
+  "rdbms_table_test.pdb"
+  "rdbms_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdbms_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdbms_value_test.dir/rdbms_value_test.cc.o"
+  "CMakeFiles/rdbms_value_test.dir/rdbms_value_test.cc.o.d"
+  "rdbms_value_test"
+  "rdbms_value_test.pdb"
+  "rdbms_value_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdbms_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

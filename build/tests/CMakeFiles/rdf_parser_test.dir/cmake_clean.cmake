@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdf_parser_test.dir/rdf_parser_test.cc.o"
+  "CMakeFiles/rdf_parser_test.dir/rdf_parser_test.cc.o.d"
+  "rdf_parser_test"
+  "rdf_parser_test.pdb"
+  "rdf_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdf_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdf_xml_import_test.dir/rdf_xml_import_test.cc.o"
+  "CMakeFiles/rdf_xml_import_test.dir/rdf_xml_import_test.cc.o.d"
+  "rdf_xml_import_test"
+  "rdf_xml_import_test.pdb"
+  "rdf_xml_import_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdf_xml_import_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

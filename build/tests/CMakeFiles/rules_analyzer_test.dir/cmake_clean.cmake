@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rules_analyzer_test.dir/rules_analyzer_test.cc.o"
+  "CMakeFiles/rules_analyzer_test.dir/rules_analyzer_test.cc.o.d"
+  "rules_analyzer_test"
+  "rules_analyzer_test.pdb"
+  "rules_analyzer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rules_analyzer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rules_normalizer_test.dir/rules_normalizer_test.cc.o"
+  "CMakeFiles/rules_normalizer_test.dir/rules_normalizer_test.cc.o.d"
+  "rules_normalizer_test"
+  "rules_normalizer_test.pdb"
+  "rules_normalizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rules_normalizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rules_parser_test.dir/rules_parser_test.cc.o"
+  "CMakeFiles/rules_parser_test.dir/rules_parser_test.cc.o.d"
+  "rules_parser_test"
+  "rules_parser_test.pdb"
+  "rules_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rules_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
