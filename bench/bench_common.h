@@ -34,6 +34,65 @@ inline std::vector<size_t> BatchSizes() {
   return {1, 2, 5, 10, 20, 50, 100, 200};
 }
 
+/// One machine-readable benchmark data point. `extra` is a preformatted
+/// JSON fragment of additional fields (may be empty).
+struct BenchRecord {
+  std::string figure;
+  std::string series;
+  size_t batch_size = 0;
+  double value = 0.0;
+  std::string metric = "avg_registration_ms";
+  std::string extra;
+};
+
+/// Records collected by RunBatchSweep (and by custom harnesses) for the
+/// machine-readable output.
+inline std::vector<BenchRecord>& BenchRecords() {
+  static std::vector<BenchRecord>& records = *new std::vector<BenchRecord>();
+  return records;
+}
+
+/// Minimal JSON string escaping (quotes and backslashes; the recorded
+/// names are ASCII identifiers).
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// Writes every recorded data point as a JSON array. Figure binaries
+/// call this at exit with no default path, so output is produced only
+/// when MDV_BENCH_JSON names a file; dedicated harnesses pass a default
+/// (e.g. BENCH_filter.json) to always emit their trajectory file.
+inline void WriteBenchJson(const char* default_path = nullptr) {
+  const char* env = std::getenv("MDV_BENCH_JSON");
+  std::string path = env != nullptr ? env : (default_path ? default_path : "");
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "[\n");
+  const std::vector<BenchRecord>& records = BenchRecords();
+  for (size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    std::fprintf(f,
+                 "  {\"figure\": \"%s\", \"series\": \"%s\", "
+                 "\"batch_size\": %zu, \"metric\": \"%s\", \"value\": %.6f%s%s}%s\n",
+                 JsonEscape(r.figure).c_str(), JsonEscape(r.series).c_str(),
+                 r.batch_size, JsonEscape(r.metric).c_str(), r.value,
+                 r.extra.empty() ? "" : ", ", r.extra.c_str(),
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("# wrote %s (%zu records)\n", path.c_str(), records.size());
+}
+
 /// Aborts with a message on error statuses inside benchmarks.
 inline void BenchCheck(const Status& status, const char* what) {
   if (!status.ok()) {
@@ -89,9 +148,11 @@ inline void RunBatchSweep(const char* figure, const char* series,
     double ms = TimeMs([&] {
       BenchMust(fixture->RegisterDocumentBatch(docs), "register batch");
     });
-    std::printf("%s,%s,%zu,%.4f\n", figure, series, batch,
-                ms / static_cast<double>(batch));
+    double avg_ms = ms / static_cast<double>(batch);
+    std::printf("%s,%s,%zu,%.4f\n", figure, series, batch, avg_ms);
     std::fflush(stdout);
+    BenchRecords().push_back(
+        BenchRecord{figure, series, batch, avg_ms, "avg_registration_ms", ""});
   }
 }
 

@@ -25,5 +25,6 @@ int main() {
     std::string series = std::to_string(rule_base) + "_rules";
     RunBatchSweep("fig13", series.c_str(), &fixture, generator, &next_doc);
   }
+  WriteBenchJson();  // MDV_BENCH_JSON=path for machine-readable output.
   return 0;
 }

@@ -1,0 +1,108 @@
+// Initial-iteration access paths, fig12-15 style: N COMP rules on one
+// property (`c.synthValue > INT`, the worst case of Figures 13/15 — every
+// delta atom probes the whole per-property rule list in the seed scan
+// path), matched against a fixed document batch via
+//  - the predicate index (FilterOptions::use_predicate_index = true), and
+//  - the seed FilterRules table scan (use_predicate_index = false).
+//
+// COMP rules have no join rules, so FilterEngine::Run in probe mode
+// (update_materialized = false) measures exactly the initial iteration
+// plus the (identical in both modes) ResultObjects write. Results go to
+// stdout as CSV and to BENCH_filter.json (override with MDV_BENCH_JSON)
+// as the start of the perf trajectory.
+
+#include "bench_common.h"
+
+#include <cinttypes>
+
+#include "filter/data_store.h"
+
+int main() {
+  using namespace mdv::bench;
+  using mdv::bench_support::BenchRuleType;
+  using mdv::bench_support::FilterFixture;
+  using mdv::bench_support::WorkloadGenerator;
+  using mdv::filter::FilterOptions;
+  using mdv::filter::FilterRunResult;
+
+  std::printf("# filter_index: initial iteration, index vs table scan\n");
+  std::printf("# columns: figure,series,batch_size,ms_per_run\n");
+
+  const size_t kDocs = 10;
+  std::vector<size_t> rule_bases = FullScale()
+                                       ? std::vector<size_t>{1000, 10000,
+                                                             100000}
+                                       : std::vector<size_t>{1000, 10000};
+  for (size_t rule_base : rule_bases) {
+    WorkloadGenerator generator({BenchRuleType::kComp, rule_base, 0.1});
+    FilterFixture fixture;
+    RegisterRuleBase(&fixture, generator, rule_base);
+
+    // Insert the delta atoms once; the probe runs re-match them without
+    // touching MaterializedResults, so every repetition sees the same
+    // state.
+    mdv::rdf::Statements delta;
+    for (const mdv::rdf::RdfDocument& doc :
+         generator.MakeDocumentBatch(0, kDocs)) {
+      mdv::rdf::Statements atoms = doc.ToStatements();
+      delta.insert(delta.end(), atoms.begin(), atoms.end());
+    }
+    BenchCheck(mdv::filter::InsertAtoms(&fixture.db(), delta),
+               "insert atoms");
+
+    auto measure = [&](bool use_index, FilterRunResult* last) {
+      FilterOptions options;
+      options.update_materialized = false;
+      options.use_predicate_index = use_index;
+      // Warm up once, then repeat until the sample is long enough to
+      // trust (or 50 reps).
+      *last = BenchMust(fixture.engine().Run(delta, options), "warmup run");
+      double total_ms = 0.0;
+      int reps = 0;
+      while (reps < 50 && (reps < 3 || total_ms < 300.0)) {
+        total_ms += TimeMs([&] {
+          *last = BenchMust(fixture.engine().Run(delta, options), "run");
+        });
+        ++reps;
+      }
+      return total_ms / reps;
+    };
+
+    FilterRunResult indexed_result, scan_result;
+    double indexed_ms = measure(true, &indexed_result);
+    double scan_ms = measure(false, &scan_result);
+    double speedup = indexed_ms > 0.0 ? scan_ms / indexed_ms : 0.0;
+
+    std::string series = std::to_string(rule_base) + "_rules";
+    std::printf("filter_index,%s_indexed,%zu,%.4f\n", series.c_str(), kDocs,
+                indexed_ms);
+    std::printf("filter_index,%s_scan,%zu,%.4f\n", series.c_str(), kDocs,
+                scan_ms);
+    std::printf("filter_index,%s_speedup,%zu,%.2f\n", series.c_str(), kDocs,
+                speedup);
+    std::fflush(stdout);
+
+    char extra[256];
+    std::snprintf(extra, sizeof(extra),
+                  "\"rule_base\": %zu, \"index_probes\": %" PRId64
+                  ", \"index_hits\": %" PRId64,
+                  rule_base, indexed_result.stats.index_probes,
+                  indexed_result.stats.index_hits);
+    BenchRecords().push_back(BenchRecord{"filter_index", series + "_indexed",
+                                         kDocs, indexed_ms, "ms_per_run",
+                                         extra});
+    std::snprintf(extra, sizeof(extra),
+                  "\"rule_base\": %zu, \"scan_fallbacks\": %" PRId64,
+                  rule_base, scan_result.stats.scan_fallbacks);
+    BenchRecords().push_back(BenchRecord{"filter_index", series + "_scan",
+                                         kDocs, scan_ms, "ms_per_run",
+                                         extra});
+    std::snprintf(extra, sizeof(extra), "\"rule_base\": %zu", rule_base);
+    BenchRecords().push_back(BenchRecord{"filter_index", series + "_speedup",
+                                         kDocs, speedup, "scan_over_indexed",
+                                         extra});
+  }
+
+  WriteBenchJson("BENCH_filter.json");
+  return 0;
+}

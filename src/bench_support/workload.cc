@@ -110,14 +110,15 @@ Result<int64_t> FilterFixture::RegisterRule(const std::string& rule_text) {
 }
 
 Result<filter::FilterRunResult> FilterFixture::RegisterDocumentBatch(
-    const std::vector<rdf::RdfDocument>& documents) {
+    const std::vector<rdf::RdfDocument>& documents,
+    const filter::FilterOptions& options) {
   rdf::Statements delta;
   for (const rdf::RdfDocument& doc : documents) {
     rdf::Statements atoms = doc.ToStatements();
     delta.insert(delta.end(), atoms.begin(), atoms.end());
   }
   MDV_RETURN_IF_ERROR(filter::InsertAtoms(&db_, delta));
-  return engine_->Run(delta);
+  return engine_->Run(delta, options);
 }
 
 }  // namespace mdv::bench_support

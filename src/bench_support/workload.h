@@ -78,9 +78,11 @@ class FilterFixture {
   Result<int64_t> RegisterRule(const std::string& rule_text);
 
   /// Inserts the documents' atoms and runs the filter once over the
-  /// whole batch, as the §4 harness does.
+  /// whole batch, as the §4 harness does. `options` selects the access
+  /// path (predicate index vs table scan) for differential runs.
   Result<filter::FilterRunResult> RegisterDocumentBatch(
-      const std::vector<rdf::RdfDocument>& documents);
+      const std::vector<rdf::RdfDocument>& documents,
+      const filter::FilterOptions& options = filter::FilterOptions{});
 
   rdbms::Database& db() { return db_; }
   filter::RuleStore& store() { return *store_; }

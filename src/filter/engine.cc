@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <functional>
 #include <set>
+#include <unordered_set>
 
 #include "common/string_util.h"
+#include "filter/predicate_index.h"
 #include "filter/tables.h"
 #include "rdbms/table.h"
 #include "rdf/document.h"
@@ -22,45 +24,117 @@ using rdbms::Value;
 Value Int(int64_t v) { return Value(v); }
 Value Str(std::string s) { return Value(std::move(s)); }
 
-/// Compares two stored texts under `op`, numerically when both parse as
-/// numbers (the reconversion of §3.3.4), lexicographically otherwise.
-bool CompareTexts(const std::string& lhs, CompareOp op,
-                  const std::string& rhs) {
-  if (op == CompareOp::kContains) return Contains(lhs, rhs);
-  Value a{lhs};
-  Value b{rhs};
-  auto an = a.TryNumeric();
-  auto bn = b.TryNumeric();
-  if (an && bn) {
-    return rdbms::EvaluateCompare(Value(*an), op, Value(*bn));
+/// A comparison operand parsed once: its text plus the §3.3.4 numeric
+/// reconversion (nullopt when the text is not a number). Hot paths parse
+/// each rule constant and each delta-atom value a single time instead of
+/// once per compared pair.
+struct ParsedText {
+  explicit ParsedText(const std::string& t)
+      : text(t), num(Value{t}.TryNumeric()) {}
+
+  const std::string& text;
+  std::optional<double> num;
+};
+
+/// Compares two texts under `op`, numerically when both parse as numbers
+/// (the reconversion of §3.3.4), lexicographically otherwise.
+bool CompareParsed(const ParsedText& lhs, CompareOp op,
+                   const ParsedText& rhs) {
+  if (op == CompareOp::kContains) return Contains(lhs.text, rhs.text);
+  if (lhs.num && rhs.num) {
+    return rdbms::EvaluateCompare(Value(*lhs.num), op, Value(*rhs.num));
   }
-  return rdbms::EvaluateCompare(a, op, b);
+  return rdbms::EvaluateCompare(Value(lhs.text), op, Value(rhs.text));
 }
 
 /// Numeric comparison only; false when either side is not a number.
 /// Used for the ordered-operator rule tables, whose constants are
 /// numeric by construction (§3.3.4).
-bool CompareNumericTexts(const std::string& lhs, CompareOp op,
-                         const std::string& rhs) {
-  auto an = Value{lhs}.TryNumeric();
-  auto bn = Value{rhs}.TryNumeric();
-  if (!an || !bn) return false;
-  return rdbms::EvaluateCompare(Value(*an), op, Value(*bn));
+bool CompareParsedNumeric(const ParsedText& lhs, CompareOp op,
+                          const ParsedText& rhs) {
+  if (!lhs.num || !rhs.num) return false;
+  return rdbms::EvaluateCompare(Value(*lhs.num), op, Value(*rhs.num));
+}
+
+/// Convenience wrapper for cold paths comparing a pair once.
+bool CompareTexts(const std::string& lhs, CompareOp op,
+                  const std::string& rhs) {
+  return CompareParsed(ParsedText(lhs), op, ParsedText(rhs));
 }
 
 }  // namespace
 
 Status FilterEngine::MatchTriggeringRules(
-    const rdf::Statements& delta, std::map<int64_t, MatchSet>* current) const {
+    const rdf::Statements& delta, const FilterOptions& options,
+    FilterRunStats* stats, std::map<int64_t, MatchSet>* current) const {
+  if (options.use_predicate_index) {
+    return MatchTriggeringRulesIndexed(delta, stats, current);
+  }
+  return MatchTriggeringRulesScan(delta, stats, current);
+}
+
+Status FilterEngine::MatchTriggeringRulesIndexed(
+    const rdf::Statements& delta, FilterRunStats* stats,
+    std::map<int64_t, MatchSet>* current) const {
+  const PredicateIndex& index = store_->predicate_index();
+
+  // Group the delta atoms by (class, property) and by value within each
+  // group: every distinct (class, property) pays one bucket lookup and
+  // every distinct value one probe, however many atoms carry it (batch
+  // registrations repeat properties heavily). Subjects are referenced,
+  // not copied; `delta` outlives the match.
+  std::map<std::pair<std::string, std::string>,
+           std::map<std::string, std::vector<const std::string*>>>
+      groups;
+  for (const rdf::Statement& atom : delta) {
+    groups[{atom.subject_class, atom.predicate}][atom.object.text()]
+        .push_back(&atom.subject);
+  }
+
+  auto add = [&](int64_t rule_id, const std::string& uri) {
+    (*current)[rule_id].insert(uri);
+    ++stats->index_hits;
+  };
+
+  std::vector<int64_t> matched;
+  for (const auto& [key, subjects_by_text] : groups) {
+    const std::string& cls = key.first;
+    const std::string& prop = key.second;
+
+    // Predicate-less triggering rules match any resource of their class;
+    // drive them from the synthetic rdf#subject atom (one per resource).
+    if (prop == rdf::kRdfSubjectProperty) {
+      matched.clear();
+      index.MatchClass(cls, &matched);
+      if (!matched.empty()) {
+        for (const auto& [text, subjects] : subjects_by_text) {
+          for (const std::string* subject : subjects) {
+            for (int64_t rule_id : matched) add(rule_id, *subject);
+          }
+        }
+      }
+    }
+
+    const PredicateIndex::Bucket* bucket = index.FindBucket(cls, prop);
+    if (bucket == nullptr) continue;
+    for (const auto& [text, subjects] : subjects_by_text) {
+      ParsedText value(text);
+      matched.clear();
+      index.Match(*bucket, value.text, value.num, &matched);
+      ++stats->index_probes;
+      for (int64_t rule_id : matched) {
+        for (const std::string* subject : subjects) add(rule_id, *subject);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status FilterEngine::MatchTriggeringRulesScan(
+    const rdf::Statements& delta, FilterRunStats* stats,
+    std::map<int64_t, MatchSet>* current) const {
   const Table* cls_rules = db_->GetTable(kFilterRulesCLS);
   const Table* eqs = db_->GetTable(kFilterRulesEQS);
-  const Table* eqn = db_->GetTable(kFilterRulesEQN);
-  const Table* ne = db_->GetTable(kFilterRulesNE);
-  const Table* lt = db_->GetTable(kFilterRulesLT);
-  const Table* le = db_->GetTable(kFilterRulesLE);
-  const Table* gt = db_->GetTable(kFilterRulesGT);
-  const Table* ge = db_->GetTable(kFilterRulesGE);
-  const Table* con = db_->GetTable(kFilterRulesCON);
 
   auto add = [&](int64_t rule_id, const std::string& uri) {
     (*current)[rule_id].insert(uri);
@@ -70,6 +144,8 @@ Status FilterEngine::MatchTriggeringRules(
     const std::string& cls = atom.subject_class;
     const std::string& prop = atom.predicate;
     const std::string text = atom.object.text();
+    ParsedText value(text);
+    ++stats->scan_fallbacks;
 
     // Predicate-less triggering rules match any resource of their class;
     // drive them from the synthetic rdf#subject atom (one per resource).
@@ -96,40 +172,24 @@ Status FilterEngine::MatchTriggeringRules(
     // Operator tables are probed by property and the constant is
     // reconverted per row (§3.3.4) — their cost grows with the number of
     // rules on the same property (Figures 12-15).
-    auto probe = [&](const Table* table, CompareOp op, bool numeric_only) {
-      for (const Row& row : table->SelectRows(
+    for (const OperatorTableInfo& info : OperatorTableInfos()) {
+      if (std::string(info.table) == kFilterRulesEQS) continue;  // Above.
+      for (const Row& row : db_->GetTable(info.table)->SelectRows(
                {ScanCondition{FilterRulesCols::kProperty, CompareOp::kEq,
                               Str(prop)},
                 ScanCondition{FilterRulesCols::kClass, CompareOp::kEq,
                               Str(cls)}})) {
-        const std::string& constant =
-            row[FilterRulesCols::kValue].as_string();
-        bool matched = numeric_only ? CompareNumericTexts(text, op, constant)
-                                    : CompareTexts(text, op, constant);
+        ParsedText constant(row[FilterRulesCols::kValue].as_string());
+        bool matched = info.numeric_only
+                           ? CompareParsedNumeric(value, info.op, constant)
+                           : CompareParsed(value, info.op, constant);
         if (matched) {
           add(row[FilterRulesCols::kRuleId].as_int(), atom.subject);
         }
       }
-    };
-    probe(eqn, CompareOp::kEq, /*numeric_only=*/true);
-    probe(ne, CompareOp::kNe, /*numeric_only=*/false);
-    probe(lt, CompareOp::kLt, /*numeric_only=*/true);
-    probe(le, CompareOp::kLe, /*numeric_only=*/true);
-    probe(gt, CompareOp::kGt, /*numeric_only=*/true);
-    probe(ge, CompareOp::kGe, /*numeric_only=*/true);
-    probe(con, CompareOp::kContains, /*numeric_only=*/false);
+    }
   }
   return Status::OK();
-}
-
-bool FilterEngine::IsMaterialized(int64_t rule_id,
-                                  const std::string& uri) const {
-  const Table* mat = db_->GetTable(kMaterializedResults);
-  return !mat->SelectRowIds(
-              {ScanCondition{ResultCols::kUri, CompareOp::kEq, Str(uri)},
-               ScanCondition{ResultCols::kRuleId, CompareOp::kEq,
-                             Int(rule_id)}})
-              .empty();
 }
 
 std::vector<std::string> FilterEngine::MaterializedOf(int64_t rule_id) const {
@@ -176,26 +236,25 @@ std::vector<std::string> FilterEngine::PartnersByValue(
 Status FilterEngine::AppendMaterialized(int64_t rule_id,
                                         const std::vector<std::string>& uris) {
   Table* mat = db_->GetTable(kMaterializedResults);
+  std::vector<Row> rows;
+  rows.reserve(uris.size());
   for (const std::string& uri : uris) {
-    MDV_ASSIGN_OR_RETURN(rdbms::RowId ignored,
-                         mat->Insert({Str(uri), Int(rule_id)}));
-    (void)ignored;
+    rows.push_back({Str(uri), Int(rule_id)});
   }
-  return Status::OK();
+  return mat->InsertRows(std::move(rows));
 }
 
 Status FilterEngine::WriteResultObjects(
     const std::map<int64_t, MatchSet>& current) {
   Table* ro = db_->GetTable(kResultObjects);
   ro->Truncate();
+  std::vector<Row> rows;
   for (const auto& [rule_id, uris] : current) {
     for (const std::string& uri : uris) {
-      MDV_ASSIGN_OR_RETURN(rdbms::RowId ignored,
-                           ro->Insert({Str(uri), Int(rule_id)}));
-      (void)ignored;
+      rows.push_back({Str(uri), Int(rule_id)});
     }
   }
-  return Status::OK();
+  return ro->InsertRows(std::move(rows));
 }
 
 Result<FilterRunResult> FilterEngine::Run(const rdf::Statements& delta,
@@ -204,19 +263,48 @@ Result<FilterRunResult> FilterEngine::Run(const rdf::Statements& delta,
   result.stats.delta_atoms = static_cast<int64_t>(delta.size());
   std::map<int64_t, MatchSet> all_matches;
 
+  // Per-run snapshot of MaterializedResults, loaded once per affected
+  // rule (replacing a point query per (rule, uri) pair) and kept in sync
+  // with this run's own appends.
+  std::unordered_map<int64_t, MatchSet> materialized_cache;
+  auto materialized_of = [&](int64_t rule_id) -> const MatchSet& {
+    auto it = materialized_cache.find(rule_id);
+    if (it == materialized_cache.end()) {
+      std::vector<std::string> uris = MaterializedOf(rule_id);
+      it = materialized_cache
+               .emplace(rule_id, MatchSet(uris.begin(), uris.end()))
+               .first;
+    }
+    return it->second;
+  };
+  auto append_materialized = [&](int64_t rule_id,
+                                 const MatchSet& uris) -> Status {
+    MDV_RETURN_IF_ERROR(
+        AppendMaterialized(rule_id, {uris.begin(), uris.end()}));
+    auto it = materialized_cache.find(rule_id);
+    if (it != materialized_cache.end()) {
+      it->second.insert(uris.begin(), uris.end());
+    }
+    return Status::OK();
+  };
+
   // ---- Initial iteration: determine affected triggering rules. --------
   std::map<int64_t, MatchSet> current;
-  MDV_RETURN_IF_ERROR(MatchTriggeringRules(delta, &current));
+  MDV_RETURN_IF_ERROR(
+      MatchTriggeringRules(delta, options, &result.stats, &current));
 
   if (options.update_materialized) {
     // Suppress matches that were derived (and published) by earlier runs.
     for (auto it = current.begin(); it != current.end();) {
       MatchSet& uris = it->second;
-      for (auto uit = uris.begin(); uit != uris.end();) {
-        if (IsMaterialized(it->first, *uit)) {
-          uit = uris.erase(uit);
-        } else {
-          ++uit;
+      const MatchSet& materialized = materialized_of(it->first);
+      if (!materialized.empty()) {
+        for (auto uit = uris.begin(); uit != uris.end();) {
+          if (materialized.count(*uit) != 0) {
+            uit = uris.erase(uit);
+          } else {
+            ++uit;
+          }
         }
       }
       it = uris.empty() ? current.erase(it) : std::next(it);
@@ -258,8 +346,7 @@ Result<FilterRunResult> FilterEngine::Run(const rdf::Statements& delta,
     if (options.update_materialized) {
       for (const auto& [rule_id, uris] : current) {
         if (store_->HasDependents(rule_id)) {
-          MDV_RETURN_IF_ERROR(AppendMaterialized(
-              rule_id, {uris.begin(), uris.end()}));
+          MDV_RETURN_IF_ERROR(append_materialized(rule_id, uris));
         }
       }
     }
@@ -371,7 +458,9 @@ Result<FilterRunResult> FilterEngine::Run(const rdf::Statements& delta,
                 new_is_left ? spec.rhs_property : spec.lhs_property;
             const bool register_new_side =
                 (spec.register_side == 0) == new_is_left;
-            std::vector<std::string> others = MaterializedOf(other_child);
+            const MatchSet& mat_others = materialized_of(other_child);
+            std::vector<std::string> others(mat_others.begin(),
+                                            mat_others.end());
             auto oit = all_matches.find(other_child);
             if (oit != all_matches.end()) {
               others.insert(others.end(), oit->second.begin(),
@@ -405,7 +494,8 @@ Result<FilterRunResult> FilterEngine::Run(const rdf::Statements& delta,
           if (known != all_matches.end() && known->second.count(uri) != 0) {
             continue;
           }
-          if (options.update_materialized && IsMaterialized(member, uri)) {
+          if (options.update_materialized &&
+              materialized_of(member).count(uri) != 0) {
             continue;
           }
           fresh.insert(uri);
@@ -431,6 +521,8 @@ Result<FilterRunResult> FilterEngine::EvaluateNewRules(
     const std::vector<int64_t>& new_rules) {
   FilterRunResult result;
   std::map<int64_t, MatchSet> fresh;
+  const std::unordered_set<int64_t> new_rule_set(new_rules.begin(),
+                                                 new_rules.end());
 
   const Table* atomic = db_->GetTable(kAtomicRules);
   const Table* data = db_->GetTable(kFilterData);
@@ -442,8 +534,7 @@ Result<FilterRunResult> FilterEngine::EvaluateNewRules(
     auto fit = fresh.find(rule_id);
     if (fit != fresh.end()) return fit->second;
     std::vector<std::string> mat = MaterializedOf(rule_id);
-    bool is_new = std::find(new_rules.begin(), new_rules.end(), rule_id) !=
-                  new_rules.end();
+    bool is_new = new_rule_set.count(rule_id) != 0;
     if (!is_new && !mat.empty()) {
       return MatchSet(mat.begin(), mat.end());
     }
@@ -467,18 +558,18 @@ Result<FilterRunResult> FilterEngine::EvaluateNewRules(
                  FilterRulesCols::kRuleId, CompareOp::kEq, Int(rule_id)}})) {
           const std::string& prop =
               rrow[FilterRulesCols::kProperty].as_string();
-          const std::string& constant =
-              rrow[FilterRulesCols::kValue].as_string();
+          // Parse the rule constant once, not once per probed data row.
+          ParsedText constant(rrow[FilterRulesCols::kValue].as_string());
+          if (numeric_only && !constant.num) continue;  // Can never match.
           for (const Row& drow : data->SelectRows(
                    {ScanCondition{FilterDataCols::kProperty, CompareOp::kEq,
                                   Str(prop)},
                     ScanCondition{FilterDataCols::kClass, CompareOp::kEq,
                                   Str(cls)}})) {
-            const std::string& text =
-                drow[FilterDataCols::kValue].as_string();
+            ParsedText text(drow[FilterDataCols::kValue].as_string());
             bool matched = numeric_only
-                               ? CompareNumericTexts(text, op, constant)
-                               : CompareTexts(text, op, constant);
+                               ? CompareParsedNumeric(text, op, constant)
+                               : CompareParsed(text, op, constant);
             if (matched) {
               out.insert(drow[FilterDataCols::kUri].as_string());
             }
@@ -499,14 +590,9 @@ Result<FilterRunResult> FilterEngine::EvaluateNewRules(
           out.insert(drow[FilterDataCols::kUri].as_string());
         }
       }
-      scan_rule_rows(kFilterRulesEQS, CompareOp::kEq, false);
-      scan_rule_rows(kFilterRulesEQN, CompareOp::kEq, true);
-      scan_rule_rows(kFilterRulesNE, CompareOp::kNe, false);
-      scan_rule_rows(kFilterRulesLT, CompareOp::kLt, true);
-      scan_rule_rows(kFilterRulesLE, CompareOp::kLe, true);
-      scan_rule_rows(kFilterRulesGT, CompareOp::kGt, true);
-      scan_rule_rows(kFilterRulesGE, CompareOp::kGe, true);
-      scan_rule_rows(kFilterRulesCON, CompareOp::kContains, false);
+      for (const OperatorTableInfo& info : OperatorTableInfos()) {
+        scan_rule_rows(info.table, info.op, info.numeric_only);
+      }
     } else {
       // Join rule: evaluate over the full results of both children.
       MDV_ASSIGN_OR_RETURN(RuleStore::JoinInputs inputs,
@@ -543,10 +629,12 @@ Result<FilterRunResult> FilterEngine::EvaluateNewRules(
     fresh[rule_id] = out;
     if (store_->HasDependents(rule_id) && !out.empty()) {
       // Materialize only rows not present yet (a re-evaluated rule may
-      // already be partially materialized).
+      // already be partially materialized); `mat` was snapshotted above,
+      // so the check is a set probe, not a point query per uri.
+      const MatchSet materialized(mat.begin(), mat.end());
       std::vector<std::string> missing;
       for (const std::string& uri : out) {
-        if (!IsMaterialized(rule_id, uri)) missing.push_back(uri);
+        if (materialized.count(uri) == 0) missing.push_back(uri);
       }
       MDV_RETURN_IF_ERROR(AppendMaterialized(rule_id, missing));
     }

@@ -23,6 +23,13 @@ struct FilterOptions {
   /// §3.5), the run re-derives matches for existing data and writes
   /// nothing.
   bool update_materialized = true;
+
+  /// When true (default), the initial iteration matches delta atoms via
+  /// RuleStore's in-memory predicate index (binary search / hash probe
+  /// per atom). When false it scans the FilterRules* tables row by row,
+  /// reconverting constants per row — the seed access path, kept for
+  /// differential testing and for the fig12-15 ablation.
+  bool use_predicate_index = true;
 };
 
 /// Execution counters of one filter run, exposed for benchmarks and for
@@ -34,6 +41,15 @@ struct FilterRunStats {
   int64_t groups_evaluated = 0;     ///< Rule-group evaluations.
   int64_t members_evaluated = 0;    ///< Join-rule members with new input.
   int64_t join_matches = 0;         ///< New (join rule, uri) pairs.
+  int64_t index_probes = 0;         ///< Predicate-index probes of the
+                                    ///< initial iteration (one per
+                                    ///< distinct (class, property,
+                                    ///< value) among the delta atoms).
+  int64_t index_hits = 0;           ///< (rule, uri) emissions from the
+                                    ///< predicate index.
+  int64_t scan_fallbacks = 0;       ///< Delta atoms matched via the
+                                    ///< legacy FilterRules table scan
+                                    ///< (0 when the index is on).
 };
 
 /// Result of one filter run: for every affected atomic rule, the URI
@@ -87,12 +103,27 @@ class FilterEngine {
  private:
   using MatchSet = std::unordered_set<std::string>;
 
-  /// Initial iteration: delta atoms × FilterRules* tables.
+  /// Initial iteration: delta atoms × triggering-rule base. Dispatches
+  /// to the predicate-index or the table-scan path per `options`;
+  /// `stats` receives the index_probes/index_hits/scan_fallbacks
+  /// counters.
   Status MatchTriggeringRules(const rdf::Statements& delta,
+                              const FilterOptions& options,
+                              FilterRunStats* stats,
                               std::map<int64_t, MatchSet>* current) const;
 
-  /// True if (rule, uri) is in MaterializedResults.
-  bool IsMaterialized(int64_t rule_id, const std::string& uri) const;
+  /// Index path: delta atoms grouped by (class, property, value), one
+  /// predicate-index probe per distinct group.
+  Status MatchTriggeringRulesIndexed(const rdf::Statements& delta,
+                                     FilterRunStats* stats,
+                                     std::map<int64_t, MatchSet>* current)
+      const;
+
+  /// Scan path (the seed access path): per atom, probe the FilterRules*
+  /// tables and reconvert stored constants row by row (§3.3.4).
+  Status MatchTriggeringRulesScan(const rdf::Statements& delta,
+                                  FilterRunStats* stats,
+                                  std::map<int64_t, MatchSet>* current) const;
 
   /// All materialized uris of `rule_id`.
   std::vector<std::string> MaterializedOf(int64_t rule_id) const;

@@ -1,0 +1,296 @@
+#include "filter/predicate_index.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "rdbms/value.h"
+
+namespace mdv::filter {
+
+namespace {
+
+using rdbms::CompareOp;
+
+/// Parses a rule constant or atom value the way the scan path does
+/// (Value::TryNumeric, §3.3.4 reconversion), normalizing -0.0 so numeric
+/// hash keys are portable.
+std::optional<double> ParseNumeric(const std::string& text) {
+  std::optional<double> num = rdbms::Value{text}.TryNumeric();
+  if (num && *num == 0.0) return 0.0;
+  return num;
+}
+
+void EraseRule(std::vector<int64_t>* rules, int64_t rule_id) {
+  rules->erase(std::remove(rules->begin(), rules->end(), rule_id),
+               rules->end());
+}
+
+template <typename Key>
+void EraseFromMap(std::unordered_map<Key, std::vector<int64_t>>* map,
+                  const Key& key, int64_t rule_id) {
+  auto it = map->find(key);
+  if (it == map->end()) return;
+  EraseRule(&it->second, rule_id);
+  if (it->second.empty()) map->erase(it);
+}
+
+void EraseSorted(std::vector<std::pair<double, int64_t>>* entries,
+                 double constant, int64_t rule_id) {
+  auto range = std::equal_range(
+      entries->begin(), entries->end(), std::make_pair(constant, int64_t{0}),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto it = range.first; it != range.second; ++it) {
+    if (it->second == rule_id) {
+      entries->erase(it);
+      return;
+    }
+  }
+}
+
+void InsertSorted(std::vector<std::pair<double, int64_t>>* entries,
+                  double constant, int64_t rule_id) {
+  auto pos = std::upper_bound(
+      entries->begin(), entries->end(), std::make_pair(constant, int64_t{0}),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  entries->insert(pos, {constant, rule_id});
+}
+
+}  // namespace
+
+std::string PredicateIndex::BucketKey(const std::string& class_name,
+                                      const std::string& property) {
+  std::string key;
+  key.reserve(class_name.size() + 1 + property.size());
+  key += class_name;
+  key += '\x1f';
+  key += property;
+  return key;
+}
+
+void PredicateIndex::AddClassRule(int64_t rule_id,
+                                  const std::string& class_name) {
+  class_rules_[class_name].push_back(rule_id);
+  entries_of_rule_[rule_id].push_back(
+      RuleEntry{/*is_class_rule=*/true, class_name, CompareOp::kEq,
+                /*is_eqn=*/false, "", std::nullopt});
+  ++num_entries_;
+}
+
+void PredicateIndex::AddPredicateRule(int64_t rule_id,
+                                      const std::string& class_name,
+                                      const std::string& property,
+                                      CompareOp op,
+                                      const std::string& constant,
+                                      bool constant_is_number) {
+  std::string key = BucketKey(class_name, property);
+  Bucket& bucket = buckets_[key];
+  std::optional<double> num = ParseNumeric(constant);
+  const bool is_eqn = op == CompareOp::kEq && constant_is_number;
+
+  switch (op) {
+    case CompareOp::kEq:
+      if (is_eqn) {
+        // A non-numeric constant in an EQN row can never match
+        // (CompareNumericTexts is false when either side fails to
+        // parse); keep only the reverse entry so removal still works.
+        if (num) bucket.eqn[*num].push_back(rule_id);
+      } else {
+        bucket.eqs[constant].push_back(rule_id);
+      }
+      break;
+    case CompareOp::kNe:
+      bucket.ne_all.push_back(rule_id);
+      if (num) {
+        bucket.ne_num[*num].push_back(rule_id);
+      } else {
+        bucket.ne_str[constant].push_back(rule_id);
+      }
+      break;
+    case CompareOp::kLt:
+      if (num) InsertSorted(&bucket.lt, *num, rule_id);
+      break;
+    case CompareOp::kLe:
+      if (num) InsertSorted(&bucket.le, *num, rule_id);
+      break;
+    case CompareOp::kGt:
+      if (num) InsertSorted(&bucket.gt, *num, rule_id);
+      break;
+    case CompareOp::kGe:
+      if (num) InsertSorted(&bucket.ge, *num, rule_id);
+      break;
+    case CompareOp::kContains:
+      bucket.con.emplace_back(constant, rule_id);
+      break;
+  }
+  entries_of_rule_[rule_id].push_back(
+      RuleEntry{/*is_class_rule=*/false, std::move(key), op, is_eqn, constant,
+                num});
+  ++num_entries_;
+}
+
+void PredicateIndex::RemoveRule(int64_t rule_id) {
+  auto rit = entries_of_rule_.find(rule_id);
+  if (rit == entries_of_rule_.end()) return;
+  for (const RuleEntry& entry : rit->second) {
+    if (entry.is_class_rule) {
+      EraseFromMap(&class_rules_, entry.key, rule_id);
+      --num_entries_;
+      continue;
+    }
+    --num_entries_;
+    auto bit = buckets_.find(entry.key);
+    // The bucket is gone once a sibling entry emptied it; never-matching
+    // entries (non-numeric constants on numeric-only ops) leave nothing
+    // behind, so this is reachable.
+    if (bit == buckets_.end()) continue;
+    Bucket& bucket = bit->second;
+    switch (entry.op) {
+      case CompareOp::kEq:
+        if (entry.is_eqn) {
+          if (entry.constant_num) {
+            EraseFromMap(&bucket.eqn, *entry.constant_num, rule_id);
+          }
+        } else {
+          EraseFromMap(&bucket.eqs, entry.constant, rule_id);
+        }
+        break;
+      case CompareOp::kNe:
+        EraseRule(&bucket.ne_all, rule_id);
+        if (entry.constant_num) {
+          EraseFromMap(&bucket.ne_num, *entry.constant_num, rule_id);
+        } else {
+          EraseFromMap(&bucket.ne_str, entry.constant, rule_id);
+        }
+        break;
+      case CompareOp::kLt:
+        if (entry.constant_num) {
+          EraseSorted(&bucket.lt, *entry.constant_num, rule_id);
+        }
+        break;
+      case CompareOp::kLe:
+        if (entry.constant_num) {
+          EraseSorted(&bucket.le, *entry.constant_num, rule_id);
+        }
+        break;
+      case CompareOp::kGt:
+        if (entry.constant_num) {
+          EraseSorted(&bucket.gt, *entry.constant_num, rule_id);
+        }
+        break;
+      case CompareOp::kGe:
+        if (entry.constant_num) {
+          EraseSorted(&bucket.ge, *entry.constant_num, rule_id);
+        }
+        break;
+      case CompareOp::kContains: {
+        auto& con = bucket.con;
+        con.erase(std::remove_if(con.begin(), con.end(),
+                                 [&](const auto& e) {
+                                   return e.second == rule_id;
+                                 }),
+                  con.end());
+        break;
+      }
+    }
+    if (bucket.empty()) buckets_.erase(bit);
+  }
+  entries_of_rule_.erase(rit);
+}
+
+void PredicateIndex::MatchClass(const std::string& class_name,
+                                std::vector<int64_t>* out) const {
+  auto it = class_rules_.find(class_name);
+  if (it == class_rules_.end()) return;
+  out->insert(out->end(), it->second.begin(), it->second.end());
+}
+
+const PredicateIndex::Bucket* PredicateIndex::FindBucket(
+    const std::string& class_name, const std::string& property) const {
+  auto it = buckets_.find(BucketKey(class_name, property));
+  return it == buckets_.end() ? nullptr : &it->second;
+}
+
+void PredicateIndex::Match(const Bucket& bucket, const std::string& text,
+                           const std::optional<double>& text_num,
+                           std::vector<int64_t>* out) const {
+  // EQS: exact string equality (the paper's OID access path, Figure 11).
+  if (auto it = bucket.eqs.find(text); it != bucket.eqs.end()) {
+    out->insert(out->end(), it->second.begin(), it->second.end());
+  }
+
+  if (text_num) {
+    double x = *text_num == 0.0 ? 0.0 : *text_num;
+    // EQN: numeric equality.
+    if (auto it = bucket.eqn.find(x); it != bucket.eqn.end()) {
+      out->insert(out->end(), it->second.begin(), it->second.end());
+    }
+    // Ordered operators: the matching constants are one contiguous run
+    // of the sorted array. `text op constant` must hold.
+    auto cmp = [](const std::pair<double, int64_t>& a, double b) {
+      return a.first < b;
+    };
+    // LT: x < c  →  constants strictly above x.
+    for (auto it = std::upper_bound(
+             bucket.lt.begin(), bucket.lt.end(), x,
+             [](double b, const auto& a) { return b < a.first; });
+         it != bucket.lt.end(); ++it) {
+      out->push_back(it->second);
+    }
+    // LE: x <= c  →  constants at or above x.
+    for (auto it = std::lower_bound(bucket.le.begin(), bucket.le.end(), x,
+                                    cmp);
+         it != bucket.le.end(); ++it) {
+      out->push_back(it->second);
+    }
+    // GT: x > c  →  constants strictly below x.
+    for (auto it = bucket.gt.begin(),
+              end = std::lower_bound(bucket.gt.begin(), bucket.gt.end(), x,
+                                     cmp);
+         it != end; ++it) {
+      out->push_back(it->second);
+    }
+    // GE: x >= c  →  constants at or below x.
+    for (auto it = bucket.ge.begin(),
+              end = std::upper_bound(
+                  bucket.ge.begin(), bucket.ge.end(), x,
+                  [](double b, const auto& a) { return b < a.first; });
+         it != end; ++it) {
+      out->push_back(it->second);
+    }
+  }
+
+  // NE: all members except the constants equal to the atom value. A
+  // numeric atom can only equal numeric constants and a non-numeric atom
+  // only string constants (equal strings parse identically), so the
+  // exclusion set is a single hash lookup.
+  if (!bucket.ne_all.empty()) {
+    const std::vector<int64_t>* equal = nullptr;
+    if (text_num) {
+      double x = *text_num == 0.0 ? 0.0 : *text_num;
+      if (auto it = bucket.ne_num.find(x); it != bucket.ne_num.end()) {
+        equal = &it->second;
+      }
+    } else {
+      if (auto it = bucket.ne_str.find(text); it != bucket.ne_str.end()) {
+        equal = &it->second;
+      }
+    }
+    if (equal == nullptr) {
+      out->insert(out->end(), bucket.ne_all.begin(), bucket.ne_all.end());
+    } else {
+      for (int64_t rule_id : bucket.ne_all) {
+        if (std::find(equal->begin(), equal->end(), rule_id) == equal->end()) {
+          out->push_back(rule_id);
+        }
+      }
+    }
+  }
+
+  // contains: substring match cannot be indexed; scan the (pre-parsed)
+  // constants.
+  for (const auto& [constant, rule_id] : bucket.con) {
+    if (Contains(text, constant)) out->push_back(rule_id);
+  }
+}
+
+}  // namespace mdv::filter

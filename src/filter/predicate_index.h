@@ -1,0 +1,136 @@
+#ifndef MDV_FILTER_PREDICATE_INDEX_H_
+#define MDV_FILTER_PREDICATE_INDEX_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdbms/predicate.h"
+
+namespace mdv::filter {
+
+/// In-memory predicate index over the triggering-rule base: the access
+/// path of the filter's initial iteration.
+///
+/// The FilterRules* tables give the EQS table a value index (one point
+/// lookup per atom, Figure 11), but the ordered-operator tables
+/// (LT/LE/GT/GE/EQN/NE) are probed by property and scanned row by row,
+/// reconverting the stored string constant per row (§3.3.4) — their cost
+/// grows linearly with the number of rules on the probed property
+/// (Figures 12-15). This index removes that scan: per (class, property)
+/// it keeps the rule constants parsed once, sorted for the ordered
+/// operators, so a delta atom finds its matching rules with one binary
+/// search plus a range emit (O(log n + matches) instead of O(n)).
+///
+/// Layout per (class, property) bucket:
+///  - LT/LE/GT/GE: one array of (numeric constant, rule id) sorted by
+///    constant; the matching rules form a contiguous suffix or prefix.
+///  - EQN: hash map numeric constant → rule ids.
+///  - EQS: hash map string constant → rule ids.
+///  - NE: the full member list plus hash maps of the constants, so the
+///    (near-total) match set is "all members minus the equal bucket".
+///  - CON: the (constant, rule id) list; substring match cannot be
+///    indexed and stays a per-rule scan, but without row reconversion.
+/// Predicate-less class rules live in a class → rule ids map.
+///
+/// Match semantics are exactly those of the relational scan path
+/// (engine.cc CompareTexts/CompareNumericTexts): ordered operators and
+/// EQN compare numerically and never match non-numeric text; EQS is
+/// string equality; NE compares numerically when both sides parse as
+/// numbers and as strings otherwise (equal strings parse identically, so
+/// the equal bucket splits cleanly by constant kind). The differential
+/// property test (tests/filter_predicate_index_test.cc) holds the two
+/// paths equal on randomized workloads.
+///
+/// The index is maintained write-through by RuleStore: every
+/// registration/unregistration of a triggering rule updates the
+/// FilterRules tables and this index in the same call, so the two can
+/// never desync.
+class PredicateIndex {
+ public:
+  PredicateIndex() = default;
+
+  PredicateIndex(const PredicateIndex&) = delete;
+  PredicateIndex& operator=(const PredicateIndex&) = delete;
+
+  // ---- Maintenance (called by RuleStore). -----------------------------
+
+  /// Adds a predicate-less class rule.
+  void AddClassRule(int64_t rule_id, const std::string& class_name);
+
+  /// Adds a triggering rule `class.property op constant`.
+  /// `constant_is_number` distinguishes EQN from EQS for kEq (mirrors
+  /// FilterRulesTableFor).
+  void AddPredicateRule(int64_t rule_id, const std::string& class_name,
+                        const std::string& property, rdbms::CompareOp op,
+                        const std::string& constant, bool constant_is_number);
+
+  /// Removes every entry of `rule_id`. No-op for unknown ids.
+  void RemoveRule(int64_t rule_id);
+
+  // ---- Matching (called by FilterEngine). -----------------------------
+
+  /// Rules of predicate-less class subscriptions on `class_name`.
+  void MatchClass(const std::string& class_name,
+                  std::vector<int64_t>* out) const;
+
+  /// Opaque handle to one (class, property) bucket, so callers probing
+  /// many atoms with the same key pay the bucket lookup once.
+  struct Bucket;
+  const Bucket* FindBucket(const std::string& class_name,
+                           const std::string& property) const;
+
+  /// Appends the ids of all rules in `bucket` whose predicate matches
+  /// the atom value `text` (parsed at most once, by the caller, into
+  /// `text_num`).
+  void Match(const Bucket& bucket, const std::string& text,
+             const std::optional<double>& text_num,
+             std::vector<int64_t>* out) const;
+
+  /// Total number of indexed rule entries (class rules included).
+  size_t NumEntries() const { return num_entries_; }
+
+  struct Bucket {
+    /// Sorted by constant; one vector per ordered operator.
+    std::vector<std::pair<double, int64_t>> lt, le, gt, ge;
+    /// Numeric equality / string equality.
+    std::unordered_map<double, std::vector<int64_t>> eqn;
+    std::unordered_map<std::string, std::vector<int64_t>> eqs;
+    /// NE: all members, plus the constants bucketed for exclusion.
+    std::vector<int64_t> ne_all;
+    std::unordered_map<double, std::vector<int64_t>> ne_num;
+    std::unordered_map<std::string, std::vector<int64_t>> ne_str;
+    /// contains: (constant, rule id), scanned per atom.
+    std::vector<std::pair<std::string, int64_t>> con;
+
+    bool empty() const {
+      return lt.empty() && le.empty() && gt.empty() && ge.empty() &&
+             eqn.empty() && eqs.empty() && ne_all.empty() && con.empty();
+    }
+  };
+
+ private:
+  /// Reverse entry used to remove a rule without scanning the buckets.
+  struct RuleEntry {
+    bool is_class_rule = false;
+    std::string key;  ///< Class name, or class + '\x1f' + property.
+    rdbms::CompareOp op = rdbms::CompareOp::kEq;
+    bool is_eqn = false;
+    std::string constant;
+    std::optional<double> constant_num;
+  };
+
+  static std::string BucketKey(const std::string& class_name,
+                               const std::string& property);
+
+  std::unordered_map<std::string, Bucket> buckets_;
+  std::unordered_map<std::string, std::vector<int64_t>> class_rules_;
+  std::unordered_map<int64_t, std::vector<RuleEntry>> entries_of_rule_;
+  size_t num_entries_ = 0;
+};
+
+}  // namespace mdv::filter
+
+#endif  // MDV_FILTER_PREDICATE_INDEX_H_

@@ -45,6 +45,24 @@ RuleStore::RuleStore(rdbms::Database* db, RuleStoreOptions options)
     next_group_id_ = std::max(next_group_id_,
                               row[RuleGroupsCols::kGroupId].as_int() + 1);
   });
+
+  // Rebuild the predicate index from the FilterRules* tables (a fresh
+  // database contributes nothing; a reopened one is re-indexed here).
+  const Table* cls = db_->GetTable(kFilterRulesCLS);
+  cls->Scan([&](rdbms::RowId, const Row& row) {
+    predicate_index_.AddClassRule(row[FilterRulesCols::kRuleId].as_int(),
+                                  row[FilterRulesCols::kClass].as_string());
+  });
+  for (const OperatorTableInfo& info : OperatorTableInfos()) {
+    db_->GetTable(info.table)->Scan([&](rdbms::RowId, const Row& row) {
+      predicate_index_.AddPredicateRule(
+          row[FilterRulesCols::kRuleId].as_int(),
+          row[FilterRulesCols::kClass].as_string(),
+          row[FilterRulesCols::kProperty].as_string(), info.op,
+          row[FilterRulesCols::kValue].as_string(),
+          /*constant_is_number=*/std::string(info.table) == kFilterRulesEQN);
+    });
+  }
 }
 
 std::optional<int64_t> RuleStore::LookupByText(const std::string& text) const {
@@ -62,6 +80,7 @@ Status RuleStore::InsertTriggeringRow(int64_t rule_id,
     MDV_ASSIGN_OR_RETURN(rdbms::RowId ignored,
                          cls->Insert({Int(rule_id), Str(spec.class_name)}));
     (void)ignored;
+    predicate_index_.AddClassRule(rule_id, spec.class_name);
     return Status::OK();
   }
   const rules::TriggeringPredicate& pred = *spec.predicate;
@@ -73,6 +92,9 @@ Status RuleStore::InsertTriggeringRow(int64_t rule_id,
       table->Insert({Int(rule_id), Str(spec.class_name), Str(pred.property),
                      Str(pred.constant)}));
   (void)ignored;
+  predicate_index_.AddPredicateRule(rule_id, spec.class_name, pred.property,
+                                    pred.op, pred.constant,
+                                    pred.constant_is_number);
   return Status::OK();
 }
 
@@ -226,7 +248,8 @@ Status RuleStore::RemoveRule(int64_t rule_id) {
   int64_t group_id = row[AtomicRulesCols::kGroupId].as_int();
   MDV_RETURN_IF_ERROR(atomic->Delete(ids[0]));
 
-  // Drop the triggering-rule index rows.
+  // Drop the triggering-rule index rows, in the tables and in the
+  // in-memory predicate index.
   if (!is_join) {
     Table* cls = db_->GetTable(kFilterRulesCLS);
     cls->DeleteWhere({ScanCondition{FilterRulesCols::kRuleId, CompareOp::kEq,
@@ -235,6 +258,7 @@ Status RuleStore::RemoveRule(int64_t rule_id) {
       db_->GetTable(name)->DeleteWhere({ScanCondition{
           FilterRulesCols::kRuleId, CompareOp::kEq, Int(rule_id)}});
     }
+    predicate_index_.RemoveRule(rule_id);
   }
 
   // Release group membership.

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "filter/predicate_index.h"
 #include "rdbms/database.h"
 #include "rules/atomic_rule.h"
 
@@ -98,6 +99,13 @@ class RuleStore {
   size_t NumAtomicRules() const;
   size_t NumGroups() const;
 
+  /// The in-memory predicate index over the triggering-rule base, used
+  /// by the filter engine's initial iteration. Maintained write-through:
+  /// every mutation of the FilterRules* tables (registration and
+  /// cascading unregistration) updates it in the same call, and the
+  /// constructor rebuilds it from the tables of a reopened database.
+  const PredicateIndex& predicate_index() const { return predicate_index_; }
+
   const RuleStoreOptions& options() const { return options_; }
 
  private:
@@ -114,6 +122,7 @@ class RuleStore {
 
   rdbms::Database* db_;
   RuleStoreOptions options_;
+  PredicateIndex predicate_index_;
   int64_t next_rule_id_ = 1;
   int64_t next_group_id_ = 1;
 };

@@ -165,4 +165,19 @@ const std::vector<std::string>& AllOperatorTables() {
   return tables;
 }
 
+const std::vector<OperatorTableInfo>& OperatorTableInfos() {
+  using rdbms::CompareOp;
+  static const std::vector<OperatorTableInfo>& infos =
+      *new std::vector<OperatorTableInfo>{
+          {kFilterRulesEQS, CompareOp::kEq, false},
+          {kFilterRulesEQN, CompareOp::kEq, true},
+          {kFilterRulesNE, CompareOp::kNe, false},
+          {kFilterRulesLT, CompareOp::kLt, true},
+          {kFilterRulesLE, CompareOp::kLe, true},
+          {kFilterRulesGT, CompareOp::kGt, true},
+          {kFilterRulesGE, CompareOp::kGe, true},
+          {kFilterRulesCON, CompareOp::kContains, false}};
+  return infos;
+}
+
 }  // namespace mdv::filter

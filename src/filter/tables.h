@@ -52,6 +52,19 @@ std::string FilterRulesTableFor(rdbms::CompareOp op, bool constant_is_number);
 /// but FilterRulesCLS).
 const std::vector<std::string>& AllOperatorTables();
 
+/// One operator table with its comparison semantics: `op` is the
+/// comparison the table's rules apply, `numeric_only` whether the
+/// comparison is defined only for numeric values (EQN and the ordered
+/// operators; a non-numeric side never matches, §3.3.4).
+struct OperatorTableInfo {
+  const char* table;
+  rdbms::CompareOp op;
+  bool numeric_only;
+};
+
+/// Metadata for every operator table, in AllOperatorTables() order.
+const std::vector<OperatorTableInfo>& OperatorTableInfos();
+
 /// Column positions shared by the FilterData table.
 struct FilterDataCols {
   static constexpr size_t kUri = 0;

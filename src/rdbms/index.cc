@@ -25,6 +25,13 @@ void BTreeIndex::LookupRange(const Value& lower, bool lower_inclusive,
                              bool has_lower, const Value& upper,
                              bool upper_inclusive, bool has_upper,
                              std::vector<RowId>* out) const {
+  if (has_lower && has_upper) {
+    // Crossed bounds would put `stop` before `it` below.
+    int cmp = lower.Compare(upper);
+    if (cmp > 0 || (cmp == 0 && !(lower_inclusive && upper_inclusive))) {
+      return;
+    }
+  }
   auto it = has_lower ? (lower_inclusive ? entries_.lower_bound(lower)
                                          : entries_.upper_bound(lower))
                       : entries_.begin();

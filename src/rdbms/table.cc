@@ -46,6 +46,17 @@ Result<RowId> Table::Insert(Row row) {
   return id;
 }
 
+Status Table::InsertRows(std::vector<Row> rows) {
+  for (const Row& row : rows) MDV_RETURN_IF_ERROR(ValidateRow(row));
+  for (Row& row : rows) {
+    RowId id = next_row_id_++;
+    IndexInsert(id, row);
+    rows_.emplace(id, std::move(row));
+    if (undo_ != nullptr) undo_->RecordInsert(this, id);
+  }
+  return Status::OK();
+}
+
 Status Table::Delete(RowId row_id) {
   auto it = rows_.find(row_id);
   if (it == rows_.end()) {
@@ -179,28 +190,47 @@ std::vector<RowId> Table::SelectRowIds(
       }
     }
     std::vector<RowId> candidates;
-    switch (cond.op) {
-      case CompareOp::kEq:
-        index->Lookup(cond.constant, &candidates);
-        break;
-      case CompareOp::kLt:
-        index->LookupRange(Value(), false, false, cond.constant, false, true,
-                           &candidates);
-        break;
-      case CompareOp::kLe:
-        index->LookupRange(Value(), false, false, cond.constant, true, true,
-                           &candidates);
-        break;
-      case CompareOp::kGt:
-        index->LookupRange(cond.constant, false, true, Value(), false, false,
-                           &candidates);
-        break;
-      case CompareOp::kGe:
-        index->LookupRange(cond.constant, true, true, Value(), false, false,
-                           &candidates);
-        break;
-      default:
-        break;
+    if (cond.op == CompareOp::kEq) {
+      index->Lookup(cond.constant, &candidates);
+    } else {
+      // Range access path: fold every range condition on the chosen
+      // column into one [lower, upper] B-tree probe, so `col > a AND
+      // col <= b` is a single LookupRange instead of a half-open probe
+      // plus per-row re-filtering of the other bound.
+      bool has_lower = false, lower_inclusive = false;
+      bool has_upper = false, upper_inclusive = false;
+      Value lower, upper;
+      for (const ScanCondition& c : conditions) {
+        if (c.column != cond.column) continue;
+        switch (c.op) {
+          case CompareOp::kLt:
+          case CompareOp::kLe: {
+            bool inclusive = c.op == CompareOp::kLe;
+            int cmp = has_upper ? c.constant.Compare(upper) : -1;
+            if (!has_upper || cmp < 0 || (cmp == 0 && !inclusive)) {
+              upper = c.constant;
+              upper_inclusive = inclusive;
+              has_upper = true;
+            }
+            break;
+          }
+          case CompareOp::kGt:
+          case CompareOp::kGe: {
+            bool inclusive = c.op == CompareOp::kGe;
+            int cmp = has_lower ? c.constant.Compare(lower) : 1;
+            if (!has_lower || cmp > 0 || (cmp == 0 && !inclusive)) {
+              lower = c.constant;
+              lower_inclusive = inclusive;
+              has_lower = true;
+            }
+            break;
+          }
+          default:
+            break;
+        }
+      }
+      index->LookupRange(lower, lower_inclusive, has_lower, upper,
+                         upper_inclusive, has_upper, &candidates);
     }
     ++stats_.index_lookups;
     stats_.rows_examined += static_cast<int64_t>(candidates.size());

@@ -1,0 +1,328 @@
+// Tests of the in-memory predicate index (the initial iteration's access
+// path): differential/property tests holding the indexed path equal to
+// the seed table-scan path on randomized rule bases and deltas, index
+// maintenance across RegisterTree/Unregister, and the §3.3.4
+// numeric-reconversion edge cases.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_support/workload.h"
+#include "filter/predicate_index.h"
+#include "rdbms/predicate.h"
+#include "rdbms/value.h"
+
+namespace mdv::filter {
+namespace {
+
+using bench_support::FilterFixture;
+using rdbms::CompareOp;
+
+FilterOptions IndexedProbe() {
+  FilterOptions options;
+  options.update_materialized = false;
+  options.use_predicate_index = true;
+  return options;
+}
+
+FilterOptions ScanProbe() {
+  FilterOptions options;
+  options.update_materialized = false;
+  options.use_predicate_index = false;
+  return options;
+}
+
+// ---- Randomized workload (same shape as filter_property_test). --------
+
+struct RandomWorkload {
+  explicit RandomWorkload(uint32_t seed) : rng(seed) {}
+
+  std::mt19937 rng;
+
+  int RandInt(int lo, int hi) {  // Inclusive bounds.
+    return std::uniform_int_distribution<int>(lo, hi)(rng);
+  }
+
+  std::string RandomHost() {
+    static const char* kHosts[] = {
+        "pirates.uni-passau.de", "db.uni-passau.de", "in.tum.de",
+        "big.example",           "node7.example",    "edge.tum.de"};
+    return kHosts[RandInt(0, 5)];
+  }
+
+  rdf::RdfDocument MakeDocument(size_t index) {
+    std::string uri = "rand" + std::to_string(index) + ".rdf";
+    rdf::RdfDocument doc(uri);
+    rdf::Resource info("info", "ServerInformation");
+    info.AddProperty("memory", rdf::PropertyValue::Literal(
+                                   std::to_string(RandInt(0, 60))));
+    info.AddProperty("cpu", rdf::PropertyValue::Literal(
+                                std::to_string(RandInt(1, 4) * 500)));
+    rdf::Resource host("host", "CycleProvider");
+    host.AddProperty("serverHost", rdf::PropertyValue::Literal(RandomHost()));
+    host.AddProperty("serverPort", rdf::PropertyValue::Literal(
+                                       std::to_string(RandInt(1, 99))));
+    host.AddProperty("synthValue", rdf::PropertyValue::Literal(
+                                       std::to_string(RandInt(0, 40))));
+    host.AddProperty("serverInformation",
+                     rdf::PropertyValue::ResourceRef(uri + "#info"));
+    Status st = doc.AddResource(std::move(info));
+    st = doc.AddResource(std::move(host));
+    (void)st;
+    return doc;
+  }
+
+  // Rules spread over every operator table: CLS, EQS (OID), EQN, NE,
+  // LT/LE/GT/GE and CON, all on a small value domain so collisions and
+  // boundary hits are common.
+  std::string MakeRule() {
+    static const char* kFragments[] = {"uni-passau", "tum", "example",
+                                       ".de", "big"};
+    static const char* kOrderedOps[] = {"<", "<=", ">", ">="};
+    switch (RandInt(0, 8)) {
+      case 0:
+        return "search CycleProvider c register c";
+      case 1:
+        return "search ServerInformation s register s where s.memory " +
+               std::string(kOrderedOps[RandInt(0, 3)]) + " " +
+               std::to_string(RandInt(0, 60));
+      case 2:
+        return "search CycleProvider c register c where c = 'rand" +
+               std::to_string(RandInt(0, 19)) + ".rdf#host'";
+      case 3:
+        return "search CycleProvider c register c where c.synthValue " +
+               std::string(kOrderedOps[RandInt(0, 3)]) + " " +
+               std::to_string(RandInt(0, 40));
+      case 4:
+        return std::string(
+                   "search CycleProvider c register c "
+                   "where c.serverHost contains '") +
+               kFragments[RandInt(0, 4)] + "'";
+      case 5:
+        return "search CycleProvider c register c where c.synthValue = " +
+               std::to_string(RandInt(0, 40));
+      case 6:
+        return "search CycleProvider c register c where c.synthValue != " +
+               std::to_string(RandInt(0, 40));
+      case 7:
+        return "search ServerInformation s register s where s.cpu = " +
+               std::to_string(RandInt(1, 4) * 500);
+      default:
+        return "search CycleProvider c register c where c.serverHost != '" +
+               RandomHost() + "'";
+    }
+  }
+};
+
+// ---- Differential property tests. -------------------------------------
+
+class PredicateIndexPropertyTest : public ::testing::TestWithParam<uint32_t> {
+};
+
+TEST_P(PredicateIndexPropertyTest, IndexedMatchesEqualScanMatches) {
+  RandomWorkload workload(GetParam());
+  FilterFixture fixture;
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(fixture.RegisterRule(workload.MakeRule()).ok());
+  }
+
+  std::vector<rdf::RdfDocument> docs;
+  for (size_t j = 0; j < 15; ++j) docs.push_back(workload.MakeDocument(j));
+
+  // Probe runs over the same data must agree exactly, batch by batch.
+  size_t next = 0;
+  for (size_t batch : {size_t{1}, size_t{4}, size_t{10}}) {
+    std::vector<rdf::RdfDocument> slice(docs.begin() + next,
+                                        docs.begin() + next + batch);
+    next += batch;
+    Result<FilterRunResult> indexed =
+        fixture.RegisterDocumentBatch(slice, IndexedProbe());
+    ASSERT_TRUE(indexed.ok()) << indexed.status().ToString();
+    // Atoms are now inserted; replay the same delta through the seed
+    // scan path and compare the run outputs field by field.
+    rdf::Statements delta;
+    for (const rdf::RdfDocument& doc : slice) {
+      rdf::Statements atoms = doc.ToStatements();
+      delta.insert(delta.end(), atoms.begin(), atoms.end());
+    }
+    Result<FilterRunResult> scan_batch =
+        fixture.engine().Run(delta, ScanProbe());
+    ASSERT_TRUE(scan_batch.ok());
+    EXPECT_EQ(indexed->matches, scan_batch->matches)
+        << "divergence at batch " << batch << ", seed " << GetParam();
+    EXPECT_GT(indexed->stats.index_probes, 0);
+    EXPECT_EQ(indexed->stats.scan_fallbacks, 0);
+    EXPECT_EQ(scan_batch->stats.index_probes, 0);
+    EXPECT_GT(scan_batch->stats.scan_fallbacks, 0);
+  }
+}
+
+TEST_P(PredicateIndexPropertyTest, IndexStaysConsistentAcrossUnregister) {
+  RandomWorkload workload(GetParam());
+  FilterFixture fixture;
+  std::vector<int64_t> end_rules;
+  for (int i = 0; i < 25; ++i) {
+    Result<int64_t> id = fixture.RegisterRule(workload.MakeRule());
+    ASSERT_TRUE(id.ok());
+    end_rules.push_back(*id);
+  }
+
+  // Unregister a random half (shared atoms mean some unregistrations
+  // only drop refcounts, exercising both removal outcomes).
+  for (size_t i = 0; i < end_rules.size(); ++i) {
+    if (workload.RandInt(0, 1) == 0) {
+      ASSERT_TRUE(fixture.store().Unregister(end_rules[i]).ok());
+    }
+  }
+
+  std::vector<rdf::RdfDocument> docs;
+  for (size_t j = 0; j < 10; ++j) docs.push_back(workload.MakeDocument(j));
+  Result<FilterRunResult> indexed =
+      fixture.RegisterDocumentBatch(docs, IndexedProbe());
+  ASSERT_TRUE(indexed.ok());
+  rdf::Statements delta;
+  for (const rdf::RdfDocument& doc : docs) {
+    rdf::Statements atoms = doc.ToStatements();
+    delta.insert(delta.end(), atoms.begin(), atoms.end());
+  }
+  Result<FilterRunResult> scan = fixture.engine().Run(delta, ScanProbe());
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(indexed->matches, scan->matches) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PredicateIndexPropertyTest,
+                         ::testing::Range(1u, 13u));
+
+// ---- Index maintenance. -----------------------------------------------
+
+TEST(PredicateIndexMaintenanceTest, UnregisterAllEmptiesIndex) {
+  FilterFixture fixture;
+  EXPECT_EQ(fixture.store().predicate_index().NumEntries(), 0u);
+  std::vector<int64_t> end_rules;
+  for (const char* text :
+       {"search CycleProvider c register c where c.synthValue > 5",
+        "search CycleProvider c register c where c.synthValue < 9",
+        "search CycleProvider c register c where c.serverHost contains 'x'",
+        "search CycleProvider c register c",
+        "search CycleProvider c register c where c = 'a.rdf#host'"}) {
+    Result<int64_t> id = fixture.RegisterRule(text);
+    ASSERT_TRUE(id.ok());
+    end_rules.push_back(*id);
+  }
+  EXPECT_EQ(fixture.store().predicate_index().NumEntries(), 5u);
+  for (int64_t id : end_rules) {
+    ASSERT_TRUE(fixture.store().Unregister(id).ok());
+  }
+  EXPECT_EQ(fixture.store().predicate_index().NumEntries(), 0u);
+  EXPECT_EQ(fixture.store().NumAtomicRules(), 0u);
+}
+
+TEST(PredicateIndexMaintenanceTest, SharedAtomSurvivesOneUnregister) {
+  FilterFixture fixture;
+  const char* text =
+      "search CycleProvider c register c where c.synthValue > 7";
+  Result<int64_t> first = fixture.RegisterRule(text);
+  Result<int64_t> second = fixture.RegisterRule(text);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);  // Merged (§3.3.2).
+  EXPECT_EQ(fixture.store().predicate_index().NumEntries(), 1u);
+
+  ASSERT_TRUE(fixture.store().Unregister(*first).ok());
+  // Still referenced by the second subscription.
+  EXPECT_EQ(fixture.store().predicate_index().NumEntries(), 1u);
+  ASSERT_TRUE(fixture.store().Unregister(*second).ok());
+  EXPECT_EQ(fixture.store().predicate_index().NumEntries(), 0u);
+}
+
+TEST(PredicateIndexMaintenanceTest, RebuildFromExistingTables) {
+  // A second RuleStore over the same database (the reopened-database
+  // path) must rebuild an identical index.
+  FilterFixture fixture;
+  ASSERT_TRUE(fixture
+                  .RegisterRule(
+                      "search CycleProvider c register c "
+                      "where c.synthValue >= 3")
+                  .ok());
+  ASSERT_TRUE(
+      fixture.RegisterRule("search CycleProvider c register c").ok());
+  RuleStore reopened(&fixture.db());
+  EXPECT_EQ(reopened.predicate_index().NumEntries(),
+            fixture.store().predicate_index().NumEntries());
+}
+
+// ---- §3.3.4 reconversion semantics at the index level. ----------------
+
+TEST(PredicateIndexSemanticsTest, NumericReconversionEdgeCases) {
+  PredicateIndex index;
+  index.AddPredicateRule(1, "C", "p", CompareOp::kEq, "5", true);     // EQN
+  index.AddPredicateRule(2, "C", "p", CompareOp::kEq, "5.0", true);   // EQN
+  index.AddPredicateRule(3, "C", "p", CompareOp::kEq, "5", false);    // EQS
+  index.AddPredicateRule(4, "C", "p", CompareOp::kLt, "10", false);
+  index.AddPredicateRule(5, "C", "p", CompareOp::kGe, "5", false);
+  index.AddPredicateRule(6, "C", "p", CompareOp::kNe, "5", false);
+  index.AddPredicateRule(7, "C", "p", CompareOp::kNe, "abc", false);
+  index.AddPredicateRule(8, "C", "p", CompareOp::kContains, "bc", false);
+
+  const PredicateIndex::Bucket* bucket = index.FindBucket("C", "p");
+  ASSERT_NE(bucket, nullptr);
+  auto match = [&](const std::string& text) {
+    std::vector<int64_t> out;
+    index.Match(*bucket, text, rdbms::Value{text}.TryNumeric(), &out);
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+
+  // "05" reconverts to 5: hits both EQN constants (5 and 5.0), the
+  // ordered rules containing 5, not the string-equality rule, and is
+  // excluded from `!= 5` but not `!= abc`.
+  EXPECT_EQ(match("05"), (std::vector<int64_t>{1, 2, 4, 5, 7}));
+  // Exact "5" additionally hits EQS.
+  EXPECT_EQ(match("5"), (std::vector<int64_t>{1, 2, 3, 4, 5, 7}));
+  // Non-numeric text: ordered and EQN rules never match; NE compares
+  // lexicographically ("abcd" differs from both "5" and "abc");
+  // contains matches substrings ("bc").
+  EXPECT_EQ(match("abcd"), (std::vector<int64_t>{6, 7, 8}));
+  // "abc" string-equals the `!= abc` constant, so rule 7 drops out.
+  EXPECT_EQ(match("abc"), (std::vector<int64_t>{6, 8}));
+  // Out of range below: only >=/!= logic applies.
+  EXPECT_EQ(match("4"), (std::vector<int64_t>{4, 6, 7}));
+  // Boundary: 10 is not < 10.
+  EXPECT_EQ(match("10"), (std::vector<int64_t>{5, 6, 7}));
+}
+
+TEST(PredicateIndexSemanticsTest, NonNumericConstantOnOrderedOpNeverMatches) {
+  PredicateIndex index;
+  index.AddPredicateRule(1, "C", "p", CompareOp::kLt, "zzz", false);
+  index.AddPredicateRule(2, "C", "p", CompareOp::kEq, "zzz", true);  // EQN
+  const PredicateIndex::Bucket* bucket = index.FindBucket("C", "p");
+  ASSERT_NE(bucket, nullptr);
+  std::vector<int64_t> out;
+  index.Match(*bucket, "zzz", std::nullopt, &out);
+  EXPECT_TRUE(out.empty());
+  // Removal of never-matching entries must still work.
+  index.RemoveRule(1);
+  index.RemoveRule(2);
+  EXPECT_EQ(index.NumEntries(), 0u);
+}
+
+TEST(PredicateIndexSemanticsTest, ClassRulesMatchByClassOnly) {
+  PredicateIndex index;
+  index.AddClassRule(1, "CycleProvider");
+  index.AddClassRule(2, "ServerInformation");
+  std::vector<int64_t> out;
+  index.MatchClass("CycleProvider", &out);
+  EXPECT_EQ(out, std::vector<int64_t>{1});
+  index.RemoveRule(1);
+  out.clear();
+  index.MatchClass("CycleProvider", &out);
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace mdv::filter

@@ -147,6 +147,49 @@ TEST(TableTest, TruncateKeepsIndexDefinitions) {
   EXPECT_TRUE(table.HasIndex(1));
 }
 
+TEST(TableTest, InsertRowsAppendsAll) {
+  Table table(PeopleSchema());
+  ASSERT_TRUE(table.CreateIndex("age", IndexKind::kBTree).ok());
+  std::vector<Row> rows;
+  for (int i = 0; i < 5; ++i) rows.push_back(MakePerson("p", i));
+  ASSERT_TRUE(table.InsertRows(std::move(rows)).ok());
+  EXPECT_EQ(table.NumRows(), 5u);
+  EXPECT_EQ(table
+                .SelectRowIds(
+                    {ScanCondition{1, CompareOp::kEq, Value(int64_t{3})}})
+                .size(),
+            1u);
+}
+
+TEST(TableTest, InsertRowsIsAllOrNothing) {
+  Table table(PeopleSchema());
+  std::vector<Row> rows{MakePerson("ok", 1),
+                        Row{Value("bad"), Value("not a number")}};
+  EXPECT_FALSE(table.InsertRows(std::move(rows)).ok());
+  EXPECT_EQ(table.NumRows(), 0u);  // The valid row was not inserted either.
+}
+
+TEST(TableTest, CombinedRangeBoundsUseOneIndexProbe) {
+  Table table(PeopleSchema());
+  ASSERT_TRUE(table.CreateIndex("age", IndexKind::kBTree).ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(table.Insert(MakePerson("p" + std::to_string(i), i)).ok());
+  }
+  int64_t lookups_before = table.stats().index_lookups;
+  // 5 <= age < 9, both bounds on the same B-tree column: one range probe.
+  std::vector<RowId> hits = table.SelectRowIds(
+      {ScanCondition{1, CompareOp::kGe, Value(int64_t{5})},
+       ScanCondition{1, CompareOp::kLt, Value(int64_t{9})}});
+  EXPECT_EQ(hits.size(), 4u);
+  EXPECT_EQ(table.stats().index_lookups, lookups_before + 1);
+  // Contradictory bounds short-circuit to an empty result.
+  EXPECT_TRUE(table
+                  .SelectRowIds(
+                      {ScanCondition{1, CompareOp::kGt, Value(int64_t{9})},
+                       ScanCondition{1, CompareOp::kLt, Value(int64_t{5})}})
+                  .empty());
+}
+
 TEST(DatabaseTest, CatalogLifecycle) {
   Database db;
   Result<Table*> created = db.CreateTable(PeopleSchema());
