@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "bench_support/workload.h"
+#include "obs/metrics.h"
 
 namespace mdv::bench {
 
@@ -63,20 +64,29 @@ inline std::string JsonEscape(const std::string& s) {
   return out;
 }
 
-/// Writes every recorded data point as a JSON array. Figure binaries
-/// call this at exit with no default path, so output is produced only
-/// when MDV_BENCH_JSON names a file; dedicated harnesses pass a default
+/// Writes every recorded data point plus the process metrics snapshot as
+/// `{"records": [...], "metrics": {...}}`. The metrics object is
+/// obs::SnapshotJson(): accumulated counters and per-stage latency
+/// histograms (p50/p95/p99) of everything the run executed, so a bench
+/// file carries its own stage breakdown. Figure binaries call this at
+/// exit with no default path, so output is produced only when
+/// MDV_BENCH_JSON names a file; dedicated harnesses pass a default
 /// (e.g. BENCH_filter.json) to always emit their trajectory file.
+///
+/// The file is written atomically (temp file in the same directory, then
+/// std::rename) so a crash or a concurrent reader never observes a
+/// truncated JSON document.
 inline void WriteBenchJson(const char* default_path = nullptr) {
   const char* env = std::getenv("MDV_BENCH_JSON");
   std::string path = env != nullptr ? env : (default_path ? default_path : "");
   if (path.empty()) return;
-  std::FILE* f = std::fopen(path.c_str(), "w");
+  const std::string tmp_path = path + ".tmp";
+  std::FILE* f = std::fopen(tmp_path.c_str(), "w");
   if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::fprintf(stderr, "cannot write %s\n", tmp_path.c_str());
     return;
   }
-  std::fprintf(f, "[\n");
+  std::fprintf(f, "{\n\"records\": [\n");
   const std::vector<BenchRecord>& records = BenchRecords();
   for (size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& r = records[i];
@@ -88,8 +98,12 @@ inline void WriteBenchJson(const char* default_path = nullptr) {
                  r.extra.empty() ? "" : ", ", r.extra.c_str(),
                  i + 1 < records.size() ? "," : "");
   }
-  std::fprintf(f, "]\n");
-  std::fclose(f);
+  std::fprintf(f, "],\n\"metrics\": %s\n}\n", obs::SnapshotJson().c_str());
+  if (std::fclose(f) != 0 || std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "cannot finalize %s\n", path.c_str());
+    std::remove(tmp_path.c_str());
+    return;
+  }
   std::printf("# wrote %s (%zu records)\n", path.c_str(), records.size());
 }
 

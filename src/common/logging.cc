@@ -2,11 +2,32 @@
 
 #include <atomic>
 #include <iostream>
+#include <memory>
+#include <mutex>
 
 namespace mdv {
 
 namespace {
 std::atomic<LogLevel> g_log_level{LogLevel::kWarning};
+
+/// The sink is shared, not copied, per emission: emissions take the
+/// mutex briefly to grab a reference-counted handle, so a sink swap
+/// (SetLogSink, ScopedLogCapture teardown) never races an in-flight
+/// emission using the old sink.
+std::mutex& SinkMutex() {
+  static std::mutex& mu = *new std::mutex();
+  return mu;
+}
+
+std::shared_ptr<LogSink>& SinkSlot() {
+  static std::shared_ptr<LogSink>& sink = *new std::shared_ptr<LogSink>();
+  return sink;
+}
+
+std::shared_ptr<LogSink> CurrentSink() {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  return SinkSlot();
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -26,6 +47,38 @@ const char* LevelName(LogLevel level) {
 void SetLogLevel(LogLevel level) { g_log_level.store(level); }
 LogLevel GetLogLevel() { return g_log_level.load(); }
 
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  if (sink) {
+    SinkSlot() = std::make_shared<LogSink>(std::move(sink));
+  } else {
+    SinkSlot().reset();  // Back to the default stderr sink.
+  }
+}
+
+ScopedLogCapture::ScopedLogCapture(LogLevel capture_level)
+    : previous_level_(GetLogLevel()), previous_sink_(CurrentSink()) {
+  SetLogLevel(capture_level);
+  SetLogSink([this](LogLevel level, const std::string& message) {
+    messages_.emplace_back(level, message);
+  });
+}
+
+ScopedLogCapture::~ScopedLogCapture() {
+  {
+    std::lock_guard<std::mutex> lock(SinkMutex());
+    SinkSlot() = previous_sink_;  // Supports nested captures.
+  }
+  SetLogLevel(previous_level_);
+}
+
+bool ScopedLogCapture::Contains(const std::string& substring) const {
+  for (const auto& [level, message] : messages_) {
+    if (message.find(substring) != std::string::npos) return true;
+  }
+  return false;
+}
+
 namespace internal_logging {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -34,6 +87,11 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
+  std::shared_ptr<LogSink> sink = CurrentSink();
+  if (sink != nullptr) {
+    (*sink)(level_, stream_.str());
+    return;
+  }
   stream_ << "\n";
   std::cerr << stream_.str();
 }

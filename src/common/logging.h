@@ -1,17 +1,55 @@
 #ifndef MDV_COMMON_LOGGING_H_
 #define MDV_COMMON_LOGGING_H_
 
+#include <functional>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace mdv {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Sets the minimum level that is emitted to stderr. Default: kWarning,
-/// so library users are not spammed unless they opt in.
+/// Sets the minimum level that is emitted. Default: kWarning, so library
+/// users are not spammed unless they opt in.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Receives every emitted log line (level + fully formatted message,
+/// including the "[LEVEL file:line]" prefix but no trailing newline).
+using LogSink = std::function<void(LogLevel, const std::string& message)>;
+
+/// Replaces the destination of emitted log lines. Passing an empty
+/// function restores the default stderr sink. The sink runs on the
+/// logging thread; keep it cheap and reentrancy-free (it must not log).
+void SetLogSink(LogSink sink);
+
+/// Test helper: captures every log line emitted during its lifetime
+/// (instead of writing to stderr) and restores the previous sink on
+/// destruction. Also remembers and restores the log level, so tests can
+/// lower it to capture Info/Debug lines without leaking the setting.
+class ScopedLogCapture {
+ public:
+  explicit ScopedLogCapture(LogLevel capture_level = LogLevel::kDebug);
+  ~ScopedLogCapture();
+
+  ScopedLogCapture(const ScopedLogCapture&) = delete;
+  ScopedLogCapture& operator=(const ScopedLogCapture&) = delete;
+
+  const std::vector<std::pair<LogLevel, std::string>>& messages() const {
+    return messages_;
+  }
+
+  /// True when any captured message contains `substring`.
+  bool Contains(const std::string& substring) const;
+
+ private:
+  std::vector<std::pair<LogLevel, std::string>> messages_;
+  LogLevel previous_level_;
+  std::shared_ptr<LogSink> previous_sink_;
+};
 
 namespace internal_logging {
 

@@ -8,12 +8,48 @@
 #include "common/string_util.h"
 #include "filter/predicate_index.h"
 #include "filter/tables.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rdbms/table.h"
 #include "rdf/document.h"
 
 namespace mdv::filter {
 
 namespace {
+
+/// Registry handles of the filter layer, resolved once. Counters mirror
+/// FilterRunStats (accumulated across runs, see the struct docs); the
+/// histograms hold per-stage latencies of FilterEngine::Run, matching
+/// the span names of the per-run trace.
+struct EngineMetrics {
+  obs::MetricsRegistry& r = obs::DefaultMetrics();
+  obs::Counter& runs = r.GetCounter("mdv.filter.runs_total");
+  obs::Counter& delta_atoms = r.GetCounter("mdv.filter.delta_atoms_total");
+  obs::Counter& triggering_matches =
+      r.GetCounter("mdv.filter.triggering_matches_total");
+  obs::Counter& groups_evaluated =
+      r.GetCounter("mdv.filter.groups_evaluated_total");
+  obs::Counter& members_evaluated =
+      r.GetCounter("mdv.filter.members_evaluated_total");
+  obs::Counter& join_matches = r.GetCounter("mdv.filter.join_matches_total");
+  obs::Counter& index_probes = r.GetCounter("mdv.filter.index_probes_total");
+  obs::Counter& index_hits = r.GetCounter("mdv.filter.index_hits_total");
+  obs::Counter& scan_fallbacks =
+      r.GetCounter("mdv.filter.scan_fallbacks_total");
+  obs::Histogram& run_us = r.GetHistogram("mdv.filter.run_us");
+  obs::Histogram& initial_iteration_us =
+      r.GetHistogram("mdv.filter.initial_iteration_us");
+  obs::Histogram& delta_join_us = r.GetHistogram("mdv.filter.delta_join_us");
+  obs::Histogram& materialize_us =
+      r.GetHistogram("mdv.filter.materialize_us");
+  obs::Histogram& evaluate_new_rules_us =
+      r.GetHistogram("mdv.filter.evaluate_new_rules_us");
+
+  static EngineMetrics& Get() {
+    static EngineMetrics& metrics = *new EngineMetrics();
+    return metrics;
+  }
+};
 
 using rdbms::CompareOp;
 using rdbms::Row;
@@ -76,6 +112,7 @@ Status FilterEngine::MatchTriggeringRules(
 Status FilterEngine::MatchTriggeringRulesIndexed(
     const rdf::Statements& delta, FilterRunStats* stats,
     std::map<int64_t, MatchSet>* current) const {
+  obs::ScopedSpan span("filter.index_probe");
   const PredicateIndex& index = store_->predicate_index();
 
   // Group the delta atoms by (class, property) and by value within each
@@ -127,12 +164,15 @@ Status FilterEngine::MatchTriggeringRulesIndexed(
       }
     }
   }
+  span.AddAttribute("probes", stats->index_probes);
+  span.AddAttribute("hits", stats->index_hits);
   return Status::OK();
 }
 
 Status FilterEngine::MatchTriggeringRulesScan(
     const rdf::Statements& delta, FilterRunStats* stats,
     std::map<int64_t, MatchSet>* current) const {
+  obs::ScopedSpan span("filter.table_scan");
   const Table* cls_rules = db_->GetTable(kFilterRulesCLS);
   const Table* eqs = db_->GetTable(kFilterRulesEQS);
 
@@ -259,8 +299,11 @@ Status FilterEngine::WriteResultObjects(
 
 Result<FilterRunResult> FilterEngine::Run(const rdf::Statements& delta,
                                           const FilterOptions& options) {
+  EngineMetrics& metrics = EngineMetrics::Get();
+  obs::ScopedSpan run_span("filter.run", &metrics.run_us);
   FilterRunResult result;
   result.stats.delta_atoms = static_cast<int64_t>(delta.size());
+  run_span.AddAttribute("delta_atoms", result.stats.delta_atoms);
   std::map<int64_t, MatchSet> all_matches;
 
   // Per-run snapshot of MaterializedResults, loaded once per affected
@@ -290,25 +333,32 @@ Result<FilterRunResult> FilterEngine::Run(const rdf::Statements& delta,
 
   // ---- Initial iteration: determine affected triggering rules. --------
   std::map<int64_t, MatchSet> current;
-  MDV_RETURN_IF_ERROR(
-      MatchTriggeringRules(delta, options, &result.stats, &current));
+  {
+    obs::ScopedSpan init_span("filter.initial_iteration",
+                              &metrics.initial_iteration_us);
+    MDV_RETURN_IF_ERROR(
+        MatchTriggeringRules(delta, options, &result.stats, &current));
 
-  if (options.update_materialized) {
-    // Suppress matches that were derived (and published) by earlier runs.
-    for (auto it = current.begin(); it != current.end();) {
-      MatchSet& uris = it->second;
-      const MatchSet& materialized = materialized_of(it->first);
-      if (!materialized.empty()) {
-        for (auto uit = uris.begin(); uit != uris.end();) {
-          if (materialized.count(*uit) != 0) {
-            uit = uris.erase(uit);
-          } else {
-            ++uit;
+    if (options.update_materialized) {
+      // Suppress matches that were derived (and published) by earlier
+      // runs.
+      for (auto it = current.begin(); it != current.end();) {
+        MatchSet& uris = it->second;
+        const MatchSet& materialized = materialized_of(it->first);
+        if (!materialized.empty()) {
+          for (auto uit = uris.begin(); uit != uris.end();) {
+            if (materialized.count(*uit) != 0) {
+              uit = uris.erase(uit);
+            } else {
+              ++uit;
+            }
           }
         }
+        it = uris.empty() ? current.erase(it) : std::next(it);
       }
-      it = uris.empty() ? current.erase(it) : std::next(it);
     }
+    init_span.AddAttribute("affected_rules",
+                           static_cast<int64_t>(current.size()));
   }
 
   // Reverse index of this run's matches (uri → rules), used by the
@@ -335,18 +385,24 @@ Result<FilterRunResult> FilterEngine::Run(const rdf::Statements& delta,
 
   // ---- Iterate join-rule evaluation until no new matches. --------------
   while (!current.empty()) {
-    MDV_RETURN_IF_ERROR(WriteResultObjects(current));
-    for (const auto& [rule_id, uris] : current) {
-      MatchSet& sink = all_matches[rule_id];
-      sink.insert(uris.begin(), uris.end());
-      for (const std::string& uri : uris) {
-        run_rules_of_uri[uri].insert(rule_id);
-      }
-    }
-    if (options.update_materialized) {
+    {
+      // Materialization: mirror the iteration's matches into
+      // ResultObjects and append them to MaterializedResults.
+      obs::ScopedSpan mat_span("filter.materialize",
+                               &metrics.materialize_us);
+      MDV_RETURN_IF_ERROR(WriteResultObjects(current));
       for (const auto& [rule_id, uris] : current) {
-        if (store_->HasDependents(rule_id)) {
-          MDV_RETURN_IF_ERROR(append_materialized(rule_id, uris));
+        MatchSet& sink = all_matches[rule_id];
+        sink.insert(uris.begin(), uris.end());
+        for (const std::string& uri : uris) {
+          run_rules_of_uri[uri].insert(rule_id);
+        }
+      }
+      if (options.update_materialized) {
+        for (const auto& [rule_id, uris] : current) {
+          if (store_->HasDependents(rule_id)) {
+            MDV_RETURN_IF_ERROR(append_materialized(rule_id, uris));
+          }
         }
       }
     }
@@ -360,6 +416,11 @@ Result<FilterRunResult> FilterEngine::Run(const rdf::Statements& delta,
     }
     if (agenda.empty()) break;
     ++result.iterations;
+
+    obs::ScopedSpan join_span("filter.delta_join", &metrics.delta_join_us);
+    join_span.AddAttribute("iteration",
+                           static_cast<int64_t>(result.iterations));
+    join_span.AddAttribute("groups", static_cast<int64_t>(agenda.size()));
 
     std::map<int64_t, MatchSet> next;
     for (const auto& [group_id, members] : agenda) {
@@ -514,11 +575,31 @@ Result<FilterRunResult> FilterEngine::Run(const rdf::Statements& delta,
         std::vector<std::string>(uris.begin(), uris.end());
     std::sort(result.matches[rule_id].begin(), result.matches[rule_id].end());
   }
+
+  // Mirror the run's counters into the process-wide registry (the
+  // accumulating view of FilterRunStats; see the struct docs).
+  metrics.runs.Increment();
+  metrics.delta_atoms.Add(result.stats.delta_atoms);
+  metrics.triggering_matches.Add(result.stats.triggering_matches);
+  metrics.groups_evaluated.Add(result.stats.groups_evaluated);
+  metrics.members_evaluated.Add(result.stats.members_evaluated);
+  metrics.join_matches.Add(result.stats.join_matches);
+  metrics.index_probes.Add(result.stats.index_probes);
+  metrics.index_hits.Add(result.stats.index_hits);
+  metrics.scan_fallbacks.Add(result.stats.scan_fallbacks);
+  run_span.AddAttribute("iterations",
+                        static_cast<int64_t>(result.iterations));
+  run_span.AddAttribute("triggering_matches",
+                        result.stats.triggering_matches);
+  run_span.AddAttribute("join_matches", result.stats.join_matches);
   return result;
 }
 
 Result<FilterRunResult> FilterEngine::EvaluateNewRules(
     const std::vector<int64_t>& new_rules) {
+  obs::ScopedSpan span("filter.evaluate_new_rules",
+                       &EngineMetrics::Get().evaluate_new_rules_us);
+  span.AddAttribute("new_rules", static_cast<int64_t>(new_rules.size()));
   FilterRunResult result;
   std::map<int64_t, MatchSet> fresh;
   const std::unordered_set<int64_t> new_rule_set(new_rules.begin(),

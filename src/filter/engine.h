@@ -34,22 +34,42 @@ struct FilterOptions {
 
 /// Execution counters of one filter run, exposed for benchmarks and for
 /// observability of the algorithm's behaviour.
+///
+/// Each field documents the exact site that increments it. The struct is
+/// the *per-run* view; FilterEngine::Run mirrors every field into
+/// accumulating `mdv.filter.*_total` counters of obs::DefaultMetrics()
+/// at the end of the run (asserted consistent by filter_stats_test.cc),
+/// so MetricsSnapshot() reports the same quantities across all runs of
+/// the process.
 struct FilterRunStats {
-  int64_t delta_atoms = 0;          ///< Input atoms of the run.
-  int64_t triggering_matches = 0;   ///< (rule, uri) pairs after the
-                                    ///< initial iteration (post-dedup).
-  int64_t groups_evaluated = 0;     ///< Rule-group evaluations.
-  int64_t members_evaluated = 0;    ///< Join-rule members with new input.
-  int64_t join_matches = 0;         ///< New (join rule, uri) pairs.
-  int64_t index_probes = 0;         ///< Predicate-index probes of the
-                                    ///< initial iteration (one per
-                                    ///< distinct (class, property,
-                                    ///< value) among the delta atoms).
-  int64_t index_hits = 0;           ///< (rule, uri) emissions from the
-                                    ///< predicate index.
-  int64_t scan_fallbacks = 0;       ///< Delta atoms matched via the
-                                    ///< legacy FilterRules table scan
-                                    ///< (0 when the index is on).
+  /// Input atoms of the run. Set once at the top of FilterEngine::Run
+  /// from `delta.size()`.
+  int64_t delta_atoms = 0;
+  /// (rule, uri) pairs left after the initial iteration, post-dedup and
+  /// post-suppression of already-materialized matches. Summed in Run
+  /// over `current` right before the join loop starts.
+  int64_t triggering_matches = 0;
+  /// Rule-group evaluations: +1 per agenda entry per join iteration
+  /// (top of the group loop in Run). With rule groups disabled every
+  /// member is its own group, so this equals members_evaluated.
+  int64_t groups_evaluated = 0;
+  /// Join-rule members on the agenda (members whose input rules received
+  /// new matches): += members.size() per evaluated group in Run.
+  int64_t members_evaluated = 0;
+  /// Genuinely new (join rule, uri) pairs: += fresh.size() in Run's
+  /// per-member dedup step at the bottom of the group loop.
+  int64_t join_matches = 0;
+  /// Predicate-index probes of the initial iteration: +1 per distinct
+  /// (class, property, value) among the delta atoms, in
+  /// MatchTriggeringRulesIndexed. 0 when the index is off.
+  int64_t index_probes = 0;
+  /// (rule, uri) emissions from the predicate index: +1 in the `add`
+  /// lambda of MatchTriggeringRulesIndexed (pre-dedup, so it may exceed
+  /// triggering_matches).
+  int64_t index_hits = 0;
+  /// Delta atoms matched via the legacy FilterRules table scan: +1 per
+  /// atom in MatchTriggeringRulesScan (0 when the index is on).
+  int64_t scan_fallbacks = 0;
 };
 
 /// Result of one filter run: for every affected atomic rule, the URI

@@ -4,9 +4,30 @@
 #include <functional>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rules/evaluator.h"
 
 namespace mdv {
+
+namespace {
+
+/// Registry handles of the LMR cache layer, resolved once. Aggregated
+/// across all LMRs of the process; per-instance counts stay on the
+/// instance (gc_evictions()).
+struct LmrMetrics {
+  obs::MetricsRegistry& r = obs::DefaultMetrics();
+  obs::Counter& applied = r.GetCounter("mdv.lmr.notifications_applied_total");
+  obs::Counter& evictions = r.GetCounter("mdv.lmr.gc_evictions_total");
+  obs::Histogram& apply_us = r.GetHistogram("mdv.lmr.apply_us");
+
+  static LmrMetrics& Get() {
+    static LmrMetrics& metrics = *new LmrMetrics();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 LocalMetadataRepository::LocalMetadataRepository(pubsub::LmrId id,
                                                  const rdf::RdfSchema* schema,
@@ -116,6 +137,17 @@ void LocalMetadataRepository::ApplyNotification(
 
 void LocalMetadataRepository::ApplyNotificationInternal(
     const pubsub::Notification& note) {
+  LmrMetrics& metrics = LmrMetrics::Get();
+  // Parent to the message's correlation context (the originating MDP
+  // operation) so the apply lands in the publisher's trace even when it
+  // runs outside a delivery call chain — Refresh() applies snapshot
+  // notifications directly, after the snapshot span has closed.
+  obs::ScopedSpan span("lmr.apply_notification", note.trace,
+                       &metrics.apply_us);
+  span.AddAttribute("lmr", static_cast<int64_t>(id_));
+  span.AddAttribute("resources", static_cast<int64_t>(note.resources.size()));
+  metrics.applied.Increment();
+  const int64_t evictions_before = gc_evictions_;
   switch (note.kind) {
     case pubsub::NotificationKind::kInsert: {
       // First land all contents (closure members may be referenced
@@ -160,6 +192,8 @@ void LocalMetadataRepository::ApplyNotificationInternal(
       break;
     }
   }
+  metrics.evictions.Add(gc_evictions_ - evictions_before);
+  span.AddAttribute("evictions", gc_evictions_ - evictions_before);
 }
 
 void LocalMetadataRepository::RecountStrongReferrers() {

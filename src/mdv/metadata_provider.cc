@@ -3,12 +3,43 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rdbms/persistence.h"
 #include "rdf/parser.h"
 #include "rdf/writer.h"
 #include "rules/compiler.h"
 
 namespace mdv {
+
+namespace {
+
+/// Registry handles of the MDP entry points, resolved once.
+struct MdpMetrics {
+  obs::MetricsRegistry& r = obs::DefaultMetrics();
+  obs::Counter& registered = r.GetCounter("mdv.mdp.documents_registered_total");
+  obs::Counter& updated = r.GetCounter("mdv.mdp.documents_updated_total");
+  obs::Counter& deleted = r.GetCounter("mdv.mdp.documents_deleted_total");
+  obs::Counter& subscriptions = r.GetCounter("mdv.mdp.subscriptions_total");
+  obs::Histogram& publish_us = r.GetHistogram("mdv.mdp.publish_us");
+  obs::Histogram& update_us = r.GetHistogram("mdv.mdp.update_us");
+  obs::Histogram& delete_us = r.GetHistogram("mdv.mdp.delete_us");
+  obs::Histogram& subscribe_us = r.GetHistogram("mdv.mdp.subscribe_us");
+
+  static MdpMetrics& Get() {
+    static MdpMetrics& metrics = *new MdpMetrics();
+    return metrics;
+  }
+};
+
+/// Stamps the originating operation's span context on every outgoing
+/// notification so delivery and application correlate to one trace.
+void StampTrace(std::vector<pubsub::Notification>* notes,
+                const obs::SpanContext& trace) {
+  for (pubsub::Notification& note : *notes) note.trace = trace;
+}
+
+}  // namespace
 
 MetadataProvider::MetadataProvider(const rdf::RdfSchema* schema,
                                    Network* network,
@@ -45,6 +76,10 @@ Status MetadataProvider::RegisterDocumentBatch(
 
 Status MetadataProvider::RegisterDocumentBatchInternal(
     std::vector<rdf::RdfDocument> docs, Origin origin) {
+  MdpMetrics& metrics = MdpMetrics::Get();
+  obs::ScopedSpan span("mdp.publish", &metrics.publish_us);
+  span.AddAttribute("documents", static_cast<int64_t>(docs.size()));
+  span.AddAttribute("origin", origin == Origin::kClient ? "client" : "peer");
   for (const rdf::RdfDocument& doc : docs) {
     MDV_RETURN_IF_ERROR(schema_->ValidateDocument(doc));
     if (documents_.Find(doc.uri()) != nullptr) {
@@ -76,7 +111,10 @@ Status MetadataProvider::RegisterDocumentBatchInternal(
 
   MDV_ASSIGN_OR_RETURN(std::vector<pubsub::Notification> notes,
                        publisher_->PublishNewMatches(result));
+  StampTrace(&notes, span.context());
+  span.AddAttribute("notifications", static_cast<int64_t>(notes.size()));
   network_->DeliverAll(notes);
+  metrics.registered.Add(static_cast<int64_t>(docs.size()));
 
   if (origin == Origin::kClient) {
     for (MetadataProvider* peer : peers_) {
@@ -97,6 +135,9 @@ Status MetadataProvider::DeleteDocument(const std::string& uri) {
 
 Status MetadataProvider::UpdateDocumentInternal(rdf::RdfDocument document,
                                                 Origin origin) {
+  MdpMetrics& metrics = MdpMetrics::Get();
+  obs::ScopedSpan span("mdp.update", &metrics.update_us);
+  span.AddAttribute("uri", document.uri());
   MDV_RETURN_IF_ERROR(schema_->ValidateDocument(document));
   const rdf::RdfDocument* original = documents_.Find(document.uri());
   if (original == nullptr) {
@@ -129,7 +170,10 @@ Status MetadataProvider::UpdateDocumentInternal(rdf::RdfDocument document,
 
   MDV_ASSIGN_OR_RETURN(std::vector<pubsub::Notification> notes,
                        publisher_->PublishUpdateOutcome(outcome));
+  StampTrace(&notes, span.context());
+  span.AddAttribute("notifications", static_cast<int64_t>(notes.size()));
   network_->DeliverAll(notes);
+  metrics.updated.Increment();
 
   if (origin == Origin::kClient) {
     for (MetadataProvider* peer : peers_) {
@@ -142,6 +186,9 @@ Status MetadataProvider::UpdateDocumentInternal(rdf::RdfDocument document,
 
 Status MetadataProvider::DeleteDocumentInternal(const std::string& uri,
                                                 Origin origin) {
+  MdpMetrics& metrics = MdpMetrics::Get();
+  obs::ScopedSpan span("mdp.delete", &metrics.delete_us);
+  span.AddAttribute("uri", uri);
   const rdf::RdfDocument* original = documents_.Find(uri);
   if (original == nullptr) {
     return Status::NotFound("document " + uri);
@@ -165,7 +212,10 @@ Status MetadataProvider::DeleteDocumentInternal(const std::string& uri,
 
   MDV_ASSIGN_OR_RETURN(std::vector<pubsub::Notification> notes,
                        publisher_->PublishUpdateOutcome(outcome));
+  StampTrace(&notes, span.context());
+  span.AddAttribute("notifications", static_cast<int64_t>(notes.size()));
   network_->DeliverAll(notes);
+  metrics.deleted.Increment();
 
   if (origin == Origin::kClient) {
     for (MetadataProvider* peer : peers_) {
@@ -177,6 +227,9 @@ Status MetadataProvider::DeleteDocumentInternal(const std::string& uri,
 
 Result<pubsub::SubscriptionId> MetadataProvider::Subscribe(
     pubsub::LmrId lmr, std::string_view rule_text, const std::string& name) {
+  MdpMetrics& metrics = MdpMetrics::Get();
+  obs::ScopedSpan span("mdp.subscribe", &metrics.subscribe_us);
+  span.AddAttribute("lmr", static_cast<int64_t>(lmr));
   // Extensions may name other subscriptions registered here (§2.3).
   auto extension_resolver =
       [this](const std::string& ext) -> std::optional<std::string> {
@@ -221,6 +274,7 @@ Result<pubsub::SubscriptionId> MetadataProvider::Subscribe(
     note.kind = pubsub::NotificationKind::kInsert;
     note.lmr = lmr;
     note.subscription = id;
+    note.trace = span.context();
     for (const std::string& uri : *matches) {
       MDV_ASSIGN_OR_RETURN(std::vector<pubsub::TransmittedResource> shipped,
                            publisher_->WithStrongClosure(uri));
@@ -229,6 +283,7 @@ Result<pubsub::SubscriptionId> MetadataProvider::Subscribe(
     }
     network_->Deliver(note);
   }
+  metrics.subscriptions.Increment();
   return id;
 }
 
@@ -238,6 +293,8 @@ Result<pubsub::Notification> MetadataProvider::SnapshotSubscription(
   if (sub == nullptr) {
     return Status::NotFound("subscription " + std::to_string(subscription));
   }
+  obs::ScopedSpan span("mdp.snapshot_subscription");
+  span.AddAttribute("subscription", static_cast<int64_t>(subscription));
   // Re-evaluate the end rule from scratch against the current metadata.
   MDV_ASSIGN_OR_RETURN(filter::FilterRunResult snapshot,
                        engine_->EvaluateNewRules({sub->end_rule_id}));
@@ -245,6 +302,7 @@ Result<pubsub::Notification> MetadataProvider::SnapshotSubscription(
   note.kind = pubsub::NotificationKind::kInsert;
   note.lmr = sub->lmr;
   note.subscription = subscription;
+  note.trace = span.context();
   const std::vector<std::string>* matches =
       snapshot.MatchesFor(sub->end_rule_id);
   if (matches != nullptr) {

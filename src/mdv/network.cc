@@ -1,6 +1,41 @@
 #include "mdv/network.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace mdv {
+
+namespace {
+
+/// Registry handles of the (simulated) network, resolved once. These
+/// aggregate across Network instances; Network::stats() remains the
+/// per-instance view.
+struct NetworkMetrics {
+  obs::MetricsRegistry& r = obs::DefaultMetrics();
+  obs::Counter& messages = r.GetCounter("mdv.network.messages_total");
+  obs::Counter& resources = r.GetCounter("mdv.network.resources_shipped_total");
+  obs::Counter& undeliverable = r.GetCounter("mdv.network.undeliverable_total");
+  obs::Histogram& deliver_us = r.GetHistogram("mdv.network.deliver_us");
+
+  static NetworkMetrics& Get() {
+    static NetworkMetrics& metrics = *new NetworkMetrics();
+    return metrics;
+  }
+};
+
+const char* KindName(pubsub::NotificationKind kind) {
+  switch (kind) {
+    case pubsub::NotificationKind::kInsert:
+      return "insert";
+    case pubsub::NotificationKind::kUpdate:
+      return "update";
+    case pubsub::NotificationKind::kRemove:
+      return "remove";
+  }
+  return "?";
+}
+
+}  // namespace
 
 void Network::Attach(pubsub::LmrId lmr, Handler handler) {
   handlers_[lmr] = std::move(handler);
@@ -9,12 +44,28 @@ void Network::Attach(pubsub::LmrId lmr, Handler handler) {
 void Network::Detach(pubsub::LmrId lmr) { handlers_.erase(lmr); }
 
 void Network::Deliver(const pubsub::Notification& notification) {
+  NetworkMetrics& metrics = NetworkMetrics::Get();
+  // Parent the delivery span to the correlation context carried on the
+  // message (the originating MDP operation), falling back to this
+  // thread's current span, so the whole publish → deliver → apply chain
+  // is one trace.
+  obs::ScopedSpan span("network.deliver", notification.trace,
+                       &metrics.deliver_us);
+  span.AddAttribute("lmr", static_cast<int64_t>(notification.lmr));
+  span.AddAttribute("kind", KindName(notification.kind));
+  span.AddAttribute("resources",
+                    static_cast<int64_t>(notification.resources.size()));
+
   ++stats_.messages;
   stats_.resources_shipped +=
       static_cast<int64_t>(notification.resources.size());
+  metrics.messages.Increment();
+  metrics.resources.Add(static_cast<int64_t>(notification.resources.size()));
   auto it = handlers_.find(notification.lmr);
   if (it == handlers_.end()) {
     ++stats_.undeliverable;
+    metrics.undeliverable.Increment();
+    span.AddAttribute("undeliverable", "true");
     return;
   }
   it->second(notification);

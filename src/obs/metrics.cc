@@ -1,0 +1,233 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace mdv::obs {
+
+namespace {
+
+/// Formats a double without trailing zeros ("2.5", "100", "1e+06"-free).
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  std::string s(buf);
+  size_t dot = s.find('.');
+  if (dot != std::string::npos) {
+    size_t last = s.find_last_not_of('0');
+    if (last == dot) last = dot - 1;  // "100." -> "100"
+    s.erase(last + 1);
+  }
+  return s;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(count);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < bucket_counts.size(); ++i) {
+    cumulative += bucket_counts[i];
+    if (static_cast<double>(cumulative) >= target) {
+      if (i >= bounds.size()) {
+        // Overflow bucket: no finite upper bound to interpolate to.
+        return bounds.empty() ? 0.0 : bounds.back();
+      }
+      const double lower = i == 0 ? 0.0 : bounds[i - 1];
+      const double upper = bounds[i];
+      const double in_bucket = static_cast<double>(bucket_counts[i]);
+      const double before = static_cast<double>(cumulative) - in_bucket;
+      const double fraction =
+          in_bucket <= 0.0 ? 1.0 : (target - before) / in_bucket;
+      return lower + fraction * (upper - lower);
+    }
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = DefaultLatencyBoundsUs();
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Record(int64_t value) {
+  // First bucket whose upper bound is >= value ("le" semantics, like
+  // Prometheus); values above every bound land in the overflow bucket.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(),
+                                   static_cast<double>(value));
+  const size_t bucket = static_cast<size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::GetSnapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.bucket_counts.reserve(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    snap.bucket_counts.push_back(buckets_[i].load(std::memory_order_relaxed));
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& DefaultLatencyBoundsUs() {
+  static const std::vector<double>& bounds = *new std::vector<double>{
+      1,     2,     5,      10,     25,     50,      100,     250,
+      500,   1000,  2500,   5000,   10000,  25000,   50000,   100000,
+      250000, 500000, 1000000, 2500000};
+  return bounds;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name)
+        << "\": " << value;
+    first = false;
+  }
+  out << (first ? "}" : "\n  }") << ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name)
+        << "\": " << value;
+    first = false;
+  }
+  out << (first ? "}" : "\n  }") << ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name) << "\": {"
+        << "\"count\": " << h.count << ", \"sum\": " << h.sum
+        << ", \"p50\": " << FormatDouble(h.Percentile(50))
+        << ", \"p95\": " << FormatDouble(h.Percentile(95))
+        << ", \"p99\": " << FormatDouble(h.Percentile(99)) << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      if (h.bucket_counts[i] == 0) continue;  // Sparse: zeros add no info.
+      out << (first_bucket ? "" : ", ") << "{\"le\": "
+          << (i < h.bounds.size() ? FormatDouble(h.bounds[i]) : "\"inf\"")
+          << ", \"count\": " << h.bucket_counts[i] << "}";
+      first_bucket = false;
+    }
+    out << "]}";
+    first = false;
+  }
+  out << (first ? "}" : "\n  }") << "\n}";
+  return out.str();
+}
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::ostringstream out;
+  for (const auto& [name, value] : counters) {
+    out << "# TYPE " << name << " counter\n" << name << " " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    out << "# TYPE " << name << " gauge\n" << name << " " << value << "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    out << "# TYPE " << name << " histogram\n";
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      cumulative += h.bucket_counts[i];
+      out << name << "_bucket{le=\""
+          << (i < h.bounds.size() ? FormatDouble(h.bounds[i]) : "+Inf")
+          << "\"} " << cumulative << "\n";
+    }
+    out << name << "_sum " << h.sum << "\n";
+    out << name << "_count " << h.count << "\n";
+  }
+  return out.str();
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms[name] = histogram->GetSnapshot();
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Values are zeroed in place: handles cached by call sites stay valid.
+  for (const auto& [name, counter] : counters_) counter->Reset();
+  for (const auto& [name, gauge] : gauges_) gauge->Reset();
+  for (const auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+MetricsRegistry& DefaultMetrics() {
+  static MetricsRegistry& registry = *new MetricsRegistry();
+  return registry;
+}
+
+std::string SnapshotJson() { return DefaultMetrics().Snapshot().ToJson(); }
+
+std::string PrometheusText() {
+  return DefaultMetrics().Snapshot().ToPrometheusText();
+}
+
+}  // namespace mdv::obs

@@ -1,0 +1,169 @@
+#ifndef MDV_OBS_METRICS_H_
+#define MDV_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mdv::obs {
+
+/// A monotonically increasing named value. Increments are relaxed
+/// atomics, so counters are usable from hot paths and (future) threads
+/// without a lock.
+class Counter {
+ public:
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A named value that can go up and down (cache sizes, queue depths).
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Point-in-time view of one histogram, with percentile extraction.
+/// `bounds[i]` is the inclusive upper bound of bucket i; the last bucket
+/// (bucket_counts.size() == bounds.size() + 1) is the overflow bucket.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<int64_t> bucket_counts;
+  int64_t count = 0;
+  int64_t sum = 0;
+
+  /// Estimated value at percentile `p` in [0, 100], linearly
+  /// interpolated inside the bucket holding the target rank. Values in
+  /// the overflow bucket report the largest finite bound.
+  double Percentile(double p) const;
+};
+
+/// A fixed-bucket latency/size histogram. Recording is a binary search
+/// over the (immutable) bounds plus two relaxed atomic adds — no lock,
+/// safe for concurrent recorders.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(int64_t value);
+  HistogramSnapshot GetSnapshot() const;
+  void Reset();
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<int64_t>[]> buckets_;  // bounds_.size() + 1.
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+/// The default bucket layout for latency histograms, in microseconds:
+/// 1us .. 2.5s in a 1-2.5-5 progression, covering sub-millisecond filter
+/// stages and multi-second full-scale bench runs alike.
+const std::vector<double>& DefaultLatencyBoundsUs();
+
+/// Full registry state at one point in time.
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// The snapshot as a JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, sum, p50, p95, p99, buckets}}}.
+  std::string ToJson() const;
+
+  /// Prometheus text exposition format (counters/gauges as plain
+  /// samples, histograms as cumulative `_bucket{le=...}` series).
+  std::string ToPrometheusText() const;
+};
+
+/// Process-wide registry of named metrics. Registration (name lookup)
+/// takes a mutex; the returned handles are stable for the registry's
+/// lifetime, so call sites resolve them once and then operate lock-free.
+/// Reset() zeroes values in place — cached handles stay valid.
+///
+/// Naming convention (see DESIGN.md, Observability): dot-separated
+/// `mdv.<layer>.<metric>`, `_total` suffix for counters, `_us` suffix
+/// for microsecond latency histograms.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  /// `bounds` is honoured only by the call that creates the histogram;
+  /// later lookups of the same name return the existing instance.
+  Histogram& GetHistogram(const std::string& name,
+                          std::vector<double> bounds = {});
+
+  MetricsSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-wide default registry every MDV component records into.
+MetricsRegistry& DefaultMetrics();
+
+/// Convenience: DefaultMetrics().Snapshot() serialized as JSON.
+std::string SnapshotJson();
+
+/// Convenience: DefaultMetrics().Snapshot() in Prometheus text format.
+std::string PrometheusText();
+
+/// Steady-clock nanoseconds (the time base of all obs timings).
+inline int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Records the elapsed microseconds of its scope into a histogram on
+/// destruction. A null histogram disables the measurement.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram* histogram)
+      : histogram_(histogram), start_ns_(histogram ? NowNs() : 0) {}
+  ~ScopedLatency() {
+    if (histogram_ != nullptr) {
+      histogram_->Record((NowNs() - start_ns_) / 1000);
+    }
+  }
+
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  Histogram* histogram_;
+  int64_t start_ns_;
+};
+
+}  // namespace mdv::obs
+
+#endif  // MDV_OBS_METRICS_H_

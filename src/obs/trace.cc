@@ -1,0 +1,154 @@
+#include "obs/trace.h"
+
+#include <sstream>
+
+namespace mdv::obs {
+
+namespace {
+
+/// Open spans of this thread, innermost last. Shared by all tracers on
+/// the thread; interleaving spans of different Tracer instances on one
+/// thread is not supported (the process uses DefaultTracer()).
+std::vector<SpanContext>& ThreadSpanStack() {
+  thread_local std::vector<SpanContext> stack;
+  return stack;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+Tracer::Tracer(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_ < 1024 ? capacity_ : 1024);
+}
+
+void Tracer::Retain(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+    return;
+  }
+  ring_[next_slot_] = std::move(record);
+  next_slot_ = (next_slot_ + 1) % capacity_;
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  // Oldest first: once the ring wrapped, next_slot_ is the oldest entry.
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    out.insert(out.end(), ring_.begin() + static_cast<long>(next_slot_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<long>(next_slot_));
+  }
+  return out;
+}
+
+std::vector<SpanRecord> Tracer::TraceSpans(uint64_t trace_id) const {
+  std::vector<SpanRecord> all = Snapshot();
+  std::vector<SpanRecord> out;
+  for (SpanRecord& span : all) {
+    if (span.trace_id == trace_id) out.push_back(std::move(span));
+  }
+  return out;
+}
+
+std::string Tracer::ExportJson() const {
+  std::ostringstream out;
+  out << "[";
+  bool first = true;
+  for (const SpanRecord& span : Snapshot()) {
+    out << (first ? "\n" : ",\n") << "  {\"trace_id\": " << span.trace_id
+        << ", \"span_id\": " << span.span_id
+        << ", \"parent_id\": " << span.parent_id << ", \"name\": \""
+        << JsonEscape(span.name) << "\", \"start_us\": " << span.start_ns / 1000
+        << ", \"duration_us\": " << span.duration_us()
+        << ", \"attributes\": {";
+    bool first_attr = true;
+    for (const auto& [key, value] : span.attributes) {
+      out << (first_attr ? "" : ", ") << "\"" << JsonEscape(key) << "\": \""
+          << JsonEscape(value) << "\"";
+      first_attr = false;
+    }
+    out << "}}";
+    first = false;
+  }
+  out << (first ? "]" : "\n]");
+  return out.str();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_slot_ = 0;
+}
+
+Tracer& DefaultTracer() {
+  static Tracer& tracer = *new Tracer();
+  return tracer;
+}
+
+ScopedSpan::ScopedSpan(Tracer* tracer, std::string name, SpanContext parent,
+                       bool use_parent, Histogram* latency)
+    : latency_(latency) {
+  if (tracer == nullptr || !tracer->enabled()) {
+    // Not recording; still honour the latency histogram if given.
+    if (latency_ != nullptr) record_.start_ns = NowNs();
+    return;
+  }
+  tracer_ = tracer;
+  record_.name = std::move(name);
+  record_.span_id = tracer_->NextId();
+
+  SpanContext effective_parent;
+  if (use_parent && parent.valid()) {
+    effective_parent = parent;
+  } else if (!ThreadSpanStack().empty()) {
+    effective_parent = ThreadSpanStack().back();
+  }
+  if (effective_parent.valid()) {
+    record_.trace_id = effective_parent.trace_id;
+    record_.parent_id = effective_parent.span_id;
+  } else {
+    record_.trace_id = record_.span_id;  // New trace rooted here.
+  }
+  ThreadSpanStack().push_back(context());
+  record_.start_ns = NowNs();
+}
+
+ScopedSpan::~ScopedSpan() {
+  record_.end_ns = NowNs();
+  if (latency_ != nullptr && record_.start_ns != 0) {
+    latency_->Record(record_.duration_us());
+  }
+  if (tracer_ == nullptr) return;
+  // Pop this span. Destruction order of nested ScopedSpans guarantees it
+  // is the innermost open span of this thread.
+  std::vector<SpanContext>& stack = ThreadSpanStack();
+  if (!stack.empty() && stack.back().span_id == record_.span_id) {
+    stack.pop_back();
+  }
+  tracer_->Retain(std::move(record_));
+}
+
+void ScopedSpan::AddAttribute(std::string key, std::string value) {
+  if (tracer_ == nullptr) return;
+  record_.attributes.emplace_back(std::move(key), std::move(value));
+}
+
+void ScopedSpan::AddAttribute(std::string key, int64_t value) {
+  AddAttribute(std::move(key), std::to_string(value));
+}
+
+}  // namespace mdv::obs

@@ -1,0 +1,139 @@
+#ifndef MDV_OBS_TRACE_H_
+#define MDV_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace mdv::obs {
+
+/// Identifies a span within a trace. Travels on bus messages (e.g.
+/// pubsub::Notification) so one published document's journey through
+/// MDP → network → LMR is a single connected trace even when delivery
+/// crosses a component boundary.
+struct SpanContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+
+  bool valid() const { return trace_id != 0; }
+};
+
+/// One finished span as retained by the tracer's ring buffer.
+struct SpanRecord {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;  ///< 0 for trace roots.
+  std::string name;
+  int64_t start_ns = 0;  ///< Steady-clock, same base as obs::NowNs().
+  int64_t end_ns = 0;
+  std::vector<std::pair<std::string, std::string>> attributes;
+
+  int64_t duration_us() const { return (end_ns - start_ns) / 1000; }
+};
+
+/// Retains the most recent finished spans in a fixed-capacity ring
+/// buffer and assigns trace/span ids. Span begin/end is driven by
+/// ScopedSpan; parent links come from a thread-local stack of open
+/// spans, so synchronous call chains (MDP publish → filter → publisher →
+/// network → LMR) nest without explicit context plumbing. For hops that
+/// are not synchronous calls, carry a SpanContext on the message and
+/// pass it to ScopedSpan explicitly.
+class Tracer {
+ public:
+  explicit Tracer(size_t capacity = kDefaultCapacity);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// When disabled, ScopedSpan becomes a no-op (no clock reads, no
+  /// retention). Enabled by default.
+  void set_enabled(bool enabled) { enabled_.store(enabled); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// All retained spans, oldest first (completion order).
+  std::vector<SpanRecord> Snapshot() const;
+
+  /// The retained spans of one trace, completion order.
+  std::vector<SpanRecord> TraceSpans(uint64_t trace_id) const;
+
+  /// Retained spans as a JSON array of
+  /// {trace_id, span_id, parent_id, name, start_us, duration_us,
+  ///  attributes}.
+  std::string ExportJson() const;
+
+  /// Drops all retained spans (ids keep increasing).
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  // ---- Used by ScopedSpan. ---------------------------------------------
+  uint64_t NextId() { return next_id_.fetch_add(1, std::memory_order_relaxed); }
+  void Retain(SpanRecord record);
+
+ private:
+  const size_t capacity_;
+  std::atomic<bool> enabled_{true};
+  std::atomic<uint64_t> next_id_{1};
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> ring_;  // Ring buffer once full.
+  size_t next_slot_ = 0;          // Insert position when ring_ is full.
+};
+
+/// The process-wide tracer every MDV component records into.
+Tracer& DefaultTracer();
+
+/// RAII span: opens on construction, becomes the current span of this
+/// thread, and is retained by the tracer on destruction. The parent is
+/// the thread's current span unless an explicit SpanContext (e.g. from a
+/// received message) is given. An optional histogram receives the span's
+/// duration in microseconds, so stage latency percentiles and trace
+/// spans come from the same clock reads.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string name, Histogram* latency = nullptr)
+      : ScopedSpan(&DefaultTracer(), std::move(name), SpanContext{}, false,
+                   latency) {}
+
+  /// Parents the span to `parent` (a context carried on a message).
+  /// Falls back to the thread's current span when `parent` is invalid.
+  ScopedSpan(std::string name, SpanContext parent,
+             Histogram* latency = nullptr)
+      : ScopedSpan(&DefaultTracer(), std::move(name), parent, true, latency) {}
+
+  /// Explicit-tracer variant (unit tests with private tracers).
+  ScopedSpan(Tracer* tracer, std::string name,
+             SpanContext parent = SpanContext{}, bool use_parent = false,
+             Histogram* latency = nullptr);
+
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void AddAttribute(std::string key, std::string value);
+  void AddAttribute(std::string key, int64_t value);
+
+  /// This span's context — attach it to outgoing messages.
+  SpanContext context() const {
+    return SpanContext{record_.trace_id, record_.span_id};
+  }
+
+  /// False when tracing is disabled (attributes are dropped).
+  bool recording() const { return tracer_ != nullptr; }
+
+ private:
+  Tracer* tracer_ = nullptr;  // Null when not recording.
+  Histogram* latency_ = nullptr;
+  SpanRecord record_;
+};
+
+}  // namespace mdv::obs
+
+#endif  // MDV_OBS_TRACE_H_

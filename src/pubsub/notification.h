@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "pubsub/subscription.h"
 #include "rdf/document.h"
 
@@ -36,6 +37,12 @@ struct Notification {
   /// which refresh any cached copy regardless of subscription.
   SubscriptionId subscription = -1;
   std::vector<TransmittedResource> resources;
+  /// Correlation context of the publish that produced this message: the
+  /// span of the originating MDP operation. Network delivery and the
+  /// LMR's application parent their spans here, so one document's
+  /// journey from registration to cache update is a single trace even
+  /// across (future asynchronous) delivery boundaries.
+  obs::SpanContext trace;
 };
 
 }  // namespace mdv::pubsub

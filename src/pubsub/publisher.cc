@@ -4,8 +4,51 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mdv::pubsub {
+
+namespace {
+
+/// Registry handles of the publish stage, resolved once.
+struct PublishMetrics {
+  obs::MetricsRegistry& r = obs::DefaultMetrics();
+  obs::Counter& notifications = r.GetCounter("mdv.publish.notifications_total");
+  obs::Counter& inserts = r.GetCounter("mdv.publish.insert_notifications_total");
+  obs::Counter& updates = r.GetCounter("mdv.publish.update_notifications_total");
+  obs::Counter& removes = r.GetCounter("mdv.publish.remove_notifications_total");
+  obs::Counter& resources = r.GetCounter("mdv.publish.resources_shipped_total");
+  obs::Histogram& emit_us = r.GetHistogram("mdv.publish.emit_us");
+
+  static PublishMetrics& Get() {
+    static PublishMetrics& metrics = *new PublishMetrics();
+    return metrics;
+  }
+};
+
+void CountNotifications(const std::vector<Notification>& notifications,
+                        size_t from = 0) {
+  PublishMetrics& metrics = PublishMetrics::Get();
+  metrics.notifications.Add(static_cast<int64_t>(notifications.size() - from));
+  for (size_t i = from; i < notifications.size(); ++i) {
+    const Notification& note = notifications[i];
+    metrics.resources.Add(static_cast<int64_t>(note.resources.size()));
+    switch (note.kind) {
+      case NotificationKind::kInsert:
+        metrics.inserts.Increment();
+        break;
+      case NotificationKind::kUpdate:
+        metrics.updates.Increment();
+        break;
+      case NotificationKind::kRemove:
+        metrics.removes.Increment();
+        break;
+    }
+  }
+}
+
+}  // namespace
 
 Result<std::vector<TransmittedResource>> Publisher::WithStrongClosure(
     const std::string& uri_reference) const {
@@ -44,6 +87,8 @@ Result<std::vector<TransmittedResource>> Publisher::WithStrongClosure(
 
 Result<std::vector<Notification>> Publisher::PublishNewMatches(
     const filter::FilterRunResult& result) const {
+  obs::ScopedSpan span("publish.new_matches",
+                       &PublishMetrics::Get().emit_us);
   std::vector<Notification> notifications;
   for (int64_t end_rule : registry_->EndRuleIds()) {
     const std::vector<std::string>* matches = result.MatchesFor(end_rule);
@@ -64,17 +109,24 @@ Result<std::vector<Notification>> Publisher::PublishNewMatches(
       }
     }
   }
+  span.AddAttribute("notifications",
+                    static_cast<int64_t>(notifications.size()));
+  CountNotifications(notifications);
   return notifications;
 }
 
 Result<std::vector<Notification>> Publisher::PublishUpdateOutcome(
     const filter::UpdateOutcome& outcome) const {
+  obs::ScopedSpan span("publish.update_outcome",
+                       &PublishMetrics::Get().emit_us);
   std::vector<Notification> notifications;
 
-  // New matches (pass 3) → inserts.
+  // New matches (pass 3) → inserts. (Already counted into the registry
+  // by the nested PublishNewMatches call.)
   MDV_ASSIGN_OR_RETURN(std::vector<Notification> inserts,
                        PublishNewMatches(outcome.new_matches));
   notifications.insert(notifications.end(), inserts.begin(), inserts.end());
+  const size_t counted_prefix = notifications.size();
 
   // Updated resources → broadcast their new versions; LMRs apply them
   // only to copies they actually cache. (The paper notes the alternative
@@ -130,6 +182,9 @@ Result<std::vector<Notification>> Publisher::PublishUpdateOutcome(
       notifications.push_back(std::move(note));
     }
   }
+  span.AddAttribute("notifications",
+                    static_cast<int64_t>(notifications.size()));
+  CountNotifications(notifications, counted_prefix);
   return notifications;
 }
 

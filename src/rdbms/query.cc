@@ -3,6 +3,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+
 namespace mdv::rdbms {
 
 int RowSet::ColumnIndex(const std::string& name) const {
@@ -53,6 +55,9 @@ std::vector<std::string> ConcatColumns(const std::vector<std::string>& a,
 
 RowSet HashJoin(const RowSet& left, size_t left_col, const RowSet& right,
                 size_t right_col) {
+  obs::DefaultMetrics().GetCounter("mdv.rdbms.joins_total").Increment();
+  obs::ScopedLatency timer(
+      &obs::DefaultMetrics().GetHistogram("mdv.rdbms.join_us"));
   RowSet out;
   out.columns = ConcatColumns(left.columns, right.columns);
   // Build on the smaller side; probe with the larger.
@@ -83,6 +88,9 @@ RowSet HashJoin(const RowSet& left, size_t left_col, const RowSet& right,
 RowSet NestedLoopJoin(const RowSet& left, size_t left_col, CompareOp op,
                       const RowSet& right, size_t right_col) {
   if (op == CompareOp::kEq) return HashJoin(left, left_col, right, right_col);
+  obs::DefaultMetrics().GetCounter("mdv.rdbms.joins_total").Increment();
+  obs::ScopedLatency timer(
+      &obs::DefaultMetrics().GetHistogram("mdv.rdbms.join_us"));
   RowSet out;
   out.columns = ConcatColumns(left.columns, right.columns);
   for (const Row& lrow : left.rows) {

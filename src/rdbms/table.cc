@@ -1,10 +1,46 @@
 #include "rdbms/table.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace mdv::rdbms {
 
-Table::Table(TableSchema schema) : schema_(std::move(schema)) {}
+namespace {
+
+/// Aggregate (cross-table) lookup latency. Recording every select would
+/// cost two clock reads on paths that do little more than one index
+/// probe, so lookups are sampled 1-in-kLookupSampleRate; the histogram
+/// still converges on the true latency distribution while keeping the
+/// per-call overhead to one relaxed increment.
+constexpr uint64_t kLookupSampleRate = 16;
+
+obs::Histogram& LookupLatencyUs() {
+  static obs::Histogram& h =
+      obs::DefaultMetrics().GetHistogram("mdv.rdbms.lookup_us");
+  return h;
+}
+
+obs::Histogram& InsertLatencyUs() {
+  static obs::Histogram& h =
+      obs::DefaultMetrics().GetHistogram("mdv.rdbms.insert_us");
+  return h;
+}
+
+bool SampleLookup() {
+  static std::atomic<uint64_t> tick{0};
+  return tick.fetch_add(1, std::memory_order_relaxed) % kLookupSampleRate == 0;
+}
+
+}  // namespace
+
+Table::Table(TableSchema schema) : schema_(std::move(schema)) {
+  obs::MetricsRegistry& metrics = obs::DefaultMetrics();
+  const std::string prefix = "mdv.rdbms.table." + schema_.table_name() + ".";
+  metric_index_lookups_ = &metrics.GetCounter(prefix + "index_lookups_total");
+  metric_full_scans_ = &metrics.GetCounter(prefix + "full_scans_total");
+  metric_rows_examined_ = &metrics.GetCounter(prefix + "rows_examined_total");
+  metric_rows_inserted_ = &metrics.GetCounter(prefix + "rows_inserted_total");
+}
 
 Status Table::ValidateRow(const Row& row) const {
   if (row.size() != schema_.num_columns()) {
@@ -38,16 +74,20 @@ Status Table::ValidateRow(const Row& row) const {
 }
 
 Result<RowId> Table::Insert(Row row) {
+  obs::ScopedLatency timer(&InsertLatencyUs());
   MDV_RETURN_IF_ERROR(ValidateRow(row));
   RowId id = next_row_id_++;
   IndexInsert(id, row);
   rows_.emplace(id, std::move(row));
   if (undo_ != nullptr) undo_->RecordInsert(this, id);
+  metric_rows_inserted_->Increment();
   return id;
 }
 
 Status Table::InsertRows(std::vector<Row> rows) {
+  obs::ScopedLatency timer(&InsertLatencyUs());
   for (const Row& row : rows) MDV_RETURN_IF_ERROR(ValidateRow(row));
+  metric_rows_inserted_->Add(static_cast<int64_t>(rows.size()));
   for (Row& row : rows) {
     RowId id = next_row_id_++;
     IndexInsert(id, row);
@@ -176,6 +216,7 @@ int Table::ChooseAccessPath(
 
 std::vector<RowId> Table::SelectRowIds(
     const std::vector<ScanCondition>& conditions) const {
+  obs::ScopedLatency timer(SampleLookup() ? &LookupLatencyUs() : nullptr);
   std::vector<RowId> out;
   int path = ChooseAccessPath(conditions);
   if (path >= 0) {
@@ -234,6 +275,8 @@ std::vector<RowId> Table::SelectRowIds(
     }
     ++stats_.index_lookups;
     stats_.rows_examined += static_cast<int64_t>(candidates.size());
+    metric_index_lookups_->Increment();
+    metric_rows_examined_->Add(static_cast<int64_t>(candidates.size()));
     for (RowId id : candidates) {
       const Row* row = Get(id);
       if (row != nullptr && RowMatches(*row, conditions)) out.push_back(id);
@@ -241,10 +284,14 @@ std::vector<RowId> Table::SelectRowIds(
     return out;
   }
   ++stats_.full_scans;
+  metric_full_scans_->Increment();
+  int64_t examined = 0;
   for (const auto& [id, row] : rows_) {
-    ++stats_.rows_examined;
+    ++examined;
     if (RowMatches(row, conditions)) out.push_back(id);
   }
+  stats_.rows_examined += examined;
+  metric_rows_examined_->Add(examined);
   return out;
 }
 
@@ -258,10 +305,14 @@ std::vector<Row> Table::SelectRows(
 std::vector<RowId> Table::SelectWhere(const Predicate& predicate) const {
   std::vector<RowId> out;
   ++stats_.full_scans;
+  metric_full_scans_->Increment();
+  int64_t examined = 0;
   for (const auto& [id, row] : rows_) {
-    ++stats_.rows_examined;
+    ++examined;
     if (predicate.Evaluate(row)) out.push_back(id);
   }
+  stats_.rows_examined += examined;
+  metric_rows_examined_->Add(examined);
   return out;
 }
 

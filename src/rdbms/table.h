@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "rdbms/index.h"
 #include "rdbms/predicate.h"
 #include "rdbms/row.h"
@@ -27,10 +28,16 @@ struct ScanCondition {
 
 /// Execution statistics, exposed so benchmarks can verify which access
 /// path was used (paper §3.3.4 stresses physical design of filter tables).
+///
+/// The struct is the *per-table-instance* view (`Table::stats()`,
+/// resettable per test/bench). Every increment is mirrored into the
+/// process-wide obs::DefaultMetrics() registry under
+/// `mdv.rdbms.table.<name>.*` counters, which aggregate across database
+/// instances (e.g. all MDPs of one MdvSystem) and feed MetricsSnapshot().
 struct TableStats {
-  int64_t index_lookups = 0;
-  int64_t full_scans = 0;
-  int64_t rows_examined = 0;
+  int64_t index_lookups = 0;  ///< Selects served via a secondary index.
+  int64_t full_scans = 0;     ///< Selects that scanned the whole heap.
+  int64_t rows_examined = 0;  ///< Rows touched by either access path.
 };
 
 /// An in-memory heap table with optional secondary indexes.
@@ -127,6 +134,14 @@ class Table {
   std::vector<std::unique_ptr<Index>> indexes_;  // At most one per column.
   UndoLog* undo_ = nullptr;
   mutable TableStats stats_;
+
+  // Registry mirrors of stats_, resolved once at construction (handles
+  // are stable; incrementing is a relaxed atomic add). Shared by every
+  // table of the same name across database instances.
+  obs::Counter* metric_index_lookups_;
+  obs::Counter* metric_full_scans_;
+  obs::Counter* metric_rows_examined_;
+  obs::Counter* metric_rows_inserted_;
 };
 
 }  // namespace mdv::rdbms

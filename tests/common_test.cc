@@ -122,5 +122,50 @@ TEST(LoggingTest, LevelGate) {
   SetLogLevel(old_level);
 }
 
+TEST(LoggingTest, SinkReceivesFormattedLines) {
+  std::vector<std::pair<LogLevel, std::string>> lines;
+  LogLevel old_level = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  SetLogSink([&](LogLevel level, const std::string& message) {
+    lines.emplace_back(level, message);
+  });
+  MDV_LOG(Warning) << "routed " << 42;
+  SetLogSink({});  // Restore stderr.
+  SetLogLevel(old_level);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].first, LogLevel::kWarning);
+  EXPECT_NE(lines[0].second.find("routed 42"), std::string::npos);
+  EXPECT_NE(lines[0].second.find("[WARN "), std::string::npos);
+  // No trailing newline: the sink owns framing.
+  EXPECT_EQ(lines[0].second.find('\n'), std::string::npos);
+}
+
+TEST(LoggingTest, ScopedLogCaptureCollectsAndRestores) {
+  LogLevel old_level = GetLogLevel();
+  {
+    ScopedLogCapture capture(LogLevel::kDebug);
+    MDV_LOG(Debug) << "inner detail";
+    MDV_LOG(Error) << "boom";
+    EXPECT_EQ(capture.messages().size(), 2u);
+    EXPECT_TRUE(capture.Contains("inner detail"));
+    EXPECT_TRUE(capture.Contains("boom"));
+    EXPECT_FALSE(capture.Contains("absent"));
+  }
+  EXPECT_EQ(GetLogLevel(), old_level);
+}
+
+TEST(LoggingTest, ScopedLogCapturesNest) {
+  ScopedLogCapture outer;
+  {
+    ScopedLogCapture inner;
+    MDV_LOG(Error) << "to inner";
+    EXPECT_TRUE(inner.Contains("to inner"));
+  }
+  // The inner capture restored the outer sink, not stderr.
+  MDV_LOG(Error) << "to outer";
+  EXPECT_TRUE(outer.Contains("to outer"));
+  EXPECT_FALSE(outer.Contains("to inner"));
+}
+
 }  // namespace
 }  // namespace mdv

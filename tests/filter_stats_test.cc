@@ -5,8 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "bench_support/workload.h"
 #include "filter/engine.h"
+#include "obs/metrics.h"
 #include "rdf/parser.h"
 
 namespace mdv::filter {
@@ -111,6 +114,49 @@ TEST(FilterStatsTest, Figure9RunCounters) {
                                                  // group twice: once per
                                                  // input side iteration).
   EXPECT_EQ(result->stats.join_matches, 2);  // info (RuleE), host (RuleF).
+}
+
+// FilterRunStats documents itself as mirrored 1:1 into the
+// `mdv.filter.*_total` registry counters at the end of every run; this
+// asserts the struct and the snapshot cannot drift apart.
+TEST(FilterStatsTest, RegistryCountersMirrorTheRunStats) {
+  WorkloadGenerator generator({BenchRuleType::kPath, 30, 0.1});
+  FilterFixture fixture;
+  for (size_t i = 0; i < 30; ++i) {
+    ASSERT_TRUE(fixture.RegisterRule(generator.RuleText(i)).ok());
+  }
+  obs::MetricsSnapshot before = obs::DefaultMetrics().Snapshot();
+  Result<FilterRunResult> result =
+      fixture.RegisterDocumentBatch(generator.MakeDocumentBatch(0, 5));
+  ASSERT_TRUE(result.ok());
+
+  obs::MetricsSnapshot after = obs::DefaultMetrics().Snapshot();
+  auto delta = [&](const std::string& name) {
+    auto it = before.counters.find(name);
+    int64_t prev = it == before.counters.end() ? 0 : it->second;
+    return after.counters.at(name) - prev;
+  };
+  const FilterRunStats& stats = result->stats;
+  EXPECT_EQ(delta("mdv.filter.runs_total"), 1);
+  EXPECT_EQ(delta("mdv.filter.delta_atoms_total"), stats.delta_atoms);
+  EXPECT_EQ(delta("mdv.filter.triggering_matches_total"),
+            stats.triggering_matches);
+  EXPECT_EQ(delta("mdv.filter.groups_evaluated_total"),
+            stats.groups_evaluated);
+  EXPECT_EQ(delta("mdv.filter.members_evaluated_total"),
+            stats.members_evaluated);
+  EXPECT_EQ(delta("mdv.filter.join_matches_total"), stats.join_matches);
+  EXPECT_EQ(delta("mdv.filter.index_probes_total"), stats.index_probes);
+  EXPECT_EQ(delta("mdv.filter.index_hits_total"), stats.index_hits);
+  EXPECT_EQ(delta("mdv.filter.scan_fallbacks_total"), stats.scan_fallbacks);
+  // Sanity: the run did real work, so the mirror is not vacuous.
+  EXPECT_GT(stats.delta_atoms, 0);
+  EXPECT_GT(stats.triggering_matches, 0);
+  // The run's latency histogram observed this run.
+  auto hist_before = before.histograms.find("mdv.filter.run_us");
+  int64_t prev_count =
+      hist_before == before.histograms.end() ? 0 : hist_before->second.count;
+  EXPECT_GE(after.histograms.at("mdv.filter.run_us").count - prev_count, 1);
 }
 
 }  // namespace

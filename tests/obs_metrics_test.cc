@@ -1,0 +1,168 @@
+// Tests of the metrics registry: bucket boundary ("le") semantics,
+// percentile interpolation, handle stability across Reset, and the JSON
+// and Prometheus serializations.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace mdv::obs {
+namespace {
+
+TEST(CounterTest, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(GaugeTest, MovesBothWays) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.value(), 7);
+}
+
+TEST(HistogramTest, BucketBoundsAreInclusiveUpperBounds) {
+  // Prometheus "le" semantics: a value equal to a bound lands in that
+  // bound's bucket.
+  Histogram h({10, 100, 1000});
+  h.Record(10);    // bucket 0 (le=10).
+  h.Record(11);    // bucket 1 (le=100).
+  h.Record(100);   // bucket 1.
+  h.Record(1000);  // bucket 2 (le=1000).
+  h.Record(1001);  // overflow bucket.
+  HistogramSnapshot snap = h.GetSnapshot();
+  ASSERT_EQ(snap.bucket_counts.size(), 4u);
+  EXPECT_EQ(snap.bucket_counts[0], 1);
+  EXPECT_EQ(snap.bucket_counts[1], 2);
+  EXPECT_EQ(snap.bucket_counts[2], 1);
+  EXPECT_EQ(snap.bucket_counts[3], 1);
+  EXPECT_EQ(snap.count, 5);
+  EXPECT_EQ(snap.sum, 10 + 11 + 100 + 1000 + 1001);
+}
+
+TEST(HistogramTest, UnsortedDuplicateBoundsAreNormalized) {
+  Histogram h({100, 10, 100});
+  EXPECT_EQ(h.bounds(), (std::vector<double>{10, 100}));
+}
+
+TEST(HistogramTest, EmptyBoundsFallBackToDefaultLatencyLadder) {
+  Histogram h({});
+  EXPECT_EQ(h.bounds(), DefaultLatencyBoundsUs());
+}
+
+TEST(HistogramTest, PercentileInterpolatesWithinBucket) {
+  // 100 values uniformly in the (0, 100] bucket: the snapshot only knows
+  // the bucket, so percentiles interpolate linearly across [0, 100].
+  Histogram h({100, 200});
+  for (int i = 1; i <= 100; ++i) h.Record(i);
+  HistogramSnapshot snap = h.GetSnapshot();
+  EXPECT_NEAR(snap.Percentile(50), 50.0, 1.0);
+  EXPECT_NEAR(snap.Percentile(95), 95.0, 1.0);
+  EXPECT_NEAR(snap.Percentile(100), 100.0, 1e-9);
+}
+
+TEST(HistogramTest, PercentileSpansBuckets) {
+  Histogram h({10, 100, 1000});
+  for (int i = 0; i < 90; ++i) h.Record(5);     // le=10.
+  for (int i = 0; i < 10; ++i) h.Record(500);   // le=1000.
+  HistogramSnapshot snap = h.GetSnapshot();
+  EXPECT_LE(snap.Percentile(50), 10.0);
+  // p95 falls in the (100, 1000] bucket.
+  double p95 = snap.Percentile(95);
+  EXPECT_GT(p95, 100.0);
+  EXPECT_LE(p95, 1000.0);
+}
+
+TEST(HistogramTest, OverflowValuesReportLargestFiniteBound) {
+  Histogram h({10, 100});
+  for (int i = 0; i < 10; ++i) h.Record(100000);
+  EXPECT_DOUBLE_EQ(h.GetSnapshot().Percentile(99), 100.0);
+}
+
+TEST(HistogramTest, EmptyHistogramPercentileIsZero) {
+  Histogram h({10});
+  EXPECT_DOUBLE_EQ(h.GetSnapshot().Percentile(50), 0.0);
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameHandle) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("x_total");
+  Counter& b = registry.GetCounter("x_total");
+  EXPECT_EQ(&a, &b);
+  Histogram& ha = registry.GetHistogram("y_us", {10, 20});
+  // Bounds of a later lookup are ignored; the existing instance wins.
+  Histogram& hb = registry.GetHistogram("y_us", {1, 2, 3});
+  EXPECT_EQ(&ha, &hb);
+  EXPECT_EQ(ha.bounds(), (std::vector<double>{10, 20}));
+}
+
+TEST(MetricsRegistryTest, HandlesStayValidAcrossReset) {
+  MetricsRegistry registry;
+  Counter& c = registry.GetCounter("c_total");
+  Histogram& h = registry.GetHistogram("h_us", {10});
+  c.Add(5);
+  h.Record(3);
+  registry.Reset();
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(h.GetSnapshot().count, 0);
+  // The handles still work after Reset — values were zeroed in place.
+  c.Increment();
+  h.Record(7);
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("c_total"), 1);
+  EXPECT_EQ(snap.histograms.at("h_us").count, 1);
+}
+
+TEST(MetricsRegistryTest, SnapshotJsonShape) {
+  MetricsRegistry registry;
+  registry.GetCounter("runs_total").Add(3);
+  registry.GetGauge("depth").Set(-2);
+  registry.GetHistogram("lat_us", {10, 100}).Record(50);
+  std::string json = registry.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"runs_total\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"depth\": -2"), std::string::npos);
+  EXPECT_NE(json.find("\"lat_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PrometheusTextHasCumulativeBuckets) {
+  MetricsRegistry registry;
+  registry.GetCounter("runs_total").Add(2);
+  Histogram& h = registry.GetHistogram("lat_us", {10, 100});
+  h.Record(5);
+  h.Record(50);
+  h.Record(5000);
+  std::string text = registry.Snapshot().ToPrometheusText();
+  EXPECT_NE(text.find("runs_total 2"), std::string::npos);
+  // Cumulative counts: le=10 → 1, le=100 → 2, le=+Inf → 3.
+  EXPECT_NE(text.find("lat_us_bucket{le=\"10\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_bucket{le=\"100\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_count 3"), std::string::npos);
+}
+
+TEST(DefaultMetricsTest, IsAProcessWideSingleton) {
+  Counter& a = DefaultMetrics().GetCounter("obs_test.singleton_total");
+  Counter& b = DefaultMetrics().GetCounter("obs_test.singleton_total");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(ScopedLatencyTest, RecordsOnDestruction) {
+  Histogram h({1000000});
+  { ScopedLatency timer(&h); }
+  EXPECT_EQ(h.GetSnapshot().count, 1);
+  { ScopedLatency disabled(nullptr); }  // Must not crash.
+}
+
+}  // namespace
+}  // namespace mdv::obs

@@ -1,0 +1,164 @@
+// Tests of the span tracer: implicit parent/child nesting via the
+// thread-local span stack, explicit message-carried parent contexts,
+// ring-buffer retention, and the JSON export.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/trace.h"
+
+namespace mdv::obs {
+namespace {
+
+// Each test uses a private Tracer so the process-wide DefaultTracer()
+// (fed by any code under test elsewhere in the binary) cannot interfere.
+
+TEST(ScopedSpanTest, RootSpanStartsItsOwnTrace) {
+  Tracer tracer;
+  { ScopedSpan span(&tracer, "root"); }
+  std::vector<SpanRecord> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "root");
+  EXPECT_EQ(spans[0].parent_id, 0u);
+  EXPECT_EQ(spans[0].trace_id, spans[0].span_id);
+  EXPECT_GE(spans[0].end_ns, spans[0].start_ns);
+}
+
+TEST(ScopedSpanTest, NestedSpansLinkToTheEnclosingSpan) {
+  Tracer tracer;
+  {
+    ScopedSpan outer(&tracer, "outer");
+    {
+      ScopedSpan inner(&tracer, "inner");
+      { ScopedSpan innermost(&tracer, "innermost"); }
+    }
+    { ScopedSpan sibling(&tracer, "sibling"); }
+  }
+  // Completion order: innermost, inner, sibling, outer.
+  std::vector<SpanRecord> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  const SpanRecord& innermost = spans[0];
+  const SpanRecord& inner = spans[1];
+  const SpanRecord& sibling = spans[2];
+  const SpanRecord& outer = spans[3];
+  EXPECT_EQ(outer.parent_id, 0u);
+  EXPECT_EQ(inner.parent_id, outer.span_id);
+  EXPECT_EQ(innermost.parent_id, inner.span_id);
+  EXPECT_EQ(sibling.parent_id, outer.span_id);
+  // One trace, rooted at the outer span.
+  for (const SpanRecord& span : spans) {
+    EXPECT_EQ(span.trace_id, outer.span_id);
+  }
+  EXPECT_EQ(tracer.TraceSpans(outer.trace_id).size(), 4u);
+}
+
+TEST(ScopedSpanTest, ExplicitParentContextJoinsTheRemoteTrace) {
+  Tracer tracer;
+  SpanContext carried;
+  {
+    ScopedSpan origin(&tracer, "origin");
+    carried = origin.context();  // As stamped on a bus message.
+  }
+  // A new "delivery" on an empty stack joins the origin's trace.
+  { ScopedSpan deliver(&tracer, "deliver", carried, /*use_parent=*/true); }
+  std::vector<SpanRecord> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[1].trace_id, carried.trace_id);
+  EXPECT_EQ(spans[1].parent_id, carried.span_id);
+}
+
+TEST(ScopedSpanTest, InvalidParentContextFallsBackToThreadStack) {
+  Tracer tracer;
+  {
+    ScopedSpan outer(&tracer, "outer");
+    ScopedSpan child(&tracer, "child", SpanContext{}, /*use_parent=*/true);
+  }
+  std::vector<SpanRecord> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "child");
+  EXPECT_EQ(spans[0].parent_id, spans[1].span_id);
+}
+
+TEST(ScopedSpanTest, AttributesAreRetained) {
+  Tracer tracer;
+  {
+    ScopedSpan span(&tracer, "attr");
+    span.AddAttribute("uri", "doc.rdf");
+    span.AddAttribute("count", static_cast<int64_t>(7));
+  }
+  std::vector<SpanRecord> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  ASSERT_EQ(spans[0].attributes.size(), 2u);
+  EXPECT_EQ(spans[0].attributes[0],
+            (std::pair<std::string, std::string>{"uri", "doc.rdf"}));
+  EXPECT_EQ(spans[0].attributes[1],
+            (std::pair<std::string, std::string>{"count", "7"}));
+}
+
+TEST(ScopedSpanTest, DisabledTracerRecordsNothingButFeedsHistogram) {
+  Tracer tracer;
+  tracer.set_enabled(false);
+  Histogram latency({1000000});
+  {
+    ScopedSpan span(&tracer, "ignored", SpanContext{}, false, &latency);
+    EXPECT_FALSE(span.recording());
+    span.AddAttribute("dropped", "yes");  // Must not crash.
+  }
+  EXPECT_TRUE(tracer.Snapshot().empty());
+  EXPECT_EQ(latency.GetSnapshot().count, 1);
+}
+
+TEST(ScopedSpanTest, SpanDurationFeedsLatencyHistogram) {
+  Tracer tracer;
+  Histogram latency({1000000});
+  { ScopedSpan span(&tracer, "timed", SpanContext{}, false, &latency); }
+  EXPECT_EQ(latency.GetSnapshot().count, 1);
+  ASSERT_EQ(tracer.Snapshot().size(), 1u);
+}
+
+TEST(TracerTest, RingBufferKeepsTheMostRecentSpans) {
+  Tracer tracer(/*capacity=*/3);
+  for (int i = 0; i < 5; ++i) {
+    ScopedSpan span(&tracer, "span" + std::to_string(i));
+  }
+  std::vector<SpanRecord> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  // Oldest first: span2, span3, span4 survive.
+  EXPECT_EQ(spans[0].name, "span2");
+  EXPECT_EQ(spans[1].name, "span3");
+  EXPECT_EQ(spans[2].name, "span4");
+}
+
+TEST(TracerTest, ClearDropsSpansButIdsKeepIncreasing) {
+  Tracer tracer;
+  uint64_t first_id;
+  {
+    ScopedSpan span(&tracer, "before");
+    first_id = span.context().span_id;
+  }
+  tracer.Clear();
+  EXPECT_TRUE(tracer.Snapshot().empty());
+  { ScopedSpan span(&tracer, "after"); }
+  std::vector<SpanRecord> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_GT(spans[0].span_id, first_id);
+}
+
+TEST(TracerTest, ExportJsonShape) {
+  Tracer tracer;
+  {
+    ScopedSpan span(&tracer, "exported");
+    span.AddAttribute("key", "value");
+  }
+  std::string json = tracer.ExportJson();
+  EXPECT_NE(json.find("\"name\": \"exported\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\": "), std::string::npos);
+  EXPECT_NE(json.find("\"parent_id\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"key\": \"value\""), std::string::npos);
+  Tracer empty;
+  EXPECT_EQ(empty.ExportJson(), "[]");
+}
+
+}  // namespace
+}  // namespace mdv::obs
