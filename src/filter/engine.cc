@@ -1,6 +1,7 @@
 #include "filter/engine.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <functional>
 #include <set>
 #include <unordered_set>
@@ -99,6 +100,11 @@ bool CompareTexts(const std::string& lhs, CompareOp op,
 }
 
 }  // namespace
+
+bool AuditInvariantsEnabled() {
+  static const bool enabled = std::getenv("MDV_AUDIT_INVARIANTS") != nullptr;
+  return enabled;
+}
 
 Status FilterEngine::MatchTriggeringRules(
     const rdf::Statements& delta, const FilterOptions& options,
@@ -592,6 +598,11 @@ Result<FilterRunResult> FilterEngine::Run(const rdf::Statements& delta,
   run_span.AddAttribute("triggering_matches",
                         result.stats.triggering_matches);
   run_span.AddAttribute("join_matches", result.stats.join_matches);
+
+  if (options.audit_invariants || AuditInvariantsEnabled()) {
+    MDV_RETURN_IF_ERROR(db_->CheckInvariants());
+    MDV_RETURN_IF_ERROR(store_->CheckConsistency());
+  }
   return result;
 }
 
@@ -728,6 +739,11 @@ Result<FilterRunResult> FilterEngine::EvaluateNewRules(
         std::vector<std::string>(matches.begin(), matches.end());
     std::sort(result.matches[rule_id].begin(),
               result.matches[rule_id].end());
+  }
+
+  if (AuditInvariantsEnabled()) {
+    MDV_RETURN_IF_ERROR(db_->CheckInvariants());
+    MDV_RETURN_IF_ERROR(store_->CheckConsistency());
   }
   return result;
 }

@@ -30,7 +30,19 @@ struct FilterOptions {
   /// reconverting constants per row — the seed access path, kept for
   /// differential testing and for the fig12-15 ablation.
   bool use_predicate_index = true;
+
+  /// When true, the engine audits the runtime invariants after the run:
+  /// Database::CheckInvariants (index↔heap consistency of every filter
+  /// table) and RuleStore::CheckConsistency (predicate index vs the
+  /// FilterRules* tables). A violation turns a successful run into an
+  /// Internal error. Also forced on for every run when the
+  /// MDV_AUDIT_INVARIANTS environment variable is set (the test suites
+  /// run with it enabled).
+  bool audit_invariants = false;
 };
+
+/// True when MDV_AUDIT_INVARIANTS is set in the environment (read once).
+bool AuditInvariantsEnabled();
 
 /// Execution counters of one filter run, exposed for benchmarks and for
 /// observability of the algorithm's behaviour.

@@ -1,8 +1,12 @@
 #include "filter/predicate_index.h"
 
 #include <algorithm>
+#include <map>
 
 #include "common/string_util.h"
+#include "filter/tables.h"
+#include "rdbms/database.h"
+#include "rdbms/table.h"
 #include "rdbms/value.h"
 
 namespace mdv::filter {
@@ -291,6 +295,239 @@ void PredicateIndex::Match(const Bucket& bucket, const std::string& text,
   for (const auto& [constant, rule_id] : bucket.con) {
     if (Contains(text, constant)) out->push_back(rule_id);
   }
+}
+
+namespace {
+
+/// Canonical text of one index entry, used to diff the reverse map
+/// against the FilterRules* tables without caring about order.
+std::string EntryLabel(bool is_class_rule, const std::string& key,
+                       rdbms::CompareOp op, bool is_eqn,
+                       const std::string& constant) {
+  if (is_class_rule) return "CLS|" + key;
+  std::string label = key;
+  label += '|';
+  label += rdbms::CompareOpToString(op);
+  label += is_eqn ? "|N|" : "|S|";
+  label += constant;
+  return label;
+}
+
+bool ContainsId(const std::vector<int64_t>& rules, int64_t rule_id) {
+  return std::find(rules.begin(), rules.end(), rule_id) != rules.end();
+}
+
+bool ContainsSorted(const std::vector<std::pair<double, int64_t>>& entries,
+                    double constant, int64_t rule_id) {
+  auto range = std::equal_range(
+      entries.begin(), entries.end(), std::make_pair(constant, int64_t{0}),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto it = range.first; it != range.second; ++it) {
+    if (it->second == rule_id) return true;
+  }
+  return false;
+}
+
+Status Violation(const std::string& what) {
+  return Status::Internal("predicate index inconsistent: " + what);
+}
+
+}  // namespace
+
+Status PredicateIndex::CheckConsistency(const rdbms::Database& db) const {
+  using rdbms::Row;
+
+  // ---- Reverse map vs the FilterRules* tables. ------------------------
+  // Both sides become multisets of (rule id, canonical entry label); the
+  // write-through contract requires them to be identical.
+  std::map<int64_t, std::vector<std::string>> expected;
+  const rdbms::Table* cls = db.GetTable(kFilterRulesCLS);
+  if (cls == nullptr) return Violation("FilterRulesCLS table missing");
+  cls->Scan([&](rdbms::RowId, const Row& row) {
+    expected[row[FilterRulesCols::kRuleId].as_int()].push_back(
+        EntryLabel(/*is_class_rule=*/true,
+                   row[FilterRulesCols::kClass].as_string(),
+                   rdbms::CompareOp::kEq, false, ""));
+  });
+  for (const OperatorTableInfo& info : OperatorTableInfos()) {
+    const rdbms::Table* table = db.GetTable(info.table);
+    if (table == nullptr) {
+      return Violation(std::string(info.table) + " table missing");
+    }
+    const bool is_eqn = std::string(info.table) == kFilterRulesEQN;
+    table->Scan([&](rdbms::RowId, const Row& row) {
+      expected[row[FilterRulesCols::kRuleId].as_int()].push_back(EntryLabel(
+          /*is_class_rule=*/false,
+          BucketKey(row[FilterRulesCols::kClass].as_string(),
+                    row[FilterRulesCols::kProperty].as_string()),
+          info.op, is_eqn, row[FilterRulesCols::kValue].as_string()));
+    });
+  }
+
+  std::map<int64_t, std::vector<std::string>> actual;
+  size_t reverse_population = 0;
+  for (const auto& [rule_id, entries] : entries_of_rule_) {
+    for (const RuleEntry& entry : entries) {
+      actual[rule_id].push_back(EntryLabel(entry.is_class_rule, entry.key,
+                                           entry.op, entry.is_eqn,
+                                           entry.constant));
+      ++reverse_population;
+    }
+  }
+  for (auto& [rule_id, labels] : expected) std::sort(labels.begin(),
+                                                     labels.end());
+  for (auto& [rule_id, labels] : actual) std::sort(labels.begin(),
+                                                   labels.end());
+  if (expected != actual) {
+    for (const auto& [rule_id, labels] : expected) {
+      auto it = actual.find(rule_id);
+      if (it == actual.end() || it->second != labels) {
+        return Violation("rule " + std::to_string(rule_id) +
+                         " disagrees with the FilterRules tables");
+      }
+    }
+    for (const auto& [rule_id, labels] : actual) {
+      if (expected.count(rule_id) == 0) {
+        return Violation("rule " + std::to_string(rule_id) +
+                         " is indexed but has no FilterRules rows");
+      }
+    }
+    return Violation("entry multisets disagree");  // Unreachable.
+  }
+
+  if (reverse_population != num_entries_) {
+    return Violation("NumEntries() = " + std::to_string(num_entries_) +
+                     " but the reverse map holds " +
+                     std::to_string(reverse_population) + " entries");
+  }
+
+  // ---- Reverse map vs the bucket containers. --------------------------
+  // Every entry must be present in its container; counting the expected
+  // elements per container and comparing with the real populations also
+  // catches stale leftovers.
+  size_t expected_elements = 0;
+  for (const auto& [rule_id, entries] : entries_of_rule_) {
+    for (const RuleEntry& entry : entries) {
+      const std::string id = "rule " + std::to_string(rule_id);
+      if (entry.is_class_rule) {
+        auto it = class_rules_.find(entry.key);
+        if (it == class_rules_.end() || !ContainsId(it->second, rule_id)) {
+          return Violation(id + " missing from its class bucket");
+        }
+        ++expected_elements;
+        continue;
+      }
+      auto bit = buckets_.find(entry.key);
+      const Bucket* bucket = bit == buckets_.end() ? nullptr : &bit->second;
+      auto require = [&](bool present, const char* container) -> Status {
+        if (!present) {
+          return Violation(id + " missing from the " + container +
+                           " container of its bucket");
+        }
+        ++expected_elements;
+        return Status::OK();
+      };
+      switch (entry.op) {
+        case rdbms::CompareOp::kEq:
+          if (entry.is_eqn) {
+            if (!entry.constant_num) break;  // Never matches; unindexed.
+            MDV_RETURN_IF_ERROR(require(
+                bucket != nullptr &&
+                    bucket->eqn.count(*entry.constant_num) != 0 &&
+                    ContainsId(bucket->eqn.at(*entry.constant_num), rule_id),
+                "eqn"));
+          } else {
+            MDV_RETURN_IF_ERROR(
+                require(bucket != nullptr &&
+                            bucket->eqs.count(entry.constant) != 0 &&
+                            ContainsId(bucket->eqs.at(entry.constant),
+                                       rule_id),
+                        "eqs"));
+          }
+          break;
+        case rdbms::CompareOp::kNe: {
+          MDV_RETURN_IF_ERROR(require(
+              bucket != nullptr && ContainsId(bucket->ne_all, rule_id),
+              "ne_all"));
+          bool in_split;
+          if (entry.constant_num) {
+            in_split = bucket->ne_num.count(*entry.constant_num) != 0 &&
+                       ContainsId(bucket->ne_num.at(*entry.constant_num),
+                                  rule_id);
+          } else {
+            in_split = bucket->ne_str.count(entry.constant) != 0 &&
+                       ContainsId(bucket->ne_str.at(entry.constant), rule_id);
+          }
+          MDV_RETURN_IF_ERROR(require(in_split, "ne split"));
+          break;
+        }
+        case rdbms::CompareOp::kLt:
+        case rdbms::CompareOp::kLe:
+        case rdbms::CompareOp::kGt:
+        case rdbms::CompareOp::kGe: {
+          if (!entry.constant_num) break;  // Never matches; unindexed.
+          const std::vector<std::pair<double, int64_t>>* ordered = nullptr;
+          if (bucket != nullptr) {
+            ordered = entry.op == rdbms::CompareOp::kLt   ? &bucket->lt
+                      : entry.op == rdbms::CompareOp::kLe ? &bucket->le
+                      : entry.op == rdbms::CompareOp::kGt ? &bucket->gt
+                                                          : &bucket->ge;
+          }
+          MDV_RETURN_IF_ERROR(
+              require(ordered != nullptr &&
+                          ContainsSorted(*ordered, *entry.constant_num,
+                                         rule_id),
+                      "ordered"));
+          break;
+        }
+        case rdbms::CompareOp::kContains: {
+          bool present = false;
+          if (bucket != nullptr) {
+            for (const auto& [constant, id_in_con] : bucket->con) {
+              present = present ||
+                        (id_in_con == rule_id && constant == entry.constant);
+            }
+          }
+          MDV_RETURN_IF_ERROR(require(present, "con"));
+          break;
+        }
+      }
+    }
+  }
+
+  size_t actual_elements = 0;
+  for (const auto& [key, rules] : class_rules_) {
+    actual_elements += rules.size();
+  }
+  for (const auto& [key, bucket] : buckets_) {
+    if (bucket.empty()) return Violation("empty bucket retained for " + key);
+    actual_elements += bucket.lt.size() + bucket.le.size() +
+                       bucket.gt.size() + bucket.ge.size() +
+                       bucket.ne_all.size() + bucket.con.size();
+    for (const auto& [num, rules] : bucket.eqn) actual_elements += rules.size();
+    for (const auto& [str, rules] : bucket.eqs) actual_elements += rules.size();
+    for (const auto& [num, rules] : bucket.ne_num) {
+      actual_elements += rules.size();
+    }
+    for (const auto& [str, rules] : bucket.ne_str) {
+      actual_elements += rules.size();
+    }
+    // Ordered arrays must be sorted — Match binary-searches them.
+    for (const auto* ordered : {&bucket.lt, &bucket.le, &bucket.gt,
+                                &bucket.ge}) {
+      for (size_t i = 1; i < ordered->size(); ++i) {
+        if ((*ordered)[i - 1].first > (*ordered)[i].first) {
+          return Violation("ordered array out of order in bucket " + key);
+        }
+      }
+    }
+  }
+  if (actual_elements != expected_elements) {
+    return Violation("buckets hold " + std::to_string(actual_elements) +
+                     " elements but the reverse map accounts for " +
+                     std::to_string(expected_elements));
+  }
+  return Status::OK();
 }
 
 }  // namespace mdv::filter

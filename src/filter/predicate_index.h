@@ -7,7 +7,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "rdbms/predicate.h"
+
+namespace mdv::rdbms {
+class Database;
+}  // namespace mdv::rdbms
 
 namespace mdv::filter {
 
@@ -91,6 +96,20 @@ class PredicateIndex {
 
   /// Total number of indexed rule entries (class rules included).
   size_t NumEntries() const { return num_entries_; }
+
+  // ---- Invariant auditing. --------------------------------------------
+
+  /// Verifies this index against the FilterRules* tables of `db` (the
+  /// authoritative rule base) and against itself:
+  ///  - every table row has exactly one matching index entry and vice
+  ///    versa (the write-through contract with RuleStore);
+  ///  - every reverse entry is present in its bucket container, the
+  ///    ordered arrays are sorted, and no bucket holds stale elements;
+  ///  - `NumEntries()` equals the reverse-map population.
+  /// Returns Internal naming the first violated invariant. O(rules +
+  /// bucket elements); called from tests and, under the
+  /// MDV_AUDIT_INVARIANTS debug flag, after every filter run.
+  Status CheckConsistency(const rdbms::Database& db) const;
 
   struct Bucket {
     /// Sorted by constant; one vector per ordered operator.

@@ -2,7 +2,9 @@
 
 #include <cassert>
 
+#include "common/logging.h"
 #include "filter/tables.h"
+#include "obs/metrics.h"
 #include "rdbms/table.h"
 
 namespace mdv::filter {
@@ -17,6 +19,21 @@ using rdbms::Value;
 
 Value Int(int64_t v) { return Value(v); }
 Value Str(std::string s) { return Value(std::move(s)); }
+
+/// Registry handles of the rule-base linter, resolved once.
+struct LintMetrics {
+  obs::MetricsRegistry& r = obs::DefaultMetrics();
+  obs::Counter& checked = r.GetCounter("mdv.lint.checked_total");
+  obs::Counter& rejected = r.GetCounter("mdv.lint.rejected_total");
+  obs::Counter& duplicate = r.GetCounter("mdv.lint.duplicate_total");
+  obs::Counter& subsumed = r.GetCounter("mdv.lint.subsumed_total");
+  obs::Counter& warnings = r.GetCounter("mdv.lint.warnings_total");
+
+  static LintMetrics& Get() {
+    static LintMetrics& metrics = *new LintMetrics();
+    return metrics;
+  }
+};
 
 Result<CompareOp> ParseOp(const std::string& text) {
   if (text == "=") return CompareOp::kEq;
@@ -219,6 +236,71 @@ Result<int64_t> RuleStore::RegisterTree(const rules::DecomposedRule& tree,
   return end_rule;
 }
 
+Result<RuleStore::AddRuleOutcome> RuleStore::AddRule(
+    const rules::CompiledRule& compiled, const rdf::RdfSchema& schema,
+    const std::string& name) {
+  LintMetrics& metrics = LintMetrics::Get();
+  metrics.checked.Increment();
+  const std::string label = name.empty() ? "(unnamed)" : name;
+
+  // Satisfiability: refuse rules that can never fire — every delta would
+  // probe their predicate index entries for nothing.
+  rules::RuleLint lint = rules::LintRule(compiled.analyzed, schema);
+  if (lint.unsatisfiable) {
+    metrics.rejected.Increment();
+    std::string detail = "rule is unsatisfiable";
+    for (const rules::LintDiagnostic& d : lint.diagnostics) {
+      if (d.severity == rules::LintSeverity::kError) {
+        detail = d.detail;
+        break;
+      }
+    }
+    return Status::InvalidArgument("rule '" + label +
+                                   "' rejected by lint: " + detail);
+  }
+
+  AddRuleOutcome outcome;
+  for (rules::LintDiagnostic& d : lint.diagnostics) {
+    d.rule = label;
+    outcome.warnings.push_back(std::move(d));
+  }
+
+  // Duplicate / subsumption against the live rule base: redundant rules
+  // are accepted (the subscriber still gets notifications) but reported,
+  // so operators can spot rule-base bloat.
+  for (const LintedRule& existing : linted_rules_) {
+    const bool implies_existing =
+        rules::RuleSubsumes(compiled.analyzed, existing.analyzed, schema);
+    const bool implied_by_existing =
+        rules::RuleSubsumes(existing.analyzed, compiled.analyzed, schema);
+    if (implies_existing && implied_by_existing) {
+      metrics.duplicate.Increment();
+      outcome.warnings.push_back(rules::LintDiagnostic{
+          rules::LintCode::kDuplicateRule, rules::LintSeverity::kWarning,
+          label, existing.name,
+          "matches exactly the resources of rule '" + existing.name + "'"});
+    } else if (implies_existing) {
+      metrics.subsumed.Increment();
+      outcome.warnings.push_back(rules::LintDiagnostic{
+          rules::LintCode::kSubsumedRule, rules::LintSeverity::kWarning,
+          label, existing.name,
+          "every resource it matches is already matched by the weaker "
+          "rule '" +
+              existing.name + "'"});
+    }
+  }
+  for (const rules::LintDiagnostic& d : outcome.warnings) {
+    metrics.warnings.Increment();
+    MDV_LOG(Warning) << rules::FormatLintDiagnostic(d);
+  }
+
+  MDV_ASSIGN_OR_RETURN(outcome.end_rule_id,
+                       RegisterTree(compiled.decomposed, &outcome.created));
+  linted_rules_.push_back(
+      LintedRule{outcome.end_rule_id, label, compiled.analyzed});
+  return outcome;
+}
+
 Status RuleStore::AdjustRefcount(int64_t rule_id, int64_t delta) {
   Table* atomic = db_->GetTable(kAtomicRules);
   std::vector<rdbms::RowId> ids = atomic->SelectRowIds(
@@ -298,7 +380,18 @@ Status RuleStore::RemoveRule(int64_t rule_id) {
 }
 
 Status RuleStore::Unregister(int64_t end_rule_id) {
+  // Drop one lint entry of this end rule (AddRule keeps one per call).
+  for (auto it = linted_rules_.begin(); it != linted_rules_.end(); ++it) {
+    if (it->end_rule_id == end_rule_id) {
+      linted_rules_.erase(it);
+      break;
+    }
+  }
   return AdjustRefcount(end_rule_id, -1);
+}
+
+Status RuleStore::CheckConsistency() const {
+  return predicate_index_.CheckConsistency(*db_);
 }
 
 std::vector<RuleStore::Dependent> RuleStore::DependentsOf(

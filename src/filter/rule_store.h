@@ -9,7 +9,10 @@
 #include "common/result.h"
 #include "filter/predicate_index.h"
 #include "rdbms/database.h"
+#include "rdf/schema.h"
 #include "rules/atomic_rule.h"
+#include "rules/compiler.h"
+#include "rules/lint.h"
 
 namespace mdv::filter {
 
@@ -51,6 +54,28 @@ class RuleStore {
   /// subscription.
   Result<int64_t> RegisterTree(const rules::DecomposedRule& tree,
                                std::vector<int64_t>* created = nullptr);
+
+  /// Result of AddRule: the registered end rule plus the lint warnings
+  /// the rule drew against the live rule base (duplicates, subsumption).
+  struct AddRuleOutcome {
+    int64_t end_rule_id = -1;
+    /// Atomic rules that did not exist before, children before parents
+    /// (see RegisterTree).
+    std::vector<int64_t> created;
+    std::vector<rules::LintDiagnostic> warnings;
+  };
+
+  /// Lints `compiled` and registers its dependency tree. Unsatisfiable
+  /// rules are refused with InvalidArgument (counted in
+  /// `mdv.lint.rejected_total`) — the paper's filter would evaluate them
+  /// against every publication without ever firing. Rules that duplicate
+  /// or are subsumed by an already-registered rule are accepted but
+  /// reported in `warnings` and counted in `mdv.lint.duplicate_total` /
+  /// `mdv.lint.subsumed_total`. `name` labels the rule in diagnostics
+  /// (subscription name; may be empty).
+  Result<AddRuleOutcome> AddRule(const rules::CompiledRule& compiled,
+                                 const rdf::RdfSchema& schema,
+                                 const std::string& name = "");
 
   /// Releases one subscription reference on `end_rule_id`; atomic rules
   /// whose reference count drops to zero are removed (cascading to the
@@ -106,6 +131,12 @@ class RuleStore {
   /// constructor rebuilds it from the tables of a reopened database.
   const PredicateIndex& predicate_index() const { return predicate_index_; }
 
+  /// Invariant auditor: verifies the in-memory predicate index against
+  /// the FilterRules* tables (see PredicateIndex::CheckConsistency).
+  /// Internal on violation; used by tests and by the filter engine under
+  /// the MDV_AUDIT_INVARIANTS debug flag.
+  Status CheckConsistency() const;
+
   const RuleStoreOptions& options() const { return options_; }
 
  private:
@@ -125,6 +156,16 @@ class RuleStore {
   PredicateIndex predicate_index_;
   int64_t next_rule_id_ = 1;
   int64_t next_group_id_ = 1;
+
+  /// Analyzed form of rules registered through AddRule, kept for the
+  /// duplicate/subsumption lint against later additions. One entry per
+  /// AddRule call; Unregister drops one entry of the matching end rule.
+  struct LintedRule {
+    int64_t end_rule_id = -1;
+    std::string name;
+    rules::AnalyzedRule analyzed;
+  };
+  std::vector<LintedRule> linted_rules_;
 };
 
 }  // namespace mdv::filter

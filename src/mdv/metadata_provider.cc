@@ -248,15 +248,17 @@ Result<pubsub::SubscriptionId> MetadataProvider::Subscribe(
       rules::CompileRule(rule_text, *schema_, extension_resolver,
                          rule_resolver));
 
-  std::vector<int64_t> created;
-  MDV_ASSIGN_OR_RETURN(int64_t end_rule,
-                       rule_store_->RegisterTree(compiled.decomposed,
-                                                 &created));
+  // The linted registration path: unsatisfiable rules are rejected here
+  // (they could never notify), subsumption against the MDP's live rule
+  // base is reported as warnings and counted under mdv.lint.*.
+  MDV_ASSIGN_OR_RETURN(filter::RuleStore::AddRuleOutcome added,
+                       rule_store_->AddRule(compiled, *schema_, name));
+  const int64_t end_rule = added.end_rule_id;
 
   // Seed the subscription with matches from the already-registered
   // metadata: evaluate the new atomic rules (and the end rule, if it
   // already existed) against the full database.
-  std::vector<int64_t> to_evaluate = created;
+  std::vector<int64_t> to_evaluate = added.created;
   if (std::find(to_evaluate.begin(), to_evaluate.end(), end_rule) ==
       to_evaluate.end()) {
     to_evaluate.push_back(end_rule);

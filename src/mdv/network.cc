@@ -38,10 +38,14 @@ const char* KindName(pubsub::NotificationKind kind) {
 }  // namespace
 
 void Network::Attach(pubsub::LmrId lmr, Handler handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
   handlers_[lmr] = std::move(handler);
 }
 
-void Network::Detach(pubsub::LmrId lmr) { handlers_.erase(lmr); }
+void Network::Detach(pubsub::LmrId lmr) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  handlers_.erase(lmr);
+}
 
 void Network::Deliver(const pubsub::Notification& notification) {
   NetworkMetrics& metrics = NetworkMetrics::Get();
@@ -56,19 +60,30 @@ void Network::Deliver(const pubsub::Notification& notification) {
   span.AddAttribute("resources",
                     static_cast<int64_t>(notification.resources.size()));
 
-  ++stats_.messages;
-  stats_.resources_shipped +=
-      static_cast<int64_t>(notification.resources.size());
+  // Copy the handler out so it runs unlocked (it may re-enter the
+  // network, and holding the lock across an arbitrary LMR callback
+  // would serialize all deliveries).
+  Handler handler;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.messages;
+    stats_.resources_shipped +=
+        static_cast<int64_t>(notification.resources.size());
+    auto it = handlers_.find(notification.lmr);
+    if (it == handlers_.end()) {
+      ++stats_.undeliverable;
+    } else {
+      handler = it->second;
+    }
+  }
   metrics.messages.Increment();
   metrics.resources.Add(static_cast<int64_t>(notification.resources.size()));
-  auto it = handlers_.find(notification.lmr);
-  if (it == handlers_.end()) {
-    ++stats_.undeliverable;
+  if (!handler) {
     metrics.undeliverable.Increment();
     span.AddAttribute("undeliverable", "true");
     return;
   }
-  it->second(notification);
+  handler(notification);
 }
 
 void Network::DeliverAll(

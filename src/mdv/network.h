@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 
 #include "common/status.h"
 #include "pubsub/notification.h"
@@ -22,6 +23,12 @@ struct NetworkStats {
 /// synchronous callback per LMR, which exercises the identical
 /// publish/notify code paths deterministically (see DESIGN.md,
 /// substitutions).
+///
+/// Thread-safe: Attach/Detach/Deliver/stats may be called concurrently
+/// (multiple MDPs publishing from different threads share one network).
+/// Handlers are invoked outside the lock, so a handler may re-enter the
+/// network (e.g. attach another LMR); a handler racing its own Detach
+/// may still receive one in-flight notification.
 class Network {
  public:
   using Handler = std::function<void(const pubsub::Notification&)>;
@@ -42,12 +49,20 @@ class Network {
   /// Delivers a batch.
   void DeliverAll(const std::vector<pubsub::Notification>& notifications);
 
-  const NetworkStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = NetworkStats{}; }
+  /// Snapshot of the counters (by value — the live struct is guarded).
+  NetworkStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_ = NetworkStats{};
+  }
 
  private:
-  std::map<pubsub::LmrId, Handler> handlers_;
-  NetworkStats stats_;
+  mutable std::mutex mutex_;
+  std::map<pubsub::LmrId, Handler> handlers_;  // Guarded by mutex_.
+  NetworkStats stats_;                         // Guarded by mutex_.
 };
 
 }  // namespace mdv

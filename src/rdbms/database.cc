@@ -101,4 +101,11 @@ size_t Database::TotalRows() const {
   return total;
 }
 
+Status Database::CheckInvariants() const {
+  for (const auto& [name, table] : tables_) {
+    MDV_RETURN_IF_ERROR(table->CheckInvariants());
+  }
+  return Status::OK();
+}
+
 }  // namespace mdv::rdbms

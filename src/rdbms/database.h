@@ -40,6 +40,13 @@ class Database {
   /// Sum of NumRows over all tables — rough database size for diagnostics.
   size_t TotalRows() const;
 
+  /// Runtime invariant auditor: runs Table::CheckInvariants on every
+  /// table (index↔heap row-count parity, entry membership, B-tree key
+  /// order). Internal naming the table and invariant on the first
+  /// violation. Called from tests and, under the MDV_AUDIT_INVARIANTS
+  /// debug flag, after every filter run.
+  Status CheckInvariants() const;
+
   // ---- Transactions. -----------------------------------------------------
   //
   // One transaction at a time; while active, all row mutations across

@@ -45,6 +45,12 @@ class Index {
                            std::vector<RowId>* out) const = 0;
 
   virtual size_t NumEntries() const = 0;
+
+  /// Visits every (key, row id) entry. Ordered indexes visit in key
+  /// order — the invariant auditor (Table::CheckInvariants) relies on
+  /// this to verify B-tree key order.
+  virtual void ForEachEntry(
+      const std::function<void(const Value&, RowId)>& fn) const = 0;
 };
 
 /// Ordered index on std::multimap (red-black tree).
@@ -63,6 +69,10 @@ class BTreeIndex final : public Index {
                    const Value& upper, bool upper_inclusive, bool has_upper,
                    std::vector<RowId>* out) const override;
   size_t NumEntries() const override { return entries_.size(); }
+  void ForEachEntry(
+      const std::function<void(const Value&, RowId)>& fn) const override {
+    for (const auto& [key, row_id] : entries_) fn(key, row_id);
+  }
 
  private:
   size_t column_;
@@ -84,6 +94,10 @@ class HashIndex final : public Index {
   void LookupRange(const Value&, bool, bool, const Value&, bool, bool,
                    std::vector<RowId>*) const override {}
   size_t NumEntries() const override { return entries_.size(); }
+  void ForEachEntry(
+      const std::function<void(const Value&, RowId)>& fn) const override {
+    for (const auto& [key, row_id] : entries_) fn(key, row_id);
+  }
 
  private:
   size_t column_;

@@ -337,6 +337,69 @@ Status Table::RestoreRow(RowId row_id, Row row) {
   return Status::OK();
 }
 
+Status Table::CheckInvariants() const {
+  auto violation = [this](const std::string& what) {
+    return Status::Internal("table " + schema_.table_name() +
+                            " invariant violated: " + what);
+  };
+  for (const std::unique_ptr<Index>& index : indexes_) {
+    const size_t column = index->column();
+    const std::string& column_name = schema_.columns()[column].name;
+
+    // Row-count parity: one index entry per heap row.
+    if (index->NumEntries() != rows_.size()) {
+      return violation("index on " + column_name + " holds " +
+                       std::to_string(index->NumEntries()) +
+                       " entries for " + std::to_string(rows_.size()) +
+                       " rows");
+    }
+
+    // Entry membership: every entry points at a live row whose column
+    // value equals the entry key. With count parity this also rules out
+    // missing entries. Ordered indexes must visit keys in order — the
+    // range scans binary-search on that.
+    Status status = Status::OK();
+    const Value* previous = nullptr;
+    const bool ordered = index->kind() == IndexKind::kBTree;
+    index->ForEachEntry([&](const Value& key, RowId row_id) {
+      if (!status.ok()) return;
+      auto it = rows_.find(row_id);
+      if (it == rows_.end()) {
+        status = violation("index on " + column_name +
+                           " references deleted row " +
+                           std::to_string(row_id));
+        return;
+      }
+      if (it->second[column] != key) {
+        status = violation("index on " + column_name + " entry for row " +
+                           std::to_string(row_id) + " has stale key " +
+                           key.ToString());
+        return;
+      }
+      if (ordered && previous != nullptr && key < *previous) {
+        status = violation("B-tree on " + column_name +
+                           " keys out of order at row " +
+                           std::to_string(row_id));
+        return;
+      }
+      previous = &key;
+    });
+    MDV_RETURN_IF_ERROR(status);
+
+    // Reverse direction: every heap row is reachable through the index.
+    std::vector<RowId> hits;
+    for (const auto& [row_id, row] : rows_) {
+      hits.clear();
+      index->Lookup(row[column], &hits);
+      if (std::find(hits.begin(), hits.end(), row_id) == hits.end()) {
+        return violation("row " + std::to_string(row_id) +
+                         " unreachable through the index on " + column_name);
+      }
+    }
+  }
+  return Status::OK();
+}
+
 void Table::Truncate() {
   if (undo_ != nullptr) {
     for (const auto& [id, row] : rows_) {

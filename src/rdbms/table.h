@@ -119,6 +119,13 @@ class Table {
   /// AlreadyExists if the id is live.
   Status RestoreRow(RowId row_id, Row row);
 
+  /// Invariant auditor: every secondary index must hold exactly one
+  /// entry per row whose key equals the row's column value (row-count
+  /// parity, no stale or missing entries), and ordered indexes must
+  /// visit keys in non-decreasing order. Internal naming the violated
+  /// invariant. O(rows × indexes × log rows).
+  Status CheckInvariants() const;
+
  private:
   Status ValidateRow(const Row& row) const;
   void IndexInsert(RowId row_id, const Row& row);

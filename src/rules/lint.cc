@@ -1,0 +1,626 @@
+#include "rules/lint.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+
+namespace mdv::rules {
+
+namespace {
+
+using rdbms::CompareOp;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::optional<double> ParseNumber(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  double out = 0.0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (ec != std::errc() || ptr != end) return std::nullopt;
+  return out;
+}
+
+std::string NumText(double v) {
+  // Render like Value::ToString does for doubles.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+/// Accumulated constant constraints on one (variable, path).
+struct Constraints {
+  std::string display;  ///< `v.path` for diagnostics.
+
+  // Ordered bounds, tightened predicate by predicate.
+  bool has_lower = false;
+  double lower = -kInf;
+  bool lower_open = false;
+  bool has_upper = false;
+  double upper = kInf;
+  bool upper_open = false;
+
+  std::optional<double> eq_num;
+  std::optional<std::string> eq_str;
+  std::vector<double> ne_num;
+  std::vector<std::string> ne_str;
+  std::vector<std::string> contains;
+
+  /// False when the path traverses a set-valued property (or uses `?`):
+  /// predicates then match existentially per element, so two conjuncts
+  /// need not hold on the same element and cross-predicate reasoning is
+  /// unsound. Single-predicate facts still apply.
+  bool conjunctive = true;
+};
+
+/// The numeric point a constraint set pins the value to, if any: an
+/// explicit numeric equality, or a string equality whose text parses as
+/// a number (EQS '5' admits only the text "5", which compares as 5).
+std::optional<double> PinnedNumber(const Constraints& c) {
+  if (c.eq_num) return c.eq_num;
+  if (c.eq_str) return ParseNumber(*c.eq_str);
+  return std::nullopt;
+}
+
+bool BelowLower(const Constraints& c, double v) {
+  return c.has_lower && (v < c.lower || (v == c.lower && c.lower_open));
+}
+
+bool AboveUpper(const Constraints& c, double v) {
+  return c.has_upper && (v > c.upper || (v == c.upper && c.upper_open));
+}
+
+bool OutsideInterval(const Constraints& c, double v) {
+  return BelowLower(c, v) || AboveUpper(c, v);
+}
+
+std::string BoundText(double bound, bool open, bool is_lower) {
+  return std::string(is_lower ? (open ? "> " : ">= ") : (open ? "< " : "<= ")) +
+         NumText(bound);
+}
+
+/// Key identifying one path of one variable inside a rule. For
+/// single-variable rules the variable is canonicalized to `$`, so the
+/// same constraint in two rules gets the same key regardless of what
+/// each rule named its variable (subsumption compares keys across
+/// rules); multi-variable rules keep the variable name to keep the
+/// per-variable constraint sets apart.
+std::string PathKeyOf(const PathExpr& path, bool single_variable) {
+  std::string key = single_variable ? std::string("$") : path.variable;
+  for (const PathStep& step : path.steps) {
+    key += '.';
+    key += step.property;
+    if (step.any) key += '?';
+  }
+  return key;
+}
+
+/// True when every step of `path` is single-valued (and `?`-free), so a
+/// conjunction of predicates over it constrains one value.
+bool PathIsConjunctive(const PathExpr& path, const AnalyzedRule& rule,
+                       const rdf::RdfSchema& schema) {
+  if (path.steps.empty()) return true;  // The resource's own URI.
+  auto it = rule.variable_class.find(path.variable);
+  if (it == rule.variable_class.end()) return false;
+  std::vector<std::string> names;
+  names.reserve(path.steps.size());
+  for (const PathStep& step : path.steps) {
+    if (step.any) return false;
+    names.push_back(step.property);
+  }
+  Result<rdf::ResolvedPath> resolved = schema.ResolvePath(it->second, names);
+  if (!resolved.ok()) return false;  // Analyzer rejects these anyway.
+  for (const rdf::PropertyDef& prop : resolved->properties) {
+    if (prop.set_valued) return false;
+  }
+  return true;
+}
+
+/// A predicate in canonical `path op constant` form.
+struct ConstantPredicate {
+  std::string key;
+  const PathExpr* path = nullptr;
+  CompareOp op = CompareOp::kEq;
+  const Operand* constant = nullptr;
+  std::string text;  ///< Re-serialized predicate, for diagnostics.
+};
+
+struct LintContext {
+  std::vector<LintDiagnostic>* out;
+  bool* unsatisfiable;
+};
+
+void Emit(const LintContext& ctx, LintCode code, LintSeverity severity,
+          std::string detail) {
+  if (severity == LintSeverity::kError) *ctx.unsatisfiable = true;
+  ctx.out->push_back(
+      LintDiagnostic{code, severity, "", "", std::move(detail)});
+}
+
+void Unsat(const LintContext& ctx, std::string detail) {
+  Emit(ctx, LintCode::kUnsatisfiable, LintSeverity::kError, std::move(detail));
+}
+
+/// Folds one constant predicate into `c`, reporting contradictions with
+/// the constraints accumulated so far.
+void FoldPredicate(const LintContext& ctx, Constraints* c,
+                   const ConstantPredicate& pred) {
+  const Operand& rhs = *pred.constant;
+  const bool is_number = rhs.kind == Operand::Kind::kNumber;
+  switch (pred.op) {
+    case CompareOp::kLt:
+    case CompareOp::kLe: {
+      const bool open = pred.op == CompareOp::kLt;
+      const double bound = rhs.number;
+      if (!c->has_upper || bound < c->upper ||
+          (bound == c->upper && open && !c->upper_open)) {
+        c->has_upper = true;
+        c->upper = bound;
+        c->upper_open = open;
+      }
+      break;
+    }
+    case CompareOp::kGt:
+    case CompareOp::kGe: {
+      const bool open = pred.op == CompareOp::kGt;
+      const double bound = rhs.number;
+      if (!c->has_lower || bound > c->lower ||
+          (bound == c->lower && open && !c->lower_open)) {
+        c->has_lower = true;
+        c->lower = bound;
+        c->lower_open = open;
+      }
+      break;
+    }
+    case CompareOp::kEq:
+      if (is_number) {
+        if (c->eq_num && *c->eq_num != rhs.number) {
+          Unsat(ctx, c->display + " cannot equal both " + NumText(*c->eq_num) +
+                         " and " + NumText(rhs.number));
+          return;
+        }
+        c->eq_num = rhs.number;
+      } else {
+        if (c->eq_str && *c->eq_str != rhs.text) {
+          Unsat(ctx, c->display + " cannot equal both '" + *c->eq_str +
+                         "' and '" + rhs.text + "'");
+          return;
+        }
+        c->eq_str = rhs.text;
+      }
+      break;
+    case CompareOp::kNe:
+      if (is_number) {
+        c->ne_num.push_back(rhs.number);
+      } else {
+        c->ne_str.push_back(rhs.text);
+      }
+      break;
+    case CompareOp::kContains:
+      c->contains.push_back(rhs.text);
+      if (rhs.text.empty()) {
+        Emit(ctx, LintCode::kRedundantPredicate, LintSeverity::kWarning,
+             "contains '' on " + c->display + " is always true");
+      }
+      break;
+  }
+}
+
+/// Cross-predicate satisfiability of one path's accumulated constraints.
+void CheckConstraints(const LintContext& ctx, const Constraints& c) {
+  // Contradictory bounds: empty numeric interval.
+  if (c.has_lower && c.has_upper &&
+      (c.lower > c.upper ||
+       (c.lower == c.upper && (c.lower_open || c.upper_open)))) {
+    Unsat(ctx, c.display + " has contradictory bounds " +
+                   BoundText(c.lower, c.lower_open, /*is_lower=*/true) +
+                   " and " +
+                   BoundText(c.upper, c.upper_open, /*is_lower=*/false));
+    return;
+  }
+
+  // Numeric and string equality must agree on the admitted text.
+  if (c.eq_num && c.eq_str) {
+    std::optional<double> parsed = ParseNumber(*c.eq_str);
+    if (!parsed || *parsed != *c.eq_num) {
+      Unsat(ctx, c.display + " cannot equal both " + NumText(*c.eq_num) +
+                     " and '" + *c.eq_str + "'");
+      return;
+    }
+  }
+
+  // An equality pinning the value to a number outside the interval.
+  if (std::optional<double> pin = PinnedNumber(c)) {
+    if (OutsideInterval(c, *pin)) {
+      std::string bound =
+          BelowLower(c, *pin)
+              ? BoundText(c.lower, c.lower_open, /*is_lower=*/true)
+              : BoundText(c.upper, c.upper_open, /*is_lower=*/false);
+      Unsat(ctx, c.display + " = " + NumText(*pin) +
+                     " contradicts the bound " + bound);
+      return;
+    }
+    for (double v : c.ne_num) {
+      if (v == *pin) {
+        Unsat(ctx, c.display + " = " + NumText(*pin) + " contradicts != " +
+                       NumText(v));
+        return;
+      }
+    }
+  } else if (c.eq_str && (c.has_lower || c.has_upper)) {
+    // Ordered operators never match non-numeric text (§3.3.4).
+    Unsat(ctx, c.display + " = '" + *c.eq_str +
+                   "' is not numeric but an ordered bound requires a number");
+    return;
+  }
+
+  if (c.eq_str) {
+    for (const std::string& s : c.ne_str) {
+      if (s == *c.eq_str) {
+        Unsat(ctx,
+              c.display + " = '" + s + "' contradicts != '" + s + "'");
+        return;
+      }
+    }
+    // A string equality fixes the exact text; `contains` must hold on it.
+    for (const std::string& sub : c.contains) {
+      if (!sub.empty() && c.eq_str->find(sub) == std::string::npos) {
+        Unsat(ctx, c.display + " = '" + *c.eq_str + "' cannot contain '" +
+                       sub + "'");
+        return;
+      }
+    }
+  }
+
+  // Degenerate interval [a, a] with a excluded.
+  if (c.has_lower && c.has_upper && c.lower == c.upper && !c.lower_open &&
+      !c.upper_open) {
+    for (double v : c.ne_num) {
+      if (v == c.lower) {
+        Unsat(ctx, c.display + " is pinned to " + NumText(v) +
+                       " by its bounds but excluded by != " + NumText(v));
+        return;
+      }
+    }
+  }
+}
+
+/// Canonical view of one rule for satisfiability and subsumption:
+/// constant constraints per path, plus the facts needed to decide
+/// whether the rule is comparable to others.
+struct RuleSummary {
+  std::map<std::string, Constraints> by_path;
+  /// True when the rule is a single-variable, constant-constraint rule
+  /// over a schema class — the shape pairwise comparison understands.
+  bool comparable = false;
+  std::string register_class;
+};
+
+RuleSummary Summarize(const AnalyzedRule& rule, const rdf::RdfSchema& schema,
+                      const LintContext& ctx) {
+  RuleSummary summary;
+  std::set<std::string> seen_texts;
+  const bool single_variable = rule.ast.search.size() == 1;
+  summary.comparable = single_variable;
+  for (const auto& [var, is_rule_ext] : rule.variable_is_rule_extension) {
+    if (is_rule_ext) summary.comparable = false;
+  }
+  auto reg = rule.variable_class.find(rule.ast.register_variable);
+  if (reg != rule.variable_class.end()) summary.register_class = reg->second;
+
+  for (const PredicateExpr& pred : rule.ast.where) {
+    // Canonicalize to path-op-constant; constants always on the right.
+    ConstantPredicate cp;
+    if (pred.lhs.is_path() && pred.rhs.is_constant()) {
+      cp = ConstantPredicate{PathKeyOf(pred.lhs.path, single_variable),
+                             &pred.lhs.path, pred.op, &pred.rhs,
+                             pred.ToString()};
+    } else if (pred.rhs.is_path() && pred.lhs.is_constant()) {
+      cp = ConstantPredicate{PathKeyOf(pred.rhs.path, single_variable),
+                             &pred.rhs.path, rdbms::FlipCompareOp(pred.op),
+                             &pred.lhs, pred.ToString()};
+    } else if (pred.lhs.is_path() && pred.rhs.is_path()) {
+      summary.comparable = false;  // Join predicates are not compared.
+      // Self-comparison: `v.p op v.p` over a single-valued path.
+      if (PathKeyOf(pred.lhs.path, single_variable) ==
+              PathKeyOf(pred.rhs.path, single_variable) &&
+          PathIsConjunctive(pred.lhs.path, rule, schema)) {
+        if (pred.op == CompareOp::kLt || pred.op == CompareOp::kGt ||
+            pred.op == CompareOp::kNe) {
+          Unsat(ctx, pred.ToString() + " compares a single-valued path " +
+                         "against itself and can never hold");
+        } else {
+          Emit(ctx, LintCode::kRedundantPredicate, LintSeverity::kWarning,
+               pred.ToString() + " compares a path against itself and is "
+                                 "always true");
+        }
+      }
+      continue;
+    } else {
+      continue;  // Constant-only; the analyzer rejects these.
+    }
+
+    if (!seen_texts.insert(cp.text).second) {
+      Emit(ctx, LintCode::kRedundantPredicate, LintSeverity::kWarning,
+           "duplicate predicate " + cp.text);
+      continue;  // Fold it only once.
+    }
+
+    auto [it, inserted] = summary.by_path.emplace(cp.key, Constraints{});
+    Constraints& c = it->second;
+    if (inserted) {
+      c.display = cp.path->IsBareVariable() ? cp.path->variable
+                                            : cp.path->ToString();
+      c.conjunctive = PathIsConjunctive(*cp.path, rule, schema);
+    }
+    if (c.conjunctive) {
+      FoldPredicate(ctx, &c, cp);
+    }
+  }
+  return summary;
+}
+
+// ---- Subsumption over canonical summaries. ------------------------------
+
+bool LowerImplies(const Constraints& a, const Constraints& b) {
+  if (!b.has_lower) return true;
+  if (!a.has_lower) return false;
+  return a.lower > b.lower ||
+         (a.lower == b.lower && (a.lower_open || !b.lower_open));
+}
+
+bool UpperImplies(const Constraints& a, const Constraints& b) {
+  if (!b.has_upper) return true;
+  if (!a.has_upper) return false;
+  return a.upper < b.upper ||
+         (a.upper == b.upper && (a.upper_open || !b.upper_open));
+}
+
+/// True when any value admitted by `a` also satisfies every constraint
+/// of `b` (one path key). Conservative: false on anything unprovable.
+bool KeyImplies(const Constraints& a, const Constraints& b) {
+  std::optional<double> a_pin = PinnedNumber(a);
+  const bool a_nonnumeric_text = a.eq_str && !ParseNumber(*a.eq_str);
+  // Ordered operators only ever match numeric text, so active bounds on
+  // `a` guarantee the value parses as a number.
+  const bool a_numeric_only = a_pin || a.has_lower || a.has_upper;
+
+  if (b.eq_num) {
+    if (!a_pin || *a_pin != *b.eq_num) return false;
+  }
+  if (b.eq_str) {
+    if (!a.eq_str || *a.eq_str != *b.eq_str) return false;
+  }
+  if (b.has_lower || b.has_upper) {
+    if (a_pin) {
+      if (OutsideInterval(b, *a_pin)) return false;
+    } else if (a_nonnumeric_text) {
+      return false;  // a admits only non-numeric text; bounds never match.
+    } else {
+      if (!LowerImplies(a, b) || !UpperImplies(a, b)) return false;
+    }
+  }
+  for (double v : b.ne_num) {
+    bool excluded = false;
+    if (a_pin) {
+      excluded = *a_pin != v;
+    } else if (a_nonnumeric_text) {
+      excluded = true;  // Non-numeric text compares as a string != '<num>'.
+    } else if (OutsideInterval(a, v)) {
+      excluded = true;
+    } else {
+      for (double w : a.ne_num) excluded = excluded || w == v;
+    }
+    if (!excluded) return false;
+  }
+  for (const std::string& s : b.ne_str) {
+    std::optional<double> s_num = ParseNumber(s);
+    bool excluded = false;
+    if (s_num) {
+      // != '<numeric text>' compares numerically against numeric values.
+      if (a_pin) {
+        excluded = *a_pin != *s_num;
+      } else if (a.eq_str) {
+        excluded = *a.eq_str != s;
+      } else if (OutsideInterval(a, *s_num)) {
+        excluded = true;
+      }
+    } else if (a.eq_str) {
+      excluded = *a.eq_str != s;
+    } else if (a_numeric_only) {
+      excluded = true;  // Numeric text can never equal a non-numeric string.
+    }
+    if (!excluded) {
+      for (const std::string& t : a.ne_str) excluded = excluded || t == s;
+    }
+    if (!excluded) return false;
+  }
+  for (const std::string& sub : b.contains) {
+    if (sub.empty()) continue;  // Always true.
+    bool covered = a.eq_str && a.eq_str->find(sub) != std::string::npos;
+    for (const std::string& t : a.contains) {
+      covered = covered || t.find(sub) != std::string::npos;
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+bool ConstraintsTrivial(const Constraints& c) {
+  return !c.has_lower && !c.has_upper && !c.eq_num && !c.eq_str &&
+         c.ne_num.empty() && c.ne_str.empty() && c.contains.empty();
+}
+
+bool SummarySubsumes(const RuleSummary& stronger, const RuleSummary& weaker) {
+  if (!stronger.comparable || !weaker.comparable) return false;
+  if (stronger.register_class.empty() ||
+      stronger.register_class != weaker.register_class) {
+    return false;
+  }
+  for (const auto& [key, wc] : weaker.by_path) {
+    // A by_path entry exists only because a predicate touched the path;
+    // on a set-valued path that predicate matches existentially per
+    // element and is never folded, so nothing can be proven about it.
+    if (!wc.conjunctive) return false;
+    if (ConstraintsTrivial(wc)) continue;
+    auto it = stronger.by_path.find(key);
+    if (it == stronger.by_path.end()) return false;
+    if (!it->second.conjunctive) return false;
+    if (!KeyImplies(it->second, wc)) return false;
+  }
+  return true;
+}
+
+RuleSummary SummarizeForLint(const AnalyzedRule& rule,
+                             const rdf::RdfSchema& schema, RuleLint* lint) {
+  LintContext ctx{&lint->diagnostics, &lint->unsatisfiable};
+  RuleSummary summary = Summarize(rule, schema, ctx);
+  for (const auto& [key, constraints] : summary.by_path) {
+    if (constraints.conjunctive) CheckConstraints(ctx, constraints);
+  }
+  return summary;
+}
+
+}  // namespace
+
+const char* LintCodeToString(LintCode code) {
+  switch (code) {
+    case LintCode::kUnsatisfiable:
+      return "unsatisfiable";
+    case LintCode::kDuplicateRule:
+      return "duplicate-rule";
+    case LintCode::kSubsumedRule:
+      return "subsumed-rule";
+    case LintCode::kDeadExtension:
+      return "dead-extension";
+    case LintCode::kRedundantPredicate:
+      return "redundant-predicate";
+  }
+  return "?";
+}
+
+std::string FormatLintDiagnostic(const LintDiagnostic& diagnostic) {
+  std::string out =
+      diagnostic.severity == LintSeverity::kError ? "error: " : "warning: ";
+  if (!diagnostic.rule.empty()) {
+    out += "rule '" + diagnostic.rule + "': ";
+  }
+  out += LintCodeToString(diagnostic.code);
+  out += ": ";
+  out += diagnostic.detail;
+  if (!diagnostic.related.empty()) {
+    out += " (see rule '" + diagnostic.related + "')";
+  }
+  return out;
+}
+
+bool HasLintErrors(const std::vector<LintDiagnostic>& diagnostics) {
+  for (const LintDiagnostic& d : diagnostics) {
+    if (d.severity == LintSeverity::kError) return true;
+  }
+  return false;
+}
+
+RuleLint LintRule(const AnalyzedRule& rule, const rdf::RdfSchema& schema) {
+  RuleLint lint;
+  SummarizeForLint(rule, schema, &lint);
+  return lint;
+}
+
+bool RuleSubsumes(const AnalyzedRule& stronger, const AnalyzedRule& weaker,
+                  const rdf::RdfSchema& schema) {
+  RuleLint scratch_a, scratch_b;
+  RuleSummary a = SummarizeForLint(stronger, schema, &scratch_a);
+  RuleSummary b = SummarizeForLint(weaker, schema, &scratch_b);
+  if (scratch_a.unsatisfiable || scratch_b.unsatisfiable) return false;
+  return SummarySubsumes(a, b);
+}
+
+std::vector<LintDiagnostic> LintRuleBase(
+    const std::vector<LintRuleBaseEntry>& rules,
+    const rdf::RdfSchema& schema) {
+  std::vector<LintDiagnostic> out;
+  std::vector<RuleSummary> summaries;
+  std::vector<bool> unsat(rules.size(), false);
+  summaries.reserve(rules.size());
+
+  for (size_t i = 0; i < rules.size(); ++i) {
+    RuleLint lint;
+    summaries.push_back(SummarizeForLint(*rules[i].rule, schema, &lint));
+    unsat[i] = lint.unsatisfiable;
+    for (LintDiagnostic& d : lint.diagnostics) {
+      d.rule = rules[i].name;
+      out.push_back(std::move(d));
+    }
+  }
+
+  // Pairwise duplicates and subsumption (satisfiable rules only —
+  // everything implies an unsatisfiable rule).
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (unsat[i]) continue;
+    for (size_t j = i + 1; j < rules.size(); ++j) {
+      if (unsat[j]) continue;
+      const bool i_implies_j = SummarySubsumes(summaries[i], summaries[j]);
+      const bool j_implies_i = SummarySubsumes(summaries[j], summaries[i]);
+      if (i_implies_j && j_implies_i) {
+        out.push_back(LintDiagnostic{
+            LintCode::kDuplicateRule, LintSeverity::kWarning, rules[j].name,
+            rules[i].name,
+            "matches exactly the resources of rule '" + rules[i].name + "'"});
+      } else if (i_implies_j) {
+        out.push_back(LintDiagnostic{
+            LintCode::kSubsumedRule, LintSeverity::kWarning, rules[i].name,
+            rules[j].name,
+            "every resource it matches is already matched by the weaker "
+            "rule '" +
+                rules[j].name + "'"});
+      } else if (j_implies_i) {
+        out.push_back(LintDiagnostic{
+            LintCode::kSubsumedRule, LintSeverity::kWarning, rules[j].name,
+            rules[i].name,
+            "every resource it matches is already matched by the weaker "
+            "rule '" +
+                rules[i].name + "'"});
+      }
+    }
+  }
+
+  // Dead extension chains: extending a rule that can never fire.
+  std::map<std::string, size_t> index_of;
+  for (size_t i = 0; i < rules.size(); ++i) index_of[rules[i].name] = i;
+  std::vector<bool> dead = unsat;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < rules.size(); ++i) {
+      if (dead[i]) continue;
+      for (const auto& [var, is_rule_ext] :
+           rules[i].rule->variable_is_rule_extension) {
+        if (!is_rule_ext) continue;
+        auto ext = rules[i].rule->variable_extension.find(var);
+        if (ext == rules[i].rule->variable_extension.end()) continue;
+        auto target = index_of.find(ext->second);
+        if (target == index_of.end()) continue;  // Outside this base.
+        if (dead[target->second]) {
+          out.push_back(LintDiagnostic{
+              LintCode::kDeadExtension, LintSeverity::kError, rules[i].name,
+              rules[target->second].name,
+              "extends rule '" + rules[target->second].name +
+                  "', which can never fire"});
+          dead[i] = true;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mdv::rules

@@ -1,0 +1,99 @@
+#ifndef MDV_RULES_LINT_H_
+#define MDV_RULES_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "rdf/schema.h"
+#include "rules/analyzer.h"
+
+namespace mdv::rules {
+
+/// Static analysis over the rule base, run after type checking
+/// (AnalyzeRule). The filter evaluates every registered rule against
+/// every publication (§4), so unsatisfiable, duplicate, or subsumed
+/// rules silently burn index probes and join work on every delta. The
+/// linter reports them before they reach the dependency graph:
+///
+///  - *Unsatisfiability*: interval reasoning over the constant
+///    comparisons of each (variable, path) — contradictory bounds
+///    (`x.p > 100 and x.p < 50`), contradictory equalities
+///    (`x.p = 1 and x.p = 2`, `x.p = 'a' and x.p != 'a'`), equalities
+///    outside the admissible interval, `contains` incompatible with a
+///    string equality, and self-comparisons that can never hold
+///    (`x.p < x.p` on a single-valued property).
+///  - *Duplicates and subsumption*: rule A's predicate conjunction
+///    implies rule B's over the same class and paths, so B's
+///    notifications are redundant (duplicate) or A could share B's
+///    predicate index entries (A subsumed by the weaker B).
+///  - *Dead extension chains*: rules whose search clause extends
+///    another subscription rule (§2.3) that can never fire.
+///
+/// The analysis is conservative: it only reports what it can prove, so
+/// every kError diagnostic is a genuine contradiction, while the absence
+/// of diagnostics does not certify satisfiability (paths touching
+/// set-valued properties match existentially per element and are
+/// excluded from conjunction reasoning).
+enum class LintSeverity { kError, kWarning };
+
+enum class LintCode {
+  kUnsatisfiable,        ///< The where conjunction can never hold.
+  kDuplicateRule,        ///< Matches exactly the same resources as another.
+  kSubsumedRule,         ///< Every match is already produced by another.
+  kDeadExtension,        ///< Extends a rule that can never fire.
+  kRedundantPredicate,   ///< A conjunct implied by the others (or repeated).
+};
+
+const char* LintCodeToString(LintCode code);
+
+/// One finding. `rule` / `related` carry rule names when linting a rule
+/// base; single-rule lint leaves them empty. `detail` names the variable,
+/// path and conflicting constants so diagnostics are actionable.
+struct LintDiagnostic {
+  LintCode code = LintCode::kUnsatisfiable;
+  LintSeverity severity = LintSeverity::kError;
+  std::string rule;
+  std::string related;
+  std::string detail;
+};
+
+/// `error: rule 'r': unsatisfiable: ...` — the CLI's output format.
+std::string FormatLintDiagnostic(const LintDiagnostic& diagnostic);
+
+/// True if any diagnostic has severity kError.
+bool HasLintErrors(const std::vector<LintDiagnostic>& diagnostics);
+
+/// Result of linting a single rule.
+struct RuleLint {
+  std::vector<LintDiagnostic> diagnostics;
+  /// True when the where conjunction is provably unsatisfiable.
+  bool unsatisfiable = false;
+};
+
+/// Lints one analyzed rule in isolation: satisfiability of its constant
+/// constraints and redundant-predicate warnings.
+RuleLint LintRule(const AnalyzedRule& rule, const rdf::RdfSchema& schema);
+
+/// True when `stronger` provably matches a subset of the resources
+/// `weaker` matches (both must register resources of the same class;
+/// only single-variable, constant-constraint rules are compared — any
+/// join or rule extension makes the check return false).
+bool RuleSubsumes(const AnalyzedRule& stronger, const AnalyzedRule& weaker,
+                  const rdf::RdfSchema& schema);
+
+/// One named rule of a rule base under lint.
+struct LintRuleBaseEntry {
+  std::string name;
+  const AnalyzedRule* rule = nullptr;
+};
+
+/// Lints a whole rule base: per-rule satisfiability (diagnostics carry
+/// the rule name), pairwise duplicate/subsumption warnings, and dead
+/// extension chains (a rule extending an unsatisfiable — or transitively
+/// dead — rule is itself flagged kDeadExtension, severity kError).
+std::vector<LintDiagnostic> LintRuleBase(
+    const std::vector<LintRuleBaseEntry>& rules, const rdf::RdfSchema& schema);
+
+}  // namespace mdv::rules
+
+#endif  // MDV_RULES_LINT_H_

@@ -4,6 +4,7 @@
 
 #include "bench_support/workload.h"
 #include "filter/tables.h"
+#include "obs/metrics.h"
 #include "rules/compiler.h"
 
 namespace mdv::filter {
@@ -220,6 +221,79 @@ TEST_F(RuleStoreTest, UnregisterSharedEndRuleKeepsItUntilLastRelease) {
   EXPECT_EQ(store_->NumAtomicRules(), 3u);  // Second subscription holds on.
   ASSERT_TRUE(store_->Unregister(*second).ok());
   EXPECT_EQ(store_->NumAtomicRules(), 0u);
+}
+
+TEST_F(RuleStoreTest, AddRuleRejectsUnsatisfiableRules) {
+  obs::Counter& rejected =
+      obs::DefaultMetrics().GetCounter("mdv.lint.rejected_total");
+  const int64_t before = rejected.value();
+  Result<rules::CompiledRule> compiled = rules::CompileRule(
+      "search CycleProvider c register c "
+      "where c.serverInformation.memory > 100 and "
+      "c.serverInformation.memory < 50",
+      schema_);
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  Result<RuleStore::AddRuleOutcome> outcome =
+      store_->AddRule(*compiled, schema_, "impossible");
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+  // The diagnostic names the rule and the conflicting constraint.
+  EXPECT_NE(outcome.status().message().find("impossible"), std::string::npos)
+      << outcome.status().message();
+  EXPECT_NE(outcome.status().message().find("memory"), std::string::npos)
+      << outcome.status().message();
+  EXPECT_EQ(rejected.value(), before + 1);
+  EXPECT_EQ(store_->NumAtomicRules(), 0u);  // Nothing was registered.
+}
+
+TEST_F(RuleStoreTest, AddRuleWarnsOnSubsumedPair) {
+  obs::Counter& subsumed =
+      obs::DefaultMetrics().GetCounter("mdv.lint.subsumed_total");
+  const int64_t before = subsumed.value();
+  Result<rules::CompiledRule> wide = rules::CompileRule(
+      "search CycleProvider c register c "
+      "where c.serverInformation.cpu > 100",
+      schema_);
+  ASSERT_TRUE(wide.ok());
+  Result<RuleStore::AddRuleOutcome> first =
+      store_->AddRule(*wide, schema_, "wide");
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_TRUE(first->warnings.empty());
+
+  Result<rules::CompiledRule> narrow = rules::CompileRule(
+      "search CycleProvider c register c "
+      "where c.serverInformation.cpu > 200",
+      schema_);
+  ASSERT_TRUE(narrow.ok());
+  Result<RuleStore::AddRuleOutcome> second =
+      store_->AddRule(*narrow, schema_, "narrow");
+  ASSERT_TRUE(second.ok()) << second.status();  // Warn, don't refuse.
+  ASSERT_FALSE(second->warnings.empty());
+  EXPECT_EQ(second->warnings[0].code, rules::LintCode::kSubsumedRule);
+  EXPECT_EQ(subsumed.value(), before + 1);
+
+  // Unregistering the pair clears the lint registry too: re-adding the
+  // narrow rule alone is then warning-free.
+  ASSERT_TRUE(store_->Unregister(first->end_rule_id).ok());
+  ASSERT_TRUE(store_->Unregister(second->end_rule_id).ok());
+  Result<RuleStore::AddRuleOutcome> again =
+      store_->AddRule(*narrow, schema_, "narrow");
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->warnings.empty());
+}
+
+TEST_F(RuleStoreTest, AddRuleFlagsExactDuplicates) {
+  Result<rules::CompiledRule> compiled = rules::CompileRule(
+      "search CycleProvider c register c "
+      "where c.serverInformation.memory > 64",
+      schema_);
+  ASSERT_TRUE(compiled.ok());
+  ASSERT_TRUE(store_->AddRule(*compiled, schema_, "a").ok());
+  Result<RuleStore::AddRuleOutcome> duplicate =
+      store_->AddRule(*compiled, schema_, "b");
+  ASSERT_TRUE(duplicate.ok());
+  ASSERT_FALSE(duplicate->warnings.empty());
+  EXPECT_EQ(duplicate->warnings[0].code, rules::LintCode::kDuplicateRule);
 }
 
 TEST_F(RuleStoreTest, IdCountersResumeFromExistingRows) {

@@ -213,5 +213,62 @@ TEST(DatabaseTest, TotalRowsAndNames) {
   EXPECT_EQ(db.TableNames(), (std::vector<std::string>{"empty", "people"}));
 }
 
+// ---- Invariant auditor. ---------------------------------------------------
+
+TEST(TableInvariantsTest, HoldAfterMutationWorkout) {
+  Table table(PeopleSchema());
+  ASSERT_TRUE(table.CreateIndex("name", IndexKind::kHash).ok());
+  ASSERT_TRUE(table.CreateIndex("age", IndexKind::kBTree).ok());
+  EXPECT_TRUE(table.CheckInvariants().ok());
+
+  std::vector<RowId> ids;
+  for (int i = 0; i < 50; ++i) {
+    ids.push_back(*table.Insert(MakePerson("p" + std::to_string(i % 7),
+                                           100 - i)));
+  }
+  EXPECT_TRUE(table.CheckInvariants().ok());
+  for (size_t i = 0; i < ids.size(); i += 3) {
+    ASSERT_TRUE(table.Delete(ids[i]).ok());
+  }
+  for (size_t i = 1; i < ids.size(); i += 3) {
+    ASSERT_TRUE(table.Update(ids[i], MakePerson("updated", 1000 + i)).ok());
+  }
+  Status st = table.CheckInvariants();
+  EXPECT_TRUE(st.ok()) << st.ToString();
+
+  // Index created after the fact is back-filled consistently.
+  ASSERT_TRUE(table.DropIndex("age").ok());
+  ASSERT_TRUE(table.CreateIndex("age", IndexKind::kHash).ok());
+  EXPECT_TRUE(table.CheckInvariants().ok());
+  table.Truncate();
+  EXPECT_TRUE(table.CheckInvariants().ok());
+}
+
+TEST(TableInvariantsTest, HoldAcrossTransactionRollback) {
+  Database db;
+  Table* people = *db.CreateTable(PeopleSchema());
+  ASSERT_TRUE(people->CreateIndex("age", IndexKind::kBTree).ok());
+  RowId keep = *people->Insert(MakePerson("ada", 36));
+  ASSERT_TRUE(db.BeginTransaction().ok());
+  ASSERT_TRUE(people->Insert(MakePerson("grace", 45)).ok());
+  ASSERT_TRUE(people->Delete(keep).ok());
+  ASSERT_TRUE(db.RollbackTransaction().ok());
+  Status st = db.CheckInvariants();
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(people->NumRows(), 1u);
+}
+
+TEST(TableInvariantsTest, BTreeForEachEntryVisitsInKeyOrder) {
+  // The auditor's ordering check leans on this visit order.
+  BTreeIndex index(0);
+  index.Insert(Value(int64_t{5}), 1);
+  index.Insert(Value(int64_t{1}), 2);
+  index.Insert(Value(int64_t{3}), 3);
+  std::vector<int64_t> keys;
+  index.ForEachEntry(
+      [&](const Value& key, RowId) { keys.push_back(key.as_int()); });
+  EXPECT_EQ(keys, (std::vector<int64_t>{1, 3, 5}));
+}
+
 }  // namespace
 }  // namespace mdv::rdbms

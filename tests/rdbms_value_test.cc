@@ -106,5 +106,47 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(-2, 0, 1, 64, 92),
                        ::testing::Values(-2, 0, 1, 64, 92)));
 
+// ---- TryNumeric boundaries (from_chars semantics, no locale). -------------
+//
+// The filter reconverts stored rule/data text to numbers on every probe
+// (§3.3.4), so the text→number conversion must be locale-independent
+// and strict: no partial parses, no silent clamping.
+
+TEST(ValueTryNumericTest, Int64BoundariesRoundTrip) {
+  EXPECT_DOUBLE_EQ(*Value("9223372036854775807").TryNumeric(),
+                   9223372036854775807.0);
+  EXPECT_DOUBLE_EQ(*Value("-9223372036854775808").TryNumeric(),
+                   -9223372036854775808.0);
+}
+
+TEST(ValueTryNumericTest, LeadingZerosAndNegativeDecimals) {
+  EXPECT_DOUBLE_EQ(*Value("007").TryNumeric(), 7.0);
+  EXPECT_DOUBLE_EQ(*Value("-0.5").TryNumeric(), -0.5);
+  EXPECT_DOUBLE_EQ(*Value("0.0625").TryNumeric(), 0.0625);
+}
+
+TEST(ValueTryNumericTest, StrictAboutSurroundingText) {
+  // Partial parses and surrounding whitespace are not numbers: rule
+  // constants like '64MB' must compare as strings, never as 64.
+  EXPECT_FALSE(Value("64MB").TryNumeric().has_value());
+  EXPECT_FALSE(Value(" 64").TryNumeric().has_value());
+  EXPECT_FALSE(Value("64 ").TryNumeric().has_value());
+  EXPECT_FALSE(Value("").TryNumeric().has_value());
+  EXPECT_FALSE(Value("+64").TryNumeric().has_value());  // No '+' sign.
+  EXPECT_FALSE(Value("0x10").TryNumeric().has_value());
+  EXPECT_FALSE(Value("1,5").TryNumeric().has_value());  // Never locale ','.
+}
+
+TEST(ValueTryNumericTest, OverflowIsRejectedNotClamped) {
+  EXPECT_FALSE(Value(std::string(400, '9')).TryNumeric().has_value());
+  EXPECT_FALSE(Value("-" + std::string(400, '9')).TryNumeric().has_value());
+}
+
+TEST(ValueTryNumericTest, ScientificNotationParsesExactly) {
+  EXPECT_DOUBLE_EQ(*Value("1e3").TryNumeric(), 1000.0);
+  EXPECT_DOUBLE_EQ(*Value("2.5E-2").TryNumeric(), 0.025);
+  EXPECT_FALSE(Value("1e").TryNumeric().has_value());
+}
+
 }  // namespace
 }  // namespace mdv::rdbms

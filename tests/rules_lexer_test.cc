@@ -83,5 +83,45 @@ TEST(LexerTest, IdentifiersMayCarryUriCharacters) {
   EXPECT_EQ((*tokens)[1].text, "a/b");
 }
 
+// ---- Numeric-constant boundaries (from_chars semantics, no locale). -------
+
+TEST(LexerTest, Int64BoundaryConstantsLex) {
+  Result<std::vector<Token>> tokens =
+      Tokenize("9223372036854775807 -9223372036854775808");
+  ASSERT_TRUE(tokens.ok()) << tokens.status();
+  ASSERT_EQ(tokens->size(), 3u);  // Two numbers plus the kEnd sentinel.
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kNumber);
+  EXPECT_EQ((*tokens)[0].text, "9223372036854775807");
+  EXPECT_DOUBLE_EQ((*tokens)[0].number, 9223372036854775807.0);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kNumber);
+  EXPECT_DOUBLE_EQ((*tokens)[1].number, -9223372036854775808.0);
+}
+
+TEST(LexerTest, LeadingZerosAreDecimalNotOctal) {
+  Result<std::vector<Token>> tokens = Tokenize("007 010");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_DOUBLE_EQ((*tokens)[0].number, 7.0);
+  EXPECT_DOUBLE_EQ((*tokens)[1].number, 10.0);
+}
+
+TEST(LexerTest, NegativeDecimalsLexAsOneToken) {
+  Result<std::vector<Token>> tokens = Tokenize("-0.5 -92.25");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 3u);  // Two numbers plus the kEnd sentinel.
+  EXPECT_DOUBLE_EQ((*tokens)[0].number, -0.5);
+  EXPECT_DOUBLE_EQ((*tokens)[1].number, -92.25);
+}
+
+TEST(LexerTest, OverflowingConstantIsAParseErrorNotGarbage) {
+  // ~1e400 does not fit a double; from_chars reports out-of-range and
+  // the lexer must surface that instead of clamping silently.
+  std::string huge(400, '9');
+  EXPECT_EQ(Tokenize(huge).status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, MultipleDotsAreMalformed) {
+  EXPECT_EQ(Tokenize("1.2.3").status().code(), StatusCode::kParseError);
+}
+
 }  // namespace
 }  // namespace mdv::rules

@@ -1,0 +1,350 @@
+#include "rules/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "rdf/schema.h"
+#include "rules/analyzer.h"
+#include "rules/parser.h"
+
+namespace mdv::rules {
+namespace {
+
+/// ObjectGlobe plus a class with a set-valued literal, to test the
+/// conjunctive-safety exclusion.
+rdf::RdfSchema TestSchema() {
+  rdf::RdfSchema schema = rdf::MakeObjectGlobeSchema();
+  Status st = schema.AddClass(rdf::ClassBuilder("TaggedThing")
+                                  .Literal("tag", /*set_valued=*/true)
+                                  .Literal("size")
+                                  .Build());
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return schema;
+}
+
+AnalyzedRule Analyze(const std::string& text, const rdf::RdfSchema& schema,
+                     const ExtensionResolver& resolver = nullptr) {
+  Result<RuleAst> ast = ParseRule(text);
+  EXPECT_TRUE(ast.ok()) << ast.status();
+  Result<AnalyzedRule> analyzed = AnalyzeRule(*ast, schema, resolver);
+  EXPECT_TRUE(analyzed.ok()) << analyzed.status();
+  return *analyzed;
+}
+
+bool HasCode(const std::vector<LintDiagnostic>& diagnostics, LintCode code) {
+  for (const LintDiagnostic& d : diagnostics) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+std::string JoinDetails(const std::vector<LintDiagnostic>& diagnostics) {
+  std::string out;
+  for (const LintDiagnostic& d : diagnostics) {
+    out += FormatLintDiagnostic(d);
+    out += '\n';
+  }
+  return out;
+}
+
+class RulesLintTest : public ::testing::Test {
+ protected:
+  RulesLintTest() : schema_(TestSchema()) {}
+
+  RuleLint Lint(const std::string& where) {
+    return LintRule(Analyze("search CycleProvider c register c where " + where,
+                            schema_),
+                    schema_);
+  }
+
+  rdf::RdfSchema schema_;
+};
+
+// ---- Unsatisfiability. ----------------------------------------------------
+
+TEST_F(RulesLintTest, EmptyIntervalIsUnsatisfiable) {
+  RuleLint lint = Lint(
+      "c.serverInformation.memory > 100 and c.serverInformation.memory < 50");
+  EXPECT_TRUE(lint.unsatisfiable);
+  ASSERT_TRUE(HasCode(lint.diagnostics, LintCode::kUnsatisfiable));
+  // The diagnostic names the path and both conflicting bounds.
+  const std::string details = JoinDetails(lint.diagnostics);
+  EXPECT_NE(details.find("c.serverInformation.memory"), std::string::npos)
+      << details;
+  EXPECT_NE(details.find("100"), std::string::npos) << details;
+  EXPECT_NE(details.find("50"), std::string::npos) << details;
+}
+
+TEST_F(RulesLintTest, OpenIntervalAtSamePointIsUnsatisfiable) {
+  EXPECT_TRUE(
+      Lint("c.serverInformation.memory > 100 and c.serverInformation.memory <= 100")
+          .unsatisfiable);
+  // The closed version is satisfiable (exactly 100).
+  EXPECT_FALSE(
+      Lint("c.serverInformation.memory >= 100 and c.serverInformation.memory <= 100")
+          .unsatisfiable);
+}
+
+TEST_F(RulesLintTest, ContradictoryEqualitiesAreUnsatisfiable) {
+  EXPECT_TRUE(
+      Lint("c.serverInformation.memory = 64 and c.serverInformation.memory = 128")
+          .unsatisfiable);
+  EXPECT_TRUE(Lint("c.serverHost = 'a' and c.serverHost = 'b'").unsatisfiable);
+  EXPECT_TRUE(Lint("c.serverHost = 'a' and c.serverHost != 'a'").unsatisfiable);
+  EXPECT_TRUE(
+      Lint("c.serverInformation.memory = 64 and c.serverInformation.memory != 64")
+          .unsatisfiable);
+}
+
+TEST_F(RulesLintTest, EqualityOutsideBoundsIsUnsatisfiable) {
+  EXPECT_TRUE(
+      Lint("c.serverInformation.memory = 10 and c.serverInformation.memory > 64")
+          .unsatisfiable);
+  EXPECT_FALSE(
+      Lint("c.serverInformation.memory = 100 and c.serverInformation.memory > 64")
+          .unsatisfiable);
+}
+
+TEST_F(RulesLintTest, NonNumericEqualityWithOrderedBoundIsUnsatisfiable) {
+  // Ordered operators only match numeric text (§3.3.4), so pinning the
+  // value to a non-numeric string contradicts any bound.
+  EXPECT_TRUE(
+      Lint("c.serverHost = 'pirates' and c.serverHost > 5").unsatisfiable);
+  // A numeric string is fine: '64' compares as the number 64.
+  EXPECT_FALSE(Lint("c.serverHost = '64' and c.serverHost > 5").unsatisfiable);
+}
+
+TEST_F(RulesLintTest, StringEqualityIncompatibleWithContains) {
+  EXPECT_TRUE(
+      Lint("c.serverHost = 'abc' and c.serverHost contains 'xyz'")
+          .unsatisfiable);
+  EXPECT_FALSE(
+      Lint("c.serverHost = 'abcxyz' and c.serverHost contains 'xyz'")
+          .unsatisfiable);
+}
+
+TEST_F(RulesLintTest, PinnedIntervalWithExclusionIsUnsatisfiable) {
+  EXPECT_TRUE(Lint("c.serverInformation.memory >= 64 and "
+                   "c.serverInformation.memory <= 64 and "
+                   "c.serverInformation.memory != 64")
+                  .unsatisfiable);
+}
+
+TEST_F(RulesLintTest, SelfComparisonCanNeverHold) {
+  EXPECT_TRUE(Lint("c.serverPort < c.serverPort").unsatisfiable);
+  EXPECT_TRUE(Lint("c.serverPort != c.serverPort").unsatisfiable);
+  // `=` against itself is vacuous, not contradictory.
+  RuleLint equal = Lint("c.serverPort = c.serverPort");
+  EXPECT_FALSE(equal.unsatisfiable);
+  EXPECT_TRUE(HasCode(equal.diagnostics, LintCode::kRedundantPredicate));
+}
+
+TEST_F(RulesLintTest, SatisfiableConjunctionsStayClean) {
+  RuleLint lint = Lint(
+      "c.serverInformation.memory > 64 and c.serverInformation.memory < 256 "
+      "and c.serverHost contains 'uni' and c.serverPort != 80");
+  EXPECT_FALSE(lint.unsatisfiable);
+  EXPECT_TRUE(lint.diagnostics.empty()) << JoinDetails(lint.diagnostics);
+}
+
+TEST_F(RulesLintTest, SetValuedPathsAreExemptFromConjunctionReasoning) {
+  // Each predicate over a set-valued property may be satisfied by a
+  // *different* element, so `tag = 'a' and tag = 'b'` is satisfiable.
+  RuleLint lint = LintRule(
+      Analyze("search TaggedThing t register t "
+              "where t.tag = 'a' and t.tag = 'b'",
+              schema_),
+      schema_);
+  EXPECT_FALSE(lint.unsatisfiable) << JoinDetails(lint.diagnostics);
+  // The single-valued sibling property still gets full reasoning.
+  EXPECT_TRUE(LintRule(Analyze("search TaggedThing t register t "
+                               "where t.size = 1 and t.size = 2",
+                               schema_),
+                       schema_)
+                  .unsatisfiable);
+}
+
+TEST_F(RulesLintTest, DuplicatePredicateIsAWarningNotAnError) {
+  RuleLint lint = Lint(
+      "c.serverInformation.memory > 64 and c.serverInformation.memory > 64");
+  EXPECT_FALSE(lint.unsatisfiable);
+  EXPECT_TRUE(HasCode(lint.diagnostics, LintCode::kRedundantPredicate));
+}
+
+// ---- Subsumption. ---------------------------------------------------------
+
+TEST_F(RulesLintTest, TighterBoundSubsumes) {
+  AnalyzedRule strong = Analyze(
+      "search CycleProvider c register c "
+      "where c.serverInformation.memory > 128",
+      schema_);
+  AnalyzedRule weak = Analyze(
+      "search CycleProvider c register c "
+      "where c.serverInformation.memory > 64",
+      schema_);
+  EXPECT_TRUE(RuleSubsumes(strong, weak, schema_));
+  EXPECT_FALSE(RuleSubsumes(weak, strong, schema_));
+}
+
+TEST_F(RulesLintTest, EqualityInsideRangeSubsumes) {
+  AnalyzedRule strong = Analyze(
+      "search CycleProvider c register c "
+      "where c.serverInformation.memory = 100",
+      schema_);
+  AnalyzedRule weak = Analyze(
+      "search CycleProvider c register c "
+      "where c.serverInformation.memory >= 64 and "
+      "c.serverInformation.memory <= 128",
+      schema_);
+  EXPECT_TRUE(RuleSubsumes(strong, weak, schema_));
+  EXPECT_FALSE(RuleSubsumes(weak, strong, schema_));
+}
+
+TEST_F(RulesLintTest, SuperstringContainsSubsumes) {
+  AnalyzedRule strong = Analyze(
+      "search CycleProvider c register c "
+      "where c.serverHost contains 'pirates.uni-passau.de'",
+      schema_);
+  AnalyzedRule weak = Analyze(
+      "search CycleProvider c register c "
+      "where c.serverHost contains 'uni-passau'",
+      schema_);
+  EXPECT_TRUE(RuleSubsumes(strong, weak, schema_));
+  EXPECT_FALSE(RuleSubsumes(weak, strong, schema_));
+}
+
+TEST_F(RulesLintTest, ExactDuplicateSubsumesBothWays) {
+  AnalyzedRule a = Analyze(
+      "search CycleProvider c register c "
+      "where c.serverInformation.cpu >= 600",
+      schema_);
+  AnalyzedRule b = Analyze(
+      "search CycleProvider d register d "
+      "where d.serverInformation.cpu >= 600",
+      schema_);
+  EXPECT_TRUE(RuleSubsumes(a, b, schema_));
+  EXPECT_TRUE(RuleSubsumes(b, a, schema_));
+}
+
+TEST_F(RulesLintTest, NearMissesAreNotSubsumed) {
+  AnalyzedRule memory = Analyze(
+      "search CycleProvider c register c "
+      "where c.serverInformation.memory > 128",
+      schema_);
+  // Overlapping but incomparable intervals.
+  AnalyzedRule overlapping = Analyze(
+      "search CycleProvider c register c "
+      "where c.serverInformation.memory < 256",
+      schema_);
+  EXPECT_FALSE(RuleSubsumes(memory, overlapping, schema_));
+  EXPECT_FALSE(RuleSubsumes(overlapping, memory, schema_));
+  // Same shape, different path.
+  AnalyzedRule cpu = Analyze(
+      "search CycleProvider c register c "
+      "where c.serverInformation.cpu > 64",
+      schema_);
+  EXPECT_FALSE(RuleSubsumes(memory, cpu, schema_));
+  // Different register class.
+  AnalyzedRule other_class = Analyze(
+      "search ServerInformation s register s where s.memory > 128", schema_);
+  EXPECT_FALSE(RuleSubsumes(other_class, memory, schema_));
+  // Substring in the wrong direction.
+  AnalyzedRule sub = Analyze(
+      "search CycleProvider c register c where c.serverHost contains 'uni'",
+      schema_);
+  AnalyzedRule super = Analyze(
+      "search CycleProvider c register c "
+      "where c.serverHost contains 'uni-passau'",
+      schema_);
+  EXPECT_FALSE(RuleSubsumes(sub, super, schema_));
+}
+
+TEST_F(RulesLintTest, SetValuedPathsAreNotCompared) {
+  AnalyzedRule strong = Analyze(
+      "search TaggedThing t register t where t.tag = 'a'", schema_);
+  AnalyzedRule weak = Analyze(
+      "search TaggedThing t register t where t.tag = 'a'", schema_);
+  // Even identical texts: set-valued constraints are excluded, and the
+  // non-trivial weaker key cannot be proven.
+  EXPECT_FALSE(RuleSubsumes(strong, weak, schema_));
+}
+
+// ---- Rule-base lint. ------------------------------------------------------
+
+TEST_F(RulesLintTest, RuleBaseReportsDuplicatesAndSubsumption) {
+  AnalyzedRule wide = Analyze(
+      "search CycleProvider c register c "
+      "where c.serverInformation.cpu > 100",
+      schema_);
+  AnalyzedRule narrow = Analyze(
+      "search CycleProvider c register c "
+      "where c.serverInformation.cpu > 200",
+      schema_);
+  AnalyzedRule narrow_again = Analyze(
+      "search CycleProvider x register x "
+      "where x.serverInformation.cpu > 200",
+      schema_);
+  std::vector<LintDiagnostic> diagnostics = LintRuleBase(
+      {{"wide", &wide}, {"narrow", &narrow}, {"narrow2", &narrow_again}},
+      schema_);
+  EXPECT_TRUE(HasCode(diagnostics, LintCode::kDuplicateRule))
+      << JoinDetails(diagnostics);
+  EXPECT_TRUE(HasCode(diagnostics, LintCode::kSubsumedRule))
+      << JoinDetails(diagnostics);
+  // The *stronger* rule is the subsumed one; warnings, not errors.
+  for (const LintDiagnostic& d : diagnostics) {
+    if (d.code == LintCode::kSubsumedRule) {
+      EXPECT_NE(d.rule.find("narrow"), std::string::npos);
+      EXPECT_EQ(d.related, "wide");
+      EXPECT_EQ(d.severity, LintSeverity::kWarning);
+    }
+  }
+  EXPECT_FALSE(HasLintErrors(diagnostics));
+}
+
+TEST_F(RulesLintTest, DeadExtensionChainsPropagate) {
+  AnalyzedRule dead_root = Analyze(
+      "search CycleProvider c register c "
+      "where c.serverInformation.memory > 100 and "
+      "c.serverInformation.memory < 50",
+      schema_);
+  auto resolver = [](const std::string& name) -> std::optional<std::string> {
+    if (name == "root" || name == "mid") return "CycleProvider";
+    return std::nullopt;
+  };
+  AnalyzedRule mid = Analyze(
+      "search root c register c where c.serverPort = 80", schema_, resolver);
+  AnalyzedRule leaf = Analyze(
+      "search mid c register c where c.serverPort = 80", schema_, resolver);
+  std::vector<LintDiagnostic> diagnostics = LintRuleBase(
+      {{"root", &dead_root}, {"mid", &mid}, {"leaf", &leaf}}, schema_);
+  // root unsat (error) + mid dead (error) + leaf dead transitively.
+  int dead = 0;
+  for (const LintDiagnostic& d : diagnostics) {
+    if (d.code == LintCode::kDeadExtension) {
+      ++dead;
+      EXPECT_EQ(d.severity, LintSeverity::kError);
+    }
+  }
+  EXPECT_EQ(dead, 2) << JoinDetails(diagnostics);
+  EXPECT_TRUE(HasCode(diagnostics, LintCode::kUnsatisfiable));
+}
+
+TEST_F(RulesLintTest, CleanRuleBaseHasNoDiagnostics) {
+  AnalyzedRule a = Analyze(
+      "search CycleProvider c register c "
+      "where c.serverInformation.memory > 128",
+      schema_);
+  AnalyzedRule b = Analyze(
+      "search CycleProvider c register c "
+      "where c.serverHost contains 'uni-passau.de'",
+      schema_);
+  std::vector<LintDiagnostic> diagnostics =
+      LintRuleBase({{"a", &a}, {"b", &b}}, schema_);
+  EXPECT_TRUE(diagnostics.empty()) << JoinDetails(diagnostics);
+}
+
+}  // namespace
+}  // namespace mdv::rules

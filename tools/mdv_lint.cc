@@ -1,0 +1,280 @@
+// mdv_lint: standalone front-end for the rule-base static analyzer.
+//
+// Reads a rule file, runs every rule through the normal compile
+// pipeline front-end (tokenize → parse → type-check against the
+// schema), then lints the resulting rule base: satisfiability of each
+// rule's constant constraints, duplicate/subsumed pairs, and dead
+// extension chains. Diagnostics go to stdout in the
+// `error: rule 'name': ...` format of FormatLintDiagnostic.
+//
+// Usage: mdv_lint [--schema FILE] [--werror] RULEFILE
+//
+// Rule file format: one rule per block, blocks separated by blank
+// lines; `#` starts a comment line. A block may open with `name:` on
+// its own line to name the rule (otherwise rules are named rule1,
+// rule2, ... in file order). Rule text may span multiple lines.
+//
+// Schema file format (when the default ObjectGlobe schema does not
+// fit), one directive per line:
+//   class NAME
+//   literal PROP            — literal property of the latest class
+//   literal* PROP           — set-valued literal
+//   ref PROP CLASS          — weak reference to CLASS
+//   ref* PROP CLASS         — set-valued weak reference
+//
+// Exit status: 0 = clean or warnings only, 1 = lint errors (or
+// compile errors in the rule file), 2 = usage/IO problems.
+
+#include <cctype>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rdf/schema.h"
+#include "rules/analyzer.h"
+#include "rules/lint.h"
+#include "rules/parser.h"
+
+namespace {
+
+struct RuleBlock {
+  std::string name;
+  std::string text;
+};
+
+/// True for `identifier:` (with optional surrounding blanks) — the
+/// optional name line opening a rule block. `search ... where p:q` never
+/// matches because the line must hold nothing but the identifier.
+bool IsNameLine(const std::string& line, std::string* name) {
+  size_t begin = line.find_first_not_of(" \t");
+  if (begin == std::string::npos) return false;
+  size_t colon = line.find(':', begin);
+  if (colon == std::string::npos) return false;
+  if (line.find_first_not_of(" \t", colon + 1) != std::string::npos) {
+    return false;
+  }
+  std::string candidate = line.substr(begin, colon - begin);
+  while (!candidate.empty() && (candidate.back() == ' ' ||
+                                candidate.back() == '\t')) {
+    candidate.pop_back();
+  }
+  if (candidate.empty()) return false;
+  for (char c : candidate) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+        c != '-') {
+      return false;
+    }
+  }
+  *name = candidate;
+  return true;
+}
+
+std::vector<RuleBlock> SplitRuleFile(const std::string& content) {
+  std::vector<RuleBlock> blocks;
+  RuleBlock current;
+  auto flush = [&] {
+    if (current.text.find_first_not_of(" \t\n") != std::string::npos) {
+      if (current.name.empty()) {
+        current.name = "rule" + std::to_string(blocks.size() + 1);
+      }
+      blocks.push_back(current);
+    }
+    current = RuleBlock{};
+  };
+  std::istringstream in(content);
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t text_begin = line.find_first_not_of(" \t");
+    if (text_begin == std::string::npos) {  // Blank: block separator.
+      flush();
+      continue;
+    }
+    if (line[text_begin] == '#') continue;
+    std::string name;
+    if (current.text.empty() && IsNameLine(line, &name)) {
+      current.name = name;
+      continue;
+    }
+    current.text += line;
+    current.text += '\n';
+  }
+  flush();
+  return blocks;
+}
+
+std::optional<mdv::rdf::RdfSchema> LoadSchema(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "mdv_lint: cannot open schema file " << path << "\n";
+    return std::nullopt;
+  }
+  mdv::rdf::RdfSchema schema;
+  std::optional<mdv::rdf::ClassDef> open_class;
+  auto flush = [&]() -> bool {
+    if (!open_class.has_value()) return true;
+    mdv::Status status = schema.AddClass(std::move(*open_class));
+    open_class.reset();
+    if (!status.ok()) {
+      std::cerr << "mdv_lint: " << path << ": " << status.message() << "\n";
+      return false;
+    }
+    return true;
+  };
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream fields(line);
+    std::string directive;
+    if (!(fields >> directive) || directive[0] == '#') continue;
+    auto fail = [&](const std::string& why) {
+      std::cerr << "mdv_lint: " << path << ":" << line_no << ": " << why
+                << "\n";
+      return std::nullopt;
+    };
+    if (directive == "class") {
+      std::string name;
+      if (!(fields >> name)) return fail("class needs a name");
+      if (!flush()) return std::nullopt;
+      open_class = mdv::rdf::ClassDef{};
+      open_class->name = name;
+      continue;
+    }
+    const bool set_valued = directive.back() == '*';
+    if (set_valued) directive.pop_back();
+    if (directive != "literal" && directive != "ref") {
+      return fail("unknown directive '" + directive + "'");
+    }
+    if (!open_class.has_value()) {
+      return fail("property outside a class block");
+    }
+    mdv::rdf::PropertyDef property;
+    property.set_valued = set_valued;
+    if (!(fields >> property.name)) return fail("property needs a name");
+    if (directive == "ref") {
+      property.kind = mdv::rdf::PropertyKind::kReference;
+      if (!(fields >> property.referenced_class)) {
+        return fail("ref needs a target class");
+      }
+    }
+    open_class->properties[property.name] = property;
+  }
+  if (!flush()) return std::nullopt;
+  return schema;
+}
+
+int Usage() {
+  std::cerr << "usage: mdv_lint [--schema FILE] [--werror] RULEFILE\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string schema_path;
+  std::string rule_path;
+  bool werror = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--schema") {
+      if (++i == argc) return Usage();
+      schema_path = argv[i];
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!rule_path.empty()) {
+      return Usage();
+    } else {
+      rule_path = arg;
+    }
+  }
+  if (rule_path.empty()) return Usage();
+
+  mdv::rdf::RdfSchema schema = mdv::rdf::MakeObjectGlobeSchema();
+  if (!schema_path.empty()) {
+    std::optional<mdv::rdf::RdfSchema> loaded = LoadSchema(schema_path);
+    if (!loaded.has_value()) return 2;
+    schema = std::move(*loaded);
+  }
+
+  std::ifstream in(rule_path);
+  if (!in) {
+    std::cerr << "mdv_lint: cannot open " << rule_path << "\n";
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::vector<RuleBlock> blocks = SplitRuleFile(buffer.str());
+  if (blocks.empty()) {
+    std::cerr << "mdv_lint: " << rule_path << ": no rules found\n";
+    return 2;
+  }
+
+  // Compile front-end. Earlier rules of the file are visible as
+  // extensions to later ones (the rule file models one MDP's rule base,
+  // where extensions resolve against registered subscriptions).
+  std::vector<mdv::rules::AnalyzedRule> analyzed;
+  std::vector<std::string> names;
+  bool compile_errors = false;
+  auto resolver =
+      [&](const std::string& ext) -> std::optional<std::string> {
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == ext) {
+        return analyzed[i].variable_class.at(
+            analyzed[i].ast.register_variable);
+      }
+    }
+    return std::nullopt;
+  };
+  analyzed.reserve(blocks.size());
+  for (const RuleBlock& block : blocks) {
+    mdv::Result<mdv::rules::RuleAst> ast = mdv::rules::ParseRule(block.text);
+    if (!ast.ok()) {
+      std::cout << "error: rule '" << block.name
+                << "': " << ast.status().message() << "\n";
+      compile_errors = true;
+      continue;
+    }
+    mdv::Result<mdv::rules::AnalyzedRule> rule =
+        mdv::rules::AnalyzeRule(*ast, schema, resolver);
+    if (!rule.ok()) {
+      std::cout << "error: rule '" << block.name
+                << "': " << rule.status().message() << "\n";
+      compile_errors = true;
+      continue;
+    }
+    analyzed.push_back(std::move(*rule));
+    names.push_back(block.name);
+  }
+
+  std::vector<mdv::rules::LintRuleBaseEntry> entries;
+  entries.reserve(analyzed.size());
+  for (size_t i = 0; i < analyzed.size(); ++i) {
+    entries.push_back({names[i], &analyzed[i]});
+  }
+  std::vector<mdv::rules::LintDiagnostic> diagnostics =
+      mdv::rules::LintRuleBase(entries, schema);
+
+  int errors = compile_errors ? 1 : 0;
+  int warnings = 0;
+  for (const mdv::rules::LintDiagnostic& diagnostic : diagnostics) {
+    std::cout << mdv::rules::FormatLintDiagnostic(diagnostic) << "\n";
+    if (diagnostic.severity == mdv::rules::LintSeverity::kError) {
+      ++errors;
+    } else {
+      ++warnings;
+    }
+  }
+  std::cout << rule_path << ": " << entries.size() << " rule"
+            << (entries.size() == 1 ? "" : "s") << ", " << errors
+            << " error" << (errors == 1 ? "" : "s") << ", " << warnings
+            << " warning" << (warnings == 1 ? "" : "s") << "\n";
+  if (errors > 0) return 1;
+  if (werror && warnings > 0) return 1;
+  return 0;
+}
