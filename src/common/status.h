@@ -17,6 +17,7 @@ enum class StatusCode {
   kSchemaViolation,  ///< Input does not conform to the registered RDF schema.
   kInternal,         ///< Invariant violation inside MDV itself.
   kUnsupported,      ///< Feature intentionally not implemented.
+  kResourceExhausted,  ///< A bounded resource (delivery queue, buffer) is full.
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -59,6 +60,9 @@ class Status {
   }
   static Status Unsupported(std::string msg) {
     return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

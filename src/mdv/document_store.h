@@ -1,6 +1,7 @@
 #ifndef MDV_MDV_DOCUMENT_STORE_H_
 #define MDV_MDV_DOCUMENT_STORE_H_
 
+#include <cstddef>
 #include <map>
 #include <string>
 #include <vector>

@@ -1,6 +1,8 @@
 #ifndef MDV_MDV_LMR_H_
 #define MDV_MDV_LMR_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>

@@ -45,6 +45,7 @@ MetadataProvider::MetadataProvider(const rdf::RdfSchema* schema,
                                    Network* network,
                                    filter::RuleStoreOptions rule_options)
     : schema_(schema), network_(network), rule_options_(rule_options),
+      sender_id_(network->RegisterSender()),
       db_(std::make_unique<rdbms::Database>()) {
   Status st = filter::CreateFilterTables(db_.get());
   (void)st;  // Fresh database; cannot fail.
@@ -113,7 +114,7 @@ Status MetadataProvider::RegisterDocumentBatchInternal(
                        publisher_->PublishNewMatches(result));
   StampTrace(&notes, span.context());
   span.AddAttribute("notifications", static_cast<int64_t>(notes.size()));
-  network_->DeliverAll(notes);
+  network_->DeliverAll(notes, sender_id_);
   metrics.registered.Add(static_cast<int64_t>(docs.size()));
 
   if (origin == Origin::kClient) {
@@ -172,7 +173,7 @@ Status MetadataProvider::UpdateDocumentInternal(rdf::RdfDocument document,
                        publisher_->PublishUpdateOutcome(outcome));
   StampTrace(&notes, span.context());
   span.AddAttribute("notifications", static_cast<int64_t>(notes.size()));
-  network_->DeliverAll(notes);
+  network_->DeliverAll(notes, sender_id_);
   metrics.updated.Increment();
 
   if (origin == Origin::kClient) {
@@ -214,7 +215,7 @@ Status MetadataProvider::DeleteDocumentInternal(const std::string& uri,
                        publisher_->PublishUpdateOutcome(outcome));
   StampTrace(&notes, span.context());
   span.AddAttribute("notifications", static_cast<int64_t>(notes.size()));
-  network_->DeliverAll(notes);
+  network_->DeliverAll(notes, sender_id_);
   metrics.deleted.Increment();
 
   if (origin == Origin::kClient) {
@@ -283,7 +284,7 @@ Result<pubsub::SubscriptionId> MetadataProvider::Subscribe(
       note.resources.insert(note.resources.end(), shipped.begin(),
                             shipped.end());
     }
-    network_->Deliver(note);
+    network_->Deliver(note, sender_id_);
   }
   metrics.subscriptions.Increment();
   return id;

@@ -1,6 +1,7 @@
 #ifndef MDV_MDV_METADATA_PROVIDER_H_
 #define MDV_MDV_METADATA_PROVIDER_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -128,6 +129,7 @@ class MetadataProvider {
   const rdf::RdfSchema* schema_;
   Network* network_;
   filter::RuleStoreOptions rule_options_;
+  uint64_t sender_id_ = 0;  // This MDP's flow id on the network.
   std::unique_ptr<rdbms::Database> db_;
   std::unique_ptr<filter::RuleStore> rule_store_;
   std::unique_ptr<filter::FilterEngine> engine_;

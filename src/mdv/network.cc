@@ -1,5 +1,7 @@
 #include "mdv/network.h"
 
+#include <algorithm>
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -37,17 +39,64 @@ const char* KindName(pubsub::NotificationKind kind) {
 
 }  // namespace
 
-void Network::Attach(pubsub::LmrId lmr, Handler handler) {
+Network::Network(NetworkOptions options) {
+  if (options.asynchronous) async_ = std::make_unique<Async>(options);
+}
+
+Network::~Network() = default;
+
+uint64_t Network::RegisterSender() {
+  if (async_ != nullptr) return async_->link.RegisterSender();
   std::lock_guard<std::mutex> lock(mutex_);
-  handlers_[lmr] = std::move(handler);
+  return next_sync_sender_++;
+}
+
+void Network::Attach(pubsub::LmrId lmr, Handler handler) {
+  if (async_ != nullptr) {
+    // In async mode the LMR handler runs on the endpoint's transport
+    // thread, serially per LMR; the reliable link has already decoded,
+    // deduplicated and ordered the notification stream.
+    (void)async_->link.BindReceiver(lmr, std::move(handler));
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto endpoint = std::make_shared<Endpoint>();
+  endpoint->handler = std::move(handler);
+  handlers_[lmr] = std::move(endpoint);
 }
 
 void Network::Detach(pubsub::LmrId lmr) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  handlers_.erase(lmr);
+  if (async_ != nullptr) {
+    async_->link.UnbindReceiver(lmr);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = handlers_.find(lmr);
+  if (it == handlers_.end()) return;
+  std::shared_ptr<Endpoint> endpoint = std::move(it->second);
+  handlers_.erase(it);
+  // Linearize against in-flight delivery: wait until no *other* thread
+  // is inside the handler. Deliveries by this thread are necessarily
+  // re-entrant (the handler detaching itself) — waiting for those would
+  // deadlock, and the guarantee then holds from the handler's return.
+  const std::thread::id self = std::this_thread::get_id();
+  detach_cv_.wait(lock, [&] {
+    return std::none_of(
+        endpoint->delivering.begin(), endpoint->delivering.end(),
+        [&](const std::thread::id& id) { return id != self; });
+  });
 }
 
-void Network::Deliver(const pubsub::Notification& notification) {
+void Network::Deliver(const pubsub::Notification& notification,
+                      uint64_t sender) {
+  if (async_ != nullptr) {
+    DeliverAsync(notification, sender);
+    return;
+  }
+  DeliverSync(notification);
+}
+
+void Network::DeliverSync(const pubsub::Notification& notification) {
   NetworkMetrics& metrics = NetworkMetrics::Get();
   // Parent the delivery span to the correlation context carried on the
   // message (the originating MDP operation), falling back to this
@@ -62,8 +111,10 @@ void Network::Deliver(const pubsub::Notification& notification) {
 
   // Copy the handler out so it runs unlocked (it may re-enter the
   // network, and holding the lock across an arbitrary LMR callback
-  // would serialize all deliveries).
+  // would serialize all deliveries). The endpoint's delivering list
+  // keeps Detach honest about the in-flight call.
   Handler handler;
+  std::shared_ptr<Endpoint> endpoint;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.messages;
@@ -73,7 +124,9 @@ void Network::Deliver(const pubsub::Notification& notification) {
     if (it == handlers_.end()) {
       ++stats_.undeliverable;
     } else {
-      handler = it->second;
+      endpoint = it->second;
+      handler = endpoint->handler;
+      endpoint->delivering.push_back(std::this_thread::get_id());
     }
   }
   metrics.messages.Increment();
@@ -84,11 +137,60 @@ void Network::Deliver(const pubsub::Notification& notification) {
     return;
   }
   handler(notification);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto entry = std::find(endpoint->delivering.begin(),
+                           endpoint->delivering.end(),
+                           std::this_thread::get_id());
+    if (entry != endpoint->delivering.end()) endpoint->delivering.erase(entry);
+  }
+  detach_cv_.notify_all();
+}
+
+void Network::DeliverAsync(const pubsub::Notification& notification,
+                           uint64_t sender) {
+  NetworkMetrics& metrics = NetworkMetrics::Get();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.messages;
+    stats_.resources_shipped +=
+        static_cast<int64_t>(notification.resources.size());
+  }
+  metrics.messages.Increment();
+  metrics.resources.Add(static_cast<int64_t>(notification.resources.size()));
+  const Status sent = async_->link.Publish(sender, notification);
+  if (!sent.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.undeliverable;
+    metrics.undeliverable.Increment();
+  }
 }
 
 void Network::DeliverAll(
-    const std::vector<pubsub::Notification>& notifications) {
-  for (const pubsub::Notification& note : notifications) Deliver(note);
+    const std::vector<pubsub::Notification>& notifications, uint64_t sender) {
+  for (const pubsub::Notification& note : notifications) {
+    Deliver(note, sender);
+  }
+}
+
+bool Network::WaitQuiescent(int64_t timeout_us) {
+  if (async_ == nullptr) return true;
+  return async_->link.WaitSettled(timeout_us);
+}
+
+net::LinkStats Network::link_stats() const {
+  if (async_ == nullptr) return net::LinkStats{};
+  return async_->link.stats();
+}
+
+net::TransportStats Network::transport_stats() const {
+  if (async_ == nullptr) return net::TransportStats{};
+  return async_->transport.stats();
+}
+
+void Network::set_fault_schedule(net::FaultInjector::Schedule schedule) {
+  if (async_ == nullptr) return;
+  async_->transport.set_fault_schedule(std::move(schedule));
 }
 
 }  // namespace mdv

@@ -1,12 +1,18 @@
 #ifndef MDV_MDV_NETWORK_H_
 #define MDV_MDV_NETWORK_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <thread>
+#include <vector>
 
 #include "common/status.h"
+#include "net/reliable.h"
+#include "net/transport.h"
 #include "pubsub/notification.h"
 
 namespace mdv {
@@ -18,36 +24,74 @@ struct NetworkStats {
   int64_t undeliverable = 0;
 };
 
+/// How the network moves notifications.
+struct NetworkOptions {
+  /// false (default): synchronous in-process delivery, deterministic —
+  /// Deliver() invokes the LMR handler before returning. true: frames
+  /// cross the asynchronous src/net transport (wire codec, bounded
+  /// queues, at-least-once redelivery); call WaitQuiescent() before
+  /// reading LMR state.
+  bool asynchronous = false;
+  net::TransportOptions transport;
+  net::ReliableOptions reliability;
+};
+
 /// In-process stand-in for the Internet between MDPs and LMRs. Paper
-/// deployments ship notifications over the network; here delivery is a
-/// synchronous callback per LMR, which exercises the identical
-/// publish/notify code paths deterministically (see DESIGN.md,
-/// substitutions).
+/// deployments ship notifications over the network; this adapter offers
+/// both fidelity levels (see DESIGN.md, Transport):
+///
+///  - synchronous mode (default): delivery is a direct callback per
+///    LMR, exercising the identical publish/notify code paths
+///    deterministically;
+///  - asynchronous mode: every notification is encoded by the net wire
+///    codec and shipped through bounded per-endpoint queues on worker
+///    threads with at-least-once redelivery and sequence-number dedup,
+///    optionally under injected loss/duplication/reordering/latency.
 ///
 /// Thread-safe: Attach/Detach/Deliver/stats may be called concurrently
 /// (multiple MDPs publishing from different threads share one network).
 /// Handlers are invoked outside the lock, so a handler may re-enter the
-/// network (e.g. attach another LMR); a handler racing its own Detach
-/// may still receive one in-flight notification.
+/// network (e.g. attach another LMR). Detach linearizes against
+/// in-flight delivery: once it returns, the detached handler is not
+/// running and will never run again — except when a handler detaches
+/// itself, where the guarantee holds from the handler's return.
 class Network {
  public:
   using Handler = std::function<void(const pubsub::Notification&)>;
 
-  Network() = default;
+  explicit Network(NetworkOptions options = {});
+  ~Network();
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
+
+  bool asynchronous() const { return async_ != nullptr; }
+
+  /// Allocates a sender identity for one publishing MDP. Sequence
+  /// numbers of the at-least-once protocol are per (sender, LMR) flow,
+  /// so every MDP sharing a network must register itself. Synchronous
+  /// networks hand out ids with no further effect.
+  uint64_t RegisterSender();
 
   /// Registers the delivery endpoint of an LMR.
   void Attach(pubsub::LmrId lmr, Handler handler);
   void Detach(pubsub::LmrId lmr);
 
-  /// Delivers one notification to its LMR; counts it as undeliverable if
-  /// no endpoint is attached.
-  void Deliver(const pubsub::Notification& notification);
+  /// Delivers one notification to its LMR; counts it as undeliverable
+  /// if no endpoint is attached. `sender` identifies the publishing MDP
+  /// flow (see RegisterSender); the default flow 0 is fine for tests
+  /// and single-publisher setups.
+  void Deliver(const pubsub::Notification& notification, uint64_t sender = 0);
 
   /// Delivers a batch.
-  void DeliverAll(const std::vector<pubsub::Notification>& notifications);
+  void DeliverAll(const std::vector<pubsub::Notification>& notifications,
+                  uint64_t sender = 0);
+
+  /// Blocks until every asynchronous delivery settled (acked or
+  /// dead-lettered, queues drained, no handler running). Synchronous
+  /// networks are always quiescent. After a true return, LMR caches
+  /// fed by this network are safe to read from the calling thread.
+  bool WaitQuiescent(int64_t timeout_us = 30'000'000);
 
   /// Snapshot of the counters (by value — the live struct is guarded).
   NetworkStats stats() const {
@@ -59,10 +103,39 @@ class Network {
     stats_ = NetworkStats{};
   }
 
+  /// Delivery-protocol counters (asynchronous mode; zeros otherwise).
+  net::LinkStats link_stats() const;
+  /// Transport counters (asynchronous mode; zeros otherwise).
+  net::TransportStats transport_stats() const;
+
+  /// Deterministic per-frame fault schedule for tests (asynchronous
+  /// mode only; no-op otherwise). See net::FaultInjector.
+  void set_fault_schedule(net::FaultInjector::Schedule schedule);
+
  private:
+  /// One synchronous endpoint: its handler plus the threads currently
+  /// delivering to it, so Detach can wait out in-flight deliveries.
+  struct Endpoint {
+    Handler handler;
+    std::vector<std::thread::id> delivering;  // Guarded by Network mutex.
+  };
+
+  struct Async {
+    explicit Async(const NetworkOptions& options)
+        : transport(options.transport), link(&transport, options.reliability) {}
+    net::InProcessTransport transport;
+    net::ReliableLink link;
+  };
+
+  void DeliverSync(const pubsub::Notification& notification);
+  void DeliverAsync(const pubsub::Notification& notification, uint64_t sender);
+
   mutable std::mutex mutex_;
-  std::map<pubsub::LmrId, Handler> handlers_;  // Guarded by mutex_.
-  NetworkStats stats_;                         // Guarded by mutex_.
+  std::condition_variable detach_cv_;
+  std::map<pubsub::LmrId, std::shared_ptr<Endpoint>> handlers_;  // Guarded.
+  NetworkStats stats_;                                           // Guarded.
+  uint64_t next_sync_sender_ = 1;                                // Guarded.
+  std::unique_ptr<Async> async_;  // Null in synchronous mode.
 };
 
 }  // namespace mdv

@@ -3,8 +3,10 @@
 namespace mdv {
 
 MdvSystem::MdvSystem(rdf::RdfSchema schema,
-                     filter::RuleStoreOptions rule_options)
-    : schema_(std::move(schema)), rule_options_(rule_options) {}
+                     filter::RuleStoreOptions rule_options,
+                     NetworkOptions network_options)
+    : schema_(std::move(schema)), rule_options_(rule_options),
+      network_(std::move(network_options)) {}
 
 MetadataProvider* MdvSystem::AddProvider() {
   auto provider =

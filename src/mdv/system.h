@@ -18,7 +18,8 @@ namespace mdv {
 class MdvSystem {
  public:
   explicit MdvSystem(rdf::RdfSchema schema,
-                     filter::RuleStoreOptions rule_options = {});
+                     filter::RuleStoreOptions rule_options = {},
+                     NetworkOptions network_options = {});
 
   MdvSystem(const MdvSystem&) = delete;
   MdvSystem& operator=(const MdvSystem&) = delete;

@@ -1,0 +1,40 @@
+#include "net/fault.h"
+
+namespace mdv::net {
+
+FaultDecision FaultInjector::Decide() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t index = next_index_++;
+  ++stats_.decisions;
+  FaultDecision decision;
+  if (schedule_) {
+    std::optional<FaultDecision> scheduled = schedule_(index);
+    if (scheduled.has_value()) {
+      decision = *scheduled;
+      if (decision.drop) ++stats_.dropped;
+      if (decision.copies > 1) ++stats_.duplicated;
+      if (decision.extra_delay_us > 0) ++stats_.reordered;
+      return decision;
+    }
+  }
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  if (options_.drop_probability > 0.0 &&
+      uniform(rng_) < options_.drop_probability) {
+    decision.drop = true;
+    ++stats_.dropped;
+    return decision;
+  }
+  if (options_.duplicate_probability > 0.0 &&
+      uniform(rng_) < options_.duplicate_probability) {
+    decision.copies = 2;
+    ++stats_.duplicated;
+  }
+  if (options_.reorder_probability > 0.0 &&
+      uniform(rng_) < options_.reorder_probability) {
+    decision.extra_delay_us = options_.reorder_delay_us;
+    ++stats_.reordered;
+  }
+  return decision;
+}
+
+}  // namespace mdv::net

@@ -1,0 +1,77 @@
+#ifndef MDV_NET_FAULT_H_
+#define MDV_NET_FAULT_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <random>
+
+namespace mdv::net {
+
+/// Probabilistic fault model of the simulated internet. All
+/// probabilities are per Send() call and independent; the generator is
+/// seeded, so a fixed seed yields a reproducible fault sequence.
+struct FaultOptions {
+  double drop_probability = 0.0;       ///< Frame vanishes entirely.
+  double duplicate_probability = 0.0;  ///< Frame is enqueued twice.
+  double reorder_probability = 0.0;    ///< Frame is delayed past successors.
+  /// Extra delay applied to a reordered frame, so frames sent after it
+  /// overtake it in the (delivery-time-ordered) queue.
+  int64_t reorder_delay_us = 2000;
+  uint64_t seed = 0x5DEECE66Dull;
+};
+
+/// What the injector decided for one frame.
+struct FaultDecision {
+  bool drop = false;
+  int copies = 1;            ///< Total enqueued copies (2 = duplicated).
+  int64_t extra_delay_us = 0;  ///< On top of the transport's latency/jitter.
+};
+
+/// Counters of what the injector actually did.
+struct FaultStats {
+  int64_t decisions = 0;
+  int64_t dropped = 0;
+  int64_t duplicated = 0;
+  int64_t reordered = 0;
+};
+
+/// Decides the fate of each frame entering the transport. Thread-safe.
+/// Beyond the probabilistic model, a deterministic schedule can pin the
+/// decision for specific frame indexes (0-based across all Sends), which
+/// regression tests use to hit exact loss patterns.
+class FaultInjector {
+ public:
+  using Schedule = std::function<std::optional<FaultDecision>(uint64_t index)>;
+
+  explicit FaultInjector(FaultOptions options)
+      : options_(options), rng_(options.seed) {}
+
+  /// Overrides the probabilistic model: when the schedule returns a
+  /// decision for a frame index, that decision is used verbatim.
+  void set_schedule(Schedule schedule) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    schedule_ = std::move(schedule);
+  }
+
+  /// Decision for the next frame (frame indexes increase per call).
+  FaultDecision Decide();
+
+  FaultStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
+ private:
+  const FaultOptions options_;
+  mutable std::mutex mutex_;
+  std::mt19937_64 rng_;       // Guarded by mutex_.
+  Schedule schedule_;         // Guarded by mutex_.
+  uint64_t next_index_ = 0;   // Guarded by mutex_.
+  FaultStats stats_;          // Guarded by mutex_.
+};
+
+}  // namespace mdv::net
+
+#endif  // MDV_NET_FAULT_H_

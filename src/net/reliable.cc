@@ -1,0 +1,339 @@
+#include "net/reliable.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace mdv::net {
+
+namespace {
+
+/// Process-wide mdv.net.* handles for the delivery protocol, resolved
+/// once. These aggregate across links; LinkStats is the per-instance
+/// view.
+struct LinkMetrics {
+  obs::MetricsRegistry& r = obs::DefaultMetrics();
+  obs::Counter& enqueued = r.GetCounter("mdv.net.enqueued_total");
+  obs::Counter& delivered = r.GetCounter("mdv.net.delivered_total");
+  obs::Counter& redelivered = r.GetCounter("mdv.net.redelivered_total");
+  obs::Counter& acked = r.GetCounter("mdv.net.acked_total");
+  obs::Counter& dedup = r.GetCounter("mdv.net.dedup_suppressed_total");
+  obs::Counter& dead = r.GetCounter("mdv.net.dead_lettered_total");
+  obs::Counter& decode_errors = r.GetCounter("mdv.net.decode_errors_total");
+
+  static LinkMetrics& Get() {
+    static LinkMetrics& metrics = *new LinkMetrics();
+    return metrics;
+  }
+};
+
+int64_t NowUs() { return obs::NowNs() / 1000; }
+
+}  // namespace
+
+ReliableLink::ReliableLink(Transport* transport, ReliableOptions options)
+    : transport_(transport), options_(options) {
+  retransmitter_ = std::thread([this] { RetransmitLoop(); });
+}
+
+ReliableLink::~ReliableLink() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    scan_cv_.notify_all();
+    settled_cv_.notify_all();
+  }
+  if (retransmitter_.joinable()) retransmitter_.join();
+  // Unbind every endpoint we own so transport workers stop calling
+  // back into this (about to vanish) object.
+  std::vector<EndpointId> endpoints;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [lmr, receiver] : receivers_) endpoints.push_back(lmr);
+    for (const auto& [sender, bound] : senders_) {
+      endpoints.push_back(AckEndpoint(sender));
+    }
+  }
+  for (EndpointId endpoint : endpoints) transport_->Unbind(endpoint);
+}
+
+void ReliableLink::EnsureSenderLocked(uint64_t sender) {
+  auto [it, inserted] = senders_.emplace(sender, true);
+  if (!inserted) return;
+  next_sender_ = std::max(next_sender_, sender + 1);
+  // Bind may fail only if the ack endpoint id collides with a bound
+  // LMR, which the disjoint id spaces rule out.
+  (void)transport_->Bind(AckEndpoint(sender),
+                         [this](std::string frame) {
+                           OnAckFrame(std::move(frame));
+                         });
+}
+
+uint64_t ReliableLink::RegisterSender() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t sender = next_sender_++;
+  EnsureSenderLocked(sender);
+  return sender;
+}
+
+Status ReliableLink::BindReceiver(pubsub::LmrId lmr,
+                                  NotificationHandler handler) {
+  if (lmr < 0) {
+    return Status::InvalidArgument(
+        "asynchronous delivery requires non-negative LMR ids, got " +
+        std::to_string(lmr));
+  }
+  MDV_RETURN_IF_ERROR(transport_->Bind(
+      lmr, [this, lmr](std::string frame) {
+        OnReceiverFrame(lmr, std::move(frame));
+      }));
+  std::lock_guard<std::mutex> lock(mu_);
+  receivers_[lmr].handler = std::move(handler);
+  return Status::OK();
+}
+
+void ReliableLink::UnbindReceiver(pubsub::LmrId lmr) {
+  // Unbind first: it joins the endpoint worker, so after this no
+  // OnReceiverFrame for `lmr` is running or will run — then the flow
+  // state can go.
+  transport_->Unbind(lmr);
+  std::lock_guard<std::mutex> lock(mu_);
+  receivers_.erase(lmr);
+}
+
+Status ReliableLink::Publish(uint64_t sender, const pubsub::Notification& note) {
+  LinkMetrics& metrics = LinkMetrics::Get();
+  const FlowKey key{sender, note.lmr};
+  std::string frame;
+  uint64_t sequence = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return Status::Internal("link is shutting down");
+    EnsureSenderLocked(sender);
+    if (!transport_->IsBound(note.lmr)) {
+      return Status::NotFound("no receiver bound for LMR " +
+                              std::to_string(note.lmr));
+    }
+    sequence = ++next_seq_[key];
+    NotifyFrame notify;
+    notify.sender = sender;
+    notify.sequence = sequence;
+    notify.notification = note;
+    frame = EncodeNotifyFrame(notify);
+    Pending pending;
+    pending.frame = frame;
+    pending.lmr = note.lmr;
+    pending.attempts = 1;
+    pending.backoff_us = options_.retransmit_timeout_us;
+    pending.next_retry_us = NowUs() + options_.retransmit_timeout_us;
+    pending.trace = note.trace;
+    pending_[key].emplace(sequence, std::move(pending));
+    ++pending_count_;
+    ++stats_.published;
+    scan_cv_.notify_all();
+  }
+  metrics.enqueued.Increment();
+  {
+    obs::ScopedSpan span("net.enqueue", note.trace);
+    span.AddAttribute("sender", static_cast<int64_t>(sender));
+    span.AddAttribute("seq", static_cast<int64_t>(sequence));
+    span.AddAttribute("lmr", static_cast<int64_t>(note.lmr));
+    span.AddAttribute("bytes", static_cast<int64_t>(frame.size()));
+  }
+  // A failed send (queue overflow, fault drop is invisible anyway) is
+  // not an error up here: the frame stays pending and the retransmit
+  // timer redelivers it.
+  (void)transport_->Send(note.lmr, std::move(frame));
+  return Status::OK();
+}
+
+void ReliableLink::OnReceiverFrame(pubsub::LmrId lmr, std::string frame) {
+  LinkMetrics& metrics = LinkMetrics::Get();
+  Result<DecodedFrame> decoded = DecodeFrame(frame);
+  if (!decoded.ok() || decoded.value().type != FrameType::kNotify) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.decode_errors;
+    metrics.decode_errors.Increment();
+    return;
+  }
+  NotifyFrame notify = std::move(decoded.value().notify);
+  const uint64_t sequence = notify.sequence;
+  const uint64_t sender = notify.sender;
+  const obs::SpanContext trace = notify.notification.trace;
+
+  std::vector<pubsub::Notification> ready;
+  NotificationHandler handler;
+  bool duplicate = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = receivers_.find(lmr);
+    if (it == receivers_.end()) return;  // Raced an UnbindReceiver.
+    Flow& flow = it->second.flows[sender];
+    if (sequence <= flow.applied_through ||
+        flow.holdback.count(sequence) != 0) {
+      duplicate = true;
+      ++stats_.dedup_suppressed;
+    } else {
+      flow.holdback.emplace(sequence, std::move(notify.notification));
+    }
+    // Release the contiguous prefix: reordering is absorbed here, and
+    // the handler only ever sees publish order.
+    while (!flow.holdback.empty() &&
+           flow.holdback.begin()->first == flow.applied_through + 1) {
+      ready.push_back(std::move(flow.holdback.begin()->second));
+      flow.holdback.erase(flow.holdback.begin());
+      ++flow.applied_through;
+    }
+    stats_.delivered += static_cast<int64_t>(ready.size());
+    handler = it->second.handler;
+  }
+  if (duplicate) metrics.dedup.Increment();
+  metrics.delivered.Add(static_cast<int64_t>(ready.size()));
+  {
+    obs::ScopedSpan span("net.deliver", trace);
+    span.AddAttribute("sender", static_cast<int64_t>(sender));
+    span.AddAttribute("seq", static_cast<int64_t>(sequence));
+    span.AddAttribute("lmr", static_cast<int64_t>(lmr));
+    if (duplicate) span.AddAttribute("duplicate", "true");
+    span.AddAttribute("released", static_cast<int64_t>(ready.size()));
+  }
+  // Ack every arrival, duplicates included — the original ack may be
+  // the frame the network lost. The ack itself crosses the same faulty
+  // transport; a lost ack simply means one more redelivery.
+  (void)transport_->Send(AckEndpoint(sender),
+                         EncodeAckFrame(AckFrame{sender, sequence, lmr}));
+  if (handler) {
+    for (const pubsub::Notification& note : ready) handler(note);
+  }
+}
+
+void ReliableLink::OnAckFrame(std::string frame) {
+  LinkMetrics& metrics = LinkMetrics::Get();
+  Result<DecodedFrame> decoded = DecodeFrame(frame);
+  if (!decoded.ok() || decoded.value().type != FrameType::kAck) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.decode_errors;
+    metrics.decode_errors.Increment();
+    return;
+  }
+  const AckFrame& ack = decoded.value().ack;
+  bool cleared = false;
+  obs::SpanContext trace;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto flow = pending_.find(FlowKey{ack.sender, ack.lmr});
+    if (flow != pending_.end()) {
+      auto it = flow->second.find(ack.sequence);
+      if (it != flow->second.end()) {
+        trace = it->second.trace;
+        flow->second.erase(it);
+        --pending_count_;
+        ++stats_.acked;
+        cleared = true;
+        if (pending_count_ == 0) settled_cv_.notify_all();
+      }
+    }
+  }
+  if (!cleared) return;  // Duplicate ack for an already-cleared frame.
+  metrics.acked.Increment();
+  obs::ScopedSpan span("net.ack", trace);
+  span.AddAttribute("sender", static_cast<int64_t>(ack.sender));
+  span.AddAttribute("seq", static_cast<int64_t>(ack.sequence));
+  span.AddAttribute("lmr", static_cast<int64_t>(ack.lmr));
+}
+
+void ReliableLink::RetransmitLoop() {
+  LinkMetrics& metrics = LinkMetrics::Get();
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (pending_count_ == 0) {
+      scan_cv_.wait(lock, [&] { return stop_ || pending_count_ > 0; });
+      continue;
+    }
+    scan_cv_.wait_for(lock,
+                      std::chrono::microseconds(options_.scan_interval_us));
+    if (stop_) break;
+    const int64_t now = NowUs();
+    struct Resend {
+      pubsub::LmrId lmr;
+      std::string frame;
+      obs::SpanContext trace;
+      uint64_t sequence;
+      int attempt;
+    };
+    std::vector<Resend> resends;
+    int64_t dead = 0;
+    for (auto& [key, seqs] : pending_) {
+      for (auto it = seqs.begin(); it != seqs.end();) {
+        Pending& pending = it->second;
+        if (pending.next_retry_us > now) {
+          ++it;
+          continue;
+        }
+        if (pending.attempts >= options_.max_attempts) {
+          ++stats_.dead_lettered;
+          ++dead;
+          --pending_count_;
+          it = seqs.erase(it);
+          continue;
+        }
+        ++pending.attempts;
+        ++stats_.redelivered;
+        pending.backoff_us = std::min(
+            static_cast<int64_t>(static_cast<double>(pending.backoff_us) *
+                                 options_.backoff_factor),
+            options_.max_backoff_us);
+        pending.next_retry_us = now + pending.backoff_us;
+        resends.push_back(Resend{pending.lmr, pending.frame, pending.trace,
+                                 it->first, pending.attempts});
+        ++it;
+      }
+    }
+    const bool settled = pending_count_ == 0;
+    lock.unlock();
+    metrics.dead.Add(dead);
+    metrics.redelivered.Add(static_cast<int64_t>(resends.size()));
+    if (settled) settled_cv_.notify_all();
+    for (Resend& resend : resends) {
+      {
+        obs::ScopedSpan span("net.redeliver", resend.trace);
+        span.AddAttribute("lmr", static_cast<int64_t>(resend.lmr));
+        span.AddAttribute("seq", static_cast<int64_t>(resend.sequence));
+        span.AddAttribute("attempt", static_cast<int64_t>(resend.attempt));
+      }
+      (void)transport_->Send(resend.lmr, std::move(resend.frame));
+    }
+    lock.lock();
+  }
+}
+
+bool ReliableLink::WaitSettled(int64_t timeout_us) {
+  const int64_t deadline = NowUs() + timeout_us;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    const bool settled =
+        settled_cv_.wait_for(lock, std::chrono::microseconds(timeout_us),
+                             [&] { return pending_count_ == 0; });
+    if (!settled) return false;
+  }
+  // Pending empty means no further *first* deliveries; the transport may
+  // still be draining duplicates and acks — wait those out too so the
+  // caller can safely read receiver-side state.
+  const int64_t remaining = std::max<int64_t>(0, deadline - NowUs());
+  return transport_->WaitIdle(remaining);
+}
+
+LinkStats ReliableLink::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t ReliableLink::PendingCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_count_;
+}
+
+}  // namespace mdv::net

@@ -1,0 +1,164 @@
+#ifndef MDV_NET_RELIABLE_H_
+#define MDV_NET_RELIABLE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <tuple>
+
+#include "common/status.h"
+#include "net/transport.h"
+#include "net/wire.h"
+#include "obs/trace.h"
+#include "pubsub/notification.h"
+
+namespace mdv::net {
+
+/// Tuning of the at-least-once delivery protocol.
+struct ReliableOptions {
+  /// First redelivery fires this long after the original send.
+  int64_t retransmit_timeout_us = 5000;
+  /// Each further attempt multiplies the timeout by this factor...
+  double backoff_factor = 2.0;
+  /// ...capped here.
+  int64_t max_backoff_us = 200000;
+  /// Total send attempts (original + redeliveries) before a frame is
+  /// dead-lettered. At 10% frame loss in both directions the chance of
+  /// exhausting 12 attempts is ~1e-9; a flow that does lose a frame for
+  /// good stalls at that sequence number (FIFO cannot skip), which the
+  /// dead_lettered counter makes visible.
+  int max_attempts = 12;
+  /// How often the retransmit scanner wakes when deliveries are
+  /// pending.
+  int64_t scan_interval_us = 1000;
+};
+
+/// Counter snapshot of one link (the process-wide mdv.net.* registry
+/// metrics aggregate across links).
+struct LinkStats {
+  int64_t published = 0;         ///< Notifications accepted from senders.
+  int64_t delivered = 0;         ///< Notifications handed to receivers.
+  int64_t redelivered = 0;       ///< Retransmitted notify frames.
+  int64_t acked = 0;             ///< Pending entries cleared by an ack.
+  int64_t dedup_suppressed = 0;  ///< Duplicate frames absorbed by seq dedup.
+  int64_t dead_lettered = 0;     ///< Frames abandoned after the retry cap.
+  int64_t decode_errors = 0;     ///< Frames the wire codec rejected.
+};
+
+/// At-least-once, in-order notification delivery over an unreliable
+/// Transport — the R-GMA-style "republish on failure" substrate under
+/// the MDV pub/sub layer:
+///
+///  - every publish is stamped with a monotonic sequence number in its
+///    (sender, lmr) flow and encoded into a notify frame,
+///  - unacked frames are retransmitted on a timeout with exponential
+///    backoff until the retry cap,
+///  - the receiver acks every arriving frame, deduplicates by sequence
+///    number and releases notifications to the handler strictly in
+///    sequence order (a hold-back queue absorbs reordering), so the
+///    handler sees each notification exactly once, in publish order,
+///    no matter what the transport dropped, duplicated or reordered.
+///
+/// Receivers bind their LmrId as the transport endpoint; each sender
+/// gets a derived ack endpoint (see AckEndpoint). LMR ids must be
+/// non-negative for the two id spaces to stay disjoint.
+class ReliableLink {
+ public:
+  using NotificationHandler =
+      std::function<void(const pubsub::Notification&)>;
+
+  ReliableLink(Transport* transport, ReliableOptions options = {});
+  ~ReliableLink();
+
+  ReliableLink(const ReliableLink&) = delete;
+  ReliableLink& operator=(const ReliableLink&) = delete;
+
+  /// Allocates a sender id (one per MDP) and binds its ack endpoint.
+  uint64_t RegisterSender();
+
+  /// Binds the notification handler of an LMR. The handler runs on the
+  /// transport's endpoint thread, serially per LMR.
+  Status BindReceiver(pubsub::LmrId lmr, NotificationHandler handler);
+
+  /// Unbinds an LMR; linearizes against in-flight handler runs (see
+  /// Transport::Unbind) and forgets its flow state.
+  void UnbindReceiver(pubsub::LmrId lmr);
+
+  /// Stamps, encodes and sends `note` to `note.lmr`, tracking it for
+  /// redelivery until acked. NotFound if no receiver is bound. Senders
+  /// unknown to RegisterSender are registered implicitly.
+  Status Publish(uint64_t sender, const pubsub::Notification& note);
+
+  /// Blocks until every published frame is acked or dead-lettered and
+  /// the transport is idle (all queues drained, no handler running), or
+  /// the timeout elapses. After a true return the receivers' state is
+  /// safe to read from this thread.
+  bool WaitSettled(int64_t timeout_us);
+
+  LinkStats stats() const;
+
+  /// Unacked frames currently awaiting ack or retransmission.
+  size_t PendingCount() const;
+
+  /// The transport endpoint that carries acks back to `sender`.
+  static EndpointId AckEndpoint(uint64_t sender) {
+    return -static_cast<EndpointId>(sender) - 1;
+  }
+
+ private:
+  struct FlowKey {
+    uint64_t sender = 0;
+    pubsub::LmrId lmr = -1;
+    bool operator<(const FlowKey& other) const {
+      return std::tie(sender, lmr) < std::tie(other.sender, other.lmr);
+    }
+  };
+
+  struct Pending {
+    std::string frame;
+    pubsub::LmrId lmr = -1;
+    int attempts = 1;
+    int64_t next_retry_us = 0;
+    int64_t backoff_us = 0;
+    obs::SpanContext trace;
+  };
+
+  /// Per-(sender → this receiver) dedup and reordering state.
+  struct Flow {
+    uint64_t applied_through = 0;  ///< Highest contiguously applied seq.
+    std::map<uint64_t, pubsub::Notification> holdback;  ///< Out-of-order.
+  };
+
+  struct Receiver {
+    NotificationHandler handler;
+    std::map<uint64_t, Flow> flows;  // Keyed by sender.
+  };
+
+  void EnsureSenderLocked(uint64_t sender);
+  void OnReceiverFrame(pubsub::LmrId lmr, std::string frame);
+  void OnAckFrame(std::string frame);
+  void RetransmitLoop();
+
+  Transport* transport_;
+  const ReliableOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable settled_cv_;
+  std::condition_variable scan_cv_;
+  bool stop_ = false;                                    // Guarded by mu_.
+  uint64_t next_sender_ = 1;                             // Guarded by mu_.
+  std::map<uint64_t, bool> senders_;                     // Guarded by mu_.
+  std::map<FlowKey, uint64_t> next_seq_;                 // Guarded by mu_.
+  std::map<FlowKey, std::map<uint64_t, Pending>> pending_;  // Guarded.
+  size_t pending_count_ = 0;                             // Guarded by mu_.
+  std::map<pubsub::LmrId, Receiver> receivers_;          // Guarded by mu_.
+  LinkStats stats_;                                      // Guarded by mu_.
+  std::thread retransmitter_;
+};
+
+}  // namespace mdv::net
+
+#endif  // MDV_NET_RELIABLE_H_

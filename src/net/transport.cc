@@ -1,0 +1,231 @@
+#include "net/transport.h"
+
+#include <chrono>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace mdv::net {
+
+namespace {
+
+/// Process-wide mdv.net.* handles for the transport layer, resolved
+/// once. These aggregate across transport instances; TransportStats
+/// stays the per-instance view.
+struct TransportMetrics {
+  obs::MetricsRegistry& r = obs::DefaultMetrics();
+  obs::Counter& sent = r.GetCounter("mdv.net.frames_sent_total");
+  obs::Counter& delivered = r.GetCounter("mdv.net.frames_delivered_total");
+  obs::Counter& dropped = r.GetCounter("mdv.net.dropped_total");
+  obs::Gauge& queue_depth = r.GetGauge("mdv.net.queue_depth");
+
+  static TransportMetrics& Get() {
+    static TransportMetrics& metrics = *new TransportMetrics();
+    return metrics;
+  }
+};
+
+int64_t NowUs() { return obs::NowNs() / 1000; }
+
+}  // namespace
+
+InProcessTransport::InProcessTransport(TransportOptions options)
+    : options_(options), injector_(options.faults) {}
+
+InProcessTransport::~InProcessTransport() {
+  std::vector<EndpointId> bound;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, endpoint] : endpoints_) bound.push_back(id);
+  }
+  for (EndpointId id : bound) Unbind(id);
+}
+
+Status InProcessTransport::Bind(EndpointId endpoint, FrameHandler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (endpoints_.count(endpoint) != 0) {
+    return Status::AlreadyExists("transport endpoint " +
+                                 std::to_string(endpoint) + " already bound");
+  }
+  auto state = std::make_shared<Endpoint>();
+  state->handler = std::move(handler);
+  state->worker = std::thread([this, state] { WorkerLoop(state); });
+  endpoints_.emplace(endpoint, std::move(state));
+  return Status::OK();
+}
+
+void InProcessTransport::Unbind(EndpointId endpoint) {
+  std::shared_ptr<Endpoint> state;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = endpoints_.find(endpoint);
+    if (it == endpoints_.end()) return;
+    state = std::move(it->second);
+    endpoints_.erase(it);
+  }
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->stop = true;
+    state->handler = nullptr;
+    state->cv.notify_all();
+  }
+  if (state->worker.get_id() == std::this_thread::get_id()) {
+    // Re-entrant Unbind from inside the endpoint's own handler: the
+    // worker cannot join itself; it exits right after the handler
+    // returns (the shared_ptr it holds keeps the state alive).
+    state->worker.detach();
+  } else {
+    state->worker.join();
+  }
+}
+
+bool InProcessTransport::IsBound(EndpointId endpoint) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return endpoints_.count(endpoint) != 0;
+}
+
+Status InProcessTransport::Send(EndpointId to, std::string frame) {
+  TransportMetrics& metrics = TransportMetrics::Get();
+  const FaultDecision decision = injector_.Decide();
+  std::shared_ptr<Endpoint> state;
+  int64_t jitter = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = endpoints_.find(to);
+    if (it == endpoints_.end()) {
+      ++stats_.dropped_unbound;
+      metrics.dropped.Increment();
+      return Status::NotFound("transport endpoint " + std::to_string(to) +
+                              " not bound");
+    }
+    state = it->second;
+    if (options_.jitter_us > 0) {
+      jitter = std::uniform_int_distribution<int64_t>(
+          0, options_.jitter_us)(jitter_rng_);
+    }
+  }
+  if (decision.drop) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.dropped_faults;
+    metrics.dropped.Increment();
+    return Status::OK();  // The sender cannot observe network loss.
+  }
+
+  int enqueued = 0;
+  bool overflowed = false;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (!state->stop) {
+      for (int copy = 0; copy < decision.copies; ++copy) {
+        if (state->queue.size() >= options_.queue_capacity) {
+          overflowed = true;
+          break;
+        }
+        const int64_t deliver_at =
+            NowUs() + options_.latency_us + jitter + decision.extra_delay_us;
+        state->queue.emplace(deliver_at, frame);
+        ++enqueued;
+      }
+      if (enqueued > 0) {
+        // Count the frames *before* the worker can see them: once the
+        // notify lands the worker may dequeue, deliver and decrement
+        // immediately, and an increment issued after this critical
+        // section would let active_ dip to zero with work still queued
+        // or running — WaitIdle would report idle mid-delivery.
+        active_.fetch_add(enqueued, std::memory_order_relaxed);
+        state->cv.notify_all();
+      }
+    } else {
+      overflowed = false;  // Raced an Unbind: count as unbound below.
+    }
+  }
+  if (enqueued > 0) {
+    metrics.sent.Add(enqueued);
+    metrics.queue_depth.Add(enqueued);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.sent += enqueued;
+  if (overflowed) {
+    ++stats_.dropped_overflow;
+    metrics.dropped.Increment();
+    if (enqueued == 0) {
+      return Status::ResourceExhausted("transport queue for endpoint " +
+                                       std::to_string(to) + " is full");
+    }
+  }
+  if (enqueued == 0 && !overflowed) {
+    ++stats_.dropped_unbound;
+    metrics.dropped.Increment();
+    return Status::NotFound("transport endpoint " + std::to_string(to) +
+                            " unbound during send");
+  }
+  return Status::OK();
+}
+
+void InProcessTransport::WorkerLoop(const std::shared_ptr<Endpoint>& state) {
+  TransportMetrics& metrics = TransportMetrics::Get();
+  std::unique_lock<std::mutex> lock(state->mu);
+  for (;;) {
+    state->cv.wait(lock,
+                   [&] { return state->stop || !state->queue.empty(); });
+    if (state->stop) break;
+    auto it = state->queue.begin();
+    const int64_t now = NowUs();
+    if (it->first > now) {
+      // Sleep until the earliest frame matures; a new earlier frame or
+      // stop request re-wakes us via the cv.
+      state->cv.wait_for(lock, std::chrono::microseconds(it->first - now));
+      continue;
+    }
+    std::string frame = std::move(it->second);
+    state->queue.erase(it);
+    metrics.queue_depth.Add(-1);
+    FrameHandler handler = state->handler;
+    lock.unlock();
+    if (handler) handler(std::move(frame));
+    {
+      std::lock_guard<std::mutex> stats_lock(mu_);
+      ++stats_.delivered;
+    }
+    metrics.delivered.Increment();
+    FinishActive(1);
+    lock.lock();
+  }
+  // Discard whatever is still queued so WaitIdle does not wait for
+  // frames that can never be handled.
+  const int64_t discarded = static_cast<int64_t>(state->queue.size());
+  state->queue.clear();
+  lock.unlock();
+  if (discarded > 0) {
+    metrics.queue_depth.Add(-discarded);
+    FinishActive(discarded);
+  }
+}
+
+void InProcessTransport::FinishActive(int64_t n) {
+  if (active_.fetch_sub(n, std::memory_order_release) == n) {
+    // Hitting zero: wake idle waiters (lock ensures no missed wakeup).
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    idle_cv_.notify_all();
+  }
+}
+
+bool InProcessTransport::WaitIdle(int64_t timeout_us) {
+  std::unique_lock<std::mutex> lock(idle_mu_);
+  return idle_cv_.wait_for(lock, std::chrono::microseconds(timeout_us), [&] {
+    return active_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+TransportStats InProcessTransport::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+int64_t InProcessTransport::QueueDepth() const {
+  return active_.load(std::memory_order_relaxed);
+}
+
+}  // namespace mdv::net

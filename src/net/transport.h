@@ -1,0 +1,151 @@
+#ifndef MDV_NET_TRANSPORT_H_
+#define MDV_NET_TRANSPORT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "net/fault.h"
+
+namespace mdv::net {
+
+/// Address of one receiving endpoint. LMR delivery endpoints use their
+/// (non-negative) LmrId; the reliability layer derives negative ids for
+/// sender-side ack endpoints (see reliable.h).
+using EndpointId = int64_t;
+
+/// Counters of one transport instance (the process-wide mdv.net.*
+/// registry metrics aggregate across instances).
+struct TransportStats {
+  int64_t sent = 0;            ///< Frames accepted for delivery (copies count).
+  int64_t delivered = 0;       ///< Handler invocations completed.
+  int64_t dropped_faults = 0;  ///< Frames eaten by the fault injector.
+  int64_t dropped_overflow = 0;  ///< Frames rejected by a full queue.
+  int64_t dropped_unbound = 0;   ///< Frames to endpoints nobody bound.
+};
+
+/// Abstraction of the wire between MDPs and LMRs. Implementations move
+/// opaque frames (produced by the wire codec) from Send() calls to the
+/// handler bound at the destination endpoint. Delivery is asynchronous
+/// and unreliable unless documented otherwise: frames may be dropped,
+/// duplicated, reordered or delayed. Reliability is layered on top (see
+/// reliable.h), mirroring how MDV's paper deployment would sit on UDP-
+/// or TCP-connected hosts "over the Internet".
+class Transport {
+ public:
+  /// Receives one raw frame. Runs on a transport-owned thread; handlers
+  /// for one endpoint are invoked serially (actor-style), handlers of
+  /// different endpoints concurrently.
+  using FrameHandler = std::function<void(std::string frame)>;
+
+  virtual ~Transport() = default;
+
+  /// Binds the handler of an endpoint; AlreadyExists if bound.
+  virtual Status Bind(EndpointId endpoint, FrameHandler handler) = 0;
+
+  /// Unbinds an endpoint and discards its queued frames. Linearizes
+  /// against in-flight delivery: once Unbind returns, the handler is not
+  /// running and will never run again. Calling it from inside the
+  /// endpoint's own handler is allowed (the guarantee then holds as of
+  /// the handler's return). Unknown endpoints are a no-op.
+  virtual void Unbind(EndpointId endpoint) = 0;
+
+  virtual bool IsBound(EndpointId endpoint) const = 0;
+
+  /// Queues one frame for asynchronous delivery. NotFound if the
+  /// endpoint is unbound, ResourceExhausted if its queue is full; OK
+  /// even when the fault injector decided to lose the frame (the sender
+  /// cannot tell — that is the point).
+  virtual Status Send(EndpointId to, std::string frame) = 0;
+
+  /// Blocks until no frame is queued or being handled anywhere, or the
+  /// timeout elapses. Establishes a happens-before edge with every
+  /// completed handler, so a caller observing true may read handler-
+  /// written state without further synchronization.
+  virtual bool WaitIdle(int64_t timeout_us) = 0;
+};
+
+/// Tuning of the in-process transport.
+struct TransportOptions {
+  /// Bounded per-endpoint FIFO capacity; Send to a full queue fails.
+  size_t queue_capacity = 1024;
+  /// Synthetic one-way latency added to every frame.
+  int64_t latency_us = 0;
+  /// Uniform extra delay in [0, jitter_us] per frame (jitter > 0 makes
+  /// near-simultaneous frames overtake each other, like real packets).
+  int64_t jitter_us = 0;
+  FaultOptions faults;
+};
+
+/// The asynchronous in-process implementation: one bounded queue and
+/// one drainer thread per endpoint. Frames become visible to the
+/// endpoint's handler after their synthetic delivery time; the queue is
+/// ordered by delivery time, so jitter and injected reorder delays
+/// produce genuine out-of-order delivery.
+class InProcessTransport : public Transport {
+ public:
+  explicit InProcessTransport(TransportOptions options = {});
+  ~InProcessTransport() override;
+
+  InProcessTransport(const InProcessTransport&) = delete;
+  InProcessTransport& operator=(const InProcessTransport&) = delete;
+
+  Status Bind(EndpointId endpoint, FrameHandler handler) override;
+  void Unbind(EndpointId endpoint) override;
+  bool IsBound(EndpointId endpoint) const override;
+  Status Send(EndpointId to, std::string frame) override;
+  bool WaitIdle(int64_t timeout_us) override;
+
+  TransportStats stats() const;
+  FaultStats fault_stats() const { return injector_.stats(); }
+
+  /// Deterministic per-frame fault schedule (see FaultInjector).
+  void set_fault_schedule(FaultInjector::Schedule schedule) {
+    injector_.set_schedule(std::move(schedule));
+  }
+
+  /// Frames currently queued across all endpoints (the queue_depth
+  /// gauge's source).
+  int64_t QueueDepth() const;
+
+ private:
+  struct Endpoint {
+    std::mutex mu;
+    std::condition_variable cv;
+    /// Delivery-time-ordered queue (multimap key = steady-clock
+    /// microseconds at which the frame becomes deliverable).
+    std::multimap<int64_t, std::string> queue;  // Guarded by mu.
+    FrameHandler handler;                       // Guarded by mu.
+    bool stop = false;                          // Guarded by mu.
+    std::thread worker;
+  };
+
+  void WorkerLoop(const std::shared_ptr<Endpoint>& endpoint);
+  /// Release-decrements active_ by `n`, waking idle waiters at zero.
+  void FinishActive(int64_t n);
+
+  const TransportOptions options_;
+  FaultInjector injector_;
+  mutable std::mutex mu_;
+  std::map<EndpointId, std::shared_ptr<Endpoint>> endpoints_;  // Guarded.
+  TransportStats stats_;                                       // Guarded.
+  std::mt19937_64 jitter_rng_{0x6A09E667F3BCC909ull};          // Guarded.
+  /// Queued frames + running handlers. The final release-decrement by a
+  /// worker pairs with WaitIdle's acquire-load: observing 0 after it
+  /// means every handler effect is visible.
+  std::atomic<int64_t> active_{0};
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+};
+
+}  // namespace mdv::net
+
+#endif  // MDV_NET_TRANSPORT_H_

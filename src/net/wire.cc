@@ -1,0 +1,362 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace mdv::net {
+
+namespace {
+
+// ---- Primitive writers (fixed-width little-endian). ---------------------
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU16(std::string* out, uint16_t v) {
+  for (int i = 0; i < 2; ++i) PutU8(out, static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) PutU8(out, static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) PutU8(out, static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+// ---- Primitive readers with explicit bounds checks. ---------------------
+
+/// Cursor over a payload; every read checks the remaining length, so a
+/// corrupt (checksum-colliding) payload can at worst produce a clean
+/// decode error.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+  Status ReadU8(uint8_t* v) {
+    if (remaining() < 1) return Truncated("u8");
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return Status::OK();
+  }
+
+  Status ReadU32(uint32_t* v) {
+    if (remaining() < 4) return Truncated("u32");
+    uint32_t out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += 4;
+    *v = out;
+    return Status::OK();
+  }
+
+  Status ReadU64(uint64_t* v) {
+    if (remaining() < 8) return Truncated("u64");
+    uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += 8;
+    *v = out;
+    return Status::OK();
+  }
+
+  Status ReadI64(int64_t* v) {
+    uint64_t raw = 0;
+    MDV_RETURN_IF_ERROR(ReadU64(&raw));
+    *v = static_cast<int64_t>(raw);
+    return Status::OK();
+  }
+
+  Status ReadString(std::string* s) {
+    uint32_t len = 0;
+    MDV_RETURN_IF_ERROR(ReadU32(&len));
+    if (remaining() < len) return Truncated("string body");
+    s->assign(data_.substr(pos_, len));
+    pos_ += len;
+    return Status::OK();
+  }
+
+  /// Guards count-prefixed loops: each of `count` elements needs at
+  /// least `min_bytes`, so absurd counts fail before any reserve().
+  Status CheckCount(uint64_t count, size_t min_bytes, const char* what) {
+    if (min_bytes != 0 && count > remaining() / min_bytes) {
+      return Status::InvalidArgument(
+          std::string("wire: implausible ") + what + " count " +
+          std::to_string(count) + " for " + std::to_string(remaining()) +
+          " remaining bytes");
+    }
+    return Status::OK();
+  }
+
+ private:
+  static Status Truncated(const char* what) {
+    return Status::InvalidArgument(std::string("wire: truncated payload (") +
+                                   what + ")");
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// ---- Checksum. ----------------------------------------------------------
+
+/// FNV-1a 64. Multiplication by the odd prime is a bijection mod 2^64,
+/// so any single corrupted byte always changes the digest.
+uint64_t Fnv1a(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : data) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+// ---- Payload codecs. ----------------------------------------------------
+
+void EncodeResource(std::string* out, const rdf::Resource& resource) {
+  PutString(out, resource.local_id());
+  PutString(out, resource.class_name());
+  PutU32(out, static_cast<uint32_t>(resource.properties().size()));
+  for (const rdf::Property& prop : resource.properties()) {
+    PutString(out, prop.name);
+    PutU8(out, prop.value.is_resource_ref() ? 1 : 0);
+    PutString(out, prop.value.text());
+  }
+}
+
+Status DecodeResource(Reader* r, rdf::Resource* resource) {
+  std::string local_id;
+  std::string class_name;
+  MDV_RETURN_IF_ERROR(r->ReadString(&local_id));
+  MDV_RETURN_IF_ERROR(r->ReadString(&class_name));
+  *resource = rdf::Resource(std::move(local_id), std::move(class_name));
+  uint32_t properties = 0;
+  MDV_RETURN_IF_ERROR(r->ReadU32(&properties));
+  // A property is at least name-len + kind + text-len = 9 bytes.
+  MDV_RETURN_IF_ERROR(r->CheckCount(properties, 9, "property"));
+  for (uint32_t i = 0; i < properties; ++i) {
+    std::string name;
+    uint8_t kind = 0;
+    std::string text;
+    MDV_RETURN_IF_ERROR(r->ReadString(&name));
+    MDV_RETURN_IF_ERROR(r->ReadU8(&kind));
+    MDV_RETURN_IF_ERROR(r->ReadString(&text));
+    if (kind > 1) {
+      return Status::InvalidArgument("wire: unknown property value kind " +
+                                     std::to_string(kind));
+    }
+    resource->AddProperty(std::move(name),
+                          kind == 1
+                              ? rdf::PropertyValue::ResourceRef(std::move(text))
+                              : rdf::PropertyValue::Literal(std::move(text)));
+  }
+  return Status::OK();
+}
+
+std::string EncodeNotifyPayload(const NotifyFrame& frame) {
+  const pubsub::Notification& note = frame.notification;
+  std::string out;
+  PutU64(&out, frame.sender);
+  PutU64(&out, frame.sequence);
+  PutU8(&out, static_cast<uint8_t>(note.kind));
+  PutI64(&out, note.lmr);
+  PutI64(&out, note.subscription);
+  PutU64(&out, note.trace.trace_id);
+  PutU64(&out, note.trace.span_id);
+  PutU32(&out, static_cast<uint32_t>(note.resources.size()));
+  for (const pubsub::TransmittedResource& shipped : note.resources) {
+    PutString(&out, shipped.uri_reference);
+    PutU8(&out, shipped.via_strong_reference ? 1 : 0);
+    EncodeResource(&out, shipped.resource);
+  }
+  return out;
+}
+
+Status DecodeNotifyPayload(std::string_view payload, NotifyFrame* frame) {
+  Reader r(payload);
+  MDV_RETURN_IF_ERROR(r.ReadU64(&frame->sender));
+  MDV_RETURN_IF_ERROR(r.ReadU64(&frame->sequence));
+  pubsub::Notification& note = frame->notification;
+  uint8_t kind = 0;
+  MDV_RETURN_IF_ERROR(r.ReadU8(&kind));
+  if (kind > static_cast<uint8_t>(pubsub::NotificationKind::kRemove)) {
+    return Status::InvalidArgument("wire: unknown notification kind " +
+                                   std::to_string(kind));
+  }
+  note.kind = static_cast<pubsub::NotificationKind>(kind);
+  MDV_RETURN_IF_ERROR(r.ReadI64(&note.lmr));
+  MDV_RETURN_IF_ERROR(r.ReadI64(&note.subscription));
+  MDV_RETURN_IF_ERROR(r.ReadU64(&note.trace.trace_id));
+  MDV_RETURN_IF_ERROR(r.ReadU64(&note.trace.span_id));
+  uint32_t resources = 0;
+  MDV_RETURN_IF_ERROR(r.ReadU32(&resources));
+  // A resource is at least uri-len + flag + id-len + class-len +
+  // property-count = 17 bytes.
+  MDV_RETURN_IF_ERROR(r.CheckCount(resources, 17, "resource"));
+  note.resources.reserve(resources);
+  for (uint32_t i = 0; i < resources; ++i) {
+    pubsub::TransmittedResource shipped;
+    MDV_RETURN_IF_ERROR(r.ReadString(&shipped.uri_reference));
+    uint8_t strong = 0;
+    MDV_RETURN_IF_ERROR(r.ReadU8(&strong));
+    if (strong > 1) {
+      return Status::InvalidArgument("wire: bad via_strong_reference flag");
+    }
+    shipped.via_strong_reference = strong == 1;
+    MDV_RETURN_IF_ERROR(DecodeResource(&r, &shipped.resource));
+    note.resources.push_back(std::move(shipped));
+  }
+  if (!r.exhausted()) {
+    return Status::InvalidArgument("wire: trailing bytes in notify payload");
+  }
+  return Status::OK();
+}
+
+std::string EncodeAckPayload(const AckFrame& frame) {
+  std::string out;
+  PutU64(&out, frame.sender);
+  PutU64(&out, frame.sequence);
+  PutI64(&out, frame.lmr);
+  return out;
+}
+
+Status DecodeAckPayload(std::string_view payload, AckFrame* frame) {
+  Reader r(payload);
+  MDV_RETURN_IF_ERROR(r.ReadU64(&frame->sender));
+  MDV_RETURN_IF_ERROR(r.ReadU64(&frame->sequence));
+  MDV_RETURN_IF_ERROR(r.ReadI64(&frame->lmr));
+  if (!r.exhausted()) {
+    return Status::InvalidArgument("wire: trailing bytes in ack payload");
+  }
+  return Status::OK();
+}
+
+std::string Frame(FrameType type, std::string payload) {
+  std::string out;
+  out.reserve(kWireHeaderBytes + payload.size());
+  PutU32(&out, kWireMagic);
+  PutU8(&out, kWireVersion);
+  PutU8(&out, static_cast<uint8_t>(type));
+  PutU16(&out, 0);  // Reserved.
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  PutU64(&out, Fnv1a(payload));
+  out.append(payload);
+  return out;
+}
+
+/// Parses and validates the fixed header. On success `*payload_len` and
+/// `*checksum` are filled and `*type` holds the raw (unvalidated
+/// against the enum) type byte.
+Status DecodeHeader(std::string_view buffer, uint8_t* type,
+                    uint32_t* payload_len, uint64_t* checksum) {
+  if (buffer.size() < kWireHeaderBytes) {
+    return Status::InvalidArgument("wire: frame shorter than header (" +
+                                   std::to_string(buffer.size()) + " bytes)");
+  }
+  Reader r(buffer.substr(0, kWireHeaderBytes));
+  uint32_t magic = 0;
+  uint8_t version = 0;
+  uint16_t reserved_lo = 0;
+  MDV_RETURN_IF_ERROR(r.ReadU32(&magic));
+  if (magic != kWireMagic) {
+    return Status::InvalidArgument("wire: bad magic");
+  }
+  MDV_RETURN_IF_ERROR(r.ReadU8(&version));
+  if (version != kWireVersion) {
+    return Status::InvalidArgument("wire: unsupported version " +
+                                   std::to_string(version));
+  }
+  MDV_RETURN_IF_ERROR(r.ReadU8(type));
+  uint8_t reserved[2] = {0, 0};
+  MDV_RETURN_IF_ERROR(r.ReadU8(&reserved[0]));
+  MDV_RETURN_IF_ERROR(r.ReadU8(&reserved[1]));
+  reserved_lo = static_cast<uint16_t>(reserved[0] | (reserved[1] << 8));
+  if (reserved_lo != 0) {
+    return Status::InvalidArgument("wire: reserved header bits set");
+  }
+  MDV_RETURN_IF_ERROR(r.ReadU32(payload_len));
+  if (*payload_len > kMaxPayloadBytes) {
+    return Status::InvalidArgument("wire: payload length " +
+                                   std::to_string(*payload_len) +
+                                   " exceeds limit");
+  }
+  MDV_RETURN_IF_ERROR(r.ReadU64(checksum));
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeNotifyFrame(const NotifyFrame& frame) {
+  return Frame(FrameType::kNotify, EncodeNotifyPayload(frame));
+}
+
+std::string EncodeAckFrame(const AckFrame& frame) {
+  return Frame(FrameType::kAck, EncodeAckPayload(frame));
+}
+
+Result<DecodedFrame> DecodeFrame(std::string_view buffer) {
+  uint8_t type = 0;
+  uint32_t payload_len = 0;
+  uint64_t checksum = 0;
+  MDV_RETURN_IF_ERROR(DecodeHeader(buffer, &type, &payload_len, &checksum));
+  if (buffer.size() != kWireHeaderBytes + payload_len) {
+    return Status::InvalidArgument(
+        "wire: frame length mismatch (header says " +
+        std::to_string(payload_len) + " payload bytes, buffer has " +
+        std::to_string(buffer.size() - kWireHeaderBytes) + ")");
+  }
+  std::string_view payload = buffer.substr(kWireHeaderBytes);
+  if (Fnv1a(payload) != checksum) {
+    return Status::InvalidArgument("wire: checksum mismatch");
+  }
+  DecodedFrame out;
+  switch (type) {
+    case static_cast<uint8_t>(FrameType::kNotify):
+      out.type = FrameType::kNotify;
+      MDV_RETURN_IF_ERROR(DecodeNotifyPayload(payload, &out.notify));
+      return out;
+    case static_cast<uint8_t>(FrameType::kAck):
+      out.type = FrameType::kAck;
+      MDV_RETURN_IF_ERROR(DecodeAckPayload(payload, &out.ack));
+      return out;
+    default:
+      return Status::InvalidArgument("wire: unknown frame type " +
+                                     std::to_string(type));
+  }
+}
+
+void FrameBuffer::Append(std::string_view bytes) { buffer_.append(bytes); }
+
+Result<std::optional<std::string>> FrameBuffer::Next() {
+  if (buffer_.size() < kWireHeaderBytes) return std::optional<std::string>();
+  uint8_t type = 0;
+  uint32_t payload_len = 0;
+  uint64_t checksum = 0;
+  // Header validation up front: a corrupt length field would otherwise
+  // make the stream wait forever for bytes that never come.
+  MDV_RETURN_IF_ERROR(
+      DecodeHeader(std::string_view(buffer_).substr(0, kWireHeaderBytes),
+                   &type, &payload_len, &checksum));
+  const size_t total = kWireHeaderBytes + payload_len;
+  if (buffer_.size() < total) return std::optional<std::string>();
+  std::string frame = buffer_.substr(0, total);
+  buffer_.erase(0, total);
+  return std::optional<std::string>(std::move(frame));
+}
+
+}  // namespace mdv::net

@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -98,6 +100,81 @@ TEST(MdvConcurrencyTest, ConcurrentAttachDetachDeliver) {
   NetworkStats stats = network.stats();
   EXPECT_EQ(stats.messages, kThreads * kIterations * 3);
   EXPECT_EQ(stable_handled.load(), kThreads * kIterations);
+}
+
+TEST(MdvConcurrencyTest, DetachLinearizesAgainstInFlightDelivery) {
+  // Regression test for the documented race: a handler could still be
+  // running (or about to run, holding a copied handler) after Detach
+  // returned, so state the handler touches could not be safely torn
+  // down. Detach must now wait out in-flight deliveries by other
+  // threads.
+  for (int round = 0; round < 50; ++round) {
+    Network network;
+    std::atomic<bool> in_handler{false};
+    std::atomic<bool> release{false};
+    std::atomic<bool> handler_alive{true};
+    network.Attach(1, [&](const pubsub::Notification&) {
+      in_handler.store(true);
+      while (!release.load()) std::this_thread::yield();
+      // If Detach returned while we are still here, the test below
+      // observes handler_alive == true after Detach.
+      EXPECT_TRUE(handler_alive.load());
+      in_handler.store(false);
+    });
+
+    std::thread deliverer([&] { network.Deliver(MakeNote(1, 1)); });
+    while (!in_handler.load()) std::this_thread::yield();
+
+    std::thread detacher([&] {
+      network.Detach(1);
+      // Everything the handler relies on may be destroyed now.
+      handler_alive.store(false);
+    });
+    // Detach must block while the handler is inside the callback.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_TRUE(in_handler.load());
+    release.store(true);
+    detacher.join();
+    EXPECT_FALSE(in_handler.load());  // Linearized: handler finished first.
+    deliverer.join();
+  }
+}
+
+TEST(MdvConcurrencyTest, HandlerMayDetachItselfWithoutDeadlock) {
+  Network network;
+  int calls = 0;
+  Network* net = &network;
+  network.Attach(1, [&calls, net](const pubsub::Notification&) {
+    ++calls;
+    net->Detach(1);  // Re-entrant self-detach must not deadlock.
+  });
+  network.Deliver(MakeNote(1, 1));
+  network.Deliver(MakeNote(1, 1));
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(network.stats().undeliverable, 1);
+}
+
+TEST(MdvConcurrencyTest, DetachedHandlerNeverRunsAgainUnderChurn) {
+  // Hammer the original interleaving: one thread delivers in a loop,
+  // another attaches/detaches the same endpoint. After every Detach
+  // return, a delivery must never reach the detached generation's
+  // handler.
+  Network network;
+  std::atomic<bool> stop{false};
+  std::thread deliverer([&] {
+    while (!stop.load()) network.Deliver(MakeNote(7, 1));
+  });
+  for (int gen = 0; gen < 300; ++gen) {
+    auto alive = std::make_shared<std::atomic<bool>>(true);
+    network.Attach(7, [alive](const pubsub::Notification&) {
+      EXPECT_TRUE(alive->load()) << "handler ran after Detach returned";
+    });
+    std::this_thread::yield();
+    network.Detach(7);
+    alive->store(false);  // From here on the handler must be dead.
+  }
+  stop.store(true);
+  deliverer.join();
 }
 
 TEST(MdvConcurrencyTest, SharedMetricsAndTracerAcrossThreads) {
