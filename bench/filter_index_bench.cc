@@ -1,33 +1,115 @@
-// Initial-iteration access paths, fig12-15 style: N COMP rules on one
-// property (`c.synthValue > INT`, the worst case of Figures 13/15 — every
-// delta atom probes the whole per-property rule list in the seed scan
-// path), matched against a fixed document batch via
-//  - the predicate index (FilterOptions::use_predicate_index = true), and
-//  - the seed FilterRules table scan (use_predicate_index = false).
+// Filter-engine microbenchmarks, three figures in one binary:
 //
-// COMP rules have no join rules, so FilterEngine::Run in probe mode
-// (update_materialized = false) measures exactly the initial iteration
-// plus the (identical in both modes) ResultObjects write. Results go to
-// stdout as CSV and to BENCH_filter.json (override with MDV_BENCH_JSON)
-// as the start of the perf trajectory.
+//  - filter_index (fig12-15 style): initial-iteration access paths — N
+//    COMP rules on one property matched via the predicate index vs the
+//    seed FilterRules table scan.
+//  - filter_path_join: grouped join evaluation on the PATH workload
+//    (`c.serverInformation.memory = INT` decomposes into a join), the
+//    series that exercises the groups_evaluated/members_evaluated
+//    counters end to end.
+//  - filter_shard: worker scaling of the sharded publish fan-out — the
+//    PATH workload partitioned into --shards rule-base shards, one probe
+//    run per measurement, swept over --threads worker-pool sizes. The
+//    `<rules>_rules_speedup_wK` records report the K-worker speedup over
+//    the single-worker run of the same sharded layout.
+//
+// Flags: --only=<figure-prefix> runs a subset (index|path|shard),
+// --shards=<N> and --threads=<W1,W2,...> parameterize the shard figure.
+// Results go to stdout as CSV and to BENCH_filter.json (override with
+// MDV_BENCH_JSON).
 
 #include "bench_common.h"
 
 #include <cinttypes>
+#include <cstring>
+#include <thread>
 
 #include "filter/data_store.h"
 
-int main() {
-  using namespace mdv::bench;
-  using mdv::bench_support::BenchRuleType;
-  using mdv::bench_support::FilterFixture;
-  using mdv::bench_support::WorkloadGenerator;
-  using mdv::filter::FilterOptions;
-  using mdv::filter::FilterRunResult;
+namespace {
 
-  std::printf("# filter_index: initial iteration, index vs table scan\n");
-  std::printf("# columns: figure,series,batch_size,ms_per_run\n");
+using namespace mdv::bench;
+using mdv::bench_support::BenchRuleType;
+using mdv::bench_support::FilterFixture;
+using mdv::bench_support::WorkloadGenerator;
+using mdv::filter::EngineOptions;
+using mdv::filter::FilterOptions;
+using mdv::filter::FilterRunResult;
+using mdv::filter::RuleStoreOptions;
 
+struct Flags {
+  std::string only;                        // Empty = all figures.
+  int shards = 8;                          // Shard figure: regular shards.
+  std::vector<int> threads = {1, 2, 4, 8}; // Shard figure: pool sizes.
+};
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--only=", 7) == 0) {
+      flags.only = arg + 7;
+    } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+      flags.shards = std::atoi(arg + 9);
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      flags.threads.clear();
+      for (const char* p = arg + 10; *p != '\0';) {
+        flags.threads.push_back(std::atoi(p));
+        while (*p != '\0' && *p != ',') ++p;
+        if (*p == ',') ++p;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s (supported: --only=index|path|shard, "
+                   "--shards=N, --threads=W1,W2,...)\n",
+                   arg);
+      std::exit(2);
+    }
+  }
+  if (flags.shards < 1 || flags.threads.empty()) {
+    std::fprintf(stderr, "--shards must be >= 1, --threads non-empty\n");
+    std::exit(2);
+  }
+  return flags;
+}
+
+bool RunFigure(const Flags& flags, const char* name) {
+  return flags.only.empty() || flags.only == name;
+}
+
+/// Repeats probe runs of `delta` until the sample is long enough to
+/// trust (or 50 reps); returns ms per run, last result in `last`.
+double MeasureProbeRuns(FilterFixture* fixture, const mdv::rdf::Statements& delta,
+                       bool use_index, FilterRunResult* last) {
+  FilterOptions options;
+  options.update_materialized = false;
+  options.use_predicate_index = use_index;
+  *last = BenchMust(fixture->engine().Run(delta, options), "warmup run");
+  double total_ms = 0.0;
+  int reps = 0;
+  while (reps < 50 && (reps < 3 || total_ms < 300.0)) {
+    total_ms += TimeMs([&] {
+      *last = BenchMust(fixture->engine().Run(delta, options), "run");
+    });
+    ++reps;
+  }
+  return total_ms / reps;
+}
+
+mdv::rdf::Statements MakeDelta(const WorkloadGenerator& generator,
+                               size_t first, size_t count) {
+  mdv::rdf::Statements delta;
+  for (const mdv::rdf::RdfDocument& doc :
+       generator.MakeDocumentBatch(first, count)) {
+    mdv::rdf::Statements atoms = doc.ToStatements();
+    delta.insert(delta.end(), atoms.begin(), atoms.end());
+  }
+  return delta;
+}
+
+// ---- filter_index: index vs scan on the COMP workload. -----------------
+
+void RunIndexFigure() {
   const size_t kDocs = 10;
   std::vector<size_t> rule_bases = FullScale()
                                        ? std::vector<size_t>{1000, 10000,
@@ -41,36 +123,14 @@ int main() {
     // Insert the delta atoms once; the probe runs re-match them without
     // touching MaterializedResults, so every repetition sees the same
     // state.
-    mdv::rdf::Statements delta;
-    for (const mdv::rdf::RdfDocument& doc :
-         generator.MakeDocumentBatch(0, kDocs)) {
-      mdv::rdf::Statements atoms = doc.ToStatements();
-      delta.insert(delta.end(), atoms.begin(), atoms.end());
-    }
+    mdv::rdf::Statements delta = MakeDelta(generator, 0, kDocs);
     BenchCheck(mdv::filter::InsertAtoms(&fixture.db(), delta),
                "insert atoms");
 
-    auto measure = [&](bool use_index, FilterRunResult* last) {
-      FilterOptions options;
-      options.update_materialized = false;
-      options.use_predicate_index = use_index;
-      // Warm up once, then repeat until the sample is long enough to
-      // trust (or 50 reps).
-      *last = BenchMust(fixture.engine().Run(delta, options), "warmup run");
-      double total_ms = 0.0;
-      int reps = 0;
-      while (reps < 50 && (reps < 3 || total_ms < 300.0)) {
-        total_ms += TimeMs([&] {
-          *last = BenchMust(fixture.engine().Run(delta, options), "run");
-        });
-        ++reps;
-      }
-      return total_ms / reps;
-    };
-
     FilterRunResult indexed_result, scan_result;
-    double indexed_ms = measure(true, &indexed_result);
-    double scan_ms = measure(false, &scan_result);
+    double indexed_ms = MeasureProbeRuns(&fixture, delta, true,
+                                         &indexed_result);
+    double scan_ms = MeasureProbeRuns(&fixture, delta, false, &scan_result);
     double speedup = indexed_ms > 0.0 ? scan_ms / indexed_ms : 0.0;
 
     std::string series = std::to_string(rule_base) + "_rules";
@@ -102,6 +162,114 @@ int main() {
                                          kDocs, speedup, "scan_over_indexed",
                                          extra});
   }
+}
+
+// ---- filter_path_join: grouped join evaluation on PATH rules. ----------
+
+void RunPathJoinFigure() {
+  const size_t kRules = FullScale() ? 10000 : 1000;
+  const size_t kDocs = 100;
+  WorkloadGenerator generator({BenchRuleType::kPath, kRules, 0.1});
+  FilterFixture fixture;
+  RegisterRuleBase(&fixture, generator, kRules);
+  mdv::rdf::Statements delta = MakeDelta(generator, 0, kDocs);
+  BenchCheck(mdv::filter::InsertAtoms(&fixture.db(), delta), "insert atoms");
+
+  FilterRunResult result;
+  double ms = MeasureProbeRuns(&fixture, delta, true, &result);
+
+  std::string series = std::to_string(kRules) + "_rules";
+  std::printf("filter_path_join,%s,%zu,%.4f\n", series.c_str(), kDocs, ms);
+  std::fflush(stdout);
+  char extra[256];
+  std::snprintf(extra, sizeof(extra),
+                "\"rule_base\": %zu, \"groups_evaluated\": %" PRId64
+                ", \"members_evaluated\": %" PRId64
+                ", \"join_matches\": %" PRId64,
+                kRules, result.stats.groups_evaluated,
+                result.stats.members_evaluated, result.stats.join_matches);
+  BenchRecords().push_back(BenchRecord{"filter_path_join", series, kDocs, ms,
+                                       "ms_per_run", extra});
+  if (result.stats.groups_evaluated <= 0 ||
+      result.stats.members_evaluated <= 0) {
+    std::fprintf(stderr,
+                 "filter_path_join did not exercise grouped join "
+                 "evaluation (groups=%" PRId64 ", members=%" PRId64 ")\n",
+                 result.stats.groups_evaluated,
+                 result.stats.members_evaluated);
+    std::exit(1);
+  }
+}
+
+// ---- filter_shard: worker scaling of the sharded fan-out. --------------
+
+void RunShardFigure(const Flags& flags) {
+  const size_t kDocs = 256;
+  // Worker scaling is bounded by the machine: on a 1-CPU host every
+  // pool size time-slices one core and speedup_wK stays ~1.0, so the
+  // records carry the cpu count for interpretation (EXPERIMENTS.md).
+  const unsigned host_cpus = std::thread::hardware_concurrency();
+  std::vector<size_t> rule_bases = FullScale()
+                                       ? std::vector<size_t>{10000, 100000}
+                                       : std::vector<size_t>{10000};
+  for (size_t rule_base : rule_bases) {
+    WorkloadGenerator generator({BenchRuleType::kPath, rule_base, 0.1});
+    std::string series_base = std::to_string(rule_base) + "_rules";
+    double one_worker_ms = 0.0;
+    for (int workers : flags.threads) {
+      RuleStoreOptions rule_options;
+      rule_options.num_shards = flags.shards;
+      EngineOptions engine_options;
+      engine_options.num_workers = workers;
+      FilterFixture fixture(rule_options, mdv::filter::TableOptions{},
+                            engine_options);
+      RegisterRuleBase(&fixture, generator, rule_base);
+      mdv::rdf::Statements delta = MakeDelta(generator, 0, kDocs);
+      BenchCheck(mdv::filter::InsertAtoms(&fixture.db(), delta),
+                 "insert atoms");
+
+      FilterRunResult result;
+      double ms = MeasureProbeRuns(&fixture, delta, true, &result);
+      if (workers == 1 || one_worker_ms == 0.0) one_worker_ms = ms;
+
+      std::string series = series_base + "_w" + std::to_string(workers);
+      std::printf("filter_shard,%s,%zu,%.4f\n", series.c_str(), kDocs, ms);
+      std::fflush(stdout);
+      char extra[256];
+      std::snprintf(extra, sizeof(extra),
+                    "\"rule_base\": %zu, \"shards\": %d, \"workers\": %d, "
+                    "\"host_cpus\": %u",
+                    rule_base, flags.shards, workers, host_cpus);
+      BenchRecords().push_back(BenchRecord{"filter_shard", series, kDocs, ms,
+                                           "ms_per_run", extra});
+      if (workers != 1) {
+        double speedup = ms > 0.0 ? one_worker_ms / ms : 0.0;
+        std::string speedup_series =
+            series_base + "_speedup_w" + std::to_string(workers);
+        std::printf("filter_shard,%s,%zu,%.2f\n", speedup_series.c_str(),
+                    kDocs, speedup);
+        std::fflush(stdout);
+        BenchRecords().push_back(BenchRecord{"filter_shard", speedup_series,
+                                             kDocs, speedup,
+                                             "speedup_over_w1", extra});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = ParseFlags(argc, argv);
+
+  std::printf("# filter_index: initial iteration, index vs table scan\n");
+  std::printf("# filter_path_join: grouped join evaluation (PATH rules)\n");
+  std::printf("# filter_shard: worker scaling, %d shards\n", flags.shards);
+  std::printf("# columns: figure,series,batch_size,value\n");
+
+  if (RunFigure(flags, "index")) RunIndexFigure();
+  if (RunFigure(flags, "path")) RunPathJoinFigure();
+  if (RunFigure(flags, "shard")) RunShardFigure(flags);
 
   WriteBenchJson("BENCH_filter.json");
   return 0;

@@ -68,7 +68,8 @@ class FilterFixture {
  public:
   explicit FilterFixture(
       filter::RuleStoreOptions rule_options = filter::RuleStoreOptions{},
-      filter::TableOptions table_options = filter::TableOptions{});
+      filter::TableOptions table_options = filter::TableOptions{},
+      filter::EngineOptions engine_options = filter::EngineOptions{});
 
   FilterFixture(const FilterFixture&) = delete;
   FilterFixture& operator=(const FilterFixture&) = delete;

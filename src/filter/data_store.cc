@@ -67,20 +67,40 @@ rdf::Statements AtomsOfResources(
   return out;
 }
 
-Status PurgeMaterialized(
-    rdbms::Database* db,
-    const std::map<int64_t, std::vector<std::string>>& matches) {
-  Table* mat = db->GetTable(kMaterializedResults);
+namespace {
+
+Status PurgeFromShard(rdbms::Database* db, int shard, int64_t rule_id,
+                      const std::vector<std::string>& uris) {
+  Table* mat = db->GetTable(ShardTableName(kMaterializedResults, shard));
   if (mat == nullptr) {
     return Status::Internal("MaterializedResults table missing");
   }
+  for (const std::string& uri : uris) {
+    mat->DeleteWhere(
+        {ScanCondition{ResultCols::kUri, CompareOp::kEq, Value(uri)},
+         ScanCondition{ResultCols::kRuleId, CompareOp::kEq,
+                       Value(rule_id)}});
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status PurgeMaterialized(
+    rdbms::Database* db,
+    const std::map<int64_t, std::vector<std::string>>& matches) {
   for (const auto& [rule_id, uris] : matches) {
-    for (const std::string& uri : uris) {
-      mat->DeleteWhere(
-          {ScanCondition{ResultCols::kUri, CompareOp::kEq, Value(uri)},
-           ScanCondition{ResultCols::kRuleId, CompareOp::kEq,
-                         Value(rule_id)}});
-    }
+    MDV_RETURN_IF_ERROR(PurgeFromShard(db, /*shard=*/0, rule_id, uris));
+  }
+  return Status::OK();
+}
+
+Status PurgeMaterialized(
+    rdbms::Database* db, const RuleStore& store,
+    const std::map<int64_t, std::vector<std::string>>& matches) {
+  for (const auto& [rule_id, uris] : matches) {
+    MDV_RETURN_IF_ERROR(
+        PurgeFromShard(db, store.ShardOf(rule_id), rule_id, uris));
   }
   return Status::OK();
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "filter/rule_store.h"
 #include "rdbms/database.h"
 #include "rdf/statement.h"
 
@@ -31,6 +32,13 @@ rdf::Statements AtomsOfResources(
 /// whose derivation involved a changed resource.
 Status PurgeMaterialized(
     rdbms::Database* db,
+    const std::map<int64_t, std::vector<std::string>>& matches);
+
+/// Shard-routed variant: deletes each pair from the MaterializedResults
+/// table of the shard owning the rule (`store` supplies the routing).
+/// With an unsharded store this is the overload above.
+Status PurgeMaterialized(
+    rdbms::Database* db, const RuleStore& store,
     const std::map<int64_t, std::vector<std::string>>& matches);
 
 }  // namespace mdv::filter

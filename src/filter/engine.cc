@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <functional>
+#include <optional>
 #include <set>
 #include <unordered_set>
 
@@ -106,33 +107,36 @@ bool AuditInvariantsEnabled() {
   return enabled;
 }
 
-Status FilterEngine::MatchTriggeringRules(
-    const rdf::Statements& delta, const FilterOptions& options,
-    FilterRunStats* stats, std::map<int64_t, MatchSet>* current) const {
-  if (options.use_predicate_index) {
-    return MatchTriggeringRulesIndexed(delta, stats, current);
-  }
-  return MatchTriggeringRulesScan(delta, stats, current);
-}
-
-Status FilterEngine::MatchTriggeringRulesIndexed(
-    const rdf::Statements& delta, FilterRunStats* stats,
-    std::map<int64_t, MatchSet>* current) const {
-  obs::ScopedSpan span("filter.index_probe");
-  const PredicateIndex& index = store_->predicate_index();
-
+FilterEngine::GroupedDelta FilterEngine::GroupDelta(
+    const rdf::Statements& delta) {
   // Group the delta atoms by (class, property) and by value within each
   // group: every distinct (class, property) pays one bucket lookup and
   // every distinct value one probe, however many atoms carry it (batch
   // registrations repeat properties heavily). Subjects are referenced,
-  // not copied; `delta` outlives the match.
-  std::map<std::pair<std::string, std::string>,
-           std::map<std::string, std::vector<const std::string*>>>
-      groups;
+  // not copied; `delta` outlives the grouping.
+  GroupedDelta groups;
   for (const rdf::Statement& atom : delta) {
     groups[{atom.subject_class, atom.predicate}][atom.object.text()]
         .push_back(&atom.subject);
   }
+  return groups;
+}
+
+Status FilterEngine::MatchTriggeringRules(
+    int shard, const rdf::Statements& delta, const GroupedDelta& grouped,
+    const FilterOptions& options, FilterRunStats* stats,
+    std::map<int64_t, MatchSet>* current) const {
+  if (options.use_predicate_index) {
+    return MatchTriggeringRulesIndexed(shard, grouped, stats, current);
+  }
+  return MatchTriggeringRulesScan(shard, delta, stats, current);
+}
+
+Status FilterEngine::MatchTriggeringRulesIndexed(
+    int shard, const GroupedDelta& grouped, FilterRunStats* stats,
+    std::map<int64_t, MatchSet>* current) const {
+  obs::ScopedSpan span("filter.index_probe");
+  const PredicateIndex& index = store_->predicate_index(shard);
 
   auto add = [&](int64_t rule_id, const std::string& uri) {
     (*current)[rule_id].insert(uri);
@@ -140,7 +144,7 @@ Status FilterEngine::MatchTriggeringRulesIndexed(
   };
 
   std::vector<int64_t> matched;
-  for (const auto& [key, subjects_by_text] : groups) {
+  for (const auto& [key, subjects_by_text] : grouped) {
     const std::string& cls = key.first;
     const std::string& prop = key.second;
 
@@ -176,11 +180,12 @@ Status FilterEngine::MatchTriggeringRulesIndexed(
 }
 
 Status FilterEngine::MatchTriggeringRulesScan(
-    const rdf::Statements& delta, FilterRunStats* stats,
+    int shard, const rdf::Statements& delta, FilterRunStats* stats,
     std::map<int64_t, MatchSet>* current) const {
   obs::ScopedSpan span("filter.table_scan");
-  const Table* cls_rules = db_->GetTable(kFilterRulesCLS);
-  const Table* eqs = db_->GetTable(kFilterRulesEQS);
+  const Table* cls_rules =
+      db_->GetTable(ShardTableName(kFilterRulesCLS, shard));
+  const Table* eqs = db_->GetTable(ShardTableName(kFilterRulesEQS, shard));
 
   auto add = [&](int64_t rule_id, const std::string& uri) {
     (*current)[rule_id].insert(uri);
@@ -220,7 +225,9 @@ Status FilterEngine::MatchTriggeringRulesScan(
     // rules on the same property (Figures 12-15).
     for (const OperatorTableInfo& info : OperatorTableInfos()) {
       if (std::string(info.table) == kFilterRulesEQS) continue;  // Above.
-      for (const Row& row : db_->GetTable(info.table)->SelectRows(
+      for (const Row& row :
+           db_->GetTable(ShardTableName(info.table, shard))
+               ->SelectRows(
                {ScanCondition{FilterRulesCols::kProperty, CompareOp::kEq,
                               Str(prop)},
                 ScanCondition{FilterRulesCols::kClass, CompareOp::kEq,
@@ -239,7 +246,8 @@ Status FilterEngine::MatchTriggeringRulesScan(
 }
 
 std::vector<std::string> FilterEngine::MaterializedOf(int64_t rule_id) const {
-  const Table* mat = db_->GetTable(kMaterializedResults);
+  const Table* mat = db_->GetTable(
+      ShardTableName(kMaterializedResults, store_->ShardOf(rule_id)));
   std::vector<std::string> out;
   for (const Row& row : mat->SelectRows({ScanCondition{
            ResultCols::kRuleId, CompareOp::kEq, Int(rule_id)}})) {
@@ -281,7 +289,8 @@ std::vector<std::string> FilterEngine::PartnersByValue(
 
 Status FilterEngine::AppendMaterialized(int64_t rule_id,
                                         const std::vector<std::string>& uris) {
-  Table* mat = db_->GetTable(kMaterializedResults);
+  Table* mat = db_->GetTable(
+      ShardTableName(kMaterializedResults, store_->ShardOf(rule_id)));
   std::vector<Row> rows;
   rows.reserve(uris.size());
   for (const std::string& uri : uris) {
@@ -291,12 +300,24 @@ Status FilterEngine::AppendMaterialized(int64_t rule_id,
 }
 
 Status FilterEngine::WriteResultObjects(
-    const std::map<int64_t, MatchSet>& current) {
-  Table* ro = db_->GetTable(kResultObjects);
+    int shard, const std::map<int64_t, MatchSet>& current) {
+  Table* ro = db_->GetTable(ShardTableName(kResultObjects, shard));
   ro->Truncate();
   std::vector<Row> rows;
   for (const auto& [rule_id, uris] : current) {
     for (const std::string& uri : uris) {
+      rows.push_back({Str(uri), Int(rule_id)});
+    }
+  }
+  return ro->InsertRows(std::move(rows));
+}
+
+Status FilterEngine::WriteMergedResultObjects(const FilterRunResult& result) {
+  Table* ro = db_->GetTable(kResultObjects);
+  ro->Truncate();
+  std::vector<Row> rows;
+  for (const auto& [rule_id, uris] : result.matches) {
+    for (const std::string& uri : uris) {  // Already sorted per rule.
       rows.push_back({Str(uri), Int(rule_id)});
     }
   }
@@ -310,6 +331,129 @@ Result<FilterRunResult> FilterEngine::Run(const rdf::Statements& delta,
   FilterRunResult result;
   result.stats.delta_atoms = static_cast<int64_t>(delta.size());
   run_span.AddAttribute("delta_atoms", result.stats.delta_atoms);
+
+  const int total_shards = store_->total_shards();
+  const GroupedDelta grouped =
+      options.use_predicate_index ? GroupDelta(delta) : GroupedDelta{};
+  if (total_shards == 1) {
+    MDV_RETURN_IF_ERROR(RunShard(0, delta, grouped, options, nullptr,
+                                 &result));
+  } else {
+    // Fan the regular shards out (work-stealing pool when configured and
+    // outside a transaction — the undo log is not thread-safe), then run
+    // the overflow shard, then merge deterministically.
+    const int regular = store_->num_shards();
+    std::vector<FilterRunResult> outcomes(static_cast<size_t>(regular));
+    std::vector<Status> statuses(static_cast<size_t>(regular), Status::OK());
+    const bool parallel = pool_ != nullptr && !db_->InTransaction();
+    if (parallel) {
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(static_cast<size_t>(regular));
+      for (int shard = 0; shard < regular; ++shard) {
+        tasks.push_back(
+            [this, shard, &delta, &grouped, &options, &outcomes, &statuses] {
+              statuses[static_cast<size_t>(shard)] =
+                  RunShard(shard, delta, grouped, options, nullptr,
+                           &outcomes[static_cast<size_t>(shard)]);
+            });
+      }
+      pool_->Run(std::move(tasks));
+    } else {
+      for (int shard = 0; shard < regular; ++shard) {
+        statuses[static_cast<size_t>(shard)] =
+            RunShard(shard, delta, grouped, options, nullptr,
+                     &outcomes[static_cast<size_t>(shard)]);
+      }
+    }
+    for (const Status& status : statuses) MDV_RETURN_IF_ERROR(status);
+
+    // Overflow pass: rules whose atoms span shards run last, seeded with
+    // the regular shards' fresh matches (their inputs can live in any
+    // shard). Skipped when no rule spans shards.
+    const int overflow = store_->overflow_shard();
+    if (store_->ShardRuleCount(overflow) > 0) {
+      ForeignSeeds seeds;
+      for (const FilterRunResult& outcome : outcomes) {
+        for (const auto& [rule_id, uris] : outcome.matches) {
+          for (const RuleStore::Dependent& dep :
+               store_->DependentsOf(rule_id)) {
+            if (store_->ShardOf(dep.target) == overflow) {
+              seeds[rule_id] = uris;
+              break;
+            }
+          }
+        }
+      }
+      FilterRunResult overflow_outcome;
+      MDV_RETURN_IF_ERROR(RunShard(overflow, delta, grouped, options, &seeds,
+                                   &overflow_outcome));
+      outcomes.push_back(std::move(overflow_outcome));
+    }
+
+    // Deterministic merge: shards own disjoint rule sets, so collecting
+    // into the result map yields stable rule-id order regardless of
+    // shard completion order; stats sum, iterations take the deepest
+    // shard.
+    for (FilterRunResult& outcome : outcomes) {
+      for (auto& [rule_id, uris] : outcome.matches) {
+        result.matches[rule_id] = std::move(uris);
+      }
+      result.iterations = std::max(result.iterations, outcome.iterations);
+      result.stats.triggering_matches += outcome.stats.triggering_matches;
+      result.stats.groups_evaluated += outcome.stats.groups_evaluated;
+      result.stats.members_evaluated += outcome.stats.members_evaluated;
+      result.stats.join_matches += outcome.stats.join_matches;
+      result.stats.index_probes += outcome.stats.index_probes;
+      result.stats.index_hits += outcome.stats.index_hits;
+      result.stats.scan_fallbacks += outcome.stats.scan_fallbacks;
+    }
+    MDV_RETURN_IF_ERROR(WriteMergedResultObjects(result));
+  }
+
+  // Mirror the run's counters into the process-wide registry (the
+  // accumulating view of FilterRunStats; see the struct docs).
+  metrics.runs.Increment();
+  metrics.delta_atoms.Add(result.stats.delta_atoms);
+  metrics.triggering_matches.Add(result.stats.triggering_matches);
+  metrics.groups_evaluated.Add(result.stats.groups_evaluated);
+  metrics.members_evaluated.Add(result.stats.members_evaluated);
+  metrics.join_matches.Add(result.stats.join_matches);
+  metrics.index_probes.Add(result.stats.index_probes);
+  metrics.index_hits.Add(result.stats.index_hits);
+  metrics.scan_fallbacks.Add(result.stats.scan_fallbacks);
+  run_span.AddAttribute("iterations",
+                        static_cast<int64_t>(result.iterations));
+  run_span.AddAttribute("triggering_matches",
+                        result.stats.triggering_matches);
+  run_span.AddAttribute("join_matches", result.stats.join_matches);
+
+  if (options.audit_invariants || AuditInvariantsEnabled()) {
+    MDV_RETURN_IF_ERROR(db_->CheckInvariants());
+    MDV_RETURN_IF_ERROR(store_->CheckConsistency());
+  }
+  return result;
+}
+
+Status FilterEngine::RunShard(int shard, const rdf::Statements& delta,
+                              const GroupedDelta& grouped,
+                              const FilterOptions& options,
+                              const ForeignSeeds* foreign_seeds,
+                              FilterRunResult* out) {
+  EngineMetrics& metrics = EngineMetrics::Get();
+  FilterRunResult& result = *out;
+  const bool sharded = store_->total_shards() > 1;
+
+  // Per-shard observability: a span per shard pass (a root span when the
+  // pass runs on a pool worker) and `mdv.filter.shard.<k>.*` counters.
+  // Emitted only when sharding is on, so the single-shard profile stays
+  // identical to the paper's engine.
+  std::optional<obs::ScopedSpan> shard_span;
+  if (sharded) {
+    shard_span.emplace("filter.shard_run");
+    shard_span->AddAttribute("shard", static_cast<int64_t>(shard));
+    shard_span->AddAttribute("shard_rules", store_->ShardRuleCount(shard));
+  }
+  std::set<int64_t> foreign_rules;
   std::map<int64_t, MatchSet> all_matches;
 
   // Per-run snapshot of MaterializedResults, loaded once per affected
@@ -343,7 +487,8 @@ Result<FilterRunResult> FilterEngine::Run(const rdf::Statements& delta,
     obs::ScopedSpan init_span("filter.initial_iteration",
                               &metrics.initial_iteration_us);
     MDV_RETURN_IF_ERROR(
-        MatchTriggeringRules(delta, options, &result.stats, &current));
+        MatchTriggeringRules(shard, delta, grouped, options, &result.stats,
+                             &current));
 
     if (options.update_materialized) {
       // Suppress matches that were derived (and published) by earlier
@@ -367,27 +512,51 @@ Result<FilterRunResult> FilterEngine::Run(const rdf::Statements& delta,
                            static_cast<int64_t>(current.size()));
   }
 
+  for (const auto& [rule_id, uris] : current) {
+    result.stats.triggering_matches += static_cast<int64_t>(uris.size());
+  }
+
+  // Seed the overflow pass with the regular shards' fresh matches: they
+  // drive the join agenda like local triggering matches, but stay out of
+  // the stats, the materialization and the output (their own shard
+  // already accounted for them).
+  if (foreign_seeds != nullptr) {
+    for (const auto& [rule_id, uris] : *foreign_seeds) {
+      foreign_rules.insert(rule_id);
+      current[rule_id].insert(uris.begin(), uris.end());
+    }
+  }
+
   // Reverse index of this run's matches (uri → rules), used by the
   // grouped join evaluation to split combined results back to members.
   std::unordered_map<std::string, std::set<int64_t>> run_rules_of_uri;
 
   // All rules whose result set contains `uri`: this run's matches plus
-  // the materialized state (one indexed lookup).
-  const rdbms::Table* materialized_table = db_->GetTable(kMaterializedResults);
+  // the materialized state (one indexed lookup per table). A regular
+  // shard only ever joins rules it owns; the overflow shard joins rules
+  // of any shard, so it consults every shard's MaterializedResults.
+  std::vector<const rdbms::Table*> materialized_tables;
+  if (sharded && shard == store_->overflow_shard()) {
+    for (int s = 0; s < store_->total_shards(); ++s) {
+      materialized_tables.push_back(
+          db_->GetTable(ShardTableName(kMaterializedResults, s)));
+    }
+  } else {
+    materialized_tables.push_back(
+        db_->GetTable(ShardTableName(kMaterializedResults, shard)));
+  }
   auto rules_containing = [&](const std::string& uri) {
     std::set<int64_t> rules;
     auto rit = run_rules_of_uri.find(uri);
     if (rit != run_rules_of_uri.end()) rules = rit->second;
-    for (const Row& row : materialized_table->SelectRows(
-             {ScanCondition{ResultCols::kUri, CompareOp::kEq, Value(uri)}})) {
-      rules.insert(row[ResultCols::kRuleId].as_int());
+    for (const rdbms::Table* table : materialized_tables) {
+      for (const Row& row : table->SelectRows(
+               {ScanCondition{ResultCols::kUri, CompareOp::kEq, Value(uri)}})) {
+        rules.insert(row[ResultCols::kRuleId].as_int());
+      }
     }
     return rules;
   };
-
-  for (const auto& [rule_id, uris] : current) {
-    result.stats.triggering_matches += static_cast<int64_t>(uris.size());
-  }
 
   // ---- Iterate join-rule evaluation until no new matches. --------------
   while (!current.empty()) {
@@ -396,7 +565,7 @@ Result<FilterRunResult> FilterEngine::Run(const rdf::Statements& delta,
       // ResultObjects and append them to MaterializedResults.
       obs::ScopedSpan mat_span("filter.materialize",
                                &metrics.materialize_us);
-      MDV_RETURN_IF_ERROR(WriteResultObjects(current));
+      MDV_RETURN_IF_ERROR(WriteResultObjects(shard, current));
       for (const auto& [rule_id, uris] : current) {
         MatchSet& sink = all_matches[rule_id];
         sink.insert(uris.begin(), uris.end());
@@ -406,6 +575,7 @@ Result<FilterRunResult> FilterEngine::Run(const rdf::Statements& delta,
       }
       if (options.update_materialized) {
         for (const auto& [rule_id, uris] : current) {
+          if (foreign_rules.count(rule_id) != 0) continue;  // Owner did it.
           if (store_->HasDependents(rule_id)) {
             MDV_RETURN_IF_ERROR(append_materialized(rule_id, uris));
           }
@@ -414,9 +584,13 @@ Result<FilterRunResult> FilterEngine::Run(const rdf::Statements& delta,
     }
 
     // Agenda: rule groups with at least one member receiving new input.
+    // Only members of this shard are evaluated here; dependents placed
+    // in the overflow shard are reached by the overflow pass through its
+    // foreign seeds.
     std::map<int64_t, std::set<int64_t>> agenda;
     for (const auto& [rule_id, uris] : current) {
       for (const RuleStore::Dependent& dep : store_->DependentsOf(rule_id)) {
+        if (store_->ShardOf(dep.target) != shard) continue;
         agenda[dep.group_id].insert(dep.target);
       }
     }
@@ -577,33 +751,28 @@ Result<FilterRunResult> FilterEngine::Run(const rdf::Statements& delta,
   }
 
   for (auto& [rule_id, uris] : all_matches) {
+    if (foreign_rules.count(rule_id) != 0) continue;  // Owner reports it.
     result.matches[rule_id] =
         std::vector<std::string>(uris.begin(), uris.end());
     std::sort(result.matches[rule_id].begin(), result.matches[rule_id].end());
   }
 
-  // Mirror the run's counters into the process-wide registry (the
-  // accumulating view of FilterRunStats; see the struct docs).
-  metrics.runs.Increment();
-  metrics.delta_atoms.Add(result.stats.delta_atoms);
-  metrics.triggering_matches.Add(result.stats.triggering_matches);
-  metrics.groups_evaluated.Add(result.stats.groups_evaluated);
-  metrics.members_evaluated.Add(result.stats.members_evaluated);
-  metrics.join_matches.Add(result.stats.join_matches);
-  metrics.index_probes.Add(result.stats.index_probes);
-  metrics.index_hits.Add(result.stats.index_hits);
-  metrics.scan_fallbacks.Add(result.stats.scan_fallbacks);
-  run_span.AddAttribute("iterations",
-                        static_cast<int64_t>(result.iterations));
-  run_span.AddAttribute("triggering_matches",
-                        result.stats.triggering_matches);
-  run_span.AddAttribute("join_matches", result.stats.join_matches);
-
-  if (options.audit_invariants || AuditInvariantsEnabled()) {
-    MDV_RETURN_IF_ERROR(db_->CheckInvariants());
-    MDV_RETURN_IF_ERROR(store_->CheckConsistency());
+  if (sharded) {
+    obs::MetricsRegistry& registry = obs::DefaultMetrics();
+    const std::string prefix =
+        "mdv.filter.shard." + std::to_string(shard) + ".";
+    registry.GetCounter(prefix + "runs_total").Increment();
+    registry.GetCounter(prefix + "triggering_matches_total")
+        .Add(result.stats.triggering_matches);
+    registry.GetCounter(prefix + "join_matches_total")
+        .Add(result.stats.join_matches);
+    shard_span->AddAttribute("iterations",
+                             static_cast<int64_t>(result.iterations));
+    shard_span->AddAttribute("triggering_matches",
+                             result.stats.triggering_matches);
+    shard_span->AddAttribute("join_matches", result.stats.join_matches);
   }
-  return result;
+  return Status::OK();
 }
 
 Result<FilterRunResult> FilterEngine::EvaluateNewRules(
@@ -612,40 +781,56 @@ Result<FilterRunResult> FilterEngine::EvaluateNewRules(
                        &EngineMetrics::Get().evaluate_new_rules_us);
   span.AddAttribute("new_rules", static_cast<int64_t>(new_rules.size()));
   FilterRunResult result;
-  std::map<int64_t, MatchSet> fresh;
   const std::unordered_set<int64_t> new_rule_set(new_rules.begin(),
                                                  new_rules.end());
 
-  const Table* atomic = db_->GetTable(kAtomicRules);
-  const Table* data = db_->GetTable(kFilterData);
+  // Group the new rules by owning shard, preserving the
+  // children-before-parents order within each group. One registration's
+  // tree lives in a single shard, so there is usually one group; batch
+  // registrations fan out like Run does. The overflow group must run
+  // last and alone: ensuring a never-materialized input of an overflow
+  // rule can write another shard's MaterializedResults.
+  std::map<int, std::vector<int64_t>> by_shard;
+  for (int64_t rule_id : new_rules) {
+    by_shard[store_->ShardOf(rule_id)].push_back(rule_id);
+  }
 
-  // Returns the full result set of `rule_id`, evaluating it from scratch
-  // (recursively) when it is new or was never materialized.
-  std::function<Result<MatchSet>(int64_t)> ensure =
-      [&](int64_t rule_id) -> Result<MatchSet> {
-    auto fit = fresh.find(rule_id);
-    if (fit != fresh.end()) return fit->second;
-    std::vector<std::string> mat = MaterializedOf(rule_id);
-    bool is_new = new_rule_set.count(rule_id) != 0;
-    if (!is_new && !mat.empty()) {
-      return MatchSet(mat.begin(), mat.end());
-    }
+  auto evaluate_group = [this, &new_rule_set](
+                            const std::vector<int64_t>& group_rules,
+                            FilterRunResult* group_out) -> Status {
+    std::map<int64_t, MatchSet> fresh;
+    const Table* atomic = db_->GetTable(kAtomicRules);
+    const Table* data = db_->GetTable(kFilterData);
 
-    std::vector<Row> rows = atomic->SelectRows({ScanCondition{
-        AtomicRulesCols::kRuleId, CompareOp::kEq, Int(rule_id)}});
-    if (rows.empty()) {
-      return Status::NotFound("atomic rule " + std::to_string(rule_id));
-    }
-    const Row& rule = rows[0];
-    MatchSet out;
+    // Returns the full result set of `rule_id`, evaluating it from
+    // scratch (recursively) when it is new or was never materialized.
+    std::function<Result<MatchSet>(int64_t)> ensure =
+        [&](int64_t rule_id) -> Result<MatchSet> {
+      auto fit = fresh.find(rule_id);
+      if (fit != fresh.end()) return fit->second;
+      std::vector<std::string> mat = MaterializedOf(rule_id);
+      bool is_new = new_rule_set.count(rule_id) != 0;
+      if (!is_new && !mat.empty()) {
+        return MatchSet(mat.begin(), mat.end());
+      }
+      const int shard = store_->ShardOf(rule_id);
 
-    if (rule[AtomicRulesCols::kKind].as_string() == "T") {
-      // Reconstruct the triggering spec from the FilterRules tables and
-      // evaluate it over the full FilterData contents.
-      const std::string& cls = rule[AtomicRulesCols::kType].as_string();
-      auto scan_rule_rows = [&](const std::string& table_name, CompareOp op,
-                                bool numeric_only) {
-        const Table* table = db_->GetTable(table_name);
+      std::vector<Row> rows = atomic->SelectRows({ScanCondition{
+          AtomicRulesCols::kRuleId, CompareOp::kEq, Int(rule_id)}});
+      if (rows.empty()) {
+        return Status::NotFound("atomic rule " + std::to_string(rule_id));
+      }
+      const Row& rule = rows[0];
+      MatchSet out;
+
+      if (rule[AtomicRulesCols::kKind].as_string() == "T") {
+        // Reconstruct the triggering spec from the owning shard's
+        // FilterRules tables and evaluate it over the full FilterData
+        // contents.
+        const std::string& cls = rule[AtomicRulesCols::kType].as_string();
+        auto scan_rule_rows = [&](const std::string& table_name, CompareOp op,
+                                  bool numeric_only) {
+          const Table* table = db_->GetTable(ShardTableName(table_name, shard));
         for (const Row& rrow : table->SelectRows({ScanCondition{
                  FilterRulesCols::kRuleId, CompareOp::kEq, Int(rule_id)}})) {
           const std::string& prop =
@@ -669,7 +854,8 @@ Result<FilterRunResult> FilterEngine::EvaluateNewRules(
         }
       };
       // Predicate-less class rules.
-      const Table* cls_rules = db_->GetTable(kFilterRulesCLS);
+      const Table* cls_rules =
+          db_->GetTable(ShardTableName(kFilterRulesCLS, shard));
       if (!cls_rules
                ->SelectRowIds({ScanCondition{FilterRulesCols::kRuleId,
                                              CompareOp::kEq, Int(rule_id)}})
@@ -731,14 +917,57 @@ Result<FilterRunResult> FilterEngine::EvaluateNewRules(
       MDV_RETURN_IF_ERROR(AppendMaterialized(rule_id, missing));
     }
     return out;
+    };
+
+    for (int64_t rule_id : group_rules) {
+      MDV_ASSIGN_OR_RETURN(MatchSet matches, ensure(rule_id));
+      group_out->matches[rule_id] =
+          std::vector<std::string>(matches.begin(), matches.end());
+      std::sort(group_out->matches[rule_id].begin(),
+                group_out->matches[rule_id].end());
+    }
+    return Status::OK();
   };
 
-  for (int64_t rule_id : new_rules) {
-    MDV_ASSIGN_OR_RETURN(MatchSet matches, ensure(rule_id));
-    result.matches[rule_id] =
-        std::vector<std::string>(matches.begin(), matches.end());
-    std::sort(result.matches[rule_id].begin(),
-              result.matches[rule_id].end());
+  // Regular-shard groups touch only their own shard's tables (plus
+  // read-only global tables), so they can fan out on the pool; the
+  // overflow group runs afterwards on the calling thread.
+  std::vector<std::pair<int, const std::vector<int64_t>*>> regular_groups;
+  const std::vector<int64_t>* overflow_group = nullptr;
+  for (const auto& [shard, group_rules] : by_shard) {
+    if (store_->total_shards() > 1 && shard == store_->overflow_shard()) {
+      overflow_group = &group_rules;
+    } else {
+      regular_groups.emplace_back(shard, &group_rules);
+    }
+  }
+  std::vector<FilterRunResult> outcomes(regular_groups.size());
+  std::vector<Status> statuses(regular_groups.size(), Status::OK());
+  if (pool_ != nullptr && regular_groups.size() > 1 &&
+      !db_->InTransaction()) {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(regular_groups.size());
+    for (size_t i = 0; i < regular_groups.size(); ++i) {
+      tasks.push_back([&, i] {
+        statuses[i] = evaluate_group(*regular_groups[i].second, &outcomes[i]);
+      });
+    }
+    pool_->Run(std::move(tasks));
+  } else {
+    for (size_t i = 0; i < regular_groups.size(); ++i) {
+      statuses[i] = evaluate_group(*regular_groups[i].second, &outcomes[i]);
+    }
+  }
+  for (const Status& status : statuses) MDV_RETURN_IF_ERROR(status);
+  if (overflow_group != nullptr) {
+    FilterRunResult overflow_outcome;
+    MDV_RETURN_IF_ERROR(evaluate_group(*overflow_group, &overflow_outcome));
+    outcomes.push_back(std::move(overflow_outcome));
+  }
+  for (FilterRunResult& outcome : outcomes) {
+    for (auto& [rule_id, uris] : outcome.matches) {
+      result.matches[rule_id] = std::move(uris);
+    }
   }
 
   if (AuditInvariantsEnabled()) {

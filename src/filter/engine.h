@@ -3,12 +3,14 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
 #include "filter/rule_store.h"
+#include "filter/work_stealing.h"
 #include "rdbms/database.h"
 #include "rdf/statement.h"
 
@@ -43,6 +45,16 @@ struct FilterOptions {
 
 /// True when MDV_AUDIT_INVARIANTS is set in the environment (read once).
 bool AuditInvariantsEnabled();
+
+/// Construction-time options of the engine.
+struct EngineOptions {
+  /// Size of the work-stealing pool that fans a run out across rule-base
+  /// shards. Effective only when the RuleStore is sharded
+  /// (num_shards > 1); 1 keeps every run on the calling thread. The
+  /// engine also falls back to sequential shard execution inside a
+  /// database transaction (the undo log is not thread-safe).
+  int num_workers = 1;
+};
 
 /// Execution counters of one filter run, exposed for benchmarks and for
 /// observability of the algorithm's behaviour.
@@ -109,13 +121,34 @@ struct FilterRunResult {
 /// MaterializedResults. The run terminates when an iteration produces no
 /// new matches; termination is guaranteed because the dependency graph
 /// is acyclic.
+/// When the rule store is sharded, a run fans out: each regular shard
+/// executes the two-phase algorithm independently over its own table set
+/// and predicate index (in parallel on the work-stealing pool when
+/// `EngineOptions::num_workers` > 1), then the overflow shard — whose
+/// rules may depend on rules of any regular shard — runs last, seeded
+/// with the regular shards' fresh matches. Per-shard results merge
+/// deterministically: matches in stable rule-id order, stats summed
+/// (iterations = max), and the legacy ResultObjects table rewritten with
+/// the run's full match set sorted by (rule_id, uri).
+///
+/// The engine itself is externally synchronized (one Run at a time, no
+/// concurrent RuleStore mutation); parallelism lives strictly inside a
+/// run.
 class FilterEngine {
  public:
-  FilterEngine(rdbms::Database* db, RuleStore* rule_store)
-      : db_(db), store_(rule_store) {}
+  FilterEngine(rdbms::Database* db, RuleStore* rule_store,
+               EngineOptions options = EngineOptions{})
+      : db_(db), store_(rule_store), options_(options) {
+    if (options_.num_workers > 1 && store_->total_shards() > 1) {
+      pool_ = std::make_unique<WorkStealingPool>(options_.num_workers);
+    }
+  }
 
   FilterEngine(const FilterEngine&) = delete;
   FilterEngine& operator=(const FilterEngine&) = delete;
+
+  const RuleStore& rule_store() const { return *store_; }
+  const EngineOptions& engine_options() const { return options_; }
 
   /// Runs the filter with `delta` (the atoms of newly registered or
   /// re-registered documents) as input. The delta atoms must already be
@@ -135,29 +168,54 @@ class FilterEngine {
  private:
   using MatchSet = std::unordered_set<std::string>;
 
-  /// Initial iteration: delta atoms × triggering-rule base. Dispatches
-  /// to the predicate-index or the table-scan path per `options`;
-  /// `stats` receives the index_probes/index_hits/scan_fallbacks
-  /// counters.
-  Status MatchTriggeringRules(const rdf::Statements& delta,
+  /// Fresh matches of the regular shards fed into the overflow pass:
+  /// rule → uris, restricted to rules with a dependent in overflow.
+  using ForeignSeeds = std::map<int64_t, std::vector<std::string>>;
+
+  /// Delta atoms grouped by (class, property), then by value text, with
+  /// subject pointers into the delta (which must outlive the grouping).
+  /// The grouping is shard-independent, so Run builds it once and every
+  /// shard pass probes from the same structure instead of re-grouping
+  /// the delta per shard.
+  using GroupedDelta =
+      std::map<std::pair<std::string, std::string>,
+               std::map<std::string, std::vector<const std::string*>>>;
+  static GroupedDelta GroupDelta(const rdf::Statements& delta);
+
+  /// One shard's two-phase filter pass (the whole algorithm when the
+  /// store is unsharded). Appends matches/iterations/stats into `out`
+  /// (delta_atoms is owned by Run). `foreign_seeds`, non-null only for
+  /// the overflow shard, seeds the join agenda with the regular shards'
+  /// fresh matches; seeded rules drive joins but are excluded from the
+  /// output, the stats and re-materialization.
+  Status RunShard(int shard, const rdf::Statements& delta,
+                  const GroupedDelta& grouped, const FilterOptions& options,
+                  const ForeignSeeds* foreign_seeds, FilterRunResult* out);
+
+  /// Initial iteration: delta atoms × `shard`'s triggering-rule base.
+  /// Dispatches to the predicate-index or the table-scan path per
+  /// `options`; `stats` receives the index_probes/index_hits/
+  /// scan_fallbacks counters.
+  Status MatchTriggeringRules(int shard, const rdf::Statements& delta,
+                              const GroupedDelta& grouped,
                               const FilterOptions& options,
                               FilterRunStats* stats,
                               std::map<int64_t, MatchSet>* current) const;
 
-  /// Index path: delta atoms grouped by (class, property, value), one
-  /// predicate-index probe per distinct group.
-  Status MatchTriggeringRulesIndexed(const rdf::Statements& delta,
+  /// Index path: one predicate-index probe per distinct
+  /// (class, property, value) group of the delta.
+  Status MatchTriggeringRulesIndexed(int shard, const GroupedDelta& grouped,
                                      FilterRunStats* stats,
                                      std::map<int64_t, MatchSet>* current)
       const;
 
   /// Scan path (the seed access path): per atom, probe the FilterRules*
   /// tables and reconvert stored constants row by row (§3.3.4).
-  Status MatchTriggeringRulesScan(const rdf::Statements& delta,
+  Status MatchTriggeringRulesScan(int shard, const rdf::Statements& delta,
                                   FilterRunStats* stats,
                                   std::map<int64_t, MatchSet>* current) const;
 
-  /// All materialized uris of `rule_id`.
+  /// All materialized uris of `rule_id`, read from its owning shard.
   std::vector<std::string> MaterializedOf(int64_t rule_id) const;
 
   /// Values of one join side for resource `uri`: the uri itself when
@@ -173,15 +231,24 @@ class FilterEngine {
                                            const std::string& partner_class)
       const;
 
+  /// Appends to the MaterializedResults table of `rule_id`'s shard.
   Status AppendMaterialized(int64_t rule_id,
                             const std::vector<std::string>& uris);
 
-  /// Mirrors the current iteration's matches into the ResultObjects
+  /// Mirrors the current iteration's matches into `shard`'s ResultObjects
   /// table (Figure 9).
-  Status WriteResultObjects(const std::map<int64_t, MatchSet>& current);
+  Status WriteResultObjects(int shard,
+                            const std::map<int64_t, MatchSet>& current);
+
+  /// Multi-shard runs only: rewrites the legacy ResultObjects table with
+  /// the merged run's full match set in (rule_id, uri) order — the
+  /// deterministic merged artifact the differential tests compare.
+  Status WriteMergedResultObjects(const FilterRunResult& result);
 
   rdbms::Database* db_;
   RuleStore* store_;
+  EngineOptions options_;
+  std::unique_ptr<WorkStealingPool> pool_;  // Set iff workers>1 && sharded.
 };
 
 }  // namespace mdv::filter

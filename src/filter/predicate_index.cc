@@ -334,14 +334,16 @@ Status Violation(const std::string& what) {
 
 }  // namespace
 
-Status PredicateIndex::CheckConsistency(const rdbms::Database& db) const {
+Status PredicateIndex::CheckConsistency(const rdbms::Database& db,
+                                        int shard) const {
   using rdbms::Row;
 
   // ---- Reverse map vs the FilterRules* tables. ------------------------
   // Both sides become multisets of (rule id, canonical entry label); the
   // write-through contract requires them to be identical.
   std::map<int64_t, std::vector<std::string>> expected;
-  const rdbms::Table* cls = db.GetTable(kFilterRulesCLS);
+  const rdbms::Table* cls =
+      db.GetTable(ShardTableName(kFilterRulesCLS, shard));
   if (cls == nullptr) return Violation("FilterRulesCLS table missing");
   cls->Scan([&](rdbms::RowId, const Row& row) {
     expected[row[FilterRulesCols::kRuleId].as_int()].push_back(
@@ -350,7 +352,7 @@ Status PredicateIndex::CheckConsistency(const rdbms::Database& db) const {
                    rdbms::CompareOp::kEq, false, ""));
   });
   for (const OperatorTableInfo& info : OperatorTableInfos()) {
-    const rdbms::Table* table = db.GetTable(info.table);
+    const rdbms::Table* table = db.GetTable(ShardTableName(info.table, shard));
     if (table == nullptr) {
       return Violation(std::string(info.table) + " table missing");
     }

@@ -108,8 +108,10 @@ class PredicateIndex {
   ///  - `NumEntries()` equals the reverse-map population.
   /// Returns Internal naming the first violated invariant. O(rules +
   /// bucket elements); called from tests and, under the
-  /// MDV_AUDIT_INVARIANTS debug flag, after every filter run.
-  Status CheckConsistency(const rdbms::Database& db) const;
+  /// MDV_AUDIT_INVARIANTS debug flag, after every filter run. `shard`
+  /// selects which shard's FilterRules* tables to audit against (a
+  /// sharded RuleStore keeps one PredicateIndex per shard).
+  Status CheckConsistency(const rdbms::Database& db, int shard = 0) const;
 
   struct Bucket {
     /// Sorted by constant; one vector per ordered operator.

@@ -1,5 +1,6 @@
 #include "filter/rule_store.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/logging.h"
@@ -50,68 +51,201 @@ Result<CompareOp> ParseOp(const std::string& text) {
 
 RuleStore::RuleStore(rdbms::Database* db, RuleStoreOptions options)
     : db_(db), options_(options) {
-  // Resume id counters from existing content (e.g. a reopened database).
+  if (options_.num_shards < 1) options_.num_shards = 1;
+  const int total = TotalShardCount(options_.num_shards);
+  indexes_.reserve(static_cast<size_t>(total));
+  for (int shard = 0; shard < total; ++shard) {
+    indexes_.push_back(std::make_unique<PredicateIndex>());
+  }
+  shard_rule_count_.assign(static_cast<size_t>(total), 0);
+
+  // Resume id counters and the routing map from existing content (e.g. a
+  // reopened database). Rows written before sharding existed have no
+  // shard column and default to shard 0.
   const Table* atomic = db_->GetTable(kAtomicRules);
   assert(atomic != nullptr && "filter tables missing; call CreateFilterTables");
   atomic->Scan([&](rdbms::RowId, const Row& row) {
-    next_rule_id_ = std::max(next_rule_id_,
-                             row[AtomicRulesCols::kRuleId].as_int() + 1);
+    int64_t rule_id = row[AtomicRulesCols::kRuleId].as_int();
+    next_rule_id_ = std::max(next_rule_id_, rule_id + 1);
+    int shard = row.size() > AtomicRulesCols::kShard
+                    ? static_cast<int>(row[AtomicRulesCols::kShard].as_int())
+                    : 0;
+    RecordShard(rule_id, shard);
+    type_of_[rule_id] = row[AtomicRulesCols::kType].as_string();
   });
   const Table* groups = db_->GetTable(kRuleGroups);
   groups->Scan([&](rdbms::RowId, const Row& row) {
-    next_group_id_ = std::max(next_group_id_,
-                              row[RuleGroupsCols::kGroupId].as_int() + 1);
+    int64_t group_id = row[RuleGroupsCols::kGroupId].as_int();
+    next_group_id_ = std::max(next_group_id_, group_id + 1);
+    Result<CompareOp> op = ParseOp(row[RuleGroupsCols::kOp].as_string());
+    if (!op.ok()) return;  // GroupSpecOf reports the group as missing.
+    GroupSpec spec;
+    spec.group_id = group_id;
+    spec.left_class = row[RuleGroupsCols::kLeftClass].as_string();
+    spec.right_class = row[RuleGroupsCols::kRightClass].as_string();
+    spec.lhs_property = row[RuleGroupsCols::kLhsProperty].as_string();
+    spec.op = *op;
+    spec.rhs_property = row[RuleGroupsCols::kRhsProperty].as_string();
+    spec.register_side =
+        static_cast<int>(row[RuleGroupsCols::kRegisterSide].as_int());
+    group_spec_of_.emplace(group_id, std::move(spec));
+  });
+  const Table* deps = db_->GetTable(kRuleDependencies);
+  deps->Scan([&](rdbms::RowId, const Row& row) {
+    RecordEdge(row[RuleDependenciesCols::kSource].as_int(),
+               row[RuleDependenciesCols::kTarget].as_int(),
+               static_cast<int>(row[RuleDependenciesCols::kSide].as_int()),
+               row[RuleDependenciesCols::kGroupId].as_int());
   });
 
-  // Rebuild the predicate index from the FilterRules* tables (a fresh
-  // database contributes nothing; a reopened one is re-indexed here).
-  const Table* cls = db_->GetTable(kFilterRulesCLS);
-  cls->Scan([&](rdbms::RowId, const Row& row) {
-    predicate_index_.AddClassRule(row[FilterRulesCols::kRuleId].as_int(),
-                                  row[FilterRulesCols::kClass].as_string());
-  });
-  for (const OperatorTableInfo& info : OperatorTableInfos()) {
-    db_->GetTable(info.table)->Scan([&](rdbms::RowId, const Row& row) {
-      predicate_index_.AddPredicateRule(
-          row[FilterRulesCols::kRuleId].as_int(),
-          row[FilterRulesCols::kClass].as_string(),
-          row[FilterRulesCols::kProperty].as_string(), info.op,
-          row[FilterRulesCols::kValue].as_string(),
-          /*constant_is_number=*/std::string(info.table) == kFilterRulesEQN);
+  // Rebuild the per-shard predicate indexes from the FilterRules* tables
+  // (a fresh database contributes nothing; a reopened one is re-indexed
+  // here).
+  for (int shard = 0; shard < total; ++shard) {
+    PredicateIndex& index = *indexes_[static_cast<size_t>(shard)];
+    const Table* cls = db_->GetTable(ShardTableName(kFilterRulesCLS, shard));
+    cls->Scan([&](rdbms::RowId, const Row& row) {
+      index.AddClassRule(row[FilterRulesCols::kRuleId].as_int(),
+                         row[FilterRulesCols::kClass].as_string());
     });
+    for (const OperatorTableInfo& info : OperatorTableInfos()) {
+      db_->GetTable(ShardTableName(info.table, shard))
+          ->Scan([&](rdbms::RowId, const Row& row) {
+            index.AddPredicateRule(
+                row[FilterRulesCols::kRuleId].as_int(),
+                row[FilterRulesCols::kClass].as_string(),
+                row[FilterRulesCols::kProperty].as_string(), info.op,
+                row[FilterRulesCols::kValue].as_string(),
+                /*constant_is_number=*/std::string(info.table) ==
+                    kFilterRulesEQN);
+          });
+    }
   }
 }
 
-std::optional<int64_t> RuleStore::LookupByText(const std::string& text) const {
+int RuleStore::ShardOf(int64_t rule_id) const {
+  auto it = shard_of_.find(rule_id);
+  return it == shard_of_.end() ? 0 : it->second;
+}
+
+int64_t RuleStore::ShardRuleCount(int shard) const {
+  return shard_rule_count_[static_cast<size_t>(shard)];
+}
+
+void RuleStore::RecordShard(int64_t rule_id, int shard) {
+  if (shard < 0 || shard >= total_shards()) shard = 0;
+  shard_of_[rule_id] = shard;
+  ++shard_rule_count_[static_cast<size_t>(shard)];
+}
+
+void RuleStore::RecordEdge(int64_t source, int64_t target, int side,
+                           int64_t group_id) {
+  dependents_of_[source].push_back(Dependent{target, side, group_id});
+  JoinInputs& inputs = inputs_of_[target];
+  (side == 0 ? inputs.left : inputs.right) = source;
+}
+
+void RuleStore::ForgetEdgesInto(int64_t target) {
+  auto in = inputs_of_.find(target);
+  if (in != inputs_of_.end()) {
+    for (int64_t source : {in->second.left, in->second.right}) {
+      auto it = dependents_of_.find(source);
+      if (it == dependents_of_.end()) continue;
+      std::vector<Dependent>& edges = it->second;
+      edges.erase(std::remove_if(edges.begin(), edges.end(),
+                                 [target](const Dependent& edge) {
+                                   return edge.target == target;
+                                 }),
+                  edges.end());
+      if (edges.empty()) dependents_of_.erase(it);
+    }
+    inputs_of_.erase(in);
+  }
+  dependents_of_.erase(target);
+}
+
+int RuleStore::ShardOfTree(const rules::DecomposedRule& tree) const {
+  if (options_.num_shards <= 1) return 0;
+
+  // External subtrees are already placed; new nodes must colocate with
+  // them so no dependency edge crosses two regular shards. Externals in
+  // two different shards force the tree to the overflow shard — these
+  // are the "rules whose atoms span shards".
+  std::vector<int> external_shards;
+  std::vector<std::string> texts;
+  for (const rules::AtomicRuleNode& node : tree.atoms) {
+    if (node.is_external) {
+      int shard = ShardOf(node.external_rule_id);
+      if (std::find(external_shards.begin(), external_shards.end(), shard) ==
+          external_shards.end()) {
+        external_shards.push_back(shard);
+      }
+    } else if (node.kind == rules::AtomicRuleKind::kTriggering) {
+      texts.push_back(TriggeringRuleText(node.trigger));
+    }
+  }
+  if (external_shards.size() > 1) return overflow_shard();
+  if (external_shards.size() == 1) return external_shards[0];
+
+  // (class, property) affinity refined by the predicate constants: the
+  // canonical triggering texts start with "T|<class>|<property>", so
+  // rules over the same keys cluster, while hashing the full text (with
+  // its constant) still spreads a rule base that concentrates on a
+  // single property across all shards. Sorting makes the fingerprint
+  // independent of decomposition order.
+  std::sort(texts.begin(), texts.end());
+  uint64_t hash = 14695981039346656037ull;  // FNV-1a offset basis.
+  for (const std::string& text : texts) {
+    for (char c : text) {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= 1099511628211ull;
+    }
+    hash ^= 0xffu;  // Atom separator.
+    hash *= 1099511628211ull;
+  }
+  return static_cast<int>(hash % static_cast<uint64_t>(options_.num_shards));
+}
+
+std::optional<int64_t> RuleStore::LookupByText(const std::string& text,
+                                               int shard) const {
   const Table* atomic = db_->GetTable(kAtomicRules);
   std::vector<Row> rows = atomic->SelectRows(
       {ScanCondition{AtomicRulesCols::kText, CompareOp::kEq, Str(text)}});
-  if (rows.empty()) return std::nullopt;
-  return rows[0][AtomicRulesCols::kRuleId].as_int();
+  // The same canonical text may exist in several shards (affinity
+  // routing copies a shared atom per shard); dedup is per shard.
+  for (const Row& row : rows) {
+    int row_shard = row.size() > AtomicRulesCols::kShard
+                        ? static_cast<int>(row[AtomicRulesCols::kShard].as_int())
+                        : 0;
+    if (row_shard == shard) {
+      return row[AtomicRulesCols::kRuleId].as_int();
+    }
+  }
+  return std::nullopt;
 }
 
-Status RuleStore::InsertTriggeringRow(int64_t rule_id,
+Status RuleStore::InsertTriggeringRow(int64_t rule_id, int shard,
                                       const rules::TriggeringSpec& spec) {
+  PredicateIndex& index = *indexes_[static_cast<size_t>(shard)];
   if (!spec.predicate) {
-    Table* cls = db_->GetTable(kFilterRulesCLS);
+    Table* cls = db_->GetTable(ShardTableName(kFilterRulesCLS, shard));
     MDV_ASSIGN_OR_RETURN(rdbms::RowId ignored,
                          cls->Insert({Int(rule_id), Str(spec.class_name)}));
     (void)ignored;
-    predicate_index_.AddClassRule(rule_id, spec.class_name);
+    index.AddClassRule(rule_id, spec.class_name);
     return Status::OK();
   }
   const rules::TriggeringPredicate& pred = *spec.predicate;
   std::string table_name =
       FilterRulesTableFor(pred.op, pred.constant_is_number);
-  Table* table = db_->GetTable(table_name);
+  Table* table = db_->GetTable(ShardTableName(table_name, shard));
   MDV_ASSIGN_OR_RETURN(
       rdbms::RowId ignored,
       table->Insert({Int(rule_id), Str(spec.class_name), Str(pred.property),
                      Str(pred.constant)}));
   (void)ignored;
-  predicate_index_.AddPredicateRule(rule_id, spec.class_name, pred.property,
-                                    pred.op, pred.constant,
-                                    pred.constant_is_number);
+  index.AddPredicateRule(rule_id, spec.class_name, pred.property, pred.op,
+                         pred.constant, pred.constant_is_number);
   return Status::OK();
 }
 
@@ -140,11 +274,20 @@ Result<int64_t> RuleStore::GetOrCreateGroup(const rules::JoinSpec& spec,
                       Str(spec.rhs.property), Int(spec.register_side),
                       Int(1)}));
   (void)ignored;
+  GroupSpec cached;
+  cached.group_id = group_id;
+  cached.left_class = spec.left_class;
+  cached.right_class = spec.right_class;
+  cached.lhs_property = spec.lhs.property;
+  cached.op = spec.op;
+  cached.rhs_property = spec.rhs.property;
+  cached.register_side = spec.register_side;
+  group_spec_of_.emplace(group_id, std::move(cached));
   return group_id;
 }
 
 Result<int64_t> RuleStore::MergeNode(const rules::DecomposedRule& tree,
-                                     int node_index,
+                                     int node_index, int shard,
                                      std::vector<int64_t>* id_of_node,
                                      std::vector<int64_t>* created) {
   if ((*id_of_node)[node_index] >= 0) return (*id_of_node)[node_index];
@@ -160,7 +303,7 @@ Result<int64_t> RuleStore::MergeNode(const rules::DecomposedRule& tree,
   if (node.kind == rules::AtomicRuleKind::kTriggering) {
     std::string text = TriggeringRuleText(node.trigger);
     if (options_.merge_shared_atoms) {
-      if (std::optional<int64_t> existing = LookupByText(text)) {
+      if (std::optional<int64_t> existing = LookupByText(text, shard)) {
         (*id_of_node)[node_index] = *existing;
         return *existing;
       }
@@ -171,10 +314,12 @@ Result<int64_t> RuleStore::MergeNode(const rules::DecomposedRule& tree,
     }
     MDV_ASSIGN_OR_RETURN(
         rdbms::RowId ignored,
-        atomic->Insert(
-            {Int(id), Str("T"), Str(node.type), Str(text), Int(-1), Int(0)}));
+        atomic->Insert({Int(id), Str("T"), Str(node.type), Str(text), Int(-1),
+                        Int(0), Int(shard)}));
     (void)ignored;
-    MDV_RETURN_IF_ERROR(InsertTriggeringRow(id, node.trigger));
+    RecordShard(id, shard);
+    type_of_[id] = node.type;
+    MDV_RETURN_IF_ERROR(InsertTriggeringRow(id, shard, node.trigger));
     if (created != nullptr) created->push_back(id);
     (*id_of_node)[node_index] = id;
     return id;
@@ -182,14 +327,15 @@ Result<int64_t> RuleStore::MergeNode(const rules::DecomposedRule& tree,
 
   // Join rule: merge children first; their global ids are part of the
   // canonical text, so equal subtrees dedup bottom-up.
-  MDV_ASSIGN_OR_RETURN(int64_t left,
-                       MergeNode(tree, node.left_child, id_of_node, created));
+  MDV_ASSIGN_OR_RETURN(
+      int64_t left,
+      MergeNode(tree, node.left_child, shard, id_of_node, created));
   MDV_ASSIGN_OR_RETURN(
       int64_t right,
-      MergeNode(tree, node.right_child, id_of_node, created));
+      MergeNode(tree, node.right_child, shard, id_of_node, created));
   std::string text = JoinRuleText(node.join, left, right);
   if (options_.merge_shared_atoms) {
-    if (std::optional<int64_t> existing = LookupByText(text)) {
+    if (std::optional<int64_t> existing = LookupByText(text, shard)) {
       (*id_of_node)[node_index] = *existing;
       return *existing;
     }
@@ -202,8 +348,10 @@ Result<int64_t> RuleStore::MergeNode(const rules::DecomposedRule& tree,
   MDV_ASSIGN_OR_RETURN(
       rdbms::RowId ignored,
       atomic->Insert({Int(id), Str("J"), Str(node.type), Str(text),
-                      Int(group_id), Int(0)}));
+                      Int(group_id), Int(0), Int(shard)}));
   (void)ignored;
+  RecordShard(id, shard);
+  type_of_[id] = node.type;
 
   // Dependency edges; each edge takes a reference on its source.
   Table* deps = db_->GetTable(kRuleDependencies);
@@ -211,11 +359,13 @@ Result<int64_t> RuleStore::MergeNode(const rules::DecomposedRule& tree,
                        deps->Insert({Int(left), Int(id), Int(0),
                                      Int(group_id)}));
   (void)e1;
+  RecordEdge(left, id, 0, group_id);
   MDV_RETURN_IF_ERROR(AdjustRefcount(left, +1));
   MDV_ASSIGN_OR_RETURN(rdbms::RowId e2,
                        deps->Insert({Int(right), Int(id), Int(1),
                                      Int(group_id)}));
   (void)e2;
+  RecordEdge(right, id, 1, group_id);
   MDV_RETURN_IF_ERROR(AdjustRefcount(right, +1));
 
   if (created != nullptr) created->push_back(id);
@@ -230,8 +380,9 @@ Result<int64_t> RuleStore::RegisterTree(const rules::DecomposedRule& tree,
     return Status::InvalidArgument("empty decomposed rule");
   }
   std::vector<int64_t> id_of_node(tree.atoms.size(), -1);
+  const int shard = ShardOfTree(tree);
   MDV_ASSIGN_OR_RETURN(int64_t end_rule,
-                       MergeNode(tree, tree.root, &id_of_node, created));
+                       MergeNode(tree, tree.root, shard, &id_of_node, created));
   MDV_RETURN_IF_ERROR(AdjustRefcount(end_rule, +1));  // Subscription ref.
   return end_rule;
 }
@@ -328,19 +479,28 @@ Status RuleStore::RemoveRule(int64_t rule_id) {
   Row row = *atomic->Get(ids[0]);
   const bool is_join = row[AtomicRulesCols::kKind].as_string() == "J";
   int64_t group_id = row[AtomicRulesCols::kGroupId].as_int();
+  int shard = row.size() > AtomicRulesCols::kShard
+                  ? static_cast<int>(row[AtomicRulesCols::kShard].as_int())
+                  : 0;
+  if (shard < 0 || shard >= total_shards()) shard = 0;
   MDV_RETURN_IF_ERROR(atomic->Delete(ids[0]));
+  if (shard_of_.erase(rule_id) > 0) {
+    --shard_rule_count_[static_cast<size_t>(shard)];
+  }
+  type_of_.erase(rule_id);
 
-  // Drop the triggering-rule index rows, in the tables and in the
-  // in-memory predicate index.
+  // Drop the triggering-rule index rows, in the owning shard's tables
+  // and in its in-memory predicate index.
   if (!is_join) {
-    Table* cls = db_->GetTable(kFilterRulesCLS);
+    Table* cls = db_->GetTable(ShardTableName(kFilterRulesCLS, shard));
     cls->DeleteWhere({ScanCondition{FilterRulesCols::kRuleId, CompareOp::kEq,
                                     Int(rule_id)}});
     for (const std::string& name : AllOperatorTables()) {
-      db_->GetTable(name)->DeleteWhere({ScanCondition{
-          FilterRulesCols::kRuleId, CompareOp::kEq, Int(rule_id)}});
+      db_->GetTable(ShardTableName(name, shard))
+          ->DeleteWhere({ScanCondition{FilterRulesCols::kRuleId, CompareOp::kEq,
+                                       Int(rule_id)}});
     }
-    predicate_index_.RemoveRule(rule_id);
+    indexes_[static_cast<size_t>(shard)]->RemoveRule(rule_id);
   }
 
   // Release group membership.
@@ -354,6 +514,7 @@ Status RuleStore::RemoveRule(int64_t rule_id) {
       int64_t members = group[RuleGroupsCols::kMemberCount].as_int() - 1;
       if (members <= 0) {
         MDV_RETURN_IF_ERROR(groups->Delete(group_rows[0]));
+        group_spec_of_.erase(group_id);
       } else {
         group[RuleGroupsCols::kMemberCount] = Int(members);
         MDV_RETURN_IF_ERROR(groups->Update(group_rows[0], std::move(group)));
@@ -362,7 +523,7 @@ Status RuleStore::RemoveRule(int64_t rule_id) {
   }
 
   // Drop materialized results of this rule.
-  db_->GetTable(kMaterializedResults)
+  db_->GetTable(ShardTableName(kMaterializedResults, shard))
       ->DeleteWhere(
           {ScanCondition{ResultCols::kRuleId, CompareOp::kEq, Int(rule_id)}});
 
@@ -372,6 +533,7 @@ Status RuleStore::RemoveRule(int64_t rule_id) {
       RuleDependenciesCols::kTarget, CompareOp::kEq, Int(rule_id)}});
   deps->DeleteWhere({ScanCondition{RuleDependenciesCols::kTarget,
                                    CompareOp::kEq, Int(rule_id)}});
+  ForgetEdgesInto(rule_id);
   for (const Row& edge : incoming) {
     MDV_RETURN_IF_ERROR(
         AdjustRefcount(edge[RuleDependenciesCols::kSource].as_int(), -1));
@@ -391,81 +553,173 @@ Status RuleStore::Unregister(int64_t end_rule_id) {
 }
 
 Status RuleStore::CheckConsistency() const {
-  return predicate_index_.CheckConsistency(*db_);
+  // Per-shard: every shard's in-memory index vs its FilterRules* tables.
+  for (int shard = 0; shard < total_shards(); ++shard) {
+    Status status =
+        indexes_[static_cast<size_t>(shard)]->CheckConsistency(*db_, shard);
+    if (!status.ok()) {
+      return Status::Internal("shard " + std::to_string(shard) + ": " +
+                              status.message());
+    }
+  }
+
+  // Cross-shard: every registered rule lives in exactly one shard — its
+  // AtomicRules shard column is in range and agrees with the in-memory
+  // routing map, and the per-shard counts add up to the rule base.
+  std::vector<int64_t> counted(static_cast<size_t>(total_shards()), 0);
+  Status placement = Status::OK();
+  const Table* atomic = db_->GetTable(kAtomicRules);
+  atomic->Scan([&](rdbms::RowId, const Row& row) {
+    if (!placement.ok()) return;
+    int64_t rule_id = row[AtomicRulesCols::kRuleId].as_int();
+    int64_t shard = row.size() > AtomicRulesCols::kShard
+                        ? row[AtomicRulesCols::kShard].as_int()
+                        : 0;
+    if (shard < 0 || shard >= total_shards()) {
+      placement = Status::Internal(
+          "rule " + std::to_string(rule_id) + " placed in shard " +
+          std::to_string(shard) + " of " + std::to_string(total_shards()));
+      return;
+    }
+    ++counted[static_cast<size_t>(shard)];
+    auto it = shard_of_.find(rule_id);
+    if (it == shard_of_.end() || it->second != static_cast<int>(shard)) {
+      placement = Status::Internal(
+          "rule " + std::to_string(rule_id) + " shard column " +
+          std::to_string(shard) + " disagrees with routing map " +
+          std::to_string(it == shard_of_.end() ? -1 : it->second));
+      return;
+    }
+    auto type_it = type_of_.find(rule_id);
+    if (type_it == type_of_.end() ||
+        type_it->second != row[AtomicRulesCols::kType].as_string()) {
+      placement = Status::Internal("rule " + std::to_string(rule_id) +
+                                   " type disagrees with the type cache");
+    }
+  });
+  MDV_RETURN_IF_ERROR(placement);
+  if (shard_of_.size() != atomic->NumRows()) {
+    return Status::Internal(
+        "routing map holds " + std::to_string(shard_of_.size()) +
+        " rules, AtomicRules " + std::to_string(atomic->NumRows()));
+  }
+  for (int shard = 0; shard < total_shards(); ++shard) {
+    if (counted[static_cast<size_t>(shard)] != ShardRuleCount(shard)) {
+      return Status::Internal(
+          "shard " + std::to_string(shard) + " count " +
+          std::to_string(ShardRuleCount(shard)) + " disagrees with table " +
+          std::to_string(counted[static_cast<size_t>(shard)]));
+    }
+  }
+  if (type_of_.size() != atomic->NumRows()) {
+    return Status::Internal("type cache holds " +
+                            std::to_string(type_of_.size()) +
+                            " rules, AtomicRules " +
+                            std::to_string(atomic->NumRows()));
+  }
+
+  // Graph caches: the engine answers DependentsOf/InputsOf/GroupSpecOf
+  // from memory, so every table edge must appear in both adjacency
+  // directions and every group must carry its cached spec.
+  size_t cached_edges = 0;
+  for (const auto& [source, edges] : dependents_of_) {
+    cached_edges += edges.size();
+  }
+  const Table* deps = db_->GetTable(kRuleDependencies);
+  if (cached_edges != deps->NumRows()) {
+    return Status::Internal("dependency cache holds " +
+                            std::to_string(cached_edges) +
+                            " edges, RuleDependencies " +
+                            std::to_string(deps->NumRows()));
+  }
+  Status edges_ok = Status::OK();
+  deps->Scan([&](rdbms::RowId, const Row& row) {
+    if (!edges_ok.ok()) return;
+    const int64_t source = row[RuleDependenciesCols::kSource].as_int();
+    const int64_t target = row[RuleDependenciesCols::kTarget].as_int();
+    const int side =
+        static_cast<int>(row[RuleDependenciesCols::kSide].as_int());
+    const int64_t group_id = row[RuleDependenciesCols::kGroupId].as_int();
+    auto out = dependents_of_.find(source);
+    const bool forward =
+        out != dependents_of_.end() &&
+        std::any_of(out->second.begin(), out->second.end(),
+                    [&](const Dependent& edge) {
+                      return edge.target == target && edge.side == side &&
+                             edge.group_id == group_id;
+                    });
+    auto in = inputs_of_.find(target);
+    const bool backward =
+        in != inputs_of_.end() &&
+        (side == 0 ? in->second.left : in->second.right) == source;
+    if (!forward || !backward) {
+      edges_ok = Status::Internal(
+          "edge " + std::to_string(source) + " -> " + std::to_string(target) +
+          " side " + std::to_string(side) + " missing from the " +
+          (forward ? "inputs" : "dependents") + " cache");
+    }
+  });
+  MDV_RETURN_IF_ERROR(edges_ok);
+  const Table* groups = db_->GetTable(kRuleGroups);
+  if (group_spec_of_.size() != groups->NumRows()) {
+    return Status::Internal("group-spec cache holds " +
+                            std::to_string(group_spec_of_.size()) +
+                            " groups, RuleGroups " +
+                            std::to_string(groups->NumRows()));
+  }
+  Status groups_ok = Status::OK();
+  groups->Scan([&](rdbms::RowId, const Row& row) {
+    if (!groups_ok.ok()) return;
+    const int64_t group_id = row[RuleGroupsCols::kGroupId].as_int();
+    auto it = group_spec_of_.find(group_id);
+    if (it == group_spec_of_.end() ||
+        it->second.left_class != row[RuleGroupsCols::kLeftClass].as_string() ||
+        it->second.right_class !=
+            row[RuleGroupsCols::kRightClass].as_string() ||
+        it->second.register_side !=
+            static_cast<int>(row[RuleGroupsCols::kRegisterSide].as_int())) {
+      groups_ok = Status::Internal("group " + std::to_string(group_id) +
+                                   " disagrees with the group-spec cache");
+    }
+  });
+  return groups_ok;
 }
 
-std::vector<RuleStore::Dependent> RuleStore::DependentsOf(
+const std::vector<RuleStore::Dependent>& RuleStore::DependentsOf(
     int64_t source_rule_id) const {
-  const Table* deps = db_->GetTable(kRuleDependencies);
-  std::vector<Row> rows = deps->SelectRows({ScanCondition{
-      RuleDependenciesCols::kSource, CompareOp::kEq, Int(source_rule_id)}});
-  std::vector<Dependent> out;
-  out.reserve(rows.size());
-  for (const Row& row : rows) {
-    out.push_back(Dependent{
-        row[RuleDependenciesCols::kTarget].as_int(),
-        static_cast<int>(row[RuleDependenciesCols::kSide].as_int()),
-        row[RuleDependenciesCols::kGroupId].as_int()});
-  }
-  return out;
+  static const std::vector<Dependent>& empty = *new std::vector<Dependent>();
+  auto it = dependents_of_.find(source_rule_id);
+  return it == dependents_of_.end() ? empty : it->second;
 }
 
 Result<RuleStore::JoinInputs> RuleStore::InputsOf(int64_t join_rule_id) const {
-  const Table* deps = db_->GetTable(kRuleDependencies);
-  std::vector<Row> rows = deps->SelectRows({ScanCondition{
-      RuleDependenciesCols::kTarget, CompareOp::kEq, Int(join_rule_id)}});
-  JoinInputs inputs;
-  for (const Row& row : rows) {
-    if (row[RuleDependenciesCols::kSide].as_int() == 0) {
-      inputs.left = row[RuleDependenciesCols::kSource].as_int();
-    } else {
-      inputs.right = row[RuleDependenciesCols::kSource].as_int();
-    }
-  }
-  if (inputs.left < 0 || inputs.right < 0) {
+  auto it = inputs_of_.find(join_rule_id);
+  if (it == inputs_of_.end() || it->second.left < 0 || it->second.right < 0) {
     return Status::Internal("join rule " + std::to_string(join_rule_id) +
                             " has incomplete dependency edges");
   }
-  return inputs;
+  return it->second;
 }
 
 Result<RuleStore::GroupSpec> RuleStore::GroupSpecOf(int64_t group_id) const {
-  const Table* groups = db_->GetTable(kRuleGroups);
-  std::vector<Row> rows = groups->SelectRows(
-      {ScanCondition{RuleGroupsCols::kGroupId, CompareOp::kEq,
-                     Int(group_id)}});
-  if (rows.empty()) {
+  auto it = group_spec_of_.find(group_id);
+  if (it == group_spec_of_.end()) {
     return Status::NotFound("rule group " + std::to_string(group_id));
   }
-  const Row& row = rows[0];
-  GroupSpec spec;
-  spec.group_id = group_id;
-  spec.left_class = row[RuleGroupsCols::kLeftClass].as_string();
-  spec.right_class = row[RuleGroupsCols::kRightClass].as_string();
-  spec.lhs_property = row[RuleGroupsCols::kLhsProperty].as_string();
-  MDV_ASSIGN_OR_RETURN(spec.op,
-                       ParseOp(row[RuleGroupsCols::kOp].as_string()));
-  spec.rhs_property = row[RuleGroupsCols::kRhsProperty].as_string();
-  spec.register_side =
-      static_cast<int>(row[RuleGroupsCols::kRegisterSide].as_int());
-  return spec;
+  return it->second;
 }
 
 Result<std::string> RuleStore::RuleTypeOf(int64_t rule_id) const {
-  const Table* atomic = db_->GetTable(kAtomicRules);
-  std::vector<Row> rows = atomic->SelectRows(
-      {ScanCondition{AtomicRulesCols::kRuleId, CompareOp::kEq, Int(rule_id)}});
-  if (rows.empty()) {
+  auto it = type_of_.find(rule_id);
+  if (it == type_of_.end()) {
     return Status::NotFound("atomic rule " + std::to_string(rule_id));
   }
-  return rows[0][AtomicRulesCols::kType].as_string();
+  return it->second;
 }
 
 bool RuleStore::HasDependents(int64_t rule_id) const {
-  const Table* deps = db_->GetTable(kRuleDependencies);
-  return !deps->SelectRowIds({ScanCondition{RuleDependenciesCols::kSource,
-                                            CompareOp::kEq, Int(rule_id)}})
-              .empty();
+  auto it = dependents_of_.find(rule_id);
+  return it != dependents_of_.end() && !it->second.empty();
 }
 
 size_t RuleStore::NumAtomicRules() const {

@@ -37,8 +37,18 @@ TableSchema RulesTableSchema(const std::string& name) {
 
 }  // namespace
 
+int TotalShardCount(int num_shards) {
+  return num_shards > 1 ? num_shards + 1 : 1;
+}
+
+std::string ShardTableName(const std::string& base, int shard) {
+  if (shard == 0) return base;
+  return base + "@s" + std::to_string(shard);
+}
+
 Status CreateFilterTables(rdbms::Database* db, const TableOptions& options) {
   const bool ix = options.create_indexes;
+  const int total_shards = TotalShardCount(options.num_shards);
 
   // Document atoms (Figure 4). The uri index supports purging a
   // resource's atoms and resolving property values during join
@@ -64,7 +74,8 @@ Status CreateFilterTables(rdbms::Database* db, const TableOptions& options) {
                                  ColumnDef{"type", ColumnType::kString},
                                  ColumnDef{"text", ColumnType::kString},
                                  ColumnDef{"group_id", ColumnType::kInt64},
-                                 ColumnDef{"refcount", ColumnType::kInt64}}),
+                                 ColumnDef{"refcount", ColumnType::kInt64},
+                                 ColumnDef{"shard", ColumnType::kInt64}}),
       {{"rule_id", IndexKind::kHash}, {"text", IndexKind::kHash}}, ix));
 
   MDV_RETURN_IF_ERROR(CreateTableWithIndexes(
@@ -90,48 +101,54 @@ Status CreateFilterTables(rdbms::Database* db, const TableOptions& options) {
                    ColumnDef{"member_count", ColumnType::kInt64}}),
       {{"group_id", IndexKind::kHash}, {"key", IndexKind::kHash}}, ix));
 
-  // Per-iteration filter step output (Figure 9) and the materialized
-  // results of atomic rules that join rules depend on (§3.4).
-  MDV_RETURN_IF_ERROR(CreateTableWithIndexes(
-      db,
-      TableSchema(kResultObjects,
-                  {ColumnDef{"uri_reference", ColumnType::kString},
-                   ColumnDef{"rule_id", ColumnType::kInt64}}),
-      {{"rule_id", IndexKind::kHash}}, ix));
+  // Per-rule tables are materialized once per shard (shard 0 keeps the
+  // legacy unsuffixed names). The rule-base tables above stay global:
+  // the dependency graph and groups span shards.
+  for (int shard = 0; shard < total_shards; ++shard) {
+    // Per-iteration filter step output (Figure 9) and the materialized
+    // results of atomic rules that join rules depend on (§3.4).
+    MDV_RETURN_IF_ERROR(CreateTableWithIndexes(
+        db,
+        TableSchema(ShardTableName(kResultObjects, shard),
+                    {ColumnDef{"uri_reference", ColumnType::kString},
+                     ColumnDef{"rule_id", ColumnType::kInt64}}),
+        {{"rule_id", IndexKind::kHash}}, ix));
 
-  MDV_RETURN_IF_ERROR(CreateTableWithIndexes(
-      db,
-      TableSchema(kMaterializedResults,
-                  {ColumnDef{"uri_reference", ColumnType::kString},
-                   ColumnDef{"rule_id", ColumnType::kInt64}}),
-      {{"uri_reference", IndexKind::kHash}, {"rule_id", IndexKind::kHash}},
-      ix));
+    MDV_RETURN_IF_ERROR(CreateTableWithIndexes(
+        db,
+        TableSchema(ShardTableName(kMaterializedResults, shard),
+                    {ColumnDef{"uri_reference", ColumnType::kString},
+                     ColumnDef{"rule_id", ColumnType::kInt64}}),
+        {{"uri_reference", IndexKind::kHash}, {"rule_id", IndexKind::kHash}},
+        ix));
 
-  // Triggering rules without a predicate: matched purely by class. The
-  // rule_id index supports unregistration and initial evaluation of new
-  // subscriptions.
-  MDV_RETURN_IF_ERROR(CreateTableWithIndexes(
-      db,
-      TableSchema(kFilterRulesCLS, {ColumnDef{"rule_id", ColumnType::kInt64},
-                                    ColumnDef{"class", ColumnType::kString}}),
-      {{"class", IndexKind::kHash}, {"rule_id", IndexKind::kHash}}, ix));
+    // Triggering rules without a predicate: matched purely by class. The
+    // rule_id index supports unregistration and initial evaluation of new
+    // subscriptions.
+    MDV_RETURN_IF_ERROR(CreateTableWithIndexes(
+        db,
+        TableSchema(ShardTableName(kFilterRulesCLS, shard),
+                    {ColumnDef{"rule_id", ColumnType::kInt64},
+                     ColumnDef{"class", ColumnType::kString}}),
+        {{"class", IndexKind::kHash}, {"rule_id", IndexKind::kHash}}, ix));
 
-  // Triggering rules with an operator predicate, one table per operator
-  // (Figure 8). Values are stored as strings and reconverted (§3.3.4).
-  // String-equality rules index the value column so that a delta atom
-  // finds its rules with one point lookup (this is what makes OID rules
-  // independent of the rule base size, Figure 11); the ordered-operator
-  // tables are probed by property.
-  for (const std::string& name : AllOperatorTables()) {
-    std::vector<std::pair<std::string, IndexKind>> indexes;
-    if (name == kFilterRulesEQS) {
-      indexes = {{"value", IndexKind::kHash}};
-    } else {
-      indexes = {{"property", IndexKind::kHash}};
+    // Triggering rules with an operator predicate, one table per operator
+    // (Figure 8). Values are stored as strings and reconverted (§3.3.4).
+    // String-equality rules index the value column so that a delta atom
+    // finds its rules with one point lookup (this is what makes OID rules
+    // independent of the rule base size, Figure 11); the ordered-operator
+    // tables are probed by property.
+    for (const std::string& name : AllOperatorTables()) {
+      std::vector<std::pair<std::string, IndexKind>> indexes;
+      if (name == kFilterRulesEQS) {
+        indexes = {{"value", IndexKind::kHash}};
+      } else {
+        indexes = {{"property", IndexKind::kHash}};
+      }
+      indexes.emplace_back("rule_id", IndexKind::kHash);
+      MDV_RETURN_IF_ERROR(CreateTableWithIndexes(
+          db, RulesTableSchema(ShardTableName(name, shard)), indexes, ix));
     }
-    indexes.emplace_back("rule_id", IndexKind::kHash);
-    MDV_RETURN_IF_ERROR(
-        CreateTableWithIndexes(db, RulesTableSchema(name), indexes, ix));
   }
   return Status::OK();
 }

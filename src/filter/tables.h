@@ -35,9 +35,24 @@ inline constexpr char kFilterRulesCON[] = "FilterRulesCON";
 /// Physical-design knobs (§3.3.4 stresses that the filter tables are
 /// "created with indexes supporting an efficient access"). The ablation
 /// bench toggles `create_indexes` off to quantify that claim.
+/// `num_shards` partitions the per-rule tables (FilterRules*,
+/// MaterializedResults, ResultObjects) into that many shards plus one
+/// overflow shard for rules whose triggering atoms span shards; 1 keeps
+/// the single-table layout of the paper.
 struct TableOptions {
   bool create_indexes = true;
+  int num_shards = 1;
 };
+
+/// Number of table sets CreateFilterTables materializes for `num_shards`
+/// regular shards: the shards themselves plus, when sharding is on, the
+/// overflow shard (index == num_shards).
+int TotalShardCount(int num_shards);
+
+/// Physical name of `base`'s table in `shard`. Shard 0 keeps the legacy
+/// unsuffixed name (so the single-shard layout is byte-identical to the
+/// paper's), other shards append "@s<k>".
+std::string ShardTableName(const std::string& base, int shard);
 
 /// Creates all filter tables (with their indexes) in `db`. Idempotent
 /// per database: AlreadyExists if called twice.
@@ -86,9 +101,12 @@ struct AtomicRulesCols {
   static constexpr size_t kRuleId = 0;
   static constexpr size_t kKind = 1;      // "T" or "J".
   static constexpr size_t kType = 2;      // Class the rule registers.
-  static constexpr size_t kText = 3;      // Canonical rule text (unique).
+  static constexpr size_t kText = 3;      // Canonical rule text (unique
+                                          // within a shard).
   static constexpr size_t kGroupId = 4;   // -1 for triggering rules.
   static constexpr size_t kRefcount = 5;
+  static constexpr size_t kShard = 6;     // Shard owning the rule's
+                                          // FilterRules*/Materialized rows.
 };
 
 /// Column positions of RuleDependencies (source feeds target).

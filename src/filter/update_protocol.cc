@@ -64,7 +64,8 @@ Result<UpdateOutcome> ApplyDocumentUpdate(rdbms::Database* db,
 
   // ---- Write the modified metadata; purge stale materializations. -----
   MDV_RETURN_IF_ERROR(RemoveResourceAtoms(db, changed));
-  MDV_RETURN_IF_ERROR(PurgeMaterialized(db, outcome.candidates.matches));
+  MDV_RETURN_IF_ERROR(PurgeMaterialized(db, engine->rule_store(),
+                                        outcome.candidates.matches));
 
   rdf::Statements new_delta;
   {

@@ -1,0 +1,95 @@
+#include "filter/work_stealing.h"
+
+#include <memory>
+#include <utility>
+
+namespace mdv::filter {
+
+WorkStealingPool::WorkStealingPool(int num_workers) {
+  if (num_workers < 1) num_workers = 1;
+  queues_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  workers_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(static_cast<size_t>(i)); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void WorkStealingPool::Run(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (tasks.size() == 1 || workers_.size() == 1) {
+    for (auto& task : tasks) task();
+    return;
+  }
+  // Counters first: a worker still draining the previous batch may take
+  // a freshly pushed task before Run() reaches the wait below, and its
+  // decrements must already be covered.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queued_ = tasks.size();
+    pending_ = tasks.size();
+  }
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    Queue& q = *queues_[i % queues_.size()];
+    std::lock_guard<std::mutex> lock(q.mu);
+    q.tasks.push_back(std::move(tasks[i]));
+  }
+  wake_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+bool WorkStealingPool::TryTakeTask(size_t self, std::function<void()>* task) {
+  {  // Own queue: LIFO end, keeps the locally hot task local.
+    Queue& own = *queues_[self];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      *task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      return true;
+    }
+  }
+  // Steal: FIFO end of the other queues, oldest (largest remaining) first.
+  for (size_t offset = 1; offset < queues_.size(); ++offset) {
+    Queue& victim = *queues_[(self + offset) % queues_.size()];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.tasks.empty()) {
+      *task = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void WorkStealingPool::WorkerLoop(size_t self) {
+  for (;;) {
+    std::function<void()> task;
+    if (TryTakeTask(self, &task)) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        --queued_;
+      }
+      task();
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) done_.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    wake_.wait(lock, [this] { return shutdown_ || queued_ > 0; });
+    if (shutdown_) return;
+  }
+}
+
+}  // namespace mdv::filter

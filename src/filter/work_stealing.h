@@ -1,0 +1,66 @@
+#ifndef MDV_FILTER_WORK_STEALING_H_
+#define MDV_FILTER_WORK_STEALING_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mdv::filter {
+
+/// A fixed pool of worker threads with per-worker task deques and work
+/// stealing: each worker pops from the back of its own deque and, when
+/// empty, steals from the front of a victim's. The filter engine uses it
+/// to fan a publish batch out across rule-base shards — shard runtimes
+/// are skewed (the delta rarely touches all shards equally), so idle
+/// workers steal the tail instead of waiting at a static partition.
+///
+/// The pool executes one batch at a time: Run() distributes the tasks
+/// round-robin, wakes the workers, and blocks until every task has
+/// finished. Tasks must not call Run() recursively. Exceptions must not
+/// escape tasks (the filter reports failures through Status values).
+class WorkStealingPool {
+ public:
+  /// Spawns `num_workers` (at least 1) threads; they idle until Run().
+  explicit WorkStealingPool(int num_workers);
+
+  /// Joins the workers. Must not be called while Run() is in flight.
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Executes all `tasks` on the pool and returns when the last one has
+  /// completed. Serial fallback (caller thread) when the pool has one
+  /// worker or there is at most one task.
+  void Run(std::vector<std::function<void()>> tasks);
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t self);
+  /// Pops from own back, else steals from another queue's front.
+  bool TryTakeTask(size_t self, std::function<void()>* task);
+
+  std::vector<std::unique_ptr<Queue>> queues_;  // One per worker.
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;                  // Guards the batch state below.
+  std::condition_variable wake_;   // Workers wait for queued work.
+  std::condition_variable done_;   // Run() waits for pending_ == 0.
+  size_t queued_ = 0;              // Tasks pushed but not yet taken.
+  size_t pending_ = 0;             // Tasks not yet finished in this batch.
+  bool shutdown_ = false;
+};
+
+}  // namespace mdv::filter
+
+#endif  // MDV_FILTER_WORK_STEALING_H_

@@ -43,15 +43,20 @@ void StampTrace(std::vector<pubsub::Notification>* notes,
 
 MetadataProvider::MetadataProvider(const rdf::RdfSchema* schema,
                                    Network* network,
-                                   filter::RuleStoreOptions rule_options)
+                                   filter::RuleStoreOptions rule_options,
+                                   filter::EngineOptions engine_options)
     : schema_(schema), network_(network), rule_options_(rule_options),
+      engine_options_(engine_options),
       sender_id_(network->RegisterSender()),
       db_(std::make_unique<rdbms::Database>()) {
-  Status st = filter::CreateFilterTables(db_.get());
+  filter::TableOptions table_options;
+  table_options.num_shards = rule_options.num_shards;
+  Status st = filter::CreateFilterTables(db_.get(), table_options);
   (void)st;  // Fresh database; cannot fail.
   rule_store_ = std::make_unique<filter::RuleStore>(db_.get(), rule_options);
-  engine_ =
-      std::make_unique<filter::FilterEngine>(db_.get(), rule_store_.get());
+  engine_ = std::make_unique<filter::FilterEngine>(db_.get(),
+                                                   rule_store_.get(),
+                                                   engine_options_);
   publisher_ = std::make_unique<pubsub::Publisher>(
       schema_, &registry_, [this](const std::string& uri_reference) {
         return documents_.FindResource(uri_reference);
@@ -81,42 +86,48 @@ Status MetadataProvider::RegisterDocumentBatchInternal(
   obs::ScopedSpan span("mdp.publish", &metrics.publish_us);
   span.AddAttribute("documents", static_cast<int64_t>(docs.size()));
   span.AddAttribute("origin", origin == Origin::kClient ? "client" : "peer");
-  for (const rdf::RdfDocument& doc : docs) {
-    MDV_RETURN_IF_ERROR(schema_->ValidateDocument(doc));
-    if (documents_.Find(doc.uri()) != nullptr) {
-      return Status::AlreadyExists("document " + doc.uri() +
-                                   "; use UpdateDocument to re-register");
-    }
-  }
   // Keep copies for backbone replication before moving into the store.
   std::vector<rdf::RdfDocument> replicas;
-  if (origin == Origin::kClient && !peers_.empty()) {
-    replicas = docs;
-  }
-  std::vector<std::string> uris;
-  uris.reserve(docs.size());
-  for (rdf::RdfDocument& doc : docs) {
-    uris.push_back(doc.uri());
-    MDV_RETURN_IF_ERROR(documents_.Add(std::move(doc)));
-  }
-  std::vector<const rdf::RdfDocument*> doc_ptrs;
-  doc_ptrs.reserve(uris.size());
-  for (const std::string& uri : uris) {
-    doc_ptrs.push_back(documents_.Find(uri));
+  {
+    std::lock_guard<std::mutex> lock(api_mu_);
+    for (const rdf::RdfDocument& doc : docs) {
+      MDV_RETURN_IF_ERROR(schema_->ValidateDocument(doc));
+      if (documents_.Find(doc.uri()) != nullptr) {
+        return Status::AlreadyExists("document " + doc.uri() +
+                                     "; use UpdateDocument to re-register");
+      }
+    }
+    if (origin == Origin::kClient && !peers_.empty()) {
+      replicas = docs;
+    }
+    std::vector<std::string> uris;
+    uris.reserve(docs.size());
+    for (rdf::RdfDocument& doc : docs) {
+      uris.push_back(doc.uri());
+      MDV_RETURN_IF_ERROR(documents_.Add(std::move(doc)));
+    }
+    std::vector<const rdf::RdfDocument*> doc_ptrs;
+    doc_ptrs.reserve(uris.size());
+    for (const std::string& uri : uris) {
+      doc_ptrs.push_back(documents_.Find(uri));
+    }
+
+    MDV_ASSIGN_OR_RETURN(filter::FilterRunResult result,
+                         filter::RegisterDocuments(db_.get(), engine_.get(),
+                                                   doc_ptrs));
+    last_iterations_ = result.iterations;
+
+    MDV_ASSIGN_OR_RETURN(std::vector<pubsub::Notification> notes,
+                         publisher_->PublishNewMatches(result));
+    StampTrace(&notes, span.context());
+    span.AddAttribute("notifications", static_cast<int64_t>(notes.size()));
+    network_->DeliverAll(notes, sender_id_);
+    metrics.registered.Add(static_cast<int64_t>(docs.size()));
   }
 
-  MDV_ASSIGN_OR_RETURN(filter::FilterRunResult result,
-                       filter::RegisterDocuments(db_.get(), engine_.get(),
-                                                 doc_ptrs));
-  last_iterations_ = result.iterations;
-
-  MDV_ASSIGN_OR_RETURN(std::vector<pubsub::Notification> notes,
-                       publisher_->PublishNewMatches(result));
-  StampTrace(&notes, span.context());
-  span.AddAttribute("notifications", static_cast<int64_t>(notes.size()));
-  network_->DeliverAll(notes, sender_id_);
-  metrics.registered.Add(static_cast<int64_t>(docs.size()));
-
+  // Replicate outside the mutex: peers serialize on their own, and two
+  // mutually-peered MDPs holding their locks while forwarding would
+  // deadlock.
   if (origin == Origin::kClient) {
     for (MetadataProvider* peer : peers_) {
       MDV_RETURN_IF_ERROR(
@@ -139,42 +150,45 @@ Status MetadataProvider::UpdateDocumentInternal(rdf::RdfDocument document,
   MdpMetrics& metrics = MdpMetrics::Get();
   obs::ScopedSpan span("mdp.update", &metrics.update_us);
   span.AddAttribute("uri", document.uri());
-  MDV_RETURN_IF_ERROR(schema_->ValidateDocument(document));
-  const rdf::RdfDocument* original = documents_.Find(document.uri());
-  if (original == nullptr) {
-    return Status::NotFound("document " + document.uri() +
-                            "; register it first");
-  }
-  rdf::RdfDocument original_copy = *original;
   rdf::RdfDocument updated_copy = document;
+  {
+    std::lock_guard<std::mutex> lock(api_mu_);
+    MDV_RETURN_IF_ERROR(schema_->ValidateDocument(document));
+    const rdf::RdfDocument* original = documents_.Find(document.uri());
+    if (original == nullptr) {
+      return Status::NotFound("document " + document.uri() +
+                              "; register it first");
+    }
+    rdf::RdfDocument original_copy = *original;
 
-  // Replace the stored document before publishing so the publisher's
-  // resource resolver sees the new versions.
-  MDV_RETURN_IF_ERROR(documents_.Replace(std::move(document)));
+    // Replace the stored document before publishing so the publisher's
+    // resource resolver sees the new versions.
+    MDV_RETURN_IF_ERROR(documents_.Replace(std::move(document)));
 
-  // The three filter passes mutate FilterData and MaterializedResults;
-  // run them transactionally so a mid-protocol failure leaves the filter
-  // state (and the document store) untouched.
-  MDV_RETURN_IF_ERROR(db_->BeginTransaction());
-  Result<filter::UpdateOutcome> protocol = filter::ApplyDocumentUpdate(
-      db_.get(), engine_.get(), original_copy, updated_copy);
-  if (!protocol.ok()) {
-    Status rollback = db_->RollbackTransaction();
-    (void)rollback;
-    Status restore = documents_.Replace(original_copy);
-    (void)restore;
-    return protocol.status();
+    // The three filter passes mutate FilterData and MaterializedResults;
+    // run them transactionally so a mid-protocol failure leaves the
+    // filter state (and the document store) untouched.
+    MDV_RETURN_IF_ERROR(db_->BeginTransaction());
+    Result<filter::UpdateOutcome> protocol = filter::ApplyDocumentUpdate(
+        db_.get(), engine_.get(), original_copy, updated_copy);
+    if (!protocol.ok()) {
+      Status rollback = db_->RollbackTransaction();
+      (void)rollback;
+      Status restore = documents_.Replace(original_copy);
+      (void)restore;
+      return protocol.status();
+    }
+    MDV_RETURN_IF_ERROR(db_->CommitTransaction());
+    filter::UpdateOutcome outcome = std::move(protocol).value();
+    last_iterations_ = outcome.new_matches.iterations;
+
+    MDV_ASSIGN_OR_RETURN(std::vector<pubsub::Notification> notes,
+                         publisher_->PublishUpdateOutcome(outcome));
+    StampTrace(&notes, span.context());
+    span.AddAttribute("notifications", static_cast<int64_t>(notes.size()));
+    network_->DeliverAll(notes, sender_id_);
+    metrics.updated.Increment();
   }
-  MDV_RETURN_IF_ERROR(db_->CommitTransaction());
-  filter::UpdateOutcome outcome = std::move(protocol).value();
-  last_iterations_ = outcome.new_matches.iterations;
-
-  MDV_ASSIGN_OR_RETURN(std::vector<pubsub::Notification> notes,
-                       publisher_->PublishUpdateOutcome(outcome));
-  StampTrace(&notes, span.context());
-  span.AddAttribute("notifications", static_cast<int64_t>(notes.size()));
-  network_->DeliverAll(notes, sender_id_);
-  metrics.updated.Increment();
 
   if (origin == Origin::kClient) {
     for (MetadataProvider* peer : peers_) {
@@ -190,33 +204,37 @@ Status MetadataProvider::DeleteDocumentInternal(const std::string& uri,
   MdpMetrics& metrics = MdpMetrics::Get();
   obs::ScopedSpan span("mdp.delete", &metrics.delete_us);
   span.AddAttribute("uri", uri);
-  const rdf::RdfDocument* original = documents_.Find(uri);
-  if (original == nullptr) {
-    return Status::NotFound("document " + uri);
-  }
-  rdf::RdfDocument original_copy = *original;
-  MDV_RETURN_IF_ERROR(documents_.Remove(uri));
+  {
+    std::lock_guard<std::mutex> lock(api_mu_);
+    const rdf::RdfDocument* original = documents_.Find(uri);
+    if (original == nullptr) {
+      return Status::NotFound("document " + uri);
+    }
+    rdf::RdfDocument original_copy = *original;
+    MDV_RETURN_IF_ERROR(documents_.Remove(uri));
 
-  MDV_RETURN_IF_ERROR(db_->BeginTransaction());
-  Result<filter::UpdateOutcome> protocol =
-      filter::ApplyDocumentDeletion(db_.get(), engine_.get(), original_copy);
-  if (!protocol.ok()) {
-    Status rollback = db_->RollbackTransaction();
-    (void)rollback;
-    Status restore = documents_.Add(original_copy);
-    (void)restore;
-    return protocol.status();
-  }
-  MDV_RETURN_IF_ERROR(db_->CommitTransaction());
-  filter::UpdateOutcome outcome = std::move(protocol).value();
-  last_iterations_ = outcome.new_matches.iterations;
+    MDV_RETURN_IF_ERROR(db_->BeginTransaction());
+    Result<filter::UpdateOutcome> protocol =
+        filter::ApplyDocumentDeletion(db_.get(), engine_.get(),
+                                      original_copy);
+    if (!protocol.ok()) {
+      Status rollback = db_->RollbackTransaction();
+      (void)rollback;
+      Status restore = documents_.Add(original_copy);
+      (void)restore;
+      return protocol.status();
+    }
+    MDV_RETURN_IF_ERROR(db_->CommitTransaction());
+    filter::UpdateOutcome outcome = std::move(protocol).value();
+    last_iterations_ = outcome.new_matches.iterations;
 
-  MDV_ASSIGN_OR_RETURN(std::vector<pubsub::Notification> notes,
-                       publisher_->PublishUpdateOutcome(outcome));
-  StampTrace(&notes, span.context());
-  span.AddAttribute("notifications", static_cast<int64_t>(notes.size()));
-  network_->DeliverAll(notes, sender_id_);
-  metrics.deleted.Increment();
+    MDV_ASSIGN_OR_RETURN(std::vector<pubsub::Notification> notes,
+                         publisher_->PublishUpdateOutcome(outcome));
+    StampTrace(&notes, span.context());
+    span.AddAttribute("notifications", static_cast<int64_t>(notes.size()));
+    network_->DeliverAll(notes, sender_id_);
+    metrics.deleted.Increment();
+  }
 
   if (origin == Origin::kClient) {
     for (MetadataProvider* peer : peers_) {
@@ -231,6 +249,7 @@ Result<pubsub::SubscriptionId> MetadataProvider::Subscribe(
   MdpMetrics& metrics = MdpMetrics::Get();
   obs::ScopedSpan span("mdp.subscribe", &metrics.subscribe_us);
   span.AddAttribute("lmr", static_cast<int64_t>(lmr));
+  std::lock_guard<std::mutex> lock(api_mu_);
   // Extensions may name other subscriptions registered here (§2.3).
   auto extension_resolver =
       [this](const std::string& ext) -> std::optional<std::string> {
@@ -292,6 +311,7 @@ Result<pubsub::SubscriptionId> MetadataProvider::Subscribe(
 
 Result<pubsub::Notification> MetadataProvider::SnapshotSubscription(
     pubsub::SubscriptionId subscription) {
+  std::lock_guard<std::mutex> lock(api_mu_);
   const pubsub::Subscription* sub = registry_.Find(subscription);
   if (sub == nullptr) {
     return Status::NotFound("subscription " + std::to_string(subscription));
@@ -320,6 +340,7 @@ Result<pubsub::Notification> MetadataProvider::SnapshotSubscription(
 }
 
 Status MetadataProvider::Unsubscribe(pubsub::SubscriptionId subscription) {
+  std::lock_guard<std::mutex> lock(api_mu_);
   MDV_ASSIGN_OR_RETURN(pubsub::Subscription removed,
                        registry_.Remove(subscription));
   return rule_store_->Unregister(removed.end_rule_id);
@@ -327,6 +348,7 @@ Status MetadataProvider::Unsubscribe(pubsub::SubscriptionId subscription) {
 
 Result<std::vector<std::string>> MetadataProvider::Browse(
     std::string_view rule_text) {
+  std::lock_guard<std::mutex> lock(api_mu_);
   MDV_ASSIGN_OR_RETURN(rules::CompiledRule compiled,
                        rules::CompileRule(rule_text, *schema_));
   std::vector<int64_t> created;
@@ -351,6 +373,7 @@ Result<std::vector<std::string>> MetadataProvider::Browse(
 
 
 Status MetadataProvider::SaveSnapshot(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(api_mu_);
   out << "MDVSNAP1\n";
   out << "DATABASE\n";
   MDV_RETURN_IF_ERROR(rdbms::SaveDatabase(*db_, out));
@@ -374,6 +397,7 @@ Status MetadataProvider::SaveSnapshot(std::ostream& out) const {
 }
 
 Status MetadataProvider::LoadSnapshot(std::istream& in) {
+  std::lock_guard<std::mutex> lock(api_mu_);
   std::string line;
   if (!std::getline(in, line) || line != "MDVSNAP1") {
     return Status::ParseError("missing snapshot header");
@@ -451,12 +475,14 @@ Status MetadataProvider::LoadSnapshot(std::istream& in) {
   documents_ = std::move(documents);
   registry_ = std::move(registry);
   rule_store_ = std::make_unique<filter::RuleStore>(db_.get(), rule_options_);
-  engine_ =
-      std::make_unique<filter::FilterEngine>(db_.get(), rule_store_.get());
+  engine_ = std::make_unique<filter::FilterEngine>(db_.get(),
+                                                   rule_store_.get(),
+                                                   engine_options_);
   return Status::OK();
 }
 
 void MetadataProvider::AddPeer(MetadataProvider* peer) {
+  std::lock_guard<std::mutex> lock(api_mu_);
   peers_.push_back(peer);
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -28,11 +29,21 @@ namespace mdv {
 /// algorithm on every change; and publishes the outcome to subscribed
 /// LMRs over the (simulated) network. MDPs replicate registrations to
 /// their backbone peers (flat hierarchy, full replication).
+///
+/// The public entry points are thread-safe: one internal mutex
+/// serializes all local work (parallelism lives *inside* a filter run,
+/// across rule-base shards — see EngineOptions::num_workers). Backbone
+/// replication to peers runs outside the mutex, so mutually-peered MDPs
+/// cannot deadlock; peers serialize on their own mutex.
 class MetadataProvider {
  public:
   /// `schema` and `network` must outlive the provider.
+  /// `rule_options.num_shards` selects the sharded filter-table layout;
+  /// `engine_options.num_workers` sizes the work-stealing pool that fans
+  /// filter runs across those shards.
   MetadataProvider(const rdf::RdfSchema* schema, Network* network,
-                   filter::RuleStoreOptions rule_options = {});
+                   filter::RuleStoreOptions rule_options = {},
+                   filter::EngineOptions engine_options = {});
 
   MetadataProvider(const MetadataProvider&) = delete;
   MetadataProvider& operator=(const MetadataProvider&) = delete;
@@ -129,6 +140,11 @@ class MetadataProvider {
   const rdf::RdfSchema* schema_;
   Network* network_;
   filter::RuleStoreOptions rule_options_;
+  filter::EngineOptions engine_options_;
+  /// Serializes the local work of every public entry point. Held while
+  /// mutating the database/rule store/registry, released before peer
+  /// forwarding (peers lock their own).
+  mutable std::mutex api_mu_;
   uint64_t sender_id_ = 0;  // This MDP's flow id on the network.
   std::unique_ptr<rdbms::Database> db_;
   std::unique_ptr<filter::RuleStore> rule_store_;

@@ -273,8 +273,9 @@ std::vector<RowId> Table::SelectRowIds(
       index->LookupRange(lower, lower_inclusive, has_lower, upper,
                          upper_inclusive, has_upper, &candidates);
     }
-    ++stats_.index_lookups;
-    stats_.rows_examined += static_cast<int64_t>(candidates.size());
+    stats_.index_lookups.fetch_add(1, std::memory_order_relaxed);
+    stats_.rows_examined.fetch_add(static_cast<int64_t>(candidates.size()),
+                                   std::memory_order_relaxed);
     metric_index_lookups_->Increment();
     metric_rows_examined_->Add(static_cast<int64_t>(candidates.size()));
     for (RowId id : candidates) {
@@ -283,14 +284,14 @@ std::vector<RowId> Table::SelectRowIds(
     }
     return out;
   }
-  ++stats_.full_scans;
+  stats_.full_scans.fetch_add(1, std::memory_order_relaxed);
   metric_full_scans_->Increment();
   int64_t examined = 0;
   for (const auto& [id, row] : rows_) {
     ++examined;
     if (RowMatches(row, conditions)) out.push_back(id);
   }
-  stats_.rows_examined += examined;
+  stats_.rows_examined.fetch_add(examined, std::memory_order_relaxed);
   metric_rows_examined_->Add(examined);
   return out;
 }
@@ -304,14 +305,14 @@ std::vector<Row> Table::SelectRows(
 
 std::vector<RowId> Table::SelectWhere(const Predicate& predicate) const {
   std::vector<RowId> out;
-  ++stats_.full_scans;
+  stats_.full_scans.fetch_add(1, std::memory_order_relaxed);
   metric_full_scans_->Increment();
   int64_t examined = 0;
   for (const auto& [id, row] : rows_) {
     ++examined;
     if (predicate.Evaluate(row)) out.push_back(id);
   }
-  stats_.rows_examined += examined;
+  stats_.rows_examined.fetch_add(examined, std::memory_order_relaxed);
   metric_rows_examined_->Add(examined);
   return out;
 }

@@ -1,6 +1,7 @@
 #ifndef MDV_RDBMS_TABLE_H_
 #define MDV_RDBMS_TABLE_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -44,7 +45,11 @@ struct TableStats {
 ///
 /// Rows are addressed by stable RowIds; deleting a row never invalidates
 /// other ids. All mutation paths keep every registered index in sync.
-/// Not thread-safe; MDV serializes access per database.
+/// Concurrent const reads (Select*/Scan/Get) are safe — the access-path
+/// statistics they update are relaxed atomics. Mutations still need
+/// external serialization against both readers and other writers; the
+/// sharded filter engine relies on this by giving each shard its own
+/// table set.
 class Table {
  public:
   explicit Table(TableSchema schema);
@@ -54,8 +59,18 @@ class Table {
 
   const TableSchema& schema() const { return schema_; }
   size_t NumRows() const { return rows_.size(); }
-  const TableStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = TableStats{}; }
+  TableStats stats() const {
+    TableStats out;
+    out.index_lookups = stats_.index_lookups.load(std::memory_order_relaxed);
+    out.full_scans = stats_.full_scans.load(std::memory_order_relaxed);
+    out.rows_examined = stats_.rows_examined.load(std::memory_order_relaxed);
+    return out;
+  }
+  void ResetStats() {
+    stats_.index_lookups.store(0, std::memory_order_relaxed);
+    stats_.full_scans.store(0, std::memory_order_relaxed);
+    stats_.rows_examined.store(0, std::memory_order_relaxed);
+  }
 
   /// Validates arity and (loosely) types, then inserts. Returns the new
   /// RowId. STRING columns accept any value; numeric columns accept
@@ -135,12 +150,20 @@ class Table {
   static bool RowMatches(const Row& row,
                          const std::vector<ScanCondition>& conditions);
 
+  /// Atomic twin of TableStats: the const select paths increment these
+  /// from concurrent shard workers, so plain int64 fields would race.
+  struct AtomicStats {
+    std::atomic<int64_t> index_lookups{0};
+    std::atomic<int64_t> full_scans{0};
+    std::atomic<int64_t> rows_examined{0};
+  };
+
   TableSchema schema_;
   std::map<RowId, Row> rows_;
   RowId next_row_id_ = 0;
   std::vector<std::unique_ptr<Index>> indexes_;  // At most one per column.
   UndoLog* undo_ = nullptr;
-  mutable TableStats stats_;
+  mutable AtomicStats stats_;
 
   // Registry mirrors of stats_, resolved once at construction (handles
   // are stable; incrementing is a relaxed atomic add). Shared by every
