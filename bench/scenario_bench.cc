@@ -1,0 +1,254 @@
+// Open-loop scenario driver for trace-derived SLO measurement: a
+// production-shaped MDV deployment — two meshed MDPs with a sharded,
+// parallel filter engine, four LMRs, the asynchronous transport with
+// injected loss — driven by a Poisson arrival process with periodic
+// bursts over a Zipf-skewed rule base. Arrivals follow a precomputed
+// schedule (open loop: the driver never waits for downstream completion,
+// so queueing delay is *measured*, not masked). After the network
+// quiesces, the retained trace ring is aggregated into end-to-end and
+// per-stage latency distributions and written to BENCH_scenario.json,
+// alongside the full metrics snapshot.
+//
+// Scale knobs: MDV_BENCH_FULL=1 for the big configuration; defaults keep
+// the run under a few seconds for CI smokes. Set MDV_SCENARIO_ARTIFACTS
+// to a directory to also dump the raw trace export and the flight
+// recorder ring (the artifacts CI uploads when the smoke fails).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "mdv/system.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_aggregate.h"
+#include "rdf/schema.h"
+
+namespace mdv::bench {
+namespace {
+
+struct ScenarioConfig {
+  size_t rule_base_size = 48;
+  size_t zipf_thresholds = 12;  ///< Distinct selectivity classes.
+  double zipf_s = 1.1;          ///< Zipf exponent over those classes.
+  size_t poisson_arrivals = 120;
+  int64_t mean_interarrival_us = 400;
+  size_t bursts = 3;
+  size_t burst_size = 12;  ///< Back-to-back arrivals per burst.
+  int num_shards = 4;
+  int num_workers = 2;
+  double loss = 0.01;
+  int64_t latency_us = 150;
+  int64_t jitter_us = 100;
+};
+
+ScenarioConfig MakeConfig() {
+  ScenarioConfig config;
+  if (FullScale()) {
+    config.rule_base_size = 512;
+    config.poisson_arrivals = 1000;
+    config.bursts = 10;
+    config.burst_size = 50;
+    config.num_workers = 4;
+  }
+  return config;
+}
+
+/// Zipf-distributed rank in [0, n): rank k with probability ∝ 1/(k+1)^s.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s, std::mt19937_64* rng) : rng_(rng) {
+    double sum = 0;
+    for (size_t k = 0; k < n; ++k) {
+      sum += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      cdf_.push_back(sum);
+    }
+    for (double& v : cdf_) v /= sum;
+  }
+
+  size_t Next() {
+    const double u =
+        std::uniform_real_distribution<double>(0.0, 1.0)(*rng_);
+    return static_cast<size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+  std::mt19937_64* rng_;
+};
+
+rdf::RdfDocument MakeDoc(size_t j, int memory) {
+  const std::string uri = "scenario/doc" + std::to_string(j) + ".rdf";
+  rdf::RdfDocument doc(uri);
+  rdf::Resource info("info", "ServerInformation");
+  info.AddProperty("memory",
+                   rdf::PropertyValue::Literal(std::to_string(memory)));
+  info.AddProperty("cpu", rdf::PropertyValue::Literal("600"));
+  rdf::Resource host("host", "CycleProvider");
+  host.AddProperty("serverHost", rdf::PropertyValue::Literal(
+                                     "node" + std::to_string(j) + ".edu"));
+  host.AddProperty("serverPort", rdf::PropertyValue::Literal("5874"));
+  host.AddProperty("serverInformation",
+                   rdf::PropertyValue::ResourceRef(uri + "#info"));
+  BenchCheck(doc.AddResource(std::move(info)), "AddResource info");
+  BenchCheck(doc.AddResource(std::move(host)), "AddResource host");
+  return doc;
+}
+
+}  // namespace
+
+int Run() {
+  const ScenarioConfig config = MakeConfig();
+  std::mt19937_64 rng(42);
+
+  // Retain every span of the run: the aggregator flags evicted traces
+  // as incomplete, and a smoke with mostly-incomplete traces is useless.
+  obs::DefaultTracer().SetCapacity(1 << 18);
+  obs::DefaultTracer().Clear();
+
+  filter::RuleStoreOptions rule_options;
+  rule_options.num_shards = config.num_shards;
+  filter::EngineOptions engine_options;
+  engine_options.num_workers = config.num_workers;
+  NetworkOptions network_options;
+  network_options.asynchronous = true;
+  network_options.transport.latency_us = config.latency_us;
+  network_options.transport.jitter_us = config.jitter_us;
+  network_options.transport.faults.drop_probability = config.loss;
+  network_options.transport.queue_capacity = 1 << 14;
+  MdvSystem system(rdf::MakeObjectGlobeSchema(), rule_options,
+                   network_options, engine_options);
+  MetadataProvider* mdp_a = system.AddProvider();
+  MetadataProvider* mdp_b = system.AddProvider();
+  std::vector<LocalMetadataRepository*> lmrs = {
+      system.AddRepository(mdp_a), system.AddRepository(mdp_a),
+      system.AddRepository(mdp_b), system.AddRepository(mdp_b)};
+
+  // Zipf rule base: thresholds come in `zipf_thresholds` selectivity
+  // classes; a rule's class is Zipf-distributed, so a few hot
+  // predicates dominate — the filter's rule-group sharing sees the
+  // skew real deployments have. Rules spread round-robin across LMRs.
+  ZipfSampler zipf(config.zipf_thresholds, config.zipf_s, &rng);
+  for (size_t i = 0; i < config.rule_base_size; ++i) {
+    const size_t rank = zipf.Next();
+    const int threshold =
+        static_cast<int>(8 * (rank + 1));  // 8, 16, ... — selective tail.
+    const std::string rule =
+        "search CycleProvider c register c "
+        "where c.serverInformation.memory > " +
+        std::to_string(threshold);
+    BenchMust(lmrs[i % lmrs.size()]->Subscribe(rule), "Subscribe");
+  }
+
+  // Open-loop arrival schedule: Poisson process with `bursts` clusters
+  // of back-to-back arrivals splice in (flash-crowd registrations).
+  std::exponential_distribution<double> interarrival(
+      1.0 / static_cast<double>(config.mean_interarrival_us));
+  std::vector<int64_t> schedule_us;
+  int64_t t = 0;
+  for (size_t i = 0; i < config.poisson_arrivals; ++i) {
+    t += static_cast<int64_t>(interarrival(rng));
+    schedule_us.push_back(t);
+  }
+  const int64_t horizon = schedule_us.empty() ? 1 : schedule_us.back();
+  for (size_t b = 1; b <= config.bursts; ++b) {
+    const int64_t burst_at = horizon * static_cast<int64_t>(b) /
+                             static_cast<int64_t>(config.bursts + 1);
+    for (size_t i = 0; i < config.burst_size; ++i) {
+      schedule_us.push_back(burst_at);
+    }
+  }
+  std::sort(schedule_us.begin(), schedule_us.end());
+
+  std::uniform_int_distribution<int> memory_dist(1, 128);
+  const auto start = std::chrono::steady_clock::now();
+  double drive_ms = 0;
+  {
+    std::vector<MetadataProvider*> mdps = {mdp_a, mdp_b};
+    size_t j = 0;
+    drive_ms = TimeMs([&] {
+      for (const int64_t at_us : schedule_us) {
+        std::this_thread::sleep_until(start +
+                                      std::chrono::microseconds(at_us));
+        BenchCheck(mdps[j % mdps.size()]->RegisterDocument(
+                       MakeDoc(j, memory_dist(rng))),
+                   "RegisterDocument");
+        ++j;
+      }
+    });
+  }
+  if (!system.network().WaitQuiescent()) {
+    std::fprintf(stderr, "network did not quiesce\n");
+    return 1;
+  }
+
+  obs::TraceAggregator aggregator;
+  aggregator.IngestTracer(obs::DefaultTracer());
+
+  const char* artifacts = std::getenv("MDV_SCENARIO_ARTIFACTS");
+  if (artifacts != nullptr) {
+    const std::string dir = artifacts;
+    for (const auto& [name, json] :
+         {std::pair<std::string, std::string>{"scenario_trace.json",
+                                              obs::DefaultTracer().ExportJson()},
+          {"scenario_flight.json",
+           obs::FlightRecorder::Default().DumpJson()}}) {
+      const std::string path = dir + "/" + name;
+      std::FILE* f = std::fopen(path.c_str(), "w");
+      if (f != nullptr) {
+        std::fprintf(f, "%s\n", json.c_str());
+        std::fclose(f);
+        std::printf("# wrote %s\n", path.c_str());
+      }
+    }
+  }
+
+  const char* env = std::getenv("MDV_BENCH_JSON");
+  const std::string path = env != nullptr ? env : "BENCH_scenario.json";
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", tmp.c_str());
+    return 1;
+  }
+  std::fprintf(
+      f,
+      "{\n\"scenario\": {\"rule_base_size\": %zu, \"arrivals\": %zu, "
+      "\"poisson_arrivals\": %zu, \"bursts\": %zu, \"burst_size\": %zu, "
+      "\"mean_interarrival_us\": %lld, \"mdps\": 2, \"lmrs\": %zu, "
+      "\"num_shards\": %d, \"num_workers\": %d, \"loss\": %.3f, "
+      "\"latency_us\": %lld, \"jitter_us\": %lld, \"drive_ms\": %.1f},\n",
+      config.rule_base_size, schedule_us.size(), config.poisson_arrivals,
+      config.bursts, config.burst_size,
+      static_cast<long long>(config.mean_interarrival_us), lmrs.size(),
+      config.num_shards, config.num_workers, config.loss,
+      static_cast<long long>(config.latency_us),
+      static_cast<long long>(config.jitter_us), drive_ms);
+  std::fprintf(f, "\"slo\": %s,\n", aggregator.SummaryJson().c_str());
+  std::fprintf(f, "\"metrics\": %s\n}\n", obs::SnapshotJson().c_str());
+  if (std::fclose(f) != 0 || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "cannot finalize %s\n", path.c_str());
+    std::remove(tmp.c_str());
+    return 1;
+  }
+  std::printf(
+      "# wrote %s (%lld samples over %lld traces, %zu stages, "
+      "coverage %.3f, e2e p50 %.0fus p99 %.0fus)\n",
+      path.c_str(), static_cast<long long>(aggregator.samples()),
+      static_cast<long long>(aggregator.traces()),
+      aggregator.StageNames().size(), aggregator.StageCoverage(),
+      aggregator.EndToEnd().Percentile(50),
+      aggregator.EndToEnd().Percentile(99));
+  return 0;
+}
+
+}  // namespace mdv::bench
+
+int main() { return mdv::bench::Run(); }

@@ -10,6 +10,7 @@
 #include "common/string_util.h"
 #include "filter/predicate_index.h"
 #include "filter/tables.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rdbms/table.h"
@@ -98,6 +99,24 @@ bool CompareParsedNumeric(const ParsedText& lhs, CompareOp op,
 bool CompareTexts(const std::string& lhs, CompareOp op,
                   const std::string& rhs) {
   return CompareParsed(ParsedText(lhs), op, ParsedText(rhs));
+}
+
+/// Runs the post-run invariant auditors. On a violation the flight
+/// recorder auto-dumps its event ring before the error propagates, so
+/// the post-mortem has the pipeline history that led to the corruption.
+Status RunInvariantAudits(rdbms::Database* db, RuleStore* store,
+                          const char* site) {
+  Status status = db->CheckInvariants();
+  if (status.ok()) status = store->CheckConsistency();
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Default();
+  if (!status.ok()) {
+    recorder.Record(obs::FlightEventType::kAuditFail, 0, 0, 0,
+                    status.message());
+    recorder.AutoDump("invariant_audit");
+    return status;
+  }
+  recorder.Record(obs::FlightEventType::kAuditPass, 0, 0, 0, site);
+  return status;
 }
 
 }  // namespace
@@ -337,7 +356,7 @@ Result<FilterRunResult> FilterEngine::Run(const rdf::Statements& delta,
       options.use_predicate_index ? GroupDelta(delta) : GroupedDelta{};
   if (total_shards == 1) {
     MDV_RETURN_IF_ERROR(RunShard(0, delta, grouped, options, nullptr,
-                                 &result));
+                                 run_span.context(), &result));
   } else {
     // Fan the regular shards out (work-stealing pool when configured and
     // outside a transaction — the undo log is not thread-safe), then run
@@ -346,22 +365,26 @@ Result<FilterRunResult> FilterEngine::Run(const rdf::Statements& delta,
     std::vector<FilterRunResult> outcomes(static_cast<size_t>(regular));
     std::vector<Status> statuses(static_cast<size_t>(regular), Status::OK());
     const bool parallel = pool_ != nullptr && !db_->InTransaction();
+    // Capture the run span's context for the shard tasks: pool workers
+    // have an empty thread-local span stack, so without the explicit
+    // parent every filter.shard_run span would start a detached trace.
+    const obs::SpanContext run_context = run_span.context();
     if (parallel) {
       std::vector<std::function<void()>> tasks;
       tasks.reserve(static_cast<size_t>(regular));
       for (int shard = 0; shard < regular; ++shard) {
-        tasks.push_back(
-            [this, shard, &delta, &grouped, &options, &outcomes, &statuses] {
-              statuses[static_cast<size_t>(shard)] =
-                  RunShard(shard, delta, grouped, options, nullptr,
-                           &outcomes[static_cast<size_t>(shard)]);
-            });
+        tasks.push_back([this, shard, run_context, &delta, &grouped, &options,
+                         &outcomes, &statuses] {
+          statuses[static_cast<size_t>(shard)] =
+              RunShard(shard, delta, grouped, options, nullptr, run_context,
+                       &outcomes[static_cast<size_t>(shard)]);
+        });
       }
       pool_->Run(std::move(tasks));
     } else {
       for (int shard = 0; shard < regular; ++shard) {
         statuses[static_cast<size_t>(shard)] =
-            RunShard(shard, delta, grouped, options, nullptr,
+            RunShard(shard, delta, grouped, options, nullptr, run_context,
                      &outcomes[static_cast<size_t>(shard)]);
       }
     }
@@ -386,7 +409,7 @@ Result<FilterRunResult> FilterEngine::Run(const rdf::Statements& delta,
       }
       FilterRunResult overflow_outcome;
       MDV_RETURN_IF_ERROR(RunShard(overflow, delta, grouped, options, &seeds,
-                                   &overflow_outcome));
+                                   run_context, &overflow_outcome));
       outcomes.push_back(std::move(overflow_outcome));
     }
 
@@ -428,8 +451,7 @@ Result<FilterRunResult> FilterEngine::Run(const rdf::Statements& delta,
   run_span.AddAttribute("join_matches", result.stats.join_matches);
 
   if (options.audit_invariants || AuditInvariantsEnabled()) {
-    MDV_RETURN_IF_ERROR(db_->CheckInvariants());
-    MDV_RETURN_IF_ERROR(store_->CheckConsistency());
+    MDV_RETURN_IF_ERROR(RunInvariantAudits(db_, store_, "filter.run"));
   }
   return result;
 }
@@ -438,20 +460,24 @@ Status FilterEngine::RunShard(int shard, const rdf::Statements& delta,
                               const GroupedDelta& grouped,
                               const FilterOptions& options,
                               const ForeignSeeds* foreign_seeds,
-                              FilterRunResult* out) {
+                              obs::SpanContext parent, FilterRunResult* out) {
   EngineMetrics& metrics = EngineMetrics::Get();
   FilterRunResult& result = *out;
   const bool sharded = store_->total_shards() > 1;
 
-  // Per-shard observability: a span per shard pass (a root span when the
-  // pass runs on a pool worker) and `mdv.filter.shard.<k>.*` counters.
-  // Emitted only when sharding is on, so the single-shard profile stays
-  // identical to the paper's engine.
+  // Per-shard observability: a span per shard pass (parented explicitly
+  // to the filter.run span — the thread-local stack is empty on pool
+  // workers) and `mdv.filter.shard.<k>.*` counters. Emitted only when
+  // sharding is on, so the single-shard profile stays identical to the
+  // paper's engine.
   std::optional<obs::ScopedSpan> shard_span;
   if (sharded) {
-    shard_span.emplace("filter.shard_run");
+    shard_span.emplace("filter.shard_run", parent);
     shard_span->AddAttribute("shard", static_cast<int64_t>(shard));
     shard_span->AddAttribute("shard_rules", store_->ShardRuleCount(shard));
+    obs::FlightRecorder::Default().Record(
+        obs::FlightEventType::kShardPassBegin, shard,
+        static_cast<int64_t>(delta.size()));
   }
   std::set<int64_t> foreign_rules;
   std::map<int64_t, MatchSet> all_matches;
@@ -771,6 +797,10 @@ Status FilterEngine::RunShard(int shard, const rdf::Statements& delta,
     shard_span->AddAttribute("triggering_matches",
                              result.stats.triggering_matches);
     shard_span->AddAttribute("join_matches", result.stats.join_matches);
+    obs::FlightRecorder::Default().Record(
+        obs::FlightEventType::kShardPassEnd, shard,
+        static_cast<int64_t>(result.matches.size()),
+        static_cast<int64_t>(result.iterations));
   }
   return Status::OK();
 }
@@ -945,10 +975,16 @@ Result<FilterRunResult> FilterEngine::EvaluateNewRules(
   std::vector<Status> statuses(regular_groups.size(), Status::OK());
   if (pool_ != nullptr && regular_groups.size() > 1 &&
       !db_->InTransaction()) {
+    // As in Run's fan-out: carry the enclosing span's context into the
+    // pool tasks so their spans stay inside this trace.
+    const obs::SpanContext parent = span.context();
     std::vector<std::function<void()>> tasks;
     tasks.reserve(regular_groups.size());
     for (size_t i = 0; i < regular_groups.size(); ++i) {
-      tasks.push_back([&, i] {
+      tasks.push_back([&, parent, i] {
+        obs::ScopedSpan group_span("filter.new_rules_group", parent);
+        group_span.AddAttribute("shard",
+                                static_cast<int64_t>(regular_groups[i].first));
         statuses[i] = evaluate_group(*regular_groups[i].second, &outcomes[i]);
       });
     }
@@ -971,8 +1007,8 @@ Result<FilterRunResult> FilterEngine::EvaluateNewRules(
   }
 
   if (AuditInvariantsEnabled()) {
-    MDV_RETURN_IF_ERROR(db_->CheckInvariants());
-    MDV_RETURN_IF_ERROR(store_->CheckConsistency());
+    MDV_RETURN_IF_ERROR(
+        RunInvariantAudits(db_, store_, "filter.evaluate_new_rules"));
   }
   return result;
 }

@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "filter/rule_store.h"
 #include "filter/work_stealing.h"
+#include "obs/trace.h"
 #include "rdbms/database.h"
 #include "rdf/statement.h"
 
@@ -187,10 +188,14 @@ class FilterEngine {
   /// (delta_atoms is owned by Run). `foreign_seeds`, non-null only for
   /// the overflow shard, seeds the join agenda with the regular shards'
   /// fresh matches; seeded rules drive joins but are excluded from the
-  /// output, the stats and re-materialization.
+  /// output, the stats and re-materialization. `parent` is the
+  /// enclosing filter.run span's context, passed explicitly because a
+  /// pass may execute on a pool worker whose thread-local span stack is
+  /// empty — without it the shard spans would detach from the trace.
   Status RunShard(int shard, const rdf::Statements& delta,
                   const GroupedDelta& grouped, const FilterOptions& options,
-                  const ForeignSeeds* foreign_seeds, FilterRunResult* out);
+                  const ForeignSeeds* foreign_seeds, obs::SpanContext parent,
+                  FilterRunResult* out);
 
   /// Initial iteration: delta atoms × `shard`'s triggering-rule base.
   /// Dispatches to the predicate-index or the table-scan path per

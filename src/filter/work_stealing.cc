@@ -3,7 +3,31 @@
 #include <memory>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace mdv::filter {
+
+namespace {
+
+/// Registry handles of the pool, resolved once and shared by all pools
+/// (the engine owns at most one per process in practice).
+struct PoolMetrics {
+  obs::MetricsRegistry& r = obs::DefaultMetrics();
+  obs::Counter& batches = r.GetCounter("mdv.filter.pool.batches_total");
+  obs::Counter& tasks = r.GetCounter("mdv.filter.pool.tasks_total");
+  obs::Counter& steals = r.GetCounter("mdv.filter.pool.steals_total");
+  obs::Counter& busy_us = r.GetCounter("mdv.filter.pool.busy_us_total");
+  obs::Counter& wall_us = r.GetCounter("mdv.filter.pool.wall_us_total");
+  obs::Gauge& workers = r.GetGauge("mdv.filter.pool.workers");
+  obs::Gauge& utilization = r.GetGauge("mdv.filter.pool.utilization_pct");
+
+  static PoolMetrics& Get() {
+    static PoolMetrics& metrics = *new PoolMetrics();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 WorkStealingPool::WorkStealingPool(int num_workers) {
   if (num_workers < 1) num_workers = 1;
@@ -15,6 +39,7 @@ WorkStealingPool::WorkStealingPool(int num_workers) {
   for (int i = 0; i < num_workers; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(static_cast<size_t>(i)); });
   }
+  PoolMetrics::Get().workers.Set(num_workers);
 }
 
 WorkStealingPool::~WorkStealingPool() {
@@ -26,37 +51,76 @@ WorkStealingPool::~WorkStealingPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-void WorkStealingPool::Run(std::vector<std::function<void()>> tasks) {
-  if (tasks.empty()) return;
-  if (tasks.size() == 1 || workers_.size() == 1) {
-    for (auto& task : tasks) task();
-    return;
-  }
-  // Counters first: a worker still draining the previous batch may take
-  // a freshly pushed task before Run() reaches the wait below, and its
-  // decrements must already be covered.
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    queued_ = tasks.size();
-    pending_ = tasks.size();
-  }
-  for (size_t i = 0; i < tasks.size(); ++i) {
-    Queue& q = *queues_[i % queues_.size()];
-    std::lock_guard<std::mutex> lock(q.mu);
-    q.tasks.push_back(std::move(tasks[i]));
-  }
-  wake_.notify_all();
-  std::unique_lock<std::mutex> lock(mu_);
-  done_.wait(lock, [this] { return pending_ == 0; });
+void WorkStealingPool::ExecuteTask(std::function<void()>& task, bool stolen) {
+  const int64_t start_ns = obs::NowNs();
+  task();
+  busy_ns_.fetch_add(obs::NowNs() - start_ns, std::memory_order_relaxed);
+  tasks_run_.fetch_add(1, std::memory_order_relaxed);
+  if (stolen) steals_.fetch_add(1, std::memory_order_relaxed);
 }
 
-bool WorkStealingPool::TryTakeTask(size_t self, std::function<void()>* task) {
+void WorkStealingPool::Run(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  const PoolStats before = stats();
+  const int64_t start_ns = obs::NowNs();
+  if (tasks.size() == 1 || workers_.size() == 1) {
+    for (auto& task : tasks) ExecuteTask(task, /*stolen=*/false);
+  } else {
+    // Counters first: a worker still draining the previous batch may
+    // take a freshly pushed task before Run() reaches the wait below,
+    // and its decrements must already be covered.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queued_ = tasks.size();
+      pending_ = tasks.size();
+    }
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      Queue& q = *queues_[i % queues_.size()];
+      std::lock_guard<std::mutex> lock(q.mu);
+      q.tasks.push_back(std::move(tasks[i]));
+    }
+    wake_.notify_all();
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait(lock, [this] { return pending_ == 0; });
+  }
+  const int64_t wall_ns = obs::NowNs() - start_ns;
+  wall_ns_.fetch_add(wall_ns, std::memory_order_relaxed);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+
+  // Mirror this batch's deltas into the registry (additive, so several
+  // pools compose); utilization is this pool's lifetime busy share of
+  // the workers' capacity.
+  PoolMetrics& metrics = PoolMetrics::Get();
+  const PoolStats after = stats();
+  metrics.batches.Increment();
+  metrics.tasks.Add(after.tasks - before.tasks);
+  metrics.steals.Add(after.steals - before.steals);
+  metrics.busy_us.Add((after.busy_ns - before.busy_ns) / 1000);
+  metrics.wall_us.Add((after.wall_ns - before.wall_ns) / 1000);
+  const int64_t capacity_ns = after.wall_ns * num_workers();
+  metrics.utilization.Set(
+      capacity_ns > 0 ? after.busy_ns * 100 / capacity_ns : 0);
+}
+
+PoolStats WorkStealingPool::stats() const {
+  PoolStats stats;
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.tasks = tasks_run_.load(std::memory_order_relaxed);
+  stats.steals = steals_.load(std::memory_order_relaxed);
+  stats.busy_ns = busy_ns_.load(std::memory_order_relaxed);
+  stats.wall_ns = wall_ns_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+bool WorkStealingPool::TryTakeTask(size_t self, std::function<void()>* task,
+                                   bool* stolen) {
   {  // Own queue: LIFO end, keeps the locally hot task local.
     Queue& own = *queues_[self];
     std::lock_guard<std::mutex> lock(own.mu);
     if (!own.tasks.empty()) {
       *task = std::move(own.tasks.back());
       own.tasks.pop_back();
+      *stolen = false;
       return true;
     }
   }
@@ -67,6 +131,7 @@ bool WorkStealingPool::TryTakeTask(size_t self, std::function<void()>* task) {
     if (!victim.tasks.empty()) {
       *task = std::move(victim.tasks.front());
       victim.tasks.pop_front();
+      *stolen = true;
       return true;
     }
   }
@@ -76,12 +141,13 @@ bool WorkStealingPool::TryTakeTask(size_t self, std::function<void()>* task) {
 void WorkStealingPool::WorkerLoop(size_t self) {
   for (;;) {
     std::function<void()> task;
-    if (TryTakeTask(self, &task)) {
+    bool stolen = false;
+    if (TryTakeTask(self, &task, &stolen)) {
       {
         std::lock_guard<std::mutex> lock(mu_);
         --queued_;
       }
-      task();
+      ExecuteTask(task, stolen);
       std::lock_guard<std::mutex> lock(mu_);
       if (--pending_ == 0) done_.notify_all();
       continue;

@@ -1,8 +1,10 @@
 #ifndef MDV_FILTER_WORK_STEALING_H_
 #define MDV_FILTER_WORK_STEALING_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -10,6 +12,19 @@
 #include <vector>
 
 namespace mdv::filter {
+
+/// Lifetime execution counters of one pool (all Run() batches).
+/// `busy_ns / (wall_ns * num_workers)` is the pool utilization: how
+/// much of the workers' capacity the batches actually used — a low
+/// value under load means shard skew, a high steal share means the
+/// round-robin placement was wrong but stealing rebalanced it.
+struct PoolStats {
+  int64_t batches = 0;
+  int64_t tasks = 0;     ///< Executed tasks (serial fallback included).
+  int64_t steals = 0;    ///< Tasks taken from another worker's queue.
+  int64_t busy_ns = 0;   ///< Summed task execution time.
+  int64_t wall_ns = 0;   ///< Summed Run() wall time.
+};
 
 /// A fixed pool of worker threads with per-worker task deques and work
 /// stealing: each worker pops from the back of its own deque and, when
@@ -40,6 +55,11 @@ class WorkStealingPool {
   /// worker or there is at most one task.
   void Run(std::vector<std::function<void()>> tasks);
 
+  /// Point-in-time copy of the lifetime counters. Also mirrored into
+  /// `mdv.filter.pool.*` metrics of obs::DefaultMetrics() after every
+  /// batch (utilization as a percent gauge).
+  PoolStats stats() const;
+
  private:
   struct Queue {
     std::mutex mu;
@@ -47,11 +67,20 @@ class WorkStealingPool {
   };
 
   void WorkerLoop(size_t self);
-  /// Pops from own back, else steals from another queue's front.
-  bool TryTakeTask(size_t self, std::function<void()>* task);
+  /// Pops from own back, else steals from another queue's front
+  /// (`*stolen` reports which).
+  bool TryTakeTask(size_t self, std::function<void()>* task, bool* stolen);
+  /// Runs `task`, accounting its execution time and steal origin.
+  void ExecuteTask(std::function<void()>& task, bool stolen);
 
   std::vector<std::unique_ptr<Queue>> queues_;  // One per worker.
   std::vector<std::thread> workers_;
+
+  std::atomic<int64_t> batches_{0};
+  std::atomic<int64_t> tasks_run_{0};
+  std::atomic<int64_t> steals_{0};
+  std::atomic<int64_t> busy_ns_{0};
+  std::atomic<int64_t> wall_ns_{0};
 
   std::mutex mu_;                  // Guards the batch state below.
   std::condition_variable wake_;   // Workers wait for queued work.

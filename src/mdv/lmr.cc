@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "common/logging.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rules/evaluator.h"
@@ -146,6 +147,10 @@ void LocalMetadataRepository::ApplyNotificationInternal(
                        &metrics.apply_us);
   span.AddAttribute("lmr", static_cast<int64_t>(id_));
   span.AddAttribute("resources", static_cast<int64_t>(note.resources.size()));
+  obs::FlightRecorder::Default().Record(
+      obs::FlightEventType::kApply, static_cast<int64_t>(id_),
+      static_cast<int64_t>(note.resources.size()),
+      static_cast<int64_t>(note.trace.trace_id));
   metrics.applied.Increment();
   const int64_t evictions_before = gc_evictions_;
   switch (note.kind) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rdbms/persistence.h"
@@ -21,6 +22,10 @@ struct MdpMetrics {
   obs::Counter& updated = r.GetCounter("mdv.mdp.documents_updated_total");
   obs::Counter& deleted = r.GetCounter("mdv.mdp.documents_deleted_total");
   obs::Counter& subscriptions = r.GetCounter("mdv.mdp.subscriptions_total");
+  /// Publish/update/delete operations currently inside an MDP entry
+  /// point, summed across providers (per-MDP depth via
+  /// MetadataProvider::inflight_publishes()).
+  obs::Gauge& inflight = r.GetGauge("mdv.mdp.inflight_publishes");
   obs::Histogram& publish_us = r.GetHistogram("mdv.mdp.publish_us");
   obs::Histogram& update_us = r.GetHistogram("mdv.mdp.update_us");
   obs::Histogram& delete_us = r.GetHistogram("mdv.mdp.delete_us");
@@ -38,6 +43,28 @@ void StampTrace(std::vector<pubsub::Notification>* notes,
                 const obs::SpanContext& trace) {
   for (pubsub::Notification& note : *notes) note.trace = trace;
 }
+
+/// Tracks one publish-path operation in the aggregate gauge and the
+/// owning MDP's own depth for the duration of the entry point.
+class ScopedInflight {
+ public:
+  ScopedInflight(obs::Gauge* gauge, std::atomic<int>* per_mdp)
+      : gauge_(gauge), per_mdp_(per_mdp) {
+    gauge_->Add(1);
+    per_mdp_->fetch_add(1, std::memory_order_relaxed);
+  }
+  ~ScopedInflight() {
+    gauge_->Add(-1);
+    per_mdp_->fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  ScopedInflight(const ScopedInflight&) = delete;
+  ScopedInflight& operator=(const ScopedInflight&) = delete;
+
+ private:
+  obs::Gauge* gauge_;
+  std::atomic<int>* per_mdp_;
+};
 
 }  // namespace
 
@@ -84,8 +111,13 @@ Status MetadataProvider::RegisterDocumentBatchInternal(
     std::vector<rdf::RdfDocument> docs, Origin origin) {
   MdpMetrics& metrics = MdpMetrics::Get();
   obs::ScopedSpan span("mdp.publish", &metrics.publish_us);
+  ScopedInflight inflight(&metrics.inflight, &inflight_publishes_);
   span.AddAttribute("documents", static_cast<int64_t>(docs.size()));
   span.AddAttribute("origin", origin == Origin::kClient ? "client" : "peer");
+  obs::FlightRecorder::Default().Record(
+      obs::FlightEventType::kPublish, static_cast<int64_t>(sender_id_),
+      static_cast<int64_t>(docs.size()),
+      static_cast<int64_t>(span.context().trace_id));
   // Keep copies for backbone replication before moving into the store.
   std::vector<rdf::RdfDocument> replicas;
   {
@@ -149,6 +181,7 @@ Status MetadataProvider::UpdateDocumentInternal(rdf::RdfDocument document,
                                                 Origin origin) {
   MdpMetrics& metrics = MdpMetrics::Get();
   obs::ScopedSpan span("mdp.update", &metrics.update_us);
+  ScopedInflight inflight(&metrics.inflight, &inflight_publishes_);
   span.AddAttribute("uri", document.uri());
   rdf::RdfDocument updated_copy = document;
   {
@@ -203,6 +236,7 @@ Status MetadataProvider::DeleteDocumentInternal(const std::string& uri,
                                                 Origin origin) {
   MdpMetrics& metrics = MdpMetrics::Get();
   obs::ScopedSpan span("mdp.delete", &metrics.delete_us);
+  ScopedInflight inflight(&metrics.inflight, &inflight_publishes_);
   span.AddAttribute("uri", uri);
   {
     std::lock_guard<std::mutex> lock(api_mu_);

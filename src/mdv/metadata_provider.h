@@ -1,6 +1,7 @@
 #ifndef MDV_MDV_METADATA_PROVIDER_H_
 #define MDV_MDV_METADATA_PROVIDER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
@@ -129,6 +130,13 @@ class MetadataProvider {
   /// Statistics of the most recent filter run.
   int last_filter_iterations() const { return last_iterations_; }
 
+  /// Publish/update/delete operations currently executing in this MDP
+  /// (client calls plus peer replication). The aggregate across MDPs is
+  /// the `mdv.mdp.inflight_publishes` gauge.
+  int inflight_publishes() const {
+    return inflight_publishes_.load(std::memory_order_relaxed);
+  }
+
  private:
   enum class Origin { kClient, kPeer };
 
@@ -154,6 +162,7 @@ class MetadataProvider {
   std::unique_ptr<pubsub::Publisher> publisher_;
   std::vector<MetadataProvider*> peers_;
   int last_iterations_ = 0;
+  std::atomic<int> inflight_publishes_{0};
 };
 
 }  // namespace mdv

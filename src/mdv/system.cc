@@ -4,13 +4,14 @@ namespace mdv {
 
 MdvSystem::MdvSystem(rdf::RdfSchema schema,
                      filter::RuleStoreOptions rule_options,
-                     NetworkOptions network_options)
+                     NetworkOptions network_options,
+                     filter::EngineOptions engine_options)
     : schema_(std::move(schema)), rule_options_(rule_options),
-      network_(std::move(network_options)) {}
+      engine_options_(engine_options), network_(std::move(network_options)) {}
 
 MetadataProvider* MdvSystem::AddProvider() {
-  auto provider =
-      std::make_unique<MetadataProvider>(&schema_, &network_, rule_options_);
+  auto provider = std::make_unique<MetadataProvider>(
+      &schema_, &network_, rule_options_, engine_options_);
   MetadataProvider* raw = provider.get();
   // Full mesh: every MDP replicates to every other (flat hierarchy with
   // full replication, §2.2).

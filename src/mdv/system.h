@@ -17,9 +17,12 @@ namespace mdv {
 /// Owns all components; the schema is shared by every tier.
 class MdvSystem {
  public:
+  /// `engine_options` applies to every AddProvider() (workers > 1 with
+  /// a sharded rule store gives each MDP a parallel filter engine).
   explicit MdvSystem(rdf::RdfSchema schema,
                      filter::RuleStoreOptions rule_options = {},
-                     NetworkOptions network_options = {});
+                     NetworkOptions network_options = {},
+                     filter::EngineOptions engine_options = {});
 
   MdvSystem(const MdvSystem&) = delete;
   MdvSystem& operator=(const MdvSystem&) = delete;
@@ -44,6 +47,7 @@ class MdvSystem {
  private:
   rdf::RdfSchema schema_;
   filter::RuleStoreOptions rule_options_;
+  filter::EngineOptions engine_options_;
   Network network_;
   std::vector<std::unique_ptr<MetadataProvider>> providers_;
   std::vector<std::unique_ptr<LocalMetadataRepository>> repositories_;

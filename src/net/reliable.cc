@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace mdv::net {
@@ -23,6 +24,12 @@ struct LinkMetrics {
   obs::Counter& dedup = r.GetCounter("mdv.net.dedup_suppressed_total");
   obs::Counter& dead = r.GetCounter("mdv.net.dead_lettered_total");
   obs::Counter& decode_errors = r.GetCounter("mdv.net.decode_errors_total");
+  /// Depth gauges (summed across links): frames awaiting ack on the
+  /// sender side, and notifications parked in receiver hold-back queues
+  /// waiting for a sequence gap to fill. Either one climbing without
+  /// draining means the pipeline is backing up.
+  obs::Gauge& unacked_depth = r.GetGauge("mdv.net.unacked_depth");
+  obs::Gauge& holdback_depth = r.GetGauge("mdv.net.holdback_depth");
 
   static LinkMetrics& Get() {
     static LinkMetrics& metrics = *new LinkMetrics();
@@ -100,8 +107,17 @@ void ReliableLink::UnbindReceiver(pubsub::LmrId lmr) {
   // OnReceiverFrame for `lmr` is running or will run — then the flow
   // state can go.
   transport_->Unbind(lmr);
-  std::lock_guard<std::mutex> lock(mu_);
-  receivers_.erase(lmr);
+  int64_t forgotten = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = receivers_.find(lmr);
+    if (it == receivers_.end()) return;
+    for (const auto& [sender, flow] : it->second.flows) {
+      forgotten += static_cast<int64_t>(flow.holdback.size());
+    }
+    receivers_.erase(it);
+  }
+  LinkMetrics::Get().holdback_depth.Add(-forgotten);
 }
 
 Status ReliableLink::Publish(uint64_t sender, const pubsub::Notification& note) {
@@ -136,6 +152,10 @@ Status ReliableLink::Publish(uint64_t sender, const pubsub::Notification& note) 
     scan_cv_.notify_all();
   }
   metrics.enqueued.Increment();
+  metrics.unacked_depth.Add(1);
+  obs::FlightRecorder::Default().Record(
+      obs::FlightEventType::kEnqueue, static_cast<int64_t>(sender),
+      static_cast<int64_t>(note.lmr), static_cast<int64_t>(sequence));
   {
     obs::ScopedSpan span("net.enqueue", note.trace);
     span.AddAttribute("sender", static_cast<int64_t>(sender));
@@ -167,6 +187,7 @@ void ReliableLink::OnReceiverFrame(pubsub::LmrId lmr, std::string frame) {
   std::vector<pubsub::Notification> ready;
   NotificationHandler handler;
   bool duplicate = false;
+  int64_t holdback_delta = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = receivers_.find(lmr);
@@ -189,9 +210,17 @@ void ReliableLink::OnReceiverFrame(pubsub::LmrId lmr, std::string frame) {
     }
     stats_.delivered += static_cast<int64_t>(ready.size());
     handler = it->second.handler;
+    // One insert (unless duplicate) minus the released prefix: the net
+    // change of this receiver's hold-back population.
+    holdback_delta =
+        (duplicate ? 0 : 1) - static_cast<int64_t>(ready.size());
   }
   if (duplicate) metrics.dedup.Increment();
   metrics.delivered.Add(static_cast<int64_t>(ready.size()));
+  metrics.holdback_depth.Add(holdback_delta);
+  obs::FlightRecorder::Default().Record(
+      obs::FlightEventType::kDeliver, static_cast<int64_t>(sender),
+      static_cast<int64_t>(lmr), static_cast<int64_t>(sequence));
   {
     obs::ScopedSpan span("net.deliver", trace);
     span.AddAttribute("sender", static_cast<int64_t>(sender));
@@ -239,6 +268,7 @@ void ReliableLink::OnAckFrame(std::string frame) {
   }
   if (!cleared) return;  // Duplicate ack for an already-cleared frame.
   metrics.acked.Increment();
+  metrics.unacked_depth.Add(-1);
   obs::ScopedSpan span("net.ack", trace);
   span.AddAttribute("sender", static_cast<int64_t>(ack.sender));
   span.AddAttribute("seq", static_cast<int64_t>(ack.sequence));
@@ -258,14 +288,21 @@ void ReliableLink::RetransmitLoop() {
     if (stop_) break;
     const int64_t now = NowUs();
     struct Resend {
+      uint64_t sender;
       pubsub::LmrId lmr;
       std::string frame;
       obs::SpanContext trace;
       uint64_t sequence;
       int attempt;
     };
+    struct DeadLetter {
+      uint64_t sender;
+      pubsub::LmrId lmr;
+      uint64_t sequence;
+      int attempts;
+    };
     std::vector<Resend> resends;
-    int64_t dead = 0;
+    std::vector<DeadLetter> dead_letters;
     for (auto& [key, seqs] : pending_) {
       for (auto it = seqs.begin(); it != seqs.end();) {
         Pending& pending = it->second;
@@ -275,7 +312,9 @@ void ReliableLink::RetransmitLoop() {
         }
         if (pending.attempts >= options_.max_attempts) {
           ++stats_.dead_lettered;
-          ++dead;
+          dead_letters.push_back(
+              DeadLetter{key.sender, pending.lmr, it->first,
+                         pending.attempts});
           --pending_count_;
           it = seqs.erase(it);
           continue;
@@ -287,17 +326,34 @@ void ReliableLink::RetransmitLoop() {
                                  options_.backoff_factor),
             options_.max_backoff_us);
         pending.next_retry_us = now + pending.backoff_us;
-        resends.push_back(Resend{pending.lmr, pending.frame, pending.trace,
-                                 it->first, pending.attempts});
+        resends.push_back(Resend{key.sender, pending.lmr, pending.frame,
+                                 pending.trace, it->first, pending.attempts});
         ++it;
       }
     }
     const bool settled = pending_count_ == 0;
     lock.unlock();
-    metrics.dead.Add(dead);
+    metrics.dead.Add(static_cast<int64_t>(dead_letters.size()));
     metrics.redelivered.Add(static_cast<int64_t>(resends.size()));
+    metrics.unacked_depth.Add(-static_cast<int64_t>(dead_letters.size()));
     if (settled) settled_cv_.notify_all();
+    obs::FlightRecorder& recorder = obs::FlightRecorder::Default();
+    for (const DeadLetter& dead : dead_letters) {
+      recorder.Record(obs::FlightEventType::kDeadLetter,
+                      static_cast<int64_t>(dead.sender),
+                      static_cast<int64_t>(dead.lmr),
+                      static_cast<int64_t>(dead.sequence));
+    }
+    if (!dead_letters.empty()) {
+      // A dead-lettered frame stalls its FIFO flow for good — dump the
+      // recent pipeline history while it is still in the ring.
+      recorder.AutoDump("dead_letter");
+    }
     for (Resend& resend : resends) {
+      recorder.Record(obs::FlightEventType::kRetransmit,
+                      static_cast<int64_t>(resend.sender),
+                      static_cast<int64_t>(resend.lmr),
+                      static_cast<int64_t>(resend.attempt));
       {
         obs::ScopedSpan span("net.redeliver", resend.trace);
         span.AddAttribute("lmr", static_cast<int64_t>(resend.lmr));
@@ -334,6 +390,17 @@ LinkStats ReliableLink::stats() const {
 size_t ReliableLink::PendingCount() const {
   std::lock_guard<std::mutex> lock(mu_);
   return pending_count_;
+}
+
+size_t ReliableLink::HoldbackDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t depth = 0;
+  for (const auto& [lmr, receiver] : receivers_) {
+    for (const auto& [sender, flow] : receiver.flows) {
+      depth += flow.holdback.size();
+    }
+  }
+  return depth;
 }
 
 }  // namespace mdv::net

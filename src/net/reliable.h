@@ -104,6 +104,10 @@ class ReliableLink {
   /// Unacked frames currently awaiting ack or retransmission.
   size_t PendingCount() const;
 
+  /// Notifications parked in receiver hold-back queues across all
+  /// flows, waiting for a sequence gap to fill.
+  size_t HoldbackDepth() const;
+
   /// The transport endpoint that carries acks back to `sender`.
   static EndpointId AckEndpoint(uint64_t sender) {
     return -static_cast<EndpointId>(sender) - 1;

@@ -1,0 +1,160 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace mdv::obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// Reasons become file names: keep [a-zA-Z0-9_-], map the rest to '_'.
+std::string SanitizeReason(const std::string& reason) {
+  std::string out;
+  for (char c : reason) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    out += ok ? c : '_';
+  }
+  if (out.empty()) out = "dump";
+  return out;
+}
+
+}  // namespace
+
+const char* FlightEventTypeName(FlightEventType type) {
+  switch (type) {
+    case FlightEventType::kPublish: return "publish";
+    case FlightEventType::kShardPassBegin: return "shard_pass_begin";
+    case FlightEventType::kShardPassEnd: return "shard_pass_end";
+    case FlightEventType::kEnqueue: return "enqueue";
+    case FlightEventType::kDeliver: return "deliver";
+    case FlightEventType::kRetransmit: return "retransmit";
+    case FlightEventType::kDeadLetter: return "dead_letter";
+    case FlightEventType::kAuditPass: return "audit_pass";
+    case FlightEventType::kAuditFail: return "audit_fail";
+    case FlightEventType::kApply: return "apply";
+    case FlightEventType::kDump: return "dump";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      slots_(std::make_unique<Slot[]>(capacity == 0 ? 1 : capacity)) {}
+
+void FlightRecorder::Record(FlightEventType type, int64_t a, int64_t b,
+                            int64_t c, std::string_view detail) {
+  const uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Slot& slot = slots_[(seq - 1) % capacity_];
+  slot.tag.store(kWriting, std::memory_order_release);
+  slot.seq.store(seq, std::memory_order_relaxed);
+  slot.ts_ns.store(NowNs(), std::memory_order_relaxed);
+  slot.type.store(static_cast<uint8_t>(type), std::memory_order_relaxed);
+  slot.a.store(a, std::memory_order_relaxed);
+  slot.b.store(b, std::memory_order_relaxed);
+  slot.c.store(c, std::memory_order_relaxed);
+  const size_t n = std::min(detail.size(), sizeof(FlightEvent{}.detail) - 1);
+  for (size_t i = 0; i < n; ++i) {
+    slot.detail[i].store(detail[i], std::memory_order_relaxed);
+  }
+  slot.detail[n].store('\0', std::memory_order_relaxed);
+  slot.tag.store(seq, std::memory_order_release);
+}
+
+std::vector<FlightEvent> FlightRecorder::Snapshot() const {
+  std::vector<FlightEvent> out;
+  out.reserve(capacity_);
+  for (size_t i = 0; i < capacity_; ++i) {
+    const Slot& slot = slots_[i];
+    const uint64_t before = slot.tag.load(std::memory_order_acquire);
+    if (before == 0 || before == kWriting) continue;
+    FlightEvent copy;
+    copy.seq = slot.seq.load(std::memory_order_relaxed);
+    copy.ts_ns = slot.ts_ns.load(std::memory_order_relaxed);
+    copy.type =
+        static_cast<FlightEventType>(slot.type.load(std::memory_order_relaxed));
+    copy.a = slot.a.load(std::memory_order_relaxed);
+    copy.b = slot.b.load(std::memory_order_relaxed);
+    copy.c = slot.c.load(std::memory_order_relaxed);
+    for (size_t j = 0; j < sizeof(copy.detail); ++j) {
+      copy.detail[j] = slot.detail[j].load(std::memory_order_relaxed);
+    }
+    copy.detail[sizeof(copy.detail) - 1] = '\0';
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const uint64_t after = slot.tag.load(std::memory_order_relaxed);
+    if (after != before || copy.seq != before) continue;  // Torn.
+    out.push_back(copy);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& x, const FlightEvent& y) {
+              return x.seq < y.seq;
+            });
+  return out;
+}
+
+std::string FlightRecorder::DumpJson() const {
+  std::ostringstream out;
+  out << "{\"recorded\": " << recorded() << ", \"events\": [";
+  bool first = true;
+  for (const FlightEvent& e : Snapshot()) {
+    out << (first ? "\n" : ",\n") << "  {\"seq\": " << e.seq
+        << ", \"ts_us\": " << e.ts_ns / 1000 << ", \"type\": \""
+        << FlightEventTypeName(e.type) << "\", \"a\": " << e.a
+        << ", \"b\": " << e.b << ", \"c\": " << e.c << ", \"detail\": \""
+        << JsonEscape(e.detail) << "\"}";
+    first = false;
+  }
+  out << (first ? "]}" : "\n]}");
+  return out.str();
+}
+
+std::string FlightRecorder::AutoDump(const std::string& reason) {
+  Record(FlightEventType::kDump, 0, 0, 0, reason);
+  std::string json = DumpJson();
+  {
+    std::lock_guard<std::mutex> lock(dump_mu_);
+    last_dump_reason_ = reason;
+    last_dump_json_ = json;
+  }
+  dumps_.fetch_add(1, std::memory_order_relaxed);
+  DefaultMetrics().GetCounter("mdv.obs.flight.dumps_total").Increment();
+
+  const char* dir = std::getenv("MDV_FLIGHT_DIR");
+  std::string path = std::string(dir != nullptr ? dir : ".") + "/flight_" +
+                     SanitizeReason(reason) + ".json";
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return "";
+  file << json << "\n";
+  return file ? path : "";
+}
+
+std::string FlightRecorder::last_dump_reason() const {
+  std::lock_guard<std::mutex> lock(dump_mu_);
+  return last_dump_reason_;
+}
+
+std::string FlightRecorder::last_dump_json() const {
+  std::lock_guard<std::mutex> lock(dump_mu_);
+  return last_dump_json_;
+}
+
+FlightRecorder& FlightRecorder::Default() {
+  static FlightRecorder& recorder = *new FlightRecorder();
+  return recorder;
+}
+
+}  // namespace mdv::obs

@@ -1,0 +1,132 @@
+#ifndef MDV_OBS_FLIGHT_RECORDER_H_
+#define MDV_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mdv::obs {
+
+/// What happened. The recorder stores events as fixed-size slots, so
+/// the taxonomy is a closed enum; `a`/`b`/`c` carry type-specific
+/// integer arguments (documented per enumerator) and `detail` a short
+/// free-form tag.
+enum class FlightEventType : uint8_t {
+  kPublish = 0,         ///< a=sender id, b=document count, c=trace id.
+  kShardPassBegin = 1,  ///< a=shard, b=delta atoms.
+  kShardPassEnd = 2,    ///< a=shard, b=matched rules, c=iterations.
+  kEnqueue = 3,         ///< a=sender id, b=lmr id, c=sequence number.
+  kDeliver = 4,         ///< a=sender id, b=lmr id, c=sequence number.
+  kRetransmit = 5,      ///< a=sender id, b=lmr id, c=attempt number.
+  kDeadLetter = 6,      ///< a=sender id, b=lmr id, c=attempts.
+  kAuditPass = 7,       ///< detail=audit site ("filter.run", ...).
+  kAuditFail = 8,       ///< detail=violation summary (truncated).
+  kApply = 9,           ///< a=lmr id, b=resource count, c=trace id.
+  kDump = 10,           ///< detail=dump reason.
+};
+
+const char* FlightEventTypeName(FlightEventType type);
+
+/// One recorded event. `seq` is the global record order (1-based);
+/// `ts_ns` the steady-clock timestamp (obs::NowNs() base).
+struct FlightEvent {
+  uint64_t seq = 0;
+  int64_t ts_ns = 0;
+  FlightEventType type = FlightEventType::kPublish;
+  int64_t a = 0;
+  int64_t b = 0;
+  int64_t c = 0;
+  char detail[48] = {};
+};
+
+/// Always-on ring of the last N structured pipeline events, cheap
+/// enough to leave enabled in benches and production-shaped runs:
+/// Record() is one atomic fetch_add to claim a slot plus plain stores
+/// (a per-slot seqlock tag lets readers skip slots mid-write, so there
+/// is no lock on the hot path). The ring exists for post-mortems — when
+/// an invariant audit fails or a ReliableLink dead-letters, the owner
+/// calls AutoDump() and the recent event history lands in a JSON file
+/// without anyone having to reproduce the run.
+///
+/// Two writers racing for the same slot (lapped by a full ring of
+/// events mid-write) can tear; the seqlock tag makes such slots read as
+/// skipped or stale rather than interleaved garbage — acceptable for a
+/// diagnostic ring.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(size_t capacity = kDefaultCapacity);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void Record(FlightEventType type, int64_t a = 0, int64_t b = 0,
+              int64_t c = 0, std::string_view detail = {});
+
+  /// Consistent slots, oldest first (by seq). Slots being written
+  /// concurrently are skipped.
+  std::vector<FlightEvent> Snapshot() const;
+
+  /// {"events": [...], "recorded": N} — `recorded` is the lifetime
+  /// event count, so `recorded - events.length` is the evicted count.
+  std::string DumpJson() const;
+
+  /// Writes DumpJson() to `<dir>/flight_<reason>.json` where dir is
+  /// $MDV_FLIGHT_DIR or the working directory, keeps the dump in memory
+  /// (last_dump_json()), and bumps `mdv.obs.flight.dumps_total`.
+  /// Returns the file path ("" when the write failed; the in-memory
+  /// dump still happens).
+  std::string AutoDump(const std::string& reason);
+
+  /// Lifetime Record() calls.
+  uint64_t recorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+  int64_t dump_count() const {
+    return dumps_.load(std::memory_order_relaxed);
+  }
+  std::string last_dump_reason() const;
+  std::string last_dump_json() const;
+
+  size_t capacity() const { return capacity_; }
+
+  /// The process-wide recorder every MDV component records into.
+  static FlightRecorder& Default();
+
+  static constexpr size_t kDefaultCapacity = 8192;
+
+ private:
+  /// Payload fields are relaxed atomics so a reader racing a lapping
+  /// writer is defined behaviour (and ThreadSanitizer-clean); the
+  /// seqlock tag recheck discards any mixed read.
+  struct Slot {
+    /// 0 = never written; kWriting = write in progress; else the
+    /// event's 1-based seq, release-stored after the payload.
+    std::atomic<uint64_t> tag{0};
+    std::atomic<uint64_t> seq{0};
+    std::atomic<int64_t> ts_ns{0};
+    std::atomic<uint8_t> type{0};
+    std::atomic<int64_t> a{0};
+    std::atomic<int64_t> b{0};
+    std::atomic<int64_t> c{0};
+    std::atomic<char> detail[sizeof(FlightEvent{}.detail)] = {};
+  };
+  static constexpr uint64_t kWriting = ~uint64_t{0};
+
+  const size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> next_{0};
+
+  std::atomic<int64_t> dumps_{0};
+  mutable std::mutex dump_mu_;
+  std::string last_dump_reason_;
+  std::string last_dump_json_;
+};
+
+}  // namespace mdv::obs
+
+#endif  // MDV_OBS_FLIGHT_RECORDER_H_

@@ -31,6 +31,41 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+/// MDV metric names are dotted (`mdv.filter.runs_total`); Prometheus
+/// names must match [a-zA-Z_:][a-zA-Z0-9_:]*. Dots and any other
+/// invalid character map to '_'.
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_' || c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    out += (alpha || (digit && i > 0)) ? c : '_';
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+/// Label *values* escape backslash, double quote and newline
+/// (Prometheus text exposition rules).
+std::string PrometheusLabelValue(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 double HistogramSnapshot::Percentile(double p) const {
@@ -96,11 +131,23 @@ void Histogram::Reset() {
   sum_.store(0, std::memory_order_relaxed);
 }
 
+std::vector<double> Histogram::ExponentialBuckets(double lower, double upper,
+                                                  double growth) {
+  std::vector<double> bounds;
+  if (lower <= 0 || growth <= 1.0) return bounds;
+  double bound = lower;
+  while (bound < upper) {
+    bounds.push_back(bound);
+    bound *= growth;
+  }
+  bounds.push_back(bound);  // First bound >= upper caps the range.
+  return bounds;
+}
+
 const std::vector<double>& DefaultLatencyBoundsUs() {
-  static const std::vector<double>& bounds = *new std::vector<double>{
-      1,     2,     5,      10,     25,     50,      100,     250,
-      500,   1000,  2500,   5000,   10000,  25000,   50000,   100000,
-      250000, 500000, 1000000, 2500000};
+  // 1us .. 10s: the last bound is the first power of two >= 1e7us.
+  static const std::vector<double>& bounds =
+      *new std::vector<double>(Histogram::ExponentialBuckets(1, 1e7, 2.0));
   return bounds;
 }
 
@@ -146,22 +193,26 @@ std::string MetricsSnapshot::ToJson() const {
 std::string MetricsSnapshot::ToPrometheusText() const {
   std::ostringstream out;
   for (const auto& [name, value] : counters) {
-    out << "# TYPE " << name << " counter\n" << name << " " << value << "\n";
+    const std::string n = PrometheusName(name);
+    out << "# TYPE " << n << " counter\n" << n << " " << value << "\n";
   }
   for (const auto& [name, value] : gauges) {
-    out << "# TYPE " << name << " gauge\n" << name << " " << value << "\n";
+    const std::string n = PrometheusName(name);
+    out << "# TYPE " << n << " gauge\n" << n << " " << value << "\n";
   }
   for (const auto& [name, h] : histograms) {
-    out << "# TYPE " << name << " histogram\n";
+    const std::string n = PrometheusName(name);
+    out << "# TYPE " << n << " histogram\n";
     int64_t cumulative = 0;
     for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
       cumulative += h.bucket_counts[i];
-      out << name << "_bucket{le=\""
-          << (i < h.bounds.size() ? FormatDouble(h.bounds[i]) : "+Inf")
+      out << n << "_bucket{le=\""
+          << PrometheusLabelValue(
+                 i < h.bounds.size() ? FormatDouble(h.bounds[i]) : "+Inf")
           << "\"} " << cumulative << "\n";
     }
-    out << name << "_sum " << h.sum << "\n";
-    out << name << "_count " << h.count << "\n";
+    out << n << "_sum " << h.sum << "\n";
+    out << n << "_count " << h.count << "\n";
   }
   return out.str();
 }

@@ -63,6 +63,14 @@ class Histogram {
   Histogram(const Histogram&) = delete;
   Histogram& operator=(const Histogram&) = delete;
 
+  /// Log-scale bucket bounds: `lower`, then successive multiplications
+  /// by `growth` (> 1) up to and including the first bound >= `upper`.
+  /// ExponentialBuckets(1, 1e7) spans 1us .. 10s in factor-2 steps —
+  /// microsecond-scale stage latencies and multi-second scenario tails
+  /// resolve in the same histogram.
+  static std::vector<double> ExponentialBuckets(double lower, double upper,
+                                                double growth = 2.0);
+
   void Record(int64_t value);
   HistogramSnapshot GetSnapshot() const;
   void Reset();
@@ -77,8 +85,8 @@ class Histogram {
 };
 
 /// The default bucket layout for latency histograms, in microseconds:
-/// 1us .. 2.5s in a 1-2.5-5 progression, covering sub-millisecond filter
-/// stages and multi-second full-scale bench runs alike.
+/// ExponentialBuckets(1, 1e7) — 1us .. 10s in factor-2 steps, covering
+/// sub-millisecond filter stages and multi-second bench runs alike.
 const std::vector<double>& DefaultLatencyBoundsUs();
 
 /// Full registry state at one point in time.

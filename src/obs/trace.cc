@@ -30,13 +30,23 @@ Tracer::Tracer(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
 }
 
 void Tracer::Retain(SpanRecord record) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (ring_.size() < capacity_) {
-    ring_.push_back(std::move(record));
-    return;
+  bool evicted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(record));
+    } else {
+      ring_[next_slot_] = std::move(record);
+      next_slot_ = (next_slot_ + 1) % capacity_;
+      evicted = true;
+    }
   }
-  ring_[next_slot_] = std::move(record);
-  next_slot_ = (next_slot_ + 1) % capacity_;
+  if (evicted) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    static Counter& dropped_total =
+        DefaultMetrics().GetCounter("mdv.obs.trace.dropped_spans_total");
+    dropped_total.Increment();
+  }
 }
 
 std::vector<SpanRecord> Tracer::Snapshot() const {
@@ -66,7 +76,7 @@ std::vector<SpanRecord> Tracer::TraceSpans(uint64_t trace_id) const {
 
 std::string Tracer::ExportJson() const {
   std::ostringstream out;
-  out << "[";
+  out << "{\"dropped\": " << dropped() << ", \"spans\": [";
   bool first = true;
   for (const SpanRecord& span : Snapshot()) {
     out << (first ? "\n" : ",\n") << "  {\"trace_id\": " << span.trace_id
@@ -84,7 +94,7 @@ std::string Tracer::ExportJson() const {
     out << "}}";
     first = false;
   }
-  out << (first ? "]" : "\n]");
+  out << (first ? "]}" : "\n]}");
   return out.str();
 }
 
@@ -92,6 +102,16 @@ void Tracer::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   ring_.clear();
   next_slot_ = 0;
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+void Tracer::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.clear();
+  ring_.reserve(capacity_ < 1024 ? capacity_ : 1024);
+  next_slot_ = 0;
+  dropped_.store(0, std::memory_order_relaxed);
 }
 
 Tracer& DefaultTracer() {

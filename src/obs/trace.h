@@ -61,15 +61,30 @@ class Tracer {
   /// The retained spans of one trace, completion order.
   std::vector<SpanRecord> TraceSpans(uint64_t trace_id) const;
 
-  /// Retained spans as a JSON array of
-  /// {trace_id, span_id, parent_id, name, start_us, duration_us,
-  ///  attributes}.
+  /// Retained spans as a JSON object {"dropped": N, "spans": [...]},
+  /// each span {trace_id, span_id, parent_id, name, start_us,
+  /// duration_us, attributes}. `dropped` counts spans evicted by ring
+  /// overflow since construction (or the last Clear), so a consumer can
+  /// tell a complete export from a truncated one.
   std::string ExportJson() const;
 
-  /// Drops all retained spans (ids keep increasing).
+  /// Drops all retained spans (ids keep increasing) and zeroes the
+  /// dropped-span count.
   void Clear();
 
-  size_t capacity() const { return capacity_; }
+  /// Spans evicted by ring overflow (also mirrored into the
+  /// `mdv.obs.trace.dropped_spans_total` counter of DefaultMetrics()).
+  int64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  size_t capacity() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return capacity_;
+  }
+
+  /// Resizes the ring. Retained spans and the dropped count are
+  /// discarded — call before a run that needs deeper retention (e.g.
+  /// scenario benches), not during one.
+  void SetCapacity(size_t capacity);
 
   static constexpr size_t kDefaultCapacity = 4096;
 
@@ -78,10 +93,11 @@ class Tracer {
   void Retain(SpanRecord record);
 
  private:
-  const size_t capacity_;
   std::atomic<bool> enabled_{true};
   std::atomic<uint64_t> next_id_{1};
+  std::atomic<int64_t> dropped_{0};
   mutable std::mutex mu_;
+  size_t capacity_;
   std::vector<SpanRecord> ring_;  // Ring buffer once full.
   size_t next_slot_ = 0;          // Insert position when ring_ is full.
 };

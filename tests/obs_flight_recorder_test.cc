@@ -1,0 +1,181 @@
+// Flight recorder tests: ring semantics (record / snapshot / wrap),
+// dump serialization, and the auto-dump hooks — a forced invariant-audit
+// failure must leave a post-mortem dump behind without any test
+// cooperation beyond corrupting the database.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_support/workload.h"
+#include "filter/engine.h"
+#include "filter/tables.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "rdbms/table.h"
+
+namespace mdv::obs {
+namespace {
+
+using bench_support::FilterFixture;
+using bench_support::WorkloadGenerator;
+
+TEST(FlightRecorderTest, RecordsEventsInOrder) {
+  FlightRecorder recorder(16);
+  recorder.Record(FlightEventType::kPublish, 1, 2, 3, "first");
+  recorder.Record(FlightEventType::kApply, 4, 5, 6);
+  std::vector<FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].seq, 1u);
+  EXPECT_EQ(events[0].type, FlightEventType::kPublish);
+  EXPECT_EQ(events[0].a, 1);
+  EXPECT_EQ(events[0].b, 2);
+  EXPECT_EQ(events[0].c, 3);
+  EXPECT_STREQ(events[0].detail, "first");
+  EXPECT_EQ(events[1].seq, 2u);
+  EXPECT_EQ(events[1].type, FlightEventType::kApply);
+  EXPECT_GE(events[1].ts_ns, events[0].ts_ns);
+  EXPECT_EQ(recorder.recorded(), 2u);
+}
+
+TEST(FlightRecorderTest, RingWrapKeepsTheNewestEvents) {
+  FlightRecorder recorder(8);
+  for (int64_t i = 1; i <= 20; ++i) {
+    recorder.Record(FlightEventType::kDeliver, i);
+  }
+  std::vector<FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest-first, and only the last `capacity` survive.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 13 + i);
+    EXPECT_EQ(events[i].a, static_cast<int64_t>(13 + i));
+  }
+  EXPECT_EQ(recorder.recorded(), 20u);
+}
+
+TEST(FlightRecorderTest, LongDetailIsTruncatedNotOverrun) {
+  FlightRecorder recorder(4);
+  recorder.Record(FlightEventType::kAuditFail, 0, 0, 0,
+                  std::string(200, 'x'));
+  std::vector<FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  const std::string detail = events[0].detail;
+  EXPECT_LT(detail.size(), sizeof(FlightEvent{}.detail));
+  EXPECT_EQ(detail, std::string(detail.size(), 'x'));
+}
+
+TEST(FlightRecorderTest, DumpJsonCarriesEventsAndLifetimeCount) {
+  FlightRecorder recorder(4);
+  for (int64_t i = 0; i < 6; ++i) {
+    recorder.Record(FlightEventType::kEnqueue, 7, i, 100 + i, "q");
+  }
+  std::string json = recorder.DumpJson();
+  EXPECT_NE(json.find("\"recorded\": 6"), std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"enqueue\""), std::string::npos);
+  EXPECT_NE(json.find("\"a\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"detail\": \"q\""), std::string::npos);
+}
+
+TEST(FlightRecorderTest, ConcurrentRecordersNeverProduceTornSnapshots) {
+  FlightRecorder recorder(64);
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&recorder, t] {
+      for (int64_t i = 0; i < 500; ++i) {
+        // Self-consistent payload: b and c are derived from a, so a
+        // torn slot (fields from two different writes) is detectable.
+        const int64_t a = t * 1000 + i;
+        recorder.Record(FlightEventType::kDeliver, a, a * 2, a + 1);
+      }
+    });
+  }
+  for (int r = 0; r < 50; ++r) {
+    for (const FlightEvent& e : recorder.Snapshot()) {
+      ASSERT_EQ(e.b, e.a * 2) << "torn slot at seq " << e.seq;
+      ASSERT_EQ(e.c, e.a + 1) << "torn slot at seq " << e.seq;
+    }
+  }
+  for (std::thread& w : writers) w.join();
+  EXPECT_EQ(recorder.recorded(), 2000u);
+  for (const FlightEvent& e : recorder.Snapshot()) {
+    EXPECT_EQ(e.b, e.a * 2);
+    EXPECT_EQ(e.c, e.a + 1);
+  }
+}
+
+TEST(FlightRecorderTest, AutoDumpWritesFileAndKeepsInMemoryCopy) {
+  const std::string dir = ::testing::TempDir();
+  ASSERT_EQ(setenv("MDV_FLIGHT_DIR", dir.c_str(), 1), 0);
+  FlightRecorder recorder(8);
+  recorder.Record(FlightEventType::kDeadLetter, 1, 2, 3);
+  const int64_t dumps_before = recorder.dump_count();
+  std::string path = recorder.AutoDump("unit_test");
+  unsetenv("MDV_FLIGHT_DIR");
+  ASSERT_FALSE(path.empty());
+  EXPECT_NE(path.find("flight_unit_test.json"), std::string::npos);
+  EXPECT_EQ(recorder.dump_count(), dumps_before + 1);
+  EXPECT_EQ(recorder.last_dump_reason(), "unit_test");
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream file;
+  file << in.rdbuf();
+  EXPECT_EQ(file.str(), recorder.last_dump_json() + "\n");
+  EXPECT_NE(file.str().find("\"dead_letter\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// ---- Auto-dump on a real invariant-audit failure -----------------------
+
+TEST(FlightRecorderAutoDumpTest, InvariantAuditFailureDumpsTheRecorder) {
+  const std::string dir = ::testing::TempDir();
+  ASSERT_EQ(setenv("MDV_FLIGHT_DIR", dir.c_str(), 1), 0);
+
+  FilterFixture fixture;
+  ASSERT_TRUE(fixture
+                  .RegisterRule("search CycleProvider c register c "
+                                "where c.serverInformation.memory > 64")
+                  .ok());
+  // Corrupt the rule base behind the predicate index's back: the GT
+  // predicate row vanishes while its index entry stays. The post-run
+  // audit must notice and trip the flight recorder.
+  rdbms::Table* gt = fixture.db().GetTable(filter::kFilterRulesGT);
+  ASSERT_NE(gt, nullptr);
+  std::vector<rdbms::RowId> ids = gt->SelectRowIds({});
+  ASSERT_EQ(ids.size(), 1u);
+  ASSERT_TRUE(gt->Delete(ids[0]).ok());
+
+  FlightRecorder& recorder = FlightRecorder::Default();
+  const int64_t dumps_before = recorder.dump_count();
+  const int64_t counter_before =
+      DefaultMetrics().GetCounter("mdv.obs.flight.dumps_total").value();
+
+  WorkloadGenerator workload({bench_support::BenchRuleType::kPath, 4});
+  filter::FilterOptions options;
+  options.audit_invariants = true;
+  Result<filter::FilterRunResult> run =
+      fixture.RegisterDocumentBatch({workload.MakeDocument(0)}, options);
+  unsetenv("MDV_FLIGHT_DIR");
+
+  // The run surfaced the corruption...
+  ASSERT_FALSE(run.ok());
+  // ...and the recorder auto-dumped with the audit reason.
+  EXPECT_EQ(recorder.dump_count(), dumps_before + 1);
+  EXPECT_EQ(recorder.last_dump_reason(), "invariant_audit");
+  EXPECT_EQ(
+      DefaultMetrics().GetCounter("mdv.obs.flight.dumps_total").value(),
+      counter_before + 1);
+  const std::string dump = recorder.last_dump_json();
+  EXPECT_NE(dump.find("\"audit_fail\""), std::string::npos);
+  // The dump file landed in MDV_FLIGHT_DIR.
+  std::ifstream in(dir + "/flight_invariant_audit.json");
+  EXPECT_TRUE(in.good());
+}
+
+}  // namespace
+}  // namespace mdv::obs

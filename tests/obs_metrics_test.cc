@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -149,6 +152,213 @@ TEST(MetricsRegistryTest, PrometheusTextHasCumulativeBuckets) {
   EXPECT_NE(text.find("lat_us_bucket{le=\"100\"} 2"), std::string::npos);
   EXPECT_NE(text.find("lat_us_bucket{le=\"+Inf\"} 3"), std::string::npos);
   EXPECT_NE(text.find("lat_us_count 3"), std::string::npos);
+}
+
+TEST(HistogramTest, ExponentialBucketsSpanRangeInGrowthSteps) {
+  std::vector<double> b = Histogram::ExponentialBuckets(1, 1e7, 2.0);
+  ASSERT_GE(b.size(), 2u);
+  EXPECT_DOUBLE_EQ(b.front(), 1.0);
+  // Each bound is exactly growth× the previous, and the ladder covers
+  // the upper edge (last bound >= upper).
+  for (size_t i = 1; i < b.size(); ++i) EXPECT_DOUBLE_EQ(b[i], 2.0 * b[i - 1]);
+  EXPECT_GE(b.back(), 1e7);
+  EXPECT_LT(b[b.size() - 2], 1e7);
+  // Degenerate parameters yield no bounds (callers fall back to the
+  // default ladder).
+  EXPECT_TRUE(Histogram::ExponentialBuckets(0, 100).empty());
+  EXPECT_TRUE(Histogram::ExponentialBuckets(1, 100, 1.0).empty());
+}
+
+TEST(HistogramTest, DefaultLatencyLadderIsOneMicroToTenSeconds) {
+  const std::vector<double>& bounds = DefaultLatencyBoundsUs();
+  EXPECT_EQ(bounds, Histogram::ExponentialBuckets(1, 1e7, 2.0));
+  EXPECT_DOUBLE_EQ(bounds.front(), 1.0);   // 1us.
+  EXPECT_GE(bounds.back(), 1e7);           // >= 10s.
+}
+
+// ---- Strict Prometheus text-format checks ------------------------------
+
+namespace prom {
+
+/// Minimal strict parser for the Prometheus text exposition format:
+/// every line must be a `# TYPE <name> <kind>` comment or a sample
+/// `name{labels} value`. Returns false (with a diagnostic) on any
+/// malformed line, bad metric-name character, or unescaped label value.
+struct Sample {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0;
+};
+
+bool ValidName(const std::string& name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_' || c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    if (!(alpha || (digit && i > 0))) return false;
+  }
+  return true;
+}
+
+bool ParseExposition(const std::string& text,
+                     std::map<std::string, std::string>* types,
+                     std::vector<Sample>* samples, std::string* error) {
+  size_t pos = 0;
+  int line_no = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) {
+      *error = "missing trailing newline";
+      return false;
+    }
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    auto fail = [&](const std::string& why) {
+      *error = "line " + std::to_string(line_no) + ": " + why + ": " + line;
+      return false;
+    };
+    if (line.rfind("# TYPE ", 0) == 0) {
+      size_t sp = line.rfind(' ');
+      std::string name = line.substr(7, sp - 7);
+      std::string kind = line.substr(sp + 1);
+      if (!ValidName(name)) return fail("bad metric name in TYPE");
+      if (kind != "counter" && kind != "gauge" && kind != "histogram") {
+        return fail("unknown metric kind");
+      }
+      (*types)[name] = kind;
+      continue;
+    }
+    Sample sample;
+    size_t i = 0;
+    while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+    sample.name = line.substr(0, i);
+    if (!ValidName(sample.name)) return fail("bad metric name");
+    if (i < line.size() && line[i] == '{') {
+      ++i;
+      while (i < line.size() && line[i] != '}') {
+        size_t eq = line.find('=', i);
+        if (eq == std::string::npos || line[eq + 1] != '"') {
+          return fail("malformed label");
+        }
+        std::string key = line.substr(i, eq - i);
+        if (!ValidName(key)) return fail("bad label name");
+        // Unescape the quoted value; reject raw quotes/newlines.
+        std::string value;
+        size_t j = eq + 2;
+        for (; j < line.size() && line[j] != '"'; ++j) {
+          if (line[j] == '\\') {
+            if (j + 1 >= line.size()) return fail("dangling escape");
+            const char e = line[++j];
+            if (e == 'n') value += '\n';
+            else if (e == '\\') value += '\\';
+            else if (e == '"') value += '"';
+            else return fail("unknown escape");
+          } else {
+            value += line[j];
+          }
+        }
+        if (j >= line.size()) return fail("unterminated label value");
+        sample.labels.emplace_back(key, value);
+        i = j + 1;
+        if (i < line.size() && line[i] == ',') ++i;
+      }
+      if (i >= line.size()) return fail("unterminated label set");
+      ++i;  // '}'.
+    }
+    if (i >= line.size() || line[i] != ' ') return fail("missing value");
+    const std::string value_text = line.substr(i + 1);
+    if (value_text == "+Inf") {
+      sample.value = std::numeric_limits<double>::infinity();
+    } else {
+      size_t consumed = 0;
+      sample.value = std::stod(value_text, &consumed);
+      if (consumed != value_text.size()) return fail("trailing junk");
+    }
+    samples->push_back(sample);
+  }
+  return true;
+}
+
+}  // namespace prom
+
+TEST(PrometheusExpositionTest, DottedNamesAndHistogramSeriesParseStrictly) {
+  MetricsRegistry registry;
+  registry.GetCounter("mdv.obs.trace.dropped_spans_total").Add(7);
+  registry.GetGauge("mdv.net.unacked_depth").Set(-3);
+  Histogram& h = registry.GetHistogram("mdv.slo.end_to_end_us", {10, 100});
+  h.Record(5);
+  h.Record(5000);
+
+  std::map<std::string, std::string> types;
+  std::vector<prom::Sample> samples;
+  std::string error;
+  ASSERT_TRUE(prom::ParseExposition(registry.Snapshot().ToPrometheusText(),
+                                    &types, &samples, &error))
+      << error;
+
+  // Dots were sanitized to underscores, with a TYPE line per metric.
+  EXPECT_EQ(types.at("mdv_obs_trace_dropped_spans_total"), "counter");
+  EXPECT_EQ(types.at("mdv_net_unacked_depth"), "gauge");
+  EXPECT_EQ(types.at("mdv_slo_end_to_end_us"), "histogram");
+
+  auto find = [&](const std::string& name,
+                  const std::string& le = "") -> const prom::Sample* {
+    for (const prom::Sample& s : samples) {
+      if (s.name != name) continue;
+      if (le.empty() && s.labels.empty()) return &s;
+      for (const auto& [k, v] : s.labels) {
+        if (k == "le" && v == le) return &s;
+      }
+    }
+    return nullptr;
+  };
+  ASSERT_NE(find("mdv_obs_trace_dropped_spans_total"), nullptr);
+  EXPECT_EQ(find("mdv_obs_trace_dropped_spans_total")->value, 7);
+  ASSERT_NE(find("mdv_net_unacked_depth"), nullptr);
+  EXPECT_EQ(find("mdv_net_unacked_depth")->value, -3);
+  // The full _bucket/_sum/_count family, with cumulative buckets.
+  ASSERT_NE(find("mdv_slo_end_to_end_us_bucket", "10"), nullptr);
+  EXPECT_EQ(find("mdv_slo_end_to_end_us_bucket", "10")->value, 1);
+  ASSERT_NE(find("mdv_slo_end_to_end_us_bucket", "100"), nullptr);
+  EXPECT_EQ(find("mdv_slo_end_to_end_us_bucket", "100")->value, 1);
+  ASSERT_NE(find("mdv_slo_end_to_end_us_bucket", "+Inf"), nullptr);
+  EXPECT_EQ(find("mdv_slo_end_to_end_us_bucket", "+Inf")->value, 2);
+  ASSERT_NE(find("mdv_slo_end_to_end_us_sum"), nullptr);
+  EXPECT_EQ(find("mdv_slo_end_to_end_us_sum")->value, 5005);
+  ASSERT_NE(find("mdv_slo_end_to_end_us_count"), nullptr);
+  EXPECT_EQ(find("mdv_slo_end_to_end_us_count")->value, 2);
+}
+
+TEST(PrometheusExpositionTest, HostileNamesAreSanitizedNotEmittedRaw) {
+  MetricsRegistry registry;
+  // Leading digit, dots, dashes, spaces, quotes — all must be coerced
+  // into the legal name alphabet before exposition.
+  registry.GetCounter("9lives.of-a \"metric\"_total").Add(1);
+  std::map<std::string, std::string> types;
+  std::vector<prom::Sample> samples;
+  std::string error;
+  ASSERT_TRUE(prom::ParseExposition(registry.Snapshot().ToPrometheusText(),
+                                    &types, &samples, &error))
+      << error;
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].name, "_lives_of_a__metric__total");
+  EXPECT_TRUE(prom::ValidName(samples[0].name));
+}
+
+TEST(PrometheusExpositionTest, WholeDefaultRegistryParses) {
+  // After a test binary has exercised the whole pipeline the default
+  // registry holds every mdv.* metric; all of it must survive the
+  // strict parser (guards regressions in any newly added metric name).
+  std::map<std::string, std::string> types;
+  std::vector<prom::Sample> samples;
+  std::string error;
+  ASSERT_TRUE(prom::ParseExposition(
+      DefaultMetrics().Snapshot().ToPrometheusText(), &types, &samples,
+      &error))
+      << error;
 }
 
 TEST(DefaultMetricsTest, IsAProcessWideSingleton) {

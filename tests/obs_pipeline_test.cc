@@ -125,6 +125,40 @@ TEST(ObsPipelineTest, OnePublishIsOneConnectedTrace) {
   EXPECT_EQ(delta("mdv.network.resources_shipped_total"), 2);
 }
 
+TEST(ObsPipelineTest, ShardRunSpansParentUnderFilterRunAcrossWorkers) {
+  // The sharded engine fans RunShard out to pool workers whose
+  // thread-local span stacks are empty; the run's SpanContext must be
+  // passed explicitly or the shard spans would start orphan traces.
+  filter::RuleStoreOptions rule_options;
+  rule_options.num_shards = 4;
+  filter::EngineOptions engine_options;
+  engine_options.num_workers = 2;
+  MdvSystem system(rdf::MakeObjectGlobeSchema(), rule_options, {},
+                   engine_options);
+  MetadataProvider* provider = system.AddProvider();
+  LocalMetadataRepository* lmr = system.AddRepository(provider);
+  ASSERT_TRUE(lmr->Subscribe("search CycleProvider c register c "
+                             "where c.serverInformation.memory > 64")
+                  .ok());
+  obs::DefaultTracer().Clear();
+  ASSERT_TRUE(provider->RegisterDocument(MakeProviderDoc("d.rdf")).ok());
+
+  std::vector<obs::SpanRecord> spans = obs::DefaultTracer().Snapshot();
+  std::vector<obs::SpanRecord> runs = SpansNamed(spans, "filter.run");
+  ASSERT_EQ(runs.size(), 1u);
+  std::vector<obs::SpanRecord> shard_runs =
+      SpansNamed(spans, "filter.shard_run");
+  ASSERT_EQ(shard_runs.size(), 4u);  // One per shard.
+  for (const obs::SpanRecord& shard : shard_runs) {
+    EXPECT_EQ(shard.trace_id, runs[0].trace_id);
+    EXPECT_EQ(shard.parent_id, runs[0].span_id);
+  }
+  // The pool actually ran the batch (2 workers were live for it).
+  obs::MetricsSnapshot snap = obs::DefaultMetrics().Snapshot();
+  EXPECT_GE(snap.gauges.at("mdv.filter.pool.workers"), 2);
+  EXPECT_GE(snap.counters.at("mdv.filter.pool.tasks_total"), 4);
+}
+
 TEST(ObsPipelineTest, TraceCarriedOnNotificationSurvivesRefresh) {
   MdvSystem system(rdf::MakeObjectGlobeSchema());
   MetadataProvider* provider = system.AddProvider();

@@ -152,12 +152,29 @@ TEST(TracerTest, ExportJsonShape) {
     span.AddAttribute("key", "value");
   }
   std::string json = tracer.ExportJson();
+  EXPECT_NE(json.find("\"dropped\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"spans\": ["), std::string::npos);
   EXPECT_NE(json.find("\"name\": \"exported\""), std::string::npos);
   EXPECT_NE(json.find("\"trace_id\": "), std::string::npos);
   EXPECT_NE(json.find("\"parent_id\": 0"), std::string::npos);
   EXPECT_NE(json.find("\"key\": \"value\""), std::string::npos);
   Tracer empty;
-  EXPECT_EQ(empty.ExportJson(), "[]");
+  EXPECT_EQ(empty.ExportJson(), "{\"dropped\": 0, \"spans\": []}");
+}
+
+TEST(TracerTest, CountsDroppedSpansOnRingOverflow) {
+  Tracer tracer;
+  tracer.SetCapacity(4);
+  for (int i = 0; i < 10; ++i) {
+    ScopedSpan span(&tracer, "overflow");
+  }
+  // 10 spans through a 4-slot ring: 6 evicted.
+  EXPECT_EQ(tracer.dropped(), 6);
+  EXPECT_EQ(tracer.Snapshot().size(), 4u);
+  std::string json = tracer.ExportJson();
+  EXPECT_NE(json.find("\"dropped\": 6"), std::string::npos);
+  tracer.Clear();
+  EXPECT_EQ(tracer.dropped(), 0);
 }
 
 }  // namespace

@@ -1,0 +1,324 @@
+// mdv_top: renders an MDV metrics snapshot as a terminal table — the
+// `top` of a bench or scenario run. Reads either a raw
+// obs::SnapshotJson() document or a bench output file (BENCH_*.json,
+// whose "metrics" member holds that snapshot; scenario files also carry
+// an "slo" member, rendered as a stage table with the critical path).
+//
+// Usage: mdv_top [--watch SECONDS] FILE
+//
+// With --watch the file is re-read and the screen redrawn every
+// SECONDS, so a long bench can be observed live from a second terminal
+// (benches rewrite their JSON atomically, so a reader never sees a
+// torn file). Exit status: 0 on a rendered snapshot, 2 on IO/parse
+// problems (under --watch a missing file is retried, not fatal).
+//
+// Parsing is a ~100-line recursive-descent JSON reader over a value
+// tree; the tool links only the standard library, so it stays usable
+// on hosts where nothing else of MDV is deployable.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+// ---- Minimal JSON value tree -------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  // Insertion-ordered object members (display follows file order).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out, std::string* error) {
+    bool ok = Value(out);
+    SkipSpace();
+    if (ok && pos_ != text_.size()) ok = false;
+    if (!ok) {
+      *error = "parse error near offset " + std::to_string(pos_);
+    }
+    return ok;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word) {
+    const size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool String(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char e = text_[pos_++];
+        switch (e) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'u':  // Keep \uXXXX escapes verbatim; names are ASCII.
+            if (pos_ + 4 > text_.size()) return false;
+            out->append("\\u").append(text_, pos_, 4);
+            pos_ += 4;
+            continue;
+          default: c = e; break;
+        }
+      }
+      out->push_back(c);
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // Closing quote.
+    return true;
+  }
+
+  bool Value(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') {
+      out->kind = JsonValue::Kind::kObject;
+      ++pos_;
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == '}') return ++pos_, true;
+      while (true) {
+        SkipSpace();
+        std::string key;
+        if (!String(&key)) return false;
+        SkipSpace();
+        if (pos_ >= text_.size() || text_[pos_++] != ':') return false;
+        JsonValue member;
+        if (!Value(&member)) return false;
+        out->object.emplace_back(std::move(key), std::move(member));
+        SkipSpace();
+        if (pos_ >= text_.size()) return false;
+        if (text_[pos_] == ',') { ++pos_; continue; }
+        if (text_[pos_] == '}') return ++pos_, true;
+        return false;
+      }
+    }
+    if (c == '[') {
+      out->kind = JsonValue::Kind::kArray;
+      ++pos_;
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ']') return ++pos_, true;
+      while (true) {
+        JsonValue element;
+        if (!Value(&element)) return false;
+        out->array.push_back(std::move(element));
+        SkipSpace();
+        if (pos_ >= text_.size()) return false;
+        if (text_[pos_] == ',') { ++pos_; continue; }
+        if (text_[pos_] == ']') return ++pos_, true;
+        return false;
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return String(&out->string);
+    }
+    if (c == 't') { out->kind = JsonValue::Kind::kBool; out->boolean = true; return Literal("true"); }
+    if (c == 'f') { out->kind = JsonValue::Kind::kBool; return Literal("false"); }
+    if (c == 'n') { return Literal("null"); }
+    // Number.
+    size_t end = pos_;
+    while (end < text_.size() &&
+           (std::string("+-.eE0123456789").find(text_[end]) !=
+            std::string::npos)) {
+      ++end;
+    }
+    if (end == pos_) return false;
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::strtod(text_.substr(pos_, end - pos_).c_str(), nullptr);
+    pos_ = end;
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// ---- Rendering ---------------------------------------------------------
+
+double Num(const JsonValue* v, const char* key) {
+  if (v == nullptr) return 0;
+  const JsonValue* m = v->Find(key);
+  return m != nullptr ? m->number : 0;
+}
+
+std::string FormatCount(double v) {
+  char buf[32];
+  if (v >= 10'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", v / 1e6);
+  } else if (v >= 100'000) {
+    std::snprintf(buf, sizeof(buf), "%.0fk", v / 1e3);
+  } else if (v == static_cast<long long>(v)) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f", v);
+  }
+  return buf;
+}
+
+void RenderSlo(const JsonValue& slo) {
+  std::printf("SLO  samples %s  traces %s (%s incomplete)  coverage %.1f%%\n",
+              FormatCount(Num(&slo, "end_to_end_samples")).c_str(),
+              FormatCount(Num(&slo, "traces")).c_str(),
+              FormatCount(Num(&slo, "incomplete_traces")).c_str(),
+              100 * Num(&slo, "stage_coverage"));
+  const JsonValue* e2e = slo.Find("end_to_end_us");
+  if (e2e != nullptr) {
+    std::printf("     end-to-end p50 %9.1fus   p95 %9.1fus   p99 %9.1fus\n",
+                Num(e2e, "p50"), Num(e2e, "p95"), Num(e2e, "p99"));
+  }
+  const JsonValue* stages = slo.Find("stages");
+  if (stages != nullptr && !stages->object.empty()) {
+    std::printf("\n  %-12s %10s %12s %7s %12s %12s\n", "STAGE", "COUNT",
+                "TOTAL_US", "FRAC", "P50_US", "P99_US");
+    for (const auto& [name, stage] : stages->object) {
+      std::printf("  %-12s %10s %12s %6.1f%% %12.1f %12.1f\n", name.c_str(),
+                  FormatCount(Num(&stage, "count")).c_str(),
+                  FormatCount(Num(&stage, "total_us")).c_str(),
+                  100 * Num(&stage, "fraction"), Num(&stage, "p50"),
+                  Num(&stage, "p99"));
+    }
+  }
+  const JsonValue* path = slo.Find("critical_path");
+  if (path != nullptr && !path->array.empty()) {
+    std::printf("\n  critical path:");
+    for (const JsonValue& entry : path->array) {
+      const JsonValue* stage = entry.Find("stage");
+      std::printf(" %s %.1f%%", stage != nullptr ? stage->string.c_str() : "?",
+                  100 * Num(&entry, "fraction"));
+    }
+    std::printf("\n");
+  }
+}
+
+void RenderMetrics(const JsonValue& metrics) {
+  const JsonValue* counters = metrics.Find("counters");
+  const JsonValue* gauges = metrics.Find("gauges");
+  const JsonValue* histograms = metrics.Find("histograms");
+  if (gauges != nullptr && !gauges->object.empty()) {
+    std::printf("\n  %-44s %12s\n", "GAUGE", "VALUE");
+    for (const auto& [name, v] : gauges->object) {
+      std::printf("  %-44s %12s\n", name.c_str(),
+                  FormatCount(v.number).c_str());
+    }
+  }
+  if (counters != nullptr && !counters->object.empty()) {
+    std::printf("\n  %-44s %12s\n", "COUNTER", "VALUE");
+    for (const auto& [name, v] : counters->object) {
+      std::printf("  %-44s %12s\n", name.c_str(),
+                  FormatCount(v.number).c_str());
+    }
+  }
+  if (histograms != nullptr && !histograms->object.empty()) {
+    std::printf("\n  %-44s %10s %12s %12s\n", "HISTOGRAM", "COUNT", "P50",
+                "P99");
+    for (const auto& [name, h] : histograms->object) {
+      std::printf("  %-44s %10s %12.1f %12.1f\n", name.c_str(),
+                  FormatCount(Num(&h, "count")).c_str(), Num(&h, "p50"),
+                  Num(&h, "p99"));
+    }
+  }
+}
+
+int RenderFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "mdv_top: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  JsonValue root;
+  std::string error;
+  if (!JsonParser(text).Parse(&root, &error)) {
+    std::fprintf(stderr, "mdv_top: %s: %s\n", path.c_str(), error.c_str());
+    return 2;
+  }
+  std::printf("mdv_top — %s\n\n", path.c_str());
+  // A bench file nests the snapshot under "metrics"; a raw
+  // SnapshotJson() document has "counters"/... at top level.
+  const JsonValue* slo = root.Find("slo");
+  if (slo != nullptr) RenderSlo(*slo);
+  const JsonValue* metrics = root.Find("metrics");
+  if (metrics == nullptr && root.Find("counters") != nullptr) metrics = &root;
+  if (metrics != nullptr) RenderMetrics(*metrics);
+  if (slo == nullptr && metrics == nullptr) {
+    std::fprintf(stderr,
+                 "mdv_top: %s has neither \"metrics\" nor \"counters\"\n",
+                 path.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int watch_seconds = 0;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--watch" && i + 1 < argc) {
+      watch_seconds = std::atoi(argv[++i]);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: mdv_top [--watch SECONDS] FILE\n");
+      return 0;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "usage: mdv_top [--watch SECONDS] FILE\n");
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: mdv_top [--watch SECONDS] FILE\n");
+    return 2;
+  }
+  if (watch_seconds <= 0) return RenderFile(path);
+  while (true) {
+    std::printf("\x1b[2J\x1b[H");  // Clear screen, home cursor.
+    RenderFile(path);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::seconds(watch_seconds));
+  }
+}
