@@ -3,7 +3,8 @@
 #include <atomic>
 #include <iostream>
 #include <memory>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace mdv {
 
@@ -13,9 +14,11 @@ std::atomic<LogLevel> g_log_level{LogLevel::kWarning};
 /// The sink is shared, not copied, per emission: emissions take the
 /// mutex briefly to grab a reference-counted handle, so a sink swap
 /// (SetLogSink, ScopedLogCapture teardown) never races an in-flight
-/// emission using the old sink.
-std::mutex& SinkMutex() {
-  static std::mutex& mu = *new std::mutex();
+/// emission using the old sink. kLogging is the innermost rank: any
+/// component may log while holding its own locks, but a sink must not
+/// lock anything (in particular, it must not log).
+Mutex& SinkMutex() {
+  static Mutex& mu = *new Mutex(LockRank::kLogging, "log.sink");
   return mu;
 }
 
@@ -25,7 +28,7 @@ std::shared_ptr<LogSink>& SinkSlot() {
 }
 
 std::shared_ptr<LogSink> CurrentSink() {
-  std::lock_guard<std::mutex> lock(SinkMutex());
+  MutexLock lock(SinkMutex());
   return SinkSlot();
 }
 
@@ -48,7 +51,7 @@ void SetLogLevel(LogLevel level) { g_log_level.store(level); }
 LogLevel GetLogLevel() { return g_log_level.load(); }
 
 void SetLogSink(LogSink sink) {
-  std::lock_guard<std::mutex> lock(SinkMutex());
+  MutexLock lock(SinkMutex());
   if (sink) {
     SinkSlot() = std::make_shared<LogSink>(std::move(sink));
   } else {
@@ -66,7 +69,7 @@ ScopedLogCapture::ScopedLogCapture(LogLevel capture_level)
 
 ScopedLogCapture::~ScopedLogCapture() {
   {
-    std::lock_guard<std::mutex> lock(SinkMutex());
+    MutexLock lock(SinkMutex());
     SinkSlot() = previous_sink_;  // Supports nested captures.
   }
   SetLogLevel(previous_level_);

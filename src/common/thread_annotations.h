@@ -1,0 +1,139 @@
+#ifndef MDV_COMMON_THREAD_ANNOTATIONS_H_
+#define MDV_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety annotations (-Wthread-safety), no-ops elsewhere.
+///
+/// These macros attach the locking discipline to the code itself so the
+/// compiler — not a test run's particular interleavings — proves it:
+/// which mutex guards which member (GUARDED_BY), which methods must be
+/// called with a lock held (REQUIRES, the `*Locked()` helpers), which
+/// must NOT be called with it held (EXCLUDES, the stats accessors that
+/// copy under the lock), and which acquire/release it (ACQUIRE/RELEASE,
+/// the mdv::Mutex primitives themselves). CI compiles the tree with
+/// clang and `-Wthread-safety -Wthread-safety-beta -Werror`, so an
+/// unannotated lock or an unguarded access cannot land. The runtime
+/// complement — lock-rank deadlock detection — lives in
+/// common/mutex.h; see DESIGN.md, "Concurrency model".
+///
+/// The attribute set mirrors the documented Clang capability model
+/// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html); the macro
+/// names follow the de-facto standard spelling so the idiom is
+/// recognizable, and each is #ifndef-guarded against prior definitions.
+
+#if defined(__clang__)
+#define MDV_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define MDV_THREAD_ANNOTATION_ATTRIBUTE__(x)  // GCC/MSVC: no-op.
+#endif
+
+/// Declares a class to be a capability ("mutex" for lockable types).
+#ifndef CAPABILITY
+#define CAPABILITY(x) MDV_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+#endif
+
+/// Declares an RAII class that acquires a capability in its constructor
+/// and releases it in its destructor.
+#ifndef SCOPED_CAPABILITY
+#define SCOPED_CAPABILITY MDV_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+#endif
+
+/// Declares that a data member is protected by the given capability:
+/// reads require the capability held (shared or exclusive), writes
+/// require it held exclusively.
+#ifndef GUARDED_BY
+#define GUARDED_BY(x) MDV_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+#endif
+
+/// Like GUARDED_BY, for pointer members: the pointed-to data (not the
+/// pointer itself) is protected by the capability.
+#ifndef PT_GUARDED_BY
+#define PT_GUARDED_BY(x) MDV_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+#endif
+
+/// Declares that the calling thread must hold the given capabilities on
+/// entry, and still holds them on exit (the `*Locked()` helper idiom).
+#ifndef REQUIRES
+#define REQUIRES(...) \
+  MDV_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#endif
+
+#ifndef REQUIRES_SHARED
+#define REQUIRES_SHARED(...) \
+  MDV_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+#endif
+
+/// Declares that a function acquires the capability (held on exit, must
+/// not be held on entry).
+#ifndef ACQUIRE
+#define ACQUIRE(...) \
+  MDV_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRE_SHARED
+#define ACQUIRE_SHARED(...) \
+  MDV_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+#endif
+
+/// Declares that a function releases the capability (held on entry, not
+/// on exit).
+#ifndef RELEASE
+#define RELEASE(...) \
+  MDV_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#endif
+
+#ifndef RELEASE_SHARED
+#define RELEASE_SHARED(...) \
+  MDV_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+#endif
+
+/// Declares that a function tries to acquire the capability and returns
+/// `success` (true/false) when it did.
+#ifndef TRY_ACQUIRE
+#define TRY_ACQUIRE(...) \
+  MDV_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+#endif
+
+/// Declares that the caller must NOT hold the given capabilities — the
+/// annotation for public accessors that take the lock themselves (e.g.
+/// the stats() copies), turning a self-deadlocking call into a compile
+/// error under clang (and a lock-rank abort at runtime).
+#ifndef EXCLUDES
+#define EXCLUDES(...) \
+  MDV_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+#endif
+
+/// Asserts at runtime that the capability is held (tells the analysis
+/// so, without acquiring).
+#ifndef ASSERT_CAPABILITY
+#define ASSERT_CAPABILITY(x) \
+  MDV_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+#endif
+
+/// Declares that a function returns a reference to the given capability
+/// (for mutex accessors).
+#ifndef RETURN_CAPABILITY
+#define RETURN_CAPABILITY(x) \
+  MDV_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+#endif
+
+/// Documents acquisition order between capabilities declared on the
+/// same thread (the static cousin of the runtime lock-rank check).
+#ifndef ACQUIRED_BEFORE
+#define ACQUIRED_BEFORE(...) \
+  MDV_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRED_AFTER
+#define ACQUIRED_AFTER(...) \
+  MDV_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+#endif
+
+/// Escape hatch: disables analysis for one function. Use only where the
+/// locking pattern is beyond the analysis (never to silence a genuine
+/// finding), and say why at the use site.
+#ifndef NO_THREAD_SAFETY_ANALYSIS
+#define NO_THREAD_SAFETY_ANALYSIS \
+  MDV_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+#endif
+
+#endif  // MDV_COMMON_THREAD_ANNOTATIONS_H_

@@ -122,7 +122,9 @@ Status RunInvariantAudits(rdbms::Database* db, RuleStore* store,
 }  // namespace
 
 bool AuditInvariantsEnabled() {
-  static const bool enabled = std::getenv("MDV_AUDIT_INVARIANTS") != nullptr;
+  // Read-only env access; nothing in the process calls setenv.
+  static const bool enabled =
+      std::getenv("MDV_AUDIT_INVARIANTS") != nullptr;  // NOLINT(concurrency-mt-unsafe)
   return enabled;
 }
 

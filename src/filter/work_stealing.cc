@@ -44,10 +44,10 @@ WorkStealingPool::WorkStealingPool(int num_workers) {
 
 WorkStealingPool::~WorkStealingPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -70,18 +70,18 @@ void WorkStealingPool::Run(std::vector<std::function<void()>> tasks) {
     // take a freshly pushed task before Run() reaches the wait below,
     // and its decrements must already be covered.
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       queued_ = tasks.size();
       pending_ = tasks.size();
     }
     for (size_t i = 0; i < tasks.size(); ++i) {
       Queue& q = *queues_[i % queues_.size()];
-      std::lock_guard<std::mutex> lock(q.mu);
+      MutexLock lock(q.mu);
       q.tasks.push_back(std::move(tasks[i]));
     }
-    wake_.notify_all();
-    std::unique_lock<std::mutex> lock(mu_);
-    done_.wait(lock, [this] { return pending_ == 0; });
+    wake_.NotifyAll();
+    MutexLock lock(mu_);
+    while (pending_ != 0) done_.Wait(mu_);
   }
   const int64_t wall_ns = obs::NowNs() - start_ns;
   wall_ns_.fetch_add(wall_ns, std::memory_order_relaxed);
@@ -116,7 +116,7 @@ bool WorkStealingPool::TryTakeTask(size_t self, std::function<void()>* task,
                                    bool* stolen) {
   {  // Own queue: LIFO end, keeps the locally hot task local.
     Queue& own = *queues_[self];
-    std::lock_guard<std::mutex> lock(own.mu);
+    MutexLock lock(own.mu);
     if (!own.tasks.empty()) {
       *task = std::move(own.tasks.back());
       own.tasks.pop_back();
@@ -127,7 +127,7 @@ bool WorkStealingPool::TryTakeTask(size_t self, std::function<void()>* task,
   // Steal: FIFO end of the other queues, oldest (largest remaining) first.
   for (size_t offset = 1; offset < queues_.size(); ++offset) {
     Queue& victim = *queues_[(self + offset) % queues_.size()];
-    std::lock_guard<std::mutex> lock(victim.mu);
+    MutexLock lock(victim.mu);
     if (!victim.tasks.empty()) {
       *task = std::move(victim.tasks.front());
       victim.tasks.pop_front();
@@ -144,16 +144,16 @@ void WorkStealingPool::WorkerLoop(size_t self) {
     bool stolen = false;
     if (TryTakeTask(self, &task, &stolen)) {
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         --queued_;
       }
       ExecuteTask(task, stolen);
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--pending_ == 0) done_.notify_all();
+      MutexLock lock(mu_);
+      if (--pending_ == 0) done_.NotifyAll();
       continue;
     }
-    std::unique_lock<std::mutex> lock(mu_);
-    wake_.wait(lock, [this] { return shutdown_ || queued_ > 0; });
+    MutexLock lock(mu_);
+    while (!shutdown_ && queued_ == 0) wake_.Wait(mu_);
     if (shutdown_) return;
   }
 }

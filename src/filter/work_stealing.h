@@ -2,14 +2,16 @@
 #define MDV_FILTER_WORK_STEALING_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
+#include <memory>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace mdv::filter {
 
@@ -53,7 +55,7 @@ class WorkStealingPool {
   /// Executes all `tasks` on the pool and returns when the last one has
   /// completed. Serial fallback (caller thread) when the pool has one
   /// worker or there is at most one task.
-  void Run(std::vector<std::function<void()>> tasks);
+  void Run(std::vector<std::function<void()>> tasks) EXCLUDES(mu_);
 
   /// Point-in-time copy of the lifetime counters. Also mirrored into
   /// `mdv.filter.pool.*` metrics of obs::DefaultMetrics() after every
@@ -62,14 +64,17 @@ class WorkStealingPool {
 
  private:
   struct Queue {
-    std::mutex mu;
-    std::deque<std::function<void()>> tasks;
+    /// Same rank for every worker's deque: takers hold at most one at
+    /// a time (own pop, then each steal victim in turn), never two.
+    Mutex mu{LockRank::kFilterQueue, "filter.pool.queue"};
+    std::deque<std::function<void()>> tasks GUARDED_BY(mu);
   };
 
-  void WorkerLoop(size_t self);
+  void WorkerLoop(size_t self) EXCLUDES(mu_);
   /// Pops from own back, else steals from another queue's front
   /// (`*stolen` reports which).
-  bool TryTakeTask(size_t self, std::function<void()>* task, bool* stolen);
+  bool TryTakeTask(size_t self, std::function<void()>* task, bool* stolen)
+      EXCLUDES(mu_);
   /// Runs `task`, accounting its execution time and steal origin.
   void ExecuteTask(std::function<void()>& task, bool stolen);
 
@@ -82,12 +87,14 @@ class WorkStealingPool {
   std::atomic<int64_t> busy_ns_{0};
   std::atomic<int64_t> wall_ns_{0};
 
-  std::mutex mu_;                  // Guards the batch state below.
-  std::condition_variable wake_;   // Workers wait for queued work.
-  std::condition_variable done_;   // Run() waits for pending_ == 0.
-  size_t queued_ = 0;              // Tasks pushed but not yet taken.
-  size_t pending_ = 0;             // Tasks not yet finished in this batch.
-  bool shutdown_ = false;
+  /// Batch bookkeeping; never held together with a Queue::mu (the
+  /// counters are updated before pushing and after popping tasks).
+  Mutex mu_{LockRank::kFilterPool, "filter.pool"};
+  CondVar wake_;  // Workers wait for queued work.
+  CondVar done_;  // Run() waits for pending_ == 0.
+  size_t queued_ GUARDED_BY(mu_) = 0;   // Tasks pushed but not yet taken.
+  size_t pending_ GUARDED_BY(mu_) = 0;  // Not yet finished in this batch.
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace mdv::filter

@@ -120,8 +120,10 @@ Status MetadataProvider::RegisterDocumentBatchInternal(
       static_cast<int64_t>(span.context().trace_id));
   // Keep copies for backbone replication before moving into the store.
   std::vector<rdf::RdfDocument> replicas;
+  std::vector<MetadataProvider*> peers;
   {
-    std::lock_guard<std::mutex> lock(api_mu_);
+    MutexLock lock(api_mu_);
+    peers = peers_;
     for (const rdf::RdfDocument& doc : docs) {
       MDV_RETURN_IF_ERROR(schema_->ValidateDocument(doc));
       if (documents_.Find(doc.uri()) != nullptr) {
@@ -129,7 +131,7 @@ Status MetadataProvider::RegisterDocumentBatchInternal(
                                      "; use UpdateDocument to re-register");
       }
     }
-    if (origin == Origin::kClient && !peers_.empty()) {
+    if (origin == Origin::kClient && !peers.empty()) {
       replicas = docs;
     }
     std::vector<std::string> uris;
@@ -161,7 +163,7 @@ Status MetadataProvider::RegisterDocumentBatchInternal(
   // mutually-peered MDPs holding their locks while forwarding would
   // deadlock.
   if (origin == Origin::kClient) {
-    for (MetadataProvider* peer : peers_) {
+    for (MetadataProvider* peer : peers) {
       MDV_RETURN_IF_ERROR(
           peer->RegisterDocumentBatchInternal(replicas, Origin::kPeer));
     }
@@ -184,8 +186,10 @@ Status MetadataProvider::UpdateDocumentInternal(rdf::RdfDocument document,
   ScopedInflight inflight(&metrics.inflight, &inflight_publishes_);
   span.AddAttribute("uri", document.uri());
   rdf::RdfDocument updated_copy = document;
+  std::vector<MetadataProvider*> peers;
   {
-    std::lock_guard<std::mutex> lock(api_mu_);
+    MutexLock lock(api_mu_);
+    peers = peers_;
     MDV_RETURN_IF_ERROR(schema_->ValidateDocument(document));
     const rdf::RdfDocument* original = documents_.Find(document.uri());
     if (original == nullptr) {
@@ -224,7 +228,7 @@ Status MetadataProvider::UpdateDocumentInternal(rdf::RdfDocument document,
   }
 
   if (origin == Origin::kClient) {
-    for (MetadataProvider* peer : peers_) {
+    for (MetadataProvider* peer : peers) {
       MDV_RETURN_IF_ERROR(
           peer->UpdateDocumentInternal(updated_copy, Origin::kPeer));
     }
@@ -238,8 +242,10 @@ Status MetadataProvider::DeleteDocumentInternal(const std::string& uri,
   obs::ScopedSpan span("mdp.delete", &metrics.delete_us);
   ScopedInflight inflight(&metrics.inflight, &inflight_publishes_);
   span.AddAttribute("uri", uri);
+  std::vector<MetadataProvider*> peers;
   {
-    std::lock_guard<std::mutex> lock(api_mu_);
+    MutexLock lock(api_mu_);
+    peers = peers_;
     const rdf::RdfDocument* original = documents_.Find(uri);
     if (original == nullptr) {
       return Status::NotFound("document " + uri);
@@ -271,7 +277,7 @@ Status MetadataProvider::DeleteDocumentInternal(const std::string& uri,
   }
 
   if (origin == Origin::kClient) {
-    for (MetadataProvider* peer : peers_) {
+    for (MetadataProvider* peer : peers) {
       MDV_RETURN_IF_ERROR(peer->DeleteDocumentInternal(uri, Origin::kPeer));
     }
   }
@@ -283,7 +289,7 @@ Result<pubsub::SubscriptionId> MetadataProvider::Subscribe(
   MdpMetrics& metrics = MdpMetrics::Get();
   obs::ScopedSpan span("mdp.subscribe", &metrics.subscribe_us);
   span.AddAttribute("lmr", static_cast<int64_t>(lmr));
-  std::lock_guard<std::mutex> lock(api_mu_);
+  MutexLock lock(api_mu_);
   // Extensions may name other subscriptions registered here (§2.3).
   auto extension_resolver =
       [this](const std::string& ext) -> std::optional<std::string> {
@@ -345,7 +351,7 @@ Result<pubsub::SubscriptionId> MetadataProvider::Subscribe(
 
 Result<pubsub::Notification> MetadataProvider::SnapshotSubscription(
     pubsub::SubscriptionId subscription) {
-  std::lock_guard<std::mutex> lock(api_mu_);
+  MutexLock lock(api_mu_);
   const pubsub::Subscription* sub = registry_.Find(subscription);
   if (sub == nullptr) {
     return Status::NotFound("subscription " + std::to_string(subscription));
@@ -374,7 +380,7 @@ Result<pubsub::Notification> MetadataProvider::SnapshotSubscription(
 }
 
 Status MetadataProvider::Unsubscribe(pubsub::SubscriptionId subscription) {
-  std::lock_guard<std::mutex> lock(api_mu_);
+  MutexLock lock(api_mu_);
   MDV_ASSIGN_OR_RETURN(pubsub::Subscription removed,
                        registry_.Remove(subscription));
   return rule_store_->Unregister(removed.end_rule_id);
@@ -382,7 +388,7 @@ Status MetadataProvider::Unsubscribe(pubsub::SubscriptionId subscription) {
 
 Result<std::vector<std::string>> MetadataProvider::Browse(
     std::string_view rule_text) {
-  std::lock_guard<std::mutex> lock(api_mu_);
+  MutexLock lock(api_mu_);
   MDV_ASSIGN_OR_RETURN(rules::CompiledRule compiled,
                        rules::CompileRule(rule_text, *schema_));
   std::vector<int64_t> created;
@@ -407,7 +413,7 @@ Result<std::vector<std::string>> MetadataProvider::Browse(
 
 
 Status MetadataProvider::SaveSnapshot(std::ostream& out) const {
-  std::lock_guard<std::mutex> lock(api_mu_);
+  MutexLock lock(api_mu_);
   out << "MDVSNAP1\n";
   out << "DATABASE\n";
   MDV_RETURN_IF_ERROR(rdbms::SaveDatabase(*db_, out));
@@ -431,7 +437,7 @@ Status MetadataProvider::SaveSnapshot(std::ostream& out) const {
 }
 
 Status MetadataProvider::LoadSnapshot(std::istream& in) {
-  std::lock_guard<std::mutex> lock(api_mu_);
+  MutexLock lock(api_mu_);
   std::string line;
   if (!std::getline(in, line) || line != "MDVSNAP1") {
     return Status::ParseError("missing snapshot header");
@@ -516,7 +522,7 @@ Status MetadataProvider::LoadSnapshot(std::istream& in) {
 }
 
 void MetadataProvider::AddPeer(MetadataProvider* peer) {
-  std::lock_guard<std::mutex> lock(api_mu_);
+  MutexLock lock(api_mu_);
   peers_.push_back(peer);
 }
 

@@ -5,12 +5,13 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "filter/engine.h"
 #include "filter/rule_store.h"
 #include "filter/tables.h"
@@ -54,22 +55,24 @@ class MetadataProvider {
   /// Parses and registers a new RDF document. Validates it against the
   /// schema, stores it, feeds its atoms to the filter and publishes the
   /// resulting matches.
-  Status RegisterDocumentXml(std::string_view xml, const std::string& uri);
+  Status RegisterDocumentXml(std::string_view xml, const std::string& uri)
+      EXCLUDES(api_mu_);
 
   /// Registers an already parsed document.
-  Status RegisterDocument(rdf::RdfDocument document);
+  Status RegisterDocument(rdf::RdfDocument document) EXCLUDES(api_mu_);
 
   /// Registers a batch of documents with a single filter run (the
   /// batching knob of the §4 experiments).
-  Status RegisterDocumentBatch(std::vector<rdf::RdfDocument> documents);
+  Status RegisterDocumentBatch(std::vector<rdf::RdfDocument> documents)
+      EXCLUDES(api_mu_);
 
   /// Re-registers a modified version of an existing document, running
   /// the three-pass update protocol (§3.5) and publishing inserts,
   /// updates and removals.
-  Status UpdateDocument(rdf::RdfDocument document);
+  Status UpdateDocument(rdf::RdfDocument document) EXCLUDES(api_mu_);
 
   /// Deletes a registered document with all its resources.
-  Status DeleteDocument(const std::string& uri);
+  Status DeleteDocument(const std::string& uri) EXCLUDES(api_mu_);
 
   // ---- Publish & subscribe. --------------------------------------------
 
@@ -80,28 +83,30 @@ class MetadataProvider {
   /// extension in later rules (§2.3).
   Result<pubsub::SubscriptionId> Subscribe(pubsub::LmrId lmr,
                                            std::string_view rule_text,
-                                           const std::string& name = "");
+                                           const std::string& name = "")
+      EXCLUDES(api_mu_);
 
   /// Removes a subscription and releases its atomic rules.
-  Status Unsubscribe(pubsub::SubscriptionId subscription);
+  Status Unsubscribe(pubsub::SubscriptionId subscription) EXCLUDES(api_mu_);
 
   /// Builds a full snapshot of a subscription's current matches (with
   /// strong closures) as an insert notification. This is the pull
   /// counterpart of publish notifications, used by the TTL-based cache
   /// consistency alternative the paper mentions in §3.5.
   Result<pubsub::Notification> SnapshotSubscription(
-      pubsub::SubscriptionId subscription);
+      pubsub::SubscriptionId subscription) EXCLUDES(api_mu_);
 
   // ---- Browsing (§2.2: real users can browse metadata at an MDP). -----
 
   /// Evaluates `rule_text` once against the current metadata and returns
   /// the matching URI references, without creating a subscription.
-  Result<std::vector<std::string>> Browse(std::string_view rule_text);
+  Result<std::vector<std::string>> Browse(std::string_view rule_text)
+      EXCLUDES(api_mu_);
 
   // ---- Backbone replication. -------------------------------------------
 
   /// Adds a backbone peer; registrations/updates/deletes are forwarded.
-  void AddPeer(MetadataProvider* peer);
+  void AddPeer(MetadataProvider* peer) EXCLUDES(api_mu_);
 
   // ---- Persistence. --------------------------------------------------------
 
@@ -110,13 +115,18 @@ class MetadataProvider {
   /// and the subscription registry — into a text snapshot. LMR caches
   /// are not part of the snapshot; after a restore, LMRs reattach to the
   /// network and call Refresh() to resynchronize.
-  Status SaveSnapshot(std::ostream& out) const;
+  Status SaveSnapshot(std::ostream& out) const EXCLUDES(api_mu_);
 
   /// Restores a provider from SaveSnapshot output, replacing all current
   /// state. The provider keeps its schema, network and peers.
-  Status LoadSnapshot(std::istream& in);
+  Status LoadSnapshot(std::istream& in) EXCLUDES(api_mu_);
 
   // ---- Introspection. ----------------------------------------------------
+  // The reference accessors hand out state that entry points mutate
+  // under api_mu_: they exist for single-threaded setup/teardown and
+  // quiesced inspection (tests, benches after WaitQuiescent). Readers
+  // racing a live publisher are on their own — take no new dependency
+  // on them from concurrent contexts.
 
   const DocumentStore& documents() const { return documents_; }
   const rdbms::Database& database() const { return *db_; }
@@ -128,7 +138,10 @@ class MetadataProvider {
   const rdf::RdfSchema& schema() const { return *schema_; }
 
   /// Statistics of the most recent filter run.
-  int last_filter_iterations() const { return last_iterations_; }
+  int last_filter_iterations() const EXCLUDES(api_mu_) {
+    MutexLock lock(api_mu_);
+    return last_iterations_;
+  }
 
   /// Publish/update/delete operations currently executing in this MDP
   /// (client calls plus peer replication). The aggregate across MDPs is
@@ -141,18 +154,23 @@ class MetadataProvider {
   enum class Origin { kClient, kPeer };
 
   Status RegisterDocumentBatchInternal(std::vector<rdf::RdfDocument> docs,
-                                       Origin origin);
-  Status UpdateDocumentInternal(rdf::RdfDocument document, Origin origin);
-  Status DeleteDocumentInternal(const std::string& uri, Origin origin);
+                                       Origin origin) EXCLUDES(api_mu_);
+  Status UpdateDocumentInternal(rdf::RdfDocument document, Origin origin)
+      EXCLUDES(api_mu_);
+  Status DeleteDocumentInternal(const std::string& uri, Origin origin)
+      EXCLUDES(api_mu_);
 
   const rdf::RdfSchema* schema_;
   Network* network_;
   filter::RuleStoreOptions rule_options_;
   filter::EngineOptions engine_options_;
-  /// Serializes the local work of every public entry point. Held while
-  /// mutating the database/rule store/registry, released before peer
-  /// forwarding (peers lock their own).
-  mutable std::mutex api_mu_;
+  /// Serializes the local work of every public entry point — the
+  /// outermost rank of the whole hierarchy: it is held across filter
+  /// runs and across network_->DeliverAll (which takes the bus or
+  /// link/transport locks underneath). Released before peer forwarding
+  /// (peers lock their own api_mu_; two mutually-peered MDPs holding
+  /// theirs while forwarding would deadlock).
+  mutable Mutex api_mu_{LockRank::kMdpApi, "mdv.mdp.api"};
   uint64_t sender_id_ = 0;  // This MDP's flow id on the network.
   std::unique_ptr<rdbms::Database> db_;
   std::unique_ptr<filter::RuleStore> rule_store_;
@@ -160,8 +178,11 @@ class MetadataProvider {
   DocumentStore documents_;
   pubsub::SubscriptionRegistry registry_;
   std::unique_ptr<pubsub::Publisher> publisher_;
-  std::vector<MetadataProvider*> peers_;
-  int last_iterations_ = 0;
+  /// Replication fan-out targets. Mutated by AddPeer under api_mu_ and
+  /// therefore also read under it — the replication loops copy the list
+  /// inside their critical section before forwarding unlocked.
+  std::vector<MetadataProvider*> peers_ GUARDED_BY(api_mu_);
+  int last_iterations_ GUARDED_BY(api_mu_) = 0;
   std::atomic<int> inflight_publishes_{0};
 };
 

@@ -47,7 +47,7 @@ Network::~Network() = default;
 
 uint64_t Network::RegisterSender() {
   if (async_ != nullptr) return async_->link.RegisterSender();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return next_sync_sender_++;
 }
 
@@ -59,7 +59,7 @@ void Network::Attach(pubsub::LmrId lmr, Handler handler) {
     (void)async_->link.BindReceiver(lmr, std::move(handler));
     return;
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto endpoint = std::make_shared<Endpoint>();
   endpoint->handler = std::move(handler);
   handlers_[lmr] = std::move(endpoint);
@@ -70,7 +70,7 @@ void Network::Detach(pubsub::LmrId lmr) {
     async_->link.UnbindReceiver(lmr);
     return;
   }
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = handlers_.find(lmr);
   if (it == handlers_.end()) return;
   std::shared_ptr<Endpoint> endpoint = std::move(it->second);
@@ -80,11 +80,11 @@ void Network::Detach(pubsub::LmrId lmr) {
   // re-entrant (the handler detaching itself) — waiting for those would
   // deadlock, and the guarantee then holds from the handler's return.
   const std::thread::id self = std::this_thread::get_id();
-  detach_cv_.wait(lock, [&] {
-    return std::none_of(
-        endpoint->delivering.begin(), endpoint->delivering.end(),
-        [&](const std::thread::id& id) { return id != self; });
-  });
+  while (std::any_of(
+      endpoint->delivering.begin(), endpoint->delivering.end(),
+      [&](const std::thread::id& id) { return id != self; })) {
+    detach_cv_.Wait(mutex_);
+  }
 }
 
 void Network::Deliver(const pubsub::Notification& notification,
@@ -116,7 +116,7 @@ void Network::DeliverSync(const pubsub::Notification& notification) {
   Handler handler;
   std::shared_ptr<Endpoint> endpoint;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++stats_.messages;
     stats_.resources_shipped +=
         static_cast<int64_t>(notification.resources.size());
@@ -138,20 +138,20 @@ void Network::DeliverSync(const pubsub::Notification& notification) {
   }
   handler(notification);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto entry = std::find(endpoint->delivering.begin(),
                            endpoint->delivering.end(),
                            std::this_thread::get_id());
     if (entry != endpoint->delivering.end()) endpoint->delivering.erase(entry);
   }
-  detach_cv_.notify_all();
+  detach_cv_.NotifyAll();
 }
 
 void Network::DeliverAsync(const pubsub::Notification& notification,
                            uint64_t sender) {
   NetworkMetrics& metrics = NetworkMetrics::Get();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++stats_.messages;
     stats_.resources_shipped +=
         static_cast<int64_t>(notification.resources.size());
@@ -160,7 +160,7 @@ void Network::DeliverAsync(const pubsub::Notification& notification,
   metrics.resources.Add(static_cast<int64_t>(notification.resources.size()));
   const Status sent = async_->link.Publish(sender, notification);
   if (!sent.ok()) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++stats_.undeliverable;
     metrics.undeliverable.Increment();
   }

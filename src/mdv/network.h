@@ -1,16 +1,16 @@
 #ifndef MDV_MDV_NETWORK_H_
 #define MDV_MDV_NETWORK_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "net/reliable.h"
 #include "net/transport.h"
 #include "pubsub/notification.h"
@@ -71,21 +71,22 @@ class Network {
   /// numbers of the at-least-once protocol are per (sender, LMR) flow,
   /// so every MDP sharing a network must register itself. Synchronous
   /// networks hand out ids with no further effect.
-  uint64_t RegisterSender();
+  uint64_t RegisterSender() EXCLUDES(mutex_);
 
   /// Registers the delivery endpoint of an LMR.
-  void Attach(pubsub::LmrId lmr, Handler handler);
-  void Detach(pubsub::LmrId lmr);
+  void Attach(pubsub::LmrId lmr, Handler handler) EXCLUDES(mutex_);
+  void Detach(pubsub::LmrId lmr) EXCLUDES(mutex_);
 
   /// Delivers one notification to its LMR; counts it as undeliverable
   /// if no endpoint is attached. `sender` identifies the publishing MDP
   /// flow (see RegisterSender); the default flow 0 is fine for tests
   /// and single-publisher setups.
-  void Deliver(const pubsub::Notification& notification, uint64_t sender = 0);
+  void Deliver(const pubsub::Notification& notification, uint64_t sender = 0)
+      EXCLUDES(mutex_);
 
   /// Delivers a batch.
   void DeliverAll(const std::vector<pubsub::Notification>& notifications,
-                  uint64_t sender = 0);
+                  uint64_t sender = 0) EXCLUDES(mutex_);
 
   /// Blocks until every asynchronous delivery settled (acked or
   /// dead-lettered, queues drained, no handler running). Synchronous
@@ -94,12 +95,12 @@ class Network {
   bool WaitQuiescent(int64_t timeout_us = 30'000'000);
 
   /// Snapshot of the counters (by value — the live struct is guarded).
-  NetworkStats stats() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  NetworkStats stats() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return stats_;
   }
-  void ResetStats() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void ResetStats() EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     stats_ = NetworkStats{};
   }
 
@@ -117,7 +118,11 @@ class Network {
   /// delivering to it, so Detach can wait out in-flight deliveries.
   struct Endpoint {
     Handler handler;
-    std::vector<std::thread::id> delivering;  // Guarded by Network mutex.
+    /// Guarded by the owning Network's mutex_ (inexpressible as a
+    /// GUARDED_BY, which cannot name another object's capability from
+    /// a nested struct): threads currently inside this handler, so
+    /// Detach can wait out in-flight deliveries.
+    std::vector<std::thread::id> delivering;
   };
 
   struct Async {
@@ -127,14 +132,20 @@ class Network {
     net::ReliableLink link;
   };
 
-  void DeliverSync(const pubsub::Notification& notification);
-  void DeliverAsync(const pubsub::Notification& notification, uint64_t sender);
+  void DeliverSync(const pubsub::Notification& notification)
+      EXCLUDES(mutex_);
+  void DeliverAsync(const pubsub::Notification& notification, uint64_t sender)
+      EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable detach_cv_;
-  std::map<pubsub::LmrId, std::shared_ptr<Endpoint>> handlers_;  // Guarded.
-  NetworkStats stats_;                                           // Guarded.
-  uint64_t next_sync_sender_ = 1;                                // Guarded.
+  /// Held only around registry/counter updates — every handler runs
+  /// outside it. MDP entry points (kMdpApi) deliver while holding their
+  /// api lock, so the bus ranks just inside it.
+  mutable Mutex mutex_{LockRank::kNetworkBus, "mdv.network"};
+  CondVar detach_cv_;
+  std::map<pubsub::LmrId, std::shared_ptr<Endpoint>> handlers_
+      GUARDED_BY(mutex_);
+  NetworkStats stats_ GUARDED_BY(mutex_);
+  uint64_t next_sync_sender_ GUARDED_BY(mutex_) = 1;
   std::unique_ptr<Async> async_;  // Null in synchronous mode.
 };
 

@@ -3,7 +3,7 @@
 namespace mdv::net {
 
 FaultDecision FaultInjector::Decide() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const uint64_t index = next_index_++;
   ++stats_.decisions;
   FaultDecision decision;

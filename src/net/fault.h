@@ -3,9 +3,12 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <random>
+#include <utility>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace mdv::net {
 
@@ -50,26 +53,30 @@ class FaultInjector {
 
   /// Overrides the probabilistic model: when the schedule returns a
   /// decision for a frame index, that decision is used verbatim.
-  void set_schedule(Schedule schedule) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void set_schedule(Schedule schedule) EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     schedule_ = std::move(schedule);
   }
 
   /// Decision for the next frame (frame indexes increase per call).
-  FaultDecision Decide();
+  FaultDecision Decide() EXCLUDES(mutex_);
 
-  FaultStats stats() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  FaultStats stats() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return stats_;
   }
 
  private:
   const FaultOptions options_;
-  mutable std::mutex mutex_;
-  std::mt19937_64 rng_;       // Guarded by mutex_.
-  Schedule schedule_;         // Guarded by mutex_.
-  uint64_t next_index_ = 0;   // Guarded by mutex_.
-  FaultStats stats_;          // Guarded by mutex_.
+  /// The transport calls Decide() before taking any of its own locks,
+  /// but kNetFault still ranks inside them (acquirable while a
+  /// transport lock is held) defensively. A schedule callback runs
+  /// under this lock and must stay lock-free.
+  mutable Mutex mutex_{LockRank::kNetFault, "net.fault"};
+  std::mt19937_64 rng_ GUARDED_BY(mutex_);
+  Schedule schedule_ GUARDED_BY(mutex_);
+  uint64_t next_index_ GUARDED_BY(mutex_) = 0;
+  FaultStats stats_ GUARDED_BY(mutex_);
 };
 
 }  // namespace mdv::net

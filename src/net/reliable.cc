@@ -1,7 +1,6 @@
 #include "net/reliable.h"
 
 #include <algorithm>
-#include <chrono>
 #include <utility>
 #include <vector>
 
@@ -48,17 +47,17 @@ ReliableLink::ReliableLink(Transport* transport, ReliableOptions options)
 
 ReliableLink::~ReliableLink() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
-    scan_cv_.notify_all();
-    settled_cv_.notify_all();
+    scan_cv_.NotifyAll();
+    settled_cv_.NotifyAll();
   }
   if (retransmitter_.joinable()) retransmitter_.join();
   // Unbind every endpoint we own so transport workers stop calling
   // back into this (about to vanish) object.
   std::vector<EndpointId> endpoints;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& [lmr, receiver] : receivers_) endpoints.push_back(lmr);
     for (const auto& [sender, bound] : senders_) {
       endpoints.push_back(AckEndpoint(sender));
@@ -80,7 +79,7 @@ void ReliableLink::EnsureSenderLocked(uint64_t sender) {
 }
 
 uint64_t ReliableLink::RegisterSender() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const uint64_t sender = next_sender_++;
   EnsureSenderLocked(sender);
   return sender;
@@ -97,7 +96,7 @@ Status ReliableLink::BindReceiver(pubsub::LmrId lmr,
       lmr, [this, lmr](std::string frame) {
         OnReceiverFrame(lmr, std::move(frame));
       }));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   receivers_[lmr].handler = std::move(handler);
   return Status::OK();
 }
@@ -109,7 +108,7 @@ void ReliableLink::UnbindReceiver(pubsub::LmrId lmr) {
   transport_->Unbind(lmr);
   int64_t forgotten = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = receivers_.find(lmr);
     if (it == receivers_.end()) return;
     for (const auto& [sender, flow] : it->second.flows) {
@@ -126,7 +125,7 @@ Status ReliableLink::Publish(uint64_t sender, const pubsub::Notification& note) 
   std::string frame;
   uint64_t sequence = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stop_) return Status::Internal("link is shutting down");
     EnsureSenderLocked(sender);
     if (!transport_->IsBound(note.lmr)) {
@@ -149,7 +148,7 @@ Status ReliableLink::Publish(uint64_t sender, const pubsub::Notification& note) 
     pending_[key].emplace(sequence, std::move(pending));
     ++pending_count_;
     ++stats_.published;
-    scan_cv_.notify_all();
+    scan_cv_.NotifyAll();
   }
   metrics.enqueued.Increment();
   metrics.unacked_depth.Add(1);
@@ -174,7 +173,7 @@ void ReliableLink::OnReceiverFrame(pubsub::LmrId lmr, std::string frame) {
   LinkMetrics& metrics = LinkMetrics::Get();
   Result<DecodedFrame> decoded = DecodeFrame(frame);
   if (!decoded.ok() || decoded.value().type != FrameType::kNotify) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.decode_errors;
     metrics.decode_errors.Increment();
     return;
@@ -189,7 +188,7 @@ void ReliableLink::OnReceiverFrame(pubsub::LmrId lmr, std::string frame) {
   bool duplicate = false;
   int64_t holdback_delta = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = receivers_.find(lmr);
     if (it == receivers_.end()) return;  // Raced an UnbindReceiver.
     Flow& flow = it->second.flows[sender];
@@ -243,7 +242,7 @@ void ReliableLink::OnAckFrame(std::string frame) {
   LinkMetrics& metrics = LinkMetrics::Get();
   Result<DecodedFrame> decoded = DecodeFrame(frame);
   if (!decoded.ok() || decoded.value().type != FrameType::kAck) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.decode_errors;
     metrics.decode_errors.Increment();
     return;
@@ -252,7 +251,7 @@ void ReliableLink::OnAckFrame(std::string frame) {
   bool cleared = false;
   obs::SpanContext trace;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto flow = pending_.find(FlowKey{ack.sender, ack.lmr});
     if (flow != pending_.end()) {
       auto it = flow->second.find(ack.sequence);
@@ -262,7 +261,7 @@ void ReliableLink::OnAckFrame(std::string frame) {
         --pending_count_;
         ++stats_.acked;
         cleared = true;
-        if (pending_count_ == 0) settled_cv_.notify_all();
+        if (pending_count_ == 0) settled_cv_.NotifyAll();
       }
     }
   }
@@ -277,14 +276,13 @@ void ReliableLink::OnAckFrame(std::string frame) {
 
 void ReliableLink::RetransmitLoop() {
   LinkMetrics& metrics = LinkMetrics::Get();
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   while (!stop_) {
     if (pending_count_ == 0) {
-      scan_cv_.wait(lock, [&] { return stop_ || pending_count_ > 0; });
+      while (!stop_ && pending_count_ == 0) scan_cv_.Wait(mu_);
       continue;
     }
-    scan_cv_.wait_for(lock,
-                      std::chrono::microseconds(options_.scan_interval_us));
+    scan_cv_.WaitFor(mu_, options_.scan_interval_us);
     if (stop_) break;
     const int64_t now = NowUs();
     struct Resend {
@@ -332,11 +330,11 @@ void ReliableLink::RetransmitLoop() {
       }
     }
     const bool settled = pending_count_ == 0;
-    lock.unlock();
+    mu_.Unlock();
     metrics.dead.Add(static_cast<int64_t>(dead_letters.size()));
     metrics.redelivered.Add(static_cast<int64_t>(resends.size()));
     metrics.unacked_depth.Add(-static_cast<int64_t>(dead_letters.size()));
-    if (settled) settled_cv_.notify_all();
+    if (settled) settled_cv_.NotifyAll();
     obs::FlightRecorder& recorder = obs::FlightRecorder::Default();
     for (const DeadLetter& dead : dead_letters) {
       recorder.Record(obs::FlightEventType::kDeadLetter,
@@ -362,18 +360,20 @@ void ReliableLink::RetransmitLoop() {
       }
       (void)transport_->Send(resend.lmr, std::move(resend.frame));
     }
-    lock.lock();
+    mu_.Lock();
   }
+  mu_.Unlock();
 }
 
 bool ReliableLink::WaitSettled(int64_t timeout_us) {
   const int64_t deadline = NowUs() + timeout_us;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    const bool settled =
-        settled_cv_.wait_for(lock, std::chrono::microseconds(timeout_us),
-                             [&] { return pending_count_ == 0; });
-    if (!settled) return false;
+    MutexLock lock(mu_);
+    while (pending_count_ != 0) {
+      const int64_t wait_us = deadline - NowUs();
+      if (wait_us <= 0) return false;
+      settled_cv_.WaitFor(mu_, wait_us);
+    }
   }
   // Pending empty means no further *first* deliveries; the transport may
   // still be draining duplicates and acks — wait those out too so the
@@ -383,17 +383,17 @@ bool ReliableLink::WaitSettled(int64_t timeout_us) {
 }
 
 LinkStats ReliableLink::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 size_t ReliableLink::PendingCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return pending_count_;
 }
 
 size_t ReliableLink::HoldbackDepth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t depth = 0;
   for (const auto& [lmr, receiver] : receivers_) {
     for (const auto& [sender, flow] : receiver.flows) {

@@ -1,16 +1,16 @@
 #ifndef MDV_NET_RELIABLE_H_
 #define MDV_NET_RELIABLE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <tuple>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "net/transport.h"
 #include "net/wire.h"
 #include "obs/trace.h"
@@ -78,35 +78,41 @@ class ReliableLink {
   ReliableLink& operator=(const ReliableLink&) = delete;
 
   /// Allocates a sender id (one per MDP) and binds its ack endpoint.
-  uint64_t RegisterSender();
+  uint64_t RegisterSender() EXCLUDES(mu_);
 
   /// Binds the notification handler of an LMR. The handler runs on the
   /// transport's endpoint thread, serially per LMR.
-  Status BindReceiver(pubsub::LmrId lmr, NotificationHandler handler);
+  Status BindReceiver(pubsub::LmrId lmr, NotificationHandler handler)
+      EXCLUDES(mu_);
 
   /// Unbinds an LMR; linearizes against in-flight handler runs (see
   /// Transport::Unbind) and forgets its flow state.
-  void UnbindReceiver(pubsub::LmrId lmr);
+  void UnbindReceiver(pubsub::LmrId lmr) EXCLUDES(mu_);
 
   /// Stamps, encodes and sends `note` to `note.lmr`, tracking it for
   /// redelivery until acked. NotFound if no receiver is bound. Senders
   /// unknown to RegisterSender are registered implicitly.
-  Status Publish(uint64_t sender, const pubsub::Notification& note);
+  Status Publish(uint64_t sender, const pubsub::Notification& note)
+      EXCLUDES(mu_);
 
   /// Blocks until every published frame is acked or dead-lettered and
   /// the transport is idle (all queues drained, no handler running), or
   /// the timeout elapses. After a true return the receivers' state is
   /// safe to read from this thread.
-  bool WaitSettled(int64_t timeout_us);
+  bool WaitSettled(int64_t timeout_us) EXCLUDES(mu_);
 
-  LinkStats stats() const;
+  /// The stats/depth accessors copy under mu_, so a caller already
+  /// holding it (i.e. code inside this class) must read the fields
+  /// directly instead — same pattern as Transport::WaitIdle, enforced
+  /// at compile time by EXCLUDES and at runtime by the rank checker.
+  LinkStats stats() const EXCLUDES(mu_);
 
   /// Unacked frames currently awaiting ack or retransmission.
-  size_t PendingCount() const;
+  size_t PendingCount() const EXCLUDES(mu_);
 
   /// Notifications parked in receiver hold-back queues across all
   /// flows, waiting for a sequence gap to fill.
-  size_t HoldbackDepth() const;
+  size_t HoldbackDepth() const EXCLUDES(mu_);
 
   /// The transport endpoint that carries acks back to `sender`.
   static EndpointId AckEndpoint(uint64_t sender) {
@@ -142,24 +148,27 @@ class ReliableLink {
     std::map<uint64_t, Flow> flows;  // Keyed by sender.
   };
 
-  void EnsureSenderLocked(uint64_t sender);
-  void OnReceiverFrame(pubsub::LmrId lmr, std::string frame);
-  void OnAckFrame(std::string frame);
-  void RetransmitLoop();
+  void EnsureSenderLocked(uint64_t sender) REQUIRES(mu_);
+  void OnReceiverFrame(pubsub::LmrId lmr, std::string frame) EXCLUDES(mu_);
+  void OnAckFrame(std::string frame) EXCLUDES(mu_);
+  void RetransmitLoop() EXCLUDES(mu_);
 
   Transport* transport_;
   const ReliableOptions options_;
-  mutable std::mutex mu_;
-  std::condition_variable settled_cv_;
-  std::condition_variable scan_cv_;
-  bool stop_ = false;                                    // Guarded by mu_.
-  uint64_t next_sender_ = 1;                             // Guarded by mu_.
-  std::map<uint64_t, bool> senders_;                     // Guarded by mu_.
-  std::map<FlowKey, uint64_t> next_seq_;                 // Guarded by mu_.
-  std::map<FlowKey, std::map<uint64_t, Pending>> pending_;  // Guarded.
-  size_t pending_count_ = 0;                             // Guarded by mu_.
-  std::map<pubsub::LmrId, Receiver> receivers_;          // Guarded by mu_.
-  LinkStats stats_;                                      // Guarded by mu_.
+  /// kNetLink ranks outside the transport locks: Publish checks
+  /// IsBound and EnsureSenderLocked binds the ack endpoint while
+  /// holding mu_, so link → transport nesting is the sanctioned order.
+  mutable Mutex mu_{LockRank::kNetLink, "net.link"};
+  CondVar settled_cv_;
+  CondVar scan_cv_;
+  bool stop_ GUARDED_BY(mu_) = false;
+  uint64_t next_sender_ GUARDED_BY(mu_) = 1;
+  std::map<uint64_t, bool> senders_ GUARDED_BY(mu_);
+  std::map<FlowKey, uint64_t> next_seq_ GUARDED_BY(mu_);
+  std::map<FlowKey, std::map<uint64_t, Pending>> pending_ GUARDED_BY(mu_);
+  size_t pending_count_ GUARDED_BY(mu_) = 0;
+  std::map<pubsub::LmrId, Receiver> receivers_ GUARDED_BY(mu_);
+  LinkStats stats_ GUARDED_BY(mu_);
   std::thread retransmitter_;
 };
 

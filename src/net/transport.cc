@@ -1,6 +1,5 @@
 #include "net/transport.h"
 
-#include <chrono>
 #include <random>
 #include <utility>
 #include <vector>
@@ -37,20 +36,26 @@ InProcessTransport::InProcessTransport(TransportOptions options)
 InProcessTransport::~InProcessTransport() {
   std::vector<EndpointId> bound;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& [id, endpoint] : endpoints_) bound.push_back(id);
   }
   for (EndpointId id : bound) Unbind(id);
 }
 
 Status InProcessTransport::Bind(EndpointId endpoint, FrameHandler handler) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (endpoints_.count(endpoint) != 0) {
     return Status::AlreadyExists("transport endpoint " +
                                  std::to_string(endpoint) + " already bound");
   }
   auto state = std::make_shared<Endpoint>();
-  state->handler = std::move(handler);
+  {
+    // The worker is not running yet, but the analysis (and the rank
+    // checker) see handler as endpoint-lock state: initialize it as
+    // such.
+    MutexLock ep_lock(state->mu);
+    state->handler = std::move(handler);
+  }
   state->worker = std::thread([this, state] { WorkerLoop(state); });
   endpoints_.emplace(endpoint, std::move(state));
   return Status::OK();
@@ -59,17 +64,17 @@ Status InProcessTransport::Bind(EndpointId endpoint, FrameHandler handler) {
 void InProcessTransport::Unbind(EndpointId endpoint) {
   std::shared_ptr<Endpoint> state;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = endpoints_.find(endpoint);
     if (it == endpoints_.end()) return;
     state = std::move(it->second);
     endpoints_.erase(it);
   }
   {
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(state->mu);
     state->stop = true;
     state->handler = nullptr;
-    state->cv.notify_all();
+    state->cv.NotifyAll();
   }
   if (state->worker.get_id() == std::this_thread::get_id()) {
     // Re-entrant Unbind from inside the endpoint's own handler: the
@@ -82,7 +87,7 @@ void InProcessTransport::Unbind(EndpointId endpoint) {
 }
 
 bool InProcessTransport::IsBound(EndpointId endpoint) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return endpoints_.count(endpoint) != 0;
 }
 
@@ -92,7 +97,7 @@ Status InProcessTransport::Send(EndpointId to, std::string frame) {
   std::shared_ptr<Endpoint> state;
   int64_t jitter = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = endpoints_.find(to);
     if (it == endpoints_.end()) {
       ++stats_.dropped_unbound;
@@ -107,7 +112,7 @@ Status InProcessTransport::Send(EndpointId to, std::string frame) {
     }
   }
   if (decision.drop) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.dropped_faults;
     metrics.dropped.Increment();
     return Status::OK();  // The sender cannot observe network loss.
@@ -116,7 +121,7 @@ Status InProcessTransport::Send(EndpointId to, std::string frame) {
   int enqueued = 0;
   bool overflowed = false;
   {
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(state->mu);
     if (!state->stop) {
       for (int copy = 0; copy < decision.copies; ++copy) {
         if (state->queue.size() >= options_.queue_capacity) {
@@ -135,7 +140,7 @@ Status InProcessTransport::Send(EndpointId to, std::string frame) {
         // section would let active_ dip to zero with work still queued
         // or running — WaitIdle would report idle mid-delivery.
         active_.fetch_add(enqueued, std::memory_order_relaxed);
-        state->cv.notify_all();
+        state->cv.NotifyAll();
       }
     } else {
       overflowed = false;  // Raced an Unbind: count as unbound below.
@@ -145,7 +150,7 @@ Status InProcessTransport::Send(EndpointId to, std::string frame) {
     metrics.sent.Add(enqueued);
     metrics.queue_depth.Add(enqueued);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats_.sent += enqueued;
   if (overflowed) {
     ++stats_.dropped_overflow;
@@ -166,38 +171,38 @@ Status InProcessTransport::Send(EndpointId to, std::string frame) {
 
 void InProcessTransport::WorkerLoop(const std::shared_ptr<Endpoint>& state) {
   TransportMetrics& metrics = TransportMetrics::Get();
-  std::unique_lock<std::mutex> lock(state->mu);
+  state->mu.Lock();
   for (;;) {
-    state->cv.wait(lock,
-                   [&] { return state->stop || !state->queue.empty(); });
+    while (!state->stop && state->queue.empty()) state->cv.Wait(state->mu);
     if (state->stop) break;
     auto it = state->queue.begin();
     const int64_t now = NowUs();
     if (it->first > now) {
       // Sleep until the earliest frame matures; a new earlier frame or
-      // stop request re-wakes us via the cv.
-      state->cv.wait_for(lock, std::chrono::microseconds(it->first - now));
+      // stop request re-wakes us via the cv (a wake just reloops, so a
+      // spurious one costs a recheck, nothing more).
+      state->cv.WaitFor(state->mu, it->first - now);
       continue;
     }
     std::string frame = std::move(it->second);
     state->queue.erase(it);
     metrics.queue_depth.Add(-1);
     FrameHandler handler = state->handler;
-    lock.unlock();
+    state->mu.Unlock();
     if (handler) handler(std::move(frame));
     {
-      std::lock_guard<std::mutex> stats_lock(mu_);
+      MutexLock stats_lock(mu_);
       ++stats_.delivered;
     }
     metrics.delivered.Increment();
     FinishActive(1);
-    lock.lock();
+    state->mu.Lock();
   }
   // Discard whatever is still queued so WaitIdle does not wait for
   // frames that can never be handled.
   const int64_t discarded = static_cast<int64_t>(state->queue.size());
   state->queue.clear();
-  lock.unlock();
+  state->mu.Unlock();
   if (discarded > 0) {
     metrics.queue_depth.Add(-discarded);
     FinishActive(discarded);
@@ -207,20 +212,24 @@ void InProcessTransport::WorkerLoop(const std::shared_ptr<Endpoint>& state) {
 void InProcessTransport::FinishActive(int64_t n) {
   if (active_.fetch_sub(n, std::memory_order_release) == n) {
     // Hitting zero: wake idle waiters (lock ensures no missed wakeup).
-    std::lock_guard<std::mutex> lock(idle_mu_);
-    idle_cv_.notify_all();
+    MutexLock lock(idle_mu_);
+    idle_cv_.NotifyAll();
   }
 }
 
 bool InProcessTransport::WaitIdle(int64_t timeout_us) {
-  std::unique_lock<std::mutex> lock(idle_mu_);
-  return idle_cv_.wait_for(lock, std::chrono::microseconds(timeout_us), [&] {
-    return active_.load(std::memory_order_acquire) == 0;
-  });
+  const int64_t deadline = NowUs() + timeout_us;
+  MutexLock lock(idle_mu_);
+  while (active_.load(std::memory_order_acquire) != 0) {
+    const int64_t remaining = deadline - NowUs();
+    if (remaining <= 0) return false;
+    idle_cv_.WaitFor(idle_mu_, remaining);
+  }
+  return true;
 }
 
 TransportStats InProcessTransport::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

@@ -2,17 +2,18 @@
 #define MDV_NET_TRANSPORT_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <random>
 #include <string>
 #include <thread>
+#include <utility>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "net/fault.h"
 
 namespace mdv::net {
@@ -98,13 +99,18 @@ class InProcessTransport : public Transport {
   InProcessTransport(const InProcessTransport&) = delete;
   InProcessTransport& operator=(const InProcessTransport&) = delete;
 
-  Status Bind(EndpointId endpoint, FrameHandler handler) override;
-  void Unbind(EndpointId endpoint) override;
-  bool IsBound(EndpointId endpoint) const override;
-  Status Send(EndpointId to, std::string frame) override;
-  bool WaitIdle(int64_t timeout_us) override;
+  Status Bind(EndpointId endpoint, FrameHandler handler) override
+      EXCLUDES(mu_);
+  void Unbind(EndpointId endpoint) override EXCLUDES(mu_);
+  bool IsBound(EndpointId endpoint) const override EXCLUDES(mu_);
+  Status Send(EndpointId to, std::string frame) override EXCLUDES(mu_);
+  bool WaitIdle(int64_t timeout_us) override EXCLUDES(mu_, idle_mu_);
 
-  TransportStats stats() const;
+  /// Copies the per-instance counters under the registry lock; callers
+  /// must not hold it (a handler reading stats() of its own transport
+  /// runs lock-free and is fine — workers drop every lock before
+  /// invoking handlers).
+  TransportStats stats() const EXCLUDES(mu_);
   FaultStats fault_stats() const { return injector_.stats(); }
 
   /// Deterministic per-frame fault schedule (see FaultInjector).
@@ -118,32 +124,41 @@ class InProcessTransport : public Transport {
 
  private:
   struct Endpoint {
-    std::mutex mu;
-    std::condition_variable cv;
+    /// Never nests with the registry lock or another endpoint's: Send
+    /// and Unbind release mu_ before taking it, and workers hold
+    /// nothing while delivering.
+    Mutex mu{LockRank::kNetEndpoint, "net.transport.endpoint"};
+    CondVar cv;
     /// Delivery-time-ordered queue (multimap key = steady-clock
     /// microseconds at which the frame becomes deliverable).
-    std::multimap<int64_t, std::string> queue;  // Guarded by mu.
-    FrameHandler handler;                       // Guarded by mu.
-    bool stop = false;                          // Guarded by mu.
+    std::multimap<int64_t, std::string> queue GUARDED_BY(mu);
+    FrameHandler handler GUARDED_BY(mu);
+    bool stop GUARDED_BY(mu) = false;
     std::thread worker;
   };
 
-  void WorkerLoop(const std::shared_ptr<Endpoint>& endpoint);
+  void WorkerLoop(const std::shared_ptr<Endpoint>& endpoint)
+      EXCLUDES(mu_, idle_mu_);
   /// Release-decrements active_ by `n`, waking idle waiters at zero.
-  void FinishActive(int64_t n);
+  void FinishActive(int64_t n) EXCLUDES(idle_mu_);
 
   const TransportOptions options_;
   FaultInjector injector_;
-  mutable std::mutex mu_;
-  std::map<EndpointId, std::shared_ptr<Endpoint>> endpoints_;  // Guarded.
-  TransportStats stats_;                                       // Guarded.
-  std::mt19937_64 jitter_rng_{0x6A09E667F3BCC909ull};          // Guarded.
+  /// Endpoint registry + per-instance counters. Held only for map
+  /// lookups and counter bumps — never across a handler or a queue
+  /// operation.
+  mutable Mutex mu_{LockRank::kNetTransport, "net.transport"};
+  std::map<EndpointId, std::shared_ptr<Endpoint>> endpoints_ GUARDED_BY(mu_);
+  TransportStats stats_ GUARDED_BY(mu_);
+  std::mt19937_64 jitter_rng_ GUARDED_BY(mu_){0x6A09E667F3BCC909ull};
   /// Queued frames + running handlers. The final release-decrement by a
   /// worker pairs with WaitIdle's acquire-load: observing 0 after it
   /// means every handler effect is visible.
   std::atomic<int64_t> active_{0};
-  std::mutex idle_mu_;
-  std::condition_variable idle_cv_;
+  /// Idle-waiter handshake only; active_ itself is an atomic read
+  /// outside any lock.
+  Mutex idle_mu_{LockRank::kNetIdle, "net.idle"};
+  CondVar idle_cv_;
 };
 
 }  // namespace mdv::net

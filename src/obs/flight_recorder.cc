@@ -5,12 +5,36 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <string>
 
+#include "common/mutex.h"
 #include "obs/metrics.h"
 
 namespace mdv::obs {
 
 namespace {
+
+/// Wires the lock-rank checker's violation hook to the default flight
+/// recorder at static-init time: an out-of-order acquisition lands in
+/// the event ring (kDump, detail = "acquiring<holding") and triggers an
+/// AutoDump, so the post-mortem file names both locks and carries the
+/// pipeline history leading up to the near-deadlock. The checker
+/// suspends rank validation on the violating thread while this hook
+/// runs, so taking the recorder's and registry's (leaf) locks is safe.
+struct LockRankHookRegistrar {
+  LockRankHookRegistrar() {
+    SetLockRankViolationHook([](const LockRankViolation& violation) {
+      FlightRecorder& recorder = FlightRecorder::Default();
+      const std::string pair = std::string(violation.acquiring_name) + "<" +
+                               violation.holding_name;
+      recorder.Record(FlightEventType::kDump,
+                      static_cast<int64_t>(violation.acquiring_rank),
+                      static_cast<int64_t>(violation.holding_rank), 0, pair);
+      recorder.AutoDump("lock_rank_violation");
+    });
+  }
+};
+const LockRankHookRegistrar g_lock_rank_hook_registrar;
 
 std::string JsonEscape(const std::string& s) {
   std::string out;
@@ -126,14 +150,15 @@ std::string FlightRecorder::AutoDump(const std::string& reason) {
   Record(FlightEventType::kDump, 0, 0, 0, reason);
   std::string json = DumpJson();
   {
-    std::lock_guard<std::mutex> lock(dump_mu_);
+    MutexLock lock(dump_mu_);
     last_dump_reason_ = reason;
     last_dump_json_ = json;
   }
   dumps_.fetch_add(1, std::memory_order_relaxed);
   DefaultMetrics().GetCounter("mdv.obs.flight.dumps_total").Increment();
 
-  const char* dir = std::getenv("MDV_FLIGHT_DIR");
+  // Read-only env access; nothing in the process calls setenv.
+  const char* dir = std::getenv("MDV_FLIGHT_DIR");  // NOLINT(concurrency-mt-unsafe)
   std::string path = std::string(dir != nullptr ? dir : ".") + "/flight_" +
                      SanitizeReason(reason) + ".json";
   std::ofstream file(path, std::ios::trunc);
@@ -143,12 +168,12 @@ std::string FlightRecorder::AutoDump(const std::string& reason) {
 }
 
 std::string FlightRecorder::last_dump_reason() const {
-  std::lock_guard<std::mutex> lock(dump_mu_);
+  MutexLock lock(dump_mu_);
   return last_dump_reason_;
 }
 
 std::string FlightRecorder::last_dump_json() const {
-  std::lock_guard<std::mutex> lock(dump_mu_);
+  MutexLock lock(dump_mu_);
   return last_dump_json_;
 }
 

@@ -4,10 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace mdv::obs {
 
@@ -79,7 +81,7 @@ class FlightRecorder {
   /// (last_dump_json()), and bumps `mdv.obs.flight.dumps_total`.
   /// Returns the file path ("" when the write failed; the in-memory
   /// dump still happens).
-  std::string AutoDump(const std::string& reason);
+  std::string AutoDump(const std::string& reason) EXCLUDES(dump_mu_);
 
   /// Lifetime Record() calls.
   uint64_t recorded() const {
@@ -89,8 +91,8 @@ class FlightRecorder {
   int64_t dump_count() const {
     return dumps_.load(std::memory_order_relaxed);
   }
-  std::string last_dump_reason() const;
-  std::string last_dump_json() const;
+  std::string last_dump_reason() const EXCLUDES(dump_mu_);
+  std::string last_dump_json() const EXCLUDES(dump_mu_);
 
   size_t capacity() const { return capacity_; }
 
@@ -122,9 +124,11 @@ class FlightRecorder {
   std::atomic<uint64_t> next_{0};
 
   std::atomic<int64_t> dumps_{0};
-  mutable std::mutex dump_mu_;
-  std::string last_dump_reason_;
-  std::string last_dump_json_;
+  /// Guards only the remembered last dump; AutoDump bumps the dump
+  /// counter and writes the file after releasing it.
+  mutable Mutex dump_mu_{LockRank::kObsFlight, "obs.flight.dump"};
+  std::string last_dump_reason_ GUARDED_BY(dump_mu_);
+  std::string last_dump_json_ GUARDED_BY(dump_mu_);
 };
 
 }  // namespace mdv::obs

@@ -6,9 +6,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace mdv::obs {
 
@@ -119,21 +121,25 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter& GetCounter(const std::string& name);
-  Gauge& GetGauge(const std::string& name);
+  Counter& GetCounter(const std::string& name) EXCLUDES(mu_);
+  Gauge& GetGauge(const std::string& name) EXCLUDES(mu_);
   /// `bounds` is honoured only by the call that creates the histogram;
   /// later lookups of the same name return the existing instance.
   Histogram& GetHistogram(const std::string& name,
-                          std::vector<double> bounds = {});
+                          std::vector<double> bounds = {}) EXCLUDES(mu_);
 
-  MetricsSnapshot Snapshot() const;
-  void Reset();
+  MetricsSnapshot Snapshot() const EXCLUDES(mu_);
+  void Reset() EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  /// Guards only the name → handle maps; the handles themselves are
+  /// lock-free atomics. An obs leaf rank: components record metrics
+  /// while holding their own locks, never the other way around.
+  mutable Mutex mu_{LockRank::kObsRegistry, "obs.metrics"};
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mu_);
 };
 
 /// The process-wide default registry every MDV component records into.

@@ -32,7 +32,7 @@ Tracer::Tracer(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
 void Tracer::Retain(SpanRecord record) {
   bool evicted = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (ring_.size() < capacity_) {
       ring_.push_back(std::move(record));
     } else {
@@ -50,7 +50,7 @@ void Tracer::Retain(SpanRecord record) {
 }
 
 std::vector<SpanRecord> Tracer::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<SpanRecord> out;
   out.reserve(ring_.size());
   // Oldest first: once the ring wrapped, next_slot_ is the oldest entry.
@@ -99,14 +99,14 @@ std::string Tracer::ExportJson() const {
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ring_.clear();
   next_slot_ = 0;
   dropped_.store(0, std::memory_order_relaxed);
 }
 
 void Tracer::SetCapacity(size_t capacity) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   capacity_ = capacity == 0 ? 1 : capacity;
   ring_.clear();
   ring_.reserve(capacity_ < 1024 ? capacity_ : 1024);

@@ -3,11 +3,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace mdv::obs {
@@ -56,50 +57,53 @@ class Tracer {
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   /// All retained spans, oldest first (completion order).
-  std::vector<SpanRecord> Snapshot() const;
+  std::vector<SpanRecord> Snapshot() const EXCLUDES(mu_);
 
   /// The retained spans of one trace, completion order.
-  std::vector<SpanRecord> TraceSpans(uint64_t trace_id) const;
+  std::vector<SpanRecord> TraceSpans(uint64_t trace_id) const EXCLUDES(mu_);
 
   /// Retained spans as a JSON object {"dropped": N, "spans": [...]},
   /// each span {trace_id, span_id, parent_id, name, start_us,
   /// duration_us, attributes}. `dropped` counts spans evicted by ring
   /// overflow since construction (or the last Clear), so a consumer can
   /// tell a complete export from a truncated one.
-  std::string ExportJson() const;
+  std::string ExportJson() const EXCLUDES(mu_);
 
   /// Drops all retained spans (ids keep increasing) and zeroes the
   /// dropped-span count.
-  void Clear();
+  void Clear() EXCLUDES(mu_);
 
   /// Spans evicted by ring overflow (also mirrored into the
   /// `mdv.obs.trace.dropped_spans_total` counter of DefaultMetrics()).
   int64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
 
-  size_t capacity() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t capacity() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return capacity_;
   }
 
   /// Resizes the ring. Retained spans and the dropped count are
   /// discarded — call before a run that needs deeper retention (e.g.
   /// scenario benches), not during one.
-  void SetCapacity(size_t capacity);
+  void SetCapacity(size_t capacity) EXCLUDES(mu_);
 
   static constexpr size_t kDefaultCapacity = 4096;
 
   // ---- Used by ScopedSpan. ---------------------------------------------
   uint64_t NextId() { return next_id_.fetch_add(1, std::memory_order_relaxed); }
-  void Retain(SpanRecord record);
+  void Retain(SpanRecord record) EXCLUDES(mu_);
 
  private:
   std::atomic<bool> enabled_{true};
   std::atomic<uint64_t> next_id_{1};
   std::atomic<int64_t> dropped_{0};
-  mutable std::mutex mu_;
-  size_t capacity_;
-  std::vector<SpanRecord> ring_;  // Ring buffer once full.
-  size_t next_slot_ = 0;          // Insert position when ring_ is full.
+  /// Guards the retention ring only. Retain() bumps the dropped-spans
+  /// counter after releasing it, so the tracer never holds its lock
+  /// into the metrics registry.
+  mutable Mutex mu_{LockRank::kObsTracer, "obs.tracer"};
+  size_t capacity_ GUARDED_BY(mu_);
+  std::vector<SpanRecord> ring_ GUARDED_BY(mu_);  // Ring buffer once full.
+  size_t next_slot_ GUARDED_BY(mu_) = 0;  // Insert position once full.
 };
 
 /// The process-wide tracer every MDV component records into.

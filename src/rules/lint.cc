@@ -520,6 +520,51 @@ std::string FormatLintDiagnostic(const LintDiagnostic& diagnostic) {
   return out;
 }
 
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) —
+/// diagnostic details embed rule text, which may contain either.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FormatLintDiagnosticJson(const LintDiagnostic& diagnostic) {
+  std::string out = "{\"severity\": \"";
+  out += diagnostic.severity == LintSeverity::kError ? "error" : "warning";
+  out += "\", \"code\": \"";
+  out += LintCodeToString(diagnostic.code);
+  out += "\", \"rule\": \"";
+  out += JsonEscape(diagnostic.rule);
+  out += "\", \"related\": \"";
+  out += JsonEscape(diagnostic.related);
+  out += "\", \"detail\": \"";
+  out += JsonEscape(diagnostic.detail);
+  out += "\"}";
+  return out;
+}
+
 bool HasLintErrors(const std::vector<LintDiagnostic>& diagnostics) {
   for (const LintDiagnostic& d : diagnostics) {
     if (d.severity == LintSeverity::kError) return true;

@@ -60,6 +60,13 @@ struct LintDiagnostic {
 /// `error: rule 'r': unsatisfiable: ...` — the CLI's output format.
 std::string FormatLintDiagnostic(const LintDiagnostic& diagnostic);
 
+/// The same finding as one JSON object on a single line:
+/// {"severity": "error", "code": "unsatisfiable", "rule": "r",
+///  "related": "", "detail": "..."} — the machine-readable lint format
+/// (`mdv_lint --json`) consumed by CI and editor integrations. Keys are
+/// emitted in that fixed order; string values are escaped per JSON.
+std::string FormatLintDiagnosticJson(const LintDiagnostic& diagnostic);
+
 /// True if any diagnostic has severity kError.
 bool HasLintErrors(const std::vector<LintDiagnostic>& diagnostics);
 

@@ -1,0 +1,42 @@
+# Golden test for `mdv_lint --json` (satellite of the concurrency-
+# verification PR): runs the linter in JSON-lines mode over the checked-in
+# unsat.rules fixture and diffs stdout against unsat.rules.json byte for
+# byte. Guards the machine-readable diagnostic format consumed by CI —
+# key order, escaping, the compile-error passthrough and the trailing
+# summary object are all part of the contract.
+#
+# Invoked as:
+#   cmake -DMDV_LINT=<path-to-mdv_lint> -DTESTDATA=<tools/testdata>
+#         -P lint_json_golden.cmake
+#
+# Runs with TESTDATA as the working directory so the `file` field of the
+# summary object holds the stable relative path `unsat.rules`.
+
+if(NOT MDV_LINT OR NOT TESTDATA)
+  message(FATAL_ERROR "usage: cmake -DMDV_LINT=... -DTESTDATA=... -P lint_json_golden.cmake")
+endif()
+
+execute_process(
+  COMMAND "${MDV_LINT}" --json unsat.rules
+  WORKING_DIRECTORY "${TESTDATA}"
+  OUTPUT_VARIABLE actual
+  ERROR_VARIABLE stderr_out
+  RESULT_VARIABLE exit_code)
+
+# unsat.rules holds a provable contradiction: the linter must fail.
+if(NOT exit_code EQUAL 1)
+  message(FATAL_ERROR
+    "mdv_lint --json unsat.rules exited ${exit_code}, want 1\n"
+    "stderr: ${stderr_out}")
+endif()
+
+file(READ "${TESTDATA}/unsat.rules.json" expected)
+
+if(NOT actual STREQUAL expected)
+  message(FATAL_ERROR
+    "mdv_lint --json output drifted from the golden file.\n"
+    "--- expected (tools/testdata/unsat.rules.json) ---\n${expected}"
+    "--- actual ---\n${actual}"
+    "If the change is intentional, regenerate the golden:\n"
+    "  (cd tools/testdata && ../../build/tools/mdv_lint --json unsat.rules > unsat.rules.json)")
+endif()

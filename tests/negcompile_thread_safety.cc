@@ -1,0 +1,50 @@
+// Negative-compile check for the clang thread-safety gate (DESIGN.md,
+// Concurrency model). Compiled twice with
+// `clang++ -fsyntax-only -Wthread-safety -Wthread-safety-beta -Werror`:
+//
+//  - without extra defines: a positive control that must COMPILE —
+//    proves the annotations themselves are well-formed and the gate is
+//    not trivially rejecting everything;
+//  - with -DMDV_NEGCOMPILE_UNGUARDED: must FAIL to compile — proves the
+//    analysis actually rejects an unguarded access to a GUARDED_BY
+//    member, i.e. the gate has teeth.
+//
+// Registered from tests/CMakeLists.txt only when the tree is built with
+// clang; gcc compiles the annotations to nothing and would pass both
+// variants vacuously.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() EXCLUDES(mu_) {
+    mdv::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  int value() const EXCLUDES(mu_) {
+    mdv::MutexLock lock(mu_);
+    return value_;
+  }
+
+#if defined(MDV_NEGCOMPILE_UNGUARDED)
+  // -Wthread-safety must reject this: value_ is GUARDED_BY(mu_) and no
+  // lock is held. If this compiles, the CI gate is not working.
+  int UnguardedRead() const { return value_; }
+#endif
+
+ private:
+  mutable mdv::Mutex mu_{mdv::LockRank::kObsRegistry, "negcompile.counter"};
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return counter.value() == 1 ? 0 : 1;
+}

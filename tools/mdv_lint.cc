@@ -7,7 +7,13 @@
 // extension chains. Diagnostics go to stdout in the
 // `error: rule 'name': ...` format of FormatLintDiagnostic.
 //
-// Usage: mdv_lint [--schema FILE] [--werror] RULEFILE
+// Usage: mdv_lint [--schema FILE] [--werror] [--json] RULEFILE
+//
+// With --json, stdout carries machine-readable JSON Lines instead: one
+// object per diagnostic (FormatLintDiagnosticJson; compile errors use
+// code "compile-error"), then one summary object
+// {"file": ..., "rules": N, "errors": N, "warnings": N}. Exit status is
+// unchanged, so CI can both parse the findings and gate on the result.
 //
 // Rule file format: one rule per block, blocks separated by blank
 // lines; `#` starts a comment line. A block may open with `name:` on
@@ -167,7 +173,8 @@ std::optional<mdv::rdf::RdfSchema> LoadSchema(const std::string& path) {
 }
 
 int Usage() {
-  std::cerr << "usage: mdv_lint [--schema FILE] [--werror] RULEFILE\n";
+  std::cerr << "usage: mdv_lint [--schema FILE] [--werror] [--json]"
+               " RULEFILE\n";
   return 2;
 }
 
@@ -177,6 +184,7 @@ int main(int argc, char** argv) {
   std::string schema_path;
   std::string rule_path;
   bool werror = false;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--schema") {
@@ -184,6 +192,8 @@ int main(int argc, char** argv) {
       schema_path = argv[i];
     } else if (arg == "--werror") {
       werror = true;
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -232,20 +242,29 @@ int main(int argc, char** argv) {
     return std::nullopt;
   };
   analyzed.reserve(blocks.size());
+  // Compile errors share the diagnostic pipeline: in JSON mode they
+  // come out as objects with the (lint-external) code "compile-error".
+  auto report_compile_error = [&](const std::string& rule,
+                                  const std::string& message) {
+    compile_errors = true;
+    if (json) {
+      std::cout << "{\"severity\": \"error\", \"code\": \"compile-error\", "
+                << "\"rule\": \"" << rule << "\", \"related\": \"\", "
+                << "\"detail\": \"" << message << "\"}\n";
+      return;
+    }
+    std::cout << "error: rule '" << rule << "': " << message << "\n";
+  };
   for (const RuleBlock& block : blocks) {
     mdv::Result<mdv::rules::RuleAst> ast = mdv::rules::ParseRule(block.text);
     if (!ast.ok()) {
-      std::cout << "error: rule '" << block.name
-                << "': " << ast.status().message() << "\n";
-      compile_errors = true;
+      report_compile_error(block.name, ast.status().message());
       continue;
     }
     mdv::Result<mdv::rules::AnalyzedRule> rule =
         mdv::rules::AnalyzeRule(*ast, schema, resolver);
     if (!rule.ok()) {
-      std::cout << "error: rule '" << block.name
-                << "': " << rule.status().message() << "\n";
-      compile_errors = true;
+      report_compile_error(block.name, rule.status().message());
       continue;
     }
     analyzed.push_back(std::move(*rule));
@@ -263,17 +282,25 @@ int main(int argc, char** argv) {
   int errors = compile_errors ? 1 : 0;
   int warnings = 0;
   for (const mdv::rules::LintDiagnostic& diagnostic : diagnostics) {
-    std::cout << mdv::rules::FormatLintDiagnostic(diagnostic) << "\n";
+    std::cout << (json ? mdv::rules::FormatLintDiagnosticJson(diagnostic)
+                       : mdv::rules::FormatLintDiagnostic(diagnostic))
+              << "\n";
     if (diagnostic.severity == mdv::rules::LintSeverity::kError) {
       ++errors;
     } else {
       ++warnings;
     }
   }
-  std::cout << rule_path << ": " << entries.size() << " rule"
-            << (entries.size() == 1 ? "" : "s") << ", " << errors
-            << " error" << (errors == 1 ? "" : "s") << ", " << warnings
-            << " warning" << (warnings == 1 ? "" : "s") << "\n";
+  if (json) {
+    std::cout << "{\"file\": \"" << rule_path << "\", \"rules\": "
+              << entries.size() << ", \"errors\": " << errors
+              << ", \"warnings\": " << warnings << "}\n";
+  } else {
+    std::cout << rule_path << ": " << entries.size() << " rule"
+              << (entries.size() == 1 ? "" : "s") << ", " << errors
+              << " error" << (errors == 1 ? "" : "s") << ", " << warnings
+              << " warning" << (warnings == 1 ? "" : "s") << "\n";
+  }
   if (errors > 0) return 1;
   if (werror && warnings > 0) return 1;
   return 0;
