@@ -1,0 +1,329 @@
+// Durability cost and recovery-speed measurement for the WAL subsystem
+// (src/wal), plus the crash harness behind the CI crash-recovery smoke.
+//
+// Default mode emits BENCH_recovery.json:
+//   - publish-path append overhead: per-document registration time on a
+//     PATH rule base (10k rules under MDV_BENCH_FULL=1) with the WAL
+//     off vs on under each fsync policy, and the derived overhead_pct
+//     per policy (acceptance: group-commit overhead <= 10%);
+//   - replay throughput and time-to-recover as a function of log
+//     length, measured by recovering copies of the journal taken at
+//     increasing log lengths;
+//   - time-to-recover after a checkpoint (snapshot + empty suffix) for
+//     the same final state, the payoff of compaction.
+//
+// Crash harness (used by .github/workflows/ci.yml):
+//   recovery_bench --crash-dir D --serve
+//     builds a durable MDP (D/mdp) + durable sync LMR (D/lmr) with
+//     fsync-per-append, prints SERVING, then registers documents until
+//     killed (kill -9 mid-batch is the point).
+//   recovery_bench --crash-dir D --recover
+//     recovers both images, audits them, proves the LMR cache is a
+//     subset of the provider's truth (journal-before-send means the
+//     LMR can only be behind, never ahead), refreshes, and requires
+//     exact convergence. Exit 0 on success, 1 on any violation.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "mdv/lmr.h"
+#include "mdv/metadata_provider.h"
+#include "mdv/network.h"
+#include "rdf/schema.h"
+#include "wal/log.h"
+
+namespace mdv::bench {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kCrashRule =
+    "search CycleProvider c register c "
+    "where c.serverInformation.memory > 64";
+
+std::string ScratchDir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / ("mdv_recovery_" + name);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+rdf::RdfDocument MakeCrashDoc(size_t i) {
+  const std::string uri = "crash/doc" + std::to_string(i) + ".rdf";
+  rdf::RdfDocument doc(uri);
+  rdf::Resource info("info", "ServerInformation");
+  info.AddProperty("memory", rdf::PropertyValue::Literal(
+                                 i % 2 == 0 ? "128" : "32"));
+  info.AddProperty("cpu", rdf::PropertyValue::Literal("600"));
+  rdf::Resource host("host", "CycleProvider");
+  host.AddProperty("serverHost", rdf::PropertyValue::Literal("crash.host"));
+  host.AddProperty("serverInformation",
+                   rdf::PropertyValue::ResourceRef(uri + "#info"));
+  BenchCheck(doc.AddResource(std::move(info)), "AddResource info");
+  BenchCheck(doc.AddResource(std::move(host)), "AddResource host");
+  return doc;
+}
+
+// ---- default mode: BENCH_recovery.json -------------------------------
+
+struct PublishSeries {
+  const char* name;
+  bool wal = false;
+  wal::FsyncPolicy fsync = wal::FsyncPolicy::kNone;
+};
+
+/// Registers the rule base and times per-document registration. Returns
+/// avg ms/doc; leaves the journal directory (if any) populated.
+double RunPublishSeries(const PublishSeries& series,
+                        const bench_support::WorkloadGenerator& generator,
+                        size_t rules, size_t docs, const std::string& dir) {
+  rdf::RdfSchema schema = rdf::MakeObjectGlobeSchema();
+  Network network;
+  filter::RuleStoreOptions rule_options;
+  rule_options.num_shards = 4;
+  MetadataProvider provider(&schema, &network, rule_options);
+  if (series.wal) {
+    wal::WalOptions options;
+    options.dir = dir;
+    options.fsync = series.fsync;
+    BenchCheck(provider.EnableDurability(options), "EnableDurability");
+  }
+  for (size_t i = 0; i < rules; ++i) {
+    BenchMust(provider.Subscribe(1, generator.RuleText(i)), "subscribe");
+  }
+  const double ms = TimeMs([&] {
+    for (size_t j = 0; j < docs; ++j) {
+      BenchCheck(provider.RegisterDocument(generator.MakeDocument(j)),
+                 "register");
+    }
+  });
+  return ms / static_cast<double>(docs);
+}
+
+/// Times a fresh recovery of the journal in `dir` and returns (ms,
+/// records replayed).
+std::pair<double, size_t> TimeRecovery(const std::string& dir) {
+  rdf::RdfSchema schema = rdf::MakeObjectGlobeSchema();
+  Network network;
+  filter::RuleStoreOptions rule_options;
+  rule_options.num_shards = 4;
+  MetadataProvider provider(&schema, &network, rule_options);
+  wal::WalOptions options;
+  options.dir = dir;
+  const double ms = TimeMs(
+      [&] { BenchCheck(provider.EnableDurability(options), "recover"); });
+  return {ms, provider.recovery_info().records.size()};
+}
+
+int RunDefault() {
+  const size_t kRules = FullScale() ? 10000 : 1000;
+  const size_t kDocs = FullScale() ? 300 : 100;
+  bench_support::WorkloadGenerator generator(
+      {bench_support::BenchRuleType::kPath, kRules, 0.1});
+
+  std::printf("# recovery_bench: %zu PATH rules, %zu documents\n", kRules,
+              kDocs);
+  std::printf("# columns: figure,series,rules,avg_registration_ms\n");
+
+  const PublishSeries kSeries[] = {
+      {"publish_wal_off", false, wal::FsyncPolicy::kNone},
+      {"publish_wal_fsync_none", true, wal::FsyncPolicy::kNone},
+      {"publish_wal_fsync_batch", true, wal::FsyncPolicy::kBatch},
+      {"publish_wal_fsync_always", true, wal::FsyncPolicy::kAlways},
+  };
+  double baseline_ms = 0;
+  std::string replay_dir;
+  for (const PublishSeries& series : kSeries) {
+    const std::string dir = ScratchDir(series.name);
+    const double avg_ms =
+        RunPublishSeries(series, generator, kRules, kDocs, dir);
+    std::printf("recovery,%s,%zu,%.4f\n", series.name, kRules, avg_ms);
+    std::fflush(stdout);
+    BenchRecords().push_back(BenchRecord{"recovery", series.name, kRules,
+                                         avg_ms, "avg_registration_ms", ""});
+    if (!series.wal) {
+      baseline_ms = avg_ms;
+    } else {
+      const double overhead =
+          baseline_ms > 0 ? (avg_ms / baseline_ms - 1.0) * 100.0 : 0.0;
+      std::printf("recovery,%s,%zu,overhead_pct=%.2f\n", series.name, kRules,
+                  overhead);
+      BenchRecords().push_back(BenchRecord{"recovery", series.name, kRules,
+                                           overhead, "overhead_pct", ""});
+      if (series.fsync == wal::FsyncPolicy::kBatch) {
+        replay_dir = dir;  // Group-commit journal feeds the replay sweep.
+      }
+    }
+  }
+
+  // Time-to-recover vs log length: recover journal copies of
+  // increasing length. The full journal holds kRules subscribe records
+  // plus kDocs register records; shorter logs are produced by rerunning
+  // the publish phase with fewer documents (same rule base).
+  for (const double fraction : {0.25, 0.5, 1.0}) {
+    const size_t docs = static_cast<size_t>(kDocs * fraction);
+    const std::string dir =
+        ScratchDir("replay_" + std::to_string(docs) + "docs");
+    RunPublishSeries({"replay_fill", true, wal::FsyncPolicy::kNone},
+                     generator, kRules, docs, dir);
+    const auto [ms, records] = TimeRecovery(dir);
+    const double throughput = records / (ms / 1000.0);
+    std::printf("recovery,replay,%zu,records=%zu,replay_ms=%.2f,"
+                "records_per_sec=%.0f\n",
+                kRules, records, ms, throughput);
+    std::fflush(stdout);
+    BenchRecords().push_back(BenchRecord{
+        "recovery", "replay", records, ms, "replay_ms",
+        "\"records_per_sec\": " + std::to_string(throughput)});
+    fs::remove_all(dir);
+  }
+
+  // The payoff of compaction: checkpoint the full image, then recover
+  // from the snapshot + empty suffix.
+  {
+    rdf::RdfSchema schema = rdf::MakeObjectGlobeSchema();
+    Network network;
+    filter::RuleStoreOptions rule_options;
+    rule_options.num_shards = 4;
+    MetadataProvider provider(&schema, &network, rule_options);
+    wal::WalOptions options;
+    options.dir = replay_dir;
+    options.fsync = wal::FsyncPolicy::kNone;
+    BenchCheck(provider.EnableDurability(options), "recover for checkpoint");
+    BenchCheck(provider.Checkpoint(), "checkpoint");
+  }
+  const auto [ck_ms, ck_records] = TimeRecovery(replay_dir);
+  std::printf("recovery,recovery_after_checkpoint,%zu,replay_ms=%.2f\n",
+              kRules, ck_ms);
+  BenchRecords().push_back(BenchRecord{"recovery", "recovery_after_checkpoint",
+                                       ck_records, ck_ms, "replay_ms", ""});
+  fs::remove_all(replay_dir);
+  for (const PublishSeries& series : kSeries) {
+    fs::remove_all(ScratchDir(series.name));
+  }
+
+  WriteBenchJson("BENCH_recovery.json");
+  return 0;
+}
+
+// ---- crash harness ---------------------------------------------------
+
+int RunServe(const std::string& crash_dir) {
+  rdf::RdfSchema schema = rdf::MakeObjectGlobeSchema();
+  Network network;
+  MetadataProvider provider(&schema, &network);
+  wal::WalOptions mdp_options;
+  mdp_options.dir = crash_dir + "/mdp";
+  BenchCheck(provider.EnableDurability(mdp_options), "EnableDurability");
+
+  wal::WalOptions lmr_options;
+  lmr_options.dir = crash_dir + "/lmr";
+  std::unique_ptr<LocalMetadataRepository> lmr =
+      BenchMust(LocalMetadataRepository::OpenDurable(1, &schema, &provider,
+                                                     &network, lmr_options),
+                "OpenDurable");
+  BenchMust(lmr->Subscribe(kCrashRule), "subscribe");
+
+  std::printf("SERVING\n");
+  std::fflush(stdout);
+  // Register until killed. fsync-per-append (the WalOptions default)
+  // means everything acknowledged below is on disk when SIGKILL lands.
+  for (size_t i = 0; i < 1000000; ++i) {
+    BenchCheck(provider.RegisterDocument(MakeCrashDoc(i)), "register");
+    if ((i + 1) % 25 == 0) {
+      std::printf("registered %zu\n", i + 1);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}
+
+int RunRecover(const std::string& crash_dir) {
+  rdf::RdfSchema schema = rdf::MakeObjectGlobeSchema();
+  Network network;
+  MetadataProvider provider(&schema, &network);
+  wal::WalOptions mdp_options;
+  mdp_options.dir = crash_dir + "/mdp";
+  BenchCheck(provider.EnableDurability(mdp_options), "recover mdp");
+
+  wal::WalOptions lmr_options;
+  lmr_options.dir = crash_dir + "/lmr";
+  std::unique_ptr<LocalMetadataRepository> lmr =
+      BenchMust(LocalMetadataRepository::OpenDurable(1, &schema, &provider,
+                                                     &network, lmr_options),
+                "recover lmr");
+  BenchCheck(lmr->AuditCacheInvariants(), "audit lmr");
+
+  const std::vector<std::string> truth =
+      BenchMust(provider.Browse(kCrashRule), "browse");
+  std::set<std::string> truth_set(truth.begin(), truth.end());
+
+  // Journal-before-send: the crashed LMR may lag the provider but can
+  // never have applied something the provider does not know about.
+  size_t cached_matches = 0;
+  for (const std::string& uri : lmr->CachedUris()) {
+    const CacheEntry* entry = lmr->Find(uri);
+    if (entry->matched_subscriptions.empty()) continue;  // Strong closure.
+    ++cached_matches;
+    if (truth_set.count(uri) == 0) {
+      std::fprintf(stderr, "phantom cache entry after recovery: %s\n",
+                   uri.c_str());
+      return 1;
+    }
+  }
+  std::printf("recovered: mdp_documents=%zu truth_matches=%zu "
+              "lmr_cached_matches=%zu\n",
+              provider.documents().size(), truth_set.size(), cached_matches);
+
+  // Refresh closes the crash gap; after it the cache must be exact.
+  BenchCheck(lmr->Refresh(), "refresh");
+  size_t refreshed_matches = 0;
+  for (const std::string& uri : lmr->CachedUris()) {
+    const CacheEntry* entry = lmr->Find(uri);
+    if (!entry->matched_subscriptions.empty()) ++refreshed_matches;
+  }
+  if (refreshed_matches != truth_set.size()) {
+    std::fprintf(stderr,
+                 "cache did not converge: %zu matches cached, %zu expected\n",
+                 refreshed_matches, truth_set.size());
+    return 1;
+  }
+  std::printf("converged: matches=%zu\n", refreshed_matches);
+  return 0;
+}
+
+}  // namespace
+}  // namespace mdv::bench
+
+int main(int argc, char** argv) {
+  std::string crash_dir;
+  bool serve = false;
+  bool recover = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--crash-dir") == 0 && i + 1 < argc) {
+      crash_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      serve = true;
+    } else if (std::strcmp(argv[i], "--recover") == 0) {
+      recover = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: recovery_bench [--crash-dir DIR --serve|--recover]\n");
+      return 2;
+    }
+  }
+  if (serve || recover) {
+    if (crash_dir.empty() || (serve && recover)) {
+      std::fprintf(stderr, "--serve/--recover need --crash-dir DIR\n");
+      return 2;
+    }
+    return serve ? mdv::bench::RunServe(crash_dir)
+                 : mdv::bench::RunRecover(crash_dir);
+  }
+  return mdv::bench::RunDefault();
+}

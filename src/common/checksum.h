@@ -1,0 +1,34 @@
+#ifndef MDV_COMMON_CHECKSUM_H_
+#define MDV_COMMON_CHECKSUM_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace mdv {
+
+/// FNV-1a 64 offset basis: the digest of the empty string.
+inline constexpr uint64_t kFnv1aOffsetBasis = 0xcbf29ce484222325ull;
+/// FNV-1a 64 prime. Odd, so multiplication is a bijection mod 2^64 and
+/// any single corrupted byte always changes the digest.
+inline constexpr uint64_t kFnv1aPrime = 0x100000001b3ull;
+
+/// Extends a running FNV-1a 64 digest with `data`. Chaining calls over
+/// consecutive chunks yields the digest of their concatenation.
+constexpr uint64_t Fnv1aExtend(uint64_t digest, std::string_view data) {
+  for (char c : data) {
+    digest ^= static_cast<uint8_t>(c);
+    digest *= kFnv1aPrime;
+  }
+  return digest;
+}
+
+/// FNV-1a 64 of `data` — the one checksum of the codebase, shared by
+/// the net wire codec (frame headers), the WAL record framing, and the
+/// filter's shard-placement fingerprint.
+constexpr uint64_t Fnv1a(std::string_view data) {
+  return Fnv1aExtend(kFnv1aOffsetBasis, data);
+}
+
+}  // namespace mdv
+
+#endif  // MDV_COMMON_CHECKSUM_H_

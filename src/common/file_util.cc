@@ -1,0 +1,75 @@
+#include "common/file_util.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace mdv {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+/// Directory entries (the name → inode link a rename creates) live in
+/// the directory's own data; fsyncing the file alone does not persist
+/// them across a machine crash.
+Status FsyncDir(const std::string& dir) {
+  int fd = ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY);
+  if (fd < 0) return Errno("open dir " + dir);
+  Status status =
+      ::fsync(fd) == 0 ? Status::OK() : Errno("fsync dir " + dir);
+  ::close(fd);
+  return status;
+}
+
+}  // namespace
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("no such file: " + path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::Internal("read failed: " + path);
+  return contents;
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("open " + tmp);
+  size_t written = 0;
+  while (written < contents.size()) {
+    ssize_t n = ::write(fd, contents.data() + written,
+                        contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status status = Errno("write " + tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return status;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    Status status = Errno("fsync " + tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  if (::close(fd) != 0) return Errno("close " + tmp);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status status = Errno("rename " + tmp + " -> " + path);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  const size_t slash = path.find_last_of('/');
+  return FsyncDir(slash == std::string::npos ? "." : path.substr(0, slash));
+}
+
+}  // namespace mdv

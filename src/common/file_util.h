@@ -1,0 +1,24 @@
+#ifndef MDV_COMMON_FILE_UTIL_H_
+#define MDV_COMMON_FILE_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mdv {
+
+/// Whole-file read. NotFound when the file cannot be opened, Internal
+/// on a mid-read error.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Crash-safe whole-file replace: writes `path`.tmp, fsyncs it, renames
+/// over `path`, fsyncs the parent directory. A reader (or a post-crash
+/// recovery) sees the old bytes or the new bytes in full, never a
+/// prefix — the invariant every snapshot/manifest writer relies on.
+Status WriteFileAtomic(const std::string& path, std::string_view contents);
+
+}  // namespace mdv
+
+#endif  // MDV_COMMON_FILE_UTIL_H_

@@ -166,6 +166,7 @@ const char* LockRankName(LockRank rank) {
     case LockRank::kNetFault: return "net.fault";
     case LockRank::kFilterPool: return "filter.pool";
     case LockRank::kFilterQueue: return "filter.pool.queue";
+    case LockRank::kWalJournal: return "wal.journal";
     case LockRank::kObsRegistry: return "obs.metrics";
     case LockRank::kObsTracer: return "obs.tracer";
     case LockRank::kObsFlight: return "obs.flight.dump";

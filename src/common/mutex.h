@@ -55,6 +55,12 @@ enum class LockRank : int {
   /// One pool worker's task deque (never nests with the batch lock or
   /// another deque).
   kFilterQueue = 74,
+  /// wal::Journal segment/manifest state. Acquired under kMdpApi (the
+  /// MDP journals inside its entry points) and from transport endpoint
+  /// threads holding nothing (the LMR's pre-ack journal hook runs after
+  /// the link released kNetLink); only file I/O happens inside, so it
+  /// ranks as a leaf above the obs registries.
+  kWalJournal = 76,
   /// obs::MetricsRegistry name → handle map.
   kObsRegistry = 80,
   /// obs::Tracer span retention ring.

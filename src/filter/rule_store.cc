@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string_view>
 
+#include "common/checksum.h"
 #include "common/logging.h"
 #include "filter/tables.h"
 #include "obs/metrics.h"
@@ -194,14 +196,10 @@ int RuleStore::ShardOfTree(const rules::DecomposedRule& tree) const {
   // single property across all shards. Sorting makes the fingerprint
   // independent of decomposition order.
   std::sort(texts.begin(), texts.end());
-  uint64_t hash = 14695981039346656037ull;  // FNV-1a offset basis.
+  uint64_t hash = kFnv1aOffsetBasis;
   for (const std::string& text : texts) {
-    for (char c : text) {
-      hash ^= static_cast<unsigned char>(c);
-      hash *= 1099511628211ull;
-    }
-    hash ^= 0xffu;  // Atom separator.
-    hash *= 1099511628211ull;
+    hash = Fnv1aExtend(hash, text);
+    hash = Fnv1aExtend(hash, std::string_view("\xff", 1));  // Atom separator.
   }
   return static_cast<int>(hash % static_cast<uint64_t>(options_.num_shards));
 }

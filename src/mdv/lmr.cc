@@ -2,12 +2,19 @@
 
 #include <algorithm>
 #include <functional>
+#include <utility>
 
 #include "common/logging.h"
+#include "mdv/wal_records.h"
+#include "net/wire.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "rdf/parser.h"
+#include "rdf/schema_io.h"
+#include "rdf/writer.h"
 #include "rules/evaluator.h"
+#include "wal/record.h"
 
 namespace mdv {
 
@@ -34,14 +41,365 @@ LocalMetadataRepository::LocalMetadataRepository(pubsub::LmrId id,
                                                  const rdf::RdfSchema* schema,
                                                  MetadataProvider* provider,
                                                  Network* network)
-    : id_(id), schema_(schema), provider_(provider), network_(network) {
-  network_->Attach(id_, [this](const pubsub::Notification& note) {
-    ApplyNotification(note);
-  });
+    : LocalMetadataRepository(DeferAttach{}, id, schema, provider, network) {
+  AttachToNetwork({});
 }
+
+LocalMetadataRepository::LocalMetadataRepository(DeferAttach, pubsub::LmrId id,
+                                                 const rdf::RdfSchema* schema,
+                                                 MetadataProvider* provider,
+                                                 Network* network)
+    : id_(id), schema_(schema), provider_(provider), network_(network) {}
 
 LocalMetadataRepository::~LocalMetadataRepository() {
   network_->Detach(id_);
+}
+
+void LocalMetadataRepository::AttachToNetwork(
+    std::vector<net::FlowRestore> flows) {
+  net::ReceiverDurability durability;
+  if (journal_ != nullptr && network_->asynchronous() &&
+      !journal_->options().read_only) {
+    // The link journals every new frame BEFORE acking it and seeds the
+    // recovered dedup state, which together make delivery exactly-once
+    // across receiver crashes (see net::ReceiverJournal).
+    wal::Journal* journal = journal_.get();
+    durability.journal = [journal](const std::string& frame, uint64_t,
+                                   uint64_t) {
+      return journal->Append(kWalLmrApply, frame);
+    };
+    durability.flows = std::move(flows);
+  }
+  network_->Attach(
+      id_,
+      [this](const pubsub::Notification& note) { ApplyNotification(note); },
+      std::move(durability));
+}
+
+Result<std::unique_ptr<LocalMetadataRepository>>
+LocalMetadataRepository::OpenDurable(pubsub::LmrId id,
+                                     const rdf::RdfSchema* schema,
+                                     MetadataProvider* provider,
+                                     Network* network,
+                                     const wal::WalOptions& options) {
+  wal::Manifest meta;
+  meta.kind = "lmr";
+  meta.schema_text = rdf::WriteSchemaText(*schema);
+  MDV_ASSIGN_OR_RETURN(std::unique_ptr<wal::Journal> journal,
+                       wal::Journal::Open(options, meta));
+  const wal::RecoveryInfo& rec = journal->recovery();
+  if (!rec.fresh && rec.manifest.schema_text != meta.schema_text) {
+    return Status::InvalidArgument(
+        "LMR WAL was written under a different RDF schema");
+  }
+  std::unique_ptr<LocalMetadataRepository> lmr(new LocalMetadataRepository(
+      DeferAttach{}, id, schema, provider, network));
+  lmr->journal_ = std::move(journal);
+  std::map<uint64_t, net::FlowRestore> flows;
+  lmr->replaying_ = true;
+  const Status recovered =
+      lmr->RecoverFromJournal(lmr->journal_->recovery(), &flows);
+  lmr->replaying_ = false;
+  MDV_RETURN_IF_ERROR(recovered);
+  std::vector<net::FlowRestore> flow_list;
+  flow_list.reserve(flows.size());
+  for (auto& [sender, flow] : flows) {
+    flow.sender = sender;
+    flow_list.push_back(std::move(flow));
+  }
+  lmr->AttachToNetwork(std::move(flow_list));
+  return lmr;
+}
+
+Status LocalMetadataRepository::RecoverFromJournal(
+    const wal::RecoveryInfo& rec, std::map<uint64_t, net::FlowRestore>* flows) {
+  if (!rec.snapshot.empty()) {
+    MDV_RETURN_IF_ERROR(LoadSnapshotRecords(rec.snapshot, flows));
+  }
+  for (const wal::WalRecord& record : rec.records) {
+    wal::PayloadReader reader(record.payload);
+    switch (record.type) {
+      case kWalLmrApply:
+        MDV_RETURN_IF_ERROR(ReplayApplyFrame(record.payload, flows));
+        break;
+      case kWalLmrSubscribe: {
+        const int64_t id = reader.ReadI64().value_or(0);
+        if (!reader.Done()) {
+          return Status::Internal("malformed LMR subscribe record");
+        }
+        // The MDP side of the subscription recovers through the MDP's
+        // own journal (or never crashed); only membership is ours.
+        subscriptions_.insert(id);
+        break;
+      }
+      case kWalLmrUnsubscribe: {
+        const int64_t id = reader.ReadI64().value_or(0);
+        if (!reader.Done()) {
+          return Status::Internal("malformed LMR unsubscribe record");
+        }
+        subscriptions_.erase(id);
+        for (auto& [uri, entry] : cache_) {
+          entry.matched_subscriptions.erase(id);
+        }
+        CollectGarbage();
+        break;
+      }
+      case kWalLmrLocalDocument: {
+        const std::string uri = reader.ReadString().value_or("");
+        const std::string xml = reader.ReadString().value_or("");
+        if (!reader.Done()) {
+          return Status::Internal("malformed LMR local-document record");
+        }
+        MDV_ASSIGN_OR_RETURN(rdf::RdfDocument doc, rdf::ParseRdfXml(xml, uri));
+        MDV_RETURN_IF_ERROR(RegisterLocalDocument(doc));
+        break;
+      }
+      default:
+        return Status::Internal("unknown LMR journal record type " +
+                                std::to_string(static_cast<int>(record.type)));
+    }
+  }
+  RecountStrongReferrers();
+  return Status::OK();
+}
+
+Status LocalMetadataRepository::ReplayApplyFrame(
+    const std::string& frame_bytes,
+    std::map<uint64_t, net::FlowRestore>* flows) {
+  MDV_ASSIGN_OR_RETURN(net::DecodedFrame decoded,
+                       net::DecodeFrame(frame_bytes));
+  if (decoded.type != net::FrameType::kNotify) {
+    return Status::Internal("journaled frame is not a notify frame");
+  }
+  const net::NotifyFrame& frame = decoded.notify;
+  if (frame.sender == 0) {
+    // Sync-mode self-journaled apply: sequence stamps are this LMR's
+    // own monotonic counter, already in order and duplicate-free.
+    next_local_seq_ = std::max(next_local_seq_, frame.sequence);
+    ApplyNotificationInternal(frame.notification);
+    return Status::OK();
+  }
+  // Async frame: re-run the link's dedup/hold-back decision so replay
+  // applies exactly what the handler saw — journaled duplicates are
+  // absorbed, out-of-order frames wait for their gap.
+  net::FlowRestore& flow = (*flows)[frame.sender];
+  if (frame.sequence <= flow.applied_through ||
+      flow.holdback.count(frame.sequence) != 0) {
+    return Status::OK();
+  }
+  flow.holdback.emplace(frame.sequence, frame.notification);
+  auto next = flow.holdback.find(flow.applied_through + 1);
+  while (next != flow.holdback.end()) {
+    ApplyNotificationInternal(next->second);
+    flow.applied_through = next->first;
+    flow.holdback.erase(next);
+    next = flow.holdback.find(flow.applied_through + 1);
+  }
+  return Status::OK();
+}
+
+Status LocalMetadataRepository::LoadSnapshotRecords(
+    const std::string& snapshot, std::map<uint64_t, net::FlowRestore>* flows) {
+  const wal::WalScan scan = wal::ScanWalBuffer(snapshot);
+  if (scan.torn) {
+    // Snapshots are installed atomically; a torn one means corruption,
+    // not a crash artifact.
+    return Status::Internal("corrupt LMR snapshot: " + scan.tail_error);
+  }
+  for (const wal::WalRecord& record : scan.records) {
+    wal::PayloadReader reader(record.payload);
+    switch (record.type) {
+      case kWalLmrSnapSubscriptions: {
+        const uint32_t count = reader.ReadU32().value_or(0);
+        for (uint32_t i = 0; i < count && !reader.failed(); ++i) {
+          subscriptions_.insert(reader.ReadI64().value_or(0));
+        }
+        break;
+      }
+      case kWalLmrSnapCacheEntry: {
+        const std::string uri = reader.ReadString().value_or("");
+        const bool local = reader.ReadU8().value_or(0) != 0;
+        std::set<pubsub::SubscriptionId> matched;
+        const uint32_t nsubs = reader.ReadU32().value_or(0);
+        for (uint32_t i = 0; i < nsubs && !reader.failed(); ++i) {
+          matched.insert(reader.ReadI64().value_or(0));
+        }
+        const std::string local_id = reader.ReadString().value_or("");
+        const std::string class_name = reader.ReadString().value_or("");
+        rdf::Resource resource(local_id, class_name);
+        const uint32_t nprops = reader.ReadU32().value_or(0);
+        for (uint32_t i = 0; i < nprops && !reader.failed(); ++i) {
+          const std::string name = reader.ReadString().value_or("");
+          const bool is_ref = reader.ReadU8().value_or(0) != 0;
+          const std::string text = reader.ReadString().value_or("");
+          resource.AddProperty(name,
+                               is_ref ? rdf::PropertyValue::ResourceRef(text)
+                                      : rdf::PropertyValue::Literal(text));
+        }
+        if (reader.failed()) {
+          return Status::Internal("malformed snapshot cache entry");
+        }
+        CacheEntry& entry = UpsertContent(uri, resource);
+        entry.local = local;
+        entry.matched_subscriptions = std::move(matched);
+        break;
+      }
+      case kWalLmrSnapFlow: {
+        const uint64_t sender = reader.ReadU64().value_or(0);
+        net::FlowRestore& flow = (*flows)[sender];
+        flow.sender = sender;
+        flow.applied_through = reader.ReadU64().value_or(0);
+        const uint32_t held = reader.ReadU32().value_or(0);
+        for (uint32_t i = 0; i < held && !reader.failed(); ++i) {
+          const uint64_t sequence = reader.ReadU64().value_or(0);
+          const std::string frame = reader.ReadString().value_or("");
+          if (reader.failed()) break;
+          MDV_ASSIGN_OR_RETURN(net::DecodedFrame decoded,
+                               net::DecodeFrame(frame));
+          flow.holdback.emplace(sequence, decoded.notify.notification);
+        }
+        break;
+      }
+      case kWalLmrSnapLocalSeq:
+        next_local_seq_ = reader.ReadU64().value_or(0);
+        break;
+      default:
+        return Status::Internal("unknown LMR snapshot record type " +
+                                std::to_string(static_cast<int>(record.type)));
+    }
+    if (reader.failed()) {
+      return Status::Internal("malformed LMR snapshot record type " +
+                              std::to_string(static_cast<int>(record.type)));
+    }
+  }
+  RecountStrongReferrers();
+  return Status::OK();
+}
+
+std::string LocalMetadataRepository::BuildSnapshot(
+    const std::vector<net::FlowRestore>& flows) const {
+  std::string snapshot;
+  {
+    std::string payload;
+    wal::PutU32(payload, static_cast<uint32_t>(subscriptions_.size()));
+    for (pubsub::SubscriptionId sub : subscriptions_) {
+      wal::PutI64(payload, sub);
+    }
+    snapshot += wal::EncodeWalRecord(kWalLmrSnapSubscriptions, payload);
+  }
+  for (const auto& [uri, entry] : cache_) {
+    std::string payload;
+    wal::PutString(payload, uri);
+    wal::PutU8(payload, entry.local ? 1 : 0);
+    wal::PutU32(payload,
+                static_cast<uint32_t>(entry.matched_subscriptions.size()));
+    for (pubsub::SubscriptionId sub : entry.matched_subscriptions) {
+      wal::PutI64(payload, sub);
+    }
+    wal::PutString(payload, entry.resource.local_id());
+    wal::PutString(payload, entry.resource.class_name());
+    wal::PutU32(payload,
+                static_cast<uint32_t>(entry.resource.properties().size()));
+    for (const rdf::Property& prop : entry.resource.properties()) {
+      wal::PutString(payload, prop.name);
+      wal::PutU8(payload, prop.value.is_resource_ref() ? 1 : 0);
+      wal::PutString(payload, prop.value.text());
+    }
+    snapshot += wal::EncodeWalRecord(kWalLmrSnapCacheEntry, payload);
+  }
+  for (const net::FlowRestore& flow : flows) {
+    std::string payload;
+    wal::PutU64(payload, flow.sender);
+    wal::PutU64(payload, flow.applied_through);
+    wal::PutU32(payload, static_cast<uint32_t>(flow.holdback.size()));
+    for (const auto& [sequence, note] : flow.holdback) {
+      wal::PutU64(payload, sequence);
+      net::NotifyFrame frame;
+      frame.sender = flow.sender;
+      frame.sequence = sequence;
+      frame.notification = note;
+      wal::PutString(payload, net::EncodeNotifyFrame(frame));
+    }
+    snapshot += wal::EncodeWalRecord(kWalLmrSnapFlow, payload);
+  }
+  {
+    std::string payload;
+    wal::PutU64(payload, next_local_seq_);
+    snapshot += wal::EncodeWalRecord(kWalLmrSnapLocalSeq, payload);
+  }
+  return snapshot;
+}
+
+Status LocalMetadataRepository::Checkpoint() {
+  if (journal_ == nullptr) {
+    return Status::InvalidArgument("durability not enabled");
+  }
+  // Copy the link's dedup state first; with the network quiesced this
+  // is the exact complement of the cache image built next.
+  const std::vector<net::FlowRestore> flows = network_->ReceiverFlowState(id_);
+  return journal_->Checkpoint(BuildSnapshot(flows));
+}
+
+Status LocalMetadataRepository::JournalAppend(uint8_t type,
+                                              std::string payload) {
+  if (journal_ == nullptr || replaying_ || journal_->options().read_only) {
+    return Status::OK();
+  }
+  MDV_RETURN_IF_ERROR(journal_->Append(type, std::move(payload)));
+  const wal::WalOptions& opts = journal_->options();
+  if (opts.checkpoint_every > 0 &&
+      journal_->appended_since_checkpoint() >= opts.checkpoint_every) {
+    return Checkpoint();
+  }
+  return Status::OK();
+}
+
+Status LocalMetadataRepository::AuditCacheInvariants() const {
+  for (const auto& [uri, entry] : cache_) {
+    for (pubsub::SubscriptionId sub : entry.matched_subscriptions) {
+      if (subscriptions_.count(sub) == 0) {
+        return Status::Internal("cache entry " + uri +
+                                " matched by unknown subscription " +
+                                std::to_string(sub));
+      }
+    }
+    if (schema_->FindClass(entry.resource.class_name()) == nullptr) {
+      return Status::Internal("cache entry " + uri + " has unknown class " +
+                              entry.resource.class_name());
+    }
+    std::vector<std::string> expected = StrongTargetsOf(entry.resource);
+    std::vector<std::string> actual = entry.strong_targets;
+    std::sort(expected.begin(), expected.end());
+    std::sort(actual.begin(), actual.end());
+    if (expected != actual) {
+      return Status::Internal("cache entry " + uri +
+                              " strong-target list does not re-derive from "
+                              "its content");
+    }
+    if (!entry.local && entry.matched_subscriptions.empty() &&
+        entry.strong_referrers <= 0) {
+      return Status::Internal("cache entry " + uri +
+                              " is GC-dead but still resident");
+    }
+  }
+  // Re-derive every strong_referrers count from the target lists.
+  std::map<std::string, int> counts;
+  for (const auto& [uri, entry] : cache_) {
+    for (const std::string& target : entry.strong_targets) {
+      if (cache_.count(target) != 0) ++counts[target];
+    }
+  }
+  for (const auto& [uri, entry] : cache_) {
+    const auto it = counts.find(uri);
+    const int expected = it == counts.end() ? 0 : it->second;
+    if (entry.strong_referrers != expected) {
+      return Status::Internal(
+          "cache entry " + uri + " strong_referrers=" +
+          std::to_string(entry.strong_referrers) + ", re-derived " +
+          std::to_string(expected));
+    }
+  }
+  return Status::OK();
 }
 
 Result<pubsub::SubscriptionId> LocalMetadataRepository::Subscribe(
@@ -49,6 +407,11 @@ Result<pubsub::SubscriptionId> LocalMetadataRepository::Subscribe(
   MDV_ASSIGN_OR_RETURN(pubsub::SubscriptionId id,
                        provider_->Subscribe(id_, rule_text, name));
   subscriptions_.insert(id);
+  {
+    std::string payload;
+    wal::PutI64(payload, id);
+    MDV_RETURN_IF_ERROR(JournalAppend(kWalLmrSubscribe, std::move(payload)));
+  }
   return id;
 }
 
@@ -61,7 +424,9 @@ Status LocalMetadataRepository::Unsubscribe(
     entry.matched_subscriptions.erase(subscription);
   }
   CollectGarbage();
-  return Status::OK();
+  std::string payload;
+  wal::PutI64(payload, subscription);
+  return JournalAppend(kWalLmrUnsubscribe, std::move(payload));
 }
 
 Status LocalMetadataRepository::Refresh() {
@@ -78,11 +443,20 @@ Status LocalMetadataRepository::Refresh() {
   for (auto& [uri, entry] : cache_) {
     entry.matched_subscriptions.clear();
   }
+  // A refresh is not a stream of incremental applies — journaling each
+  // snapshot would bloat the log with full images. Checkpoint the
+  // refreshed state instead: crash before the checkpoint replays to the
+  // pre-refresh state, and Refresh() is rerunnable.
+  suppress_apply_journal_ = true;
   for (const pubsub::Notification& snapshot : snapshots) {
     // Apply directly (bypasses the TTL push gate).
     ApplyNotificationInternal(snapshot);
   }
+  suppress_apply_journal_ = false;
   CollectGarbage();
+  if (journal_ != nullptr && !journal_->options().read_only) {
+    return Checkpoint();
+  }
   return Status::OK();
 }
 
@@ -95,7 +469,10 @@ Status LocalMetadataRepository::RegisterLocalDocument(
     entry.local = true;
   }
   RecountStrongReferrers();
-  return Status::OK();
+  std::string payload;
+  wal::PutString(payload, document.uri());
+  wal::PutString(payload, rdf::WriteRdfXml(document));
+  return JournalAppend(kWalLmrLocalDocument, std::move(payload));
 }
 
 std::vector<std::string> LocalMetadataRepository::StrongTargetsOf(
@@ -138,6 +515,26 @@ void LocalMetadataRepository::ApplyNotification(
 
 void LocalMetadataRepository::ApplyNotificationInternal(
     const pubsub::Notification& note) {
+  if (journal_ != nullptr && !replaying_ && !suppress_apply_journal_ &&
+      !network_->asynchronous() && !journal_->options().read_only) {
+    // Synchronous delivery has no link-side journal hook, so the LMR
+    // journals each apply itself, self-framed on the reserved sender 0
+    // flow with its own sequence stamps. Journal-before-mutate: a crash
+    // right after the append replays this very apply.
+    net::NotifyFrame frame;
+    frame.sender = 0;
+    frame.sequence = ++next_local_seq_;
+    frame.notification = note;
+    const Status journaled =
+        journal_->Append(kWalLmrApply, net::EncodeNotifyFrame(frame));
+    if (!journaled.ok()) {
+      // The void apply path cannot refuse delivery; surface the gap
+      // loudly — a Refresh()+Checkpoint() repairs it.
+      MDV_LOG(Warning) << "lmr " << id_
+                       << ": journal append failed, apply not persisted: "
+                       << journaled.ToString();
+    }
+  }
   LmrMetrics& metrics = LmrMetrics::Get();
   // Parent to the message's correlation context (the originating MDP
   // operation) so the apply lands in the publisher's trace even when it

@@ -11,8 +11,10 @@
 
 #include "common/result.h"
 #include "mdv/metadata_provider.h"
+#include "net/reliable.h"
 #include "pubsub/notification.h"
 #include "rdf/schema.h"
+#include "wal/log.h"
 
 namespace mdv {
 
@@ -61,6 +63,23 @@ class LocalMetadataRepository {
   LocalMetadataRepository(pubsub::LmrId id, const rdf::RdfSchema* schema,
                           MetadataProvider* provider, Network* network);
   ~LocalMetadataRepository();
+
+  /// Opens (or recovers) a durable LMR: the cache, the subscription id
+  /// set and the delivery dedup state (net::FlowRestore per sender)
+  /// live in a WAL under `options.dir` and survive kill -9. On an
+  /// existing directory the snapshot and log suffix are replayed before
+  /// the LMR attaches to the network, and the recovered flow state is
+  /// handed to the reliable link so retransmits of already-applied
+  /// notifications are absorbed instead of re-applied (exactly-once
+  /// across the crash). In asynchronous mode every arriving frame is
+  /// journaled pre-ack by the link; in synchronous mode the LMR
+  /// self-journals each apply. `provider` may be null for offline
+  /// inspection (mdv_fsck) — subscription calls and Refresh() are then
+  /// off-limits.
+  static Result<std::unique_ptr<LocalMetadataRepository>> OpenDurable(
+      pubsub::LmrId id, const rdf::RdfSchema* schema,
+      MetadataProvider* provider, Network* network,
+      const wal::WalOptions& options);
 
   LocalMetadataRepository(const LocalMetadataRepository&) = delete;
   LocalMetadataRepository& operator=(const LocalMetadataRepository&) = delete;
@@ -119,7 +138,52 @@ class LocalMetadataRepository {
   /// Number of GC evictions so far.
   int64_t gc_evictions() const { return gc_evictions_; }
 
+  // ---- Durability. -------------------------------------------------------
+
+  bool durable() const { return journal_ != nullptr; }
+
+  /// What OpenDurable recovered (empty when the LMR is volatile).
+  wal::RecoveryInfo recovery_info() const {
+    return journal_ != nullptr ? journal_->recovery() : wal::RecoveryInfo{};
+  }
+
+  /// Compacts the journal: serializes the cache, subscriptions and the
+  /// link's flow state into a snapshot and prunes the replayed log.
+  /// Quiesce first in asynchronous mode (Network::WaitQuiescent) — the
+  /// flow state copied here must not race in-flight frames.
+  Status Checkpoint();
+
+  /// Structural self-check of the cache, for mdv_fsck and tests:
+  /// matched subscriptions exist, strong-reference counts re-derive
+  /// from contents, target lists match the schema, and no entry is
+  /// GC-dead yet resident. Returns the first violation found.
+  Status AuditCacheInvariants() const;
+
  private:
+  struct DeferAttach {};
+  LocalMetadataRepository(DeferAttach, pubsub::LmrId id,
+                          const rdf::RdfSchema* schema,
+                          MetadataProvider* provider, Network* network);
+
+  /// Binds the notification handler, wiring the journal hook and the
+  /// recovered flow state when durable.
+  void AttachToNetwork(std::vector<net::FlowRestore> flows);
+
+  /// Rebuilds state from Open()'s RecoveryInfo: snapshot records, then
+  /// the log suffix. Fills `flows` with the dedup state to seed the
+  /// link with.
+  Status RecoverFromJournal(const wal::RecoveryInfo& rec,
+                            std::map<uint64_t, net::FlowRestore>* flows);
+  Status LoadSnapshotRecords(const std::string& snapshot,
+                             std::map<uint64_t, net::FlowRestore>* flows);
+  /// Re-applies one journaled notify frame, simulating the link's
+  /// per-flow dedup/hold-back so replay converges to what the handler
+  /// actually saw.
+  Status ReplayApplyFrame(const std::string& frame_bytes,
+                          std::map<uint64_t, net::FlowRestore>* flows);
+  std::string BuildSnapshot(const std::vector<net::FlowRestore>& flows) const;
+  /// Appends when durable and not replaying (no-op otherwise).
+  Status JournalAppend(uint8_t type, std::string payload);
   /// Replaces/creates the content of a cache entry, maintaining
   /// outgoing strong-reference counts of its targets.
   CacheEntry& UpsertContent(const std::string& uri,
@@ -150,6 +214,17 @@ class LocalMetadataRepository {
   std::set<pubsub::SubscriptionId> subscriptions_;
   ConsistencyMode mode_ = ConsistencyMode::kNotifications;
   int64_t gc_evictions_ = 0;
+  /// Null for a volatile LMR. The journal is internally thread-safe;
+  /// the async journal hook touches nothing else of this object.
+  std::unique_ptr<wal::Journal> journal_;
+  /// True while OpenDurable re-applies the recovered log: applies and
+  /// subscription changes then skip journaling.
+  bool replaying_ = false;
+  /// True while Refresh() re-applies pulled snapshots: those are not
+  /// journaled — Refresh checkpoints the refreshed state instead.
+  bool suppress_apply_journal_ = false;
+  /// Sequence stamp for sync-mode self-journaled applies (sender 0).
+  uint64_t next_local_seq_ = 0;
 };
 
 }  // namespace mdv

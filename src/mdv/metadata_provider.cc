@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <sstream>
 
+#include "mdv/wal_records.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rdbms/persistence.h"
 #include "rdf/parser.h"
+#include "rdf/schema_io.h"
 #include "rdf/writer.h"
 #include "rules/compiler.h"
+#include "wal/record.h"
 
 namespace mdv {
 
@@ -155,7 +158,17 @@ Status MetadataProvider::RegisterDocumentBatchInternal(
                          publisher_->PublishNewMatches(result));
     StampTrace(&notes, span.context());
     span.AddAttribute("notifications", static_cast<int64_t>(notes.size()));
-    network_->DeliverAll(notes, sender_id_);
+    if (journal_ != nullptr && !replaying_) {
+      std::string payload;
+      wal::PutU32(payload, static_cast<uint32_t>(uris.size()));
+      for (const std::string& uri : uris) {
+        wal::PutString(payload, uri);
+        wal::PutString(payload, rdf::WriteRdfXml(*documents_.Find(uri)));
+      }
+      MDV_RETURN_IF_ERROR(
+          JournalAppendLocked(kWalMdpRegisterDocuments, std::move(payload)));
+    }
+    if (!replaying_) network_->DeliverAll(notes, sender_id_);
     metrics.registered.Add(static_cast<int64_t>(docs.size()));
   }
 
@@ -223,7 +236,14 @@ Status MetadataProvider::UpdateDocumentInternal(rdf::RdfDocument document,
                          publisher_->PublishUpdateOutcome(outcome));
     StampTrace(&notes, span.context());
     span.AddAttribute("notifications", static_cast<int64_t>(notes.size()));
-    network_->DeliverAll(notes, sender_id_);
+    if (journal_ != nullptr && !replaying_) {
+      std::string payload;
+      wal::PutString(payload, updated_copy.uri());
+      wal::PutString(payload, rdf::WriteRdfXml(updated_copy));
+      MDV_RETURN_IF_ERROR(
+          JournalAppendLocked(kWalMdpUpdateDocument, std::move(payload)));
+    }
+    if (!replaying_) network_->DeliverAll(notes, sender_id_);
     metrics.updated.Increment();
   }
 
@@ -272,7 +292,13 @@ Status MetadataProvider::DeleteDocumentInternal(const std::string& uri,
                          publisher_->PublishUpdateOutcome(outcome));
     StampTrace(&notes, span.context());
     span.AddAttribute("notifications", static_cast<int64_t>(notes.size()));
-    network_->DeliverAll(notes, sender_id_);
+    if (journal_ != nullptr && !replaying_) {
+      std::string payload;
+      wal::PutString(payload, uri);
+      MDV_RETURN_IF_ERROR(
+          JournalAppendLocked(kWalMdpDeleteDocument, std::move(payload)));
+    }
+    if (!replaying_) network_->DeliverAll(notes, sender_id_);
     metrics.deleted.Increment();
   }
 
@@ -290,6 +316,13 @@ Result<pubsub::SubscriptionId> MetadataProvider::Subscribe(
   obs::ScopedSpan span("mdp.subscribe", &metrics.subscribe_us);
   span.AddAttribute("lmr", static_cast<int64_t>(lmr));
   MutexLock lock(api_mu_);
+  return SubscribeLocked(lmr, rule_text, name, span.context());
+}
+
+Result<pubsub::SubscriptionId> MetadataProvider::SubscribeLocked(
+    pubsub::LmrId lmr, std::string_view rule_text, const std::string& name,
+    const obs::SpanContext& trace) {
+  MdpMetrics& metrics = MdpMetrics::Get();
   // Extensions may name other subscriptions registered here (§2.3).
   auto extension_resolver =
       [this](const std::string& ext) -> std::optional<std::string> {
@@ -330,13 +363,23 @@ Result<pubsub::SubscriptionId> MetadataProvider::Subscribe(
       registry_.Add(lmr, std::string(rule_text), name, end_rule,
                     compiled.type());
 
+  if (journal_ != nullptr && !replaying_) {
+    std::string payload;
+    wal::PutI64(payload, static_cast<int64_t>(lmr));
+    wal::PutI64(payload, static_cast<int64_t>(id));
+    wal::PutString(payload, rule_text);
+    wal::PutString(payload, name);
+    MDV_RETURN_IF_ERROR(
+        JournalAppendLocked(kWalMdpSubscribe, std::move(payload)));
+  }
+
   const std::vector<std::string>* matches = seeded.MatchesFor(end_rule);
-  if (matches != nullptr && !matches->empty()) {
+  if (matches != nullptr && !matches->empty() && !replaying_) {
     pubsub::Notification note;
     note.kind = pubsub::NotificationKind::kInsert;
     note.lmr = lmr;
     note.subscription = id;
-    note.trace = span.context();
+    note.trace = trace;
     for (const std::string& uri : *matches) {
       MDV_ASSIGN_OR_RETURN(std::vector<pubsub::TransmittedResource> shipped,
                            publisher_->WithStrongClosure(uri));
@@ -383,7 +426,14 @@ Status MetadataProvider::Unsubscribe(pubsub::SubscriptionId subscription) {
   MutexLock lock(api_mu_);
   MDV_ASSIGN_OR_RETURN(pubsub::Subscription removed,
                        registry_.Remove(subscription));
-  return rule_store_->Unregister(removed.end_rule_id);
+  MDV_RETURN_IF_ERROR(rule_store_->Unregister(removed.end_rule_id));
+  if (journal_ != nullptr && !replaying_) {
+    std::string payload;
+    wal::PutI64(payload, static_cast<int64_t>(subscription));
+    MDV_RETURN_IF_ERROR(
+        JournalAppendLocked(kWalMdpUnsubscribe, std::move(payload)));
+  }
+  return Status::OK();
 }
 
 Result<std::vector<std::string>> MetadataProvider::Browse(
@@ -414,6 +464,10 @@ Result<std::vector<std::string>> MetadataProvider::Browse(
 
 Status MetadataProvider::SaveSnapshot(std::ostream& out) const {
   MutexLock lock(api_mu_);
+  return SaveSnapshotLocked(out);
+}
+
+Status MetadataProvider::SaveSnapshotLocked(std::ostream& out) const {
   out << "MDVSNAP1\n";
   out << "DATABASE\n";
   MDV_RETURN_IF_ERROR(rdbms::SaveDatabase(*db_, out));
@@ -438,6 +492,10 @@ Status MetadataProvider::SaveSnapshot(std::ostream& out) const {
 
 Status MetadataProvider::LoadSnapshot(std::istream& in) {
   MutexLock lock(api_mu_);
+  return LoadSnapshotLocked(in);
+}
+
+Status MetadataProvider::LoadSnapshotLocked(std::istream& in) {
   std::string line;
   if (!std::getline(in, line) || line != "MDVSNAP1") {
     return Status::ParseError("missing snapshot header");
@@ -524,6 +582,158 @@ Status MetadataProvider::LoadSnapshot(std::istream& in) {
 void MetadataProvider::AddPeer(MetadataProvider* peer) {
   MutexLock lock(api_mu_);
   peers_.push_back(peer);
+}
+
+Status MetadataProvider::EnableDurability(const wal::WalOptions& options) {
+  wal::Manifest meta;
+  meta.kind = "mdp";
+  meta.num_shards = static_cast<uint32_t>(rule_options_.num_shards);
+  meta.schema_text = rdf::WriteSchemaText(*schema_);
+  MDV_ASSIGN_OR_RETURN(std::unique_ptr<wal::Journal> journal,
+                       wal::Journal::Open(options, meta));
+  const wal::RecoveryInfo& rec = journal->recovery();
+  if (!rec.fresh) {
+    // The manifest pins the configuration the log was written under.
+    // Replaying it into a provider sharded or typed differently would
+    // rebuild a silently different rule base.
+    if (rec.manifest.num_shards != meta.num_shards) {
+      return Status::InvalidArgument(
+          "WAL was written with num_shards=" +
+          std::to_string(rec.manifest.num_shards) + ", provider has " +
+          std::to_string(meta.num_shards));
+    }
+    if (rec.manifest.schema_text != meta.schema_text) {
+      return Status::InvalidArgument(
+          "WAL was written under a different RDF schema");
+    }
+  }
+  {
+    MutexLock lock(api_mu_);
+    if (journal_ != nullptr) {
+      return Status::InvalidArgument("durability already enabled");
+    }
+    if (!peers_.empty()) {
+      return Status::InvalidArgument(
+          "EnableDurability must run before AddPeer");
+    }
+    replaying_ = true;
+  }
+  // Replay outside api_mu_: the snapshot loader and each replayed entry
+  // point take the lock themselves.
+  Status replay = Status::OK();
+  if (!rec.snapshot.empty()) {
+    std::istringstream snap(rec.snapshot);
+    replay = LoadSnapshot(snap);
+  }
+  if (replay.ok()) {
+    for (const wal::WalRecord& record : rec.records) {
+      replay = ReplayRecord(record);
+      if (!replay.ok()) break;
+    }
+  }
+  MutexLock lock(api_mu_);
+  replaying_ = false;
+  if (!replay.ok()) return replay;
+  journal_ = std::move(journal);
+  return Status::OK();
+}
+
+Status MetadataProvider::Checkpoint() {
+  MutexLock lock(api_mu_);
+  return CheckpointLocked();
+}
+
+Status MetadataProvider::CheckpointLocked() {
+  if (journal_ == nullptr) {
+    return Status::InvalidArgument("durability not enabled");
+  }
+  std::ostringstream out;
+  MDV_RETURN_IF_ERROR(SaveSnapshotLocked(out));
+  return journal_->Checkpoint(out.str());
+}
+
+Status MetadataProvider::JournalAppendLocked(uint8_t type,
+                                             std::string payload) {
+  if (journal_ == nullptr || replaying_ || journal_->options().read_only) {
+    return Status::OK();
+  }
+  MDV_RETURN_IF_ERROR(journal_->Append(type, std::move(payload)));
+  const wal::WalOptions& opts = journal_->options();
+  if (opts.checkpoint_every > 0 &&
+      journal_->appended_since_checkpoint() >= opts.checkpoint_every) {
+    return CheckpointLocked();
+  }
+  return Status::OK();
+}
+
+Status MetadataProvider::ReplayRecord(const wal::WalRecord& record) {
+  wal::PayloadReader reader(record.payload);
+  switch (record.type) {
+    case kWalMdpRegisterDocuments: {
+      const uint32_t count = reader.ReadU32().value_or(0);
+      std::vector<rdf::RdfDocument> docs;
+      docs.reserve(count);
+      for (uint32_t i = 0; i < count && !reader.failed(); ++i) {
+        const std::string uri = reader.ReadString().value_or("");
+        const std::string xml = reader.ReadString().value_or("");
+        if (reader.failed()) break;
+        MDV_ASSIGN_OR_RETURN(rdf::RdfDocument doc, rdf::ParseRdfXml(xml, uri));
+        docs.push_back(std::move(doc));
+      }
+      if (!reader.Done()) {
+        return Status::Internal("malformed journaled register record");
+      }
+      return RegisterDocumentBatchInternal(std::move(docs), Origin::kPeer);
+    }
+    case kWalMdpUpdateDocument: {
+      const std::string uri = reader.ReadString().value_or("");
+      const std::string xml = reader.ReadString().value_or("");
+      if (!reader.Done()) {
+        return Status::Internal("malformed journaled update record");
+      }
+      MDV_ASSIGN_OR_RETURN(rdf::RdfDocument doc, rdf::ParseRdfXml(xml, uri));
+      return UpdateDocumentInternal(std::move(doc), Origin::kPeer);
+    }
+    case kWalMdpDeleteDocument: {
+      const std::string uri = reader.ReadString().value_or("");
+      if (!reader.Done()) {
+        return Status::Internal("malformed journaled delete record");
+      }
+      return DeleteDocumentInternal(uri, Origin::kPeer);
+    }
+    case kWalMdpSubscribe: {
+      const int64_t lmr = reader.ReadI64().value_or(0);
+      const int64_t id = reader.ReadI64().value_or(0);
+      const std::string rule_text = reader.ReadString().value_or("");
+      const std::string name = reader.ReadString().value_or("");
+      if (!reader.Done()) {
+        return Status::Internal("malformed journaled subscribe record");
+      }
+      MutexLock lock(api_mu_);
+      MDV_ASSIGN_OR_RETURN(
+          pubsub::SubscriptionId assigned,
+          SubscribeLocked(lmr, rule_text, name, obs::SpanContext{}));
+      // Id assignment is deterministic (a counter restored from the
+      // snapshot), so replay must land on the journaled id — anything
+      // else means the snapshot and log suffix disagree.
+      if (assigned != id) {
+        return Status::Internal("replayed subscription id diverged: journal " +
+                                std::to_string(id) + ", replay " +
+                                std::to_string(assigned));
+      }
+      return Status::OK();
+    }
+    case kWalMdpUnsubscribe: {
+      const int64_t id = reader.ReadI64().value_or(0);
+      if (!reader.Done()) {
+        return Status::Internal("malformed journaled unsubscribe record");
+      }
+      return Unsubscribe(id);
+    }
+    default:
+      return Status::Internal("unknown MDP journal record type " +
+                              std::to_string(static_cast<int>(record.type)));
+  }
 }
 
 }  // namespace mdv

@@ -22,6 +22,7 @@
 #include "pubsub/subscription.h"
 #include "rdbms/database.h"
 #include "rdf/schema.h"
+#include "wal/log.h"
 
 namespace mdv {
 
@@ -121,6 +122,40 @@ class MetadataProvider {
   /// state. The provider keeps its schema, network and peers.
   Status LoadSnapshot(std::istream& in) EXCLUDES(api_mu_);
 
+  // ---- Durability (write-ahead log + compacted snapshots). -----------
+
+  /// Opens (or recovers) a WAL in `options.dir` and switches the
+  /// provider to durable operation: every successful registration,
+  /// update, deletion, subscribe and unsubscribe is journaled before
+  /// its notifications leave, and Checkpoint() compacts the log
+  /// through SaveSnapshot. If the directory holds a previous
+  /// incarnation's log, its snapshot and record suffix are replayed
+  /// first, restoring an identical provider state.
+  ///
+  /// Call once, right after construction — before AddPeer and before
+  /// any traffic (replay forwards to no one and delivers nothing; the
+  /// LMRs recover or resync on their own). The manifest pins the
+  /// schema and shard count; reopening with different ones fails.
+  Status EnableDurability(const wal::WalOptions& options) EXCLUDES(api_mu_);
+
+  /// Writes a compacted snapshot and prunes the replayed log prefix.
+  /// InvalidArgument when durability is not enabled. Also triggered
+  /// automatically every WalOptions::checkpoint_every appends.
+  Status Checkpoint() EXCLUDES(api_mu_);
+
+  /// Whether EnableDurability succeeded on this provider.
+  bool durable() const EXCLUDES(api_mu_) {
+    MutexLock lock(api_mu_);
+    return journal_ != nullptr;
+  }
+
+  /// Replayed-recovery details of the EnableDurability open (empty
+  /// RecoveryInfo if durability is off). For tests and mdv_fsck.
+  wal::RecoveryInfo recovery_info() const EXCLUDES(api_mu_) {
+    MutexLock lock(api_mu_);
+    return journal_ != nullptr ? journal_->recovery() : wal::RecoveryInfo{};
+  }
+
   // ---- Introspection. ----------------------------------------------------
   // The reference accessors hand out state that entry points mutate
   // under api_mu_: they exist for single-threaded setup/teardown and
@@ -159,6 +194,20 @@ class MetadataProvider {
       EXCLUDES(api_mu_);
   Status DeleteDocumentInternal(const std::string& uri, Origin origin)
       EXCLUDES(api_mu_);
+  Result<pubsub::SubscriptionId> SubscribeLocked(pubsub::LmrId lmr,
+                                                 std::string_view rule_text,
+                                                 const std::string& name,
+                                                 const obs::SpanContext& trace)
+      REQUIRES(api_mu_);
+  Status SaveSnapshotLocked(std::ostream& out) const REQUIRES(api_mu_);
+  Status LoadSnapshotLocked(std::istream& in) REQUIRES(api_mu_);
+  /// Appends one record when durable (no-op otherwise or during
+  /// replay), auto-checkpointing per WalOptions::checkpoint_every.
+  Status JournalAppendLocked(uint8_t type, std::string payload)
+      REQUIRES(api_mu_);
+  Status CheckpointLocked() REQUIRES(api_mu_);
+  /// Re-applies one journaled operation during EnableDurability.
+  Status ReplayRecord(const wal::WalRecord& record) EXCLUDES(api_mu_);
 
   const rdf::RdfSchema* schema_;
   Network* network_;
@@ -184,6 +233,13 @@ class MetadataProvider {
   std::vector<MetadataProvider*> peers_ GUARDED_BY(api_mu_);
   int last_iterations_ GUARDED_BY(api_mu_) = 0;
   std::atomic<int> inflight_publishes_{0};
+  /// Null until EnableDurability; the journal itself is thread-safe
+  /// but the pointer and the replay flag follow api_mu_.
+  std::unique_ptr<wal::Journal> journal_ GUARDED_BY(api_mu_);
+  /// True while EnableDurability re-applies the recovered log: entry
+  /// points then skip journaling (the records already exist) and skip
+  /// network delivery (receivers recover or Refresh on their own).
+  bool replaying_ GUARDED_BY(api_mu_) = false;
 };
 
 }  // namespace mdv

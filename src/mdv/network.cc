@@ -51,12 +51,14 @@ uint64_t Network::RegisterSender() {
   return next_sync_sender_++;
 }
 
-void Network::Attach(pubsub::LmrId lmr, Handler handler) {
+void Network::Attach(pubsub::LmrId lmr, Handler handler,
+                     net::ReceiverDurability durability) {
   if (async_ != nullptr) {
     // In async mode the LMR handler runs on the endpoint's transport
     // thread, serially per LMR; the reliable link has already decoded,
     // deduplicated and ordered the notification stream.
-    (void)async_->link.BindReceiver(lmr, std::move(handler));
+    (void)async_->link.BindReceiver(lmr, std::move(handler),
+                                    std::move(durability));
     return;
   }
   MutexLock lock(mutex_);
@@ -171,6 +173,12 @@ void Network::DeliverAll(
   for (const pubsub::Notification& note : notifications) {
     Deliver(note, sender);
   }
+}
+
+std::vector<net::FlowRestore> Network::ReceiverFlowState(
+    pubsub::LmrId lmr) const {
+  if (async_ == nullptr) return {};
+  return async_->link.ReceiverFlowState(lmr);
 }
 
 bool Network::WaitQuiescent(int64_t timeout_us) {

@@ -73,9 +73,19 @@ class Network {
   /// networks hand out ids with no further effect.
   uint64_t RegisterSender() EXCLUDES(mutex_);
 
-  /// Registers the delivery endpoint of an LMR.
-  void Attach(pubsub::LmrId lmr, Handler handler) EXCLUDES(mutex_);
+  /// Registers the delivery endpoint of an LMR. `durability` journals
+  /// frames pre-ack and seeds crash-time flow state in asynchronous
+  /// mode (see net::ReceiverDurability); synchronous delivery has no
+  /// acks or retransmits, so it is ignored there (the LMR journals its
+  /// applies itself).
+  void Attach(pubsub::LmrId lmr, Handler handler,
+              net::ReceiverDurability durability = {}) EXCLUDES(mutex_);
   void Detach(pubsub::LmrId lmr) EXCLUDES(mutex_);
+
+  /// The at-least-once flow state of `lmr` for checkpointing — quiesce
+  /// first (WaitQuiescent). Empty in synchronous mode, which has no
+  /// flow state to persist.
+  std::vector<net::FlowRestore> ReceiverFlowState(pubsub::LmrId lmr) const;
 
   /// Delivers one notification to its LMR; counts it as undeliverable
   /// if no endpoint is attached. `sender` identifies the publishing MDP

@@ -36,4 +36,39 @@ LocalMetadataRepository* MdvSystem::AddRepository(
   return raw;
 }
 
+Result<MetadataProvider*> MdvSystem::AddDurableProvider(
+    const wal::WalOptions& options) {
+  auto provider = std::make_unique<MetadataProvider>(
+      &schema_, &network_, rule_options_, engine_options_);
+  // Recover before meshing: EnableDurability refuses peered providers
+  // because replay must not re-forward journaled registrations.
+  MDV_RETURN_IF_ERROR(provider->EnableDurability(options));
+  MetadataProvider* raw = provider.get();
+  for (const auto& existing : providers_) {
+    existing->AddPeer(raw);
+    raw->AddPeer(existing.get());
+  }
+  providers_.push_back(std::move(provider));
+  return raw;
+}
+
+Result<LocalMetadataRepository*> MdvSystem::AddDurableRepository(
+    const wal::WalOptions& options, MetadataProvider* provider) {
+  if (provider == nullptr) {
+    if (providers_.empty()) AddProvider();
+    provider = providers_.front().get();
+  }
+  // Ids are handed out in Add* call order; a restarted deployment must
+  // re-add components in the same order so each durable LMR reattaches
+  // under the id its journaled flow state was keyed by.
+  MDV_ASSIGN_OR_RETURN(
+      std::unique_ptr<LocalMetadataRepository> lmr,
+      LocalMetadataRepository::OpenDurable(next_lmr_id_, &schema_, provider,
+                                           &network_, options));
+  ++next_lmr_id_;
+  LocalMetadataRepository* raw = lmr.get();
+  repositories_.push_back(std::move(lmr));
+  return raw;
+}
+
 }  // namespace mdv

@@ -34,6 +34,17 @@ class MdvSystem {
   /// Adds an LMR attached to `provider` (defaults to the first MDP).
   LocalMetadataRepository* AddRepository(MetadataProvider* provider = nullptr);
 
+  /// Adds a backbone MDP whose state is journaled (and, on an existing
+  /// directory, recovered) through a WAL — see
+  /// MetadataProvider::EnableDurability. Recovery runs before the MDP
+  /// is meshed with its peers, so replay forwards nothing.
+  Result<MetadataProvider*> AddDurableProvider(const wal::WalOptions& options);
+
+  /// Adds a durable LMR (see LocalMetadataRepository::OpenDurable),
+  /// attached to `provider` (defaults to the first MDP).
+  Result<LocalMetadataRepository*> AddDurableRepository(
+      const wal::WalOptions& options, MetadataProvider* provider = nullptr);
+
   const rdf::RdfSchema& schema() const { return schema_; }
   Network& network() { return network_; }
   const std::vector<std::unique_ptr<MetadataProvider>>& providers() const {

@@ -23,6 +23,9 @@ struct LinkMetrics {
   obs::Counter& dedup = r.GetCounter("mdv.net.dedup_suppressed_total");
   obs::Counter& dead = r.GetCounter("mdv.net.dead_lettered_total");
   obs::Counter& decode_errors = r.GetCounter("mdv.net.decode_errors_total");
+  /// Frames a receiver's durability journal refused (left un-acked for
+  /// redelivery). Nonzero and climbing means the WAL cannot write.
+  obs::Counter& journal_rejects = r.GetCounter("mdv.net.journal_rejects_total");
   /// Depth gauges (summed across links): frames awaiting ack on the
   /// sender side, and notifications parked in receiver hold-back queues
   /// waiting for a sequence gap to fill. Either one climbing without
@@ -86,18 +89,56 @@ uint64_t ReliableLink::RegisterSender() {
 }
 
 Status ReliableLink::BindReceiver(pubsub::LmrId lmr,
-                                  NotificationHandler handler) {
+                                  NotificationHandler handler,
+                                  ReceiverDurability durability) {
   if (lmr < 0) {
     return Status::InvalidArgument(
         "asynchronous delivery requires non-negative LMR ids, got " +
         std::to_string(lmr));
   }
-  MDV_RETURN_IF_ERROR(transport_->Bind(
-      lmr, [this, lmr](std::string frame) {
-        OnReceiverFrame(lmr, std::move(frame));
-      }));
-  MutexLock lock(mu_);
-  receivers_[lmr].handler = std::move(handler);
+  // Install the receiver state — handler, journal, restored flows —
+  // before the endpoint binds: the first frame may arrive the moment
+  // Bind returns, and it must see the crash-time dedup state, not an
+  // empty flow map that would let an already-applied retransmit
+  // through.
+  int64_t seeded_holdback = 0;
+  {
+    MutexLock lock(mu_);
+    Receiver& receiver = receivers_[lmr];
+    receiver.handler = std::move(handler);
+    receiver.journal = std::move(durability.journal);
+    receiver.flows.clear();
+    for (FlowRestore& restore : durability.flows) {
+      Flow& flow = receiver.flows[restore.sender];
+      flow.applied_through = restore.applied_through;
+      flow.holdback = std::move(restore.holdback);
+      seeded_holdback += static_cast<int64_t>(flow.holdback.size());
+      // If the sender side of this flow restarted too (whole-process
+      // crash: its in-memory counter reset to zero), resume numbering
+      // above the receiver's watermark — otherwise every post-restart
+      // publish would dedup away as a stale sequence.
+      uint64_t watermark = flow.applied_through;
+      if (!flow.holdback.empty()) {
+        watermark = std::max(watermark, flow.holdback.rbegin()->first);
+      }
+      uint64_t& next = next_seq_[FlowKey{restore.sender, lmr}];
+      next = std::max(next, watermark);
+    }
+  }
+  if (seeded_holdback != 0) {
+    LinkMetrics::Get().holdback_depth.Add(seeded_holdback);
+  }
+  Status bound = transport_->Bind(lmr, [this, lmr](std::string frame) {
+    OnReceiverFrame(lmr, std::move(frame));
+  });
+  if (!bound.ok()) {
+    MutexLock lock(mu_);
+    receivers_.erase(lmr);
+    if (seeded_holdback != 0) {
+      LinkMetrics::Get().holdback_depth.Add(-seeded_holdback);
+    }
+    return bound;
+  }
   return Status::OK();
 }
 
@@ -183,18 +224,42 @@ void ReliableLink::OnReceiverFrame(pubsub::LmrId lmr, std::string frame) {
   const uint64_t sender = notify.sender;
   const obs::SpanContext trace = notify.notification.trace;
 
+  // First pass under the lock: classify the frame and pick up the
+  // journal. New frames are NOT inserted yet — the journal write must
+  // come first, and it does file I/O we refuse to do under mu_.
+  bool duplicate = false;
+  ReceiverJournal journal;
+  {
+    MutexLock lock(mu_);
+    auto it = receivers_.find(lmr);
+    if (it == receivers_.end()) return;  // Raced an UnbindReceiver.
+    Flow& flow = it->second.flows[sender];
+    duplicate = sequence <= flow.applied_through ||
+                flow.holdback.count(sequence) != 0;
+    if (!duplicate) journal = it->second.journal;
+  }
+  // Journal before ack: once the ack leaves, the sender forgets the
+  // frame, so the only durable copy is ours. A journal failure drops
+  // the frame un-acked — the retransmit timer redelivers it and the
+  // journal gets another chance. Safe outside mu_ because the
+  // transport runs this receiver's frames serially.
+  if (!duplicate && journal) {
+    Status journaled = journal(frame, sender, sequence);
+    if (!journaled.ok()) {
+      metrics.journal_rejects.Increment();
+      return;
+    }
+  }
+
   std::vector<pubsub::Notification> ready;
   NotificationHandler handler;
-  bool duplicate = false;
   int64_t holdback_delta = 0;
   {
     MutexLock lock(mu_);
     auto it = receivers_.find(lmr);
     if (it == receivers_.end()) return;  // Raced an UnbindReceiver.
     Flow& flow = it->second.flows[sender];
-    if (sequence <= flow.applied_through ||
-        flow.holdback.count(sequence) != 0) {
-      duplicate = true;
+    if (duplicate) {
       ++stats_.dedup_suppressed;
     } else {
       flow.holdback.emplace(sequence, std::move(notify.notification));
@@ -390,6 +455,22 @@ LinkStats ReliableLink::stats() const {
 size_t ReliableLink::PendingCount() const {
   MutexLock lock(mu_);
   return pending_count_;
+}
+
+std::vector<FlowRestore> ReliableLink::ReceiverFlowState(
+    pubsub::LmrId lmr) const {
+  std::vector<FlowRestore> flows;
+  MutexLock lock(mu_);
+  auto it = receivers_.find(lmr);
+  if (it == receivers_.end()) return flows;
+  for (const auto& [sender, flow] : it->second.flows) {
+    FlowRestore restore;
+    restore.sender = sender;
+    restore.applied_through = flow.applied_through;
+    restore.holdback = flow.holdback;
+    flows.push_back(std::move(restore));
+  }
+  return flows;
 }
 
 size_t ReliableLink::HoldbackDepth() const {

@@ -8,6 +8,8 @@
 #include <thread>
 #include <tuple>
 
+#include <vector>
+
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -17,6 +19,35 @@
 #include "pubsub/notification.h"
 
 namespace mdv::net {
+
+/// One (sender → receiver) flow's dedup/reorder state, exportable for
+/// persistence and re-importable on restart. A receiver seeded with
+/// the state it held at crash time neither re-applies a notification
+/// the sender retransmits (sequence <= applied_through) nor loses one
+/// that was parked out-of-order in the hold-back queue.
+struct FlowRestore {
+  uint64_t sender = 0;
+  uint64_t applied_through = 0;
+  std::map<uint64_t, pubsub::Notification> holdback;
+};
+
+/// Durability hook for one receiver: called with the raw notify frame
+/// BEFORE the link acks or applies it. A non-OK return aborts
+/// processing of the frame entirely — no ack, no dedup insert, no
+/// handler call — so the sender's retransmit timer redelivers it and
+/// the journal gets another chance. This ordering is what makes the
+/// protocol exactly-once across receiver crashes: a frame is acked
+/// only once it is journaled, and the journal replay restores the
+/// dedup state that absorbs the retransmits of anything acked.
+using ReceiverJournal = std::function<Status(
+    const std::string& frame, uint64_t sender, uint64_t sequence)>;
+
+/// Per-receiver durability wiring passed to BindReceiver. Default
+/// (empty) means a volatile receiver: no journal, fresh flows.
+struct ReceiverDurability {
+  ReceiverJournal journal;
+  std::vector<FlowRestore> flows;
+};
 
 /// Tuning of the at-least-once delivery protocol.
 struct ReliableOptions {
@@ -81,9 +112,11 @@ class ReliableLink {
   uint64_t RegisterSender() EXCLUDES(mu_);
 
   /// Binds the notification handler of an LMR. The handler runs on the
-  /// transport's endpoint thread, serially per LMR.
-  Status BindReceiver(pubsub::LmrId lmr, NotificationHandler handler)
-      EXCLUDES(mu_);
+  /// transport's endpoint thread, serially per LMR. `durability`
+  /// optionally journals every new frame pre-ack and seeds the flow
+  /// state a previous incarnation persisted (see ReceiverDurability).
+  Status BindReceiver(pubsub::LmrId lmr, NotificationHandler handler,
+                      ReceiverDurability durability = {}) EXCLUDES(mu_);
 
   /// Unbinds an LMR; linearizes against in-flight handler runs (see
   /// Transport::Unbind) and forgets its flow state.
@@ -113,6 +146,12 @@ class ReliableLink {
   /// Notifications parked in receiver hold-back queues across all
   /// flows, waiting for a sequence gap to fill.
   size_t HoldbackDepth() const EXCLUDES(mu_);
+
+  /// Copies `lmr`'s current flow state for checkpointing. Only
+  /// meaningful when no frame for `lmr` is in flight (the caller
+  /// quiesces first, e.g. via WaitSettled); empty if unbound.
+  std::vector<FlowRestore> ReceiverFlowState(pubsub::LmrId lmr) const
+      EXCLUDES(mu_);
 
   /// The transport endpoint that carries acks back to `sender`.
   static EndpointId AckEndpoint(uint64_t sender) {
@@ -145,6 +184,7 @@ class ReliableLink {
 
   struct Receiver {
     NotificationHandler handler;
+    ReceiverJournal journal;
     std::map<uint64_t, Flow> flows;  // Keyed by sender.
   };
 

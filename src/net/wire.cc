@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/checksum.h"
+
 namespace mdv::net {
 
 namespace {
@@ -112,19 +114,6 @@ class Reader {
   std::string_view data_;
   size_t pos_ = 0;
 };
-
-// ---- Checksum. ----------------------------------------------------------
-
-/// FNV-1a 64. Multiplication by the odd prime is a bijection mod 2^64,
-/// so any single corrupted byte always changes the digest.
-uint64_t Fnv1a(std::string_view data) {
-  uint64_t h = 0xcbf29ce484222325ull;
-  for (char c : data) {
-    h ^= static_cast<uint8_t>(c);
-    h *= 0x100000001b3ull;
-  }
-  return h;
-}
 
 // ---- Payload codecs. ----------------------------------------------------
 

@@ -72,6 +72,9 @@ const char* FlightEventTypeName(FlightEventType type) {
     case FlightEventType::kAuditFail: return "audit_fail";
     case FlightEventType::kApply: return "apply";
     case FlightEventType::kDump: return "dump";
+    case FlightEventType::kWalAppend: return "wal_append";
+    case FlightEventType::kWalCheckpoint: return "wal_checkpoint";
+    case FlightEventType::kWalRecover: return "wal_recover";
   }
   return "unknown";
 }

@@ -29,6 +29,9 @@ enum class FlightEventType : uint8_t {
   kAuditFail = 8,       ///< detail=violation summary (truncated).
   kApply = 9,           ///< a=lmr id, b=resource count, c=trace id.
   kDump = 10,           ///< detail=dump reason.
+  kWalAppend = 11,      ///< a=record type, b=payload bytes, c=segment.
+  kWalCheckpoint = 12,  ///< a=new epoch, b=snapshot bytes, c=pruned segments.
+  kWalRecover = 13,     ///< a=replayed records, b=truncated tail bytes.
 };
 
 const char* FlightEventTypeName(FlightEventType type);

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/file_util.h"
 #include "common/string_util.h"
 #include "rdbms/table.h"
 
@@ -140,11 +141,13 @@ Status SaveDatabase(const Database& db, std::ostream& out) {
 }
 
 Status SaveDatabaseToFile(const Database& db, const std::string& path) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out.is_open()) {
-    return Status::InvalidArgument("cannot open " + path + " for writing");
-  }
-  return SaveDatabase(db, out);
+  // Serialize to memory first, then replace the file atomically — a
+  // crash mid-save must leave the previous image intact, not a torn
+  // half-written one (a torn image is what LoadDatabase's hardening
+  // protects against, but losing the good copy is worse).
+  std::ostringstream out;
+  MDV_RETURN_IF_ERROR(SaveDatabase(db, out));
+  return WriteFileAtomic(path, out.str());
 }
 
 Result<std::unique_ptr<Database>> LoadDatabase(std::istream& in) {
@@ -177,21 +180,28 @@ Result<std::unique_ptr<Database>> LoadDatabase(std::istream& in) {
   while (std::getline(in, line)) {
     if (line == "END") {
       MDV_RETURN_IF_ERROR(flush_table_header());
-      if (pending_rows != 0) {
+      if (pending_rows != 0 || !row.empty()) {
         return Status::ParseError("truncated rows for table " + table_name);
       }
       return db;
     }
     if (StartsWith(line, "TABLE ")) {
       MDV_RETURN_IF_ERROR(flush_table_header());
-      if (pending_rows != 0) {
+      if (pending_rows != 0 || !row.empty()) {
         return Status::ParseError("truncated rows for table " + table_name);
       }
       std::istringstream ss(line.substr(6));
       std::string escaped;
-      if (!(ss >> escaped >> pending_columns >> pending_rows)) {
+      // Parse counts signed so a corrupted "-1" is rejected instead of
+      // wrapping to SIZE_MAX.
+      long long column_count = 0;
+      long long row_count = 0;
+      if (!(ss >> escaped >> column_count >> row_count) || column_count < 0 ||
+          row_count < 0) {
         return Status::ParseError("malformed TABLE line: " + line);
       }
+      pending_columns = static_cast<size_t>(column_count);
+      pending_rows = static_cast<size_t>(row_count);
       table_name = UnescapeText(escaped);
       columns.clear();
       indexes.clear();

@@ -16,11 +16,15 @@ namespace mdv::rdbms {
 /// a reloaded database is semantically identical.
 Status SaveDatabase(const Database& db, std::ostream& out);
 
-/// Writes SaveDatabase output to `path` (overwriting).
+/// Writes SaveDatabase output to `path`, replacing any previous file
+/// atomically (temp file + fsync + rename): a crash mid-save leaves the
+/// old image intact.
 Status SaveDatabaseToFile(const Database& db, const std::string& path);
 
 /// Reconstructs a database from SaveDatabase output. Indexes are
-/// re-created and back-filled.
+/// re-created and back-filled. Truncated or corrupted input — torn
+/// tails, mangled counts, unknown tags — yields ParseError, never a
+/// crash or a silently partial database.
 Result<std::unique_ptr<Database>> LoadDatabase(std::istream& in);
 
 Result<std::unique_ptr<Database>> LoadDatabaseFromFile(

@@ -1,0 +1,129 @@
+#include "rdf/schema_io.h"
+
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace mdv::rdf {
+
+namespace {
+
+constexpr std::string_view kHeader = "MDVSCHEMA1";
+
+bool IsBareToken(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string WriteSchemaText(const RdfSchema& schema) {
+  std::string out(kHeader);
+  out += '\n';
+  for (const std::string& class_name : schema.ClassNames()) {
+    const ClassDef* class_def = schema.FindClass(class_name);
+    out += "class " + class_name + "\n";
+    for (const auto& [name, property] : class_def->properties) {
+      if (property.kind == PropertyKind::kLiteral) {
+        out += "literal";
+        if (property.set_valued) out += '*';
+        out += ' ' + name + '\n';
+      } else {
+        out += "ref";
+        if (property.set_valued) out += '*';
+        if (property.strength == RefStrength::kStrong) out += '!';
+        out += ' ' + name + ' ' + property.referenced_class + '\n';
+      }
+    }
+  }
+  return out;
+}
+
+Result<RdfSchema> ParseSchemaText(std::string_view text) {
+  RdfSchema schema;
+  bool saw_header = false;
+  bool have_class = false;
+  ClassDef current;
+  auto flush = [&]() -> Status {
+    if (!have_class) return Status::OK();
+    have_class = false;
+    return schema.AddClass(std::move(current));
+  };
+
+  int line_no = 0;
+  for (const std::string& raw : SplitString(text, '\n')) {
+    ++line_no;
+    const std::string line(TrimWhitespace(raw));
+    if (line.empty()) continue;
+    const std::string at = " at line " + std::to_string(line_no);
+    if (!saw_header) {
+      if (line != kHeader) {
+        return Status::ParseError("expected MDVSCHEMA1 header" + at);
+      }
+      saw_header = true;
+      continue;
+    }
+    std::vector<std::string> tokens;
+    for (const std::string& token : SplitString(line, ' ')) {
+      if (!token.empty()) tokens.push_back(token);
+    }
+    std::string keyword = tokens[0];
+    bool set_valued = false;
+    bool strong = false;
+    if (EndsWith(keyword, "!")) {
+      strong = true;
+      keyword.pop_back();
+    }
+    if (EndsWith(keyword, "*")) {
+      set_valued = true;
+      keyword.pop_back();
+    }
+    if (keyword == "class") {
+      if (strong || set_valued || tokens.size() != 2 ||
+          !IsBareToken(tokens[1])) {
+        return Status::ParseError("malformed class line" + at);
+      }
+      MDV_RETURN_IF_ERROR(flush());
+      current = ClassDef{};
+      current.name = tokens[1];
+      have_class = true;
+      continue;
+    }
+    if (!have_class) {
+      return Status::ParseError("property before any class" + at);
+    }
+    PropertyDef property;
+    property.set_valued = set_valued;
+    if (keyword == "literal") {
+      if (strong || tokens.size() != 2) {
+        return Status::ParseError("malformed literal line" + at);
+      }
+      property.name = tokens[1];
+      property.kind = PropertyKind::kLiteral;
+    } else if (keyword == "ref") {
+      if (tokens.size() != 3) {
+        return Status::ParseError("malformed ref line" + at);
+      }
+      property.name = tokens[1];
+      property.kind = PropertyKind::kReference;
+      property.referenced_class = tokens[2];
+      property.strength = strong ? RefStrength::kStrong : RefStrength::kWeak;
+    } else {
+      return Status::ParseError("unknown keyword '" + tokens[0] + "'" + at);
+    }
+    if (current.properties.count(property.name) > 0) {
+      return Status::ParseError("duplicate property '" + property.name + "'" +
+                                at);
+    }
+    current.properties[property.name] = std::move(property);
+  }
+  if (!saw_header) return Status::ParseError("empty schema text");
+  MDV_RETURN_IF_ERROR(flush());
+  return schema;
+}
+
+}  // namespace mdv::rdf

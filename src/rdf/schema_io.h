@@ -1,0 +1,36 @@
+#ifndef MDV_RDF_SCHEMA_IO_H_
+#define MDV_RDF_SCHEMA_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "rdf/schema.h"
+
+namespace mdv::rdf {
+
+/// Serializes a schema to a line-oriented text form that round-trips
+/// through ParseSchemaText. Unlike the rule DSL's schema syntax, this
+/// form carries the strong/weak annotation, so a WAL manifest embedding
+/// it fully describes the federation schema and an offline reader
+/// (mdv_fsck) can validate recovered documents without the original
+/// process's configuration.
+///
+///   MDVSCHEMA1
+///   class CycleProvider
+///   literal serverHost
+///   literal* tags                            <- * marks set-valued
+///   ref! serverInformation ServerInformation <- ! marks strong
+///   ref*! mirrors ServerInformation
+///   ref backup CycleProvider                 <- plain ref is weak
+///
+/// Classes are emitted in name order, properties in name order, so
+/// equal schemas serialize to byte-equal text.
+std::string WriteSchemaText(const RdfSchema& schema);
+
+/// Parses WriteSchemaText output. ParseError names the offending line.
+Result<RdfSchema> ParseSchemaText(std::string_view text);
+
+}  // namespace mdv::rdf
+
+#endif  // MDV_RDF_SCHEMA_IO_H_

@@ -1,0 +1,393 @@
+#include "wal/log.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "common/file_util.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
+namespace mdv::wal {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// The MANIFEST file holds exactly one record of this type; segments
+/// never contain it (owners number their record types from 1 up).
+constexpr uint8_t kManifestRecord = 0;
+
+/// Process-wide WAL metrics, aggregated across journals. Resolved once.
+struct WalMetrics {
+  obs::MetricsRegistry& r = obs::DefaultMetrics();
+  obs::Counter& appends = r.GetCounter("mdv.wal.appends_total");
+  obs::Counter& fsyncs = r.GetCounter("mdv.wal.fsyncs_total");
+  obs::Counter& bytes = r.GetCounter("mdv.wal.bytes_total");
+  obs::Counter& replayed = r.GetCounter("mdv.wal.replayed_records_total");
+  obs::Counter& truncated = r.GetCounter("mdv.wal.truncated_tails_total");
+  obs::Counter& checkpoints = r.GetCounter("mdv.wal.checkpoints_total");
+
+  static WalMetrics& Get() {
+    static WalMetrics& metrics = *new WalMetrics();
+    return metrics;
+  }
+};
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+Status FsyncFd(int fd, const std::string& what) {
+  if (::fsync(fd) != 0) return Errno("fsync " + what);
+  WalMetrics::Get().fsyncs.Increment();
+  return Status::OK();
+}
+
+/// fsyncs the directory so a just-renamed or just-created entry
+/// survives a machine crash (the entry lives in the directory inode).
+Status FsyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return Errno("open dir " + dir);
+  Status status = FsyncFd(fd, dir);
+  ::close(fd);
+  return status;
+}
+
+std::string EncodeManifest(const Manifest& manifest) {
+  std::string payload;
+  PutU64(payload, manifest.epoch);
+  PutU64(payload, manifest.first_segment);
+  PutString(payload, manifest.kind);
+  PutU32(payload, manifest.num_shards);
+  PutString(payload, manifest.schema_text);
+  return EncodeWalRecord(kManifestRecord, payload);
+}
+
+Result<Manifest> DecodeManifest(const std::string& bytes) {
+  WalScan scan = ScanWalBuffer(bytes);
+  if (scan.records.size() != 1 || scan.torn ||
+      scan.records[0].type != kManifestRecord) {
+    return Status::ParseError("manifest is not a single intact record");
+  }
+  PayloadReader reader(scan.records[0].payload);
+  Manifest manifest;
+  auto epoch = reader.ReadU64();
+  auto first_segment = reader.ReadU64();
+  auto kind = reader.ReadString();
+  auto num_shards = reader.ReadU32();
+  auto schema_text = reader.ReadString();
+  if (!schema_text || !reader.Done()) {
+    return Status::ParseError("manifest payload malformed");
+  }
+  manifest.epoch = *epoch;
+  manifest.first_segment = *first_segment;
+  manifest.kind = *kind;
+  manifest.num_shards = *num_shards;
+  manifest.schema_text = *schema_text;
+  return manifest;
+}
+
+}  // namespace
+
+std::string SegmentFileName(uint64_t segment) {
+  return "seg-" + std::to_string(segment);
+}
+
+std::string SnapshotFileName(uint64_t epoch) {
+  return "snap-" + std::to_string(epoch);
+}
+
+Result<Manifest> LoadManifest(const std::string& dir) {
+  MDV_ASSIGN_OR_RETURN(std::string bytes,
+                       ReadFileToString(dir + "/MANIFEST"));
+  return DecodeManifest(bytes);
+}
+
+Result<std::unique_ptr<Journal>> Journal::Open(const WalOptions& options,
+                                               const Manifest& meta) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("WalOptions.dir is empty");
+  }
+  WalMetrics& metrics = WalMetrics::Get();
+  std::unique_ptr<Journal> journal(new Journal(options));
+  const std::string& dir = options.dir;
+  std::error_code ec;
+  if (!options.read_only) {
+    fs::create_directories(dir, ec);
+    if (ec) {
+      return Status::Internal("create " + dir + ": " + ec.message());
+    }
+  } else if (!fs::is_directory(dir, ec)) {
+    return Status::NotFound("no WAL directory: " + dir);
+  }
+
+  MutexLock lock(journal->mu_);
+  RecoveryInfo& rec = journal->recovery_;
+  Result<Manifest> loaded = LoadManifest(dir);
+  if (loaded.ok()) {
+    journal->manifest_ = *std::move(loaded);
+    if (!meta.kind.empty() && journal->manifest_.kind != meta.kind) {
+      return Status::InvalidArgument(
+          "WAL at " + dir + " belongs to a '" + journal->manifest_.kind +
+          "', not a '" + meta.kind + "'");
+    }
+  } else if (loaded.status().code() == StatusCode::kNotFound) {
+    rec.fresh = true;
+    journal->manifest_ = meta;
+    journal->manifest_.epoch = 0;
+    journal->manifest_.first_segment = 1;
+    if (!options.read_only) {
+      MDV_RETURN_IF_ERROR(journal->CommitManifest(journal->manifest_));
+    }
+  } else {
+    return loaded.status();
+  }
+  rec.manifest = journal->manifest_;
+
+  // The epoch's base image. Its absence on a checkpointed journal is
+  // unrecoverable corruption (the pruned log prefix is gone with it).
+  if (journal->manifest_.epoch > 0) {
+    Result<std::string> snapshot =
+        ReadFileToString(dir + "/" + SnapshotFileName(journal->manifest_.epoch));
+    if (snapshot.ok()) {
+      rec.snapshot = *std::move(snapshot);
+    } else if (options.read_only) {
+      rec.segment_errors.push_back(
+          SnapshotFileName(journal->manifest_.epoch) + ": " +
+          snapshot.status().ToString());
+    } else {
+      return Status::Internal("missing snapshot for epoch " +
+                              std::to_string(journal->manifest_.epoch));
+    }
+  }
+
+  // Replay suffix: seg-F, seg-F+1, ... while files exist. Corruption in
+  // a segment that is not the last is fatal in write mode — records
+  // after the hole would replay out of order.
+  uint64_t segment = journal->manifest_.first_segment;
+  uint64_t last_existing = segment;
+  bool collect = rec.segment_errors.empty();
+  while (true) {
+    const std::string path = dir + "/" + SegmentFileName(segment);
+    Result<std::string> bytes = ReadFileToString(path);
+    if (!bytes.ok()) break;
+    last_existing = segment;
+    WalScan scan = ScanWalBuffer(*bytes);
+    const bool last =
+        !fs::exists(dir + "/" + SegmentFileName(segment + 1), ec);
+    if (scan.torn && !last) {
+      const std::string error =
+          SegmentFileName(segment) + ": mid-chain corruption (" +
+          scan.tail_error + " at byte " + std::to_string(scan.valid_bytes) +
+          ")";
+      if (!options.read_only) return Status::Internal(error);
+      rec.segment_errors.push_back(error);
+      collect = false;
+    } else if (scan.torn) {
+      rec.truncated_tail_bytes = bytes->size() - scan.valid_bytes;
+      rec.tail_error = scan.tail_error;
+      metrics.truncated.Increment();
+      if (!options.read_only &&
+          ::truncate(path.c_str(),
+                     static_cast<off_t>(scan.valid_bytes)) != 0) {
+        return Errno("truncate " + path);
+      }
+    }
+    if (collect) {
+      for (WalRecord& record : scan.records) {
+        rec.records.push_back(std::move(record));
+      }
+    }
+    if (last) break;
+    ++segment;
+  }
+  metrics.replayed.Add(static_cast<int64_t>(rec.records.size()));
+  obs::FlightRecorder::Default().Record(
+      obs::FlightEventType::kWalRecover,
+      static_cast<int64_t>(rec.records.size()),
+      static_cast<int64_t>(rec.truncated_tail_bytes), 0, dir);
+
+  if (!options.read_only) {
+    journal->PruneBelow(journal->manifest_.first_segment,
+                        journal->manifest_.epoch);
+    MDV_RETURN_IF_ERROR(journal->OpenActiveSegment(last_existing));
+  }
+  return journal;
+}
+
+Journal::~Journal() {
+  MutexLock lock(mu_);
+  if (fd_ >= 0) {
+    if (unsynced_records_ > 0 && options_.fsync != FsyncPolicy::kNone) {
+      ::fsync(fd_);
+    }
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Journal::OpenActiveSegment(uint64_t segment) {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  const std::string path = options_.dir + "/" + SegmentFileName(segment);
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return Errno("open " + path);
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    Status status = Errno("lseek " + path);
+    ::close(fd);
+    return status;
+  }
+  fd_ = fd;
+  active_segment_ = segment;
+  active_bytes_ = size;
+  unsynced_records_ = 0;
+  return Status::OK();
+}
+
+Status Journal::WriteAndMaybeSync(const std::string& bytes) {
+  size_t written = 0;
+  while (written < bytes.size()) {
+    ssize_t n = ::write(fd_, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("append to " + SegmentFileName(active_segment_));
+    }
+    written += static_cast<size_t>(n);
+  }
+  active_bytes_ += static_cast<int64_t>(bytes.size());
+  ++unsynced_records_;
+  const bool sync =
+      options_.fsync == FsyncPolicy::kAlways ||
+      (options_.fsync == FsyncPolicy::kBatch &&
+       unsynced_records_ >= options_.fsync_batch_records);
+  if (sync) {
+    MDV_RETURN_IF_ERROR(FsyncFd(fd_, SegmentFileName(active_segment_)));
+    unsynced_records_ = 0;
+  }
+  return Status::OK();
+}
+
+Status Journal::CommitManifest(const Manifest& manifest) {
+  MDV_RETURN_IF_ERROR(
+      WriteFileAtomic(options_.dir + "/MANIFEST", EncodeManifest(manifest)));
+  WalMetrics::Get().fsyncs.Add(2);  // Temp file + directory entry.
+  manifest_ = manifest;
+  return Status::OK();
+}
+
+void Journal::PruneBelow(uint64_t first_segment, uint64_t epoch) {
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(options_.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    bool doomed = false;
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      doomed = true;  // Leftover from a crashed atomic write.
+    } else if (name.rfind("seg-", 0) == 0) {
+      doomed = std::stoull(name.substr(4)) < first_segment;
+    } else if (name.rfind("snap-", 0) == 0) {
+      doomed = std::stoull(name.substr(5)) != epoch;
+    }
+    if (doomed) fs::remove(entry.path(), ec);
+  }
+}
+
+Status Journal::Append(uint8_t type, std::string payload) {
+  if (options_.read_only) {
+    return Status::Unsupported("journal opened read-only");
+  }
+  const std::string bytes = EncodeWalRecord(type, payload);
+  uint64_t segment = 0;
+  {
+    MutexLock lock(mu_);
+    if (fd_ < 0) return Status::Internal("journal has no active segment");
+    if (active_bytes_ > 0 &&
+        active_bytes_ + static_cast<int64_t>(bytes.size()) >
+            options_.segment_bytes) {
+      if (unsynced_records_ > 0 && options_.fsync != FsyncPolicy::kNone) {
+        MDV_RETURN_IF_ERROR(FsyncFd(fd_, SegmentFileName(active_segment_)));
+        unsynced_records_ = 0;
+      }
+      MDV_RETURN_IF_ERROR(OpenActiveSegment(active_segment_ + 1));
+      MDV_RETURN_IF_ERROR(FsyncDir(options_.dir));
+    }
+    MDV_RETURN_IF_ERROR(WriteAndMaybeSync(bytes));
+    ++appended_since_checkpoint_;
+    segment = active_segment_;
+  }
+  WalMetrics& metrics = WalMetrics::Get();
+  metrics.appends.Increment();
+  metrics.bytes.Add(static_cast<int64_t>(bytes.size()));
+  obs::FlightRecorder::Default().Record(
+      obs::FlightEventType::kWalAppend, type,
+      static_cast<int64_t>(payload.size()), static_cast<int64_t>(segment));
+  return Status::OK();
+}
+
+Status Journal::Sync() {
+  if (options_.read_only) {
+    return Status::Unsupported("journal opened read-only");
+  }
+  MutexLock lock(mu_);
+  if (fd_ < 0) return Status::Internal("journal has no active segment");
+  if (unsynced_records_ == 0) return Status::OK();
+  MDV_RETURN_IF_ERROR(FsyncFd(fd_, SegmentFileName(active_segment_)));
+  unsynced_records_ = 0;
+  return Status::OK();
+}
+
+Status Journal::Checkpoint(const std::string& snapshot) {
+  if (options_.read_only) {
+    return Status::Unsupported("journal opened read-only");
+  }
+  uint64_t new_epoch = 0;
+  int64_t pruned = 0;
+  {
+    MutexLock lock(mu_);
+    if (fd_ < 0) return Status::Internal("journal has no active segment");
+    new_epoch = manifest_.epoch + 1;
+    MDV_RETURN_IF_ERROR(WriteFileAtomic(
+        options_.dir + "/" + SnapshotFileName(new_epoch), snapshot));
+    WalMetrics::Get().fsyncs.Add(2);  // Temp file + directory entry.
+    // The snapshot subsumes every record up to here; start a fresh
+    // segment so the manifest can point past the old ones.
+    if (unsynced_records_ > 0 && options_.fsync != FsyncPolicy::kNone) {
+      MDV_RETURN_IF_ERROR(FsyncFd(fd_, SegmentFileName(active_segment_)));
+      unsynced_records_ = 0;
+    }
+    const uint64_t old_first = manifest_.first_segment;
+    MDV_RETURN_IF_ERROR(OpenActiveSegment(active_segment_ + 1));
+    Manifest next = manifest_;
+    next.epoch = new_epoch;
+    next.first_segment = active_segment_;
+    MDV_RETURN_IF_ERROR(CommitManifest(next));
+    pruned = static_cast<int64_t>(active_segment_ - old_first);
+    PruneBelow(manifest_.first_segment, manifest_.epoch);
+    appended_since_checkpoint_ = 0;
+  }
+  WalMetrics::Get().checkpoints.Increment();
+  obs::FlightRecorder::Default().Record(
+      obs::FlightEventType::kWalCheckpoint, static_cast<int64_t>(new_epoch),
+      static_cast<int64_t>(snapshot.size()), pruned);
+  return Status::OK();
+}
+
+int64_t Journal::appended_since_checkpoint() const {
+  MutexLock lock(mu_);
+  return appended_since_checkpoint_;
+}
+
+uint64_t Journal::epoch() const {
+  MutexLock lock(mu_);
+  return manifest_.epoch;
+}
+
+}  // namespace mdv::wal

@@ -1,0 +1,162 @@
+#ifndef MDV_WAL_LOG_H_
+#define MDV_WAL_LOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "wal/record.h"
+
+namespace mdv::wal {
+
+/// When appended records reach the disk platter.
+enum class FsyncPolicy {
+  /// Never fsync (the OS flushes when it likes). Fastest; a machine
+  /// crash can lose everything since the last checkpoint — only
+  /// process crashes are covered.
+  kNone,
+  /// fsync after every append. The durability default.
+  kAlways,
+  /// fsync every `fsync_batch_records` appends (and on rotation,
+  /// checkpoint and Sync()). Bounds loss to one batch.
+  kBatch,
+};
+
+struct WalOptions {
+  /// Directory holding MANIFEST, seg-<n> and snap-<epoch> files.
+  /// Created (one level) if absent. Each journal owns its directory
+  /// exclusively — two journals must not share one.
+  std::string dir;
+  FsyncPolicy fsync = FsyncPolicy::kAlways;
+  int64_t fsync_batch_records = 32;
+  /// Rotation threshold: an append that would push the active segment
+  /// past this starts seg-<n+1> first.
+  int64_t segment_bytes = 8 << 20;
+  /// When > 0 the owner is asked (via appended_since_checkpoint()) to
+  /// checkpoint after this many appends. The journal itself never
+  /// snapshots — it cannot serialize the owner's state.
+  int64_t checkpoint_every = 0;
+  /// fsck mode: open, scan and report, but never truncate a torn tail,
+  /// never prune, never allow Append/Checkpoint.
+  bool read_only = false;
+};
+
+/// Identity and provenance of one journal, persisted in MANIFEST as a
+/// single framed record (atomically replaced on checkpoint). `kind`,
+/// `num_shards` and `schema_text` are fixed at creation and let an
+/// offline reader (mdv_fsck) rebuild the owning component without the
+/// original process's configuration.
+struct Manifest {
+  uint64_t epoch = 0;
+  uint64_t first_segment = 1;
+  std::string kind;        // "mdp" or "lmr".
+  uint32_t num_shards = 0;  // MDP rule-store shards; 0 for LMRs.
+  std::string schema_text;  // rdf::WriteSchemaText output.
+};
+
+/// Reads `dir`/MANIFEST without opening the journal (fsck's first
+/// probe: is this a WAL directory at all, and of which kind?).
+Result<Manifest> LoadManifest(const std::string& dir);
+
+/// Everything recovered at Open: the snapshot for epoch N (empty when
+/// the journal has never checkpointed) and the ordered log suffix to
+/// replay on top of it. `truncated_tail_bytes`/`tail_error` describe a
+/// torn final segment (already truncated unless read_only);
+/// `segment_errors` lists mid-chain corruption, which only a read_only
+/// open survives.
+struct RecoveryInfo {
+  bool fresh = false;  ///< No MANIFEST existed; nothing to replay.
+  Manifest manifest;
+  std::string snapshot;
+  std::vector<WalRecord> records;
+  uint64_t truncated_tail_bytes = 0;
+  std::string tail_error;
+  std::vector<std::string> segment_errors;
+};
+
+/// An append-only journal over one directory: checksummed record
+/// segments with rotation, plus compacted snapshots that let the log
+/// prefix be discarded.
+///
+/// Layout: MANIFEST names the current epoch E and the first live
+/// segment F. Recovered state = load snap-E (if E > 0), then replay
+/// seg-F, seg-F+1, ... in order. Checkpoint(S) writes snap-E+1 = S
+/// (temp + fsync + rename), rotates to a fresh segment, commits a new
+/// MANIFEST the same atomic way, then prunes everything older — so a
+/// crash at any point leaves either the old or the new epoch fully
+/// intact, never a mix.
+///
+/// Thread-safe: Append/Sync/Checkpoint serialize on an internal
+/// kWalJournal mutex (a leaf — nothing is called out while held).
+class Journal {
+ public:
+  /// Opens (or creates) the journal in `options.dir`. `meta` supplies
+  /// kind/num_shards/schema_text when the directory is fresh; on an
+  /// existing directory the persisted manifest wins and `meta.kind`
+  /// must match (guards against pointing an MDP at an LMR's log).
+  static Result<std::unique_ptr<Journal>> Open(const WalOptions& options,
+                                               const Manifest& meta);
+
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// What Open() found. Stable after construction; replay it before
+  /// the first Append.
+  const RecoveryInfo& recovery() const { return recovery_; }
+
+  /// Appends one record, rotating and fsyncing per policy. The record
+  /// is durable (per policy) when this returns OK.
+  Status Append(uint8_t type, std::string payload) EXCLUDES(mu_);
+
+  /// Forces an fsync of the active segment (no-op under kNone only if
+  /// nothing was written since the last sync).
+  Status Sync() EXCLUDES(mu_);
+
+  /// Installs `snapshot` as the new epoch's base image and discards
+  /// the log prefix it covers. The caller must pass a serialization of
+  /// its CURRENT state — every record appended so far must be folded
+  /// in, or it is lost with the pruned segments.
+  Status Checkpoint(const std::string& snapshot) EXCLUDES(mu_);
+
+  /// Appends since Open or the last successful Checkpoint — the
+  /// owner's trigger for options.checkpoint_every.
+  int64_t appended_since_checkpoint() const EXCLUDES(mu_);
+
+  uint64_t epoch() const EXCLUDES(mu_);
+
+  const WalOptions& options() const { return options_; }
+
+ private:
+  explicit Journal(WalOptions options) : options_(std::move(options)) {}
+
+  Status OpenActiveSegment(uint64_t segment) REQUIRES(mu_);
+  Status WriteAndMaybeSync(const std::string& bytes) REQUIRES(mu_);
+  Status CommitManifest(const Manifest& manifest) REQUIRES(mu_);
+  void PruneBelow(uint64_t first_segment, uint64_t epoch) REQUIRES(mu_);
+
+  const WalOptions options_;
+  RecoveryInfo recovery_;
+
+  mutable Mutex mu_{LockRank::kWalJournal, "wal.journal"};
+  Manifest manifest_ GUARDED_BY(mu_);
+  int fd_ GUARDED_BY(mu_) = -1;
+  uint64_t active_segment_ GUARDED_BY(mu_) = 0;
+  int64_t active_bytes_ GUARDED_BY(mu_) = 0;
+  int64_t unsynced_records_ GUARDED_BY(mu_) = 0;
+  int64_t appended_since_checkpoint_ GUARDED_BY(mu_) = 0;
+};
+
+/// Path helpers shared with tests and mdv_fsck.
+std::string SegmentFileName(uint64_t segment);
+std::string SnapshotFileName(uint64_t epoch);
+
+}  // namespace mdv::wal
+
+#endif  // MDV_WAL_LOG_H_

@@ -1,0 +1,174 @@
+#include "wal/record.h"
+
+#include <cstring>
+
+#include "common/checksum.h"
+
+namespace mdv::wal {
+
+void PutU8(std::string& out, uint8_t value) {
+  out.push_back(static_cast<char>(value));
+}
+
+void PutU16(std::string& out, uint16_t value) {
+  out.push_back(static_cast<char>(value & 0xff));
+  out.push_back(static_cast<char>((value >> 8) & 0xff));
+}
+
+void PutU32(std::string& out, uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+void PutU64(std::string& out, uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+void PutI64(std::string& out, int64_t value) {
+  PutU64(out, static_cast<uint64_t>(value));
+}
+
+void PutString(std::string& out, std::string_view value) {
+  PutU32(out, static_cast<uint32_t>(value.size()));
+  out.append(value);
+}
+
+std::optional<uint8_t> PayloadReader::ReadU8() {
+  if (!Take(1)) return std::nullopt;
+  return static_cast<uint8_t>(data_[offset_++]);
+}
+
+std::optional<uint16_t> PayloadReader::ReadU16() {
+  if (!Take(2)) return std::nullopt;
+  uint16_t value = 0;
+  for (int shift = 0; shift < 16; shift += 8) {
+    value |= static_cast<uint16_t>(static_cast<uint8_t>(data_[offset_++]))
+             << shift;
+  }
+  return value;
+}
+
+std::optional<uint32_t> PayloadReader::ReadU32() {
+  if (!Take(4)) return std::nullopt;
+  uint32_t value = 0;
+  for (int shift = 0; shift < 32; shift += 8) {
+    value |= static_cast<uint32_t>(static_cast<uint8_t>(data_[offset_++]))
+             << shift;
+  }
+  return value;
+}
+
+std::optional<uint64_t> PayloadReader::ReadU64() {
+  if (!Take(8)) return std::nullopt;
+  uint64_t value = 0;
+  for (int shift = 0; shift < 64; shift += 8) {
+    value |= static_cast<uint64_t>(static_cast<uint8_t>(data_[offset_++]))
+             << shift;
+  }
+  return value;
+}
+
+std::optional<int64_t> PayloadReader::ReadI64() {
+  std::optional<uint64_t> raw = ReadU64();
+  if (!raw) return std::nullopt;
+  return static_cast<int64_t>(*raw);
+}
+
+std::optional<std::string> PayloadReader::ReadString() {
+  std::optional<uint32_t> length = ReadU32();
+  if (!length || !Take(*length)) return std::nullopt;
+  std::string value(data_.substr(offset_, *length));
+  offset_ += *length;
+  return value;
+}
+
+std::string EncodeWalRecord(uint8_t type, std::string_view payload) {
+  std::string out;
+  out.reserve(kWalHeaderBytes + payload.size());
+  PutU32(out, kWalMagic);
+  PutU8(out, kWalVersion);
+  PutU8(out, type);
+  PutU16(out, 0);
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU64(out, Fnv1a(payload));
+  out.append(payload);
+  return out;
+}
+
+namespace {
+
+uint32_t GetU32(std::string_view data, size_t offset) {
+  uint32_t value = 0;
+  for (int shift = 0; shift < 32; shift += 8) {
+    value |= static_cast<uint32_t>(static_cast<uint8_t>(data[offset++]))
+             << shift;
+  }
+  return value;
+}
+
+uint64_t GetU64(std::string_view data, size_t offset) {
+  uint64_t value = 0;
+  for (int shift = 0; shift < 64; shift += 8) {
+    value |= static_cast<uint64_t>(static_cast<uint8_t>(data[offset++]))
+             << shift;
+  }
+  return value;
+}
+
+}  // namespace
+
+WalScan ScanWalBuffer(std::string_view buffer) {
+  WalScan scan;
+  size_t offset = 0;
+  while (offset < buffer.size()) {
+    const std::string_view rest = buffer.substr(offset);
+    if (rest.size() < kWalHeaderBytes) {
+      scan.torn = true;
+      scan.tail_error = "short header";
+      break;
+    }
+    if (GetU32(rest, 0) != kWalMagic) {
+      scan.torn = true;
+      scan.tail_error = "bad magic";
+      break;
+    }
+    if (static_cast<uint8_t>(rest[4]) != kWalVersion) {
+      scan.torn = true;
+      scan.tail_error = "unsupported version";
+      break;
+    }
+    const uint8_t type = static_cast<uint8_t>(rest[5]);
+    if (rest[6] != 0 || rest[7] != 0) {
+      scan.torn = true;
+      scan.tail_error = "nonzero reserved bytes";
+      break;
+    }
+    const uint32_t length = GetU32(rest, 8);
+    if (length > kWalMaxPayloadBytes) {
+      scan.torn = true;
+      scan.tail_error = "payload length over limit";
+      break;
+    }
+    if (rest.size() - kWalHeaderBytes < length) {
+      scan.torn = true;
+      scan.tail_error = "short payload";
+      break;
+    }
+    const uint64_t want = GetU64(rest, 12);
+    const std::string_view payload = rest.substr(kWalHeaderBytes, length);
+    if (Fnv1a(payload) != want) {
+      scan.torn = true;
+      scan.tail_error = "bad checksum";
+      break;
+    }
+    scan.records.push_back(WalRecord{type, std::string(payload)});
+    offset += kWalHeaderBytes + length;
+    scan.valid_bytes = offset;
+  }
+  return scan;
+}
+
+}  // namespace mdv::wal

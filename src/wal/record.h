@@ -1,0 +1,112 @@
+#ifndef MDV_WAL_RECORD_H_
+#define MDV_WAL_RECORD_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mdv::wal {
+
+/// WAL record framing. Deliberately the same shape as the net wire
+/// frame (src/net/wire.cc) so both sit on one checksum and one set of
+/// torn-input rules:
+///
+///   magic     u32 LE  = kWalMagic ("MDWL")
+///   version   u8      = kWalVersion
+///   type      u8      record type (kind-specific, see log.h users)
+///   reserved  u16 LE  = 0
+///   length    u32 LE  payload byte count
+///   checksum  u64 LE  FNV-1a 64 of the payload bytes
+///   payload   length bytes
+///
+/// The magic differs from the wire magic on purpose: a log segment
+/// accidentally fed to the frame decoder (or vice versa) fails on the
+/// first four bytes instead of half-parsing.
+inline constexpr uint32_t kWalMagic = 0x4C57444Du;  // "MDWL" little-endian.
+inline constexpr uint8_t kWalVersion = 1;
+inline constexpr size_t kWalHeaderBytes = 20;
+/// Same ceiling as the wire codec: a length field beyond this is
+/// treated as corruption, not as a request for a 4 GiB allocation.
+inline constexpr uint32_t kWalMaxPayloadBytes = 64u << 20;
+
+/// One decoded record.
+struct WalRecord {
+  uint8_t type = 0;
+  std::string payload;
+};
+
+/// Frames `payload` as one record ready to append to a segment.
+std::string EncodeWalRecord(uint8_t type, std::string_view payload);
+
+/// Result of scanning a segment (or any byte buffer of concatenated
+/// records). `records` holds every record up to the first invalid
+/// byte; `valid_bytes` is the offset just past the last good record —
+/// the truncation point for torn-tail repair. `torn` is set when the
+/// buffer did not end exactly on a record boundary, and `tail_error`
+/// says why the scan stopped ("short header", "bad checksum", ...).
+struct WalScan {
+  std::vector<WalRecord> records;
+  size_t valid_bytes = 0;
+  bool torn = false;
+  std::string tail_error;
+};
+
+/// Scans `buffer` front to back. Never fails: corruption anywhere
+/// simply ends the valid prefix. A record after the corrupt point is
+/// unreachable by design — redo logs have no resynchronization,
+/// because replaying records whose predecessors are lost would apply
+/// effects out of order.
+WalScan ScanWalBuffer(std::string_view buffer);
+
+// --- Little-endian payload helpers -----------------------------------
+// Record payloads are built from the same fixed-width primitives as
+// wire payloads: integers little-endian, strings length-prefixed.
+
+void PutU8(std::string& out, uint8_t value);
+void PutU16(std::string& out, uint16_t value);
+void PutU32(std::string& out, uint32_t value);
+void PutU64(std::string& out, uint64_t value);
+void PutI64(std::string& out, int64_t value);
+void PutString(std::string& out, std::string_view value);
+
+/// Bounds-checked sequential reader over one payload. Every Read*
+/// returns nullopt once any prior read failed (sticky), so callers can
+/// chain reads and check once.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view data) : data_(data) {}
+
+  std::optional<uint8_t> ReadU8();
+  std::optional<uint16_t> ReadU16();
+  std::optional<uint32_t> ReadU32();
+  std::optional<uint64_t> ReadU64();
+  std::optional<int64_t> ReadI64();
+  std::optional<std::string> ReadString();
+
+  /// True when every byte was consumed and no read failed — payload
+  /// decoders should require this so trailing garbage is an error.
+  bool Done() const { return !failed_ && offset_ == data_.size(); }
+  bool failed() const { return failed_; }
+  size_t remaining() const { return failed_ ? 0 : data_.size() - offset_; }
+
+ private:
+  bool Take(size_t n) {
+    if (failed_ || data_.size() - offset_ < n) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view data_;
+  size_t offset_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace mdv::wal
+
+#endif  // MDV_WAL_RECORD_H_

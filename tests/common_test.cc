@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/checksum.h"
 #include "common/logging.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -165,6 +166,38 @@ TEST(LoggingTest, ScopedLogCapturesNest) {
   MDV_LOG(Error) << "to outer";
   EXPECT_TRUE(outer.Contains("to outer"));
   EXPECT_FALSE(outer.Contains("to inner"));
+}
+
+// Reference digests from the published FNV-1a 64 test vectors
+// (Fowler/Noll/Vo, http://www.isthe.com/chongo/tech/comp/fnv/).
+TEST(ChecksumTest, Fnv1aKnownVectors) {
+  EXPECT_EQ(Fnv1a(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(Fnv1a("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(Fnv1a("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(ChecksumTest, Fnv1aExtendChainsChunks) {
+  const std::string data = "the quick brown fox";
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint64_t chained = Fnv1aExtend(Fnv1a(data.substr(0, split)),
+                                   data.substr(split));
+    EXPECT_EQ(chained, Fnv1a(data)) << "split at " << split;
+  }
+}
+
+TEST(ChecksumTest, Fnv1aSingleByteFlipChangesDigest) {
+  std::string data = "payload bytes under test";
+  const uint64_t clean = Fnv1a(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::string flipped = data;
+    flipped[i] = static_cast<char>(flipped[i] ^ 0x40);
+    EXPECT_NE(Fnv1a(flipped), clean) << "flip at " << i;
+  }
+}
+
+TEST(ChecksumTest, Fnv1aEmbeddedNulBytesCount) {
+  EXPECT_NE(Fnv1a(std::string_view("\0\0", 2)),
+            Fnv1a(std::string_view("\0", 1)));
 }
 
 }  // namespace

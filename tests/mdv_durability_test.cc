@@ -1,0 +1,539 @@
+// Crash recovery of the durability subsystem: a killed-and-restarted
+// MDP or LMR must replay its WAL (snapshot + log suffix) back to an
+// identical state, and a restarted LMR must neither lose nor re-apply
+// notifications (the ReliableLink dedup state is part of its journal).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mdv/lmr.h"
+#include "mdv/metadata_provider.h"
+#include "mdv/network.h"
+#include "mdv/system.h"
+#include "mdv/wal_records.h"
+#include "net/wire.h"
+#include "rdf/parser.h"
+#include "wal/log.h"
+#include "wal/record.h"
+
+namespace mdv {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TestDir(const std::string& name) {
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / ("mdv_durability_" + name);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+rdf::RdfDocument MakeDoc(const std::string& uri, int memory) {
+  rdf::RdfDocument doc(uri);
+  rdf::Resource info("info", "ServerInformation");
+  info.AddProperty("memory",
+                   rdf::PropertyValue::Literal(std::to_string(memory)));
+  info.AddProperty("cpu", rdf::PropertyValue::Literal("600"));
+  rdf::Resource host("host", "CycleProvider");
+  host.AddProperty("serverHost", rdf::PropertyValue::Literal("x.example"));
+  host.AddProperty("serverInformation",
+                   rdf::PropertyValue::ResourceRef(uri + "#info"));
+  Status st = doc.AddResource(std::move(info));
+  st = doc.AddResource(std::move(host));
+  (void)st;
+  return doc;
+}
+
+constexpr const char* kBigRule =
+    "search CycleProvider c register c "
+    "where c.serverInformation.memory > 64";
+
+/// Canonical cache dump without subscription ids, so caches fed by
+/// *different* subscriptions to the same rule compare equal.
+std::string DumpCacheContents(const LocalMetadataRepository& lmr) {
+  std::ostringstream out;
+  for (const std::string& uri : lmr.CachedUris()) {
+    const CacheEntry* entry = lmr.Find(uri);
+    out << uri << "|" << entry->resource.class_name();
+    std::vector<std::string> props;
+    for (const rdf::Property& prop : entry->resource.properties()) {
+      props.push_back(prop.name + "=" + prop.value.text());
+    }
+    std::sort(props.begin(), props.end());
+    for (const std::string& prop : props) out << "|" << prop;
+    out << "|sr=" << entry->strong_referrers << "|local=" << entry->local
+        << "\n";
+  }
+  return out.str();
+}
+
+// ---- MDP recovery ----------------------------------------------------
+
+TEST(MdpDurabilityTest, RecoversIdenticalStateFromLogReplay) {
+  const std::string dir = TestDir("mdp_replay");
+  rdf::RdfSchema schema = rdf::MakeObjectGlobeSchema();
+  Network network;
+  wal::WalOptions options;
+  options.dir = dir;
+
+  Result<pubsub::SubscriptionId> sub = Status::Internal("not yet run");
+  {
+    MetadataProvider provider(&schema, &network);
+    ASSERT_TRUE(provider.EnableDurability(options).ok());
+    EXPECT_TRUE(provider.durable());
+    sub = provider.Subscribe(7, kBigRule, "BigProviders");
+    ASSERT_TRUE(sub.ok()) << sub.status();
+    ASSERT_TRUE(provider.RegisterDocument(MakeDoc("a.rdf", 92)).ok());
+    ASSERT_TRUE(provider.RegisterDocument(MakeDoc("b.rdf", 16)).ok());
+    ASSERT_TRUE(provider.RegisterDocument(MakeDoc("c.rdf", 128)).ok());
+    ASSERT_TRUE(provider.UpdateDocument(MakeDoc("b.rdf", 80)).ok());
+    ASSERT_TRUE(provider.DeleteDocument("c.rdf").ok());
+  }  // "Crash": destroyed without checkpoint; only the log survives.
+
+  MetadataProvider revived(&schema, &network);
+  ASSERT_TRUE(revived.EnableDurability(options).ok());
+  EXPECT_FALSE(revived.recovery_info().fresh);
+  EXPECT_EQ(revived.documents().size(), 2u);
+  EXPECT_EQ(revived.subscriptions().size(), 1u);
+  const pubsub::Subscription* restored = revived.subscriptions().Find(*sub);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->lmr, 7);
+  EXPECT_EQ(restored->name, "BigProviders");
+  // Materialized matches replayed: a and (updated) b both match now.
+  Result<std::vector<std::string>> matches = revived.Browse(kBigRule);
+  ASSERT_TRUE(matches.ok()) << matches.status();
+  EXPECT_EQ(matches->size(), 2u);
+  // Replayed state keeps rejecting duplicates and keeps filtering.
+  EXPECT_EQ(revived.RegisterDocument(MakeDoc("a.rdf", 92)).code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(revived.RegisterDocument(MakeDoc("d.rdf", 256)).ok());
+  matches = revived.Browse(kBigRule);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->size(), 3u);
+}
+
+TEST(MdpDurabilityTest, CheckpointCompactsAndRecovers) {
+  const std::string dir = TestDir("mdp_checkpoint");
+  rdf::RdfSchema schema = rdf::MakeObjectGlobeSchema();
+  Network network;
+  wal::WalOptions options;
+  options.dir = dir;
+  {
+    MetadataProvider provider(&schema, &network);
+    ASSERT_TRUE(provider.EnableDurability(options).ok());
+    ASSERT_TRUE(provider.Subscribe(7, kBigRule).ok());
+    ASSERT_TRUE(provider.RegisterDocument(MakeDoc("a.rdf", 92)).ok());
+    ASSERT_TRUE(provider.Checkpoint().ok());
+    ASSERT_TRUE(provider.RegisterDocument(MakeDoc("b.rdf", 70)).ok());
+  }
+  MetadataProvider revived(&schema, &network);
+  ASSERT_TRUE(revived.EnableDurability(options).ok());
+  const wal::RecoveryInfo rec = revived.recovery_info();
+  EXPECT_FALSE(rec.snapshot.empty());
+  EXPECT_EQ(rec.records.size(), 1u);  // Only the post-checkpoint register.
+  EXPECT_EQ(revived.documents().size(), 2u);
+  Result<std::vector<std::string>> matches = revived.Browse(kBigRule);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->size(), 2u);
+}
+
+TEST(MdpDurabilityTest, AutoCheckpointEveryNAppends) {
+  const std::string dir = TestDir("mdp_autock");
+  rdf::RdfSchema schema = rdf::MakeObjectGlobeSchema();
+  Network network;
+  wal::WalOptions options;
+  options.dir = dir;
+  options.checkpoint_every = 3;
+  {
+    MetadataProvider provider(&schema, &network);
+    ASSERT_TRUE(provider.EnableDurability(options).ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(
+          provider.RegisterDocument(MakeDoc("d" + std::to_string(i), 92))
+              .ok());
+    }
+  }
+  MetadataProvider revived(&schema, &network);
+  ASSERT_TRUE(revived.EnableDurability(options).ok());
+  const wal::RecoveryInfo rec = revived.recovery_info();
+  EXPECT_FALSE(rec.snapshot.empty());
+  EXPECT_LT(rec.records.size(), 5u);
+  EXPECT_EQ(revived.documents().size(), 5u);
+}
+
+TEST(MdpDurabilityTest, TornTailRecordIsDroppedCleanly) {
+  const std::string dir = TestDir("mdp_torn");
+  rdf::RdfSchema schema = rdf::MakeObjectGlobeSchema();
+  Network network;
+  wal::WalOptions options;
+  options.dir = dir;
+  {
+    MetadataProvider provider(&schema, &network);
+    ASSERT_TRUE(provider.EnableDurability(options).ok());
+    ASSERT_TRUE(provider.RegisterDocument(MakeDoc("a.rdf", 92)).ok());
+    ASSERT_TRUE(provider.RegisterDocument(MakeDoc("b.rdf", 70)).ok());
+  }
+  // Tear the final record, as a crash mid-append would.
+  const std::string seg = dir + "/" + wal::SegmentFileName(1);
+  std::ifstream in(seg, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream(seg, std::ios::binary | std::ios::trunc)
+      << bytes.substr(0, bytes.size() - 7);
+
+  MetadataProvider revived(&schema, &network);
+  ASSERT_TRUE(revived.EnableDurability(options).ok());
+  EXPECT_GT(revived.recovery_info().truncated_tail_bytes, 0u);
+  // The torn register of b.rdf is gone; a.rdf survived; and the journal
+  // accepts new appends at the repaired boundary.
+  EXPECT_EQ(revived.documents().size(), 1u);
+  ASSERT_TRUE(revived.RegisterDocument(MakeDoc("b.rdf", 70)).ok());
+  EXPECT_EQ(revived.documents().size(), 2u);
+}
+
+TEST(MdpDurabilityTest, CorruptSnapshotFailsCleanly) {
+  const std::string dir = TestDir("mdp_badsnap");
+  rdf::RdfSchema schema = rdf::MakeObjectGlobeSchema();
+  Network network;
+  wal::WalOptions options;
+  options.dir = dir;
+  {
+    MetadataProvider provider(&schema, &network);
+    ASSERT_TRUE(provider.EnableDurability(options).ok());
+    ASSERT_TRUE(provider.RegisterDocument(MakeDoc("a.rdf", 92)).ok());
+    ASSERT_TRUE(provider.Checkpoint().ok());
+  }
+  // Chop the referenced snapshot mid-structure (disk corruption; the
+  // checkpoint itself installs atomically): recovery must come back as
+  // a Status via the hardened load path, never a crash.
+  const std::string snap = dir + "/" + wal::SnapshotFileName(1);
+  std::ifstream in(snap, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), 20u);
+  std::ofstream(snap, std::ios::binary | std::ios::trunc)
+      << bytes.substr(0, bytes.size() / 2);
+
+  MetadataProvider revived(&schema, &network);
+  EXPECT_FALSE(revived.EnableDurability(options).ok());
+  EXPECT_FALSE(revived.durable());
+}
+
+TEST(MdpDurabilityTest, ManifestPinsShardCount) {
+  const std::string dir = TestDir("mdp_shards");
+  rdf::RdfSchema schema = rdf::MakeObjectGlobeSchema();
+  Network network;
+  wal::WalOptions options;
+  options.dir = dir;
+  {
+    MetadataProvider provider(&schema, &network);
+    ASSERT_TRUE(provider.EnableDurability(options).ok());
+    ASSERT_TRUE(provider.RegisterDocument(MakeDoc("a.rdf", 92)).ok());
+  }
+  filter::RuleStoreOptions sharded;
+  sharded.num_shards = 4;
+  MetadataProvider mismatched(&schema, &network, sharded);
+  EXPECT_EQ(mismatched.EnableDurability(options).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MdpDurabilityTest, CrashBeforeDeliverConvergesViaRefresh) {
+  // The documented durability gap: the MDP journals before it sends, so
+  // a crash between the two loses the send. The journal still has the
+  // op — after restart the MDP state includes it and a Refresh() pulls
+  // the LMR level again.
+  const std::string dir = TestDir("mdp_undelivered");
+  rdf::RdfSchema schema = rdf::MakeObjectGlobeSchema();
+  Network network;
+  wal::WalOptions options;
+  options.dir = dir;
+  {
+    // No LMR attached: every notification of this incarnation is
+    // undeliverable — observably the same as a crash pre-send.
+    MetadataProvider provider(&schema, &network);
+    ASSERT_TRUE(provider.EnableDurability(options).ok());
+    ASSERT_TRUE(provider.Subscribe(1, kBigRule).ok());
+    ASSERT_TRUE(provider.RegisterDocument(MakeDoc("a.rdf", 92)).ok());
+  }
+  MetadataProvider revived(&schema, &network);
+  ASSERT_TRUE(revived.EnableDurability(options).ok());
+  LocalMetadataRepository lmr(1, &schema, &revived, &network);
+  EXPECT_EQ(lmr.CacheSize(), 0u);  // The insert never arrived.
+  // Adopt the recovered subscription, then repair by pulling.
+  Result<std::vector<QueryMatch>> rows = lmr.Query(kBigRule);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+  ASSERT_TRUE(revived.SnapshotSubscription(1).ok());
+  // Refresh needs the LMR to know its subscription id; replaying the
+  // MDP registry told us it is subscription 1 of LMR 1.
+  // (An LMR with its own journal recovers the id itself — see the LMR
+  // tests below; this one is volatile.)
+  pubsub::Notification snapshot = *revived.SnapshotSubscription(1);
+  lmr.ApplyNotification(snapshot);
+  EXPECT_EQ(lmr.CacheSize(), 2u);
+}
+
+// ---- LMR recovery (synchronous network) ------------------------------
+
+TEST(LmrDurabilityTest, SyncModeRoundTripsCacheAndSubscriptions) {
+  const std::string dir = TestDir("lmr_sync");
+  rdf::RdfSchema schema = rdf::MakeObjectGlobeSchema();
+  Network network;
+  MetadataProvider provider(&schema, &network);
+  wal::WalOptions options;
+  options.dir = dir;
+
+  std::string before;
+  {
+    Result<std::unique_ptr<LocalMetadataRepository>> lmr =
+        LocalMetadataRepository::OpenDurable(7, &schema, &provider, &network,
+                                             options);
+    ASSERT_TRUE(lmr.ok()) << lmr.status();
+    EXPECT_TRUE((*lmr)->durable());
+    ASSERT_TRUE((*lmr)->Subscribe(kBigRule).ok());
+    ASSERT_TRUE(provider.RegisterDocument(MakeDoc("a.rdf", 92)).ok());
+    ASSERT_TRUE(provider.RegisterDocument(MakeDoc("b.rdf", 16)).ok());
+    rdf::RdfDocument local("local.rdf");
+    rdf::Resource note("note", "ServerInformation");
+    note.AddProperty("memory", rdf::PropertyValue::Literal("1"));
+    ASSERT_TRUE(local.AddResource(std::move(note)).ok());
+    ASSERT_TRUE((*lmr)->RegisterLocalDocument(local).ok());
+    EXPECT_GT((*lmr)->CacheSize(), 0u);
+    before = DumpCacheContents(**lmr);
+  }  // Crash: no checkpoint, pure log replay.
+
+  Result<std::unique_ptr<LocalMetadataRepository>> revived =
+      LocalMetadataRepository::OpenDurable(7, &schema, &provider, &network,
+                                           options);
+  ASSERT_TRUE(revived.ok()) << revived.status();
+  EXPECT_EQ(DumpCacheContents(**revived), before);
+  ASSERT_TRUE((*revived)->AuditCacheInvariants().ok());
+  // The revived LMR keeps receiving pushes (and journaling them).
+  ASSERT_TRUE(provider.RegisterDocument(MakeDoc("c.rdf", 128)).ok());
+  EXPECT_NE(DumpCacheContents(**revived), before);
+}
+
+TEST(LmrDurabilityTest, SyncModeCheckpointCompactsLog) {
+  const std::string dir = TestDir("lmr_ck");
+  rdf::RdfSchema schema = rdf::MakeObjectGlobeSchema();
+  Network network;
+  MetadataProvider provider(&schema, &network);
+  wal::WalOptions options;
+  options.dir = dir;
+  std::string before;
+  {
+    Result<std::unique_ptr<LocalMetadataRepository>> lmr =
+        LocalMetadataRepository::OpenDurable(7, &schema, &provider, &network,
+                                             options);
+    ASSERT_TRUE(lmr.ok());
+    ASSERT_TRUE((*lmr)->Subscribe(kBigRule).ok());
+    ASSERT_TRUE(provider.RegisterDocument(MakeDoc("a.rdf", 92)).ok());
+    ASSERT_TRUE((*lmr)->Checkpoint().ok());
+    ASSERT_TRUE(provider.RegisterDocument(MakeDoc("b.rdf", 70)).ok());
+    before = DumpCacheContents(**lmr);
+  }
+  Result<std::unique_ptr<LocalMetadataRepository>> revived =
+      LocalMetadataRepository::OpenDurable(7, &schema, &provider, &network,
+                                           options);
+  ASSERT_TRUE(revived.ok()) << revived.status();
+  const wal::RecoveryInfo rec = (*revived)->recovery_info();
+  EXPECT_FALSE(rec.snapshot.empty());
+  EXPECT_EQ(rec.records.size(), 1u);  // One post-checkpoint apply.
+  EXPECT_EQ(DumpCacheContents(**revived), before);
+  ASSERT_TRUE((*revived)->AuditCacheInvariants().ok());
+}
+
+TEST(LmrDurabilityTest, UnsubscribeSurvivesRestart) {
+  const std::string dir = TestDir("lmr_unsub");
+  rdf::RdfSchema schema = rdf::MakeObjectGlobeSchema();
+  Network network;
+  MetadataProvider provider(&schema, &network);
+  wal::WalOptions options;
+  options.dir = dir;
+  {
+    Result<std::unique_ptr<LocalMetadataRepository>> lmr =
+        LocalMetadataRepository::OpenDurable(7, &schema, &provider, &network,
+                                             options);
+    ASSERT_TRUE(lmr.ok());
+    Result<pubsub::SubscriptionId> sub = (*lmr)->Subscribe(kBigRule);
+    ASSERT_TRUE(sub.ok());
+    ASSERT_TRUE(provider.RegisterDocument(MakeDoc("a.rdf", 92)).ok());
+    ASSERT_TRUE((*lmr)->Unsubscribe(*sub).ok());
+    EXPECT_EQ((*lmr)->CacheSize(), 0u);  // GC evicted the matches.
+  }
+  Result<std::unique_ptr<LocalMetadataRepository>> revived =
+      LocalMetadataRepository::OpenDurable(7, &schema, &provider, &network,
+                                           options);
+  ASSERT_TRUE(revived.ok()) << revived.status();
+  EXPECT_EQ((*revived)->CacheSize(), 0u);
+  ASSERT_TRUE((*revived)->AuditCacheInvariants().ok());
+}
+
+// ---- LMR recovery (asynchronous network): the acceptance criterion ---
+
+TEST(LmrDurabilityTest, AsyncKillRestartLosesAndDuplicatesNothing) {
+  const std::string dir = TestDir("lmr_async");
+  rdf::RdfSchema schema = rdf::MakeObjectGlobeSchema();
+  NetworkOptions net_options;
+  net_options.asynchronous = true;
+  Network network(net_options);
+  MetadataProvider provider(&schema, &network);
+  wal::WalOptions options;
+  options.dir = dir;
+
+  // Reference: a volatile LMR that never crashes, subscribed to the
+  // same rule. Its converged cache is the ground truth.
+  LocalMetadataRepository reference(8, &schema, &provider, &network);
+  ASSERT_TRUE(reference.Subscribe(kBigRule).ok());
+
+  {
+    Result<std::unique_ptr<LocalMetadataRepository>> lmr =
+        LocalMetadataRepository::OpenDurable(7, &schema, &provider, &network,
+                                             options);
+    ASSERT_TRUE(lmr.ok()) << lmr.status();
+    ASSERT_TRUE((*lmr)->Subscribe(kBigRule).ok());
+    ASSERT_TRUE(network.WaitQuiescent());
+    // Publish a burst and kill the LMR mid-flight — no WaitQuiescent, so
+    // unacked frames are still in retransmit when the LMR dies.
+    for (int i = 0; i < 12; ++i) {
+      ASSERT_TRUE(
+          provider
+              .RegisterDocument(MakeDoc("doc" + std::to_string(i), 70 + i))
+              .ok());
+    }
+  }  // kill -9: destructor detaches; acked-but-unapplied cannot exist
+     // (journal-before-ack), unacked frames keep retransmitting.
+
+  Result<std::unique_ptr<LocalMetadataRepository>> revived =
+      LocalMetadataRepository::OpenDurable(7, &schema, &provider, &network,
+                                           options);
+  ASSERT_TRUE(revived.ok()) << revived.status();
+  ASSERT_TRUE(network.WaitQuiescent());
+
+  // No loss: the revived cache equals the never-crashed reference.
+  EXPECT_EQ(DumpCacheContents(**revived), DumpCacheContents(reference));
+  EXPECT_EQ((*revived)->CacheSize(), 24u);  // 12 hosts + 12 strong infos.
+  ASSERT_TRUE((*revived)->AuditCacheInvariants().ok());
+
+  // No duplicates: every journaled (sender, sequence) pair is unique —
+  // a frame that was journaled (hence possibly acked) is never
+  // journaled or applied again after the restart.
+  (*revived).reset();  // Close the journal before reading it.
+  wal::WalOptions ro = options;
+  ro.read_only = true;
+  wal::Manifest meta;
+  meta.kind = "lmr";
+  Result<std::unique_ptr<wal::Journal>> journal = wal::Journal::Open(ro, meta);
+  ASSERT_TRUE(journal.ok()) << journal.status();
+  std::set<std::pair<uint64_t, uint64_t>> seen;
+  size_t applies = 0;
+  for (const wal::WalRecord& record : (*journal)->recovery().records) {
+    if (record.type != kWalLmrApply) continue;
+    ++applies;
+    Result<net::DecodedFrame> frame = net::DecodeFrame(record.payload);
+    ASSERT_TRUE(frame.ok());
+    EXPECT_TRUE(
+        seen.emplace(frame->notify.sender, frame->notify.sequence).second)
+        << "duplicate journaled apply: sender " << frame->notify.sender
+        << " seq " << frame->notify.sequence;
+  }
+  EXPECT_EQ(applies, seen.size());
+  EXPECT_GE(applies, 12u);  // Initial match + one per matching register.
+}
+
+TEST(LmrDurabilityTest, AsyncFlowStateRoundTripsThroughCheckpoint) {
+  const std::string dir = TestDir("lmr_flow");
+  rdf::RdfSchema schema = rdf::MakeObjectGlobeSchema();
+  NetworkOptions net_options;
+  net_options.asynchronous = true;
+  Network network(net_options);
+  MetadataProvider provider(&schema, &network);
+  wal::WalOptions options;
+  options.dir = dir;
+
+  std::vector<net::FlowRestore> before;
+  {
+    Result<std::unique_ptr<LocalMetadataRepository>> lmr =
+        LocalMetadataRepository::OpenDurable(7, &schema, &provider, &network,
+                                             options);
+    ASSERT_TRUE(lmr.ok());
+    ASSERT_TRUE((*lmr)->Subscribe(kBigRule).ok());
+    ASSERT_TRUE(provider.RegisterDocument(MakeDoc("a.rdf", 92)).ok());
+    ASSERT_TRUE(provider.RegisterDocument(MakeDoc("b.rdf", 80)).ok());
+    ASSERT_TRUE(network.WaitQuiescent());
+    before = network.ReceiverFlowState(7);
+    ASSERT_TRUE((*lmr)->Checkpoint().ok());
+  }
+  Result<std::unique_ptr<LocalMetadataRepository>> revived =
+      LocalMetadataRepository::OpenDurable(7, &schema, &provider, &network,
+                                           options);
+  ASSERT_TRUE(revived.ok()) << revived.status();
+  ASSERT_TRUE(network.WaitQuiescent());
+  std::vector<net::FlowRestore> after = network.ReceiverFlowState(7);
+  ASSERT_EQ(after.size(), before.size());
+  ASSERT_FALSE(after.empty());
+  EXPECT_EQ(after[0].sender, before[0].sender);
+  EXPECT_EQ(after[0].applied_through, before[0].applied_through);
+  EXPECT_TRUE(after[0].holdback.empty());
+  // The restored watermark dedups retransmits but admits new sequences:
+  // a fresh publish still lands.
+  const std::string dump_before = DumpCacheContents(**revived);
+  ASSERT_TRUE(provider.RegisterDocument(MakeDoc("c.rdf", 128)).ok());
+  ASSERT_TRUE(network.WaitQuiescent());
+  EXPECT_NE(DumpCacheContents(**revived), dump_before);
+}
+
+// ---- MdvSystem plumbing ----------------------------------------------
+
+TEST(MdvSystemDurabilityTest, DurableProviderAndRepositoryRecover) {
+  const std::string mdp_dir = TestDir("system_mdp");
+  const std::string lmr_dir = TestDir("system_lmr");
+  wal::WalOptions mdp_options;
+  mdp_options.dir = mdp_dir;
+  wal::WalOptions lmr_options;
+  lmr_options.dir = lmr_dir;
+
+  std::string before;
+  {
+    MdvSystem system(rdf::MakeObjectGlobeSchema());
+    Result<MetadataProvider*> provider =
+        system.AddDurableProvider(mdp_options);
+    ASSERT_TRUE(provider.ok()) << provider.status();
+    Result<LocalMetadataRepository*> lmr =
+        system.AddDurableRepository(lmr_options, *provider);
+    ASSERT_TRUE(lmr.ok()) << lmr.status();
+    ASSERT_TRUE((*lmr)->Subscribe(kBigRule).ok());
+    ASSERT_TRUE((*provider)->RegisterDocument(MakeDoc("a.rdf", 92)).ok());
+    before = DumpCacheContents(**lmr);
+    ASSERT_FALSE(before.empty());
+  }
+  // Same wiring order on restart reproduces the same lmr id.
+  MdvSystem system(rdf::MakeObjectGlobeSchema());
+  Result<MetadataProvider*> provider = system.AddDurableProvider(mdp_options);
+  ASSERT_TRUE(provider.ok()) << provider.status();
+  Result<LocalMetadataRepository*> lmr =
+      system.AddDurableRepository(lmr_options, *provider);
+  ASSERT_TRUE(lmr.ok()) << lmr.status();
+  EXPECT_EQ(DumpCacheContents(**lmr), before);
+  EXPECT_EQ((*provider)->documents().size(), 1u);
+  EXPECT_EQ((*provider)->subscriptions().size(), 1u);
+  ASSERT_TRUE((*lmr)->AuditCacheInvariants().ok());
+  // The recovered pair keeps working end to end.
+  ASSERT_TRUE((*provider)->RegisterDocument(MakeDoc("b.rdf", 128)).ok());
+  EXPECT_NE(DumpCacheContents(**lmr), before);
+}
+
+}  // namespace
+}  // namespace mdv

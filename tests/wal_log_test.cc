@@ -1,0 +1,378 @@
+// WAL framing and journal behavior: record round trips, torn-tail
+// truncation at every byte offset, bit-flip detection, segment
+// rotation, manifest round trips, checkpoint pruning and read-only
+// (fsck) opens.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "wal/log.h"
+#include "wal/record.h"
+
+namespace mdv::wal {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh directory under the test temp root, unique per test.
+std::string TestDir(const std::string& name) {
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / ("wal_log_test_" + name);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << contents;
+}
+
+TEST(WalRecordTest, EncodeScanRoundTrip) {
+  std::string buffer;
+  buffer += EncodeWalRecord(2, "alpha");
+  buffer += EncodeWalRecord(3, "");
+  buffer += EncodeWalRecord(7, std::string(1000, 'x'));
+  const WalScan scan = ScanWalBuffer(buffer);
+  EXPECT_FALSE(scan.torn);
+  EXPECT_EQ(scan.valid_bytes, buffer.size());
+  ASSERT_EQ(scan.records.size(), 3u);
+  EXPECT_EQ(scan.records[0].type, 2);
+  EXPECT_EQ(scan.records[0].payload, "alpha");
+  EXPECT_EQ(scan.records[1].type, 3);
+  EXPECT_EQ(scan.records[1].payload, "");
+  EXPECT_EQ(scan.records[2].payload.size(), 1000u);
+}
+
+TEST(WalRecordTest, TruncationAtEveryByteEndsTheValidPrefix) {
+  std::string buffer;
+  buffer += EncodeWalRecord(1, "first");
+  const size_t first_end = buffer.size();
+  buffer += EncodeWalRecord(2, "second record payload");
+  // Cutting anywhere inside the second record must keep exactly the
+  // first and flag the tail as torn.
+  for (size_t cut = first_end + 1; cut < buffer.size(); ++cut) {
+    const WalScan scan = ScanWalBuffer(buffer.substr(0, cut));
+    EXPECT_EQ(scan.records.size(), 1u) << "cut at " << cut;
+    EXPECT_EQ(scan.valid_bytes, first_end) << "cut at " << cut;
+    EXPECT_TRUE(scan.torn) << "cut at " << cut;
+    EXPECT_FALSE(scan.tail_error.empty()) << "cut at " << cut;
+  }
+}
+
+TEST(WalRecordTest, BitFlipAnywhereInvalidatesTheRecord) {
+  std::string buffer;
+  buffer += EncodeWalRecord(1, "first");
+  const size_t first_end = buffer.size();
+  buffer += EncodeWalRecord(2, "payload under test");
+  // Flip one bit at a few offsets across header and payload of the
+  // second record; the first record must always survive, the second
+  // must never decode. (Reserved-byte flips and checksum flips are
+  // covered by the spread of offsets.)
+  for (size_t offset = first_end; offset < buffer.size(); offset += 3) {
+    std::string mangled = buffer;
+    mangled[offset] = static_cast<char>(mangled[offset] ^ 0x40);
+    const WalScan scan = ScanWalBuffer(mangled);
+    ASSERT_GE(scan.records.size(), 1u) << "flip at " << offset;
+    EXPECT_EQ(scan.records[0].payload, "first") << "flip at " << offset;
+    EXPECT_LE(scan.records.size(), 1u) << "flip at " << offset;
+    EXPECT_TRUE(scan.torn) << "flip at " << offset;
+  }
+}
+
+TEST(WalRecordTest, PayloadReaderBoundsAndStickiness) {
+  std::string payload;
+  PutU32(payload, 7);
+  PutString(payload, "abc");
+  PutI64(payload, -5);
+  PayloadReader reader(payload);
+  EXPECT_EQ(reader.ReadU32().value_or(0), 7u);
+  EXPECT_EQ(reader.ReadString().value_or(""), "abc");
+  EXPECT_EQ(reader.ReadI64().value_or(0), -5);
+  EXPECT_TRUE(reader.Done());
+  // Reading past the end fails and stays failed.
+  EXPECT_FALSE(reader.ReadU8().has_value());
+  EXPECT_TRUE(reader.failed());
+  EXPECT_FALSE(reader.Done());
+
+  // A string length pointing past the buffer must not read out of
+  // bounds.
+  std::string truncated;
+  PutU32(truncated, 1000);
+  truncated += "short";
+  PayloadReader bad(truncated);
+  EXPECT_FALSE(bad.ReadString().has_value());
+  EXPECT_TRUE(bad.failed());
+}
+
+TEST(WalJournalTest, FreshOpenAppendReopenReplays) {
+  const std::string dir = TestDir("fresh");
+  WalOptions options;
+  options.dir = dir;
+  Manifest meta;
+  meta.kind = "test";
+  {
+    Result<std::unique_ptr<Journal>> journal = Journal::Open(options, meta);
+    ASSERT_TRUE(journal.ok()) << journal.status();
+    EXPECT_TRUE((*journal)->recovery().fresh);
+    ASSERT_TRUE((*journal)->Append(5, "one").ok());
+    ASSERT_TRUE((*journal)->Append(6, "two").ok());
+  }
+  Result<std::unique_ptr<Journal>> reopened = Journal::Open(options, meta);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  const RecoveryInfo& rec = (*reopened)->recovery();
+  EXPECT_FALSE(rec.fresh);
+  EXPECT_EQ(rec.manifest.kind, "test");
+  ASSERT_EQ(rec.records.size(), 2u);
+  EXPECT_EQ(rec.records[0].payload, "one");
+  EXPECT_EQ(rec.records[1].payload, "two");
+  EXPECT_TRUE(rec.snapshot.empty());
+}
+
+TEST(WalJournalTest, KindMismatchIsRejected) {
+  const std::string dir = TestDir("kind");
+  WalOptions options;
+  options.dir = dir;
+  Manifest meta;
+  meta.kind = "mdp";
+  { ASSERT_TRUE(Journal::Open(options, meta).ok()); }
+  meta.kind = "lmr";
+  EXPECT_FALSE(Journal::Open(options, meta).ok());
+}
+
+TEST(WalJournalTest, TornTailIsTruncatedOnWriteOpen) {
+  const std::string dir = TestDir("torn");
+  WalOptions options;
+  options.dir = dir;
+  Manifest meta;
+  meta.kind = "test";
+  {
+    Result<std::unique_ptr<Journal>> journal = Journal::Open(options, meta);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE((*journal)->Append(1, "kept").ok());
+    ASSERT_TRUE((*journal)->Append(2, "torn away").ok());
+  }
+  // Chop the last record mid-payload, as a crash during write would.
+  const std::string seg = dir + "/" + SegmentFileName(1);
+  std::string bytes = ReadFile(seg);
+  ASSERT_GT(bytes.size(), 5u);
+  WriteFile(seg, bytes.substr(0, bytes.size() - 5));
+
+  Result<std::unique_ptr<Journal>> reopened = Journal::Open(options, meta);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  const RecoveryInfo& rec = (*reopened)->recovery();
+  ASSERT_EQ(rec.records.size(), 1u);
+  EXPECT_EQ(rec.records[0].payload, "kept");
+  EXPECT_GT(rec.truncated_tail_bytes, 0u);
+  EXPECT_FALSE(rec.tail_error.empty());
+  // The file itself was repaired: appending after the truncation point
+  // and re-scanning yields exactly [kept, after].
+  ASSERT_TRUE((*reopened)->Append(3, "after").ok());
+  const WalScan scan = ScanWalBuffer(ReadFile(seg));
+  EXPECT_FALSE(scan.torn);
+  ASSERT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.records[1].payload, "after");
+}
+
+TEST(WalJournalTest, ReadOnlyOpenReportsButNeverRepairs) {
+  const std::string dir = TestDir("readonly");
+  WalOptions options;
+  options.dir = dir;
+  Manifest meta;
+  meta.kind = "test";
+  {
+    Result<std::unique_ptr<Journal>> journal = Journal::Open(options, meta);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE((*journal)->Append(1, "kept").ok());
+    ASSERT_TRUE((*journal)->Append(2, "torn away").ok());
+  }
+  const std::string seg = dir + "/" + SegmentFileName(1);
+  const std::string original = ReadFile(seg);
+  WriteFile(seg, original.substr(0, original.size() - 5));
+  const std::string mangled = ReadFile(seg);
+
+  WalOptions ro = options;
+  ro.read_only = true;
+  Result<std::unique_ptr<Journal>> journal = Journal::Open(ro, meta);
+  ASSERT_TRUE(journal.ok()) << journal.status();
+  EXPECT_EQ((*journal)->recovery().records.size(), 1u);
+  EXPECT_GT((*journal)->recovery().truncated_tail_bytes, 0u);
+  // The torn bytes are still on disk, and mutation is refused.
+  EXPECT_EQ(ReadFile(seg), mangled);
+  EXPECT_FALSE((*journal)->Append(3, "nope").ok());
+  EXPECT_FALSE((*journal)->Checkpoint("snap").ok());
+}
+
+TEST(WalJournalTest, RotationSplitsSegmentsAndReplaysInOrder) {
+  const std::string dir = TestDir("rotate");
+  WalOptions options;
+  options.dir = dir;
+  options.segment_bytes = 64;  // Force a rotation every couple records.
+  options.fsync = FsyncPolicy::kNone;
+  Manifest meta;
+  meta.kind = "test";
+  {
+    Result<std::unique_ptr<Journal>> journal = Journal::Open(options, meta);
+    ASSERT_TRUE(journal.ok());
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(
+          (*journal)->Append(1, "record-" + std::to_string(i)).ok());
+    }
+  }
+  size_t segments = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().filename().string().rfind("seg-", 0) == 0) ++segments;
+  }
+  EXPECT_GT(segments, 1u);
+  Result<std::unique_ptr<Journal>> reopened = Journal::Open(options, meta);
+  ASSERT_TRUE(reopened.ok());
+  const RecoveryInfo& rec = (*reopened)->recovery();
+  ASSERT_EQ(rec.records.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(rec.records[i].payload, "record-" + std::to_string(i));
+  }
+}
+
+TEST(WalJournalTest, CheckpointInstallsSnapshotAndPrunes) {
+  const std::string dir = TestDir("checkpoint");
+  WalOptions options;
+  options.dir = dir;
+  Manifest meta;
+  meta.kind = "test";
+  {
+    Result<std::unique_ptr<Journal>> journal = Journal::Open(options, meta);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE((*journal)->Append(1, "pre-checkpoint").ok());
+    EXPECT_EQ((*journal)->appended_since_checkpoint(), 1);
+    ASSERT_TRUE((*journal)->Checkpoint("STATE-AT-CHECKPOINT").ok());
+    EXPECT_EQ((*journal)->appended_since_checkpoint(), 0);
+    EXPECT_EQ((*journal)->epoch(), 1u);
+    ASSERT_TRUE((*journal)->Append(2, "post-checkpoint").ok());
+  }
+  Result<std::unique_ptr<Journal>> reopened = Journal::Open(options, meta);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  const RecoveryInfo& rec = (*reopened)->recovery();
+  EXPECT_EQ(rec.snapshot, "STATE-AT-CHECKPOINT");
+  ASSERT_EQ(rec.records.size(), 1u);
+  EXPECT_EQ(rec.records[0].payload, "post-checkpoint");
+  // The pre-checkpoint segment is gone.
+  EXPECT_FALSE(fs::exists(dir + "/" + SegmentFileName(1)));
+}
+
+TEST(WalJournalTest, CrashMidCheckpointLeavesOldEpochIntact) {
+  const std::string dir = TestDir("mid_checkpoint");
+  WalOptions options;
+  options.dir = dir;
+  Manifest meta;
+  meta.kind = "test";
+  {
+    Result<std::unique_ptr<Journal>> journal = Journal::Open(options, meta);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE((*journal)->Append(1, "epoch1-record").ok());
+    ASSERT_TRUE((*journal)->Checkpoint("EPOCH-1").ok());
+    ASSERT_TRUE((*journal)->Append(2, "after-checkpoint").ok());
+  }
+  // Simulate a crash during the *next* checkpoint, at each point before
+  // the manifest commit: a half-written temp snapshot, and a completed
+  // snap-2 that the manifest never started referencing. Both must be
+  // ignored — recovery stays on epoch 1 + its log suffix.
+  WriteFile(dir + "/" + SnapshotFileName(2) + ".tmp", "GARBAGE-HALF-WRIT");
+  WriteFile(dir + "/" + SnapshotFileName(2), "EPOCH-2-UNCOMMITTED");
+  Result<std::unique_ptr<Journal>> reopened = Journal::Open(options, meta);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->epoch(), 1u);
+  EXPECT_EQ((*reopened)->recovery().snapshot, "EPOCH-1");
+  ASSERT_EQ((*reopened)->recovery().records.size(), 1u);
+  EXPECT_EQ((*reopened)->recovery().records[0].payload, "after-checkpoint");
+  // And the journal keeps working: the orphaned epoch-2 name is
+  // reclaimed by the next real checkpoint.
+  ASSERT_TRUE((*reopened)->Checkpoint("EPOCH-2-REAL").ok());
+  EXPECT_EQ((*reopened)->epoch(), 2u);
+  reopened->reset();
+  Result<std::unique_ptr<Journal>> final_open = Journal::Open(options, meta);
+  ASSERT_TRUE(final_open.ok()) << final_open.status();
+  EXPECT_EQ((*final_open)->recovery().snapshot, "EPOCH-2-REAL");
+}
+
+TEST(WalJournalTest, ManifestRoundTripsIdentity) {
+  const std::string dir = TestDir("manifest");
+  WalOptions options;
+  options.dir = dir;
+  Manifest meta;
+  meta.kind = "mdp";
+  meta.num_shards = 4;
+  meta.schema_text = "MDVSCHEMA1\nclass A\n";
+  { ASSERT_TRUE(Journal::Open(options, meta).ok()); }
+  Result<Manifest> loaded = LoadManifest(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->kind, "mdp");
+  EXPECT_EQ(loaded->num_shards, 4u);
+  EXPECT_EQ(loaded->schema_text, meta.schema_text);
+  EXPECT_EQ(loaded->epoch, 0u);
+  EXPECT_FALSE(LoadManifest(dir + "-nonexistent").ok());
+}
+
+TEST(WalJournalTest, MidChainCorruptionFailsWriteOpenButNotReadOnly) {
+  const std::string dir = TestDir("midchain");
+  WalOptions options;
+  options.dir = dir;
+  options.segment_bytes = 64;
+  Manifest meta;
+  meta.kind = "test";
+  {
+    Result<std::unique_ptr<Journal>> journal = Journal::Open(options, meta);
+    ASSERT_TRUE(journal.ok());
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(
+          (*journal)->Append(1, "record-" + std::to_string(i)).ok());
+    }
+  }
+  // Corrupt the FIRST segment — not the tail. A write-mode open cannot
+  // safely truncate history out of the middle of the chain.
+  const std::string seg = dir + "/" + SegmentFileName(1);
+  std::string bytes = ReadFile(seg);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0xFF);
+  WriteFile(seg, bytes);
+
+  EXPECT_FALSE(Journal::Open(options, meta).ok());
+
+  WalOptions ro = options;
+  ro.read_only = true;
+  Result<std::unique_ptr<Journal>> fsck = Journal::Open(ro, meta);
+  ASSERT_TRUE(fsck.ok()) << fsck.status();
+  EXPECT_FALSE((*fsck)->recovery().segment_errors.empty());
+}
+
+TEST(WalJournalTest, BatchFsyncPolicyStillReplaysEverything) {
+  const std::string dir = TestDir("batch");
+  WalOptions options;
+  options.dir = dir;
+  options.fsync = FsyncPolicy::kBatch;
+  options.fsync_batch_records = 4;
+  Manifest meta;
+  meta.kind = "test";
+  {
+    Result<std::unique_ptr<Journal>> journal = Journal::Open(options, meta);
+    ASSERT_TRUE(journal.ok());
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE((*journal)->Append(1, std::to_string(i)).ok());
+    }
+    ASSERT_TRUE((*journal)->Sync().ok());
+  }
+  Result<std::unique_ptr<Journal>> reopened = Journal::Open(options, meta);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->recovery().records.size(), 10u);
+}
+
+}  // namespace
+}  // namespace mdv::wal
