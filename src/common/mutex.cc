@@ -157,6 +157,7 @@ bool HeldByThisThread(const Mutex& mu) {
 const char* LockRankName(LockRank rank) {
   switch (rank) {
     case LockRank::kMdpApi: return "mdv.mdp.api";
+    case LockRank::kLmrCache: return "mdv.lmr.cache";
     case LockRank::kNetworkBus: return "mdv.network";
     case LockRank::kRuleStore: return "mdv.rule_store";
     case LockRank::kNetLink: return "net.link";

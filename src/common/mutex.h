@@ -33,6 +33,13 @@ enum class LockRank : int {
   /// MetadataProvider::api_mu_ — serializes one MDP's entry points.
   /// Outermost: held across filter runs, publishing and sync delivery.
   kMdpApi = 10,
+  /// LocalMetadataRepository cache + join state. Acquired inside the
+  /// MDP API lock (sync-mode delivery runs the LMR handler under
+  /// kMdpApi) and from transport endpoint threads holding nothing; it
+  /// nests around the network bus / link locks (Checkpoint copies flow
+  /// state) and the WAL journal, but must never be held while calling
+  /// back into the provider (Subscribe, snapshot requests).
+  kLmrCache = 15,
   /// mdv::Network bus state (sync handler registry + stats).
   kNetworkBus = 20,
   /// Reserved for RuleStore-internal caches if they ever grow their own

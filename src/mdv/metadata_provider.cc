@@ -1,6 +1,7 @@
 #include "mdv/metadata_provider.h"
 
 #include <algorithm>
+#include <set>
 #include <sstream>
 
 #include "mdv/wal_records.h"
@@ -88,9 +89,27 @@ MetadataProvider::MetadataProvider(const rdf::RdfSchema* schema,
                                                    rule_store_.get(),
                                                    engine_options_);
   publisher_ = std::make_unique<pubsub::Publisher>(
-      schema_, &registry_, [this](const std::string& uri_reference) {
+      schema_, &registry_,
+      [this](const std::string& uri_reference) {
         return documents_.FindResource(uri_reference);
+      },
+      [this](const std::string& uri_reference) {
+        // The publisher only runs from entry points holding api_mu_.
+        api_mu_.AssertHeld();
+        return VersionForReferenceLocked(uri_reference);
       });
+  // Version stamps must stay stable across restarts even though the
+  // network may hand a recovered incarnation different sender ids, so
+  // the stamp origin is snapshotted state seeded (not aliased) here.
+  origin_id_ = sender_id_;
+  (void)network_->BindSnapshotServer(
+      sender_id_, [this](const net::SnapshotRequestFrame& request) {
+        (void)ServeSnapshot(request);
+      });
+}
+
+MetadataProvider::~MetadataProvider() {
+  network_->UnbindSnapshotServer(sender_id_);
 }
 
 Status MetadataProvider::RegisterDocumentXml(std::string_view xml,
@@ -111,7 +130,8 @@ Status MetadataProvider::RegisterDocumentBatch(
 }
 
 Status MetadataProvider::RegisterDocumentBatchInternal(
-    std::vector<rdf::RdfDocument> docs, Origin origin) {
+    std::vector<rdf::RdfDocument> docs, Origin origin,
+    std::vector<pubsub::EntryVersion> stamps) {
   MdpMetrics& metrics = MdpMetrics::Get();
   obs::ScopedSpan span("mdp.publish", &metrics.publish_us);
   ScopedInflight inflight(&metrics.inflight, &inflight_publishes_);
@@ -137,11 +157,36 @@ Status MetadataProvider::RegisterDocumentBatchInternal(
     if (origin == Origin::kClient && !peers.empty()) {
       replicas = docs;
     }
+    // Stamp every document before publishing so the publisher's version
+    // resolver sees the new revisions. An empty `stamps` means the
+    // mutation originates here: allocate from this MDP's counter (the
+    // counter is snapshot state, so WAL replay re-allocates the exact
+    // stamps the original run published).
+    if (stamps.empty()) {
+      stamps.reserve(docs.size());
+      for (size_t i = 0; i < docs.size(); ++i) {
+        stamps.push_back(pubsub::EntryVersion{origin_id_,
+                                              ++next_version_seq_});
+      }
+    } else if (stamps.size() != docs.size()) {
+      return Status::InvalidArgument("version stamp count mismatch");
+    }
     std::vector<std::string> uris;
     uris.reserve(docs.size());
-    for (rdf::RdfDocument& doc : docs) {
-      uris.push_back(doc.uri());
-      MDV_RETURN_IF_ERROR(documents_.Add(std::move(doc)));
+    for (size_t i = 0; i < docs.size(); ++i) {
+      // Versions are tracked per RESOURCE (the unit replicas cache),
+      // so a later partial update leaves untouched resources on their
+      // old stamp — and a snapshot serve agrees byte-for-byte with
+      // what the live stream shipped.
+      for (const rdf::Resource* res : docs[i].resources()) {
+        resource_versions_[docs[i].UriReferenceOf(res->local_id())] =
+            stamps[i];
+      }
+      if (stamps[i].origin == origin_id_) {
+        next_version_seq_ = std::max(next_version_seq_, stamps[i].seq);
+      }
+      uris.push_back(docs[i].uri());
+      MDV_RETURN_IF_ERROR(documents_.Add(std::move(docs[i])));
     }
     std::vector<const rdf::RdfDocument*> doc_ptrs;
     doc_ptrs.reserve(uris.size());
@@ -161,9 +206,11 @@ Status MetadataProvider::RegisterDocumentBatchInternal(
     if (journal_ != nullptr && !replaying_) {
       std::string payload;
       wal::PutU32(payload, static_cast<uint32_t>(uris.size()));
-      for (const std::string& uri : uris) {
-        wal::PutString(payload, uri);
-        wal::PutString(payload, rdf::WriteRdfXml(*documents_.Find(uri)));
+      for (size_t i = 0; i < uris.size(); ++i) {
+        wal::PutString(payload, uris[i]);
+        wal::PutString(payload, rdf::WriteRdfXml(*documents_.Find(uris[i])));
+        wal::PutU64(payload, stamps[i].origin);
+        wal::PutU64(payload, stamps[i].seq);
       }
       MDV_RETURN_IF_ERROR(
           JournalAppendLocked(kWalMdpRegisterDocuments, std::move(payload)));
@@ -178,7 +225,8 @@ Status MetadataProvider::RegisterDocumentBatchInternal(
   if (origin == Origin::kClient) {
     for (MetadataProvider* peer : peers) {
       MDV_RETURN_IF_ERROR(
-          peer->RegisterDocumentBatchInternal(replicas, Origin::kPeer));
+          peer->RegisterDocumentBatchInternal(replicas, Origin::kPeer,
+                                              stamps));
     }
   }
   return Status::OK();
@@ -193,7 +241,8 @@ Status MetadataProvider::DeleteDocument(const std::string& uri) {
 }
 
 Status MetadataProvider::UpdateDocumentInternal(rdf::RdfDocument document,
-                                                Origin origin) {
+                                                Origin origin,
+                                                pubsub::EntryVersion stamp) {
   MdpMetrics& metrics = MdpMetrics::Get();
   obs::ScopedSpan span("mdp.update", &metrics.update_us);
   ScopedInflight inflight(&metrics.inflight, &inflight_publishes_);
@@ -232,6 +281,32 @@ Status MetadataProvider::UpdateDocumentInternal(rdf::RdfDocument document,
     filter::UpdateOutcome outcome = std::move(protocol).value();
     last_iterations_ = outcome.new_matches.iterations;
 
+    // Stamp the new revision before publishing — the kUpdate (and any
+    // update-induced kRemove) notifications carry this version, and LWW
+    // replicas use it to discard stale reorderings.
+    if (stamp == pubsub::EntryVersion{}) {
+      stamp = pubsub::EntryVersion{origin_id_, ++next_version_seq_};
+    } else if (stamp.origin == origin_id_) {
+      next_version_seq_ = std::max(next_version_seq_, stamp.seq);
+    }
+    // Only resources whose content actually changed (or are new) move
+    // to the update's stamp; untouched ones keep the version replicas
+    // already hold for them. Removed resources lose their stamp.
+    for (const rdf::Resource* res : updated_copy.resources()) {
+      const rdf::Resource* before = original_copy.FindResource(
+          res->local_id());
+      if (before == nullptr || !before->ContentEquals(*res)) {
+        resource_versions_[updated_copy.UriReferenceOf(res->local_id())] =
+            stamp;
+      }
+    }
+    for (const rdf::Resource* res : original_copy.resources()) {
+      if (updated_copy.FindResource(res->local_id()) == nullptr) {
+        resource_versions_.erase(
+            original_copy.UriReferenceOf(res->local_id()));
+      }
+    }
+
     MDV_ASSIGN_OR_RETURN(std::vector<pubsub::Notification> notes,
                          publisher_->PublishUpdateOutcome(outcome));
     StampTrace(&notes, span.context());
@@ -240,6 +315,8 @@ Status MetadataProvider::UpdateDocumentInternal(rdf::RdfDocument document,
       std::string payload;
       wal::PutString(payload, updated_copy.uri());
       wal::PutString(payload, rdf::WriteRdfXml(updated_copy));
+      wal::PutU64(payload, stamp.origin);
+      wal::PutU64(payload, stamp.seq);
       MDV_RETURN_IF_ERROR(
           JournalAppendLocked(kWalMdpUpdateDocument, std::move(payload)));
     }
@@ -250,7 +327,7 @@ Status MetadataProvider::UpdateDocumentInternal(rdf::RdfDocument document,
   if (origin == Origin::kClient) {
     for (MetadataProvider* peer : peers) {
       MDV_RETURN_IF_ERROR(
-          peer->UpdateDocumentInternal(updated_copy, Origin::kPeer));
+          peer->UpdateDocumentInternal(updated_copy, Origin::kPeer, stamp));
     }
   }
   return Status::OK();
@@ -287,6 +364,11 @@ Status MetadataProvider::DeleteDocumentInternal(const std::string& uri,
     MDV_RETURN_IF_ERROR(db_->CommitTransaction());
     filter::UpdateOutcome outcome = std::move(protocol).value();
     last_iterations_ = outcome.new_matches.iterations;
+    // Deletions allocate no stamp: the kRemove notifications clear match
+    // flags (order-faithful on each flow), they do not carry content.
+    for (const rdf::Resource* res : original_copy.resources()) {
+      resource_versions_.erase(original_copy.UriReferenceOf(res->local_id()));
+    }
 
     MDV_ASSIGN_OR_RETURN(std::vector<pubsub::Notification> notes,
                          publisher_->PublishUpdateOutcome(outcome));
@@ -485,6 +567,13 @@ Status MetadataProvider::SaveSnapshotLocked(std::ostream& out) const {
         << "\n";
     out << sub->rule_text << "\n";
   }
+  // LWW versioning state. Older images lack the section; the loader
+  // tolerates its absence (the header stays MDVSNAP1).
+  out << "VERSIONS " << resource_versions_.size() << " " << origin_id_ << " "
+      << next_version_seq_ << "\n";
+  for (const auto& [uri, version] : resource_versions_) {
+    out << "V " << uri << " " << version.origin << " " << version.seq << "\n";
+  }
   out << "ENDSNAP\n";
   if (!out.good()) return Status::Internal("write failure");
   return Status::OK();
@@ -564,7 +653,37 @@ Status MetadataProvider::LoadSnapshotLocked(std::istream& in) {
     }
     MDV_RETURN_IF_ERROR(registry.Restore(std::move(sub)));
   }
-  if (!std::getline(in, line) || line != "ENDSNAP") {
+  bool have_versions = false;
+  uint64_t snap_origin = 0;
+  uint64_t snap_next_seq = 0;
+  std::map<std::string, pubsub::EntryVersion> versions;
+  if (!std::getline(in, line)) {
+    return Status::ParseError("missing ENDSNAP marker");
+  }
+  if (line.rfind("VERSIONS ", 0) == 0) {
+    std::istringstream ss(line.substr(9));
+    size_t version_count = 0;
+    if (!(ss >> version_count >> snap_origin >> snap_next_seq)) {
+      return Status::ParseError("malformed VERSIONS line: " + line);
+    }
+    have_versions = true;
+    for (size_t i = 0; i < version_count; ++i) {
+      if (!std::getline(in, line) || line.rfind("V ", 0) != 0) {
+        return Status::ParseError("missing V line");
+      }
+      std::istringstream vs(line.substr(2));
+      std::string uri;
+      pubsub::EntryVersion version;
+      if (!(vs >> uri >> version.origin >> version.seq)) {
+        return Status::ParseError("malformed V line: " + line);
+      }
+      versions[uri] = version;
+    }
+    if (!std::getline(in, line)) {
+      return Status::ParseError("missing ENDSNAP marker");
+    }
+  }
+  if (line != "ENDSNAP") {
     return Status::ParseError("missing ENDSNAP marker");
   }
 
@@ -572,6 +691,14 @@ Status MetadataProvider::LoadSnapshotLocked(std::istream& in) {
   db_ = std::move(db);
   documents_ = std::move(documents);
   registry_ = std::move(registry);
+  if (have_versions) {
+    // Restoring the stamp origin and counter keeps the versions this
+    // MDP allocates stable across incarnations (the network may assign
+    // a recovered provider different sender ids).
+    origin_id_ = snap_origin;
+    next_version_seq_ = snap_next_seq;
+    resource_versions_ = std::move(versions);
+  }
   rule_store_ = std::make_unique<filter::RuleStore>(db_.get(), rule_options_);
   engine_ = std::make_unique<filter::FilterEngine>(db_.get(),
                                                    rule_store_.get(),
@@ -582,6 +709,15 @@ Status MetadataProvider::LoadSnapshotLocked(std::istream& in) {
 void MetadataProvider::AddPeer(MetadataProvider* peer) {
   MutexLock lock(api_mu_);
   peers_.push_back(peer);
+  if (journal_ != nullptr && !replaying_) {
+    // Journal the mesh edge by name so a recovered incarnation can be
+    // re-wired to the same peers (recovered_peer_names()). Best-effort:
+    // a failed append degrades recovery hints, not live replication.
+    std::string payload;
+    wal::PutString(payload, peer->name());
+    Status journaled = JournalAppendLocked(kWalMdpAddPeer, std::move(payload));
+    (void)journaled;
+  }
 }
 
 Status MetadataProvider::EnableDurability(const wal::WalOptions& options) {
@@ -672,27 +808,40 @@ Status MetadataProvider::ReplayRecord(const wal::WalRecord& record) {
     case kWalMdpRegisterDocuments: {
       const uint32_t count = reader.ReadU32().value_or(0);
       std::vector<rdf::RdfDocument> docs;
+      std::vector<pubsub::EntryVersion> stamps;
       docs.reserve(count);
+      stamps.reserve(count);
       for (uint32_t i = 0; i < count && !reader.failed(); ++i) {
         const std::string uri = reader.ReadString().value_or("");
         const std::string xml = reader.ReadString().value_or("");
+        pubsub::EntryVersion stamp;
+        stamp.origin = reader.ReadU64().value_or(0);
+        stamp.seq = reader.ReadU64().value_or(0);
         if (reader.failed()) break;
         MDV_ASSIGN_OR_RETURN(rdf::RdfDocument doc, rdf::ParseRdfXml(xml, uri));
         docs.push_back(std::move(doc));
+        stamps.push_back(stamp);
       }
       if (!reader.Done()) {
         return Status::Internal("malformed journaled register record");
       }
-      return RegisterDocumentBatchInternal(std::move(docs), Origin::kPeer);
+      // The journaled stamps replay through the peer path so the
+      // recovered MDP republishes the exact versions the original run
+      // allocated.
+      return RegisterDocumentBatchInternal(std::move(docs), Origin::kPeer,
+                                           std::move(stamps));
     }
     case kWalMdpUpdateDocument: {
       const std::string uri = reader.ReadString().value_or("");
       const std::string xml = reader.ReadString().value_or("");
+      pubsub::EntryVersion stamp;
+      stamp.origin = reader.ReadU64().value_or(0);
+      stamp.seq = reader.ReadU64().value_or(0);
       if (!reader.Done()) {
         return Status::Internal("malformed journaled update record");
       }
       MDV_ASSIGN_OR_RETURN(rdf::RdfDocument doc, rdf::ParseRdfXml(xml, uri));
-      return UpdateDocumentInternal(std::move(doc), Origin::kPeer);
+      return UpdateDocumentInternal(std::move(doc), Origin::kPeer, stamp);
     }
     case kWalMdpDeleteDocument: {
       const std::string uri = reader.ReadString().value_or("");
@@ -730,10 +879,151 @@ Status MetadataProvider::ReplayRecord(const wal::WalRecord& record) {
       }
       return Unsubscribe(id);
     }
+    case kWalMdpAddPeer: {
+      const std::string peer_name = reader.ReadString().value_or("");
+      if (!reader.Done()) {
+        return Status::Internal("malformed journaled add-peer record");
+      }
+      MutexLock lock(api_mu_);
+      if (std::find(recovered_peer_names_.begin(),
+                    recovered_peer_names_.end(),
+                    peer_name) == recovered_peer_names_.end()) {
+        recovered_peer_names_.push_back(peer_name);
+      }
+      return Status::OK();
+    }
     default:
       return Status::Internal("unknown MDP journal record type " +
                               std::to_string(static_cast<int>(record.type)));
   }
+}
+
+pubsub::EntryVersion MetadataProvider::VersionForReferenceLocked(
+    const std::string& uri_reference) const {
+  auto it = resource_versions_.find(uri_reference);
+  return it == resource_versions_.end() ? pubsub::EntryVersion{} : it->second;
+}
+
+Status MetadataProvider::ServeSnapshot(
+    const net::SnapshotRequestFrame& request) {
+  obs::ScopedSpan span("mdp.serve_snapshot");
+  span.AddAttribute("lmr", static_cast<int64_t>(request.lmr));
+  span.AddAttribute("delta", request.delta ? "true" : "false");
+
+  // What the joiner already holds, per URI reference. The per-entry
+  // cursor (not the coarse per-origin vector) decides skips: peer
+  // forwarding can reorder per-origin arrival across flows, so only an
+  // entry-level comparison is sound.
+  std::map<std::string, pubsub::EntryVersion> cursor;
+  for (const net::SnapshotRequestFrame::CursorEntry& entry : request.cursor) {
+    cursor[entry.uri_reference] = entry.version;
+  }
+
+  // Evaluate the LMR's subscriptions in one locked section — a
+  // consistent-enough cut: anything that changes while chunks ship is
+  // also in the joiner's live buffer (it attaches before requesting)
+  // and gets replayed over the snapshot under LWW.
+  pubsub::SnapshotManifest manifest;
+  std::vector<std::string> to_ship;  // Unique root URIs, manifest order.
+  {
+    MutexLock lock(api_mu_);
+    std::set<std::string> seen;
+    for (const pubsub::Subscription* sub : registry_.ByLmr(request.lmr)) {
+      MDV_ASSIGN_OR_RETURN(filter::FilterRunResult snap,
+                           engine_->EvaluateNewRules({sub->end_rule_id}));
+      pubsub::SnapshotManifestEntry entry;
+      entry.subscription = sub->id;
+      const std::vector<std::string>* matches =
+          snap.MatchesFor(sub->end_rule_id);
+      if (matches != nullptr) entry.uris = *matches;
+      std::sort(entry.uris.begin(), entry.uris.end());
+      for (const std::string& uri : entry.uris) {
+        if (seen.insert(uri).second) to_ship.push_back(uri);
+      }
+      manifest.entries.push_back(std::move(entry));
+    }
+    // The per-origin high water of the served state; the joiner merges
+    // it into its version vector (observability + fsck invariant).
+    std::map<uint64_t, uint64_t> high;
+    for (const auto& [uri, version] : resource_versions_) {
+      uint64_t& seq = high[version.origin];
+      seq = std::max(seq, version.seq);
+    }
+    for (const auto& [origin, seq] : high) {
+      manifest.cursor.push_back(pubsub::EntryVersion{origin, seq});
+    }
+  }
+
+  // Every serve gets its own ephemeral sender flow: chunk/done frames
+  // ride the reliable link (FIFO, exactly-once) without perturbing live
+  // publish flows, and a rebooted durable joiner never sees a sequence
+  // gap — snapshot frames are not journaled, so reusing a long-lived
+  // flow across a crash would strand its recovered dedup state.
+  const uint64_t snapshot_sender = network_->RegisterSender();
+
+  // Ship in chunks, relocking per batch so live publishes interleave
+  // with the serve instead of stalling behind it.
+  int64_t resources_shipped = 0;
+  int64_t cursor_skipped = 0;
+  uint64_t chunk_index = 0;
+  size_t next = 0;
+  while (next < to_ship.size()) {
+    pubsub::Notification chunk;
+    chunk.kind = pubsub::NotificationKind::kSnapshotChunk;
+    chunk.lmr = request.lmr;
+    chunk.snapshot_request = request.request_id;
+    chunk.trace = span.context();
+    {
+      MutexLock lock(api_mu_);
+      for (size_t batched = 0;
+           next < to_ship.size() && batched < snapshot_chunk_resources_;
+           ++next, ++batched) {
+        const std::string& uri = to_ship[next];
+        Result<std::vector<pubsub::TransmittedResource>> closure =
+            publisher_->WithStrongClosure(uri);
+        if (!closure.ok()) {
+          // Deleted since the cut; the joiner's buffered kRemove (or the
+          // manifest flag repair) settles it.
+          continue;
+        }
+        for (pubsub::TransmittedResource& shipped : closure.value()) {
+          if (request.delta) {
+            // Per RESOURCE, not per matched root: a root can be on the
+            // joiner's cursor while a closure member changed underneath
+            // it (partial document update).
+            const auto have = cursor.find(shipped.uri_reference);
+            if (have != cursor.end() && shipped.version.seq != 0 &&
+                !(have->second < shipped.version)) {
+              ++cursor_skipped;  // Joiner already holds this revision.
+              continue;
+            }
+          }
+          ++resources_shipped;
+          chunk.resources.push_back(std::move(shipped));
+        }
+      }
+    }
+    if (chunk.resources.empty()) continue;  // Whole batch skipped.
+    chunk.chunk_index = chunk_index++;
+    network_->Deliver(chunk, snapshot_sender);
+  }
+
+  manifest.total_chunks = chunk_index;
+  pubsub::Notification done;
+  done.kind = pubsub::NotificationKind::kSnapshotDone;
+  done.lmr = request.lmr;
+  done.snapshot_request = request.request_id;
+  done.chunk_index = chunk_index;
+  done.manifest = std::move(manifest);
+  done.trace = span.context();
+  network_->Deliver(done, snapshot_sender);
+
+  span.AddAttribute("resources", resources_shipped);
+  span.AddAttribute("skipped", cursor_skipped);
+  obs::FlightRecorder::Default().Record(
+      obs::FlightEventType::kReplCatchup, static_cast<int64_t>(request.lmr),
+      resources_shipped, cursor_skipped);
+  return Status::OK();
 }
 
 }  // namespace mdv

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -18,6 +19,7 @@
 #include "filter/update_protocol.h"
 #include "mdv/document_store.h"
 #include "mdv/network.h"
+#include "net/wire.h"
 #include "pubsub/publisher.h"
 #include "pubsub/subscription.h"
 #include "rdbms/database.h"
@@ -47,6 +49,7 @@ class MetadataProvider {
   MetadataProvider(const rdf::RdfSchema* schema, Network* network,
                    filter::RuleStoreOptions rule_options = {},
                    filter::EngineOptions engine_options = {});
+  ~MetadataProvider();
 
   MetadataProvider(const MetadataProvider&) = delete;
   MetadataProvider& operator=(const MetadataProvider&) = delete;
@@ -107,7 +110,47 @@ class MetadataProvider {
   // ---- Backbone replication. -------------------------------------------
 
   /// Adds a backbone peer; registrations/updates/deletes are forwarded.
+  /// Durable providers journal the peer's name (kWalMdpAddPeer) so a
+  /// recovered incarnation knows which mesh edges to re-wire.
   void AddPeer(MetadataProvider* peer) EXCLUDES(api_mu_);
+
+  /// Stable mesh name for peer journaling ("mdp-<n>" when wired by
+  /// MdvSystem). Set once during deployment, before AddPeer.
+  void set_name(std::string name) { name_ = std::move(name); }
+  const std::string& name() const { return name_; }
+
+  /// Peer names collected from kWalMdpAddPeer records during the
+  /// EnableDurability replay (deduplicated, in first-seen order).
+  /// Deployment code re-wires the mesh from these after recovery.
+  std::vector<std::string> recovered_peer_names() const EXCLUDES(api_mu_) {
+    MutexLock lock(api_mu_);
+    return recovered_peer_names_;
+  }
+
+  // ---- Replica lifecycle (Clone-pattern joins). ------------------------
+
+  /// This MDP's publish flow id; joining LMRs address snapshot requests
+  /// to it (Network::RequestSnapshot).
+  uint64_t sender_id() const { return sender_id_; }
+
+  /// Serves one replica-join snapshot request: re-evaluates the end
+  /// rules of every subscription the requesting LMR holds here, ships
+  /// the matching resources (with strong closures and LWW stamps) as a
+  /// sequence of kSnapshotChunk notifications on the dedicated snapshot
+  /// sender flow, and finishes with a kSnapshotDone carrying the match
+  /// manifest and version-vector cursor. Delta requests skip resources
+  /// the supplied per-entry cursor already covers — the manifest still
+  /// lists every match, so the joiner can repair flags either way.
+  /// Takes api_mu_ in short sections per chunk; publishes outside it,
+  /// so concurrent client traffic interleaves rather than stalling.
+  Status ServeSnapshot(const net::SnapshotRequestFrame& request)
+      EXCLUDES(api_mu_);
+
+  /// Resources per snapshot chunk (default 64). Tests lower it to force
+  /// multi-chunk serves; must be >= 1.
+  void set_snapshot_chunk_resources(size_t n) {
+    snapshot_chunk_resources_ = n == 0 ? 1 : n;
+  }
 
   // ---- Persistence. --------------------------------------------------------
 
@@ -188,9 +231,16 @@ class MetadataProvider {
  private:
   enum class Origin { kClient, kPeer };
 
-  Status RegisterDocumentBatchInternal(std::vector<rdf::RdfDocument> docs,
-                                       Origin origin) EXCLUDES(api_mu_);
-  Status UpdateDocumentInternal(rdf::RdfDocument document, Origin origin)
+  /// `stamps` carries the originating MDP's LWW versions during peer
+  /// replication (one per document, in order); empty means "originating
+  /// mutation here" — allocate fresh stamps from this MDP's counter.
+  /// Every MDP in the mesh thus publishes identical versions for the
+  /// same logical revision.
+  Status RegisterDocumentBatchInternal(
+      std::vector<rdf::RdfDocument> docs, Origin origin,
+      std::vector<pubsub::EntryVersion> stamps = {}) EXCLUDES(api_mu_);
+  Status UpdateDocumentInternal(rdf::RdfDocument document, Origin origin,
+                                pubsub::EntryVersion stamp = {})
       EXCLUDES(api_mu_);
   Status DeleteDocumentInternal(const std::string& uri, Origin origin)
       EXCLUDES(api_mu_);
@@ -208,6 +258,9 @@ class MetadataProvider {
   Status CheckpointLocked() REQUIRES(api_mu_);
   /// Re-applies one journaled operation during EnableDurability.
   Status ReplayRecord(const wal::WalRecord& record) EXCLUDES(api_mu_);
+  /// LWW stamp of the document owning `uri_reference` ({0,0} unknown).
+  pubsub::EntryVersion VersionForReferenceLocked(
+      const std::string& uri_reference) const REQUIRES(api_mu_);
 
   const rdf::RdfSchema* schema_;
   Network* network_;
@@ -221,6 +274,7 @@ class MetadataProvider {
   /// theirs while forwarding would deadlock).
   mutable Mutex api_mu_{LockRank::kMdpApi, "mdv.mdp.api"};
   uint64_t sender_id_ = 0;  // This MDP's flow id on the network.
+  std::string name_;  // Mesh name for peer journaling; set pre-AddPeer.
   std::unique_ptr<rdbms::Database> db_;
   std::unique_ptr<filter::RuleStore> rule_store_;
   std::unique_ptr<filter::FilterEngine> engine_;
@@ -240,6 +294,21 @@ class MetadataProvider {
   /// points then skip journaling (the records already exist) and skip
   /// network delivery (receivers recover or Refresh on their own).
   bool replaying_ GUARDED_BY(api_mu_) = false;
+  /// Peer names recovered from kWalMdpAddPeer records (see accessor).
+  std::vector<std::string> recovered_peer_names_ GUARDED_BY(api_mu_);
+  /// LWW versioning state (persisted in the VERSIONS snapshot section).
+  /// origin_id_ identifies this MDP in version stamps; next_version_seq_
+  /// is the monotonic half of every stamp it allocates.
+  /// resource_versions_ maps URI reference -> the stamp of the last
+  /// mutation that changed that resource's CONTENT. One document
+  /// mutation stamps only the resources it touched, so a replica fed by
+  /// the live stream and one fed by a snapshot serve agree stamp-for-
+  /// stamp. Deletes (and update-removed resources) erase.
+  uint64_t origin_id_ GUARDED_BY(api_mu_) = 0;
+  uint64_t next_version_seq_ GUARDED_BY(api_mu_) = 0;
+  std::map<std::string, pubsub::EntryVersion> resource_versions_
+      GUARDED_BY(api_mu_);
+  size_t snapshot_chunk_resources_ = 64;
 };
 
 }  // namespace mdv

@@ -33,6 +33,10 @@ const char* KindName(pubsub::NotificationKind kind) {
       return "update";
     case pubsub::NotificationKind::kRemove:
       return "remove";
+    case pubsub::NotificationKind::kSnapshotChunk:
+      return "snapshot_chunk";
+    case pubsub::NotificationKind::kSnapshotDone:
+      return "snapshot_done";
   }
   return "?";
 }
@@ -199,6 +203,70 @@ net::TransportStats Network::transport_stats() const {
 void Network::set_fault_schedule(net::FaultInjector::Schedule schedule) {
   if (async_ == nullptr) return;
   async_->transport.set_fault_schedule(std::move(schedule));
+}
+
+Status Network::BindSnapshotServer(uint64_t sender, SnapshotServer server) {
+  if (async_ != nullptr) {
+    // The control endpoint is a plain transport endpoint: requests are
+    // decoded on its worker thread and handed to the server, which
+    // publishes chunks back through the reliable link (its dedicated
+    // snapshot sender flow gives them ack/retransmit reliability).
+    auto shared = std::make_shared<SnapshotServer>(std::move(server));
+    return async_->transport.Bind(
+        net::SnapshotControlEndpoint(sender), [shared](std::string frame) {
+          Result<net::DecodedFrame> decoded = net::DecodeFrame(frame);
+          if (!decoded.ok() ||
+              decoded.value().type != net::FrameType::kSnapshotRequest) {
+            return;  // Corrupt or misrouted; the joiner retries.
+          }
+          (*shared)(decoded.value().snapshot_request);
+        });
+  }
+  MutexLock lock(mutex_);
+  auto [it, inserted] = snapshot_servers_.emplace(
+      sender, std::make_shared<SnapshotServer>(std::move(server)));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("snapshot server for sender " +
+                                 std::to_string(sender) + " already bound");
+  }
+  return Status::OK();
+}
+
+void Network::UnbindSnapshotServer(uint64_t sender) {
+  if (async_ != nullptr) {
+    async_->transport.Unbind(net::SnapshotControlEndpoint(sender));
+    return;
+  }
+  MutexLock lock(mutex_);
+  snapshot_servers_.erase(sender);
+}
+
+Status Network::RequestSnapshot(uint64_t provider_sender,
+                                const net::SnapshotRequestFrame& request) {
+  if (async_ != nullptr) {
+    // Fire-and-forget: the request frame itself is not retransmitted —
+    // the joining LMR owns the retry loop (a lost request just times
+    // the join attempt out).
+    return async_->transport.Send(
+        net::SnapshotControlEndpoint(provider_sender),
+        net::EncodeSnapshotRequestFrame(request));
+  }
+  std::shared_ptr<SnapshotServer> server;
+  {
+    MutexLock lock(mutex_);
+    auto it = snapshot_servers_.find(provider_sender);
+    if (it != snapshot_servers_.end()) server = it->second;
+  }
+  if (server == nullptr) {
+    return Status::NotFound("no snapshot server for sender " +
+                            std::to_string(provider_sender));
+  }
+  // Serve inline, outside the bus lock: the server takes the provider
+  // API lock in short sections and delivers chunks back through this
+  // network.
+  (*server)(request);
+  return Status::OK();
 }
 
 }  // namespace mdv

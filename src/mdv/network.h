@@ -123,6 +123,25 @@ class Network {
   /// mode only; no-op otherwise). See net::FaultInjector.
   void set_fault_schedule(net::FaultInjector::Schedule schedule);
 
+  /// Handler for snapshot requests addressed to one sender (MDP). Runs
+  /// on a transport worker in asynchronous mode, inline inside
+  /// RequestSnapshot in synchronous mode; either way no network lock is
+  /// held, so the server may publish chunks back through Deliver.
+  using SnapshotServer = std::function<void(const net::SnapshotRequestFrame&)>;
+
+  /// Binds `sender`'s snapshot control endpoint (replica join protocol).
+  Status BindSnapshotServer(uint64_t sender, SnapshotServer server)
+      EXCLUDES(mutex_);
+  void UnbindSnapshotServer(uint64_t sender) EXCLUDES(mutex_);
+
+  /// Sends one snapshot request to the control endpoint of
+  /// `provider_sender`. Asynchronous mode ships it as a wire frame with
+  /// no delivery guarantee — the joining LMR retries on timeout;
+  /// synchronous mode serves inline before returning.
+  Status RequestSnapshot(uint64_t provider_sender,
+                         const net::SnapshotRequestFrame& request)
+      EXCLUDES(mutex_);
+
  private:
   /// One synchronous endpoint: its handler plus the threads currently
   /// delivering to it, so Detach can wait out in-flight deliveries.
@@ -156,6 +175,11 @@ class Network {
       GUARDED_BY(mutex_);
   NetworkStats stats_ GUARDED_BY(mutex_);
   uint64_t next_sync_sender_ GUARDED_BY(mutex_) = 1;
+  /// Synchronous-mode registry of snapshot servers (async mode binds
+  /// them as transport control endpoints instead). shared_ptr so
+  /// RequestSnapshot can invoke outside the lock.
+  std::map<uint64_t, std::shared_ptr<SnapshotServer>> snapshot_servers_
+      GUARDED_BY(mutex_);
   std::unique_ptr<Async> async_;  // Null in synchronous mode.
 };
 

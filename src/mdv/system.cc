@@ -13,6 +13,9 @@ MetadataProvider* MdvSystem::AddProvider() {
   auto provider = std::make_unique<MetadataProvider>(
       &schema_, &network_, rule_options_, engine_options_);
   MetadataProvider* raw = provider.get();
+  // Deterministic name by backbone position, so journaled peer-mesh
+  // records (kWalMdpAddPeer) mean the same thing across restarts.
+  raw->set_name("mdp-" + std::to_string(providers_.size()));
   // Full mesh: every MDP replicates to every other (flat hierarchy with
   // full replication, §2.2).
   for (const auto& existing : providers_) {
@@ -40,6 +43,7 @@ Result<MetadataProvider*> MdvSystem::AddDurableProvider(
     const wal::WalOptions& options) {
   auto provider = std::make_unique<MetadataProvider>(
       &schema_, &network_, rule_options_, engine_options_);
+  provider->set_name("mdp-" + std::to_string(providers_.size()));
   // Recover before meshing: EnableDurability refuses peered providers
   // because replay must not re-forward journaled registrations.
   MDV_RETURN_IF_ERROR(provider->EnableDurability(options));

@@ -26,6 +26,11 @@ inline constexpr uint8_t kWalMdpDeleteDocument = 4;
 inline constexpr uint8_t kWalMdpSubscribe = 5;
 /// i64 subscription id.
 inline constexpr uint8_t kWalMdpUnsubscribe = 6;
+/// Peer name string — one AddPeer edge of the replication mesh.
+/// Replay collects the names (recovered_peer_names()) so deployment
+/// code can re-wire the mesh deterministically instead of relying on
+/// wiring order.
+inline constexpr uint8_t kWalMdpAddPeer = 11;
 
 // ---- LMR journal (manifest kind "lmr") ------------------------------
 /// Raw net wire notify-frame bytes, exactly as received (async mode)
@@ -44,15 +49,23 @@ inline constexpr uint8_t kWalLmrLocalDocument = 10;
 /// u32 count, then i64 subscription ids.
 inline constexpr uint8_t kWalLmrSnapSubscriptions = 20;
 /// One cache entry: uri string, u8 local, u32 nsubs + i64 sub ids,
-/// then the resource: local-id string, class string, u32 nprops, per
-/// property: name string, u8 is_reference, text string. Strong-ref
-/// target lists and counts are re-derived from content on load.
+/// u64 version origin, u64 version seq, then the resource: local-id
+/// string, class string, u32 nprops, per property: name string,
+/// u8 is_reference, text string. Strong-ref target lists and counts
+/// are re-derived from content on load.
 inline constexpr uint8_t kWalLmrSnapCacheEntry = 21;
 /// One at-least-once flow: u64 sender, u64 applied_through,
 /// u32 n_holdback, per entry: u64 sequence, notify-frame string.
 inline constexpr uint8_t kWalLmrSnapFlow = 22;
 /// u64 next local (sync-mode self-journaling) sequence number.
 inline constexpr uint8_t kWalLmrSnapLocalSeq = 23;
+/// The replica's version vector: u32 count, per origin u64 origin id,
+/// u64 high-water sequence. Invariant (checked by mdv_fsck): for every
+/// persisted cache entry with a nonzero version, the vector's entry
+/// for its origin must be >= the entry's sequence — a vector that
+/// regresses against the cache would make delta catchup skip content
+/// the replica does not actually have.
+inline constexpr uint8_t kWalLmrSnapVersionVector = 24;
 
 }  // namespace mdv
 

@@ -244,7 +244,8 @@ void ReliableLink::OnReceiverFrame(pubsub::LmrId lmr, std::string frame) {
   // journal gets another chance. Safe outside mu_ because the
   // transport runs this receiver's frames serially.
   if (!duplicate && journal) {
-    Status journaled = journal(frame, sender, sequence);
+    Status journaled =
+        journal(frame, sender, sequence, notify.notification.kind);
     if (!journaled.ok()) {
       metrics.journal_rejects.Increment();
       return;

@@ -39,8 +39,12 @@ struct FlowRestore {
 /// protocol exactly-once across receiver crashes: a frame is acked
 /// only once it is journaled, and the journal replay restores the
 /// dedup state that absorbs the retransmits of anything acked.
+/// `kind` is the decoded notification kind, so hooks can decline to
+/// journal snapshot-stream frames (a crashed join is abandoned and
+/// restarted, never replayed) by returning OK without writing.
 using ReceiverJournal = std::function<Status(
-    const std::string& frame, uint64_t sender, uint64_t sequence)>;
+    const std::string& frame, uint64_t sender, uint64_t sequence,
+    pubsub::NotificationKind kind)>;
 
 /// Per-receiver durability wiring passed to BindReceiver. Default
 /// (empty) means a volatile receiver: no journal, fresh flows.

@@ -118,6 +118,7 @@ Status InProcessTransport::Send(EndpointId to, std::string frame) {
     return Status::OK();  // The sender cannot observe network loss.
   }
 
+  const int64_t frame_bytes = static_cast<int64_t>(frame.size());
   int enqueued = 0;
   bool overflowed = false;
   {
@@ -152,6 +153,7 @@ Status InProcessTransport::Send(EndpointId to, std::string frame) {
   }
   MutexLock lock(mu_);
   stats_.sent += enqueued;
+  stats_.bytes_sent += frame_bytes * enqueued;
   if (overflowed) {
     ++stats_.dropped_overflow;
     metrics.dropped.Increment();
@@ -188,11 +190,13 @@ void InProcessTransport::WorkerLoop(const std::shared_ptr<Endpoint>& state) {
     state->queue.erase(it);
     metrics.queue_depth.Add(-1);
     FrameHandler handler = state->handler;
+    const int64_t frame_bytes = static_cast<int64_t>(frame.size());
     state->mu.Unlock();
     if (handler) handler(std::move(frame));
     {
       MutexLock stats_lock(mu_);
       ++stats_.delivered;
+      stats_.bytes_delivered += frame_bytes;
     }
     metrics.delivered.Increment();
     FinishActive(1);

@@ -23,6 +23,13 @@ namespace mdv::net {
 /// sender-side ack endpoints (see reliable.h).
 using EndpointId = int64_t;
 
+/// Control endpoint on which a sender (MDP) receives snapshot requests
+/// from joining replicas. Offset far below the ack-endpoint range
+/// (-sender - 1, see reliable.h) so the two families never collide.
+inline EndpointId SnapshotControlEndpoint(uint64_t sender) {
+  return -static_cast<EndpointId>(sender) - (int64_t{1} << 40);
+}
+
 /// Counters of one transport instance (the process-wide mdv.net.*
 /// registry metrics aggregate across instances).
 struct TransportStats {
@@ -31,6 +38,11 @@ struct TransportStats {
   int64_t dropped_faults = 0;  ///< Frames eaten by the fault injector.
   int64_t dropped_overflow = 0;  ///< Frames rejected by a full queue.
   int64_t dropped_unbound = 0;   ///< Frames to endpoints nobody bound.
+  /// Payload bytes of frames accepted for delivery (duplicated copies
+  /// count, dropped/unbound ones do not). The replication tests assert
+  /// delta catchup < full snapshot from deltas of this counter.
+  int64_t bytes_sent = 0;
+  int64_t bytes_delivered = 0;  ///< Bytes of frames handed to handlers.
 };
 
 /// Abstraction of the wire between MDPs and LMRs. Implementations move

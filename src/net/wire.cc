@@ -157,6 +157,57 @@ Status DecodeResource(Reader* r, rdf::Resource* resource) {
   return Status::OK();
 }
 
+void EncodeVersion(std::string* out, const pubsub::EntryVersion& version) {
+  PutU64(out, version.origin);
+  PutU64(out, version.seq);
+}
+
+Status DecodeVersion(Reader* r, pubsub::EntryVersion* version) {
+  MDV_RETURN_IF_ERROR(r->ReadU64(&version->origin));
+  MDV_RETURN_IF_ERROR(r->ReadU64(&version->seq));
+  return Status::OK();
+}
+
+void EncodeManifest(std::string* out, const pubsub::SnapshotManifest& m) {
+  PutU64(out, m.total_chunks);
+  PutU32(out, static_cast<uint32_t>(m.cursor.size()));
+  for (const pubsub::EntryVersion& v : m.cursor) EncodeVersion(out, v);
+  PutU32(out, static_cast<uint32_t>(m.entries.size()));
+  for (const pubsub::SnapshotManifestEntry& entry : m.entries) {
+    PutI64(out, entry.subscription);
+    PutU32(out, static_cast<uint32_t>(entry.uris.size()));
+    for (const std::string& uri : entry.uris) PutString(out, uri);
+  }
+}
+
+Status DecodeManifest(Reader* r, pubsub::SnapshotManifest* m) {
+  MDV_RETURN_IF_ERROR(r->ReadU64(&m->total_chunks));
+  uint32_t cursors = 0;
+  MDV_RETURN_IF_ERROR(r->ReadU32(&cursors));
+  MDV_RETURN_IF_ERROR(r->CheckCount(cursors, 16, "manifest cursor"));
+  m->cursor.resize(cursors);
+  for (uint32_t i = 0; i < cursors; ++i) {
+    MDV_RETURN_IF_ERROR(DecodeVersion(r, &m->cursor[i]));
+  }
+  uint32_t entries = 0;
+  MDV_RETURN_IF_ERROR(r->ReadU32(&entries));
+  // An entry is at least subscription + uri-count = 12 bytes.
+  MDV_RETURN_IF_ERROR(r->CheckCount(entries, 12, "manifest entry"));
+  m->entries.resize(entries);
+  for (uint32_t i = 0; i < entries; ++i) {
+    pubsub::SnapshotManifestEntry& entry = m->entries[i];
+    MDV_RETURN_IF_ERROR(r->ReadI64(&entry.subscription));
+    uint32_t uris = 0;
+    MDV_RETURN_IF_ERROR(r->ReadU32(&uris));
+    MDV_RETURN_IF_ERROR(r->CheckCount(uris, 4, "manifest uri"));
+    entry.uris.resize(uris);
+    for (uint32_t j = 0; j < uris; ++j) {
+      MDV_RETURN_IF_ERROR(r->ReadString(&entry.uris[j]));
+    }
+  }
+  return Status::OK();
+}
+
 std::string EncodeNotifyPayload(const NotifyFrame& frame) {
   const pubsub::Notification& note = frame.notification;
   std::string out;
@@ -167,11 +218,17 @@ std::string EncodeNotifyPayload(const NotifyFrame& frame) {
   PutI64(&out, note.subscription);
   PutU64(&out, note.trace.trace_id);
   PutU64(&out, note.trace.span_id);
+  PutU64(&out, note.snapshot_request);
+  PutU64(&out, note.chunk_index);
   PutU32(&out, static_cast<uint32_t>(note.resources.size()));
   for (const pubsub::TransmittedResource& shipped : note.resources) {
     PutString(&out, shipped.uri_reference);
     PutU8(&out, shipped.via_strong_reference ? 1 : 0);
+    EncodeVersion(&out, shipped.version);
     EncodeResource(&out, shipped.resource);
+  }
+  if (note.kind == pubsub::NotificationKind::kSnapshotDone) {
+    EncodeManifest(&out, note.manifest);
   }
   return out;
 }
@@ -183,7 +240,7 @@ Status DecodeNotifyPayload(std::string_view payload, NotifyFrame* frame) {
   pubsub::Notification& note = frame->notification;
   uint8_t kind = 0;
   MDV_RETURN_IF_ERROR(r.ReadU8(&kind));
-  if (kind > static_cast<uint8_t>(pubsub::NotificationKind::kRemove)) {
+  if (kind > static_cast<uint8_t>(pubsub::NotificationKind::kSnapshotDone)) {
     return Status::InvalidArgument("wire: unknown notification kind " +
                                    std::to_string(kind));
   }
@@ -192,11 +249,13 @@ Status DecodeNotifyPayload(std::string_view payload, NotifyFrame* frame) {
   MDV_RETURN_IF_ERROR(r.ReadI64(&note.subscription));
   MDV_RETURN_IF_ERROR(r.ReadU64(&note.trace.trace_id));
   MDV_RETURN_IF_ERROR(r.ReadU64(&note.trace.span_id));
+  MDV_RETURN_IF_ERROR(r.ReadU64(&note.snapshot_request));
+  MDV_RETURN_IF_ERROR(r.ReadU64(&note.chunk_index));
   uint32_t resources = 0;
   MDV_RETURN_IF_ERROR(r.ReadU32(&resources));
-  // A resource is at least uri-len + flag + id-len + class-len +
-  // property-count = 17 bytes.
-  MDV_RETURN_IF_ERROR(r.CheckCount(resources, 17, "resource"));
+  // A resource is at least uri-len + flag + version + id-len +
+  // class-len + property-count = 33 bytes.
+  MDV_RETURN_IF_ERROR(r.CheckCount(resources, 33, "resource"));
   note.resources.reserve(resources);
   for (uint32_t i = 0; i < resources; ++i) {
     pubsub::TransmittedResource shipped;
@@ -207,8 +266,12 @@ Status DecodeNotifyPayload(std::string_view payload, NotifyFrame* frame) {
       return Status::InvalidArgument("wire: bad via_strong_reference flag");
     }
     shipped.via_strong_reference = strong == 1;
+    MDV_RETURN_IF_ERROR(DecodeVersion(&r, &shipped.version));
     MDV_RETURN_IF_ERROR(DecodeResource(&r, &shipped.resource));
     note.resources.push_back(std::move(shipped));
+  }
+  if (note.kind == pubsub::NotificationKind::kSnapshotDone) {
+    MDV_RETURN_IF_ERROR(DecodeManifest(&r, &note.manifest));
   }
   if (!r.exhausted()) {
     return Status::InvalidArgument("wire: trailing bytes in notify payload");
@@ -231,6 +294,57 @@ Status DecodeAckPayload(std::string_view payload, AckFrame* frame) {
   MDV_RETURN_IF_ERROR(r.ReadI64(&frame->lmr));
   if (!r.exhausted()) {
     return Status::InvalidArgument("wire: trailing bytes in ack payload");
+  }
+  return Status::OK();
+}
+
+std::string EncodeSnapshotRequestPayload(const SnapshotRequestFrame& frame) {
+  std::string out;
+  PutU64(&out, frame.provider);
+  PutI64(&out, frame.lmr);
+  PutU64(&out, frame.request_id);
+  PutU8(&out, frame.delta ? 1 : 0);
+  PutU32(&out, static_cast<uint32_t>(frame.vector.size()));
+  for (const pubsub::EntryVersion& v : frame.vector) EncodeVersion(&out, v);
+  PutU32(&out, static_cast<uint32_t>(frame.cursor.size()));
+  for (const SnapshotRequestFrame::CursorEntry& entry : frame.cursor) {
+    PutString(&out, entry.uri_reference);
+    EncodeVersion(&out, entry.version);
+  }
+  return out;
+}
+
+Status DecodeSnapshotRequestPayload(std::string_view payload,
+                                    SnapshotRequestFrame* frame) {
+  Reader r(payload);
+  MDV_RETURN_IF_ERROR(r.ReadU64(&frame->provider));
+  MDV_RETURN_IF_ERROR(r.ReadI64(&frame->lmr));
+  MDV_RETURN_IF_ERROR(r.ReadU64(&frame->request_id));
+  uint8_t delta = 0;
+  MDV_RETURN_IF_ERROR(r.ReadU8(&delta));
+  if (delta > 1) {
+    return Status::InvalidArgument("wire: bad snapshot delta flag");
+  }
+  frame->delta = delta == 1;
+  uint32_t vectors = 0;
+  MDV_RETURN_IF_ERROR(r.ReadU32(&vectors));
+  MDV_RETURN_IF_ERROR(r.CheckCount(vectors, 16, "version vector"));
+  frame->vector.resize(vectors);
+  for (uint32_t i = 0; i < vectors; ++i) {
+    MDV_RETURN_IF_ERROR(DecodeVersion(&r, &frame->vector[i]));
+  }
+  uint32_t cursors = 0;
+  MDV_RETURN_IF_ERROR(r.ReadU32(&cursors));
+  // A cursor entry is at least uri-len + version = 20 bytes.
+  MDV_RETURN_IF_ERROR(r.CheckCount(cursors, 20, "catchup cursor"));
+  frame->cursor.resize(cursors);
+  for (uint32_t i = 0; i < cursors; ++i) {
+    MDV_RETURN_IF_ERROR(r.ReadString(&frame->cursor[i].uri_reference));
+    MDV_RETURN_IF_ERROR(DecodeVersion(&r, &frame->cursor[i].version));
+  }
+  if (!r.exhausted()) {
+    return Status::InvalidArgument(
+        "wire: trailing bytes in snapshot request payload");
   }
   return Status::OK();
 }
@@ -298,6 +412,11 @@ std::string EncodeAckFrame(const AckFrame& frame) {
   return Frame(FrameType::kAck, EncodeAckPayload(frame));
 }
 
+std::string EncodeSnapshotRequestFrame(const SnapshotRequestFrame& frame) {
+  return Frame(FrameType::kSnapshotRequest,
+               EncodeSnapshotRequestPayload(frame));
+}
+
 Result<DecodedFrame> DecodeFrame(std::string_view buffer) {
   uint8_t type = 0;
   uint32_t payload_len = 0;
@@ -322,6 +441,11 @@ Result<DecodedFrame> DecodeFrame(std::string_view buffer) {
     case static_cast<uint8_t>(FrameType::kAck):
       out.type = FrameType::kAck;
       MDV_RETURN_IF_ERROR(DecodeAckPayload(payload, &out.ack));
+      return out;
+    case static_cast<uint8_t>(FrameType::kSnapshotRequest):
+      out.type = FrameType::kSnapshotRequest;
+      MDV_RETURN_IF_ERROR(
+          DecodeSnapshotRequestPayload(payload, &out.snapshot_request));
       return out;
     default:
       return Status::InvalidArgument("wire: unknown frame type " +

@@ -75,6 +75,8 @@ const char* FlightEventTypeName(FlightEventType type) {
     case FlightEventType::kWalAppend: return "wal_append";
     case FlightEventType::kWalCheckpoint: return "wal_checkpoint";
     case FlightEventType::kWalRecover: return "wal_recover";
+    case FlightEventType::kReplJoin: return "repl_join";
+    case FlightEventType::kReplCatchup: return "repl_catchup";
   }
   return "unknown";
 }

@@ -32,6 +32,8 @@ enum class FlightEventType : uint8_t {
   kWalAppend = 11,      ///< a=record type, b=payload bytes, c=segment.
   kWalCheckpoint = 12,  ///< a=new epoch, b=snapshot bytes, c=pruned segments.
   kWalRecover = 13,     ///< a=replayed records, b=truncated tail bytes.
+  kReplJoin = 14,       ///< a=lmr id, b=chunks applied, c=entries staged.
+  kReplCatchup = 15,    ///< a=lmr id, b=resources shipped, c=cursor-skipped.
 };
 
 const char* FlightEventTypeName(FlightEventType type);

@@ -1,7 +1,9 @@
 #ifndef MDV_PUBSUB_NOTIFICATION_H_
 #define MDV_PUBSUB_NOTIFICATION_H_
 
+#include <cstdint>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "obs/trace.h"
@@ -9,6 +11,34 @@
 #include "rdf/document.h"
 
 namespace mdv::pubsub {
+
+/// Last-writer-wins version stamp of one document revision. The
+/// originating MDP allocates `(origin, ++seq)` under its API lock, so
+/// stamps from one origin are totally ordered in execution order; stamps
+/// from different origins tie-break deterministically on the origin id.
+/// The join of two stamps is their maximum, which makes replica cache
+/// entries a semilattice: applying the same set of versioned writes in
+/// any order (and any number of times) converges to the same content.
+struct EntryVersion {
+  uint64_t origin = 0;  ///< Replication id of the originating MDP.
+  uint64_t seq = 0;     ///< Monotonic per origin.
+
+  friend bool operator==(const EntryVersion& a, const EntryVersion& b) {
+    return a.origin == b.origin && a.seq == b.seq;
+  }
+  friend bool operator!=(const EntryVersion& a, const EntryVersion& b) {
+    return !(a == b);
+  }
+  /// Total order: by sequence first, origin id as the deterministic
+  /// tie-break. `seq` dominates so that a restarted origin which resumes
+  /// its counter keeps winning over stale peers.
+  friend bool operator<(const EntryVersion& a, const EntryVersion& b) {
+    return std::tie(a.seq, a.origin) < std::tie(b.seq, b.origin);
+  }
+  friend bool operator<=(const EntryVersion& a, const EntryVersion& b) {
+    return !(b < a);
+  }
+};
 
 /// A resource shipped inside a notification: its URI reference plus the
 /// full content an LMR needs to cache it.
@@ -19,6 +49,9 @@ struct TransmittedResource {
   /// reference closure of a matched resource (§2.4) — it takes a
   /// reference count at the LMR instead of a subscription match.
   bool via_strong_reference = false;
+  /// LWW stamp of the document revision this resource belongs to.
+  /// `{0, 0}` for unversioned payloads (removals, local documents).
+  EntryVersion version;
 };
 
 /// What a published change means for one LMR.
@@ -26,6 +59,30 @@ enum class NotificationKind {
   kInsert,  ///< Resources newly matching one of the LMR's rules.
   kUpdate,  ///< New versions of resources the LMR caches.
   kRemove,  ///< Resources that stopped matching all of the LMR's rules.
+  /// One batch of versioned cache entries streamed during a replica
+  /// join (Clone pattern). Content only — match flags arrive with the
+  /// manifest in kSnapshotDone.
+  kSnapshotChunk,
+  /// End of a snapshot stream: carries the manifest (per-subscription
+  /// match lists at the cut) and the catchup cursor.
+  kSnapshotDone,
+};
+
+/// Per-subscription match list at the snapshot cut.
+struct SnapshotManifestEntry {
+  SubscriptionId subscription = -1;
+  std::vector<std::string> uris;  ///< Sorted matched URI references.
+};
+
+/// Trailer of a snapshot stream (kSnapshotDone). The joining LMR uses
+/// `entries` to rebuild its match flags and `cursor` to advance its
+/// version vector to the cut.
+struct SnapshotManifest {
+  uint64_t total_chunks = 0;
+  /// Per-origin high-water mark of the serving MDP's document versions
+  /// at the cut (one EntryVersion per origin).
+  std::vector<EntryVersion> cursor;
+  std::vector<SnapshotManifestEntry> entries;
 };
 
 /// One publish message from an MDP to an LMR.
@@ -37,6 +94,14 @@ struct Notification {
   /// which refresh any cached copy regardless of subscription.
   SubscriptionId subscription = -1;
   std::vector<TransmittedResource> resources;
+  /// Join request this snapshot frame answers (kSnapshotChunk/Done);
+  /// 0 for live notifications. The LMR drops frames whose request id
+  /// does not match its active join attempt.
+  uint64_t snapshot_request = 0;
+  /// Position of this chunk within its snapshot stream.
+  uint64_t chunk_index = 0;
+  /// Populated only for kSnapshotDone.
+  SnapshotManifest manifest;
   /// Correlation context of the publish that produced this message: the
   /// span of the originating MDP operation. Network delivery and the
   /// LMR's application parent their spans here, so one document's
@@ -44,6 +109,13 @@ struct Notification {
   /// across (future asynchronous) delivery boundaries.
   obs::SpanContext trace;
 };
+
+/// True for the snapshot-stream kinds that participate in the replica
+/// join protocol rather than the live publish stream.
+inline bool IsSnapshotKind(NotificationKind kind) {
+  return kind == NotificationKind::kSnapshotChunk ||
+         kind == NotificationKind::kSnapshotDone;
+}
 
 }  // namespace mdv::pubsub
 

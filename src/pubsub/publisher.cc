@@ -44,6 +44,9 @@ void CountNotifications(const std::vector<Notification>& notifications,
       case NotificationKind::kRemove:
         metrics.removes.Increment();
         break;
+      case NotificationKind::kSnapshotChunk:
+      case NotificationKind::kSnapshotDone:
+        break;  // Snapshot streams are counted by the replication stage.
     }
   }
 }
@@ -58,7 +61,8 @@ Result<std::vector<TransmittedResource>> Publisher::WithStrongClosure(
   }
   std::vector<TransmittedResource> out;
   std::unordered_set<std::string> visited{uri_reference};
-  out.push_back(TransmittedResource{uri_reference, *root, false});
+  out.push_back(TransmittedResource{uri_reference, *root, false,
+                                    StampFor(uri_reference)});
 
   // Breadth-first walk over strong references only (§2.4: strongly
   // referenced resources are always transmitted, weakly referenced never).
@@ -79,7 +83,8 @@ Result<std::vector<TransmittedResource>> Publisher::WithStrongClosure(
                          << "." << prop.name << " -> " << target;
         continue;
       }
-      out.push_back(TransmittedResource{target, *target_res, true});
+      out.push_back(
+          TransmittedResource{target, *target_res, true, StampFor(target)});
     }
   }
   return out;
@@ -176,8 +181,10 @@ Result<std::vector<Notification>> Publisher::PublishUpdateOutcome(
       note.lmr = sub->lmr;
       note.subscription = sub->id;
       for (const std::string& uri : removed) {
-        // Removals carry no content; the uri suffices.
-        note.resources.push_back(TransmittedResource{uri, {}, false});
+        // Removals carry no content; the uri suffices. The stamp is the
+        // revision that caused the unmatch, for version-vector upkeep.
+        note.resources.push_back(
+            TransmittedResource{uri, {}, false, StampFor(uri)});
       }
       notifications.push_back(std::move(note));
     }

@@ -24,9 +24,19 @@ class Publisher {
   using ResourceResolver =
       std::function<const rdf::Resource*(const std::string& uri_reference)>;
 
+  /// Resolves a URI reference to the LWW stamp of the document revision
+  /// it belongs to; `{0, 0}` when unknown. Optional: an absent resolver
+  /// ships unversioned resources (stand-alone publisher tests).
+  using VersionResolver =
+      std::function<EntryVersion(const std::string& uri_reference)>;
+
   Publisher(const rdf::RdfSchema* schema,
-            const SubscriptionRegistry* registry, ResourceResolver resolver)
-      : schema_(schema), registry_(registry), resolver_(std::move(resolver)) {}
+            const SubscriptionRegistry* registry, ResourceResolver resolver,
+            VersionResolver versions = nullptr)
+      : schema_(schema),
+        registry_(registry),
+        resolver_(std::move(resolver)),
+        versions_(std::move(versions)) {}
 
   Publisher(const Publisher&) = delete;
   Publisher& operator=(const Publisher&) = delete;
@@ -54,9 +64,14 @@ class Publisher {
       const std::string& uri_reference) const;
 
  private:
+  EntryVersion StampFor(const std::string& uri_reference) const {
+    return versions_ ? versions_(uri_reference) : EntryVersion{};
+  }
+
   const rdf::RdfSchema* schema_;
   const SubscriptionRegistry* registry_;
   ResourceResolver resolver_;
+  VersionResolver versions_;
 };
 
 }  // namespace mdv::pubsub

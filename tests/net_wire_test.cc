@@ -215,7 +215,7 @@ TEST(WireCodecTest, RejectsOversizedPayloadLength) {
 TEST(WireCodecTest, RejectsWrongVersionAndType) {
   std::string encoded = EncodeAckFrame(AckFrame{1, 2, 3});
   std::string bad_version = encoded;
-  bad_version[4] = 2;
+  bad_version[4] = static_cast<char>(kWireVersion + 1);
   EXPECT_FALSE(DecodeFrame(bad_version).ok());
   std::string bad_type = encoded;
   bad_type[5] = 99;

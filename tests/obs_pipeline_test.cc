@@ -174,15 +174,16 @@ TEST(ObsPipelineTest, TraceCarriedOnNotificationSurvivesRefresh) {
   ASSERT_TRUE(lmr->Refresh().ok());
   EXPECT_EQ(lmr->CacheSize(), 2u);
 
-  // Refresh applies the snapshot outside any delivery call chain; the
-  // apply span still joins the snapshot's trace via the notification's
-  // carried context instead of starting a parentless trace.
+  // Refresh (now a full replica join) merges the staged snapshot
+  // outside any delivery call chain; the finalize span still joins the
+  // serve's trace via the context carried on the SnapshotDone
+  // notification instead of starting a parentless trace.
   std::vector<obs::SpanRecord> spans = obs::DefaultTracer().Snapshot();
   std::vector<obs::SpanRecord> applies =
-      SpansNamed(spans, "lmr.apply_notification");
+      SpansNamed(spans, "lmr.finalize_join");
   ASSERT_FALSE(applies.empty());
   std::vector<obs::SpanRecord> snapshots =
-      SpansNamed(spans, "mdp.snapshot_subscription");
+      SpansNamed(spans, "mdp.serve_snapshot");
   ASSERT_FALSE(snapshots.empty());
   EXPECT_EQ(applies[0].trace_id, snapshots[0].trace_id);
   EXPECT_EQ(applies[0].parent_id, snapshots[0].span_id);

@@ -18,6 +18,11 @@
 //                        (AuditCacheInvariants)              [lmr only]
 //   lmr.flows            persisted dedup flows are monotonic: held-back
 //                        sequences lie above applied_through [lmr only]
+//   lmr.versions         the persisted version vector covers every
+//                        persisted cache entry's stamp — a regressed
+//                        vector would make delta catchup skip content
+//                        the replica does not have          [lmr only]
+//   mdp.peers            journaled peer-mesh records decode  [mdp only]
 //
 // Usage: mdv_fsck [--json] [--mdp DIR]... [--lmr DIR]... [DIR]...
 //
@@ -31,8 +36,10 @@
 // 2 = usage/IO problems (unreadable directory, unknown manifest kind).
 
 #include <iostream>
+#include <map>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "common/result.h"
@@ -127,6 +134,30 @@ mdv::Status CheckMdpImage(const std::string& dir,
     }
   }
   report->Add("subscriptions.rules", subs);
+
+  // Replication-mesh journal records (kWalMdpAddPeer) must decode; the
+  // recovered names are what deployment code re-wires the mesh from.
+  mdv::Status peers = mdv::Status::OK();
+  for (const mdv::wal::WalRecord& record :
+       provider.recovery_info().records) {
+    if (record.type != mdv::kWalMdpAddPeer) continue;
+    mdv::wal::PayloadReader reader(record.payload);
+    const std::string name = reader.ReadString().value_or("");
+    if (reader.failed() || !reader.Done() || name.empty()) {
+      peers = mdv::Status::Internal("malformed peer-mesh record");
+      break;
+    }
+  }
+  std::string peer_detail;
+  for (const std::string& name : provider.recovered_peer_names()) {
+    if (!peer_detail.empty()) peer_detail += ", ";
+    peer_detail += name;
+  }
+  if (peers.ok()) {
+    report->Add("mdp.peers", true, peer_detail);
+  } else {
+    report->Add("mdp.peers", peers);
+  }
   return mdv::Status::OK();
 }
 
@@ -162,6 +193,60 @@ mdv::Status CheckLmrFlows(const mdv::wal::RecoveryInfo& rec) {
   return mdv::Status::OK();
 }
 
+/// Checks the persisted version vector against the persisted cache
+/// entries, on the RAW snapshot records. The live image cannot be used
+/// for this: recovery max-merges every loaded stamp back into the
+/// vector, silently repairing exactly the regression this check exists
+/// to catch.
+mdv::Status CheckLmrVersions(const mdv::wal::RecoveryInfo& rec) {
+  const mdv::wal::WalScan scan = mdv::wal::ScanWalBuffer(rec.snapshot);
+  if (scan.torn) {
+    return mdv::Status::Internal("corrupt snapshot: " + scan.tail_error);
+  }
+  std::map<uint64_t, uint64_t> vector;
+  // (uri, origin, seq) of every versioned persisted entry.
+  std::vector<std::tuple<std::string, uint64_t, uint64_t>> stamps;
+  for (const mdv::wal::WalRecord& record : scan.records) {
+    mdv::wal::PayloadReader reader(record.payload);
+    if (record.type == mdv::kWalLmrSnapVersionVector) {
+      const uint32_t count = reader.ReadU32().value_or(0);
+      for (uint32_t i = 0; i < count && !reader.failed(); ++i) {
+        const uint64_t origin = reader.ReadU64().value_or(0);
+        vector[origin] = reader.ReadU64().value_or(0);
+      }
+      if (reader.failed()) {
+        return mdv::Status::Internal("malformed version-vector record");
+      }
+    } else if (record.type == mdv::kWalLmrSnapCacheEntry) {
+      const std::string uri = reader.ReadString().value_or("");
+      (void)reader.ReadU8();  // local flag
+      const uint32_t nsubs = reader.ReadU32().value_or(0);
+      for (uint32_t i = 0; i < nsubs && !reader.failed(); ++i) {
+        (void)reader.ReadI64();
+      }
+      const uint64_t origin = reader.ReadU64().value_or(0);
+      const uint64_t seq = reader.ReadU64().value_or(0);
+      if (reader.failed()) {
+        return mdv::Status::Internal("malformed cache entry record");
+      }
+      if (origin != 0 || seq != 0) stamps.emplace_back(uri, origin, seq);
+    }
+  }
+  for (const auto& [uri, origin, seq] : stamps) {
+    const auto it = vector.find(origin);
+    if (it == vector.end() || it->second < seq) {
+      return mdv::Status::Internal(
+          "persisted version vector regresses against cache entry " + uri +
+          " (origin " + std::to_string(origin) + " seq " +
+          std::to_string(seq) + ", vector has " +
+          (it == vector.end() ? std::string("nothing")
+                              : std::to_string(it->second)) +
+          ")");
+    }
+  }
+  return mdv::Status::OK();
+}
+
 mdv::Status CheckLmrImage(const std::string& dir,
                           const mdv::wal::Manifest& manifest,
                           ImageReport* report) {
@@ -183,6 +268,7 @@ mdv::Status CheckLmrImage(const std::string& dir,
   CheckWalChain(rec, report);
   report->Add("lmr.cache", (*lmr)->AuditCacheInvariants());
   report->Add("lmr.flows", CheckLmrFlows(rec));
+  report->Add("lmr.versions", CheckLmrVersions(rec));
   return mdv::Status::OK();
 }
 
